@@ -1,0 +1,296 @@
+//! ASCII line charts.
+//!
+//! Good enough to eyeball the *shape* of each paper figure directly in
+//! the terminal: multiple series, linear or logarithmic y axis, axis
+//! labels and a legend. TSV output (see [`crate::table::write_tsv`])
+//! carries the exact numbers for external plotting.
+
+use std::fmt::Write as _;
+
+/// Y-axis scaling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Linear y axis.
+    Linear,
+    /// Log10 y axis (non-positive values are clamped to the smallest
+    /// positive point in the data).
+    Log10,
+}
+
+/// One named series of `(x, y)` points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend name.
+    pub name: String,
+    /// Data points (need not be sorted; the chart sorts by x).
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series.
+    pub fn new(name: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            name: name.into(),
+            points,
+        }
+    }
+}
+
+/// An ASCII chart: plots series as scatter/step marks on a character
+/// grid.
+#[derive(Debug, Clone)]
+pub struct AsciiChart {
+    title: String,
+    x_label: String,
+    y_label: String,
+    width: usize,
+    height: usize,
+    scale: Scale,
+    series: Vec<Series>,
+}
+
+const MARKS: &[char] = &['*', '+', 'o', 'x', '#', '@', '%', '&'];
+
+impl AsciiChart {
+    /// Creates a chart with the given title and axis labels.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        AsciiChart {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            width: 72,
+            height: 20,
+            scale: Scale::Linear,
+            series: Vec::new(),
+        }
+    }
+
+    /// Sets the plot area size in characters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is below 2.
+    pub fn size(mut self, width: usize, height: usize) -> Self {
+        assert!(width >= 2 && height >= 2, "chart too small");
+        self.width = width;
+        self.height = height;
+        self
+    }
+
+    /// Sets the y-axis scale.
+    pub fn scale(mut self, scale: Scale) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// Adds a series.
+    pub fn series(mut self, series: Series) -> Self {
+        self.series.push(series);
+        self
+    }
+
+    /// Renders the chart.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.title);
+
+        // Collect finite points.
+        let all: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().copied())
+            .filter(|(x, y)| x.is_finite() && y.is_finite())
+            .collect();
+        if all.is_empty() {
+            out.push_str("(no data)\n");
+            return out;
+        }
+
+        let min_positive = all
+            .iter()
+            .map(|&(_, y)| y)
+            .filter(|&y| y > 0.0)
+            .fold(f64::INFINITY, f64::min);
+        let transform = |y: f64| -> f64 {
+            match self.scale {
+                Scale::Linear => y,
+                Scale::Log10 => {
+                    let floor = if min_positive.is_finite() {
+                        min_positive
+                    } else {
+                        1e-9
+                    };
+                    y.max(floor).log10()
+                }
+            }
+        };
+
+        let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &(x, y) in &all {
+            x_min = x_min.min(x);
+            x_max = x_max.max(x);
+            let t = transform(y);
+            y_min = y_min.min(t);
+            y_max = y_max.max(t);
+        }
+        if (x_max - x_min).abs() < f64::EPSILON {
+            x_max = x_min + 1.0;
+        }
+        if (y_max - y_min).abs() < f64::EPSILON {
+            y_max = y_min + 1.0;
+        }
+
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        for (si, series) in self.series.iter().enumerate() {
+            let mark = MARKS[si % MARKS.len()];
+            for &(x, y) in &series.points {
+                if !x.is_finite() || !y.is_finite() {
+                    continue;
+                }
+                let col = ((x - x_min) / (x_max - x_min) * (self.width - 1) as f64).round()
+                    as usize;
+                let t = transform(y);
+                let row = ((t - y_min) / (y_max - y_min) * (self.height - 1) as f64).round()
+                    as usize;
+                let row = self.height - 1 - row; // invert: row 0 on top
+                grid[row][col.min(self.width - 1)] = mark;
+            }
+        }
+
+        // Y-axis labels at top/middle/bottom.
+        let untransform = |t: f64| -> f64 {
+            match self.scale {
+                Scale::Linear => t,
+                Scale::Log10 => 10f64.powf(t),
+            }
+        };
+        let label_width = 10;
+        for (row, line) in grid.iter().enumerate() {
+            let frac = 1.0 - row as f64 / (self.height - 1) as f64;
+            let label = if row == 0 || row == self.height / 2 || row == self.height - 1 {
+                format!("{:>label_width$.3}", untransform(y_min + frac * (y_max - y_min)))
+            } else {
+                " ".repeat(label_width)
+            };
+            let _ = writeln!(out, "{label} |{}", line.iter().collect::<String>());
+        }
+        let _ = writeln!(
+            out,
+            "{} +{}",
+            " ".repeat(label_width),
+            "-".repeat(self.width)
+        );
+        let _ = writeln!(
+            out,
+            "{} {:<.3}{:>width$.3}",
+            " ".repeat(label_width),
+            x_min,
+            x_max,
+            width = self.width.saturating_sub(format!("{x_min:.3}").len())
+        );
+        let _ = writeln!(out, "{} [x: {}] [y: {}{}]",
+            " ".repeat(label_width),
+            self.x_label,
+            self.y_label,
+            match self.scale {
+                Scale::Linear => "",
+                Scale::Log10 => ", log scale",
+            }
+        );
+        for (si, series) in self.series.iter().enumerate() {
+            let _ = writeln!(out, "{}   {} {}", " ".repeat(label_width), MARKS[si % MARKS.len()], series.name);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(name: &str) -> Series {
+        Series::new(name, (0..10).map(|i| (i as f64, i as f64 * 2.0)).collect())
+    }
+
+    #[test]
+    fn renders_title_axes_and_legend() {
+        let chart = AsciiChart::new("Figure 1", "threshold", "repairs")
+            .series(ramp("Newcomers"))
+            .series(ramp("Elder peers"));
+        let s = chart.render();
+        assert!(s.contains("Figure 1"));
+        assert!(s.contains("threshold"));
+        assert!(s.contains("repairs"));
+        assert!(s.contains("* Newcomers"));
+        assert!(s.contains("+ Elder peers"));
+    }
+
+    #[test]
+    fn marks_land_in_the_grid() {
+        let chart = AsciiChart::new("t", "x", "y").size(40, 10).series(ramp("a"));
+        let s = chart.render();
+        assert!(s.contains('*'));
+        // Bottom-left to top-right ramp: first data row (top) should have
+        // a mark near the right edge.
+        let rows: Vec<&str> = s.lines().collect();
+        let top_mark = rows[1].rfind('*').unwrap();
+        let bottom_mark = rows[10].find('*').unwrap();
+        assert!(top_mark > bottom_mark, "ramp should ascend: {s}");
+    }
+
+    #[test]
+    fn log_scale_compresses_large_values() {
+        let spread = Series::new(
+            "wide",
+            vec![(0.0, 0.1), (1.0, 1.0), (2.0, 10.0), (3.0, 100.0)],
+        );
+        let lin = AsciiChart::new("t", "x", "y")
+            .size(20, 9)
+            .series(spread.clone())
+            .render();
+        let log = AsciiChart::new("t", "x", "y")
+            .size(20, 9)
+            .scale(Scale::Log10)
+            .series(spread)
+            .render();
+        assert!(log.contains("log scale"));
+        assert!(!lin.contains("log scale"));
+        // In log scale, the four decades land on four distinct rows
+        // evenly: count rows containing a mark.
+        let rows_with_marks = |s: &str| s.lines().filter(|l| l.contains('*')).count();
+        assert!(rows_with_marks(&log) >= rows_with_marks(&lin));
+    }
+
+    #[test]
+    fn empty_chart_says_no_data() {
+        let s = AsciiChart::new("t", "x", "y").render();
+        assert!(s.contains("(no data)"));
+    }
+
+    #[test]
+    fn non_finite_points_are_skipped() {
+        let s = AsciiChart::new("t", "x", "y")
+            .series(Series::new("bad", vec![(f64::NAN, 1.0), (1.0, 2.0)]))
+            .render();
+        assert!(s.contains('*'));
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let s = AsciiChart::new("t", "x", "y")
+            .series(Series::new("flat", vec![(1.0, 5.0), (2.0, 5.0)]))
+            .render();
+        assert!(s.contains('*'));
+    }
+
+    #[test]
+    #[should_panic(expected = "chart too small")]
+    fn tiny_chart_panics() {
+        let _ = AsciiChart::new("t", "x", "y").size(1, 1);
+    }
+}

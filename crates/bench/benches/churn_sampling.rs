@@ -1,0 +1,80 @@
+//! Churn-substrate sampling rates: lifetime draws and session lengths
+//! are the highest-frequency random draws in a simulation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use peerback_churn::{
+    paper_profiles, BoundedPareto, Exponential, LifetimeDist, Pareto, SessionSampler, Weibull,
+};
+use peerback_sim::sim_rng;
+
+fn distributions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dist_sample_10k");
+    group.throughput(Throughput::Elements(10_000));
+    let pareto = Pareto::new(24.0, 1.6);
+    let bounded = BoundedPareto::new(24.0, 50_000.0, 1.2);
+    let exp = Exponential::new(720.0);
+    let weibull = Weibull::new(720.0, 0.7);
+    group.bench_function("pareto", |b| {
+        let mut rng = sim_rng(1);
+        b.iter(|| (0..10_000).map(|_| pareto.sample(&mut rng)).sum::<f64>())
+    });
+    group.bench_function("bounded_pareto", |b| {
+        let mut rng = sim_rng(2);
+        b.iter(|| (0..10_000).map(|_| bounded.sample(&mut rng)).sum::<f64>())
+    });
+    group.bench_function("exponential", |b| {
+        let mut rng = sim_rng(3);
+        b.iter(|| (0..10_000).map(|_| exp.sample(&mut rng)).sum::<f64>())
+    });
+    group.bench_function("weibull", |b| {
+        let mut rng = sim_rng(4);
+        b.iter(|| (0..10_000).map(|_| weibull.sample(&mut rng)).sum::<f64>())
+    });
+    group.finish();
+}
+
+fn profiles_and_sessions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("churn_10k");
+    group.throughput(Throughput::Elements(10_000));
+    let mix = paper_profiles();
+    group.bench_function("profile_mix_sample", |b| {
+        let mut rng = sim_rng(5);
+        b.iter(|| (0..10_000).map(|_| mix.sample(&mut rng)).sum::<usize>())
+    });
+    group.bench_function("lifetime_sample", |b| {
+        let mut rng = sim_rng(6);
+        b.iter(|| {
+            (0..10_000)
+                .map(|i| {
+                    mix.profile(i % 4)
+                        .lifetime
+                        .sample(&mut rng)
+                        .unwrap_or(u64::MAX)
+                })
+                .sum::<u64>()
+        })
+    });
+    let sampler = SessionSampler::new(0.33, 24.0);
+    group.bench_function("session_durations", |b| {
+        let mut rng = sim_rng(7);
+        b.iter(|| {
+            (0..10_000)
+                .map(|i| {
+                    if i % 2 == 0 {
+                        sampler.online_duration(&mut rng)
+                    } else {
+                        sampler.offline_duration(&mut rng)
+                    }
+                })
+                .sum::<u64>()
+        })
+    });
+    group.bench_function(
+        "black_box_guard", // keep the optimiser honest about the group
+        |b| b.iter(|| black_box(42u64)),
+    );
+    group.finish();
+}
+
+criterion_group!(benches, distributions, profiles_and_sessions);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Microbenchmarks of the GF(2^8) kernels under the erasure codec.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use peerback_gf256::{add_assign_slice, mul_add_slice, mul_slice, Gf256};
+
+fn scalar_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gf256_scalar");
+    group.bench_function("mul", |b| {
+        b.iter(|| {
+            let mut acc = Gf256::ONE;
+            for i in 1..=255u8 {
+                acc *= black_box(Gf256::new(i));
+            }
+            acc
+        })
+    });
+    group.bench_function("inv", |b| {
+        b.iter(|| {
+            let mut acc = Gf256::ZERO;
+            for i in 1..=255u8 {
+                acc += black_box(Gf256::new(i)).inv();
+            }
+            acc
+        })
+    });
+    group.bench_function("pow", |b| {
+        b.iter(|| {
+            let mut acc = Gf256::ZERO;
+            for i in 1..=255u8 {
+                acc += black_box(Gf256::new(i)).pow(12345);
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn slice_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gf256_slices");
+    for len in [1024usize, 16 * 1024, 256 * 1024] {
+        let src: Vec<u8> = (0..len).map(|i| (i % 255) as u8).collect();
+        let mut dst = vec![0u8; len];
+        group.throughput(Throughput::Bytes(len as u64));
+        group.bench_function(format!("mul_add/{len}"), |b| {
+            b.iter(|| mul_add_slice(black_box(&mut dst), black_box(&src), 0x53))
+        });
+        group.bench_function(format!("mul/{len}"), |b| {
+            b.iter(|| mul_slice(black_box(&mut dst), black_box(&src), 0x53))
+        });
+        group.bench_function(format!("add/{len}"), |b| {
+            b.iter(|| add_assign_slice(black_box(&mut dst), black_box(&src)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, scalar_ops, slice_kernels);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Protocol hot-path kernels: the acceptance test and partner ranking,
+//! which run hundreds of times per repair episode.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use peerback_core::{acceptance_probability, accepts, Candidate, SelectionStrategy};
+use peerback_sim::sim_rng;
+use rand::Rng;
+
+fn acceptance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("acceptance");
+    group.bench_function("probability_grid", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for own in (0..2400u64).step_by(100) {
+                for cand in (0..2400u64).step_by(100) {
+                    acc += acceptance_probability(black_box(own), black_box(cand), 2160);
+                }
+            }
+            acc
+        })
+    });
+    group.bench_function("sampled_decisions_1k", |b| {
+        let mut rng = sim_rng(7);
+        b.iter(|| {
+            let mut yes = 0u32;
+            for _ in 0..1000 {
+                let own = rng.gen_range(0..3000u64);
+                let cand = rng.gen_range(0..3000u64);
+                if accepts(&mut rng, own, cand, 2160) {
+                    yes += 1;
+                }
+            }
+            yes
+        })
+    });
+    group.finish();
+}
+
+fn selection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("selection");
+    let pool: Vec<Candidate> = (0..512u32)
+        .map(|i| Candidate {
+            id: i,
+            age: (i as u64 * 37) % 5000,
+            uptime: (i % 100) as f64 / 100.0,
+            true_remaining: (i as u64 * 61) % 20_000,
+        })
+        .collect();
+    for strategy in SelectionStrategy::ALL {
+        group.bench_function(format!("{}_512_pick_256", strategy.name()), |b| {
+            let mut rng = sim_rng(11);
+            b.iter(|| {
+                let mut p = pool.clone();
+                strategy.choose(&mut rng, &mut p, 256);
+                p.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, acceptance, selection);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Simulation-engine throughput: rounds per second on a live network.
+//!
+//! This is the number that bounds how fast the paper-scale experiments
+//! run (25,000 peers × 50,000 rounds).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use peerback_core::{BackupWorld, SimConfig};
+use peerback_sim::Engine;
+
+/// Builds a warmed-up world (population joined, churn running).
+fn warmed_world(peers: usize, seed: u64) -> (Engine, BackupWorld) {
+    let mut cfg = SimConfig::paper(peers, u64::MAX, seed);
+    cfg.rounds = 10_000_000; // validation only; engine controls duration
+    let mut world = BackupWorld::new(cfg);
+    let mut engine = Engine::new(seed);
+    engine.run(&mut world, 2_000); // warm-up: joins done, churn steady
+    (engine, world)
+}
+
+fn engine_rounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_round");
+    group.sample_size(10);
+    for peers in [1_000usize, 4_000] {
+        group.throughput(Throughput::Elements(100 * peers as u64));
+        group.bench_function(format!("{peers}_peers_100_rounds"), |b| {
+            b.iter_batched(
+                || warmed_world(peers, 42),
+                |(mut engine, mut world)| {
+                    engine.run(&mut world, 100);
+                    world
+                },
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn timing_wheel(c: &mut Criterion) {
+    use peerback_sim::{Round, TimingWheel};
+    let mut group = c.benchmark_group("timing_wheel");
+    group.bench_function("schedule_advance_100k", |b| {
+        b.iter(|| {
+            let mut wheel: TimingWheel<u32> = TimingWheel::new(8192);
+            for i in 0..100_000u64 {
+                wheel.schedule(Round(i % 5_000), i as u32);
+            }
+            let mut fired = 0u64;
+            for r in 0..5_000 {
+                wheel.advance(Round(r), |_| fired += 1);
+            }
+            fired
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, engine_rounds, timing_wheel);
+criterion_main!(benches);

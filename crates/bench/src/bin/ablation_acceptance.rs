@@ -1,0 +1,105 @@
+//! **Ablation A2** — what the acceptance function contributes.
+//!
+//! Varies the §3.2 acceptance machinery at the focus threshold:
+//!
+//! * `mutual` — the paper's default ("both peers must agree");
+//! * `one-sided` — only the owner tests the candidate;
+//! * `disabled` — no acceptance test at all (pure ranking);
+//! * clamp sweep — `L` of 30/90/180 days (mutual).
+//!
+//! The candidate-side test is the mechanism that reserves stable hosts
+//! for stable owners, so removing it should flatten the Elder/Newcomer
+//! stratification.
+//!
+//! ```text
+//! cargo run --release -p peerback-bench --bin ablation_acceptance
+//! ```
+
+use peerback_analysis::{write_tsv, TableBuilder};
+use peerback_bench::{fmt_rate, HarnessArgs};
+use peerback_core::{run_sweep_with_threads, AgeCategory, SimConfig};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    eprintln!(
+        "ablation A2: 6 acceptance variants at {} peers x {} rounds ...",
+        args.peers, args.rounds
+    );
+
+    let variant = |name: &'static str, f: &dyn Fn(SimConfig) -> SimConfig| {
+        (name, f(args.base_config()))
+    };
+    let variants: Vec<(&'static str, SimConfig)> = vec![
+        variant("mutual L=90d (paper)", &|c| c),
+        variant("one-sided", &|mut c| {
+            c.mutual_acceptance = false;
+            c
+        }),
+        variant("disabled", &|mut c| {
+            c.acceptance_enabled = false;
+            c
+        }),
+        variant("mutual L=30d", &|mut c| {
+            c.acceptance_clamp = 30 * 24;
+            c
+        }),
+        variant("mutual L=180d", &|mut c| {
+            c.acceptance_clamp = 180 * 24;
+            c
+        }),
+        variant("no refresh (ratchet)", &|mut c| {
+            c.refresh_on_repair = false;
+            c
+        }),
+    ];
+
+    let configs: Vec<SimConfig> = variants.iter().map(|(_, c)| c.clone()).collect();
+    let results = run_sweep_with_threads(configs, args.thread_count());
+
+    let mut table = TableBuilder::new().header([
+        "variant",
+        "Newcomers",
+        "Young peers",
+        "Old peers",
+        "Elder peers",
+        "stratification (new/elder)",
+        "losses",
+    ]);
+    let mut rows = Vec::new();
+    for ((name, _), metrics) in variants.iter().zip(&results) {
+        let mut row = vec![name.to_string()];
+        for cat in AgeCategory::ALL {
+            row.push(fmt_rate(metrics.repair_rate_per_1000(cat)));
+        }
+        let strat = match (
+            metrics.repair_rate_per_1000(AgeCategory::Newcomer),
+            metrics.repair_rate_per_1000(AgeCategory::Elder),
+        ) {
+            (Some(n), Some(e)) if e > 0.0 => format!("{:.1}x", n / e),
+            _ => "n/a".to_string(),
+        };
+        row.push(strat);
+        row.push(metrics.total_losses().to_string());
+        table.row(row.clone());
+        rows.push(row);
+    }
+    println!("Ablation A2: repair rates per 1000 peers per round, acceptance variants (k'=148)\n");
+    println!("{}", table.render());
+
+    let path = args.out_path("ablation_acceptance.tsv");
+    write_tsv(
+        &path,
+        &[
+            "variant",
+            "newcomers",
+            "young",
+            "old",
+            "elder",
+            "stratification",
+            "losses",
+        ],
+        &rows,
+    )
+    .expect("write TSV");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,95 @@
+//! **Ablation A4** — the paper's future-work adaptive threshold.
+//!
+//! §6 of the paper: "the repair threshold might be changed depending on
+//! the peer context, its difficulties to find partners". This ablation
+//! compares the fixed `k' = 148` against per-peer adaptive thresholds
+//! (backing off on pool shortfalls), in both a comfortable market
+//! (quota 384) and a deliberately starved one (quota 256 = zero slack).
+//!
+//! Expected: with ample quota the adaptive policy is a no-op; under
+//! starvation it trades a little safety margin for markedly fewer
+//! shortfall-stalled episodes.
+//!
+//! ```text
+//! cargo run --release -p peerback-bench --bin ablation_adaptive
+//! ```
+
+use peerback_analysis::{write_tsv, TableBuilder};
+use peerback_bench::HarnessArgs;
+use peerback_core::{run_sweep_with_threads, MaintenancePolicy, SimConfig};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    eprintln!(
+        "ablation A4: fixed vs adaptive thresholds at {} peers x {} rounds ...",
+        args.peers, args.rounds
+    );
+
+    let adaptive = MaintenancePolicy::Adaptive {
+        base: 148,
+        floor_margin: 4,
+        step: 2,
+    };
+    let variants: Vec<(String, SimConfig)> = vec![
+        ("fixed 148, quota 384".into(), args.base_config()),
+        (
+            "adaptive, quota 384".into(),
+            {
+                let mut c = args.base_config();
+                c.maintenance = adaptive;
+                c
+            },
+        ),
+        (
+            "fixed 148, quota 256 (starved)".into(),
+            {
+                let mut c = args.base_config();
+                c.quota = 256;
+                c
+            },
+        ),
+        (
+            "adaptive, quota 256 (starved)".into(),
+            {
+                let mut c = args.base_config();
+                c.quota = 256;
+                c.maintenance = adaptive;
+                c
+            },
+        ),
+    ];
+
+    let configs: Vec<SimConfig> = variants.iter().map(|(_, c)| c.clone()).collect();
+    let results = run_sweep_with_threads(configs, args.thread_count());
+
+    let mut table = TableBuilder::new().header([
+        "variant",
+        "repair episodes",
+        "pool shortfalls",
+        "threshold adjustments",
+        "losses",
+    ]);
+    let mut rows = Vec::new();
+    for ((name, _), metrics) in variants.iter().zip(&results) {
+        let row = vec![
+            name.clone(),
+            metrics.total_repairs().to_string(),
+            metrics.diag.pool_shortfalls.to_string(),
+            metrics.diag.threshold_adjustments.to_string(),
+            metrics.total_losses().to_string(),
+        ];
+        table.row(row.clone());
+        rows.push(row);
+    }
+    println!("Ablation A4: fixed vs adaptive repair thresholds\n");
+    println!("{}", table.render());
+
+    let path = args.out_path("ablation_adaptive.tsv");
+    write_tsv(
+        &path,
+        &["variant", "episodes", "shortfalls", "adjustments", "losses"],
+        &rows,
+    )
+    .expect("write TSV");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,90 @@
+//! **Ablation A5** — the §4.1 linear-scaling claim.
+//!
+//! "We only consider one archive per peer … However, we claim that these
+//! results should scale linearly when the number of archives of a peer
+//! is increasing, since they can be handled independently."
+//!
+//! Runs 1, 2 and 4 archives per peer (quota scaled with demand, as the
+//! paper's 3× rule prescribes) and reports maintenance volume per
+//! archive — if the claim holds, the per-archive column is flat.
+//!
+//! ```text
+//! cargo run --release -p peerback-bench --bin ablation_archives
+//! ```
+
+use peerback_analysis::{write_tsv, TableBuilder};
+use peerback_bench::HarnessArgs;
+use peerback_core::{run_sweep_with_threads, SimConfig};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let archive_counts: [u16; 3] = [1, 2, 4];
+    eprintln!(
+        "ablation A5: archives/peer in {:?} at {} peers x {} rounds ...",
+        archive_counts, args.peers, args.rounds
+    );
+
+    let configs: Vec<SimConfig> = archive_counts
+        .iter()
+        .map(|&a| {
+            let mut c = args.base_config();
+            c.archives_per_peer = a;
+            c.quota = 384 * a as u32; // the paper's 3x-own-volume rule
+            c
+        })
+        .collect();
+    let results = run_sweep_with_threads(configs, args.thread_count());
+
+    let mut table = TableBuilder::new().header([
+        "archives/peer",
+        "repair episodes",
+        "episodes per archive",
+        "blocks uploaded per archive",
+        "losses",
+    ]);
+    let mut rows = Vec::new();
+    let mut per_archive: Vec<f64> = Vec::new();
+    for (&a, metrics) in archive_counts.iter().zip(&results) {
+        let archives_total = a as u64 * args.peers as u64;
+        let episodes_per = metrics.total_repairs() as f64 / archives_total as f64;
+        per_archive.push(episodes_per);
+        let row = vec![
+            a.to_string(),
+            metrics.total_repairs().to_string(),
+            format!("{episodes_per:.3}"),
+            format!(
+                "{:.1}",
+                metrics.diag.blocks_uploaded as f64 / archives_total as f64
+            ),
+            metrics.total_losses().to_string(),
+        ];
+        table.row(row.clone());
+        rows.push(row);
+    }
+    println!("Ablation A5: does maintenance scale linearly with archives? (k'=148)\n");
+    println!("{}", table.render());
+    let spread = per_archive
+        .iter()
+        .cloned()
+        .fold(f64::NEG_INFINITY, f64::max)
+        / per_archive.iter().cloned().fold(f64::INFINITY, f64::min);
+    println!(
+        "per-archive episode spread across configurations: {spread:.2}x \
+         (1.0x = perfectly linear scaling, the paper's claim)"
+    );
+
+    let path = args.out_path("ablation_archives.tsv");
+    write_tsv(
+        &path,
+        &[
+            "archives",
+            "episodes",
+            "episodes_per_archive",
+            "uploads_per_archive",
+            "losses",
+        ],
+        &rows,
+    )
+    .expect("write TSV");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,68 @@
+//! **Ablation A1** — partner-selection strategies at the focus
+//! threshold.
+//!
+//! Compares the paper's age-based ranking against a random baseline (a
+//! system with no lifetime estimation), an adversarial youngest-first
+//! ranking, and an oracle that sees true remaining lifetimes (the upper
+//! bound on any estimator). Reports per-category repair rates plus total
+//! maintenance traffic.
+//!
+//! Expected: age-based beats random on elder-peer maintenance cost and
+//! approaches the oracle; youngest-first is the worst.
+//!
+//! ```text
+//! cargo run --release -p peerback-bench --bin ablation_strategies
+//! ```
+
+use peerback_analysis::{write_tsv, TableBuilder};
+use peerback_bench::{fmt_rate, HarnessArgs};
+use peerback_core::{run_sweep_with_threads, AgeCategory, SelectionStrategy, SimConfig};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    eprintln!(
+        "ablation A1: 4 strategies at {} peers x {} rounds ...",
+        args.peers, args.rounds
+    );
+    let configs: Vec<SimConfig> = SelectionStrategy::ALL
+        .iter()
+        .map(|&s| args.base_config().with_strategy(s))
+        .collect();
+    let results = run_sweep_with_threads(configs, args.thread_count());
+
+    let mut table = TableBuilder::new().header([
+        "strategy",
+        "Newcomers",
+        "Young peers",
+        "Old peers",
+        "Elder peers",
+        "total repairs",
+        "losses",
+        "blocks uploaded",
+    ]);
+    let mut rows = Vec::new();
+    for (strategy, metrics) in SelectionStrategy::ALL.iter().zip(&results) {
+        let mut row = vec![strategy.name().to_string()];
+        for cat in AgeCategory::ALL {
+            row.push(fmt_rate(metrics.repair_rate_per_1000(cat)));
+        }
+        row.push(metrics.total_repairs().to_string());
+        row.push(metrics.total_losses().to_string());
+        row.push(metrics.diag.blocks_uploaded.to_string());
+        table.row(row.clone());
+        rows.push(row);
+    }
+    println!("Ablation A1: repair rate per 1000 peers per round, by selection strategy (k'=148)\n");
+    println!("{}", table.render());
+
+    let path = args.out_path("ablation_strategies.tsv");
+    write_tsv(
+        &path,
+        &[
+            "strategy", "newcomers", "young", "old", "elder", "repairs", "losses", "uploads",
+        ],
+        &rows,
+    )
+    .expect("write TSV");
+    println!("wrote {}", path.display());
+}

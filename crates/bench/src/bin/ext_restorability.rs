@@ -1,0 +1,80 @@
+//! **Extension E1** — instant restorability over time.
+//!
+//! The paper argues durability beats availability for backup ("the users
+//! are likely to prefer security … even if it takes more time", §2.2.3).
+//! This experiment quantifies the flip side: at any instant, what
+//! fraction of archives could start a full restore *right now* (≥ k
+//! blocks on currently-online partners)? Reported for the reactive
+//! threshold sweep endpoints and the proactive policy.
+//!
+//! ```text
+//! cargo run --release -p peerback-bench --bin ext_restorability
+//! ```
+
+use peerback_analysis::{write_tsv, AsciiChart, Scale, Series, TableBuilder};
+use peerback_bench::HarnessArgs;
+use peerback_core::{run_sweep_with_threads, MaintenancePolicy, SimConfig};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    eprintln!(
+        "extension E1: restorability at {} peers x {} rounds ...",
+        args.peers, args.rounds
+    );
+
+    let variants: Vec<(String, SimConfig)> = vec![
+        ("reactive k'=132".into(), args.base_config().with_threshold(132)),
+        ("reactive k'=148".into(), args.base_config()),
+        ("reactive k'=180".into(), args.base_config().with_threshold(180)),
+        (
+            "proactive tick=24h".into(),
+            {
+                let mut c = args.base_config();
+                c.maintenance = MaintenancePolicy::Proactive { tick_rounds: 24 };
+                c
+            },
+        ),
+    ];
+    let configs: Vec<SimConfig> = variants.iter().map(|(_, c)| c.clone()).collect();
+    let results = run_sweep_with_threads(configs, args.thread_count());
+
+    let mut table = TableBuilder::new().header([
+        "policy",
+        "mean instant-restorability",
+        "min over run",
+        "repair episodes",
+    ]);
+    let mut chart = AsciiChart::new(
+        "Instant restorability over time",
+        "days",
+        "fraction of archives restorable now",
+    )
+    .size(64, 14)
+    .scale(Scale::Linear);
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for ((name, _), metrics) in variants.iter().zip(&results) {
+        let series: Vec<(f64, f64)> = metrics
+            .restorability
+            .iter()
+            .map(|&(r, f)| (r as f64 / 24.0, f))
+            .collect();
+        let min = series.iter().map(|&(_, f)| f).fold(1.0f64, f64::min);
+        table.row([
+            name.clone(),
+            format!("{:.4}", metrics.mean_restorability().unwrap_or(0.0)),
+            format!("{min:.4}"),
+            metrics.total_repairs().to_string(),
+        ]);
+        for &(d, f) in &series {
+            rows.push(vec![name.clone(), format!("{d:.1}"), format!("{f:.5}")]);
+        }
+        chart = chart.series(Series::new(name.clone(), series));
+    }
+    println!("Extension E1: instantaneous restorability (availability despite churn)\n");
+    println!("{}", table.render());
+    println!("{}", chart.render());
+
+    let path = args.out_path("ext_restorability.tsv");
+    write_tsv(&path, &["policy", "days", "fraction"], &rows).expect("write TSV");
+    println!("wrote {}", path.display());
+}

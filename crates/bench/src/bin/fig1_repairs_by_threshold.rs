@@ -1,0 +1,83 @@
+//! **Figure 1** — "Average rate of repairs for the four categories of
+//! peers depending of the repair threshold."
+//!
+//! Sweeps the repair threshold `k'` over 132–180 (the paper's range) and
+//! reports, for each age category, the average number of repairs per
+//! 1000 peers per round, on a log scale.
+//!
+//! Expected shape (paper §4.2.1): repair rates increase with the
+//! threshold — super-linearly towards 180 — and stratify by age:
+//! Newcomers ≫ Young ≫ Old ≫ Elder.
+//!
+//! ```text
+//! cargo run --release -p peerback-bench --bin fig1_repairs_by_threshold
+//! ```
+
+use peerback_analysis::{write_tsv, AsciiChart, Scale, Series, TableBuilder};
+use peerback_bench::{fmt_rate, threshold_sweep, HarnessArgs};
+use peerback_core::AgeCategory;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    eprintln!(
+        "fig1: sweeping {} thresholds at {} peers x {} rounds ...",
+        peerback_bench::PAPER_THRESHOLDS.len(),
+        args.peers,
+        args.rounds
+    );
+    let sweep = threshold_sweep(&args);
+
+    let mut table = TableBuilder::new().header([
+        "threshold",
+        "Newcomers",
+        "Young peers",
+        "Old peers",
+        "Elder peers",
+    ]);
+    let mut rows = Vec::new();
+    let mut series: Vec<Vec<(f64, f64)>> = vec![Vec::new(); AgeCategory::COUNT];
+    for (threshold, metrics) in &sweep {
+        let rates: Vec<Option<f64>> = AgeCategory::ALL
+            .iter()
+            .map(|&c| metrics.repair_rate_per_1000(c))
+            .collect();
+        table.row(
+            std::iter::once(threshold.to_string())
+                .chain(rates.iter().map(|&r| fmt_rate(r))),
+        );
+        rows.push(
+            std::iter::once(threshold.to_string())
+                .chain(rates.iter().map(|&r| fmt_rate(r)))
+                .collect::<Vec<String>>(),
+        );
+        for (i, &rate) in rates.iter().enumerate() {
+            if let Some(rate) = rate {
+                series[i].push((*threshold as f64, rate));
+            }
+        }
+    }
+
+    println!("Figure 1: average repairs per 1000 peers per round, by repair threshold\n");
+    println!("{}", table.render());
+
+    let mut chart = AsciiChart::new(
+        "Repairs by Threshold (log scale, cf. paper Figure 1)",
+        "repair threshold k'",
+        "repairs per 1000 peers per round",
+    )
+    .size(64, 18)
+    .scale(Scale::Log10);
+    for (i, cat) in AgeCategory::ALL.iter().enumerate() {
+        chart = chart.series(Series::new(cat.name(), series[i].clone()));
+    }
+    println!("{}", chart.render());
+
+    let path = args.out_path("fig1_repairs_by_threshold.tsv");
+    write_tsv(
+        &path,
+        &["threshold", "newcomers", "young", "old", "elder"],
+        &rows,
+    )
+    .expect("write TSV");
+    println!("wrote {}", path.display());
+}

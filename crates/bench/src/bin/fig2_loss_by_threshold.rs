@@ -1,0 +1,79 @@
+//! **Figure 2** — "Average rate of data lost for the four categories of
+//! peers depending of the repair threshold."
+//!
+//! Same sweep as Figure 1, reporting archive-loss rates per 1000 peers
+//! per round.
+//!
+//! Expected shape (paper §4.2.1): losses concentrate at *small*
+//! thresholds (the archive can slip below `k` before a repair fires) and
+//! fall almost entirely on Newcomers; at the compromise threshold 148
+//! losses are near zero.
+//!
+//! ```text
+//! cargo run --release -p peerback-bench --bin fig2_loss_by_threshold
+//! ```
+
+use peerback_analysis::{write_tsv, AsciiChart, Scale, Series, TableBuilder};
+use peerback_bench::{fmt_rate, threshold_sweep, HarnessArgs};
+use peerback_core::AgeCategory;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    eprintln!(
+        "fig2: sweeping {} thresholds at {} peers x {} rounds ...",
+        peerback_bench::PAPER_THRESHOLDS.len(),
+        args.peers,
+        args.rounds
+    );
+    let sweep = threshold_sweep(&args);
+
+    let mut table = TableBuilder::new().header([
+        "threshold",
+        "Newcomers",
+        "Young peers",
+        "Old peers",
+        "Elder peers",
+        "total losses",
+    ]);
+    let mut rows = Vec::new();
+    let mut series: Vec<Vec<(f64, f64)>> = vec![Vec::new(); AgeCategory::COUNT];
+    for (threshold, metrics) in &sweep {
+        let rates: Vec<Option<f64>> = AgeCategory::ALL
+            .iter()
+            .map(|&c| metrics.loss_rate_per_1000(c))
+            .collect();
+        let mut row: Vec<String> = std::iter::once(threshold.to_string())
+            .chain(rates.iter().map(|&r| fmt_rate(r)))
+            .collect();
+        row.push(metrics.total_losses().to_string());
+        table.row(row.clone());
+        rows.push(row);
+        for (i, &rate) in rates.iter().enumerate() {
+            series[i].push((*threshold as f64, rate.unwrap_or(0.0)));
+        }
+    }
+
+    println!("Figure 2: average archives lost per 1000 peers per round, by repair threshold\n");
+    println!("{}", table.render());
+
+    let mut chart = AsciiChart::new(
+        "Archives Lost by Threshold (cf. paper Figure 2)",
+        "repair threshold k'",
+        "losses per 1000 peers per round",
+    )
+    .size(64, 16)
+    .scale(Scale::Linear);
+    for (i, cat) in AgeCategory::ALL.iter().enumerate() {
+        chart = chart.series(Series::new(cat.name(), series[i].clone()));
+    }
+    println!("{}", chart.render());
+
+    let path = args.out_path("fig2_loss_by_threshold.tsv");
+    write_tsv(
+        &path,
+        &["threshold", "newcomers", "young", "old", "elder", "total"],
+        &rows,
+    )
+    .expect("write TSV");
+    println!("wrote {}", path.display());
+}

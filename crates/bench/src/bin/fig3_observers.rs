@@ -1,0 +1,87 @@
+//! **Figure 3** — "Total number of repairs done by observers."
+//!
+//! Runs the focus configuration (`k' = 148`) with the paper's five
+//! frozen-age observers (Elder 3 months, Senior 1 month, Adult 1 week,
+//! Teenager 1 day, Baby 1 hour) and plots each observer's cumulative
+//! repair count over time, log scale.
+//!
+//! Expected shape (paper §4.2.2): cumulative repairs order strictly by
+//! frozen age — the Baby repairs the most, Senior/Elder the least —
+//! because a peer's *negotiation age* controls the quality of the
+//! partner sets it can assemble.
+//!
+//! ```text
+//! cargo run --release -p peerback-bench --bin fig3_observers
+//! ```
+
+use peerback_analysis::{write_tsv, AsciiChart, Scale, Series, TableBuilder};
+use peerback_bench::HarnessArgs;
+use peerback_core::run_simulation;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    eprintln!(
+        "fig3: running {} peers x {} rounds with 5 observers ...",
+        args.peers, args.rounds
+    );
+    let cfg = args.base_config().with_paper_observers();
+    let metrics = run_simulation(cfg);
+
+    // Observer summary table (the paper's §4.2.2 observer ages + totals).
+    let mut table =
+        TableBuilder::new().header(["observer", "frozen age", "repairs", "losses"]);
+    for obs in &metrics.observers {
+        let age = match obs.frozen_age {
+            1 => "1 hour".to_string(),
+            24 => "1 day".to_string(),
+            168 => "1 week".to_string(),
+            720 => "1 month".to_string(),
+            2160 => "3 months".to_string(),
+            other => format!("{other} rounds"),
+        };
+        table.row([
+            obs.name.to_string(),
+            age,
+            obs.total_repairs.to_string(),
+            obs.losses.to_string(),
+        ]);
+    }
+    println!("Figure 3: cumulative repairs by observer (k' = 148)\n");
+    println!("{}", table.render());
+
+    // Cumulative series, plotted against days like the paper.
+    let mut chart = AsciiChart::new(
+        "Cumulative number of repairs for Observers (log scale, cf. paper Figure 3)",
+        "days",
+        "cumulative repairs",
+    )
+    .size(64, 18)
+    .scale(Scale::Log10);
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for obs in &metrics.observers {
+        let points: Vec<(f64, f64)> = obs
+            .points
+            .iter()
+            .map(|&(round, repairs)| (round as f64 / 24.0, repairs as f64))
+            .collect();
+        chart = chart.series(Series::new(obs.name, points));
+    }
+    // TSV: one row per sample with all observers as columns.
+    if let Some(first) = metrics.observers.first() {
+        for (i, &(round, _)) in first.points.iter().enumerate() {
+            let mut row = vec![format!("{:.1}", round as f64 / 24.0)];
+            for obs in &metrics.observers {
+                row.push(obs.points[i].1.to_string());
+            }
+            rows.push(row);
+        }
+    }
+    println!("{}", chart.render());
+
+    let header: Vec<&str> = std::iter::once("days")
+        .chain(metrics.observers.iter().map(|o| o.name))
+        .collect();
+    let path = args.out_path("fig3_observers.tsv");
+    write_tsv(&path, &header, &rows).expect("write TSV");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,90 @@
+//! **Figure 4** — "Evolution of the cumulative number of lost archives
+//! for the four categories of peers."
+//!
+//! Runs the focus threshold (`k' = 148`) and, because this simulator's
+//! loss onset lies at lower thresholds than the paper's (see
+//! EXPERIMENTS.md), also a stressed variant near the loss boundary
+//! (`k' = 133`) so the curve shapes are visible. Reports cumulative
+//! losses per average concurrent peer of each category over time.
+//!
+//! Expected shape (paper §4.2.2): losses fall almost entirely on
+//! Newcomers, with a start-up bump caused by the whole initial
+//! population sharing one age, then a much flatter steady-state slope.
+//!
+//! ```text
+//! cargo run --release -p peerback-bench --bin fig4_cumulative_loss
+//! ```
+
+use peerback_analysis::{write_tsv, AsciiChart, Scale, Series, TableBuilder};
+use peerback_bench::HarnessArgs;
+use peerback_core::{run_sweep_with_threads, AgeCategory, Metrics, SimConfig};
+
+fn report(metrics: &Metrics, threshold: u16, args: &HarnessArgs) {
+    println!(
+        "\nFigure 4 (k' = {threshold}): cumulative lost archives per peer, by category\n"
+    );
+    let mut table = TableBuilder::new().header([
+        "category",
+        "total losses",
+        "losses/peer (end of run)",
+    ]);
+    let last = metrics.samples.last().expect("at least one sample");
+    for cat in AgeCategory::ALL {
+        table.row([
+            cat.name().to_string(),
+            metrics.losses[cat.index()].to_string(),
+            format!("{:.4}", metrics.cumulative_loss_per_peer(last, cat)),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let mut chart = AsciiChart::new(
+        format!("Cumulative number of lost archives (k' = {threshold}, cf. paper Figure 4)"),
+        "days",
+        "cumulative losses per peer",
+    )
+    .size(64, 16)
+    .scale(Scale::Linear);
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut series: Vec<Vec<(f64, f64)>> = vec![Vec::new(); AgeCategory::COUNT];
+    for sample in &metrics.samples {
+        let days = sample.round as f64 / 24.0;
+        let mut row = vec![format!("{days:.1}")];
+        for cat in AgeCategory::ALL {
+            let v = metrics.cumulative_loss_per_peer(sample, cat);
+            series[cat.index()].push((days, v));
+            row.push(format!("{v:.6}"));
+        }
+        rows.push(row);
+    }
+    for (i, cat) in AgeCategory::ALL.iter().enumerate() {
+        chart = chart.series(Series::new(cat.name(), series[i].clone()));
+    }
+    println!("{}", chart.render());
+
+    let path = args.out_path(&format!("fig4_cumulative_loss_k{threshold}.tsv"));
+    write_tsv(
+        &path,
+        &["days", "newcomers", "young", "old", "elder"],
+        &rows,
+    )
+    .expect("write TSV");
+    println!("wrote {}", path.display());
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let thresholds: [u16; 2] = [148, 133];
+    eprintln!(
+        "fig4: running k'=148 (focus) and k'=133 (loss-stressed) at {} peers x {} rounds ...",
+        args.peers, args.rounds
+    );
+    let configs: Vec<SimConfig> = thresholds
+        .iter()
+        .map(|&t| args.base_config().with_threshold(t))
+        .collect();
+    let results = run_sweep_with_threads(configs, args.thread_count());
+    for (&threshold, metrics) in thresholds.iter().zip(&results) {
+        report(metrics, threshold, &args);
+    }
+}

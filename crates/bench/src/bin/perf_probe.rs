@@ -1,0 +1,55 @@
+//! Internal throughput probe: how fast does one simulation run?
+//!
+//! Not a paper artefact — used to pick harness scale defaults and to
+//! catch performance regressions by hand:
+//!
+//! ```text
+//! cargo run --release -p peerback-bench --bin perf_probe -- --smoke
+//! ```
+
+use std::time::Instant;
+
+use peerback_bench::HarnessArgs;
+use peerback_core::run_simulation;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let cfg = args.base_config().with_paper_observers();
+    println!(
+        "running {} peers x {} rounds (seed {}) ...",
+        args.peers, args.rounds, args.seed
+    );
+    let start = Instant::now();
+    let metrics = run_simulation(cfg);
+    let elapsed = start.elapsed();
+    println!(
+        "done in {:.2}s  ({:.0} peer-rounds/s)",
+        elapsed.as_secs_f64(),
+        (args.peers as f64 * args.rounds as f64) / elapsed.as_secs_f64()
+    );
+    println!(
+        "repairs={:?} losses={:?} departures={} toggles={} joins={} timeouts={} shortfalls={}",
+        metrics.repairs,
+        metrics.losses,
+        metrics.diag.departures,
+        metrics.diag.session_toggles,
+        metrics.diag.joins_completed,
+        metrics.diag.partner_timeouts,
+        metrics.diag.pool_shortfalls,
+    );
+    println!("peer_rounds={:?}", metrics.peer_rounds);
+    for cat in peerback_core::AgeCategory::ALL {
+        println!(
+            "  {:<12} repair_rate/1000 = {:>10}   loss_rate/1000 = {:>10}",
+            cat.name(),
+            peerback_bench::fmt_rate(metrics.repair_rate_per_1000(cat)),
+            peerback_bench::fmt_rate(metrics.loss_rate_per_1000(cat)),
+        );
+    }
+    for obs in &metrics.observers {
+        println!(
+            "  observer {:<9} (age {:>5}h): {} repairs, {} losses",
+            obs.name, obs.frozen_age, obs.total_repairs, obs.losses
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! **Tables T1, T4, T5** — the paper's parameter tables: the backup
+//! system parameters (§2.2.4), the age categories (§4.2.1), and the
+//! observer set (§4.2.2), as realised by this implementation's defaults.
+//!
+//! ```text
+//! cargo run --release -p peerback-bench --bin table_params
+//! ```
+
+use peerback_analysis::TableBuilder;
+use peerback_core::{AgeCategory, ObserverSpec, SimConfig};
+use peerback_net::ArchiveGeometry;
+
+fn main() {
+    let cfg = SimConfig::paper_full_scale(0);
+    let geometry = ArchiveGeometry::paper_default();
+
+    println!("T1: backup system parameters (paper §2.2.4 / §4.1)\n");
+    let mut t = TableBuilder::new().header(["parameter", "value"]);
+    t.row(["Archive Size", "128 MB"]);
+    t.row(["k (initial blocks)", &cfg.k.to_string()]);
+    t.row(["m (added blocks)", &cfg.m.to_string()]);
+    t.row(["n = k + m", &cfg.n_blocks().to_string()]);
+    t.row(["block size", &format!("{:.0} MB", geometry.block_bytes() / (1024.0 * 1024.0))]);
+    t.row(["storage expansion", &format!("{:.1}x", geometry.expansion())]);
+    t.row(["quota (blocks hosted)", &cfg.quota.to_string()]);
+    t.row(["repair threshold k' (focus)", "148"]);
+    t.row(["threshold sweep", "132 - 180"]);
+    t.row(["population", &cfg.n_peers.to_string()]);
+    t.row(["rounds (1 round = 1 hour)", &cfg.rounds.to_string()]);
+    t.row(["acceptance clamp L", "90 days (2160 rounds)"]);
+    t.row(["offline write-off timeout", &format!("{} rounds", cfg.offline_timeout)]);
+    println!("{}", t.render());
+
+    println!("T4: age categories (paper §4.2.1)\n");
+    let mut t = TableBuilder::new().header(["category", "age"]);
+    t.row(["Elder peers", "> 18 months"]);
+    t.row(["Old peers", "6 - 18 months"]);
+    t.row(["Young peers", "3 - 6 months"]);
+    t.row(["Newcomers", "< 3 months"]);
+    println!("{}", t.render());
+
+    println!("category boundaries in rounds: {:?}\n", AgeCategory::BOUNDARIES);
+
+    println!("T5: observers (paper §4.2.2)\n");
+    let mut t = TableBuilder::new().header(["observer", "age", "rounds"]);
+    for obs in ObserverSpec::paper_set() {
+        let age = match obs.frozen_age {
+            1 => "1 hour",
+            24 => "1 day",
+            168 => "1 week",
+            720 => "1 month",
+            2160 => "3 months = the age limit",
+            _ => "?",
+        };
+        t.row([obs.name, age, &obs.frozen_age.to_string()]);
+    }
+    println!("{}", t.render());
+}

@@ -1,0 +1,94 @@
+//! **Table T2** — the §2.2.4 repair-cost analysis.
+//!
+//! Reproduces every number in the paper's feasibility argument:
+//!
+//! * `Δdownload > 512 s` (128 blocks at 256 kB/s),
+//! * `Δupload > d x 32 s` (1 MB blocks at 32 kB/s),
+//! * the 77-minute worst-case repair (`d = 128`),
+//! * "no more than 20 repair operations … per day",
+//! * "with 32 archives (4 GB), the repair rate should be less than one
+//!   per month approximatively",
+//!
+//! and extends the table to the modern-DSL (4x) and FTTH links the paper
+//! mentions.
+//!
+//! ```text
+//! cargo run --release -p peerback-bench --bin table_repair_cost
+//! ```
+
+use peerback_analysis::TableBuilder;
+use peerback_net::{ArchiveGeometry, LinkModel, RepairCostModel};
+
+fn main() {
+    let geometry = ArchiveGeometry::paper_default();
+    let links = [LinkModel::DSL_2009, LinkModel::DSL_MODERN, LinkModel::FTTH];
+
+    println!("T2a: repair cost by regenerated blocks d (archive 128 MB, k = 128)\n");
+    let mut t = TableBuilder::new().header([
+        "link",
+        "d",
+        "download (s)",
+        "upload (s)",
+        "total",
+        "minutes",
+    ]);
+    for link in links {
+        let model = RepairCostModel::new(link, geometry);
+        for d in [1usize, 16, 64, 128] {
+            let c = model.repair_cost(d);
+            t.row([
+                link.name.to_string(),
+                d.to_string(),
+                format!("{:.0}", c.download_secs),
+                format!("{:.0}", c.upload_secs),
+                format!("{:.0} s", c.total_secs),
+                format!("{:.1}", c.total_secs / 60.0),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+
+    println!("T2b: feasibility (worst-case repairs, d = m = 128)\n");
+    let mut t = TableBuilder::new().header([
+        "link",
+        "max repairs/day (link saturated)",
+        "initial backup (h)",
+        "restore (min)",
+    ]);
+    for link in links {
+        let model = RepairCostModel::new(link, geometry);
+        t.row([
+            link.to_string(),
+            format!("{:.1}", model.max_repairs_per_day()),
+            format!("{:.1}", model.initial_backup_cost().total_secs / 3600.0),
+            format!("{:.1}", model.restore_cost().total_secs / 60.0),
+        ]);
+    }
+    println!("{}", t.render());
+
+    // The paper's 32-archive example.
+    let model = RepairCostModel::new(LinkModel::DSL_2009, geometry);
+    let report = model.feasibility(32, 77.0 * 60.0 / 86_400.0);
+    println!(
+        "paper example: 32 archives (4 GB) on 2009 DSL, one worst-case repair per day budget:"
+    );
+    println!(
+        "  sustainable repairs/day/archive = {:.4}  (one repair per {:.1} days per archive)",
+        report.repairs_per_day_per_archive,
+        1.0 / report.repairs_per_day_per_archive
+    );
+    println!(
+        "  => the repair rate must stay below ~one per month, as the paper concludes.\n"
+    );
+
+    // Cross-check the headline numbers programmatically.
+    let worst = model.repair_cost(128);
+    assert!((worst.download_secs - 512.0).abs() < 1e-6, "Δdownload must be 512 s");
+    assert!((worst.upload_secs - 4096.0).abs() < 1e-6, "Δupload must be 4096 s");
+    assert!(
+        (76.0..78.0).contains(&(worst.total_secs / 60.0)),
+        "worst case must be ~77 minutes"
+    );
+    assert!(model.max_repairs_per_day() < 20.0);
+    println!("all §2.2.4 headline numbers verified.");
+}

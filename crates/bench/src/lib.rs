@@ -1,0 +1,243 @@
+//! Shared harness code for the figure/table regeneration binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! paper (see DESIGN.md §3 for the index). They share:
+//!
+//! * [`HarnessArgs`] — the common command line (`--paper-scale`,
+//!   `--peers`, `--rounds`, `--seed`, `--out-dir`, `--threads`);
+//! * [`Scale`] — the population/duration presets;
+//! * [`results_dir`] — where TSVs land (`results/` by default).
+
+use std::path::PathBuf;
+
+use peerback_core::SimConfig;
+
+/// Experiment scale presets.
+///
+/// All reported metrics are normalised (per 1000 peers, per round), so
+/// the *shape* of every figure is scale-invariant; the paper scale
+/// mainly shrinks error bars. See `tests/scale_invariance.rs`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// 2,000 peers, 6,000 rounds. Seconds per run — CI-friendly, but too
+    /// short for Elder peers to exist (they need 18 simulated months).
+    Smoke,
+    /// 8,000 peers, 25,000 rounds (~2.9 years). The default: the
+    /// smallest population whose under-90-day cohort can still supply
+    /// `n = 256` distinct partners to the youngest owners.
+    Default,
+    /// The paper's 25,000 peers and 50,000 rounds (~5.7 years).
+    Paper,
+}
+
+impl Scale {
+    /// Population for this scale.
+    pub fn peers(self) -> usize {
+        match self {
+            Scale::Smoke => 2_000,
+            Scale::Default => 8_000,
+            Scale::Paper => 25_000,
+        }
+    }
+
+    /// Rounds for this scale.
+    pub fn rounds(self) -> u64 {
+        match self {
+            Scale::Smoke => 6_000,
+            Scale::Default => 25_000,
+            Scale::Paper => 50_000,
+        }
+    }
+}
+
+/// Parsed command-line arguments shared by all harness binaries.
+#[derive(Debug, Clone)]
+pub struct HarnessArgs {
+    /// Population (overrides the scale preset when set).
+    pub peers: usize,
+    /// Rounds (overrides the scale preset when set).
+    pub rounds: u64,
+    /// Master seed.
+    pub seed: u64,
+    /// Output directory for TSVs.
+    pub out_dir: PathBuf,
+    /// Worker threads for sweeps (0 = all cores).
+    pub threads: usize,
+}
+
+impl HarnessArgs {
+    /// Parses `std::env::args`. Unknown flags abort with usage help.
+    pub fn parse() -> Self {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parses from an explicit iterator (testable).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments.
+    pub fn parse_from(args: impl IntoIterator<Item = String>) -> Self {
+        let mut scale = Scale::Default;
+        let mut peers = None;
+        let mut rounds = None;
+        let mut seed = 42;
+        let mut out_dir = PathBuf::from("results");
+        let mut threads = 0;
+
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            let mut value_for = |name: &str| {
+                iter.next()
+                    .unwrap_or_else(|| panic!("flag {name} needs a value\n{USAGE}"))
+            };
+            match arg.as_str() {
+                "--smoke" => scale = Scale::Smoke,
+                "--paper-scale" => scale = Scale::Paper,
+                "--peers" => peers = Some(parse_num(&value_for("--peers"), "--peers")),
+                "--rounds" => rounds = Some(parse_num(&value_for("--rounds"), "--rounds")),
+                "--seed" => seed = parse_num(&value_for("--seed"), "--seed"),
+                "--out-dir" => out_dir = PathBuf::from(value_for("--out-dir")),
+                "--threads" => threads = parse_num(&value_for("--threads"), "--threads") as usize,
+                "--help" | "-h" => {
+                    println!("{USAGE}");
+                    std::process::exit(0);
+                }
+                other => panic!("unknown flag {other:?}\n{USAGE}"),
+            }
+        }
+        HarnessArgs {
+            peers: peers.unwrap_or(scale.peers() as u64) as usize,
+            rounds: rounds.unwrap_or(scale.rounds()),
+            seed,
+            out_dir,
+            threads,
+        }
+    }
+
+    /// Base paper configuration at this scale.
+    pub fn base_config(&self) -> SimConfig {
+        SimConfig::paper(self.peers, self.rounds, self.seed)
+    }
+
+    /// Resolved worker-thread count.
+    pub fn thread_count(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.threads
+        }
+    }
+
+    /// Creates the output directory and returns the path for `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the directory cannot be created.
+    pub fn out_path(&self, name: &str) -> PathBuf {
+        std::fs::create_dir_all(&self.out_dir).expect("create output directory");
+        self.out_dir.join(name)
+    }
+}
+
+fn parse_num(s: &str, flag: &str) -> u64 {
+    s.replace('_', "")
+        .parse()
+        .unwrap_or_else(|_| panic!("flag {flag} expects a number, got {s:?}\n{USAGE}"))
+}
+
+const USAGE: &str = "\
+usage: <binary> [options]
+  --smoke           800 peers, 8k rounds (fast sanity check)
+  --paper-scale     25,000 peers, 50,000 rounds (the paper's §4.1 scale)
+  --peers N         population override
+  --rounds N        duration override
+  --seed N          master seed (default 42)
+  --out-dir DIR     where TSV output lands (default: results/)
+  --threads N       sweep workers (default: all cores)";
+
+/// Formats a float with sensible precision for tables.
+pub fn fmt_rate(v: Option<f64>) -> String {
+    match v {
+        Some(v) if v > 0.0 && v < 0.001 => format!("{v:.2e}"),
+        Some(v) => format!("{v:.4}"),
+        None => "n/a".to_string(),
+    }
+}
+
+/// The thresholds of the paper's §4.2.1 sweep: 132 to 180.
+pub const PAPER_THRESHOLDS: [u16; 13] = [
+    132, 136, 140, 144, 148, 152, 156, 160, 164, 168, 172, 176, 180,
+];
+
+/// Runs the Figure 1/2 threshold sweep: one simulation per threshold,
+/// identical parameters otherwise (paper §4.2.1). Returns
+/// `(threshold, metrics)` pairs in threshold order.
+pub fn threshold_sweep(args: &HarnessArgs) -> Vec<(u16, peerback_core::Metrics)> {
+    let configs: Vec<SimConfig> = PAPER_THRESHOLDS
+        .iter()
+        .map(|&t| args.base_config().with_threshold(t))
+        .collect();
+    let results = peerback_core::run_sweep_with_threads(configs, args.thread_count());
+    PAPER_THRESHOLDS.iter().copied().zip(results).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> HarnessArgs {
+        HarnessArgs::parse_from(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_are_the_default_scale() {
+        let a = parse(&[]);
+        assert_eq!(a.peers, 8_000);
+        assert_eq!(a.rounds, 25_000);
+        assert_eq!(a.seed, 42);
+        assert_eq!(a.out_dir, PathBuf::from("results"));
+    }
+
+    #[test]
+    fn paper_scale_flag() {
+        let a = parse(&["--paper-scale"]);
+        assert_eq!(a.peers, 25_000);
+        assert_eq!(a.rounds, 50_000);
+    }
+
+    #[test]
+    fn explicit_overrides_win() {
+        let a = parse(&["--paper-scale", "--peers", "1000", "--rounds", "5_000", "--seed", "7"]);
+        assert_eq!(a.peers, 1000);
+        assert_eq!(a.rounds, 5000);
+        assert_eq!(a.seed, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn unknown_flag_panics() {
+        let _ = parse(&["--frobnicate"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects a number")]
+    fn bad_number_panics() {
+        let _ = parse(&["--peers", "many"]);
+    }
+
+    #[test]
+    fn rate_formatting() {
+        assert_eq!(fmt_rate(None), "n/a");
+        assert_eq!(fmt_rate(Some(1.5)), "1.5000");
+        assert_eq!(fmt_rate(Some(0.0005)), "5.00e-4");
+        assert_eq!(fmt_rate(Some(0.0)), "0.0000");
+    }
+
+    #[test]
+    fn base_config_is_valid() {
+        let a = parse(&["--smoke"]);
+        assert!(a.base_config().validate().is_ok());
+    }
+}

@@ -1,0 +1,240 @@
+//! Lifetime estimators: scoring peers by expected remaining lifetime.
+//!
+//! The paper's second contribution is the **age criterion**: "the longer a
+//! node has been in the system, the more stable it will be considered"
+//! (§3.2). [`AgeRank`] is exactly that rule, including the clamp at
+//! `L = 90` days ("peers which have been in the system for longer times
+//! are not much different"). [`ParetoConditional`] is the probabilistic
+//! justification — under the measured Pareto lifetime law, expected
+//! remaining lifetime is an increasing (linear) function of age, so the
+//! two estimators are order-equivalent where the clamp does not bind.
+
+use crate::dist::Pareto;
+
+/// Observable facts about a peer that estimators may use.
+///
+/// Profiles are hidden (paper §4.1.1: "a peer cannot know to which
+/// profile an other peer belongs"), so only the membership age and,
+/// optionally, monitored uptime are available.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PeerObservation {
+    /// Rounds since the peer first connected to the system.
+    pub age_rounds: f64,
+    /// Fraction of time seen online over the monitoring window, if an
+    /// availability-monitoring protocol (paper §2.1, refs [14, 17]) is
+    /// deployed.
+    pub uptime_fraction: Option<f64>,
+}
+
+impl PeerObservation {
+    /// Observation with only an age (no monitoring data).
+    pub fn from_age(age_rounds: f64) -> Self {
+        PeerObservation {
+            age_rounds,
+            uptime_fraction: None,
+        }
+    }
+}
+
+/// Scores peers: a higher score predicts a longer remaining lifetime.
+pub trait LifetimeEstimator {
+    /// Stability score for the observed peer. Only the *order* of scores
+    /// matters to partner selection.
+    fn score(&self, obs: &PeerObservation) -> f64;
+
+    /// Estimator name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// The paper's criterion: score = age, clamped at `L`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AgeRank {
+    /// Clamp `L` in rounds; ages above it are treated as equal.
+    pub clamp_rounds: f64,
+}
+
+impl AgeRank {
+    /// Creates an age-rank estimator with the paper's default clamp of
+    /// 90 days (2160 rounds).
+    pub fn paper_default() -> Self {
+        AgeRank {
+            clamp_rounds: (90 * 24) as f64,
+        }
+    }
+
+    /// Creates an age-rank estimator with a custom clamp.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the clamp is positive.
+    pub fn with_clamp(clamp_rounds: f64) -> Self {
+        assert!(clamp_rounds > 0.0, "clamp must be positive");
+        AgeRank { clamp_rounds }
+    }
+}
+
+impl LifetimeEstimator for AgeRank {
+    fn score(&self, obs: &PeerObservation) -> f64 {
+        obs.age_rounds.clamp(0.0, self.clamp_rounds)
+    }
+
+    fn name(&self) -> &'static str {
+        "age-rank"
+    }
+}
+
+/// Mean-residual-life under a fitted Pareto lifetime law:
+/// `E[X - t | X > t] = t / (alpha - 1)` for age `t >= x_min`.
+///
+/// Because the score is a strictly increasing function of age, this ranks
+/// identically to unclamped [`AgeRank`]; it exists to make the *magnitude*
+/// of the prediction available (e.g. for proactive-repair budgeting) and
+/// to document why age ranking is principled.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParetoConditional {
+    law: Pareto,
+}
+
+impl ParetoConditional {
+    /// Wraps a fitted Pareto law.
+    pub fn new(law: Pareto) -> Self {
+        ParetoConditional { law }
+    }
+
+    /// The underlying law.
+    pub fn law(&self) -> &Pareto {
+        &self.law
+    }
+}
+
+impl LifetimeEstimator for ParetoConditional {
+    fn score(&self, obs: &PeerObservation) -> f64 {
+        // For alpha <= 1 the conditional mean diverges; fall back to raw
+        // age, which preserves the ordering.
+        self.law
+            .mean_residual_life(obs.age_rounds)
+            .unwrap_or(obs.age_rounds)
+    }
+
+    fn name(&self) -> &'static str {
+        "pareto-conditional"
+    }
+}
+
+/// Combines monitored uptime with age: `score = uptime * min(age, clamp)`.
+///
+/// An extension beyond the paper (which assumes monitoring exists but
+/// selects on age alone): peers that are both old *and* reliably online
+/// outrank peers that are merely old. With no monitoring data the
+/// estimator degrades to [`AgeRank`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EmpiricalUptime {
+    /// Age clamp, as in [`AgeRank`].
+    pub clamp_rounds: f64,
+}
+
+impl EmpiricalUptime {
+    /// Creates the estimator with the paper's 90-day clamp.
+    pub fn paper_default() -> Self {
+        EmpiricalUptime {
+            clamp_rounds: (90 * 24) as f64,
+        }
+    }
+}
+
+impl LifetimeEstimator for EmpiricalUptime {
+    fn score(&self, obs: &PeerObservation) -> f64 {
+        let age = obs.age_rounds.clamp(0.0, self.clamp_rounds);
+        match obs.uptime_fraction {
+            Some(u) => u.clamp(0.0, 1.0) * age,
+            None => age,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "empirical-uptime"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn age_rank_is_monotone_then_flat() {
+        let e = AgeRank::paper_default();
+        let young = e.score(&PeerObservation::from_age(24.0));
+        let older = e.score(&PeerObservation::from_age(240.0));
+        assert!(older > young);
+        // Clamp at 90 days = 2160 rounds.
+        let at_clamp = e.score(&PeerObservation::from_age(2160.0));
+        let beyond = e.score(&PeerObservation::from_age(100_000.0));
+        assert_eq!(at_clamp, beyond);
+        assert_eq!(at_clamp, 2160.0);
+    }
+
+    #[test]
+    fn age_rank_handles_negative_age_defensively() {
+        let e = AgeRank::paper_default();
+        assert_eq!(e.score(&PeerObservation::from_age(-5.0)), 0.0);
+    }
+
+    #[test]
+    fn pareto_conditional_orders_like_age() {
+        let e = ParetoConditional::new(Pareto::new(24.0, 1.8));
+        let mut last = -1.0;
+        // Strictly increasing from x_min upward.
+        for age in [24.0, 240.0, 2400.0, 24_000.0] {
+            let s = e.score(&PeerObservation::from_age(age));
+            assert!(s > last, "score must strictly increase, age={age}");
+            last = s;
+        }
+        // Ages below x_min clamp to the x_min score (a tie, not a drop).
+        let below = e.score(&PeerObservation::from_age(1.0));
+        let at_min = e.score(&PeerObservation::from_age(24.0));
+        assert_eq!(below, at_min);
+    }
+
+    #[test]
+    fn pareto_conditional_falls_back_for_heavy_tails() {
+        let e = ParetoConditional::new(Pareto::new(24.0, 0.9));
+        assert_eq!(e.score(&PeerObservation::from_age(500.0)), 500.0);
+    }
+
+    #[test]
+    fn empirical_uptime_prefers_available_peers_of_equal_age() {
+        let e = EmpiricalUptime::paper_default();
+        let reliable = PeerObservation {
+            age_rounds: 1000.0,
+            uptime_fraction: Some(0.95),
+        };
+        let flaky = PeerObservation {
+            age_rounds: 1000.0,
+            uptime_fraction: Some(0.30),
+        };
+        assert!(e.score(&reliable) > e.score(&flaky));
+    }
+
+    #[test]
+    fn empirical_uptime_without_data_matches_age_rank() {
+        let e = EmpiricalUptime::paper_default();
+        let a = AgeRank::paper_default();
+        for age in [0.0, 100.0, 2160.0, 9999.0] {
+            let obs = PeerObservation::from_age(age);
+            assert_eq!(e.score(&obs), a.score(&obs));
+        }
+    }
+
+    #[test]
+    fn estimator_names_are_distinct() {
+        let names = [
+            AgeRank::paper_default().name(),
+            ParetoConditional::new(Pareto::new(1.0, 2.0)).name(),
+            EmpiricalUptime::paper_default().name(),
+        ];
+        assert_eq!(
+            names.iter().collect::<std::collections::HashSet<_>>().len(),
+            3
+        );
+    }
+}

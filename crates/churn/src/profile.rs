@@ -1,0 +1,387 @@
+//! Peer behaviour profiles — the paper's §4.1.1 table.
+//!
+//! A profile fixes two properties for a peer's whole life: its **life
+//! expectancy** (how many rounds it stays in the system) and its
+//! **availability** (long-run fraction of time online). Profiles are
+//! assigned at birth, never change, and are invisible to other peers —
+//! partner selection may only use observable signals such as age.
+
+use rand::Rng;
+
+use crate::dist::{Exponential, LifetimeDist, Pareto, UniformRange};
+
+/// Time-unit constants: one simulation round is one hour (paper §3.1).
+pub mod time {
+    /// Rounds per hour (the base unit).
+    pub const HOUR: u64 = 1;
+    /// Rounds per day.
+    pub const DAY: u64 = 24;
+    /// Rounds per week.
+    pub const WEEK: u64 = 7 * DAY;
+    /// Rounds per month (30 days).
+    pub const MONTH: u64 = 30 * DAY;
+    /// Rounds per year (365 days).
+    pub const YEAR: u64 = 365 * DAY;
+}
+
+/// Index of a profile within a [`ProfileMix`].
+pub type ProfileId = usize;
+
+/// How a profile draws peer lifetimes, in rounds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LifetimeSpec {
+    /// The peer never departs (the paper's "Durable: unlimited").
+    Unlimited,
+    /// Uniform over `[low, high)` rounds — how the paper states ranges
+    /// such as "1.5 – 3.5 years".
+    Uniform {
+        /// Lower bound (inclusive), rounds.
+        low: u64,
+        /// Upper bound (exclusive), rounds.
+        high: u64,
+    },
+    /// Pareto with scale `x_min` (rounds) and shape `alpha` — the
+    /// measured heavy-tailed law, available for sensitivity studies.
+    Pareto {
+        /// Scale (minimum lifetime), rounds.
+        x_min: f64,
+        /// Shape parameter.
+        alpha: f64,
+    },
+    /// Exponential with the given mean (rounds) — memoryless control.
+    Exponential {
+        /// Mean lifetime, rounds.
+        mean: f64,
+    },
+    /// Deterministic lifetime, rounds.
+    Fixed(u64),
+}
+
+impl LifetimeSpec {
+    /// Draws a lifetime; `None` means the peer never departs.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<u64> {
+        match *self {
+            LifetimeSpec::Unlimited => None,
+            LifetimeSpec::Uniform { low, high } => {
+                let d = UniformRange::new(low as f64, high as f64);
+                Some(d.sample(rng).round().max(1.0) as u64)
+            }
+            LifetimeSpec::Pareto { x_min, alpha } => {
+                let d = Pareto::new(x_min, alpha);
+                Some(d.sample(rng).round().max(1.0) as u64)
+            }
+            LifetimeSpec::Exponential { mean } => {
+                let d = Exponential::new(mean);
+                Some(d.sample(rng).round().max(1.0) as u64)
+            }
+            LifetimeSpec::Fixed(v) => Some(v.max(1)),
+        }
+    }
+
+    /// Mean lifetime in rounds; `None` for unlimited.
+    pub fn mean(&self) -> Option<f64> {
+        match *self {
+            LifetimeSpec::Unlimited => None,
+            LifetimeSpec::Uniform { low, high } => Some((low + high) as f64 / 2.0),
+            LifetimeSpec::Pareto { x_min, alpha } => Pareto::new(x_min, alpha).mean(),
+            LifetimeSpec::Exponential { mean } => Some(mean),
+            LifetimeSpec::Fixed(v) => Some(v as f64),
+        }
+    }
+}
+
+/// A class of peers sharing the same behaviour (paper §3.3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Profile {
+    /// Human-readable name ("Durable", "Erratic", …).
+    pub name: &'static str,
+    /// Lifetime law.
+    pub lifetime: LifetimeSpec,
+    /// Long-run fraction of time online, in `[0, 1]`.
+    pub availability: f64,
+}
+
+impl Profile {
+    /// Creates a profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `availability` is outside `[0, 1]`.
+    pub fn new(name: &'static str, lifetime: LifetimeSpec, availability: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&availability),
+            "availability must be in [0, 1], got {availability}"
+        );
+        Profile {
+            name,
+            lifetime,
+            availability,
+        }
+    }
+}
+
+/// A weighted set of profiles peers are drawn from at birth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileMix {
+    profiles: Vec<Profile>,
+    /// Cumulative weights, normalised so the last entry is 1.0.
+    cumulative: Vec<f64>,
+}
+
+impl ProfileMix {
+    /// Builds a mix from `(profile, weight)` pairs. Weights are
+    /// normalised; they need not sum to one.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty list or non-positive total weight.
+    pub fn new(entries: Vec<(Profile, f64)>) -> Self {
+        assert!(!entries.is_empty(), "profile mix may not be empty");
+        let total: f64 = entries.iter().map(|(_, w)| w).sum();
+        assert!(total > 0.0, "profile weights must sum to a positive value");
+        let mut cumulative = Vec::with_capacity(entries.len());
+        let mut acc = 0.0;
+        let mut profiles = Vec::with_capacity(entries.len());
+        for (p, w) in entries {
+            assert!(w >= 0.0, "profile weight must be non-negative");
+            acc += w / total;
+            cumulative.push(acc);
+            profiles.push(p);
+        }
+        // Guard against floating-point drift.
+        *cumulative.last_mut().unwrap() = 1.0;
+        ProfileMix {
+            profiles,
+            cumulative,
+        }
+    }
+
+    /// Number of profiles in the mix.
+    pub fn len(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// True if the mix holds no profiles (never: construction forbids it).
+    pub fn is_empty(&self) -> bool {
+        self.profiles.is_empty()
+    }
+
+    /// The profile with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn profile(&self, id: ProfileId) -> &Profile {
+        &self.profiles[id]
+    }
+
+    /// All profiles, in id order.
+    pub fn profiles(&self) -> &[Profile] {
+        &self.profiles
+    }
+
+    /// Normalised weight of a profile.
+    pub fn weight(&self, id: ProfileId) -> f64 {
+        let prev = if id == 0 { 0.0 } else { self.cumulative[id - 1] };
+        self.cumulative[id] - prev
+    }
+
+    /// Draws a profile id according to the weights.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> ProfileId {
+        let u: f64 = rng.gen();
+        // Binary search over the cumulative weights (partition_point
+        // returns the first index whose cumulative weight exceeds u).
+        self.cumulative
+            .partition_point(|&c| c <= u)
+            .min(self.profiles.len() - 1)
+    }
+
+    /// Population-mean availability, weighted by profile proportions.
+    pub fn mean_availability(&self) -> f64 {
+        self.profiles
+            .iter()
+            .enumerate()
+            .map(|(i, p)| self.weight(i) * p.availability)
+            .sum()
+    }
+}
+
+/// The exact profile mix from §4.1.1 of the paper:
+///
+/// | Profile  | Proportion | Life expectancy | Availability |
+/// |----------|-----------:|-----------------|-------------:|
+/// | Durable  | 10%        | unlimited       | 95%          |
+/// | Stable   | 25%        | 1.5 – 3.5 years | 87%          |
+/// | Unstable | 30%        | 3 – 18 months   | 75%          |
+/// | Erratic  | 35%        | 1 – 3 months    | 33%          |
+pub fn paper_profiles() -> ProfileMix {
+    use time::{MONTH, YEAR};
+    ProfileMix::new(vec![
+        (
+            Profile::new("Durable", LifetimeSpec::Unlimited, 0.95),
+            0.10,
+        ),
+        (
+            Profile::new(
+                "Stable",
+                LifetimeSpec::Uniform {
+                    low: YEAR + YEAR / 2,
+                    high: 3 * YEAR + YEAR / 2,
+                },
+                0.87,
+            ),
+            0.25,
+        ),
+        (
+            Profile::new(
+                "Unstable",
+                LifetimeSpec::Uniform {
+                    low: 3 * MONTH,
+                    high: 18 * MONTH,
+                },
+                0.75,
+            ),
+            0.30,
+        ),
+        (
+            Profile::new(
+                "Erratic",
+                LifetimeSpec::Uniform {
+                    low: MONTH,
+                    high: 3 * MONTH,
+                },
+                0.33,
+            ),
+            0.35,
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_mix_matches_the_published_table() {
+        let mix = paper_profiles();
+        assert_eq!(mix.len(), 4);
+        let names: Vec<&str> = mix.profiles().iter().map(|p| p.name).collect();
+        assert_eq!(names, ["Durable", "Stable", "Unstable", "Erratic"]);
+
+        assert!((mix.weight(0) - 0.10).abs() < 1e-12);
+        assert!((mix.weight(1) - 0.25).abs() < 1e-12);
+        assert!((mix.weight(2) - 0.30).abs() < 1e-12);
+        assert!((mix.weight(3) - 0.35).abs() < 1e-12);
+
+        assert_eq!(mix.profile(0).availability, 0.95);
+        assert_eq!(mix.profile(1).availability, 0.87);
+        assert_eq!(mix.profile(2).availability, 0.75);
+        assert_eq!(mix.profile(3).availability, 0.33);
+
+        assert_eq!(mix.profile(0).lifetime, LifetimeSpec::Unlimited);
+        assert_eq!(
+            mix.profile(3).lifetime,
+            LifetimeSpec::Uniform {
+                low: time::MONTH,
+                high: 3 * time::MONTH
+            }
+        );
+    }
+
+    #[test]
+    fn sampling_respects_proportions() {
+        let mix = paper_profiles();
+        let mut rng = SmallRng::seed_from_u64(99);
+        let mut counts = [0usize; 4];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[mix.sample(&mut rng)] += 1;
+        }
+        let expected = [0.10, 0.25, 0.30, 0.35];
+        for (i, &c) in counts.iter().enumerate() {
+            let frac = c as f64 / n as f64;
+            assert!(
+                (frac - expected[i]).abs() < 0.01,
+                "profile {i}: {frac} vs {}",
+                expected[i]
+            );
+        }
+    }
+
+    #[test]
+    fn lifetime_samples_respect_ranges() {
+        let mix = paper_profiles();
+        let mut rng = SmallRng::seed_from_u64(5);
+        // Durable never dies.
+        assert_eq!(mix.profile(0).lifetime.sample(&mut rng), None);
+        // Erratic lives 1-3 months.
+        for _ in 0..10_000 {
+            let l = mix.profile(3).lifetime.sample(&mut rng).unwrap();
+            assert!(
+                (time::MONTH..=3 * time::MONTH).contains(&l),
+                "erratic lifetime {l}"
+            );
+        }
+    }
+
+    #[test]
+    fn lifetime_spec_means() {
+        assert_eq!(LifetimeSpec::Unlimited.mean(), None);
+        assert_eq!(
+            LifetimeSpec::Uniform { low: 10, high: 30 }.mean(),
+            Some(20.0)
+        );
+        assert_eq!(LifetimeSpec::Fixed(7).mean(), Some(7.0));
+        assert_eq!(LifetimeSpec::Exponential { mean: 5.0 }.mean(), Some(5.0));
+        let p = LifetimeSpec::Pareto {
+            x_min: 10.0,
+            alpha: 2.0,
+        };
+        assert_eq!(p.mean(), Some(20.0));
+    }
+
+    #[test]
+    fn fixed_and_dist_lifetimes_are_at_least_one_round() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert_eq!(LifetimeSpec::Fixed(0).sample(&mut rng), Some(1));
+    }
+
+    #[test]
+    fn mean_availability_is_weighted() {
+        let mix = paper_profiles();
+        let expect = 0.10 * 0.95 + 0.25 * 0.87 + 0.30 * 0.75 + 0.35 * 0.33;
+        assert!((mix.mean_availability() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn custom_mix_normalises_weights() {
+        let mix = ProfileMix::new(vec![
+            (Profile::new("a", LifetimeSpec::Fixed(1), 0.5), 2.0),
+            (Profile::new("b", LifetimeSpec::Fixed(1), 0.5), 6.0),
+        ]);
+        assert!((mix.weight(0) - 0.25).abs() < 1e-12);
+        assert!((mix.weight(1) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "may not be empty")]
+    fn empty_mix_panics() {
+        let _ = ProfileMix::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "availability must be in [0, 1]")]
+    fn bad_availability_panics() {
+        let _ = Profile::new("x", LifetimeSpec::Unlimited, 1.2);
+    }
+
+    #[test]
+    fn time_constants_are_consistent() {
+        assert_eq!(time::DAY, 24 * time::HOUR);
+        assert_eq!(time::WEEK, 7 * time::DAY);
+        assert_eq!(time::MONTH, 30 * time::DAY);
+        assert_eq!(time::YEAR, 365 * time::DAY);
+    }
+}

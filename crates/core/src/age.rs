@@ -1,0 +1,126 @@
+//! Age categories (paper §4.2.1).
+//!
+//! Metrics are reported for four categories of peers differentiated by
+//! their age in the system. A peer's *category* changes as it ages,
+//! while its (hidden) *profile* never does:
+//!
+//! | Category  | Age            |
+//! |-----------|----------------|
+//! | Newcomer  | < 3 months     |
+//! | Young     | 3 – 6 months   |
+//! | Old       | 6 – 18 months  |
+//! | Elder     | > 18 months    |
+
+use peerback_churn::profile::time::MONTH;
+
+/// The paper's four age categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(usize)]
+pub enum AgeCategory {
+    /// In the system for less than 3 months.
+    Newcomer = 0,
+    /// 3 to 6 months.
+    Young = 1,
+    /// 6 to 18 months.
+    Old = 2,
+    /// More than 18 months.
+    Elder = 3,
+}
+
+impl AgeCategory {
+    /// Number of categories.
+    pub const COUNT: usize = 4;
+
+    /// All categories, in ascending age order.
+    pub const ALL: [AgeCategory; 4] = [
+        AgeCategory::Newcomer,
+        AgeCategory::Young,
+        AgeCategory::Old,
+        AgeCategory::Elder,
+    ];
+
+    /// Category boundaries in rounds: ages at which a peer advances to
+    /// the next category (3, 6, 18 months).
+    pub const BOUNDARIES: [u64; 3] = [3 * MONTH, 6 * MONTH, 18 * MONTH];
+
+    /// The category of a peer with the given age in rounds.
+    pub fn of_age(age_rounds: u64) -> AgeCategory {
+        match age_rounds {
+            a if a < Self::BOUNDARIES[0] => AgeCategory::Newcomer,
+            a if a < Self::BOUNDARIES[1] => AgeCategory::Young,
+            a if a < Self::BOUNDARIES[2] => AgeCategory::Old,
+            _ => AgeCategory::Elder,
+        }
+    }
+
+    /// Index for metric arrays.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            AgeCategory::Newcomer => "Newcomers",
+            AgeCategory::Young => "Young peers",
+            AgeCategory::Old => "Old peers",
+            AgeCategory::Elder => "Elder peers",
+        }
+    }
+
+    /// The next category a peer of this category will advance to, with
+    /// the age (in rounds) at which it happens. `None` for Elder.
+    pub fn next_boundary(self) -> Option<(AgeCategory, u64)> {
+        match self {
+            AgeCategory::Newcomer => Some((AgeCategory::Young, Self::BOUNDARIES[0])),
+            AgeCategory::Young => Some((AgeCategory::Old, Self::BOUNDARIES[1])),
+            AgeCategory::Old => Some((AgeCategory::Elder, Self::BOUNDARIES[2])),
+            AgeCategory::Elder => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundaries_match_the_paper_table() {
+        assert_eq!(AgeCategory::of_age(0), AgeCategory::Newcomer);
+        assert_eq!(AgeCategory::of_age(3 * MONTH - 1), AgeCategory::Newcomer);
+        assert_eq!(AgeCategory::of_age(3 * MONTH), AgeCategory::Young);
+        assert_eq!(AgeCategory::of_age(6 * MONTH - 1), AgeCategory::Young);
+        assert_eq!(AgeCategory::of_age(6 * MONTH), AgeCategory::Old);
+        assert_eq!(AgeCategory::of_age(18 * MONTH - 1), AgeCategory::Old);
+        assert_eq!(AgeCategory::of_age(18 * MONTH), AgeCategory::Elder);
+        assert_eq!(AgeCategory::of_age(u64::MAX), AgeCategory::Elder);
+    }
+
+    #[test]
+    fn categories_are_ordered_and_indexed() {
+        for (i, cat) in AgeCategory::ALL.iter().enumerate() {
+            assert_eq!(cat.index(), i);
+        }
+        assert!(AgeCategory::Newcomer < AgeCategory::Elder);
+    }
+
+    #[test]
+    fn next_boundary_chains_through_all_categories() {
+        let mut cat = AgeCategory::Newcomer;
+        let mut crossings = Vec::new();
+        while let Some((next, at)) = cat.next_boundary() {
+            crossings.push(at);
+            // Crossing at exactly `at` rounds indeed lands in `next`.
+            assert_eq!(AgeCategory::of_age(at), next);
+            cat = next;
+        }
+        assert_eq!(crossings, AgeCategory::BOUNDARIES.to_vec());
+        assert_eq!(cat, AgeCategory::Elder);
+    }
+
+    #[test]
+    fn names_match_figure_legends() {
+        assert_eq!(AgeCategory::Newcomer.name(), "Newcomers");
+        assert_eq!(AgeCategory::Elder.name(), "Elder peers");
+    }
+}

@@ -1,0 +1,387 @@
+//! Simulation configuration (paper §4.1 parameters).
+
+use peerback_churn::{paper_profiles, ProfileMix};
+
+use crate::accept::PAPER_CLAMP_ROUNDS;
+use crate::observer::ObserverSpec;
+use crate::select::SelectionStrategy;
+
+/// When and how an owner repairs its archive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MaintenancePolicy {
+    /// The paper's scheme: trigger a repair when the number of visible
+    /// blocks drops below the threshold `k'`.
+    Reactive {
+        /// The repair threshold `k'` (the paper sweeps 132–180 and
+        /// settles on 148).
+        threshold: u16,
+    },
+    /// Rate-based proactive maintenance in the spirit of Duminuco et
+    /// al. [10] (paper §5): once per `tick_rounds` the owner tops its
+    /// redundancy back up to `n` present blocks, without waiting for a
+    /// threshold crossing. Ablation A3.
+    Proactive {
+        /// Rounds between proactive top-up ticks.
+        tick_rounds: u64,
+    },
+    /// The paper's §6 future work: "the repair threshold might be
+    /// changed depending on the peer context, its difficulties to find
+    /// partners". Each peer starts at `base` and adapts: an episode
+    /// that struggled (a pool shortfall) lowers the peer's threshold by
+    /// `step` (repair later, churn less), never below `k + floor_margin`;
+    /// a clean episode raises it back towards `base`. Ablation A4.
+    Adaptive {
+        /// Starting (and maximum) threshold.
+        base: u16,
+        /// Minimum safety margin above `k` the threshold may shrink to.
+        floor_margin: u16,
+        /// Adjustment step per episode.
+        step: u16,
+    },
+}
+
+impl MaintenancePolicy {
+    /// The *initial* trigger threshold, if this policy has one
+    /// (adaptive peers start at `base` and drift per peer).
+    pub fn threshold(&self) -> Option<u16> {
+        match self {
+            MaintenancePolicy::Reactive { threshold } => Some(*threshold),
+            MaintenancePolicy::Proactive { .. } => None,
+            MaintenancePolicy::Adaptive { base, .. } => Some(*base),
+        }
+    }
+}
+
+/// Full configuration of one simulation run.
+///
+/// Defaults (via [`SimConfig::paper`]) reproduce §4.1: 25,000 peers is
+/// the paper scale, but the constructor takes the population explicitly
+/// because most experiments run reduced populations with normalised
+/// metrics (DESIGN.md deviation 5).
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Steady-state population (the paper uses 25,000).
+    pub n_peers: usize,
+    /// Rounds to simulate (the paper uses 50,000 ≈ 5.7 years).
+    pub rounds: u64,
+    /// Master seed; every run is a deterministic function of it.
+    pub seed: u64,
+    /// Original blocks per archive (`k = 128`).
+    pub k: u16,
+    /// Redundancy blocks per archive (`m = 128`).
+    pub m: u16,
+    /// Blocks a peer will host for others (`quota = 384`).
+    pub quota: u32,
+    /// Archives each peer backs up (the paper uses 1 and claims linear
+    /// scaling with more, §4.1; scale `quota` accordingly — the paper's
+    /// rule is three times the peer's own backup volume, i.e. `3·k` per
+    /// archive).
+    pub archives_per_peer: u16,
+    /// Maintenance policy (reactive `k' = 148` in the paper's focus run).
+    pub maintenance: MaintenancePolicy,
+    /// Consecutive offline rounds after which a partner "is considered
+    /// [to have] definitively left the system" and its blocks are
+    /// written off (§2.2.3's threshold period). `0` disables timeouts
+    /// (only true departures lose blocks) — an ablation mode.
+    pub offline_timeout: u64,
+    /// Whether a repair re-places the *entire* archive rather than only
+    /// the missing blocks. §2.2.3 allows re-encoding "either the missing
+    /// blocks, or new blocks"; the new-code-word reading means every
+    /// block is re-uploaded through the owner's *current* candidate
+    /// pool. This is what lets an aging peer replace "the unstable
+    /// partners that he was forced to use when he was a newcomer"
+    /// (§4.2.2) instead of being stuck with its birth-cohort partner
+    /// set forever. Disabling it (ablation) shows the survivor-ratchet:
+    /// partner sets converge onto immortal peers and age stratification
+    /// collapses.
+    pub refresh_on_repair: bool,
+    /// Age clamp `L` of the acceptance function (90 days).
+    pub acceptance_clamp: u64,
+    /// Evaluate acceptance on both sides ("both peers must agree",
+    /// §3.2). Disable for ablation A2.
+    pub mutual_acceptance: bool,
+    /// Skip the acceptance test entirely (ablation A2: selection pressure
+    /// without the probabilistic gate).
+    pub acceptance_enabled: bool,
+    /// Partner ranking strategy.
+    pub strategy: SelectionStrategy,
+    /// Mean on+off availability cycle in rounds (24 = daily rhythm).
+    pub availability_cycle: f64,
+    /// Profile mix peers are drawn from.
+    pub profiles: ProfileMix,
+    /// Rounds over which the initial population ramps in (0 = everyone
+    /// joins at round 0, matching the paper's same-age start).
+    pub growth_rounds: u64,
+    /// Candidate-sampling budget per needed partner when building a pool.
+    pub pool_attempt_factor: u32,
+    /// Pool size target as a multiple of `d` (the pool is "big enough"
+    /// at `pool_target_factor * d` candidates).
+    pub pool_target_factor: f64,
+    /// Observers to inject (frozen-age measurement peers, §4.2.2).
+    pub observers: Vec<ObserverSpec>,
+    /// Rounds between metric samples for time series.
+    pub sample_interval: u64,
+    /// Whether to sample the instant-restorability series (an O(blocks)
+    /// scan every 10th sample; negligible at default scales).
+    pub measure_restorability: bool,
+}
+
+impl SimConfig {
+    /// The paper's configuration at a chosen population and duration,
+    /// with the focus threshold `k' = 148`.
+    pub fn paper(n_peers: usize, rounds: u64, seed: u64) -> Self {
+        SimConfig {
+            n_peers,
+            rounds,
+            seed,
+            k: 128,
+            m: 128,
+            quota: 384,
+            archives_per_peer: 1,
+            maintenance: MaintenancePolicy::Reactive { threshold: 148 },
+            offline_timeout: 18,
+            refresh_on_repair: true,
+            acceptance_clamp: PAPER_CLAMP_ROUNDS,
+            mutual_acceptance: true,
+            acceptance_enabled: true,
+            strategy: SelectionStrategy::AgeBased,
+            availability_cycle: 24.0,
+            profiles: paper_profiles(),
+            growth_rounds: 0,
+            pool_attempt_factor: 6,
+            pool_target_factor: 2.0,
+            observers: Vec::new(),
+            sample_interval: 24,
+            measure_restorability: true,
+        }
+    }
+
+    /// The paper's full-scale run: 25,000 peers, 50,000 rounds.
+    pub fn paper_full_scale(seed: u64) -> Self {
+        SimConfig::paper(25_000, 50_000, seed)
+    }
+
+    /// Sets the reactive repair threshold `k'`.
+    pub fn with_threshold(mut self, threshold: u16) -> Self {
+        self.maintenance = MaintenancePolicy::Reactive { threshold };
+        self
+    }
+
+    /// Sets the selection strategy.
+    pub fn with_strategy(mut self, strategy: SelectionStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Adds the paper's five observers (§4.2.2 table).
+    pub fn with_paper_observers(mut self) -> Self {
+        self.observers = ObserverSpec::paper_set();
+        self
+    }
+
+    /// Total blocks per archive `n = k + m`.
+    pub fn n_blocks(&self) -> u32 {
+        self.k as u32 + self.m as u32
+    }
+
+    /// Checks internal consistency; call before running.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n_peers == 0 {
+            return Err("population must be positive".into());
+        }
+        if self.rounds == 0 {
+            return Err("must simulate at least one round".into());
+        }
+        if self.k == 0 {
+            return Err("k must be positive".into());
+        }
+        if let MaintenancePolicy::Reactive { threshold } = self.maintenance {
+            if (threshold as u32) < self.k as u32 {
+                return Err(format!(
+                    "repair threshold {threshold} below k={}: repairs would trigger only \
+                     after the archive is already lost",
+                    self.k
+                ));
+            }
+            if threshold as u32 > self.n_blocks() {
+                return Err(format!(
+                    "repair threshold {threshold} above n={}: repairs would never stop",
+                    self.n_blocks()
+                ));
+            }
+        }
+        if let MaintenancePolicy::Proactive { tick_rounds } = self.maintenance {
+            if tick_rounds == 0 {
+                return Err("proactive tick must be at least one round".into());
+            }
+        }
+        if let MaintenancePolicy::Adaptive {
+            base,
+            floor_margin,
+            step,
+        } = self.maintenance
+        {
+            if step == 0 {
+                return Err("adaptive step must be positive".into());
+            }
+            let floor = self.k as u32 + floor_margin as u32;
+            if (base as u32) < floor {
+                return Err(format!(
+                    "adaptive base {base} below its own floor k+{floor_margin}={floor}"
+                ));
+            }
+            if base as u32 > self.n_blocks() {
+                return Err(format!(
+                    "adaptive base {base} above n={}",
+                    self.n_blocks()
+                ));
+            }
+        }
+        if self.acceptance_clamp == 0 {
+            return Err("acceptance clamp must be positive".into());
+        }
+        if self.availability_cycle <= 0.0 {
+            return Err("availability cycle must be positive".into());
+        }
+        if self.pool_attempt_factor == 0 {
+            return Err("pool attempt factor must be positive".into());
+        }
+        if self.pool_target_factor < 1.0 {
+            return Err("pool target factor must be at least 1".into());
+        }
+        if self.sample_interval == 0 {
+            return Err("sample interval must be positive".into());
+        }
+        if self.archives_per_peer == 0 {
+            return Err("peers must back up at least one archive".into());
+        }
+        // The quota feasibility warning of §4.1: supply must cover demand
+        // or nothing can ever fully join.
+        let demand = self.n_blocks() as u64 * self.archives_per_peer as u64;
+        let supply = self.quota as u64;
+        if supply < demand {
+            return Err(format!(
+                "quota {supply} cannot host {} archives x n={} blocks per peer: \
+                 global supply would be insufficient",
+                self.archives_per_peer,
+                self.n_blocks()
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_section_4_1() {
+        let cfg = SimConfig::paper_full_scale(1);
+        assert_eq!(cfg.n_peers, 25_000);
+        assert_eq!(cfg.rounds, 50_000);
+        assert_eq!(cfg.k, 128);
+        assert_eq!(cfg.m, 128);
+        assert_eq!(cfg.n_blocks(), 256);
+        assert_eq!(cfg.quota, 384);
+        assert_eq!(cfg.maintenance.threshold(), Some(148));
+        assert_eq!(cfg.offline_timeout, 18);
+        assert_eq!(cfg.acceptance_clamp, 90 * 24);
+        assert!(cfg.mutual_acceptance);
+        assert_eq!(cfg.strategy, SelectionStrategy::AgeBased);
+        assert_eq!(cfg.profiles.len(), 4);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn builder_helpers() {
+        let cfg = SimConfig::paper(100, 10, 0)
+            .with_threshold(164)
+            .with_strategy(SelectionStrategy::Random)
+            .with_paper_observers();
+        assert_eq!(cfg.maintenance.threshold(), Some(164));
+        assert_eq!(cfg.strategy, SelectionStrategy::Random);
+        assert_eq!(cfg.observers.len(), 5);
+    }
+
+    #[test]
+    fn validation_rejects_nonsense() {
+        let base = SimConfig::paper(10, 10, 0);
+
+        let mut c = base.clone();
+        c.n_peers = 0;
+        assert!(c.validate().is_err());
+
+        let c = base.clone().with_threshold(100); // below k = 128
+        assert!(c.validate().unwrap_err().contains("below k"));
+
+        let c = base.clone().with_threshold(300); // above n = 256
+        assert!(c.validate().unwrap_err().contains("above n"));
+
+        let mut c = base.clone();
+        c.quota = 100; // cannot host an archive
+        assert!(c.validate().is_err());
+
+        let mut c = base.clone();
+        c.maintenance = MaintenancePolicy::Proactive { tick_rounds: 0 };
+        assert!(c.validate().is_err());
+
+        let mut c = base;
+        c.pool_target_factor = 0.5;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn threshold_extraction() {
+        assert_eq!(
+            MaintenancePolicy::Reactive { threshold: 148 }.threshold(),
+            Some(148)
+        );
+        assert_eq!(
+            MaintenancePolicy::Proactive { tick_rounds: 24 }.threshold(),
+            None
+        );
+        assert_eq!(
+            MaintenancePolicy::Adaptive {
+                base: 148,
+                floor_margin: 4,
+                step: 2
+            }
+            .threshold(),
+            Some(148)
+        );
+    }
+
+    #[test]
+    fn multi_archive_validation() {
+        let mut c = SimConfig::paper(10, 10, 0);
+        c.archives_per_peer = 0;
+        assert!(c.validate().is_err());
+        c.archives_per_peer = 2; // quota 384 < 2 x 256
+        assert!(c.validate().unwrap_err().contains("2 archives"));
+        c.quota = 768;
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn adaptive_validation() {
+        let base = SimConfig::paper(10, 10, 0);
+        let mk = |b, fm, st| {
+            let mut c = base.clone();
+            c.maintenance = MaintenancePolicy::Adaptive {
+                base: b,
+                floor_margin: fm,
+                step: st,
+            };
+            c.validate()
+        };
+        assert!(mk(148, 4, 2).is_ok());
+        assert!(mk(148, 4, 0).unwrap_err().contains("step"));
+        assert!(mk(130, 4, 2).unwrap_err().contains("floor"));
+        assert!(mk(300, 4, 2).unwrap_err().contains("above n"));
+    }
+}

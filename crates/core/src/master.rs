@@ -1,0 +1,258 @@
+//! The master block (paper §2.2.1).
+//!
+//! "Finally, a master block is created. It contains the list of peers on
+//! which data has been stored, the list of archives, in particular the
+//! ones containing meta-data, and session keys, encrypted with the user
+//! public key." The master block is the restore bootstrap: with it (and
+//! the private key) a peer that lost everything can find its partners
+//! and decode its archives.
+//!
+//! Serialisation uses the [`crate::wire`] codec with a magic/version
+//! header; session keys are stored as opaque bytes (their encryption is
+//! the concern of the [`crate::crypt`] layer's production replacement).
+
+use crate::wire::{Reader, WireError, Writer};
+
+const MAGIC: &[u8; 4] = b"PBM1";
+
+/// Where one block of an archive lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockPlacement {
+    /// Shard index within the code word (`0..n`).
+    pub shard_index: u32,
+    /// Network identifier of the partner storing the shard.
+    pub partner: u64,
+}
+
+/// Everything needed to restore one archive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArchiveDescriptor {
+    /// Archive identifier.
+    pub archive_id: u64,
+    /// Unpadded serialised length (blocks are zero-padded to equal size).
+    pub payload_len: u64,
+    /// Data shards `k`.
+    pub k: u16,
+    /// Parity shards `m`.
+    pub m: u16,
+    /// Metadata archives are restored first (§2.2.2).
+    pub is_metadata: bool,
+    /// Opaque (externally encrypted) session key material.
+    pub session_key: Vec<u8>,
+    /// One placement per shard.
+    pub placements: Vec<BlockPlacement>,
+}
+
+impl ArchiveDescriptor {
+    /// Total shards `n = k + m`.
+    pub fn n(&self) -> usize {
+        self.k as usize + self.m as usize
+    }
+
+    /// The partners storing this archive, in shard order.
+    pub fn partners(&self) -> impl Iterator<Item = u64> + '_ {
+        self.placements.iter().map(|p| p.partner)
+    }
+}
+
+/// The restore bootstrap record for one peer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MasterBlock {
+    /// Network identifier of the owner.
+    pub owner: u64,
+    /// Creation time (simulation round or wall-clock seconds).
+    pub created_at: u64,
+    /// Monotonic version; replicas with higher versions win.
+    pub version: u64,
+    /// Descriptors for every archive, metadata archives first.
+    pub archives: Vec<ArchiveDescriptor>,
+}
+
+impl MasterBlock {
+    /// Serialises the master block.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_raw(MAGIC);
+        w.put_u64(self.owner);
+        w.put_u64(self.created_at);
+        w.put_u64(self.version);
+        w.put_u32(self.archives.len() as u32);
+        for a in &self.archives {
+            w.put_u64(a.archive_id);
+            w.put_u64(a.payload_len);
+            w.put_u16(a.k);
+            w.put_u16(a.m);
+            w.put_u8(a.is_metadata as u8);
+            w.put_bytes(&a.session_key);
+            w.put_u32(a.placements.len() as u32);
+            for p in &a.placements {
+                w.put_u32(p.shard_index);
+                w.put_u64(p.partner);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Parses a master block.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::new(bytes);
+        if r.get_raw(4)? != MAGIC {
+            return Err(WireError::BadHeader);
+        }
+        let owner = r.get_u64()?;
+        let created_at = r.get_u64()?;
+        let version = r.get_u64()?;
+        let archive_count = r.get_u32()?;
+        let mut archives = Vec::with_capacity(archive_count.min(4096) as usize);
+        for _ in 0..archive_count {
+            let archive_id = r.get_u64()?;
+            let payload_len = r.get_u64()?;
+            let k = r.get_u16()?;
+            let m = r.get_u16()?;
+            let is_metadata = r.get_u8()? != 0;
+            let session_key = r.get_bytes()?.to_vec();
+            let placement_count = r.get_u32()?;
+            let mut placements = Vec::with_capacity(placement_count.min(65_536) as usize);
+            for _ in 0..placement_count {
+                let shard_index = r.get_u32()?;
+                let partner = r.get_u64()?;
+                placements.push(BlockPlacement {
+                    shard_index,
+                    partner,
+                });
+            }
+            archives.push(ArchiveDescriptor {
+                archive_id,
+                payload_len,
+                k,
+                m,
+                is_metadata,
+                session_key,
+                placements,
+            });
+        }
+        r.finish()?;
+        Ok(MasterBlock {
+            owner,
+            created_at,
+            version,
+            archives,
+        })
+    }
+
+    /// Archives in restore order: metadata first (§2.2.2), then by id.
+    pub fn restore_order(&self) -> Vec<&ArchiveDescriptor> {
+        let mut order: Vec<&ArchiveDescriptor> = self.archives.iter().collect();
+        order.sort_by_key(|a| (!a.is_metadata, a.archive_id));
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MasterBlock {
+        MasterBlock {
+            owner: 42,
+            created_at: 1000,
+            version: 3,
+            archives: vec![
+                ArchiveDescriptor {
+                    archive_id: 1,
+                    payload_len: 999,
+                    k: 4,
+                    m: 2,
+                    is_metadata: false,
+                    session_key: vec![9, 9, 9],
+                    placements: (0..6)
+                        .map(|i| BlockPlacement {
+                            shard_index: i,
+                            partner: 100 + i as u64,
+                        })
+                        .collect(),
+                },
+                ArchiveDescriptor {
+                    archive_id: 0,
+                    payload_len: 10,
+                    k: 2,
+                    m: 4,
+                    is_metadata: true,
+                    session_key: vec![],
+                    placements: vec![BlockPlacement {
+                        shard_index: 0,
+                        partner: 7,
+                    }],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trips_exactly() {
+        let mb = sample();
+        let bytes = mb.to_bytes();
+        assert_eq!(MasterBlock::from_bytes(&bytes).unwrap(), mb);
+    }
+
+    #[test]
+    fn every_truncation_is_rejected() {
+        let bytes = sample().to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(
+                MasterBlock::from_bytes(&bytes[..cut]).is_err(),
+                "truncation at {cut} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes.push(0);
+        assert!(matches!(
+            MasterBlock::from_bytes(&bytes),
+            Err(WireError::TrailingBytes { count: 1 })
+        ));
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes[3] = b'9';
+        assert_eq!(MasterBlock::from_bytes(&bytes), Err(WireError::BadHeader));
+    }
+
+    #[test]
+    fn restore_order_puts_metadata_first() {
+        let mb = sample();
+        let order = mb.restore_order();
+        assert!(order[0].is_metadata);
+        assert_eq!(order[0].archive_id, 0);
+        assert_eq!(order[1].archive_id, 1);
+    }
+
+    #[test]
+    fn descriptor_helpers() {
+        let mb = sample();
+        let a = &mb.archives[0];
+        assert_eq!(a.n(), 6);
+        let partners: Vec<u64> = a.partners().collect();
+        assert_eq!(partners, vec![100, 101, 102, 103, 104, 105]);
+    }
+
+    #[test]
+    fn empty_master_block_round_trips() {
+        let mb = MasterBlock {
+            owner: 0,
+            created_at: 0,
+            version: 0,
+            archives: vec![],
+        };
+        assert_eq!(MasterBlock::from_bytes(&mb.to_bytes()).unwrap(), mb);
+    }
+}

@@ -1,0 +1,79 @@
+//! Observers: frozen-age measurement peers (paper §4.2.2).
+//!
+//! "An observer is a special peer, whose age does not increase like the
+//! age of other peers. Other peers cannot choose an observer as a
+//! partner, but the observer can choose other peers as partners, without
+//! however consuming their quota."
+//!
+//! Observers isolate the effect of *age* on repair cost: a Baby observer
+//! negotiates every partnership with age = 1 hour forever, an Elder
+//! observer with age = 90 days, while everything else about them is
+//! identical (always online, never departing, same archive geometry).
+
+use peerback_churn::profile::time::{DAY, HOUR, MONTH, WEEK};
+
+/// Specification of one observer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObserverSpec {
+    /// Name used in Figure 3's legend.
+    pub name: &'static str,
+    /// The frozen age in rounds, used for every acceptance test and
+    /// selection ranking involving the observer.
+    pub frozen_age: u64,
+}
+
+impl ObserverSpec {
+    /// Creates an observer spec.
+    pub fn new(name: &'static str, frozen_age: u64) -> Self {
+        ObserverSpec { name, frozen_age }
+    }
+
+    /// The paper's five observers:
+    ///
+    /// | Observer | Age                      |
+    /// |----------|--------------------------|
+    /// | Elder    | 3 months (= the clamp L) |
+    /// | Senior   | 1 month                  |
+    /// | Adult    | 1 week                   |
+    /// | Teenager | 1 day                    |
+    /// | Baby     | 1 hour                   |
+    pub fn paper_set() -> Vec<ObserverSpec> {
+        vec![
+            ObserverSpec::new("Elder", 3 * MONTH),
+            ObserverSpec::new("Senior", MONTH),
+            ObserverSpec::new("Adult", WEEK),
+            ObserverSpec::new("Teenager", DAY),
+            ObserverSpec::new("Baby", HOUR),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_set_matches_the_table() {
+        let set = ObserverSpec::paper_set();
+        assert_eq!(set.len(), 5);
+        assert_eq!(set[0], ObserverSpec::new("Elder", 2160));
+        assert_eq!(set[1], ObserverSpec::new("Senior", 720));
+        assert_eq!(set[2], ObserverSpec::new("Adult", 168));
+        assert_eq!(set[3], ObserverSpec::new("Teenager", 24));
+        assert_eq!(set[4], ObserverSpec::new("Baby", 1));
+    }
+
+    #[test]
+    fn elder_observer_age_equals_the_acceptance_clamp() {
+        // "Elder: 3 months = the age limit" — at the clamp, every peer
+        // accepts the observer with probability 1.
+        let elder = &ObserverSpec::paper_set()[0];
+        assert_eq!(elder.frozen_age, crate::accept::PAPER_CLAMP_ROUNDS);
+    }
+
+    #[test]
+    fn ages_strictly_decrease_through_the_set() {
+        let set = ObserverSpec::paper_set();
+        assert!(set.windows(2).all(|w| w[0].frozen_age > w[1].frozen_age));
+    }
+}

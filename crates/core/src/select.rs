@@ -1,0 +1,263 @@
+//! Partner-selection strategies.
+//!
+//! After the acceptance-gated pool is built, the owner picks the `d`
+//! partners it needs. "Nodes are selected according to their stability.
+//! Because this stability cannot be guessed, the protocol uses the ages
+//! of the peers in the system to sort them" (§3.2) — that is
+//! [`SelectionStrategy::AgeBased`]. The other strategies are baselines
+//! and bounds for the ablation study (experiment A1 in DESIGN.md):
+//!
+//! * [`Random`](SelectionStrategy::Random) — uniform choice from the
+//!   pool; what a system without lifetime estimation does.
+//! * [`Youngest`](SelectionStrategy::Youngest) — adversarial lower bound.
+//! * [`OracleLifetime`](SelectionStrategy::OracleLifetime) — sorts by the
+//!   peers' *true* remaining lifetimes (information no real system has);
+//!   upper bound on what any lifetime estimator could achieve.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A candidate that passed acceptance and quota checks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Candidate {
+    /// Peer slot id.
+    pub id: u32,
+    /// Age in rounds (frozen age for observers).
+    pub age: u64,
+    /// Observed lifetime uptime fraction in `[0, 1]` (the §2.1
+    /// monitoring protocol's output). Used by
+    /// [`SelectionStrategy::UptimeWeighted`].
+    pub uptime: f64,
+    /// True remaining lifetime in rounds (`u64::MAX` for durable peers).
+    /// Only the oracle strategy may look at this.
+    pub true_remaining: u64,
+}
+
+impl Candidate {
+    /// The uptime-weighted stability score: observed uptime × age.
+    /// Peers that are both old *and* reliably online outrank peers that
+    /// are merely old (extension beyond the paper, which selects on age
+    /// alone while assuming the monitoring protocol exists).
+    pub fn uptime_score(&self) -> f64 {
+        self.uptime.clamp(0.0, 1.0) * self.age as f64
+    }
+}
+
+/// How the owner ranks its candidate pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SelectionStrategy {
+    /// The paper's scheme: pick the oldest candidates.
+    AgeBased,
+    /// Uniformly random choice (baseline).
+    Random,
+    /// Pick the youngest candidates (adversarial baseline).
+    Youngest,
+    /// Rank by observed uptime × age (uses the §2.1 monitoring
+    /// protocol's availability history; extension beyond the paper).
+    UptimeWeighted,
+    /// Pick by true remaining lifetime (unrealisable upper bound).
+    OracleLifetime,
+}
+
+impl SelectionStrategy {
+    /// All strategies, for sweep harnesses.
+    pub const ALL: [SelectionStrategy; 5] = [
+        SelectionStrategy::AgeBased,
+        SelectionStrategy::Random,
+        SelectionStrategy::Youngest,
+        SelectionStrategy::UptimeWeighted,
+        SelectionStrategy::OracleLifetime,
+    ];
+
+    /// Name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SelectionStrategy::AgeBased => "age-based",
+            SelectionStrategy::Random => "random",
+            SelectionStrategy::Youngest => "youngest",
+            SelectionStrategy::UptimeWeighted => "uptime-weighted",
+            SelectionStrategy::OracleLifetime => "oracle-lifetime",
+        }
+    }
+
+    /// Reorders `pool` so its first `min(d, len)` entries are the chosen
+    /// partners, and truncates it to that length.
+    ///
+    /// Ties (equal ages) are broken uniformly at random: the pool is
+    /// pre-shuffled, then sorted with a stable sort where an ordering
+    /// applies.
+    pub fn choose<R: Rng + ?Sized>(self, rng: &mut R, pool: &mut Vec<Candidate>, d: usize) {
+        // Pre-shuffle so that stable sorting breaks ties randomly and the
+        // random strategy needs no further work.
+        pool.shuffle(rng);
+        match self {
+            SelectionStrategy::AgeBased => {
+                pool.sort_by_key(|c| core::cmp::Reverse(c.age));
+            }
+            SelectionStrategy::Random => {}
+            SelectionStrategy::Youngest => {
+                pool.sort_by_key(|c| c.age);
+            }
+            SelectionStrategy::UptimeWeighted => {
+                pool.sort_by(|a, b| {
+                    b.uptime_score()
+                        .partial_cmp(&a.uptime_score())
+                        .unwrap_or(core::cmp::Ordering::Equal)
+                });
+            }
+            SelectionStrategy::OracleLifetime => {
+                pool.sort_by_key(|c| core::cmp::Reverse(c.true_remaining));
+            }
+        }
+        pool.truncate(d);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peerback_sim::sim_rng;
+
+    fn pool() -> Vec<Candidate> {
+        (0..20u32)
+            .map(|i| Candidate {
+                id: i,
+                age: (i as u64) * 100,
+                // Uptime inversely related to age so the uptime ranking
+                // differs from the pure age ranking.
+                uptime: 1.0 - (i as f64) * 0.04,
+                true_remaining: ((19 - i) as u64) * 50, // inverse of age
+            })
+            .collect()
+    }
+
+    #[test]
+    fn age_based_takes_the_oldest() {
+        let mut rng = sim_rng(1);
+        let mut p = pool();
+        SelectionStrategy::AgeBased.choose(&mut rng, &mut p, 5);
+        assert_eq!(p.len(), 5);
+        let ids: Vec<u32> = p.iter().map(|c| c.id).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![15, 16, 17, 18, 19]);
+        // And in descending age order.
+        assert!(p.windows(2).all(|w| w[0].age >= w[1].age));
+    }
+
+    #[test]
+    fn youngest_takes_the_newest() {
+        let mut rng = sim_rng(1);
+        let mut p = pool();
+        SelectionStrategy::Youngest.choose(&mut rng, &mut p, 4);
+        let mut ids: Vec<u32> = p.iter().map(|c| c.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn oracle_ignores_age_and_uses_truth() {
+        let mut rng = sim_rng(1);
+        let mut p = pool();
+        SelectionStrategy::OracleLifetime.choose(&mut rng, &mut p, 3);
+        // true_remaining is inversely ordered with id, so the oracle picks
+        // the *lowest* ids (which age-based would rank last).
+        let mut ids: Vec<u32> = p.iter().map(|c| c.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn random_selection_varies_with_seed_but_is_reproducible() {
+        let run = |seed: u64| {
+            let mut rng = sim_rng(seed);
+            let mut p = pool();
+            SelectionStrategy::Random.choose(&mut rng, &mut p, 5);
+            p.iter().map(|c| c.id).collect::<Vec<_>>()
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4));
+    }
+
+    #[test]
+    fn random_selection_is_roughly_uniform() {
+        let mut rng = sim_rng(8);
+        let mut counts = [0u32; 20];
+        for _ in 0..10_000 {
+            let mut p = pool();
+            SelectionStrategy::Random.choose(&mut rng, &mut p, 1);
+            counts[p[0].id as usize] += 1;
+        }
+        // Each of the 20 candidates should win ~500 times.
+        for (i, &c) in counts.iter().enumerate() {
+            assert!((350..650).contains(&c), "candidate {i} chosen {c} times");
+        }
+    }
+
+    #[test]
+    fn ties_are_broken_randomly() {
+        // All candidates same age: age-based must not always pick the
+        // same subset.
+        let tied: Vec<Candidate> = (0..10u32)
+            .map(|i| Candidate {
+                id: i,
+                age: 500,
+                uptime: 0.5,
+                true_remaining: 1,
+            })
+            .collect();
+        let mut rng = sim_rng(5);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..50 {
+            let mut p = tied.clone();
+            SelectionStrategy::AgeBased.choose(&mut rng, &mut p, 3);
+            let mut ids: Vec<u32> = p.iter().map(|c| c.id).collect();
+            ids.sort_unstable();
+            seen.insert(ids);
+        }
+        assert!(seen.len() > 5, "tie-breaking looks deterministic: {seen:?}");
+    }
+
+    #[test]
+    fn asking_for_more_than_the_pool_returns_everything() {
+        let mut rng = sim_rng(1);
+        let mut p = pool();
+        SelectionStrategy::AgeBased.choose(&mut rng, &mut p, 100);
+        assert_eq!(p.len(), 20);
+    }
+
+    #[test]
+    fn uptime_weighted_balances_age_and_availability() {
+        let mut rng = sim_rng(2);
+        let mut p = pool();
+        // Scores: age x uptime = 100 i (1 - 0.04 i) = 100 i - 4 i^2,
+        // maximised at i = 12.5: ids 12 and 13 tie for the top (624),
+        // ids 11 and 14 tie next (616). The top-3 pick must be {12, 13}
+        // plus one of {11, 14} — never the oldest peer (19).
+        SelectionStrategy::UptimeWeighted.choose(&mut rng, &mut p, 3);
+        let mut ids: Vec<u32> = p.iter().map(|c| c.id).collect();
+        ids.sort_unstable();
+        assert!(ids.contains(&12) && ids.contains(&13), "top ties missing: {ids:?}");
+        assert!(
+            ids.contains(&11) || ids.contains(&14),
+            "third pick should be a 616-score peer: {ids:?}"
+        );
+        assert!(!ids.contains(&19), "pure age ranking leaked through");
+    }
+
+    #[test]
+    fn uptime_score_is_product_of_uptime_and_age() {
+        let c = Candidate { id: 0, age: 1000, uptime: 0.75, true_remaining: 0 };
+        assert_eq!(c.uptime_score(), 750.0);
+        // Out-of-range uptimes clamp defensively.
+        let c = Candidate { id: 0, age: 100, uptime: 1.5, true_remaining: 0 };
+        assert_eq!(c.uptime_score(), 100.0);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names: std::collections::HashSet<_> =
+            SelectionStrategy::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), 5);
+    }
+}

@@ -1,0 +1,1623 @@
+//! The simulated backup network: peers, partnerships, repair and loss.
+//!
+//! This module implements the protocol of §3.2 on top of the
+//! `peerback-sim` engine. The design is *event-driven inside a
+//! round-based shell*: the per-archive partner count (`present`, the
+//! paper's `n − d`) changes only through three kinds of scheduled events
+//! — true departures, availability transitions, and offline timeouts —
+//! so a round costs O(events), not O(peers × partners).
+//!
+//! ## Protocol summary (DESIGN.md §6.3 has the full interpretation)
+//!
+//! * Blocks **disappear** when their host departs (known immediately,
+//!   §4.1) or stays offline past the monitoring timeout (§2.2.3's
+//!   "threshold period", default one day).
+//! * An online owner whose `present < k'` starts a **repair episode**:
+//!   one `k`-block download (decode) plus `d = n − present` block
+//!   uploads to fresh online partners, acquired through the mutual
+//!   acceptance test and the configured selection strategy. Episodes
+//!   that cannot find enough partners stay open and continue next round.
+//! * An archive is **lost** the instant `present < k`; the owner counts
+//!   one loss and rebuilds from its local copy (a fresh join).
+
+use peerback_churn::SessionSampler;
+use peerback_sim::{Round, SimRng, TimingWheel, World};
+use rand::Rng;
+
+use crate::accept::accepts;
+use crate::age::AgeCategory;
+use crate::config::{MaintenancePolicy, SimConfig};
+use crate::metrics::{CategorySample, Metrics, ObserverSeries};
+use crate::select::Candidate;
+
+/// Index of a peer slot. Slots are reused: when a peer departs, its
+/// replacement occupies the same slot with a bumped epoch.
+pub type PeerId = u32;
+
+const OFFLINE: u32 = u32::MAX;
+
+/// Scheduled future events. Events carry the epoch of the peer they were
+/// scheduled for; a mismatch means the peer departed in the meantime and
+/// the event is stale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    /// The peer definitively leaves the system.
+    Death { peer: PeerId, epoch: u32 },
+    /// The peer's session flips between online and offline.
+    Toggle { peer: PeerId, epoch: u32 },
+    /// The peer has been offline for the full monitoring timeout: its
+    /// hosted blocks are written off (valid only if `seq` still matches
+    /// the offline session it was scheduled for).
+    OfflineTimeout { peer: PeerId, epoch: u32, seq: u32 },
+    /// The peer crosses an age-category boundary.
+    CatAdvance { peer: PeerId, epoch: u32 },
+    /// Proactive-maintenance tick (only with `MaintenancePolicy::Proactive`).
+    ProactiveTick { peer: PeerId, epoch: u32 },
+}
+
+/// Owner-side state of one archive (peers may back up several,
+/// `SimConfig::archives_per_peer`; the paper's §4.1 uses one and claims
+/// linear scaling — ablation A5 tests that claim).
+#[derive(Debug, Clone, Default)]
+struct ArchiveState {
+    /// Partners currently holding one block each of this archive.
+    partners: Vec<PeerId>,
+    /// During a refreshing repair episode: the pre-episode partners,
+    /// kept (and counted as present) until displaced 1:1 by fresh ones
+    /// so redundancy never dips while the new code word uploads.
+    stale_partners: Vec<PeerId>,
+    /// Initial upload finished.
+    joined: bool,
+    /// An open repair episode (decode already paid, uploads ongoing).
+    repairing: bool,
+    /// Set when the open episode hit a pool shortfall (drives the
+    /// adaptive policy's adjustment).
+    episode_struggled: bool,
+}
+
+impl ArchiveState {
+    /// Blocks still in the network — the paper's `n − d`.
+    fn present(&self) -> u32 {
+        (self.partners.len() + self.stale_partners.len()) as u32
+    }
+
+    fn reset(&mut self) {
+        debug_assert!(self.partners.is_empty() && self.stale_partners.is_empty());
+        self.joined = false;
+        self.repairing = false;
+        self.episode_struggled = false;
+    }
+}
+
+/// Index of an archive within its owner (`0..archives_per_peer`).
+type ArchiveIdx = u8;
+
+/// One peer slot.
+#[derive(Debug, Clone)]
+struct Peer {
+    epoch: u32,
+    profile: u8,
+    /// Round of first connection.
+    birth: u64,
+    /// Departure round (`u64::MAX` = never).
+    death: u64,
+    online: bool,
+    /// Bumped on every session transition; lets timeout events detect
+    /// that the offline run they were armed for has ended.
+    session_seq: u32,
+    /// Rounds spent online in completed sessions (the §2.1 monitoring
+    /// protocol's ledger; the open session is added on query).
+    online_accum: u64,
+    /// Round of the last online/offline transition (or birth).
+    last_transition: u64,
+    /// `Some(index into cfg.observers)` for observer peers.
+    observer: Option<u8>,
+    /// Set while the peer sits in the pending-activation queue.
+    queued: bool,
+    /// This peer's current trigger threshold (constant under the
+    /// reactive policy; drifts under the adaptive one; unused by
+    /// proactive).
+    threshold: u16,
+    /// Owner-side state, one entry per archive.
+    archives: Vec<ArchiveState>,
+    /// Blocks this peer hosts: one `(owner, archive index)` entry each.
+    hosted: Vec<(PeerId, ArchiveIdx)>,
+    /// Hosted blocks counting against the quota (observer-owned blocks
+    /// are exempt, §4.2.2).
+    quota_used: u32,
+    /// Lifetime repair count (drives the observer series).
+    repairs: u64,
+    /// Lifetime archive losses.
+    losses: u64,
+}
+
+impl Peer {
+    fn age_at(&self, round: u64) -> u64 {
+        round.saturating_sub(self.birth)
+    }
+
+    fn category_at(&self, round: u64) -> AgeCategory {
+        AgeCategory::of_age(self.age_at(round))
+    }
+
+    /// Blocks still in the network — the paper's `n − d`.
+    /// True when every archive finished its initial upload ("included
+    /// in the network", §3.2).
+    fn fully_joined(&self) -> bool {
+        self.archives.iter().all(|a| a.joined)
+    }
+
+    /// Observed lifetime uptime fraction at `round` (1.0 at age zero —
+    /// a freshly arrived peer has a clean record).
+    fn uptime_at(&self, round: u64) -> f64 {
+        let age = self.age_at(round);
+        if age == 0 {
+            return 1.0;
+        }
+        let mut online_rounds = self.online_accum;
+        if self.online {
+            online_rounds += round.saturating_sub(self.last_transition);
+        }
+        (online_rounds as f64 / age as f64).clamp(0.0, 1.0)
+    }
+}
+
+/// One observer's structural state in a [`WorldSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObserverState {
+    /// Observer name.
+    pub name: &'static str,
+    /// Present partner count.
+    pub present: u32,
+    /// Whether a repair episode is open.
+    pub repairing: bool,
+    /// Whether the initial upload finished.
+    pub joined: bool,
+    /// Episodes started so far.
+    pub repairs: u64,
+    /// Partner count per profile id (diagnostic).
+    pub partner_profiles: [u32; 8],
+    /// Mean partner age in rounds (diagnostic).
+    pub partner_mean_age: f64,
+}
+
+/// Coarse structural state of the world (diagnostics and tests).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorldSnapshot {
+    /// Regular peers with a completed initial upload.
+    pub joined_count: u64,
+    /// Regular peers still joining.
+    pub unjoined_count: u64,
+    /// Regular peers with an open repair episode.
+    pub repairing_count: u64,
+    /// Smallest present-block count among joined peers.
+    pub present_min: u32,
+    /// Mean present-block count among joined peers.
+    pub present_mean: f64,
+    /// Unused hosting capacity across all peers.
+    pub free_quota_total: u64,
+    /// Unused hosting capacity on currently-online peers.
+    pub free_quota_online: u64,
+    /// Online peers (including observers).
+    pub online_count: usize,
+    /// Per-observer states.
+    pub observers: Vec<ObserverState>,
+}
+
+impl Default for WorldSnapshot {
+    fn default() -> Self {
+        WorldSnapshot {
+            joined_count: 0,
+            unjoined_count: 0,
+            repairing_count: 0,
+            present_min: u32::MAX,
+            present_mean: 0.0,
+            free_quota_total: 0,
+            free_quota_online: 0,
+            online_count: 0,
+            observers: Vec::new(),
+        }
+    }
+}
+
+/// The backup network world; implements [`peerback_sim::World`].
+pub struct BackupWorld {
+    cfg: SimConfig,
+    /// Per-profile session samplers (index = profile id).
+    samplers: Vec<SessionSampler>,
+    peers: Vec<Peer>,
+    /// Slots `0..observer_count` are observers.
+    observer_count: usize,
+    /// Online peers, for O(1) uniform candidate sampling.
+    online_ids: Vec<PeerId>,
+    /// Position of each peer in `online_ids` (`OFFLINE` when offline).
+    online_pos: Vec<u32>,
+    wheel: TimingWheel<Event>,
+    /// Peers waiting for activation next round.
+    pending: Vec<PeerId>,
+    /// Population census by age category (observers excluded).
+    census: [u64; AgeCategory::COUNT],
+    /// Regular peers spawned so far (for the growth ramp).
+    spawned: usize,
+    metrics: Metrics,
+    // Reusable scratch buffers (hot path, no per-event allocation).
+    event_buf: Vec<Event>,
+    pool_buf: Vec<Candidate>,
+
+    /// Pool-dedup marks: `mark[p] == mark_tag` means "p is excluded from
+    /// the pool being built".
+    mark: Vec<u32>,
+    mark_tag: u32,
+}
+
+impl BackupWorld {
+    /// Builds the world. Peers spawn during round 0 (or across the
+    /// growth ramp), so the constructor is cheap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`SimConfig::validate`].
+    pub fn new(cfg: SimConfig) -> Self {
+        if let Err(msg) = cfg.validate() {
+            panic!("invalid simulation config: {msg}");
+        }
+        let samplers = cfg
+            .profiles
+            .profiles()
+            .iter()
+            .map(|p| SessionSampler::new(p.availability, cfg.availability_cycle))
+            .collect();
+        let observer_count = cfg.observers.len();
+        let capacity = cfg.n_peers + observer_count;
+        BackupWorld {
+            samplers,
+            observer_count,
+            peers: Vec::with_capacity(capacity),
+            online_ids: Vec::with_capacity(capacity),
+            online_pos: Vec::with_capacity(capacity),
+            wheel: TimingWheel::new(8192),
+            pending: Vec::new(),
+            census: [0; 4],
+            spawned: 0,
+            metrics: Metrics::new(),
+            event_buf: Vec::new(),
+            pool_buf: Vec::new(),
+
+            mark: vec![0; capacity],
+            mark_tag: 0,
+            cfg,
+        }
+    }
+
+    /// Finishes the run and returns the collected metrics.
+    pub fn into_metrics(mut self) -> Metrics {
+        for (i, spec) in self.cfg.observers.iter().enumerate() {
+            let peer = &self.peers[i];
+            if let Some(series) = self.metrics.observers.get_mut(i) {
+                series.total_repairs = peer.repairs;
+                series.losses = peer.losses;
+            } else {
+                self.metrics.observers.push(ObserverSeries {
+                    name: spec.name,
+                    frozen_age: spec.frozen_age,
+                    points: Vec::new(),
+                    total_repairs: peer.repairs,
+                    losses: peer.losses,
+                });
+            }
+        }
+        self.metrics
+    }
+
+    /// Read access to the configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Read access to the metrics collected so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Fraction of joined (non-observer) archives whose owner could
+    /// start a restore immediately: at least `k` blocks sit on
+    /// currently-online partners.
+    fn instant_restorability(&self) -> f64 {
+        let k = self.k() as usize;
+        let mut joined = 0u64;
+        let mut restorable = 0u64;
+        for p in self.peers.iter().skip(self.observer_count) {
+            for a in &p.archives {
+                if !a.joined {
+                    continue;
+                }
+                joined += 1;
+                let online = a
+                    .partners
+                    .iter()
+                    .chain(&a.stale_partners)
+                    .filter(|&&q| self.peers[q as usize].online)
+                    .count();
+                if online >= k {
+                    restorable += 1;
+                }
+            }
+        }
+        if joined == 0 {
+            1.0
+        } else {
+            restorable as f64 / joined as f64
+        }
+    }
+
+    /// Coarse structural snapshot for diagnostics and tests.
+    pub fn snapshot(&self) -> WorldSnapshot {
+        let mut snap = WorldSnapshot {
+            online_count: self.online_ids.len(),
+            ..WorldSnapshot::default()
+        };
+        let mut present_sum = 0u64;
+        let mut joined = 0u64;
+        for (i, p) in self.peers.iter().enumerate() {
+            let total_present: u32 = p.archives.iter().map(ArchiveState::present).sum();
+            if let Some(obs_index) = p.observer {
+                let mut partner_profiles = [0u32; 8];
+                let mut partner_age_sum = 0u64;
+                for a in &p.archives {
+                    for &q in a.partners.iter().chain(&a.stale_partners) {
+                        let qp = &self.peers[q as usize];
+                        partner_profiles[(qp.profile as usize).min(7)] += 1;
+                        partner_age_sum += qp.age_at(self.metrics.rounds);
+                    }
+                }
+                snap.observers.push(ObserverState {
+                    name: self.cfg.observers[obs_index as usize].name,
+                    present: total_present,
+                    repairing: p.archives.iter().any(|a| a.repairing),
+                    joined: p.fully_joined(),
+                    repairs: p.repairs,
+                    partner_profiles,
+                    partner_mean_age: if total_present == 0 {
+                        0.0
+                    } else {
+                        partner_age_sum as f64 / total_present as f64
+                    },
+                });
+                continue;
+            }
+            if i >= self.peers.len() {
+                continue;
+            }
+            if p.fully_joined() {
+                joined += 1;
+                present_sum += total_present as u64;
+                snap.present_min = snap.present_min.min(total_present);
+            } else {
+                snap.unjoined_count += 1;
+            }
+            if p.archives.iter().any(|a| a.repairing) {
+                snap.repairing_count += 1;
+            }
+            let free = self.cfg.quota.saturating_sub(p.quota_used) as u64;
+            snap.free_quota_total += free;
+            if p.online {
+                snap.free_quota_online += free;
+            }
+        }
+        snap.joined_count = joined;
+        snap.present_mean = if joined > 0 {
+            present_sum as f64 / joined as f64
+        } else {
+            0.0
+        };
+        if joined == 0 {
+            snap.present_min = 0;
+        }
+        snap
+    }
+
+    // ----- lifecycle -------------------------------------------------------
+
+    fn n_blocks(&self) -> u32 {
+        self.cfg.n_blocks()
+    }
+
+    fn k(&self) -> u32 {
+        self.cfg.k as u32
+    }
+
+    /// Spawns observers (round 0 only) and ramps the regular population.
+    fn ensure_population(&mut self, round: u64, rng: &mut SimRng) {
+        if round == 0 {
+            for i in 0..self.observer_count {
+                self.spawn_observer(i as u8);
+            }
+        }
+        let target = if self.cfg.growth_rounds == 0 || round + 1 >= self.cfg.growth_rounds {
+            self.cfg.n_peers
+        } else {
+            // Linear ramp over the growth phase.
+            (self.cfg.n_peers as u64 * (round + 1) / self.cfg.growth_rounds) as usize
+        };
+        while self.spawned < target {
+            self.peers.push(Self::empty_peer());
+            self.online_pos.push(OFFLINE);
+            if self.mark.len() < self.peers.len() {
+                self.mark.push(0);
+            }
+            self.spawned += 1;
+            let id = (self.peers.len() - 1) as PeerId;
+            self.init_regular_peer(id, round, rng);
+        }
+    }
+
+    fn empty_peer() -> Peer {
+        Peer {
+            epoch: 0,
+            profile: 0,
+            birth: 0,
+            death: u64::MAX,
+            online: false,
+            session_seq: 0,
+            online_accum: 0,
+            last_transition: 0,
+            observer: None,
+            queued: false,
+            threshold: 0,
+            archives: Vec::new(),
+            hosted: Vec::new(),
+            quota_used: 0,
+            repairs: 0,
+            losses: 0,
+        }
+    }
+
+    fn spawn_observer(&mut self, index: u8) {
+        let id = self.peers.len() as PeerId;
+        let mut peer = Self::empty_peer();
+        peer.threshold = self.cfg.maintenance.threshold().unwrap_or(0);
+        peer.archives = vec![ArchiveState::default(); self.cfg.archives_per_peer as usize];
+        peer.observer = Some(index);
+        self.peers.push(peer);
+        self.online_pos.push(OFFLINE);
+        if self.mark.len() < self.peers.len() {
+            self.mark.push(0);
+        }
+        self.set_online(id, true);
+        self.metrics.observers.push(ObserverSeries {
+            name: self.cfg.observers[index as usize].name,
+            frozen_age: self.cfg.observers[index as usize].frozen_age,
+            points: Vec::new(),
+            total_repairs: 0,
+            losses: 0,
+        });
+        self.enqueue(id); // start the initial upload
+        self.schedule_proactive(id, 0);
+    }
+
+    /// (Re)initialises a regular peer in its slot: samples profile,
+    /// lifetime and initial session, schedules its events.
+    fn init_regular_peer(&mut self, id: PeerId, round: u64, rng: &mut SimRng) {
+        let profile_id = self.cfg.profiles.sample(rng);
+        let lifetime = self.cfg.profiles.profile(profile_id).lifetime.sample(rng);
+        let sampler = self.samplers[profile_id];
+        let online = sampler.initial_online(rng);
+
+        let peer = &mut self.peers[id as usize];
+        peer.profile = profile_id as u8;
+        peer.threshold = self.cfg.maintenance.threshold().unwrap_or(0);
+        peer.birth = round;
+        peer.death = lifetime.map_or(u64::MAX, |l| round + l);
+        peer.observer = None;
+        peer.online = false; // set_online manages the index
+        peer.online_accum = 0;
+        peer.last_transition = round;
+        debug_assert!(peer.hosted.is_empty());
+        peer.archives
+            .resize_with(self.cfg.archives_per_peer as usize, ArchiveState::default);
+        peer.archives.iter_mut().for_each(ArchiveState::reset);
+        peer.quota_used = 0;
+
+        let epoch = peer.epoch;
+        let death = peer.death;
+        self.census[AgeCategory::Newcomer.index()] += 1;
+
+        if death != u64::MAX {
+            self.wheel
+                .schedule(Round(death), Event::Death { peer: id, epoch });
+        }
+        // First category boundary.
+        self.wheel.schedule(
+            Round(round + AgeCategory::BOUNDARIES[0]),
+            Event::CatAdvance { peer: id, epoch },
+        );
+        // Session process.
+        if sampler.always_online() {
+            self.set_online(id, true);
+        } else if sampler.always_offline() {
+            // Stays offline forever; it can never act.
+        } else if online {
+            self.set_online(id, true);
+            let dur = sampler.online_duration(rng);
+            self.wheel
+                .schedule(Round(round + dur), Event::Toggle { peer: id, epoch });
+        } else {
+            let dur = sampler.offline_duration(rng);
+            self.wheel
+                .schedule(Round(round + dur), Event::Toggle { peer: id, epoch });
+            // A freshly spawned offline peer is mid-way through an
+            // offline run; arm its write-off timer too (no-op before it
+            // hosts anything, but keeps the mechanism uniform).
+            self.schedule_offline_timeout(id, round);
+        }
+        self.schedule_proactive(id, round);
+        if self.peers[id as usize].online {
+            self.enqueue(id); // begin joining
+        }
+    }
+
+    fn schedule_proactive(&mut self, id: PeerId, round: u64) {
+        if let MaintenancePolicy::Proactive { tick_rounds } = self.cfg.maintenance {
+            let epoch = self.peers[id as usize].epoch;
+            self.wheel.schedule(
+                Round(round + tick_rounds),
+                Event::ProactiveTick { peer: id, epoch },
+            );
+        }
+    }
+
+    fn schedule_offline_timeout(&mut self, id: PeerId, round: u64) {
+        if self.cfg.offline_timeout == 0 {
+            return;
+        }
+        let peer = &self.peers[id as usize];
+        debug_assert!(!peer.online);
+        self.wheel.schedule(
+            Round(round + self.cfg.offline_timeout),
+            Event::OfflineTimeout {
+                peer: id,
+                epoch: peer.epoch,
+                seq: peer.session_seq,
+            },
+        );
+    }
+
+    fn set_online(&mut self, id: PeerId, online: bool) {
+        let peer = &mut self.peers[id as usize];
+        if peer.online == online {
+            return;
+        }
+        peer.online = online;
+        if online {
+            self.online_pos[id as usize] = self.online_ids.len() as u32;
+            self.online_ids.push(id);
+        } else {
+            let pos = self.online_pos[id as usize];
+            debug_assert_ne!(pos, OFFLINE);
+            let last = *self.online_ids.last().expect("online list not empty");
+            self.online_ids.swap_remove(pos as usize);
+            if last != id {
+                self.online_pos[last as usize] = pos;
+            }
+            self.online_pos[id as usize] = OFFLINE;
+        }
+    }
+
+    fn enqueue(&mut self, id: PeerId) {
+        let peer = &mut self.peers[id as usize];
+        if !peer.queued {
+            peer.queued = true;
+            self.pending.push(id);
+        }
+    }
+
+    // ----- event handling --------------------------------------------------
+
+    fn handle_event(&mut self, event: Event, round: u64, rng: &mut SimRng) {
+        match event {
+            Event::Death { peer, epoch } => {
+                if self.peers[peer as usize].epoch == epoch {
+                    self.process_death(peer, round, rng);
+                }
+            }
+            Event::Toggle { peer, epoch } => {
+                if self.peers[peer as usize].epoch == epoch {
+                    self.process_toggle(peer, round, rng);
+                }
+            }
+            Event::OfflineTimeout { peer, epoch, seq } => {
+                let p = &self.peers[peer as usize];
+                if p.epoch == epoch && p.session_seq == seq && !p.online {
+                    self.process_offline_timeout(peer, round);
+                }
+            }
+            Event::CatAdvance { peer, epoch } => {
+                if self.peers[peer as usize].epoch == epoch {
+                    self.process_cat_advance(peer, round);
+                }
+            }
+            Event::ProactiveTick { peer, epoch } => {
+                if self.peers[peer as usize].epoch == epoch {
+                    self.schedule_proactive(peer, round);
+                    if self.peers[peer as usize].online {
+                        self.enqueue(peer);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Write off all blocks hosted by `host` and notify the owners.
+    /// Shared by deaths ("blocks are immediately removed", §4.1) and
+    /// offline timeouts (§2.2.3).
+    fn drop_hosted_blocks(&mut self, host: PeerId, round: u64) {
+        let hosted = core::mem::take(&mut self.peers[host as usize].hosted);
+        self.peers[host as usize].quota_used = 0;
+        let k = self.k();
+        let threshold_policy = !matches!(self.cfg.maintenance, MaintenancePolicy::Proactive { .. });
+        for (owner_id, aidx) in hosted {
+            let threshold = self.peers[owner_id as usize].threshold as u32;
+            let archive = &mut self.peers[owner_id as usize].archives[aidx as usize];
+            if let Some(pos) = archive.partners.iter().position(|&p| p == host) {
+                archive.partners.swap_remove(pos);
+            } else {
+                let pos = archive
+                    .stale_partners
+                    .iter()
+                    .position(|&p| p == host)
+                    .expect("hosted entry implies a partner entry");
+                archive.stale_partners.swap_remove(pos);
+            }
+            if !archive.joined {
+                continue; // mid-join: the join loop re-acquires
+            }
+            if archive.present() < k {
+                self.record_loss(owner_id, aidx, round);
+            } else if threshold_policy && archive.present() < threshold {
+                // Enqueue regardless of the owner's session state;
+                // activation skips offline owners and reconnection
+                // re-enqueues them.
+                self.enqueue(owner_id);
+            }
+        }
+    }
+
+    fn process_death(&mut self, id: PeerId, round: u64, rng: &mut SimRng) {
+        debug_assert!(self.peers[id as usize].observer.is_none());
+        self.metrics.diag.departures += 1;
+        if self.peers[id as usize].online {
+            self.set_online(id, false);
+        }
+        let cat = self.peers[id as usize].category_at(round);
+        self.census[cat.index()] -= 1;
+
+        // Tear down this peer's own archives: free the blocks it stored
+        // on its partners.
+        for aidx in 0..self.peers[id as usize].archives.len() {
+            let archive = &mut self.peers[id as usize].archives[aidx];
+            let partners = core::mem::take(&mut archive.partners);
+            let stale = core::mem::take(&mut archive.stale_partners);
+            for p in partners.into_iter().chain(stale) {
+                self.remove_hosted_entry(p, id, aidx as ArchiveIdx, false);
+            }
+        }
+
+        // Its hosted blocks disappear with it.
+        self.drop_hosted_blocks(id, round);
+
+        // Immediate replacement (§4.1: "each peer leaving the system is
+        // immediately replaced").
+        let peer = &mut self.peers[id as usize];
+        peer.epoch = peer.epoch.wrapping_add(1);
+        peer.session_seq = 0;
+        self.init_regular_peer(id, round, rng);
+    }
+
+    fn process_toggle(&mut self, id: PeerId, round: u64, rng: &mut SimRng) {
+        self.metrics.diag.session_toggles += 1;
+        let going_online = !self.peers[id as usize].online;
+        {
+            let peer = &mut self.peers[id as usize];
+            peer.session_seq = peer.session_seq.wrapping_add(1);
+            if !going_online {
+                // Closing an online session: bank it in the ledger.
+                peer.online_accum += round.saturating_sub(peer.last_transition);
+            }
+            peer.last_transition = round;
+        }
+        self.set_online(id, going_online);
+
+        // Schedule the next transition.
+        let peer = &self.peers[id as usize];
+        let epoch = peer.epoch;
+        let sampler = self.samplers[peer.profile as usize];
+        let dur = if going_online {
+            sampler.online_duration(rng)
+        } else {
+            sampler.offline_duration(rng)
+        };
+        self.wheel
+            .schedule(Round(round + dur), Event::Toggle { peer: id, epoch });
+
+        if going_online {
+            // A peer that reconnects resumes its own pending work.
+            let peer = &self.peers[id as usize];
+            let needs_join = !peer.fully_joined();
+            let threshold_policy =
+                !matches!(self.cfg.maintenance, MaintenancePolicy::Proactive { .. });
+            let threshold = peer.threshold as u32;
+            let needs_repair = peer.archives.iter().any(|a| {
+                a.repairing || (threshold_policy && a.joined && a.present() < threshold)
+            });
+            if needs_join || needs_repair {
+                self.enqueue(id);
+            }
+        } else {
+            // Arm the write-off timer for this offline run.
+            self.schedule_offline_timeout(id, round);
+        }
+    }
+
+    /// The peer has been unreachable for the whole threshold period: the
+    /// network writes its hosted blocks off (§2.2.3).
+    fn process_offline_timeout(&mut self, id: PeerId, round: u64) {
+        if self.peers[id as usize].hosted.is_empty() {
+            return;
+        }
+        self.metrics.diag.partner_timeouts += 1;
+        self.drop_hosted_blocks(id, round);
+    }
+
+    fn process_cat_advance(&mut self, id: PeerId, round: u64) {
+        let peer = &self.peers[id as usize];
+        debug_assert!(peer.observer.is_none());
+        let age = peer.age_at(round);
+        let new_cat = AgeCategory::of_age(age);
+        let prev_cat = AgeCategory::of_age(age - 1);
+        debug_assert_ne!(new_cat, prev_cat, "boundary event off by one");
+        self.census[prev_cat.index()] -= 1;
+        self.census[new_cat.index()] += 1;
+        if let Some((_, next_age)) = new_cat.next_boundary() {
+            let epoch = peer.epoch;
+            let birth = peer.birth;
+            self.wheel.schedule(
+                Round(birth + next_age),
+                Event::CatAdvance { peer: id, epoch },
+            );
+        }
+    }
+
+    /// Removes one hosted entry for `(owner, aidx)` from `host`.
+    fn remove_hosted_entry(
+        &mut self,
+        host: PeerId,
+        owner: PeerId,
+        aidx: ArchiveIdx,
+        owner_is_observer: bool,
+    ) {
+        let host_peer = &mut self.peers[host as usize];
+        let pos = host_peer
+            .hosted
+            .iter()
+            .position(|&(o, a)| o == owner && a == aidx)
+            .expect("partner entry implies a hosted entry");
+        host_peer.hosted.swap_remove(pos);
+        if !owner_is_observer {
+            host_peer.quota_used -= 1;
+        }
+    }
+
+    /// An archive's network copy became unrecoverable.
+    fn record_loss(&mut self, owner_id: PeerId, aidx: ArchiveIdx, round: u64) {
+        let owner = &self.peers[owner_id as usize];
+        let is_observer = owner.observer.is_some();
+        if !is_observer {
+            let cat = owner.category_at(round);
+            self.metrics.losses[cat.index()] += 1;
+        }
+        let (partners, stale) = {
+            let owner = &mut self.peers[owner_id as usize];
+            owner.losses += 1;
+            let archive = &mut owner.archives[aidx as usize];
+            archive.joined = false;
+            archive.repairing = false;
+            (
+                core::mem::take(&mut archive.partners),
+                core::mem::take(&mut archive.stale_partners),
+            )
+        };
+        for p in partners.into_iter().chain(stale) {
+            self.remove_hosted_entry(p, owner_id, aidx, is_observer);
+        }
+        // Re-backup from the local copy: start a fresh join.
+        if self.peers[owner_id as usize].online {
+            self.enqueue(owner_id);
+        }
+    }
+
+    // ----- activation (join / repair) --------------------------------------
+
+    /// The age another peer perceives for acceptance and ranking.
+    fn negotiation_age(&self, id: PeerId, round: u64) -> u64 {
+        let peer = &self.peers[id as usize];
+        match peer.observer {
+            Some(i) => self.cfg.observers[i as usize].frozen_age,
+            None => peer.age_at(round),
+        }
+    }
+
+    /// Builds an acceptance-gated pool and attaches up to `d` new
+    /// partners to `(owner_id, aidx)`. Returns how many were attached.
+    fn acquire_partners(
+        &mut self,
+        owner_id: PeerId,
+        aidx: ArchiveIdx,
+        d: u32,
+        round: u64,
+        rng: &mut SimRng,
+    ) -> u32 {
+        if d == 0 || self.online_ids.is_empty() {
+            return 0;
+        }
+        // Exclusion marks: self + this archive's current partners
+        // (partners for *other* archives stay eligible, §4.1).
+        self.mark_tag = self.mark_tag.wrapping_add(1);
+        if self.mark_tag == 0 {
+            self.mark.iter_mut().for_each(|m| *m = 0);
+            self.mark_tag = 1;
+        }
+        let tag = self.mark_tag;
+        self.mark[owner_id as usize] = tag;
+        let archive = &self.peers[owner_id as usize].archives[aidx as usize];
+        for &p in archive.partners.iter().chain(&archive.stale_partners) {
+            self.mark[p as usize] = tag;
+        }
+
+        let owner_age = self.negotiation_age(owner_id, round);
+        let clamp = self.cfg.acceptance_clamp;
+        let quota = self.cfg.quota;
+        let target = ((d as f64 * self.cfg.pool_target_factor).ceil() as usize).max(d as usize);
+        let attempts = (d * self.cfg.pool_attempt_factor).max(16);
+
+        self.pool_buf.clear();
+        for _ in 0..attempts {
+            if self.pool_buf.len() >= target {
+                break;
+            }
+            let c = self.online_ids[rng.gen_range(0..self.online_ids.len())];
+            if self.mark[c as usize] == tag {
+                continue;
+            }
+            let cand = &self.peers[c as usize];
+            if cand.observer.is_some() || cand.quota_used >= quota {
+                continue;
+            }
+            let cand_age = cand.age_at(round);
+            if self.cfg.acceptance_enabled {
+                // Owner-side test: does the owner accept this candidate?
+                if !accepts(rng, owner_age, cand_age, clamp) {
+                    continue;
+                }
+                // Candidate-side test ("both peers must agree").
+                if self.cfg.mutual_acceptance && !accepts(rng, cand_age, owner_age, clamp) {
+                    continue;
+                }
+            }
+            self.mark[c as usize] = tag;
+            self.pool_buf.push(Candidate {
+                id: c,
+                age: cand_age,
+                uptime: self.peers[c as usize].uptime_at(round),
+                true_remaining: self.peers[c as usize].death.saturating_sub(round),
+            });
+        }
+
+        let mut pool = core::mem::take(&mut self.pool_buf);
+        self.cfg.strategy.choose(rng, &mut pool, d as usize);
+        let owner_is_observer = self.peers[owner_id as usize].observer.is_some();
+        let attached = pool.len() as u32;
+        for cand in &pool {
+            self.peers[owner_id as usize].archives[aidx as usize]
+                .partners
+                .push(cand.id);
+            let host = &mut self.peers[cand.id as usize];
+            host.hosted.push((owner_id, aidx));
+            if !owner_is_observer {
+                host.quota_used += 1;
+            }
+        }
+        pool.clear();
+        self.pool_buf = pool;
+        self.metrics.diag.blocks_uploaded += attached as u64;
+        attached
+    }
+
+    /// Join: the initial upload of all `n` blocks of one archive (a
+    /// "repair with d = 256", §3.2 — tracked separately from repairs).
+    fn continue_join(&mut self, id: PeerId, aidx: ArchiveIdx, round: u64, rng: &mut SimRng) {
+        let n = self.n_blocks();
+        let d = n - self.peers[id as usize].archives[aidx as usize].present();
+        let attached = self.acquire_partners(id, aidx, d, round, rng);
+        let archive = &mut self.peers[id as usize].archives[aidx as usize];
+        if archive.present() == n {
+            archive.joined = true;
+            self.metrics.diag.joins_completed += 1;
+        } else {
+            if attached < d {
+                self.metrics.diag.pool_shortfalls += 1;
+            }
+            self.enqueue(id); // keep joining next round
+        }
+    }
+
+    /// Records the start of a repair episode (metrics + decode cost).
+    fn begin_episode(&mut self, id: PeerId, aidx: ArchiveIdx, round: u64) {
+        let peer = &mut self.peers[id as usize];
+        let archive = &mut peer.archives[aidx as usize];
+        archive.repairing = true;
+        archive.episode_struggled = false;
+        peer.repairs += 1;
+        let is_observer = peer.observer.is_some();
+        self.metrics.diag.blocks_downloaded += self.k() as u64;
+        if !is_observer {
+            let cat = self.peers[id as usize].category_at(round);
+            self.metrics.repairs[cat.index()] += 1;
+        }
+    }
+
+    /// Reactive repair: trigger when `present < k'` (the paper's
+    /// `n − d < k'`), then top back up to `n`.
+    fn reactive_repair(
+        &mut self,
+        id: PeerId,
+        aidx: ArchiveIdx,
+        k_prime: u32,
+        round: u64,
+        rng: &mut SimRng,
+    ) {
+        let (present, repairing) = {
+            let a = &self.peers[id as usize].archives[aidx as usize];
+            (a.present(), a.repairing)
+        };
+        if !repairing {
+            if present >= k_prime {
+                return; // stale trigger (a repair already covered it)
+            }
+            debug_assert!(present >= self.k(), "loss should have been recorded");
+            self.begin_episode(id, aidx, round);
+            if self.cfg.refresh_on_repair {
+                // New code word: every surviving block will be displaced
+                // by a freshly placed one (§2.2.3's "re-encode … new
+                // blocks"). Old partners stay counted until displaced.
+                let archive = &mut self.peers[id as usize].archives[aidx as usize];
+                debug_assert!(archive.stale_partners.is_empty());
+                core::mem::swap(&mut archive.partners, &mut archive.stale_partners);
+            }
+        }
+        self.continue_episode(id, aidx, round, rng);
+    }
+
+    /// Uploads replacement blocks until `n` *fresh* partners hold the
+    /// archive; displaced pre-episode partners are released 1:1 so the
+    /// present count never dips during a refreshing episode.
+    fn continue_episode(&mut self, id: PeerId, aidx: ArchiveIdx, round: u64, rng: &mut SimRng) {
+        let n = self.n_blocks();
+        let d = n - self.peers[id as usize].archives[aidx as usize].partners.len() as u32;
+        if d == 0 {
+            let archive = &mut self.peers[id as usize].archives[aidx as usize];
+            debug_assert!(archive.stale_partners.is_empty());
+            archive.repairing = false;
+            self.adapt_threshold(id, aidx);
+            return;
+        }
+        let attached = self.acquire_partners(id, aidx, d, round, rng);
+        // Displace one stale partner per block placed beyond `n`.
+        let owner_is_observer = self.peers[id as usize].observer.is_some();
+        while self.peers[id as usize].archives[aidx as usize].present() > n {
+            let stale = self.peers[id as usize].archives[aidx as usize]
+                .stale_partners
+                .pop()
+                .expect("present > n implies stale partners remain");
+            self.remove_hosted_entry(stale, id, aidx, owner_is_observer);
+        }
+        let archive = &mut self.peers[id as usize].archives[aidx as usize];
+        if archive.partners.len() as u32 == n {
+            debug_assert!(archive.stale_partners.is_empty());
+            archive.repairing = false;
+            self.adapt_threshold(id, aidx);
+        } else {
+            if attached < d {
+                self.metrics.diag.pool_shortfalls += 1;
+                archive.episode_struggled = true;
+            }
+            self.enqueue(id);
+        }
+    }
+
+    /// Applies the adaptive policy's per-peer adjustment after a
+    /// completed episode: struggling peers back off (repair later, churn
+    /// less); healthy peers drift back up to `base`.
+    fn adapt_threshold(&mut self, id: PeerId, aidx: ArchiveIdx) {
+        let MaintenancePolicy::Adaptive {
+            base,
+            floor_margin,
+            step,
+        } = self.cfg.maintenance
+        else {
+            return;
+        };
+        let floor = (self.cfg.k + floor_margin).min(base);
+        let struggled = self.peers[id as usize].archives[aidx as usize].episode_struggled;
+        let peer = &mut self.peers[id as usize];
+        let old = peer.threshold;
+        peer.threshold = if struggled {
+            peer.threshold.saturating_sub(step).max(floor)
+        } else {
+            peer.threshold.saturating_add(step).min(base)
+        };
+        if peer.threshold != old {
+            self.metrics.diag.threshold_adjustments += 1;
+        }
+    }
+
+    /// Proactive maintenance: top one archive back up to `n` present
+    /// blocks at every tick, without any threshold trigger.
+    fn proactive_repair(&mut self, id: PeerId, aidx: ArchiveIdx, round: u64, rng: &mut SimRng) {
+        let (present, repairing) = {
+            let a = &self.peers[id as usize].archives[aidx as usize];
+            (a.present(), a.repairing)
+        };
+        if !repairing {
+            if present >= self.n_blocks() {
+                return; // nothing disappeared since the last tick
+            }
+            self.begin_episode(id, aidx, round);
+        }
+        self.continue_episode(id, aidx, round, rng);
+    }
+}
+
+impl World for BackupWorld {
+    fn round_start(&mut self, round: Round, rng: &mut SimRng) {
+        self.ensure_population(round.index(), rng);
+        // Drain due events into a buffer first: the wheel cannot be
+        // borrowed while handlers mutate the world.
+        let mut events = core::mem::take(&mut self.event_buf);
+        events.clear();
+        self.wheel.advance(round, |e| events.push(e));
+        for event in events.drain(..) {
+            self.handle_event(event, round.index(), rng);
+        }
+        self.event_buf = events;
+    }
+
+    fn collect_actors(&mut self, _round: Round, buf: &mut Vec<usize>) {
+        for id in self.pending.drain(..) {
+            let peer = &mut self.peers[id as usize];
+            peer.queued = false;
+            // Pack the epoch so stale queue entries self-invalidate.
+            buf.push(((peer.epoch as usize) << 32) | id as usize);
+        }
+    }
+
+    fn activate(&mut self, round: Round, actor: usize, rng: &mut SimRng) {
+        let id = (actor & 0xffff_ffff) as PeerId;
+        let epoch = (actor >> 32) as u32;
+        let peer = &self.peers[id as usize];
+        if peer.epoch != epoch || !peer.online {
+            return; // departed or disconnected since it was queued
+        }
+        // Archives are handled independently (§4.1): one activation
+        // advances every archive that needs attention.
+        for aidx in 0..self.peers[id as usize].archives.len() {
+            let aidx = aidx as ArchiveIdx;
+            if !self.peers[id as usize].archives[aidx as usize].joined {
+                self.continue_join(id, aidx, round.index(), rng);
+                continue;
+            }
+            match self.cfg.maintenance {
+                MaintenancePolicy::Reactive { .. } | MaintenancePolicy::Adaptive { .. } => {
+                    let k_prime = self.peers[id as usize].threshold as u32;
+                    self.reactive_repair(id, aidx, k_prime, round.index(), rng);
+                }
+                MaintenancePolicy::Proactive { .. } => {
+                    self.proactive_repair(id, aidx, round.index(), rng);
+                }
+            }
+        }
+    }
+
+    fn round_end(&mut self, round: Round, _rng: &mut SimRng) {
+        self.metrics.rounds = round.index() + 1;
+        for cat in 0..AgeCategory::COUNT {
+            self.metrics.peer_rounds[cat] += self.census[cat];
+        }
+        if round.index().is_multiple_of(self.cfg.sample_interval) {
+            let mut cum_repairs = [0u64; 4];
+            cum_repairs.copy_from_slice(&self.metrics.repairs);
+            let mut cum_losses = [0u64; 4];
+            cum_losses.copy_from_slice(&self.metrics.losses);
+            self.metrics.samples.push(CategorySample {
+                round: round.index(),
+                cum_repairs,
+                cum_losses,
+                census: self.census,
+            });
+            for i in 0..self.observer_count {
+                let repairs = self.peers[i].repairs;
+                self.metrics.observers[i]
+                    .points
+                    .push((round.index(), repairs));
+            }
+            if self.cfg.measure_restorability
+                && self.metrics.samples.len().is_multiple_of(10)
+            {
+                let f = self.instant_restorability();
+                self.metrics.restorability.push((round.index(), f));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::select::SelectionStrategy;
+    use peerback_sim::Engine;
+
+    /// A small but fully functional configuration: 60 peers, 8+8 blocks.
+    fn tiny_config(seed: u64) -> SimConfig {
+        let mut cfg = SimConfig::paper(60, 200, seed);
+        cfg.k = 8;
+        cfg.m = 8;
+        cfg.quota = 48;
+        cfg.maintenance = MaintenancePolicy::Reactive { threshold: 10 };
+        cfg
+    }
+
+    fn run(cfg: SimConfig) -> Metrics {
+        let rounds = cfg.rounds;
+        let seed = cfg.seed;
+        let mut world = BackupWorld::new(cfg);
+        let mut engine = Engine::new(seed);
+        engine.run(&mut world, rounds);
+        world.into_metrics()
+    }
+
+    #[test]
+    fn peers_join_and_the_network_stabilises() {
+        let m = run(tiny_config(1));
+        assert!(
+            m.diag.joins_completed >= 60,
+            "only {} joins completed",
+            m.diag.joins_completed
+        );
+        assert!(m.diag.session_toggles > 0);
+        assert_eq!(m.rounds, 200);
+    }
+
+    #[test]
+    fn same_seed_reproduces_exactly() {
+        let a = run(tiny_config(7));
+        let b = run(tiny_config(7));
+        assert_eq!(a.repairs, b.repairs);
+        assert_eq!(a.losses, b.losses);
+        assert_eq!(a.diag, b.diag);
+        assert_eq!(a.samples.len(), b.samples.len());
+        for (sa, sb) in a.samples.iter().zip(&b.samples) {
+            assert_eq!(sa, sb);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = run(tiny_config(1));
+        let b = run(tiny_config(2));
+        assert!(
+            a.diag != b.diag || a.repairs != b.repairs,
+            "two seeds produced identical runs"
+        );
+    }
+
+    #[test]
+    fn census_conservation() {
+        let mut cfg = tiny_config(3);
+        cfg.rounds = 300;
+        let rounds = cfg.rounds;
+        let n = cfg.n_peers as u64;
+        let mut world = BackupWorld::new(cfg);
+        let mut engine = Engine::new(3);
+        for _ in 0..rounds {
+            engine.step(&mut world);
+            let total: u64 = world.census.iter().sum();
+            assert_eq!(total, n, "census drifted at {}", engine.current_round());
+        }
+    }
+
+    #[test]
+    fn partner_count_never_exceeds_n() {
+        let mut cfg = tiny_config(4);
+        cfg.rounds = 300;
+        let rounds = cfg.rounds;
+        let mut world = BackupWorld::new(cfg);
+        let mut engine = Engine::new(4);
+        for _ in 0..rounds {
+            engine.step(&mut world);
+            let n = world.cfg.n_blocks();
+            for (i, p) in world.peers.iter().enumerate() {
+                for (ai, a) in p.archives.iter().enumerate() {
+                    assert!(
+                        a.present() <= n,
+                        "peer {i} archive {ai} has {} partners (n = {n})",
+                        a.present()
+                    );
+                    // Partner lists (fresh + stale) never have duplicates.
+                    let mut sorted: Vec<PeerId> =
+                        a.partners.iter().chain(&a.stale_partners).copied().collect();
+                    sorted.sort_unstable();
+                    sorted.dedup();
+                    assert_eq!(
+                        sorted.len(),
+                        a.present() as usize,
+                        "peer {i} archive {ai} duplicate partner"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn joined_archives_stay_above_k_or_get_lost() {
+        // After every round, a joined archive has at least k present
+        // blocks (losses reset archives below k immediately).
+        let mut cfg = tiny_config(5);
+        cfg.rounds = 400;
+        let rounds = cfg.rounds;
+        let mut world = BackupWorld::new(cfg);
+        let mut engine = Engine::new(5);
+        for _ in 0..rounds {
+            engine.step(&mut world);
+            let k = world.k();
+            for (i, p) in world.peers.iter().enumerate() {
+                for (ai, a) in p.archives.iter().enumerate() {
+                    if a.joined {
+                        assert!(
+                            a.present() >= k,
+                            "peer {i} archive {ai} joined with {} < k present blocks",
+                            a.present()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quota_accounting_is_consistent() {
+        let mut cfg = tiny_config(6);
+        cfg.rounds = 250;
+        let rounds = cfg.rounds;
+        let quota = cfg.quota;
+        let mut world = BackupWorld::new(cfg);
+        let mut engine = Engine::new(6);
+        for _ in 0..rounds {
+            engine.step(&mut world);
+            for (i, p) in world.peers.iter().enumerate() {
+                let counted = p
+                    .hosted
+                    .iter()
+                    .filter(|&&(o, _)| world.peers[o as usize].observer.is_none())
+                    .count() as u32;
+                assert_eq!(p.quota_used, counted, "peer {i} quota drifted");
+                assert!(p.quota_used <= quota, "peer {i} exceeds quota");
+            }
+        }
+    }
+
+    #[test]
+    fn hosted_and_partner_lists_are_mutually_consistent() {
+        let mut cfg = tiny_config(8);
+        cfg.rounds = 150;
+        let rounds = cfg.rounds;
+        let mut world = BackupWorld::new(cfg);
+        let mut engine = Engine::new(8);
+        for _ in 0..rounds {
+            engine.step(&mut world);
+        }
+        for (i, p) in world.peers.iter().enumerate() {
+            for (ai, a) in p.archives.iter().enumerate() {
+                for &partner in a.partners.iter().chain(&a.stale_partners) {
+                    let host = &world.peers[partner as usize];
+                    let entries = host
+                        .hosted
+                        .iter()
+                        .filter(|&&(o, x)| o == i as PeerId && x as usize == ai)
+                        .count();
+                    assert_eq!(
+                        entries, 1,
+                        "peer {i} archive {ai} <-> partner {partner} inconsistent"
+                    );
+                }
+            }
+            for &(owner, aidx) in &p.hosted {
+                let a = &world.peers[owner as usize].archives[aidx as usize];
+                assert!(
+                    a.partners.contains(&(i as PeerId))
+                        || a.stale_partners.contains(&(i as PeerId)),
+                    "hosted entry without matching partner entry"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn long_offline_hosts_are_written_off() {
+        let mut cfg = tiny_config(9);
+        cfg.offline_timeout = 12;
+        cfg.rounds = 500;
+        let m = run(cfg);
+        assert!(
+            m.diag.partner_timeouts > 0,
+            "no partner ever exceeded a 12-round offline run"
+        );
+        // After a timeout fires, the host's hosted list must be empty —
+        // verified structurally by quota consistency + the invariant
+        // below: no offline-beyond-timeout peer hosts anything.
+    }
+
+    #[test]
+    fn timeouts_disabled_means_only_deaths_remove_blocks() {
+        let mut cfg = tiny_config(10);
+        cfg.offline_timeout = 0;
+        cfg.rounds = 2500; // long enough that erratic peers (1–3 month
+                           // lifetimes) certainly depart
+        let m = run(cfg);
+        assert_eq!(m.diag.partner_timeouts, 0);
+        // Repairs still happen (departures), just far fewer.
+        assert!(m.diag.departures > 0);
+    }
+
+    #[test]
+    fn observers_are_never_partners_and_consume_no_quota() {
+        let mut cfg = tiny_config(11);
+        cfg = cfg.with_paper_observers();
+        cfg.rounds = 300;
+        let rounds = cfg.rounds;
+        let mut world = BackupWorld::new(cfg);
+        let mut engine = Engine::new(11);
+        for _ in 0..rounds {
+            engine.step(&mut world);
+        }
+        let obs_count = world.observer_count;
+        for (i, p) in world.peers.iter().enumerate() {
+            if i < obs_count {
+                assert!(p.hosted.is_empty(), "observer {i} hosts blocks");
+                assert!(p.online, "observer {i} offline");
+                assert!(p.observer.is_some());
+            } else {
+                for a in &p.archives {
+                    for &q in a.partners.iter().chain(&a.stale_partners) {
+                        assert!(
+                            world.peers[q as usize].observer.is_none(),
+                            "regular peer {i} uses observer {q} as partner"
+                        );
+                    }
+                }
+            }
+        }
+        let metrics = world.into_metrics();
+        assert_eq!(metrics.observers.len(), 5);
+        let baby = metrics
+            .observers
+            .iter()
+            .find(|o| o.name == "Baby")
+            .unwrap();
+        assert_eq!(baby.frozen_age, 1);
+    }
+
+    #[test]
+    fn repairs_happen_under_churn() {
+        let mut cfg = tiny_config(12);
+        cfg.rounds = 2000;
+        let m = run(cfg);
+        assert!(m.total_repairs() > 0, "no repairs in 2000 rounds of churn");
+        assert!(m.diag.departures > 0);
+        assert!(m.diag.joins_completed >= 60);
+    }
+
+    #[test]
+    fn proactive_policy_runs() {
+        let mut cfg = tiny_config(13);
+        cfg.maintenance = MaintenancePolicy::Proactive { tick_rounds: 24 };
+        cfg.rounds = 2000;
+        let m = run(cfg);
+        assert!(m.total_repairs() > 0, "proactive policy never repaired");
+    }
+
+    #[test]
+    fn oracle_strategy_beats_youngest_on_maintenance_work() {
+        let mk = |strategy| {
+            let mut cfg = tiny_config(14).with_strategy(strategy);
+            cfg.rounds = 3000;
+            run(cfg)
+        };
+        let oracle = mk(SelectionStrategy::OracleLifetime);
+        let youngest = mk(SelectionStrategy::Youngest);
+        let oracle_work = oracle.total_repairs() + oracle.total_losses();
+        let youngest_work = youngest.total_repairs() + youngest.total_losses();
+        assert!(
+            oracle_work < youngest_work,
+            "oracle {oracle_work} vs youngest {youngest_work}"
+        );
+    }
+
+    #[test]
+    fn growth_phase_ramps_population() {
+        let mut cfg = tiny_config(15);
+        cfg.growth_rounds = 100;
+        cfg.rounds = 150;
+        let mut world = BackupWorld::new(cfg);
+        let mut engine = Engine::new(15);
+        engine.step(&mut world);
+        let early: u64 = world.census.iter().sum();
+        assert!(early < 60, "population should ramp, got {early} at round 0");
+        for _ in 0..120 {
+            engine.step(&mut world);
+        }
+        let late: u64 = world.census.iter().sum();
+        assert_eq!(late, 60);
+    }
+
+    #[test]
+    fn multi_archive_peers_maintain_each_archive_independently() {
+        let mut cfg = tiny_config(20);
+        cfg.archives_per_peer = 3;
+        cfg.quota = 3 * 48; // scale supply with demand
+        cfg.rounds = 1500;
+        let rounds = cfg.rounds;
+        let mut world = BackupWorld::new(cfg);
+        let mut engine = Engine::new(20);
+        for _ in 0..rounds {
+            engine.step(&mut world);
+        }
+        // Everyone ends up with 3 archive slots; joins counted per archive.
+        for (i, p) in world.peers.iter().enumerate() {
+            assert_eq!(p.archives.len(), 3, "peer {i} archive count");
+        }
+        assert!(
+            world.metrics.diag.joins_completed >= 3 * 60,
+            "per-archive joins: {}",
+            world.metrics.diag.joins_completed
+        );
+        // A partner may host several archives of the same owner, but at
+        // most one block per (owner, archive).
+        for p in &world.peers {
+            let mut entries: Vec<(PeerId, ArchiveIdx)> = p.hosted.clone();
+            entries.sort_unstable();
+            let before = entries.len();
+            entries.dedup();
+            assert_eq!(before, entries.len(), "duplicate (owner, archive) block");
+        }
+    }
+
+    #[test]
+    fn multi_archive_workload_scales_roughly_linearly() {
+        // The paper's §4.1 claim: "results should scale linearly when
+        // the number of archives of a peer is increasing".
+        let run_with = |archives: u16, quota: u32| {
+            let mut cfg = tiny_config(21);
+            cfg.archives_per_peer = archives;
+            cfg.quota = quota;
+            cfg.rounds = 3000;
+            run(cfg)
+        };
+        let one = run_with(1, 48);
+        let two = run_with(2, 96);
+        let r1 = one.total_repairs().max(1) as f64;
+        let r2 = two.total_repairs() as f64;
+        let ratio = r2 / r1;
+        assert!(
+            (1.2..3.4).contains(&ratio),
+            "2 archives should roughly double maintenance, got {ratio:.2}x \
+             ({} vs {})",
+            two.total_repairs(),
+            one.total_repairs()
+        );
+    }
+
+    #[test]
+    fn adaptive_policy_adjusts_thresholds_under_stress() {
+        let mut cfg = tiny_config(22);
+        // Tight quota forces shortfalls, which must push thresholds down.
+        cfg.quota = 18;
+        cfg.maintenance = MaintenancePolicy::Adaptive {
+            base: 12,
+            floor_margin: 1,
+            step: 1,
+        };
+        cfg.rounds = 3000;
+        let m = run(cfg);
+        assert!(
+            m.diag.threshold_adjustments > 0,
+            "adaptive policy never adjusted"
+        );
+        assert!(m.total_repairs() > 0);
+    }
+
+    #[test]
+    fn adaptive_policy_without_stress_behaves_like_reactive() {
+        let mk = |maintenance| {
+            let mut cfg = tiny_config(23);
+            cfg.maintenance = maintenance;
+            cfg.rounds = 2000;
+            run(cfg)
+        };
+        let reactive = mk(MaintenancePolicy::Reactive { threshold: 10 });
+        let adaptive = mk(MaintenancePolicy::Adaptive {
+            base: 10,
+            floor_margin: 1,
+            step: 1,
+        });
+        // With ample quota (no struggle), the adaptive policy stays at
+        // base and produces comparable maintenance volume.
+        let r = reactive.total_repairs().max(1) as f64;
+        let a = adaptive.total_repairs() as f64;
+        assert!(
+            (a / r) > 0.5 && (a / r) < 2.0,
+            "adaptive-without-stress diverged: {a} vs {r}"
+        );
+    }
+
+    #[test]
+    fn uptime_weighted_strategy_runs_and_prefers_available_peers() {
+        let mut cfg = tiny_config(24).with_strategy(SelectionStrategy::UptimeWeighted);
+        cfg.rounds = 3000;
+        let uptime = run(cfg);
+        let mut cfg = tiny_config(24).with_strategy(SelectionStrategy::Youngest);
+        cfg.rounds = 3000;
+        let youngest = run(cfg);
+        assert!(
+            uptime.total_repairs() < youngest.total_repairs(),
+            "uptime-weighted ({}) should beat youngest-first ({})",
+            uptime.total_repairs(),
+            youngest.total_repairs()
+        );
+    }
+
+    #[test]
+    fn restorability_series_is_sampled_and_bounded() {
+        let mut cfg = tiny_config(25);
+        cfg.rounds = 2000;
+        let m = run(cfg);
+        assert!(!m.restorability.is_empty(), "restorability unsampled");
+        for &(_, f) in &m.restorability {
+            assert!((0.0..=1.0).contains(&f), "fraction {f} out of range");
+        }
+        assert!(m.mean_restorability().is_some());
+    }
+
+    #[test]
+    fn always_online_network_is_fully_restorable() {
+        use peerback_churn::{LifetimeSpec, Profile, ProfileMix};
+        let mut cfg = tiny_config(26);
+        cfg.profiles = ProfileMix::new(vec![(
+            Profile::new("Titan", LifetimeSpec::Unlimited, 1.0),
+            1.0,
+        )]);
+        cfg.rounds = 1000;
+        let m = run(cfg);
+        let mean = m.mean_restorability().unwrap();
+        assert!(
+            mean > 0.99,
+            "always-online network should be ~100% instantly restorable, got {mean}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid simulation config")]
+    fn invalid_config_panics() {
+        let mut cfg = tiny_config(0);
+        cfg.n_peers = 0;
+        let _ = BackupWorld::new(cfg);
+    }
+}

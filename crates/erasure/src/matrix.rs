@@ -1,0 +1,348 @@
+//! Dense matrices over GF(2^8).
+//!
+//! Row-major storage; dimensions here are at most 256×256 (bounded by the
+//! field size), so simple dense algorithms are the right tool.
+
+use core::fmt;
+
+use peerback_gf256::Gf256;
+
+use crate::ErasureError;
+
+/// A dense matrix over GF(2^8).
+#[derive(Clone, PartialEq, Eq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Gf256>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zero(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be nonzero");
+        Matrix {
+            rows,
+            cols,
+            data: vec![Gf256::ZERO; rows * cols],
+        }
+    }
+
+    /// Creates the `size × size` identity matrix.
+    pub fn identity(size: usize) -> Self {
+        let mut m = Matrix::zero(size, size);
+        for i in 0..size {
+            m.set(i, i, Gf256::ONE);
+        }
+        m
+    }
+
+    /// Builds a matrix from a row-major closure.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> Gf256) -> Self {
+        let mut m = Matrix::zero(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m.set(r, c, f(r, c));
+            }
+        }
+        m
+    }
+
+    /// Builds a `rows × cols` Vandermonde matrix — entry
+    /// `(r, c) = point_r ^ c` — over distinct evaluation points. Rows
+    /// `0..255` use the generator powers `g^r`; row 255 (only reachable
+    /// when `rows == 256`) uses the remaining field element, `0`. With all
+    /// points distinct, any `cols` rows are linearly independent, which is
+    /// the property the erasure code relies on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows > 256` (GF(2^8) has only 256 distinct points).
+    pub fn vandermonde(rows: usize, cols: usize) -> Self {
+        assert!(rows <= 256, "at most 256 distinct points exist in GF(2^8)");
+        let point = |r: usize| if r < 255 { Gf256::exp(r) } else { Gf256::ZERO };
+        Matrix::from_fn(rows, cols, |r, c| point(r).pow(c as u64))
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> Gf256 {
+        debug_assert!(row < self.rows && col < self.cols);
+        self.data[row * self.cols + col]
+    }
+
+    /// Element assignment.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: Gf256) {
+        debug_assert!(row < self.rows && col < self.cols);
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// Borrows a whole row.
+    #[inline]
+    pub fn row(&self, row: usize) -> &[Gf256] {
+        debug_assert!(row < self.rows);
+        &self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Matrix product `self × rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions disagree.
+    pub fn multiply(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "inner dimensions must agree for multiplication"
+        );
+        let mut out = Matrix::zero(self.rows, rhs.cols);
+        for r in 0..self.rows {
+            for inner in 0..self.cols {
+                let a = self.get(r, inner);
+                if a.is_zero() {
+                    continue;
+                }
+                for c in 0..rhs.cols {
+                    let add = a * rhs.get(inner, c);
+                    out.set(r, c, out.get(r, c) + add);
+                }
+            }
+        }
+        out
+    }
+
+    /// Returns a new matrix made of the given rows of `self`, in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row index is out of range.
+    pub fn select_rows(&self, rows: &[usize]) -> Matrix {
+        let mut out = Matrix::zero(rows.len(), self.cols);
+        for (dst, &src) in rows.iter().enumerate() {
+            assert!(src < self.rows, "row index {src} out of range");
+            for c in 0..self.cols {
+                out.set(dst, c, self.get(src, c));
+            }
+        }
+        out
+    }
+
+    /// Returns the sub-matrix spanning `row_range × col_range` half-open.
+    pub fn submatrix(&self, rows: core::ops::Range<usize>, cols: core::ops::Range<usize>) -> Matrix {
+        assert!(rows.end <= self.rows && cols.end <= self.cols);
+        Matrix::from_fn(rows.len(), cols.len(), |r, c| {
+            self.get(rows.start + r, cols.start + c)
+        })
+    }
+
+    /// Inverts the matrix by Gauss–Jordan elimination with partial
+    /// pivoting (pivot search only needs a nonzero element in an exact
+    /// field).
+    ///
+    /// # Errors
+    ///
+    /// [`ErasureError::SingularMatrix`] if no inverse exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn inverse(&self) -> Result<Matrix, ErasureError> {
+        assert_eq!(self.rows, self.cols, "only square matrices can be inverted");
+        let n = self.rows;
+        let mut work = self.clone();
+        let mut inv = Matrix::identity(n);
+
+        for col in 0..n {
+            // Find a pivot row at or below `col`.
+            let pivot = (col..n)
+                .find(|&r| !work.get(r, col).is_zero())
+                .ok_or(ErasureError::SingularMatrix)?;
+            if pivot != col {
+                work.swap_rows(pivot, col);
+                inv.swap_rows(pivot, col);
+            }
+            // Normalise the pivot row.
+            let scale = work.get(col, col).inv();
+            work.scale_row(col, scale);
+            inv.scale_row(col, scale);
+            // Eliminate the column everywhere else.
+            for r in 0..n {
+                if r == col {
+                    continue;
+                }
+                let factor = work.get(r, col);
+                if factor.is_zero() {
+                    continue;
+                }
+                work.add_scaled_row(r, col, factor);
+                inv.add_scaled_row(r, col, factor);
+            }
+        }
+        Ok(inv)
+    }
+
+    fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        let (a, b) = (a.min(b), a.max(b));
+        let (head, tail) = self.data.split_at_mut(b * self.cols);
+        head[a * self.cols..(a + 1) * self.cols].swap_with_slice(&mut tail[..self.cols]);
+    }
+
+    fn scale_row(&mut self, row: usize, factor: Gf256) {
+        for c in 0..self.cols {
+            let v = self.get(row, c);
+            self.set(row, c, v * factor);
+        }
+    }
+
+    /// `row_dst -= factor * row_src` (== `+=` in characteristic 2).
+    fn add_scaled_row(&mut self, dst: usize, src: usize, factor: Gf256) {
+        for c in 0..self.cols {
+            let add = self.get(src, c) * factor;
+            let v = self.get(dst, c);
+            self.set(dst, c, v + add);
+        }
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows {
+            write!(f, "  ")?;
+            for c in 0..self.cols {
+                write!(f, "{:02x} ", self.get(r, c).value())?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_multiplication_is_neutral() {
+        let m = Matrix::vandermonde(4, 4);
+        let id = Matrix::identity(4);
+        assert_eq!(m.multiply(&id), m);
+        assert_eq!(id.multiply(&m), m);
+    }
+
+    #[test]
+    fn vandermonde_entries_are_powers() {
+        let m = Matrix::vandermonde(5, 3);
+        for r in 0..5 {
+            for c in 0..3 {
+                assert_eq!(m.get(r, c), Gf256::exp(r).pow(c as u64));
+            }
+        }
+        // First column is all ones (x^0).
+        for r in 0..5 {
+            assert_eq!(m.get(r, 0), Gf256::ONE);
+        }
+    }
+
+    #[test]
+    fn inverse_times_original_is_identity() {
+        for size in 1..=8 {
+            let m = Matrix::vandermonde(size, size);
+            let inv = m.inverse().expect("vandermonde is invertible");
+            assert_eq!(m.multiply(&inv), Matrix::identity(size), "size={size}");
+            assert_eq!(inv.multiply(&m), Matrix::identity(size), "size={size}");
+        }
+    }
+
+    #[test]
+    fn singular_matrix_is_detected() {
+        // Two identical rows.
+        let mut m = Matrix::vandermonde(3, 3);
+        for c in 0..3 {
+            let v = m.get(0, c);
+            m.set(1, c, v);
+        }
+        assert_eq!(m.inverse(), Err(ErasureError::SingularMatrix));
+    }
+
+    #[test]
+    fn zero_matrix_is_singular() {
+        assert_eq!(Matrix::zero(2, 2).inverse(), Err(ErasureError::SingularMatrix));
+    }
+
+    #[test]
+    fn select_rows_preserves_content_and_order() {
+        let m = Matrix::vandermonde(6, 3);
+        let sel = m.select_rows(&[4, 1]);
+        assert_eq!(sel.rows(), 2);
+        assert_eq!(sel.row(0), m.row(4));
+        assert_eq!(sel.row(1), m.row(1));
+    }
+
+    #[test]
+    fn submatrix_extracts_block() {
+        let m = Matrix::from_fn(4, 4, |r, c| Gf256::new((r * 4 + c) as u8));
+        let sub = m.submatrix(1..3, 2..4);
+        assert_eq!(sub.rows(), 2);
+        assert_eq!(sub.cols(), 2);
+        assert_eq!(sub.get(0, 0), m.get(1, 2));
+        assert_eq!(sub.get(0, 1), m.get(1, 3));
+        assert_eq!(sub.get(1, 0), m.get(2, 2));
+        assert_eq!(sub.get(1, 1), m.get(2, 3));
+    }
+
+    #[test]
+    fn multiplication_associates() {
+        let a = Matrix::vandermonde(3, 3);
+        let b = Matrix::vandermonde(3, 3).inverse().unwrap();
+        let c = Matrix::from_fn(3, 3, |r, c| Gf256::new((r + 7 * c + 1) as u8));
+        assert_eq!(a.multiply(&b).multiply(&c), a.multiply(&b.multiply(&c)));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be nonzero")]
+    fn zero_dimension_panics() {
+        let _ = Matrix::zero(0, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn dimension_mismatch_panics() {
+        let a = Matrix::zero(2, 3);
+        let b = Matrix::zero(2, 3);
+        let _ = a.multiply(&b);
+    }
+
+    #[test]
+    fn any_square_subset_of_vandermonde_rows_is_invertible() {
+        // The defining property the codec depends on: any k rows of an
+        // n×k Vandermonde matrix with distinct points form an invertible
+        // matrix. Exhaustive over 3-subsets of 8 rows.
+        let m = Matrix::vandermonde(8, 3);
+        for a in 0..8 {
+            for b in (a + 1)..8 {
+                for c in (b + 1)..8 {
+                    let sub = m.select_rows(&[a, b, c]);
+                    assert!(sub.inverse().is_ok(), "rows {a},{b},{c}");
+                }
+            }
+        }
+    }
+}

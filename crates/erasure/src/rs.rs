@@ -1,0 +1,484 @@
+//! The systematic Reed–Solomon encoder/decoder.
+
+use peerback_gf256::{mul_add_slice, Gf256};
+
+use crate::{ErasureError, Matrix};
+
+/// A Reed–Solomon codec for a fixed geometry of `k` data shards and `m`
+/// parity shards (`n = k + m` total, `n <= 256` over GF(2^8)).
+///
+/// The encoding matrix is the standard systematic construction: an
+/// `n × k` Vandermonde matrix multiplied by the inverse of its own top
+/// `k × k` block, so rows `0..k` form the identity (data shards pass
+/// through unchanged) and any `k` rows remain linearly independent.
+///
+/// The type is cheap to clone and immutable after construction, so it can
+/// be shared freely between threads.
+#[derive(Debug, Clone)]
+pub struct ReedSolomon {
+    data_shards: usize,
+    parity_shards: usize,
+    /// Full `n × k` encoding matrix (top block = identity).
+    encode_matrix: Matrix,
+}
+
+impl ReedSolomon {
+    /// Creates a codec for `k` data + `m` parity shards.
+    ///
+    /// # Errors
+    ///
+    /// * [`ErasureError::ZeroDataShards`] if `k == 0`.
+    /// * [`ErasureError::TooManyShards`] if `k + m > 256`.
+    pub fn new(data_shards: usize, parity_shards: usize) -> Result<Self, ErasureError> {
+        if data_shards == 0 {
+            return Err(ErasureError::ZeroDataShards);
+        }
+        let total = data_shards + parity_shards;
+        if total > 256 {
+            return Err(ErasureError::TooManyShards { requested: total });
+        }
+        let vandermonde = Matrix::vandermonde(total, data_shards);
+        let top = vandermonde.submatrix(0..data_shards, 0..data_shards);
+        let top_inv = top
+            .inverse()
+            .expect("top Vandermonde block is always invertible");
+        let encode_matrix = vandermonde.multiply(&top_inv);
+        Ok(ReedSolomon {
+            data_shards,
+            parity_shards,
+            encode_matrix,
+        })
+    }
+
+    /// Creates the paper's headline geometry: `k = 128`, `m = 128`.
+    pub fn paper_default() -> Self {
+        ReedSolomon::new(128, 128).expect("128 + 128 fits in GF(2^8)")
+    }
+
+    /// Number of data shards `k`.
+    pub fn data_shards(&self) -> usize {
+        self.data_shards
+    }
+
+    /// Number of parity shards `m`.
+    pub fn parity_shards(&self) -> usize {
+        self.parity_shards
+    }
+
+    /// Total shard count `n = k + m`.
+    pub fn total_shards(&self) -> usize {
+        self.data_shards + self.parity_shards
+    }
+
+    /// The row of the encoding matrix for shard `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= n`.
+    pub fn coefficients(&self, index: usize) -> &[Gf256] {
+        self.encode_matrix.row(index)
+    }
+
+    fn check_data(&self, data: &[impl AsRef<[u8]>]) -> Result<usize, ErasureError> {
+        if data.len() != self.data_shards {
+            return Err(ErasureError::WrongShardCount {
+                expected: self.data_shards,
+                actual: data.len(),
+            });
+        }
+        let len = data[0].as_ref().len();
+        if data.iter().any(|s| s.as_ref().len() != len) {
+            return Err(ErasureError::ShardLengthMismatch);
+        }
+        Ok(len)
+    }
+
+    /// Encodes `k` data shards into `m` parity shards.
+    ///
+    /// The data shards themselves are shards `0..k` of the code word; the
+    /// returned vector holds shards `k..n`.
+    ///
+    /// # Errors
+    ///
+    /// [`ErasureError::WrongShardCount`] or
+    /// [`ErasureError::ShardLengthMismatch`] on malformed input.
+    pub fn encode(&self, data: &[impl AsRef<[u8]>]) -> Result<Vec<Vec<u8>>, ErasureError> {
+        let len = self.check_data(data)?;
+        let mut parity = vec![vec![0u8; len]; self.parity_shards];
+        for (p, out) in parity.iter_mut().enumerate() {
+            let row = self.encode_matrix.row(self.data_shards + p);
+            for (c, shard) in data.iter().enumerate() {
+                mul_add_slice(out, shard.as_ref(), row[c].value());
+            }
+        }
+        Ok(parity)
+    }
+
+    /// Computes the single shard at `index` directly from the data shards
+    /// (used by the repair path to regenerate exactly the missing blocks).
+    ///
+    /// # Errors
+    ///
+    /// Same input validation as [`encode`](Self::encode), plus
+    /// [`ErasureError::IndexOutOfRange`].
+    pub fn shard_at(
+        &self,
+        data: &[impl AsRef<[u8]>],
+        index: usize,
+    ) -> Result<Vec<u8>, ErasureError> {
+        let len = self.check_data(data)?;
+        if index >= self.total_shards() {
+            return Err(ErasureError::IndexOutOfRange {
+                index,
+                total: self.total_shards(),
+            });
+        }
+        let row = self.encode_matrix.row(index);
+        let mut out = vec![0u8; len];
+        for (c, shard) in data.iter().enumerate() {
+            mul_add_slice(&mut out, shard.as_ref(), row[c].value());
+        }
+        Ok(out)
+    }
+
+    fn validate_survivors(
+        &self,
+        shards: &[(usize, impl AsRef<[u8]>)],
+        shard_len: usize,
+    ) -> Result<(), ErasureError> {
+        if shards.len() < self.data_shards {
+            return Err(ErasureError::NotEnoughShards {
+                available: shards.len(),
+                needed: self.data_shards,
+            });
+        }
+        let mut seen = [false; 256];
+        for (index, shard) in shards {
+            if *index >= self.total_shards() {
+                return Err(ErasureError::IndexOutOfRange {
+                    index: *index,
+                    total: self.total_shards(),
+                });
+            }
+            if seen[*index] {
+                return Err(ErasureError::DuplicateIndex { index: *index });
+            }
+            seen[*index] = true;
+            if shard.as_ref().len() != shard_len {
+                return Err(ErasureError::ShardLengthMismatch);
+            }
+        }
+        Ok(())
+    }
+
+    /// Reconstructs the `k` original data shards from **any** `k` (or
+    /// more) surviving shards, supplied as `(shard_index, bytes)` pairs in
+    /// any order. Exactly the first `k` supplied shards are used.
+    ///
+    /// # Errors
+    ///
+    /// [`ErasureError::NotEnoughShards`] when fewer than `k` survive, plus
+    /// the validation errors of [`encode`](Self::encode).
+    pub fn reconstruct_data(
+        &self,
+        shards: &[(usize, impl AsRef<[u8]>)],
+        shard_len: usize,
+    ) -> Result<Vec<Vec<u8>>, ErasureError> {
+        self.validate_survivors(shards, shard_len)?;
+        let used = &shards[..self.data_shards];
+
+        // Fast path: if the k survivors happen to all be data shards we
+        // can copy them straight out without any matrix work.
+        if used.iter().all(|(i, _)| *i < self.data_shards) {
+            let mut data = vec![Vec::new(); self.data_shards];
+            for (index, shard) in used {
+                data[*index] = shard.as_ref().to_vec();
+            }
+            if data.iter().all(|d| !d.is_empty() || shard_len == 0) {
+                // All k distinct data shards present.
+                return Ok(data);
+            }
+        }
+
+        let rows: Vec<usize> = used.iter().map(|(i, _)| *i).collect();
+        let decode = self.encode_matrix.select_rows(&rows).inverse()?;
+        let mut data = vec![vec![0u8; shard_len]; self.data_shards];
+        for (r, out) in data.iter_mut().enumerate() {
+            for (c, (_, shard)) in used.iter().enumerate() {
+                mul_add_slice(out, shard.as_ref(), decode.get(r, c).value());
+            }
+        }
+        Ok(data)
+    }
+
+    /// Regenerates the shards at `wanted` indices from any `k` survivors:
+    /// the repair operation of the paper's §2.2.3 (download `k` blocks,
+    /// decode, re-encode the `d` missing blocks).
+    ///
+    /// # Errors
+    ///
+    /// As [`reconstruct_data`](Self::reconstruct_data), plus
+    /// [`ErasureError::IndexOutOfRange`] for bad `wanted` indices.
+    pub fn reconstruct_shards(
+        &self,
+        shards: &[(usize, impl AsRef<[u8]>)],
+        shard_len: usize,
+        wanted: &[usize],
+    ) -> Result<Vec<Vec<u8>>, ErasureError> {
+        for &w in wanted {
+            if w >= self.total_shards() {
+                return Err(ErasureError::IndexOutOfRange {
+                    index: w,
+                    total: self.total_shards(),
+                });
+            }
+        }
+        let data = self.reconstruct_data(shards, shard_len)?;
+        wanted.iter().map(|&w| self.shard_at(&data, w)).collect()
+    }
+
+    /// Verifies that a complete shard set (`n` shards, index order) is
+    /// consistent: every parity shard equals the encoding of the data
+    /// shards.
+    ///
+    /// # Errors
+    ///
+    /// Validation errors as for [`encode`](Self::encode).
+    pub fn verify(&self, shards: &[impl AsRef<[u8]>]) -> Result<bool, ErasureError> {
+        if shards.len() != self.total_shards() {
+            return Err(ErasureError::WrongShardCount {
+                expected: self.total_shards(),
+                actual: shards.len(),
+            });
+        }
+        let parity = self.encode(&shards[..self.data_shards])?;
+        Ok(parity
+            .iter()
+            .zip(&shards[self.data_shards..])
+            .all(|(computed, given)| computed.as_slice() == given.as_ref()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_data(k: usize, len: usize) -> Vec<Vec<u8>> {
+        (0..k)
+            .map(|i| {
+                (0..len)
+                    .map(|j| ((i * 31 + j * 7 + 13) % 251) as u8)
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn geometry_validation() {
+        assert_eq!(
+            ReedSolomon::new(0, 4).unwrap_err(),
+            ErasureError::ZeroDataShards
+        );
+        assert_eq!(
+            ReedSolomon::new(200, 100).unwrap_err(),
+            ErasureError::TooManyShards { requested: 300 }
+        );
+        assert!(ReedSolomon::new(128, 128).is_ok());
+        assert!(ReedSolomon::new(256, 0).is_ok());
+        assert!(ReedSolomon::new(1, 255).is_ok());
+    }
+
+    #[test]
+    fn encoding_matrix_is_systematic() {
+        let rs = ReedSolomon::new(5, 3).unwrap();
+        for r in 0..5 {
+            for c in 0..5 {
+                let expect = if r == c { Gf256::ONE } else { Gf256::ZERO };
+                assert_eq!(rs.coefficients(r)[c], expect);
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_with_all_data_shards() {
+        let rs = ReedSolomon::new(4, 2).unwrap();
+        let data = sample_data(4, 32);
+        let survivors: Vec<(usize, Vec<u8>)> =
+            data.iter().cloned().enumerate().collect();
+        let out = rs.reconstruct_data(&survivors, 32).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn round_trip_with_parity_only() {
+        let rs = ReedSolomon::new(3, 3).unwrap();
+        let data = sample_data(3, 16);
+        let parity = rs.encode(&data).unwrap();
+        let survivors: Vec<(usize, Vec<u8>)> = parity
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(i, s)| (i + 3, s))
+            .collect();
+        let out = rs.reconstruct_data(&survivors, 16).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn every_k_subset_recovers_small_geometry() {
+        let rs = ReedSolomon::new(3, 2).unwrap();
+        let data = sample_data(3, 8);
+        let parity = rs.encode(&data).unwrap();
+        let mut all: Vec<Vec<u8>> = data.clone();
+        all.extend(parity);
+
+        let n = rs.total_shards();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                for c in (b + 1)..n {
+                    let survivors = vec![
+                        (a, all[a].clone()),
+                        (b, all[b].clone()),
+                        (c, all[c].clone()),
+                    ];
+                    let out = rs.reconstruct_data(&survivors, 8).unwrap();
+                    assert_eq!(out, data, "subset {a},{b},{c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paper_geometry_survives_m_failures() {
+        // k = 128, m = 128: losing any 128 shards must be recoverable.
+        let rs = ReedSolomon::paper_default();
+        let data = sample_data(128, 4);
+        let parity = rs.encode(&data).unwrap();
+        let mut all = data.clone();
+        all.extend(parity);
+
+        // Take an adversarial survivor pattern: every second shard.
+        let survivors: Vec<(usize, Vec<u8>)> =
+            (0..256).step_by(2).map(|i| (i, all[i].clone())).collect();
+        assert_eq!(survivors.len(), 128);
+        let out = rs.reconstruct_data(&survivors, 4).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn shard_at_matches_encode() {
+        let rs = ReedSolomon::new(4, 3).unwrap();
+        let data = sample_data(4, 24);
+        let parity = rs.encode(&data).unwrap();
+        for i in 0..4 {
+            assert_eq!(rs.shard_at(&data, i).unwrap(), data[i], "data shard {i}");
+        }
+        for (p, expect) in parity.iter().enumerate() {
+            assert_eq!(&rs.shard_at(&data, 4 + p).unwrap(), expect, "parity {p}");
+        }
+        assert!(matches!(
+            rs.shard_at(&data, 7),
+            Err(ErasureError::IndexOutOfRange { index: 7, total: 7 })
+        ));
+    }
+
+    #[test]
+    fn reconstruct_shards_regenerates_missing_blocks() {
+        let rs = ReedSolomon::new(4, 4).unwrap();
+        let data = sample_data(4, 12);
+        let parity = rs.encode(&data).unwrap();
+        let mut all = data.clone();
+        all.extend(parity.clone());
+
+        // Lose shards 1, 5, 6; repair from {0, 2, 3, 7}.
+        let survivors = vec![
+            (0usize, all[0].clone()),
+            (2, all[2].clone()),
+            (3, all[3].clone()),
+            (7, all[7].clone()),
+        ];
+        let repaired = rs.reconstruct_shards(&survivors, 12, &[1, 5, 6]).unwrap();
+        assert_eq!(repaired[0], all[1]);
+        assert_eq!(repaired[1], all[5]);
+        assert_eq!(repaired[2], all[6]);
+    }
+
+    #[test]
+    fn verify_detects_corruption() {
+        let rs = ReedSolomon::new(4, 2).unwrap();
+        let data = sample_data(4, 10);
+        let parity = rs.encode(&data).unwrap();
+        let mut all = data;
+        all.extend(parity);
+        assert!(rs.verify(&all).unwrap());
+        all[5][3] ^= 0x40;
+        assert!(!rs.verify(&all).unwrap());
+    }
+
+    #[test]
+    fn input_validation_errors() {
+        let rs = ReedSolomon::new(4, 2).unwrap();
+        let bad_count = sample_data(3, 8);
+        assert!(matches!(
+            rs.encode(&bad_count),
+            Err(ErasureError::WrongShardCount { expected: 4, actual: 3 })
+        ));
+
+        let mut bad_len = sample_data(4, 8);
+        bad_len[2].pop();
+        assert!(matches!(
+            rs.encode(&bad_len),
+            Err(ErasureError::ShardLengthMismatch)
+        ));
+
+        let too_few: Vec<(usize, Vec<u8>)> = vec![(0, vec![0; 8]); 1];
+        assert!(matches!(
+            rs.reconstruct_data(&too_few, 8),
+            Err(ErasureError::NotEnoughShards { available: 1, needed: 4 })
+        ));
+
+        let dup: Vec<(usize, Vec<u8>)> = vec![
+            (0, vec![0; 8]),
+            (0, vec![0; 8]),
+            (1, vec![0; 8]),
+            (2, vec![0; 8]),
+        ];
+        assert!(matches!(
+            rs.reconstruct_data(&dup, 8),
+            Err(ErasureError::DuplicateIndex { index: 0 })
+        ));
+
+        let out_of_range: Vec<(usize, Vec<u8>)> = vec![
+            (0, vec![0; 8]),
+            (1, vec![0; 8]),
+            (2, vec![0; 8]),
+            (9, vec![0; 8]),
+        ];
+        assert!(matches!(
+            rs.reconstruct_data(&out_of_range, 8),
+            Err(ErasureError::IndexOutOfRange { index: 9, total: 6 })
+        ));
+    }
+
+    #[test]
+    fn zero_length_shards_round_trip() {
+        let rs = ReedSolomon::new(2, 2).unwrap();
+        let data = vec![vec![], vec![]];
+        let parity = rs.encode(&data).unwrap();
+        assert_eq!(parity, vec![Vec::<u8>::new(), Vec::new()]);
+        let survivors: Vec<(usize, Vec<u8>)> = vec![(2, vec![]), (3, vec![])];
+        let out = rs.reconstruct_data(&survivors, 0).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn pure_replication_geometry_k1() {
+        // k = 1 degenerates to replication: every shard equals the data.
+        let rs = ReedSolomon::new(1, 3).unwrap();
+        let data = vec![vec![1u8, 2, 3]];
+        let parity = rs.encode(&data).unwrap();
+        for p in &parity {
+            assert_eq!(p, &data[0]);
+        }
+    }
+}

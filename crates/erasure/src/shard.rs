@@ -1,0 +1,254 @@
+//! Shard containers used by the backup data plane.
+
+use crate::{ErasureError, ReedSolomon};
+
+/// Index of a shard within a code word (`0..n`).
+pub type ShardIndex = usize;
+
+/// One erasure-coded block together with its position in the code word.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Shard {
+    /// Position of this shard in the code word.
+    pub index: ShardIndex,
+    /// Shard payload.
+    pub bytes: Vec<u8>,
+}
+
+impl Shard {
+    /// Creates a shard.
+    pub fn new(index: ShardIndex, bytes: Vec<u8>) -> Self {
+        Shard { index, bytes }
+    }
+}
+
+/// A partially-present set of shards for one code word.
+///
+/// This is the owner-side view of an archive's blocks as they live in the
+/// network: slots fill as blocks are fetched and empty as partners vanish.
+/// It answers the two questions the maintenance loop keeps asking — *can I
+/// still decode?* and *which indices must a repair regenerate?*
+#[derive(Debug, Clone)]
+pub struct ShardSet {
+    shard_len: usize,
+    slots: Vec<Option<Vec<u8>>>,
+}
+
+impl ShardSet {
+    /// Creates an empty set for `total` shards of length `shard_len`.
+    pub fn new(total: usize, shard_len: usize) -> Self {
+        ShardSet {
+            shard_len,
+            slots: vec![None; total],
+        }
+    }
+
+    /// Builds a full set from `n` complete shards.
+    ///
+    /// # Errors
+    ///
+    /// [`ErasureError::ShardLengthMismatch`] if lengths disagree.
+    pub fn from_complete(shards: Vec<Vec<u8>>) -> Result<Self, ErasureError> {
+        let shard_len = shards.first().map_or(0, Vec::len);
+        if shards.iter().any(|s| s.len() != shard_len) {
+            return Err(ErasureError::ShardLengthMismatch);
+        }
+        Ok(ShardSet {
+            shard_len,
+            slots: shards.into_iter().map(Some).collect(),
+        })
+    }
+
+    /// Total slot count `n`.
+    pub fn total(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Length in bytes of each shard.
+    pub fn shard_len(&self) -> usize {
+        self.shard_len
+    }
+
+    /// Number of shards currently present.
+    pub fn present(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Number of missing shards.
+    pub fn missing(&self) -> usize {
+        self.total() - self.present()
+    }
+
+    /// Whether the slot at `index` holds a shard.
+    pub fn has(&self, index: ShardIndex) -> bool {
+        self.slots.get(index).is_some_and(Option::is_some)
+    }
+
+    /// Inserts (or replaces) a shard.
+    ///
+    /// # Errors
+    ///
+    /// [`ErasureError::IndexOutOfRange`] or
+    /// [`ErasureError::ShardLengthMismatch`].
+    pub fn insert(&mut self, shard: Shard) -> Result<(), ErasureError> {
+        if shard.index >= self.total() {
+            return Err(ErasureError::IndexOutOfRange {
+                index: shard.index,
+                total: self.total(),
+            });
+        }
+        if shard.bytes.len() != self.shard_len {
+            return Err(ErasureError::ShardLengthMismatch);
+        }
+        self.slots[shard.index] = Some(shard.bytes);
+        Ok(())
+    }
+
+    /// Removes the shard at `index`, returning it if present.
+    pub fn remove(&mut self, index: ShardIndex) -> Option<Vec<u8>> {
+        self.slots.get_mut(index).and_then(Option::take)
+    }
+
+    /// Indices with no shard — the `d` blocks a repair must regenerate.
+    pub fn missing_indices(&self) -> Vec<ShardIndex> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_none())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Present shards as `(index, bytes)` pairs for the decoder.
+    pub fn present_shards(&self) -> Vec<(ShardIndex, &[u8])> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|b| (i, b.as_slice())))
+            .collect()
+    }
+
+    /// True when at least `k` shards are present for the given codec.
+    pub fn decodable(&self, rs: &ReedSolomon) -> bool {
+        self.present() >= rs.data_shards()
+    }
+
+    /// Runs a full repair: decodes from the present shards and fills every
+    /// missing slot (paper §2.2.3: download `k`, re-encode the `d` missing
+    /// blocks). Returns the regenerated shards.
+    ///
+    /// # Errors
+    ///
+    /// [`ErasureError::NotEnoughShards`] when fewer than `k` are present.
+    pub fn repair(&mut self, rs: &ReedSolomon) -> Result<Vec<Shard>, ErasureError> {
+        let wanted = self.missing_indices();
+        if wanted.is_empty() {
+            return Ok(Vec::new());
+        }
+        let regenerated = {
+            let present = self.present_shards();
+            rs.reconstruct_shards(&present, self.shard_len, &wanted)?
+        };
+        let mut out = Vec::with_capacity(wanted.len());
+        for (index, bytes) in wanted.into_iter().zip(regenerated) {
+            self.slots[index] = Some(bytes.clone());
+            out.push(Shard::new(index, bytes));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codec() -> ReedSolomon {
+        ReedSolomon::new(3, 2).unwrap()
+    }
+
+    fn full_set(rs: &ReedSolomon) -> (ShardSet, Vec<Vec<u8>>) {
+        let data: Vec<Vec<u8>> = (0..rs.data_shards())
+            .map(|i| vec![i as u8 + 1; 6])
+            .collect();
+        let mut all = data.clone();
+        all.extend(rs.encode(&data).unwrap());
+        (ShardSet::from_complete(all).unwrap(), data)
+    }
+
+    #[test]
+    fn counts_track_insert_and_remove() {
+        let mut set = ShardSet::new(5, 4);
+        assert_eq!(set.present(), 0);
+        assert_eq!(set.missing(), 5);
+        set.insert(Shard::new(2, vec![1, 2, 3, 4])).unwrap();
+        assert_eq!(set.present(), 1);
+        assert!(set.has(2));
+        assert!(!set.has(0));
+        assert_eq!(set.remove(2), Some(vec![1, 2, 3, 4]));
+        assert_eq!(set.remove(2), None);
+        assert_eq!(set.present(), 0);
+    }
+
+    #[test]
+    fn insert_validates_index_and_length() {
+        let mut set = ShardSet::new(3, 4);
+        assert!(matches!(
+            set.insert(Shard::new(3, vec![0; 4])),
+            Err(ErasureError::IndexOutOfRange { index: 3, total: 3 })
+        ));
+        assert!(matches!(
+            set.insert(Shard::new(0, vec![0; 5])),
+            Err(ErasureError::ShardLengthMismatch)
+        ));
+    }
+
+    #[test]
+    fn from_complete_rejects_ragged_input() {
+        assert!(ShardSet::from_complete(vec![vec![1, 2], vec![3]]).is_err());
+    }
+
+    #[test]
+    fn repair_fills_missing_slots_with_correct_bytes() {
+        let rs = codec();
+        let (mut set, data) = full_set(&rs);
+        let original: Vec<Vec<u8>> = (0..set.total())
+            .map(|i| set.present_shards()[i].1.to_vec())
+            .collect();
+
+        set.remove(1);
+        set.remove(4);
+        assert_eq!(set.missing_indices(), vec![1, 4]);
+        assert!(set.decodable(&rs));
+
+        let regenerated = set.repair(&rs).unwrap();
+        assert_eq!(regenerated.len(), 2);
+        assert_eq!(regenerated[0], Shard::new(1, original[1].clone()));
+        assert_eq!(regenerated[1], Shard::new(4, original[4].clone()));
+        assert_eq!(set.missing(), 0);
+
+        // And the data still decodes to the original.
+        let present = set.present_shards();
+        let decoded = rs.reconstruct_data(&present, 6).unwrap();
+        assert_eq!(decoded, data);
+    }
+
+    #[test]
+    fn repair_with_nothing_missing_is_a_no_op() {
+        let rs = codec();
+        let (mut set, _) = full_set(&rs);
+        assert!(set.repair(&rs).unwrap().is_empty());
+    }
+
+    #[test]
+    fn repair_below_k_fails() {
+        let rs = codec();
+        let (mut set, _) = full_set(&rs);
+        set.remove(0);
+        set.remove(1);
+        set.remove(2);
+        assert!(!set.decodable(&rs));
+        assert!(matches!(
+            set.repair(&rs),
+            Err(ErasureError::NotEnoughShards { available: 2, needed: 3 })
+        ));
+    }
+}

@@ -1,0 +1,33 @@
+//! Arithmetic over the Galois field GF(2^8).
+//!
+//! This crate is the lowest layer of the `peerback` workspace: it provides
+//! the finite-field arithmetic that the Reed–Solomon codec in
+//! `peerback-erasure` is built on.
+//!
+//! The field is realised as `GF(2)[x] / (x^8 + x^4 + x^3 + x^2 + 1)`
+//! (primitive polynomial `0x11d`, the one used by QR codes and most storage
+//! systems), with `x` (= `2`) as the multiplicative generator. Exp/log
+//! tables are computed at compile time, so multiplication and division are
+//! two table lookups and an addition.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use peerback_gf256::Gf256;
+//!
+//! let a = Gf256::new(0x53);
+//! let b = Gf256::new(0xca);
+//! let product = a * b;
+//! assert_eq!(product / b, a);
+//! assert_eq!(a + a, Gf256::ZERO); // characteristic 2: addition is XOR
+//! ```
+
+mod field;
+mod poly;
+mod slice;
+mod tables;
+
+pub use field::Gf256;
+pub use poly::Poly;
+pub use slice::{add_assign_slice, mul_add_slice, mul_slice, mul_slice_in_place};
+pub use tables::{EXP_TABLE, LOG_TABLE, PRIMITIVE_POLY};

@@ -1,0 +1,165 @@
+//! Bulk slice kernels used by the erasure-codec hot loops.
+//!
+//! Encoding a shard is a sequence of `dst ^= src * c` operations over whole
+//! blocks; routing them through per-element `Gf256` operators would pay the
+//! zero checks on every byte. These kernels hoist the constant's log out of
+//! the loop, which is the standard table-driven formulation and what the
+//! `rs_codec` Criterion bench measures.
+
+use crate::tables::{EXP_TABLE, LOG_TABLE};
+
+/// `dst[i] ^= src[i]` for all `i`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn add_assign_slice(dst: &mut [u8], src: &[u8]) {
+    assert_eq!(dst.len(), src.len(), "slice length mismatch");
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d ^= s;
+    }
+}
+
+/// `dst[i] = src[i] * c` for all `i`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn mul_slice(dst: &mut [u8], src: &[u8], c: u8) {
+    assert_eq!(dst.len(), src.len(), "slice length mismatch");
+    match c {
+        0 => dst.fill(0),
+        1 => dst.copy_from_slice(src),
+        _ => {
+            let log_c = LOG_TABLE[c as usize] as usize;
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d = if s == 0 {
+                    0
+                } else {
+                    EXP_TABLE[log_c + LOG_TABLE[s as usize] as usize]
+                };
+            }
+        }
+    }
+}
+
+/// `data[i] *= c` for all `i`.
+pub fn mul_slice_in_place(data: &mut [u8], c: u8) {
+    match c {
+        0 => data.fill(0),
+        1 => {}
+        _ => {
+            let log_c = LOG_TABLE[c as usize] as usize;
+            for d in data.iter_mut() {
+                if *d != 0 {
+                    *d = EXP_TABLE[log_c + LOG_TABLE[*d as usize] as usize];
+                }
+            }
+        }
+    }
+}
+
+/// `dst[i] ^= src[i] * c` for all `i` — the fused multiply-accumulate at
+/// the heart of matrix-vector encoding.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn mul_add_slice(dst: &mut [u8], src: &[u8], c: u8) {
+    assert_eq!(dst.len(), src.len(), "slice length mismatch");
+    match c {
+        0 => {}
+        1 => add_assign_slice(dst, src),
+        _ => {
+            let log_c = LOG_TABLE[c as usize] as usize;
+            for (d, &s) in dst.iter_mut().zip(src) {
+                if s != 0 {
+                    *d ^= EXP_TABLE[log_c + LOG_TABLE[s as usize] as usize];
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Gf256;
+
+    fn sample(len: usize, seed: u8) -> Vec<u8> {
+        (0..len)
+            .map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed))
+            .collect()
+    }
+
+    #[test]
+    fn add_assign_matches_scalar() {
+        let src = sample(257, 3);
+        let mut dst = sample(257, 11);
+        let expect: Vec<u8> = dst
+            .iter()
+            .zip(&src)
+            .map(|(&d, &s)| (Gf256(d) + Gf256(s)).value())
+            .collect();
+        add_assign_slice(&mut dst, &src);
+        assert_eq!(dst, expect);
+    }
+
+    #[test]
+    fn mul_slice_matches_scalar_for_every_constant() {
+        let src = sample(64, 5);
+        for c in 0u16..=255 {
+            let mut dst = vec![0u8; src.len()];
+            mul_slice(&mut dst, &src, c as u8);
+            let expect: Vec<u8> = src
+                .iter()
+                .map(|&s| (Gf256(s) * Gf256(c as u8)).value())
+                .collect();
+            assert_eq!(dst, expect, "c={c}");
+        }
+    }
+
+    #[test]
+    fn mul_slice_in_place_matches_mul_slice() {
+        let src = sample(64, 9);
+        for c in [0u8, 1, 2, 0x53, 0xff] {
+            let mut a = src.clone();
+            let mut b = vec![0u8; src.len()];
+            mul_slice_in_place(&mut a, c);
+            mul_slice(&mut b, &src, c);
+            assert_eq!(a, b, "c={c}");
+        }
+    }
+
+    #[test]
+    fn mul_add_matches_scalar_for_every_constant() {
+        let src = sample(64, 7);
+        let base = sample(64, 13);
+        for c in 0u16..=255 {
+            let mut dst = base.clone();
+            mul_add_slice(&mut dst, &src, c as u8);
+            let expect: Vec<u8> = base
+                .iter()
+                .zip(&src)
+                .map(|(&d, &s)| (Gf256(d) + Gf256(s) * Gf256(c as u8)).value())
+                .collect();
+            assert_eq!(dst, expect, "c={c}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let mut dst = [0u8; 3];
+        mul_add_slice(&mut dst, &[1, 2], 5);
+    }
+
+    #[test]
+    fn empty_slices_are_fine() {
+        let mut dst: [u8; 0] = [];
+        mul_add_slice(&mut dst, &[], 7);
+        mul_slice(&mut dst, &[], 7);
+        add_assign_slice(&mut dst, &[]);
+    }
+}

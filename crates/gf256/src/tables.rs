@@ -1,0 +1,82 @@
+//! Compile-time exp/log tables for GF(2^8).
+
+/// The primitive polynomial defining the field:
+/// `x^8 + x^4 + x^3 + x^2 + 1` (`0x11d`).
+pub const PRIMITIVE_POLY: u16 = 0x11d;
+
+const fn build_exp() -> [u8; 512] {
+    let mut exp = [0u8; 512];
+    let mut x: u16 = 1;
+    let mut i = 0;
+    while i < 255 {
+        exp[i] = x as u8;
+        x <<= 1;
+        if x & 0x100 != 0 {
+            x ^= PRIMITIVE_POLY;
+        }
+        i += 1;
+    }
+    // Duplicate the cycle so `EXP_TABLE[log_a + log_b]` never needs a
+    // modular reduction (log_a + log_b <= 508).
+    let mut j = 255;
+    while j < 512 {
+        exp[j] = exp[j - 255];
+        j += 1;
+    }
+    exp
+}
+
+const fn build_log(exp: &[u8; 512]) -> [u8; 256] {
+    // LOG_TABLE[0] is never consulted by field code (log of zero is
+    // undefined); it is left as 0.
+    let mut log = [0u8; 256];
+    let mut i = 0;
+    while i < 255 {
+        log[exp[i] as usize] = i as u8;
+        i += 1;
+    }
+    log
+}
+
+/// `EXP_TABLE[i] = g^i` for the generator `g = 2`, duplicated over 512
+/// entries so that products of two logs index without wraparound.
+pub static EXP_TABLE: [u8; 512] = build_exp();
+
+/// `LOG_TABLE[a] = log_g(a)` for `a != 0`; entry 0 is unused.
+pub static LOG_TABLE: [u8; 256] = build_log(&EXP_TABLE);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_cycle_covers_all_nonzero_elements() {
+        let mut seen = [false; 256];
+        for (i, &v) in EXP_TABLE.iter().take(255).enumerate() {
+            assert_ne!(v, 0, "generator power hit zero at {i}");
+            assert!(!seen[v as usize], "generator cycle repeated at {i}");
+            seen[v as usize] = true;
+        }
+        assert!(!seen[0]);
+        assert_eq!(seen.iter().filter(|s| **s).count(), 255);
+    }
+
+    #[test]
+    fn exp_table_is_duplicated() {
+        let (lo, hi) = EXP_TABLE.split_at(255);
+        assert_eq!(lo, &hi[..255]);
+    }
+
+    #[test]
+    fn log_inverts_exp() {
+        for i in 0..255u16 {
+            assert_eq!(LOG_TABLE[EXP_TABLE[i as usize] as usize], i as u8);
+        }
+    }
+
+    #[test]
+    fn exp_of_zero_power_is_one() {
+        assert_eq!(EXP_TABLE[0], 1);
+        assert_eq!(LOG_TABLE[1], 0);
+    }
+}

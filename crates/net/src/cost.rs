@@ -1,0 +1,318 @@
+//! The repair-cost model and feasibility analysis.
+
+use crate::link::{LinkModel, MEBIBYTE};
+
+/// Erasure-coding geometry of one archive.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArchiveGeometry {
+    /// Archive size in bytes.
+    pub archive_bytes: f64,
+    /// Original blocks `k`.
+    pub k: usize,
+    /// Redundancy blocks `m`.
+    pub m: usize,
+}
+
+impl ArchiveGeometry {
+    /// The paper's parameter table: 128 MB archives, `k = m = 128`.
+    pub fn paper_default() -> Self {
+        ArchiveGeometry {
+            archive_bytes: 128.0 * MEBIBYTE,
+            k: 128,
+            m: 128,
+        }
+    }
+
+    /// Creates a geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `archive_bytes > 0` and `k > 0`.
+    pub fn new(archive_bytes: f64, k: usize, m: usize) -> Self {
+        assert!(archive_bytes > 0.0, "archive size must be positive");
+        assert!(k > 0, "k must be positive");
+        ArchiveGeometry {
+            archive_bytes,
+            k,
+            m,
+        }
+    }
+
+    /// Total blocks `n = k + m`.
+    pub fn n(&self) -> usize {
+        self.k + self.m
+    }
+
+    /// Size of one block in bytes (`archive / k`).
+    pub fn block_bytes(&self) -> f64 {
+        self.archive_bytes / self.k as f64
+    }
+
+    /// Storage expansion factor (`n / k`).
+    pub fn expansion(&self) -> f64 {
+        self.n() as f64 / self.k as f64
+    }
+}
+
+/// The cost of one repair operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RepairCost {
+    /// Blocks regenerated (`d`).
+    pub d: usize,
+    /// Seconds downloading the `k` blocks needed to decode.
+    pub download_secs: f64,
+    /// Seconds uploading the `d` regenerated blocks.
+    pub upload_secs: f64,
+    /// `Δrepair = Δdownload + Δupload` (coding and metadata are treated
+    /// as free, per the paper).
+    pub total_secs: f64,
+}
+
+/// Closed-form §2.2.4 cost model for a link + geometry pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RepairCostModel {
+    /// The access link.
+    pub link: LinkModel,
+    /// The archive geometry.
+    pub geometry: ArchiveGeometry,
+}
+
+impl RepairCostModel {
+    /// Creates the model.
+    pub fn new(link: LinkModel, geometry: ArchiveGeometry) -> Self {
+        RepairCostModel { link, geometry }
+    }
+
+    /// Cost of a repair regenerating `d` blocks: download `k` blocks,
+    /// upload `d` blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d > n` (cannot regenerate more blocks than exist).
+    pub fn repair_cost(&self, d: usize) -> RepairCost {
+        assert!(
+            d <= self.geometry.n(),
+            "cannot regenerate {d} blocks of an n={} archive",
+            self.geometry.n()
+        );
+        let block = self.geometry.block_bytes();
+        let download_secs = self.link.download_secs(block * self.geometry.k as f64);
+        let upload_secs = self.link.upload_secs(block * d as f64);
+        RepairCost {
+            d,
+            download_secs,
+            upload_secs,
+            total_secs: download_secs + upload_secs,
+        }
+    }
+
+    /// Cost of the initial backup: uploading all `n` blocks (no download
+    /// — the data is local).
+    pub fn initial_backup_cost(&self) -> RepairCost {
+        let block = self.geometry.block_bytes();
+        let upload_secs = self.link.upload_secs(block * self.geometry.n() as f64);
+        RepairCost {
+            d: self.geometry.n(),
+            download_secs: 0.0,
+            upload_secs,
+            total_secs: upload_secs,
+        }
+    }
+
+    /// Cost of a full restore: downloading `k` blocks.
+    pub fn restore_cost(&self) -> RepairCost {
+        let block = self.geometry.block_bytes();
+        let download_secs = self.link.download_secs(block * self.geometry.k as f64);
+        RepairCost {
+            d: 0,
+            download_secs,
+            upload_secs: 0.0,
+            total_secs: download_secs,
+        }
+    }
+
+    /// How many worst-case repairs (`d = m`) fit in a day if the link is
+    /// fully dedicated to maintenance — the paper's "no more than 20
+    /// repair operations … per day" bound.
+    pub fn max_repairs_per_day(&self) -> f64 {
+        86_400.0 / self.repair_cost(self.geometry.m).total_secs
+    }
+
+    /// Feasibility summary for a user backing up `archive_count` archives
+    /// while devoting `daily_budget_fraction` of each day's link time to
+    /// maintenance.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the budget fraction is in `(0, 1]`.
+    pub fn feasibility(
+        &self,
+        archive_count: usize,
+        daily_budget_fraction: f64,
+    ) -> FeasibilityReport {
+        assert!(
+            daily_budget_fraction > 0.0 && daily_budget_fraction <= 1.0,
+            "budget fraction must be in (0, 1]"
+        );
+        let worst = self.repair_cost(self.geometry.m);
+        let budget_secs = 86_400.0 * daily_budget_fraction;
+        let repairs_per_day_total = budget_secs / worst.total_secs;
+        let repairs_per_day_per_archive = repairs_per_day_total / archive_count.max(1) as f64;
+        FeasibilityReport {
+            archive_count,
+            daily_budget_fraction,
+            worst_case_repair: worst,
+            repairs_per_day_total,
+            repairs_per_day_per_archive,
+            min_rounds_between_repairs: if repairs_per_day_per_archive > 0.0 {
+                24.0 / repairs_per_day_per_archive
+            } else {
+                f64::INFINITY
+            },
+        }
+    }
+}
+
+/// Output of [`RepairCostModel::feasibility`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FeasibilityReport {
+    /// Archives the user maintains.
+    pub archive_count: usize,
+    /// Fraction of daily link time devoted to maintenance.
+    pub daily_budget_fraction: f64,
+    /// Worst-case (`d = m`) single-repair cost.
+    pub worst_case_repair: RepairCost,
+    /// Sustainable worst-case repairs per day across all archives.
+    pub repairs_per_day_total: f64,
+    /// Sustainable worst-case repairs per day for each archive.
+    pub repairs_per_day_per_archive: f64,
+    /// Equivalent minimum spacing between repairs of one archive, in
+    /// hours (= simulation rounds).
+    pub min_rounds_between_repairs: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_model() -> RepairCostModel {
+        RepairCostModel::new(LinkModel::DSL_2009, ArchiveGeometry::paper_default())
+    }
+
+    #[test]
+    fn geometry_paper_default() {
+        let g = ArchiveGeometry::paper_default();
+        assert_eq!(g.n(), 256);
+        assert_eq!(g.block_bytes(), 1024.0 * 1024.0); // 1 MB blocks
+        assert_eq!(g.expansion(), 2.0); // "using twice the initial storage"
+    }
+
+    #[test]
+    fn paper_download_bound() {
+        // "Δdownload > 512s"
+        let m = paper_model();
+        let c = m.repair_cost(0);
+        assert!((c.download_secs - 512.0).abs() < 1e-9);
+        assert_eq!(c.upload_secs, 0.0);
+    }
+
+    #[test]
+    fn paper_upload_is_32s_per_block() {
+        // "Δupload > d×32"
+        let m = paper_model();
+        for d in [1usize, 7, 64, 128] {
+            let c = m.repair_cost(d);
+            assert!(
+                (c.upload_secs - 32.0 * d as f64).abs() < 1e-9,
+                "d={d}: {}",
+                c.upload_secs
+            );
+        }
+    }
+
+    #[test]
+    fn paper_worst_case_is_77_minutes() {
+        // "a total repair time should last 69+8 = 77 minutes"
+        let m = paper_model();
+        let c = m.repair_cost(128);
+        let minutes = c.total_secs / 60.0;
+        assert!((76.0..78.0).contains(&minutes), "{minutes} min");
+        // Mostly upload: "most of which is taken by the upload".
+        // (exactly 8x: 4096 s of upload vs 512 s of download)
+        assert!(c.upload_secs >= 8.0 * c.download_secs);
+    }
+
+    #[test]
+    fn paper_twenty_repairs_per_day_bound() {
+        // "no more than 20 repair operations should be triggered per day"
+        let m = paper_model();
+        let per_day = m.max_repairs_per_day();
+        assert!(
+            (18.0..20.0).contains(&per_day),
+            "max repairs/day = {per_day}"
+        );
+    }
+
+    #[test]
+    fn paper_32_archives_need_monthly_repair_rate() {
+        // "if we want to limit the cost to one repair per day, with 32
+        // archives (4 GB of data), the repair rate should be less than
+        // one per month approximatively."
+        let m = paper_model();
+        // One worst-case repair per day ≈ 77 min ≈ 5.3% of the day.
+        let report = m.feasibility(32, 77.0 * 60.0 / 86_400.0);
+        assert!((report.repairs_per_day_total - 1.0).abs() < 0.01);
+        // Per archive: one repair every ~32 days ≈ one per month.
+        let days_between = 1.0 / report.repairs_per_day_per_archive;
+        assert!(
+            (30.0..35.0).contains(&days_between),
+            "days between repairs = {days_between}"
+        );
+    }
+
+    #[test]
+    fn initial_backup_and_restore_costs() {
+        let m = paper_model();
+        let backup = m.initial_backup_cost();
+        // 256 blocks × 32 s = 8192 s ≈ 2.3 h on 2009 DSL.
+        assert!((backup.total_secs - 8192.0).abs() < 1e-9);
+        let restore = m.restore_cost();
+        assert!((restore.total_secs - 512.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn faster_links_scale_costs_down() {
+        let old = paper_model();
+        let modern =
+            RepairCostModel::new(LinkModel::DSL_MODERN, ArchiveGeometry::paper_default());
+        let ftth = RepairCostModel::new(LinkModel::FTTH, ArchiveGeometry::paper_default());
+        let d = 128;
+        assert!(
+            (old.repair_cost(d).total_secs / modern.repair_cost(d).total_secs - 4.0).abs() < 1e-9
+        );
+        assert!(ftth.repair_cost(d).total_secs < modern.repair_cost(d).total_secs / 10.0);
+    }
+
+    #[test]
+    fn repair_cost_monotone_in_d() {
+        let m = paper_model();
+        let mut last = -1.0;
+        for d in 0..=256 {
+            let c = m.repair_cost(d);
+            assert!(c.total_secs > last);
+            last = c.total_secs;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot regenerate")]
+    fn repairing_more_than_n_blocks_panics() {
+        let _ = paper_model().repair_cost(257);
+    }
+
+    #[test]
+    #[should_panic(expected = "budget fraction")]
+    fn zero_budget_rejected() {
+        let _ = paper_model().feasibility(1, 0.0);
+    }
+}

@@ -1,0 +1,29 @@
+//! Bandwidth and repair-cost modelling (paper §2.2.4).
+//!
+//! The paper's feasibility argument is a closed-form cost model: a repair
+//! downloads `k` blocks and uploads `d` regenerated blocks,
+//!
+//! ```text
+//! Δrepair = Δdownload + Δupload
+//! ```
+//!
+//! (coding time and metadata updates are negligible next to transfers on
+//! asymmetric home links). With the paper's parameters — 128 MB archives,
+//! `k = 128`, and a 2009 DSL line at 32 kB/s up / 256 kB/s down — a
+//! worst-case repair (`d = 128`) takes ≈ 77 minutes, bounding feasible
+//! repair rates. This crate reproduces that arithmetic and generalises it
+//! to other links and geometries.
+//!
+//! ```
+//! use peerback_net::{ArchiveGeometry, LinkModel, RepairCostModel};
+//!
+//! let model = RepairCostModel::new(LinkModel::DSL_2009, ArchiveGeometry::paper_default());
+//! let worst = model.repair_cost(128);
+//! assert!((worst.total_secs / 60.0 - 77.0).abs() < 1.0); // the paper's 77 minutes
+//! ```
+
+mod cost;
+mod link;
+
+pub use cost::{ArchiveGeometry, FeasibilityReport, RepairCost, RepairCostModel};
+pub use link::LinkModel;

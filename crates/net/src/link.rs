@@ -1,0 +1,134 @@
+//! Link (access-line) models.
+
+use core::fmt;
+
+/// An asymmetric access link, in bytes per second.
+///
+/// The paper measures everything in kB (1 kB = 1024 bytes here, matching
+/// its arithmetic: 128 MB / 256 kB/s = 512 s).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkModel {
+    /// Human-readable name for reports.
+    pub name: &'static str,
+    /// Upstream bandwidth, bytes/second.
+    pub up_bytes_per_sec: f64,
+    /// Downstream bandwidth, bytes/second.
+    pub down_bytes_per_sec: f64,
+}
+
+const KB: f64 = 1024.0;
+const MB: f64 = 1024.0 * 1024.0;
+
+impl LinkModel {
+    /// The paper's 2009 DSL estimate: 32 kB/s up, 256 kB/s down.
+    pub const DSL_2009: LinkModel = LinkModel {
+        name: "DSL (2009)",
+        up_bytes_per_sec: 32.0 * KB,
+        down_bytes_per_sec: 256.0 * KB,
+    };
+
+    /// "Modern DSL connections (in France) are at least four times
+    /// faster" (§2.2.4): 128 kB/s up, 1 MB/s down.
+    pub const DSL_MODERN: LinkModel = LinkModel {
+        name: "DSL (modern, 4x)",
+        up_bytes_per_sec: 128.0 * KB,
+        down_bytes_per_sec: 1024.0 * KB,
+    };
+
+    /// A fibre-to-the-home line (100 Mbit/s down, 50 Mbit/s up).
+    pub const FTTH: LinkModel = LinkModel {
+        name: "FTTH",
+        up_bytes_per_sec: 50.0 / 8.0 * 1e6,
+        down_bytes_per_sec: 100.0 / 8.0 * 1e6,
+    };
+
+    /// Creates a custom link.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both bandwidths are positive.
+    pub fn new(name: &'static str, up_bytes_per_sec: f64, down_bytes_per_sec: f64) -> Self {
+        assert!(up_bytes_per_sec > 0.0, "upstream bandwidth must be positive");
+        assert!(
+            down_bytes_per_sec > 0.0,
+            "downstream bandwidth must be positive"
+        );
+        LinkModel {
+            name,
+            up_bytes_per_sec,
+            down_bytes_per_sec,
+        }
+    }
+
+    /// Seconds to upload `bytes`.
+    pub fn upload_secs(&self, bytes: f64) -> f64 {
+        bytes / self.up_bytes_per_sec
+    }
+
+    /// Seconds to download `bytes`.
+    pub fn download_secs(&self, bytes: f64) -> f64 {
+        bytes / self.down_bytes_per_sec
+    }
+
+    /// Asymmetry ratio (down / up).
+    pub fn asymmetry(&self) -> f64 {
+        self.down_bytes_per_sec / self.up_bytes_per_sec
+    }
+}
+
+impl fmt::Display for LinkModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({:.0} kB/s up, {:.0} kB/s down)",
+            self.name,
+            self.up_bytes_per_sec / KB,
+            self.down_bytes_per_sec / KB
+        )
+    }
+}
+
+/// Bytes in one mebibyte, exported for geometry construction.
+pub(crate) const MEBIBYTE: f64 = MB;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_dsl_figures() {
+        let dsl = LinkModel::DSL_2009;
+        // 128 MB at 256 kB/s = 512 s (the paper's Δdownload bound).
+        assert!((dsl.download_secs(128.0 * MB) - 512.0).abs() < 1e-9);
+        // 1 MB block at 32 kB/s = 32 s (the paper's per-block upload).
+        assert!((dsl.upload_secs(MB) - 32.0).abs() < 1e-9);
+        assert_eq!(dsl.asymmetry(), 8.0);
+    }
+
+    #[test]
+    fn modern_dsl_is_four_times_faster() {
+        let old = LinkModel::DSL_2009;
+        let new = LinkModel::DSL_MODERN;
+        assert_eq!(new.up_bytes_per_sec, 4.0 * old.up_bytes_per_sec);
+        assert_eq!(new.down_bytes_per_sec, 4.0 * old.down_bytes_per_sec);
+    }
+
+    #[test]
+    fn ftth_dwarfs_dsl() {
+        let ratio = LinkModel::FTTH.up_bytes_per_sec / LinkModel::DSL_2009.up_bytes_per_sec;
+        assert!(ratio > 100.0, "FTTH/DSL upstream ratio {ratio}");
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let s = LinkModel::DSL_2009.to_string();
+        assert!(s.contains("32"), "{s}");
+        assert!(s.contains("256"), "{s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_bandwidth_rejected() {
+        let _ = LinkModel::new("bad", 0.0, 10.0);
+    }
+}

@@ -1,0 +1,198 @@
+//! A hashed timing wheel for future-event scheduling.
+//!
+//! Departures and availability transitions are known in advance, so the
+//! simulator schedules them instead of polling every peer every round.
+//! The wheel gives O(1) insert and amortised O(1) pop; events scheduled
+//! beyond the wheel horizon simply recirculate (each lap costs one extra
+//! touch, which is negligible at our scales).
+
+use crate::clock::Round;
+
+/// A future-event scheduler keyed by [`Round`].
+#[derive(Debug, Clone)]
+pub struct TimingWheel<T> {
+    /// `buckets[round % horizon]` holds `(due_round, item)` pairs.
+    buckets: Vec<Vec<(u64, T)>>,
+    /// Number of scheduled items.
+    len: usize,
+    /// Current position; only events due at or after this round may be
+    /// scheduled.
+    now: u64,
+}
+
+impl<T> TimingWheel<T> {
+    /// Creates a wheel with the given horizon (bucket count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon` is zero.
+    pub fn new(horizon: usize) -> Self {
+        assert!(horizon > 0, "wheel horizon must be positive");
+        TimingWheel {
+            buckets: (0..horizon).map(|_| Vec::new()).collect(),
+            len: 0,
+            now: 0,
+        }
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no events are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Schedules `item` to fire at `due`. Scheduling at [`Round::NEVER`]
+    /// is a no-op (the item is silently dropped), which is how "durable"
+    /// peers express that they never depart.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `due` is before the wheel's current round.
+    pub fn schedule(&mut self, due: Round, item: T) {
+        if due == Round::NEVER {
+            return;
+        }
+        assert!(
+            due.index() >= self.now,
+            "cannot schedule into the past (due {due}, now r{})",
+            self.now
+        );
+        let idx = (due.index() % self.buckets.len() as u64) as usize;
+        self.buckets[idx].push((due.index(), item));
+        self.len += 1;
+    }
+
+    /// Advances the wheel to `now` and invokes `fire` for every event due
+    /// at that round. Must be called with strictly increasing rounds
+    /// (gaps are allowed; recirculating events are then handled lazily).
+    pub fn advance(&mut self, now: Round, mut fire: impl FnMut(T)) {
+        debug_assert!(now.index() >= self.now, "wheel moved backwards");
+        // With per-round stepping (the engine's behaviour) each bucket is
+        // visited exactly once per lap. For larger jumps, visit every
+        // bucket index in the skipped range once.
+        let horizon = self.buckets.len() as u64;
+        let from = self.now;
+        let to = now.index();
+        let steps = (to - from).min(horizon.saturating_sub(1)) + 1;
+        self.now = to;
+        for step in (0..steps).rev() {
+            let round = to - step;
+            let idx = (round % horizon) as usize;
+            let bucket = &mut self.buckets[idx];
+            if bucket.is_empty() {
+                continue;
+            }
+            let mut i = 0;
+            while i < bucket.len() {
+                if bucket[i].0 <= to {
+                    let (_, item) = bucket.swap_remove(i);
+                    self.len -= 1;
+                    fire(item);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_events_at_their_round() {
+        let mut wheel: TimingWheel<&str> = TimingWheel::new(8);
+        wheel.schedule(Round(3), "a");
+        wheel.schedule(Round(5), "b");
+        wheel.schedule(Round(3), "c");
+        assert_eq!(wheel.len(), 3);
+
+        let mut fired = Vec::new();
+        for r in 0..=6 {
+            wheel.advance(Round(r), |item| fired.push((r, item)));
+        }
+        fired.sort();
+        assert_eq!(fired, vec![(3, "a"), (3, "c"), (5, "b")]);
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn events_beyond_horizon_recirculate() {
+        let mut wheel: TimingWheel<u32> = TimingWheel::new(4);
+        wheel.schedule(Round(9), 9); // 9 % 4 == 1: will be touched at r1, r5, fires at r9
+        wheel.schedule(Round(1), 1);
+        let mut fired = Vec::new();
+        for r in 0..=10 {
+            wheel.advance(Round(r), |item| fired.push((r, item)));
+        }
+        assert_eq!(fired, vec![(1, 1), (9, 9)]);
+    }
+
+    #[test]
+    fn never_is_dropped() {
+        let mut wheel: TimingWheel<u32> = TimingWheel::new(4);
+        wheel.schedule(Round::NEVER, 1);
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "into the past")]
+    fn scheduling_into_the_past_panics() {
+        let mut wheel: TimingWheel<u32> = TimingWheel::new(4);
+        wheel.advance(Round(5), |_| {});
+        wheel.schedule(Round(3), 1);
+    }
+
+    #[test]
+    fn advancing_with_gaps_fires_skipped_events() {
+        let mut wheel: TimingWheel<u32> = TimingWheel::new(8);
+        for r in 1..=20 {
+            wheel.schedule(Round(r), r as u32);
+        }
+        let mut fired = Vec::new();
+        wheel.advance(Round(10), |item| fired.push(item));
+        fired.sort();
+        assert_eq!(fired, (1..=10).collect::<Vec<u32>>());
+        let mut rest = Vec::new();
+        wheel.advance(Round(20), |item| rest.push(item));
+        rest.sort();
+        assert_eq!(rest, (11..=20).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn scheduling_at_current_round_fires_on_next_advance_of_same_round() {
+        let mut wheel: TimingWheel<u32> = TimingWheel::new(4);
+        wheel.advance(Round(2), |_| {});
+        wheel.schedule(Round(2), 7);
+        let mut fired = Vec::new();
+        wheel.advance(Round(2), |item| fired.push(item));
+        assert_eq!(fired, vec![7]);
+    }
+
+    #[test]
+    fn stress_many_events_random_order() {
+        use rand::Rng;
+        let mut rng = crate::rng::sim_rng(1234);
+        let mut wheel: TimingWheel<u64> = TimingWheel::new(64);
+        let mut expected = vec![0u32; 5000];
+        for _ in 0..20_000 {
+            let due = rng.gen_range(0..5000u64);
+            wheel.schedule(Round(due), due);
+            expected[due as usize] += 1;
+        }
+        let mut got = vec![0u32; 5000];
+        for r in 0..5000 {
+            wheel.advance(Round(r), |item| {
+                assert_eq!(item, r, "event fired at wrong round");
+                got[item as usize] += 1;
+            });
+        }
+        assert_eq!(got, expected);
+        assert!(wheel.is_empty());
+    }
+}

@@ -1,0 +1,84 @@
+//! Comparing maintenance policies and selection strategies on one
+//! network — the extension features in a single run.
+//!
+//! Uses the paper's protocol with three knobs this library adds beyond
+//! the paper: the uptime-weighted selection strategy (exploits the
+//! monitoring protocol the paper assumes), the adaptive repair threshold
+//! (the paper's §6 future work), and the instant-restorability metric.
+//!
+//! ```text
+//! cargo run --release --example policy_comparison
+//! ```
+
+use peerback::analysis::TableBuilder;
+use peerback::{
+    run_sweep, MaintenancePolicy, SelectionStrategy, SimConfig,
+};
+
+fn main() {
+    let base = || {
+        let mut cfg = SimConfig::paper(2_500, 8_000, 11);
+        cfg.k = 16;
+        cfg.m = 16;
+        cfg.quota = 96;
+        cfg.with_threshold(20)
+    };
+
+    let variants: Vec<(&str, SimConfig)> = vec![
+        ("paper: age-based + fixed threshold", base()),
+        (
+            "uptime-weighted selection",
+            base().with_strategy(SelectionStrategy::UptimeWeighted),
+        ),
+        ("adaptive threshold", {
+            let mut c = base();
+            c.maintenance = MaintenancePolicy::Adaptive {
+                base: 20,
+                floor_margin: 1,
+                step: 1,
+            };
+            c
+        }),
+        ("proactive daily top-up", {
+            let mut c = base();
+            c.maintenance = MaintenancePolicy::Proactive { tick_rounds: 24 };
+            c
+        }),
+        ("two archives per peer", {
+            let mut c = base();
+            c.archives_per_peer = 2;
+            c.quota = 192;
+            c
+        }),
+    ];
+
+    println!("running {} variants in parallel ...\n", variants.len());
+    let configs: Vec<SimConfig> = variants.iter().map(|(_, c)| c.clone()).collect();
+    let results = run_sweep(configs);
+
+    let mut table = TableBuilder::new().header([
+        "variant",
+        "repair episodes",
+        "blocks moved (up+down)",
+        "losses",
+        "mean instant-restorability",
+    ]);
+    for ((name, _), m) in variants.iter().zip(&results) {
+        table.row([
+            name.to_string(),
+            m.total_repairs().to_string(),
+            (m.diag.blocks_uploaded + m.diag.blocks_downloaded).to_string(),
+            m.total_losses().to_string(),
+            m.mean_restorability()
+                .map_or("n/a".into(), |f| format!("{f:.4}")),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "takeaways (details in EXPERIMENTS.md):\n\
+         - uptime-weighted selection cuts maintenance below the paper's age ranking;\n\
+         - the adaptive threshold only matters when partners are scarce;\n\
+         - proactive top-up buys restorability with far more download traffic;\n\
+         - per-archive cost stays flat as peers back up more archives."
+    );
+}

@@ -1,0 +1,56 @@
+//! Tuning the repair threshold `k'` — a miniature of the paper's §4.2.1
+//! analysis, the kind of parameter study the authors argue simulation
+//! should replace guesswork for ("like the repair threshold which is
+//! very difficult to set otherwise").
+//!
+//! Sweeps a few thresholds on a small network and prints the
+//! repair-rate / loss-rate compromise.
+//!
+//! ```text
+//! cargo run --release --example threshold_tuning
+//! ```
+
+use peerback::analysis::TableBuilder;
+use peerback::{run_sweep, AgeCategory, SimConfig};
+
+fn main() {
+    let thresholds: Vec<u16> = vec![132, 140, 148, 160, 172];
+    println!(
+        "sweeping k' over {thresholds:?} on a 3,000-peer network (this takes a minute) ...\n"
+    );
+    let configs: Vec<SimConfig> = thresholds
+        .iter()
+        .map(|&t| SimConfig::paper(3_000, 10_000, 7).with_threshold(t))
+        .collect();
+    let results = run_sweep(configs);
+
+    let mut table = TableBuilder::new().header([
+        "k'",
+        "newcomer repairs /1000/round",
+        "elder repairs /1000/round",
+        "archives lost",
+        "blocks uploaded",
+    ]);
+    for (t, metrics) in thresholds.iter().zip(&results) {
+        table.row([
+            t.to_string(),
+            metrics
+                .repair_rate_per_1000(AgeCategory::Newcomer)
+                .map_or("n/a".into(), |r| format!("{r:.3}")),
+            metrics
+                .repair_rate_per_1000(AgeCategory::Elder)
+                .map_or("n/a".into(), |r| format!("{r:.3}")),
+            metrics.total_losses().to_string(),
+            metrics.diag.blocks_uploaded.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+
+    println!(
+        "reading the table like the paper does:\n\
+         - small k' risks data loss (the archive can slip below k before repairing);\n\
+         - large k' repairs constantly and burns upload bandwidth;\n\
+         - the smallest threshold with a clean loss column is the compromise —\n\
+           the paper lands on 148 for k = 128, m = 128."
+    );
+}

@@ -1,0 +1,173 @@
+//! End-to-end simulation tests: the paper's qualitative results must
+//! hold on a scaled-down network.
+//!
+//! Geometry scales with the test population (k = 8, m = 8 instead of
+//! 128 + 128) so the tests run in seconds even unoptimised; the
+//! protocol logic is identical.
+
+use peerback::{run_simulation, AgeCategory, SelectionStrategy, SimConfig};
+
+/// A small but complete configuration with the scaled-down geometry.
+fn small_config(peers: usize, rounds: u64, seed: u64) -> SimConfig {
+    let mut cfg = SimConfig::paper(peers, rounds, seed);
+    cfg.k = 8;
+    cfg.m = 8;
+    cfg.quota = 48;
+    cfg = cfg.with_threshold(10);
+    cfg
+}
+
+#[test]
+fn network_forms_and_maintains_itself() {
+    let metrics = run_simulation(small_config(400, 6_000, 1));
+    // Everyone (plus every replacement) completed an initial upload.
+    assert!(metrics.diag.joins_completed >= 400);
+    // Churn happened and was survived.
+    assert!(metrics.diag.departures > 50, "expected churn");
+    assert!(metrics.diag.partner_timeouts > 0, "expected write-offs");
+    assert!(metrics.total_repairs() > 0, "expected maintenance");
+    // Maintenance traffic was accounted.
+    assert!(metrics.diag.blocks_uploaded > 400 * 16);
+    assert!(metrics.diag.blocks_downloaded > 0);
+}
+
+#[test]
+fn same_seed_is_bit_identical_different_seed_is_not() {
+    let a = run_simulation(small_config(300, 3_000, 9));
+    let b = run_simulation(small_config(300, 3_000, 9));
+    let c = run_simulation(small_config(300, 3_000, 10));
+    assert_eq!(a.repairs, b.repairs);
+    assert_eq!(a.losses, b.losses);
+    assert_eq!(a.diag, b.diag);
+    assert_eq!(a.samples, b.samples);
+    assert!(
+        a.diag != c.diag || a.repairs != c.repairs,
+        "different seeds should diverge"
+    );
+}
+
+#[test]
+fn repair_cost_stratifies_by_age() {
+    // The paper's headline: newcomers repair far more often than old
+    // peers (Figure 1's vertical ordering).
+    let metrics = run_simulation(small_config(600, 10_000, 3));
+    let newcomer = metrics
+        .repair_rate_per_1000(AgeCategory::Newcomer)
+        .expect("newcomers existed");
+    let old = metrics
+        .repair_rate_per_1000(AgeCategory::Old)
+        .expect("old peers existed");
+    assert!(
+        newcomer > 1.3 * old,
+        "newcomer rate {newcomer} should clearly exceed old-peer rate {old}"
+    );
+}
+
+#[test]
+fn repairs_increase_with_the_threshold() {
+    // Figure 1's horizontal trend.
+    let lo = run_simulation(small_config(400, 6_000, 5).with_threshold(9));
+    let hi = run_simulation(small_config(400, 6_000, 5).with_threshold(13));
+    assert!(
+        hi.total_repairs() > lo.total_repairs(),
+        "higher threshold must repair more: {} vs {}",
+        hi.total_repairs(),
+        lo.total_repairs()
+    );
+}
+
+#[test]
+fn observers_rank_by_frozen_age() {
+    // Figure 3's ordering, coarsened for a small noisy network: the two
+    // youngest observers together must out-repair the two oldest.
+    let cfg = small_config(600, 10_000, 11).with_paper_observers();
+    let metrics = run_simulation(cfg);
+    let by_name = |name: &str| {
+        metrics
+            .observers
+            .iter()
+            .find(|o| o.name == name)
+            .expect("observer present")
+            .total_repairs
+    };
+    let young = by_name("Baby") + by_name("Teenager");
+    let old = by_name("Senior") + by_name("Elder");
+    assert!(
+        young > old,
+        "young observers ({young}) should repair more than old ones ({old})"
+    );
+}
+
+#[test]
+fn oracle_is_the_cheapest_strategy_youngest_the_most_expensive() {
+    let run = |s: SelectionStrategy| {
+        let m = run_simulation(small_config(400, 6_000, 13).with_strategy(s));
+        m.total_repairs()
+    };
+    let oracle = run(SelectionStrategy::OracleLifetime);
+    let age = run(SelectionStrategy::AgeBased);
+    let youngest = run(SelectionStrategy::Youngest);
+    assert!(
+        oracle < youngest,
+        "oracle ({oracle}) must beat youngest-first ({youngest})"
+    );
+    assert!(
+        age < youngest,
+        "age-based ({age}) must beat youngest-first ({youngest})"
+    );
+}
+
+#[test]
+fn losses_appear_only_near_the_decode_limit() {
+    // Figure 2: a threshold right above k risks losses; a comfortable
+    // one does not. With k = 8, threshold 9 leaves a margin of 1 block.
+    let risky = run_simulation(small_config(500, 8_000, 17).with_threshold(9));
+    let safe = run_simulation(small_config(500, 8_000, 17).with_threshold(12));
+    assert!(
+        risky.total_losses() >= safe.total_losses(),
+        "tight threshold ({}) should lose at least as much as safe ({})",
+        risky.total_losses(),
+        safe.total_losses()
+    );
+    if risky.total_losses() > 0 {
+        // Losses, when they occur, fall on the young (paper Figure 2).
+        let newcomer_losses = risky.losses[AgeCategory::Newcomer.index()]
+            + risky.losses[AgeCategory::Young.index()];
+        assert!(
+            newcomer_losses * 2 >= risky.total_losses(),
+            "losses should be concentrated on young peers: {:?}",
+            risky.losses
+        );
+    }
+}
+
+#[test]
+fn observer_series_are_monotone_and_sampled() {
+    let cfg = small_config(300, 3_000, 19).with_paper_observers();
+    let metrics = run_simulation(cfg);
+    assert_eq!(metrics.observers.len(), 5);
+    for obs in &metrics.observers {
+        assert!(!obs.points.is_empty(), "observer series sampled");
+        assert!(
+            obs.points.windows(2).all(|w| w[0].1 <= w[1].1),
+            "cumulative repairs must be monotone"
+        );
+        assert_eq!(
+            obs.points.last().unwrap().1,
+            obs.total_repairs,
+            "series must end at the total"
+        );
+    }
+}
+
+#[test]
+fn census_time_series_is_conserved() {
+    let metrics = run_simulation(small_config(350, 3_000, 23));
+    for sample in &metrics.samples {
+        let total: u64 = sample.census.iter().sum();
+        assert_eq!(total, 350, "census must equal the population");
+    }
+    // Peer-rounds sum equals population x rounds.
+    let pr: u64 = metrics.peer_rounds.iter().sum();
+    assert_eq!(pr, 350 * 3_000);
+}

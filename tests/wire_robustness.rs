@@ -1,0 +1,103 @@
+//! Property tests on the public wire formats: decoding arbitrary bytes
+//! must never panic, and valid encodings must round-trip exactly.
+
+use proptest::prelude::*;
+
+use peerback::core::master::{ArchiveDescriptor, BlockPlacement};
+use peerback::core::archive::Entry;
+use peerback::core::{Archive, MasterBlock};
+use bytes::Bytes;
+
+fn arb_descriptor() -> impl Strategy<Value = ArchiveDescriptor> {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        1u16..=256,
+        0u16..=128,
+        any::<bool>(),
+        proptest::collection::vec(any::<u8>(), 0..32),
+        proptest::collection::vec((any::<u32>(), any::<u64>()), 0..40),
+    )
+        .prop_map(
+            |(archive_id, payload_len, k, m, is_metadata, session_key, placements)| {
+                ArchiveDescriptor {
+                    archive_id,
+                    payload_len,
+                    k,
+                    m,
+                    is_metadata,
+                    session_key,
+                    placements: placements
+                        .into_iter()
+                        .map(|(shard_index, partner)| BlockPlacement {
+                            shard_index,
+                            partner,
+                        })
+                        .collect(),
+                }
+            },
+        )
+}
+
+proptest! {
+    #[test]
+    fn master_block_round_trips(
+        owner in any::<u64>(),
+        created_at in any::<u64>(),
+        version in any::<u64>(),
+        archives in proptest::collection::vec(arb_descriptor(), 0..8),
+    ) {
+        let mb = MasterBlock { owner, created_at, version, archives };
+        let bytes = mb.to_bytes();
+        let back = MasterBlock::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back, mb);
+    }
+
+    #[test]
+    fn master_block_decoder_never_panics_on_garbage(
+        bytes in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        // Must return Ok or Err, never panic or hang.
+        let _ = MasterBlock::from_bytes(&bytes);
+    }
+
+    #[test]
+    fn archive_decoder_never_panics_on_garbage(
+        bytes in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let _ = Archive::from_bytes(&bytes);
+    }
+
+    #[test]
+    fn archive_round_trips(
+        id in any::<u64>(),
+        is_metadata in any::<bool>(),
+        entries in proptest::collection::vec(
+            ("[a-z/._-]{0,24}", proptest::collection::vec(any::<u8>(), 0..128)),
+            0..6,
+        ),
+    ) {
+        let archive = Archive::from_entries(
+            id,
+            is_metadata,
+            entries
+                .into_iter()
+                .map(|(name, data)| Entry { name, data: Bytes::from(data) })
+                .collect(),
+        );
+        let back = Archive::from_bytes(&archive.to_bytes()).unwrap();
+        prop_assert_eq!(back, archive);
+    }
+
+    #[test]
+    fn truncated_master_blocks_error_cleanly(
+        archives in proptest::collection::vec(arb_descriptor(), 1..4),
+        cut_fraction in 0.0f64..1.0,
+    ) {
+        let mb = MasterBlock { owner: 1, created_at: 2, version: 3, archives };
+        let bytes = mb.to_bytes();
+        let cut = ((bytes.len() as f64) * cut_fraction) as usize;
+        prop_assume!(cut < bytes.len());
+        prop_assert!(MasterBlock::from_bytes(&bytes[..cut]).is_err());
+    }
+}
