@@ -152,11 +152,11 @@ impl AsciiChart {
                 if !x.is_finite() || !y.is_finite() {
                     continue;
                 }
-                let col = ((x - x_min) / (x_max - x_min) * (self.width - 1) as f64).round()
-                    as usize;
+                let col =
+                    ((x - x_min) / (x_max - x_min) * (self.width - 1) as f64).round() as usize;
                 let t = transform(y);
-                let row = ((t - y_min) / (y_max - y_min) * (self.height - 1) as f64).round()
-                    as usize;
+                let row =
+                    ((t - y_min) / (y_max - y_min) * (self.height - 1) as f64).round() as usize;
                 let row = self.height - 1 - row; // invert: row 0 on top
                 grid[row][col.min(self.width - 1)] = mark;
             }
@@ -173,7 +173,10 @@ impl AsciiChart {
         for (row, line) in grid.iter().enumerate() {
             let frac = 1.0 - row as f64 / (self.height - 1) as f64;
             let label = if row == 0 || row == self.height / 2 || row == self.height - 1 {
-                format!("{:>label_width$.3}", untransform(y_min + frac * (y_max - y_min)))
+                format!(
+                    "{:>label_width$.3}",
+                    untransform(y_min + frac * (y_max - y_min))
+                )
             } else {
                 " ".repeat(label_width)
             };
@@ -193,7 +196,9 @@ impl AsciiChart {
             x_max,
             width = self.width.saturating_sub(format!("{x_min:.3}").len())
         );
-        let _ = writeln!(out, "{} [x: {}] [y: {}{}]",
+        let _ = writeln!(
+            out,
+            "{} [x: {}] [y: {}{}]",
             " ".repeat(label_width),
             self.x_label,
             self.y_label,
@@ -203,7 +208,13 @@ impl AsciiChart {
             }
         );
         for (si, series) in self.series.iter().enumerate() {
-            let _ = writeln!(out, "{}   {} {}", " ".repeat(label_width), MARKS[si % MARKS.len()], series.name);
+            let _ = writeln!(
+                out,
+                "{}   {} {}",
+                " ".repeat(label_width),
+                MARKS[si % MARKS.len()],
+                series.name
+            );
         }
         out
     }
@@ -232,7 +243,9 @@ mod tests {
 
     #[test]
     fn marks_land_in_the_grid() {
-        let chart = AsciiChart::new("t", "x", "y").size(40, 10).series(ramp("a"));
+        let chart = AsciiChart::new("t", "x", "y")
+            .size(40, 10)
+            .series(ramp("a"));
         let s = chart.render();
         assert!(s.contains('*'));
         // Bottom-left to top-right ramp: first data row (top) should have

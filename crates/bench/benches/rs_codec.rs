@@ -12,7 +12,11 @@ fn data(k: usize, len: usize) -> Vec<Vec<u8>> {
 
 fn encode(c: &mut Criterion) {
     let mut group = c.benchmark_group("rs_encode");
-    for (k, m, shard) in [(4usize, 2usize, 64 * 1024), (16, 16, 16 * 1024), (128, 128, 4 * 1024)] {
+    for (k, m, shard) in [
+        (4usize, 2usize, 64 * 1024),
+        (16, 16, 16 * 1024),
+        (128, 128, 4 * 1024),
+    ] {
         let rs = ReedSolomon::new(k, m).unwrap();
         let blocks = data(k, shard);
         group.throughput(Throughput::Bytes((k * shard) as u64));

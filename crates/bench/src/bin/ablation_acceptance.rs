@@ -26,9 +26,8 @@ fn main() {
         args.peers, args.rounds
     );
 
-    let variant = |name: &'static str, f: &dyn Fn(SimConfig) -> SimConfig| {
-        (name, f(args.base_config()))
-    };
+    let variant =
+        |name: &'static str, f: &dyn Fn(SimConfig) -> SimConfig| (name, f(args.base_config()));
     let variants: Vec<(&'static str, SimConfig)> = vec![
         variant("mutual L=90d (paper)", &|c| c),
         variant("one-sided", &|mut c| {

@@ -32,31 +32,22 @@ fn main() {
     };
     let variants: Vec<(String, SimConfig)> = vec![
         ("fixed 148, quota 384".into(), args.base_config()),
-        (
-            "adaptive, quota 384".into(),
-            {
-                let mut c = args.base_config();
-                c.maintenance = adaptive;
-                c
-            },
-        ),
-        (
-            "fixed 148, quota 256 (starved)".into(),
-            {
-                let mut c = args.base_config();
-                c.quota = 256;
-                c
-            },
-        ),
-        (
-            "adaptive, quota 256 (starved)".into(),
-            {
-                let mut c = args.base_config();
-                c.quota = 256;
-                c.maintenance = adaptive;
-                c
-            },
-        ),
+        ("adaptive, quota 384".into(), {
+            let mut c = args.base_config();
+            c.maintenance = adaptive;
+            c
+        }),
+        ("fixed 148, quota 256 (starved)".into(), {
+            let mut c = args.base_config();
+            c.quota = 256;
+            c
+        }),
+        ("adaptive, quota 256 (starved)".into(), {
+            let mut c = args.base_config();
+            c.quota = 256;
+            c.maintenance = adaptive;
+            c
+        }),
     ];
 
     let configs: Vec<SimConfig> = variants.iter().map(|(_, c)| c.clone()).collect();

@@ -27,35 +27,26 @@ fn main() {
     );
 
     let variants: Vec<(String, SimConfig)> = vec![
+        ("reactive k'=148 (paper)".to_string(), args.base_config()),
         (
-            "reactive k'=148 (paper)".to_string(),
-            args.base_config(),
+            "reactive k'=164".to_string(),
+            args.base_config().with_threshold(164),
         ),
-        ("reactive k'=164".to_string(), args.base_config().with_threshold(164)),
-        (
-            "proactive tick=24h".to_string(),
-            {
-                let mut c = args.base_config();
-                c.maintenance = MaintenancePolicy::Proactive { tick_rounds: 24 };
-                c
-            },
-        ),
-        (
-            "proactive tick=72h".to_string(),
-            {
-                let mut c = args.base_config();
-                c.maintenance = MaintenancePolicy::Proactive { tick_rounds: 72 };
-                c
-            },
-        ),
-        (
-            "proactive tick=1wk".to_string(),
-            {
-                let mut c = args.base_config();
-                c.maintenance = MaintenancePolicy::Proactive { tick_rounds: 168 };
-                c
-            },
-        ),
+        ("proactive tick=24h".to_string(), {
+            let mut c = args.base_config();
+            c.maintenance = MaintenancePolicy::Proactive { tick_rounds: 24 };
+            c
+        }),
+        ("proactive tick=72h".to_string(), {
+            let mut c = args.base_config();
+            c.maintenance = MaintenancePolicy::Proactive { tick_rounds: 72 };
+            c
+        }),
+        ("proactive tick=1wk".to_string(), {
+            let mut c = args.base_config();
+            c.maintenance = MaintenancePolicy::Proactive { tick_rounds: 168 };
+            c
+        }),
     ];
 
     let configs: Vec<SimConfig> = variants.iter().map(|(_, c)| c.clone()).collect();

@@ -59,7 +59,14 @@ fn main() {
     write_tsv(
         &path,
         &[
-            "strategy", "newcomers", "young", "old", "elder", "repairs", "losses", "uploads",
+            "strategy",
+            "newcomers",
+            "young",
+            "old",
+            "elder",
+            "repairs",
+            "losses",
+            "uploads",
         ],
         &rows,
     )

@@ -23,17 +23,20 @@ fn main() {
     );
 
     let variants: Vec<(String, SimConfig)> = vec![
-        ("reactive k'=132".into(), args.base_config().with_threshold(132)),
-        ("reactive k'=148".into(), args.base_config()),
-        ("reactive k'=180".into(), args.base_config().with_threshold(180)),
         (
-            "proactive tick=24h".into(),
-            {
-                let mut c = args.base_config();
-                c.maintenance = MaintenancePolicy::Proactive { tick_rounds: 24 };
-                c
-            },
+            "reactive k'=132".into(),
+            args.base_config().with_threshold(132),
         ),
+        ("reactive k'=148".into(), args.base_config()),
+        (
+            "reactive k'=180".into(),
+            args.base_config().with_threshold(180),
+        ),
+        ("proactive tick=24h".into(), {
+            let mut c = args.base_config();
+            c.maintenance = MaintenancePolicy::Proactive { tick_rounds: 24 };
+            c
+        }),
     ];
     let configs: Vec<SimConfig> = variants.iter().map(|(_, c)| c.clone()).collect();
     let results = run_sweep_with_threads(configs, args.thread_count());

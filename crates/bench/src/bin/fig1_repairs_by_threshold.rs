@@ -41,10 +41,7 @@ fn main() {
             .iter()
             .map(|&c| metrics.repair_rate_per_1000(c))
             .collect();
-        table.row(
-            std::iter::once(threshold.to_string())
-                .chain(rates.iter().map(|&r| fmt_rate(r))),
-        );
+        table.row(std::iter::once(threshold.to_string()).chain(rates.iter().map(|&r| fmt_rate(r))));
         rows.push(
             std::iter::once(threshold.to_string())
                 .chain(rates.iter().map(|&r| fmt_rate(r)))

@@ -28,8 +28,7 @@ fn main() {
     let metrics = run_simulation(cfg);
 
     // Observer summary table (the paper's §4.2.2 observer ages + totals).
-    let mut table =
-        TableBuilder::new().header(["observer", "frozen age", "repairs", "losses"]);
+    let mut table = TableBuilder::new().header(["observer", "frozen age", "repairs", "losses"]);
     for obs in &metrics.observers {
         let age = match obs.frozen_age {
             1 => "1 hour".to_string(),

@@ -20,14 +20,9 @@ use peerback_bench::HarnessArgs;
 use peerback_core::{run_sweep_with_threads, AgeCategory, Metrics, SimConfig};
 
 fn report(metrics: &Metrics, threshold: u16, args: &HarnessArgs) {
-    println!(
-        "\nFigure 4 (k' = {threshold}): cumulative lost archives per peer, by category\n"
-    );
-    let mut table = TableBuilder::new().header([
-        "category",
-        "total losses",
-        "losses/peer (end of run)",
-    ]);
+    println!("\nFigure 4 (k' = {threshold}): cumulative lost archives per peer, by category\n");
+    let mut table =
+        TableBuilder::new().header(["category", "total losses", "losses/peer (end of run)"]);
     let last = metrics.samples.last().expect("at least one sample");
     for cat in AgeCategory::ALL {
         table.row([

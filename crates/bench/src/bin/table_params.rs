@@ -20,15 +20,24 @@ fn main() {
     t.row(["k (initial blocks)", &cfg.k.to_string()]);
     t.row(["m (added blocks)", &cfg.m.to_string()]);
     t.row(["n = k + m", &cfg.n_blocks().to_string()]);
-    t.row(["block size", &format!("{:.0} MB", geometry.block_bytes() / (1024.0 * 1024.0))]);
-    t.row(["storage expansion", &format!("{:.1}x", geometry.expansion())]);
+    t.row([
+        "block size",
+        &format!("{:.0} MB", geometry.block_bytes() / (1024.0 * 1024.0)),
+    ]);
+    t.row([
+        "storage expansion",
+        &format!("{:.1}x", geometry.expansion()),
+    ]);
     t.row(["quota (blocks hosted)", &cfg.quota.to_string()]);
     t.row(["repair threshold k' (focus)", "148"]);
     t.row(["threshold sweep", "132 - 180"]);
     t.row(["population", &cfg.n_peers.to_string()]);
     t.row(["rounds (1 round = 1 hour)", &cfg.rounds.to_string()]);
     t.row(["acceptance clamp L", "90 days (2160 rounds)"]);
-    t.row(["offline write-off timeout", &format!("{} rounds", cfg.offline_timeout)]);
+    t.row([
+        "offline write-off timeout",
+        &format!("{} rounds", cfg.offline_timeout),
+    ]);
     println!("{}", t.render());
 
     println!("T4: age categories (paper §4.2.1)\n");
@@ -39,7 +48,10 @@ fn main() {
     t.row(["Newcomers", "< 3 months"]);
     println!("{}", t.render());
 
-    println!("category boundaries in rounds: {:?}\n", AgeCategory::BOUNDARIES);
+    println!(
+        "category boundaries in rounds: {:?}\n",
+        AgeCategory::BOUNDARIES
+    );
 
     println!("T5: observers (paper §4.2.2)\n");
     let mut t = TableBuilder::new().header(["observer", "age", "rounds"]);

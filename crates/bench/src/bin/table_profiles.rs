@@ -17,17 +17,17 @@ fn main() {
     let mut rng = sim_rng(2009);
 
     println!("T3: peer profiles (paper §4.1.1)\n");
-    let mut t = TableBuilder::new().header([
-        "profile",
-        "proportion",
-        "life expectancy",
-        "availability",
-    ]);
+    let mut t =
+        TableBuilder::new().header(["profile", "proportion", "life expectancy", "availability"]);
     for (i, p) in mix.profiles().iter().enumerate() {
         let life = match p.lifetime {
             LifetimeSpec::Unlimited => "unlimited".to_string(),
             LifetimeSpec::Uniform { low, high } => {
-                format!("{:.1} - {:.1} months", low as f64 / 720.0, high as f64 / 720.0)
+                format!(
+                    "{:.1} - {:.1} months",
+                    low as f64 / 720.0,
+                    high as f64 / 720.0
+                )
             }
             other => format!("{other:?}"),
         };
@@ -80,7 +80,10 @@ fn main() {
             online = !online;
         }
         let mean_life = if lifetime_counts[i] > 0 {
-            format!("{:.1}", lifetime_sums[i] / lifetime_counts[i] as f64 / 720.0)
+            format!(
+                "{:.1}",
+                lifetime_sums[i] / lifetime_counts[i] as f64 / 720.0
+            )
         } else {
             "∞".to_string()
         };

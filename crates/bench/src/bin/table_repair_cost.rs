@@ -77,14 +77,18 @@ fn main() {
         report.repairs_per_day_per_archive,
         1.0 / report.repairs_per_day_per_archive
     );
-    println!(
-        "  => the repair rate must stay below ~one per month, as the paper concludes.\n"
-    );
+    println!("  => the repair rate must stay below ~one per month, as the paper concludes.\n");
 
     // Cross-check the headline numbers programmatically.
     let worst = model.repair_cost(128);
-    assert!((worst.download_secs - 512.0).abs() < 1e-6, "Δdownload must be 512 s");
-    assert!((worst.upload_secs - 4096.0).abs() < 1e-6, "Δupload must be 4096 s");
+    assert!(
+        (worst.download_secs - 512.0).abs() < 1e-6,
+        "Δdownload must be 512 s"
+    );
+    assert!(
+        (worst.upload_secs - 4096.0).abs() < 1e-6,
+        "Δupload must be 4096 s"
+    );
     assert!(
         (76.0..78.0).contains(&(worst.total_secs / 60.0)),
         "worst case must be ~77 minutes"

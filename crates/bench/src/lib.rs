@@ -209,7 +209,15 @@ mod tests {
 
     #[test]
     fn explicit_overrides_win() {
-        let a = parse(&["--paper-scale", "--peers", "1000", "--rounds", "5_000", "--seed", "7"]);
+        let a = parse(&[
+            "--paper-scale",
+            "--peers",
+            "1000",
+            "--rounds",
+            "5_000",
+            "--seed",
+            "7",
+        ]);
         assert_eq!(a.peers, 1000);
         assert_eq!(a.rounds, 5000);
         assert_eq!(a.seed, 7);

@@ -182,7 +182,11 @@ impl ProfileMix {
 
     /// Normalised weight of a profile.
     pub fn weight(&self, id: ProfileId) -> f64 {
-        let prev = if id == 0 { 0.0 } else { self.cumulative[id - 1] };
+        let prev = if id == 0 {
+            0.0
+        } else {
+            self.cumulative[id - 1]
+        };
         self.cumulative[id] - prev
     }
 
@@ -217,10 +221,7 @@ impl ProfileMix {
 pub fn paper_profiles() -> ProfileMix {
     use time::{MONTH, YEAR};
     ProfileMix::new(vec![
-        (
-            Profile::new("Durable", LifetimeSpec::Unlimited, 0.95),
-            0.10,
-        ),
+        (Profile::new("Durable", LifetimeSpec::Unlimited, 0.95), 0.10),
         (
             Profile::new(
                 "Stable",

@@ -164,10 +164,7 @@ mod tests {
             let n = 100_000;
             let total: u64 = (0..n).map(|_| geometric(&mut rng, mean)).sum();
             let got = total as f64 / n as f64;
-            assert!(
-                (got - mean).abs() / mean < 0.02,
-                "mean {mean}: got {got}"
-            );
+            assert!((got - mean).abs() / mean < 0.02, "mean {mean}: got {got}");
         }
     }
 

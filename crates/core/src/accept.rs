@@ -41,12 +41,7 @@ pub fn acceptance_probability(own_age: u64, candidate_age: u64, clamp: u64) -> f
 }
 
 /// Samples the acceptance decision.
-pub fn accepts<R: Rng + ?Sized>(
-    rng: &mut R,
-    own_age: u64,
-    candidate_age: u64,
-    clamp: u64,
-) -> bool {
+pub fn accepts<R: Rng + ?Sized>(rng: &mut R, own_age: u64, candidate_age: u64, clamp: u64) -> bool {
     let p = acceptance_probability(own_age, candidate_age, clamp);
     // Avoid an RNG draw when acceptance is certain — the common case
     // (candidate at least as old), and keeps the hot path cheap.
@@ -129,7 +124,10 @@ mod tests {
         let mut last = 2.0;
         for cand_age in (0..=L).rev().step_by(240) {
             let p = acceptance_probability(L, cand_age, L);
-            assert!(p <= last, "p must not increase as the candidate gets younger");
+            assert!(
+                p <= last,
+                "p must not increase as the candidate gets younger"
+            );
             last = p;
         }
     }

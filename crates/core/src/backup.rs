@@ -57,7 +57,11 @@ impl<C: Cipher> BackupPipeline<C> {
     ///
     /// [`ErasureError::WrongShardCount`] if `partners.len() != n`, or any
     /// codec validation error.
-    pub fn backup(&self, archive: &Archive, partners: &[u64]) -> Result<PlacementPlan, ErasureError> {
+    pub fn backup(
+        &self,
+        archive: &Archive,
+        partners: &[u64],
+    ) -> Result<PlacementPlan, ErasureError> {
         let n = self.rs.total_shards();
         if partners.len() != n {
             return Err(ErasureError::WrongShardCount {
@@ -207,7 +211,10 @@ mod tests {
             .backup(&archive(), &partners)
             .unwrap();
         assert_ne!(plain.blocks[0].bytes, encrypted.blocks[0].bytes);
-        assert_eq!(plain.descriptor.payload_len, encrypted.descriptor.payload_len);
+        assert_eq!(
+            plain.descriptor.payload_len,
+            encrypted.descriptor.payload_len
+        );
     }
 
     #[test]

@@ -235,10 +235,7 @@ impl SimConfig {
                 ));
             }
             if base as u32 > self.n_blocks() {
-                return Err(format!(
-                    "adaptive base {base} above n={}",
-                    self.n_blocks()
-                ));
+                return Err(format!("adaptive base {base} above n={}", self.n_blocks()));
             }
         }
         if self.acceptance_clamp == 0 {

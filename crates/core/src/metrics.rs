@@ -191,7 +191,10 @@ mod tests {
             cum_losses: [36, 0, 0, 0],
             census: [2, 0, 0, 0],
         };
-        assert_eq!(m.cumulative_loss_per_peer(&sample, AgeCategory::Newcomer), 18.0);
+        assert_eq!(
+            m.cumulative_loss_per_peer(&sample, AgeCategory::Newcomer),
+            18.0
+        );
         assert_eq!(m.cumulative_loss_per_peer(&sample, AgeCategory::Young), 0.0);
     }
 

@@ -39,7 +39,10 @@ impl fmt::Display for RestoreError {
                 write!(f, "decoded bytes are not a valid archive: {e}")
             }
             RestoreError::IdMismatch { expected, actual } => {
-                write!(f, "archive id mismatch: descriptor {expected}, decoded {actual}")
+                write!(
+                    f,
+                    "archive id mismatch: descriptor {expected}, decoded {actual}"
+                )
             }
         }
     }
@@ -201,7 +204,10 @@ mod tests {
             .iter()
             .map(|&i| (i, plan.blocks[i].bytes.clone()))
             .collect();
-        assert_eq!(restore.restore(&plan.descriptor, &blocks).unwrap(), archive(1));
+        assert_eq!(
+            restore.restore(&plan.descriptor, &blocks).unwrap(),
+            archive(1)
+        );
     }
 
     #[test]

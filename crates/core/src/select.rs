@@ -237,7 +237,10 @@ mod tests {
         SelectionStrategy::UptimeWeighted.choose(&mut rng, &mut p, 3);
         let mut ids: Vec<u32> = p.iter().map(|c| c.id).collect();
         ids.sort_unstable();
-        assert!(ids.contains(&12) && ids.contains(&13), "top ties missing: {ids:?}");
+        assert!(
+            ids.contains(&12) && ids.contains(&13),
+            "top ties missing: {ids:?}"
+        );
         assert!(
             ids.contains(&11) || ids.contains(&14),
             "third pick should be a 616-score peer: {ids:?}"
@@ -247,10 +250,20 @@ mod tests {
 
     #[test]
     fn uptime_score_is_product_of_uptime_and_age() {
-        let c = Candidate { id: 0, age: 1000, uptime: 0.75, true_remaining: 0 };
+        let c = Candidate {
+            id: 0,
+            age: 1000,
+            uptime: 0.75,
+            true_remaining: 0,
+        };
         assert_eq!(c.uptime_score(), 750.0);
         // Out-of-range uptimes clamp defensively.
-        let c = Candidate { id: 0, age: 100, uptime: 1.5, true_remaining: 0 };
+        let c = Candidate {
+            id: 0,
+            age: 100,
+            uptime: 1.5,
+            true_remaining: 0,
+        };
         assert_eq!(c.uptime_score(), 100.0);
     }
 

@@ -39,7 +39,10 @@ impl fmt::Display for WireError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             WireError::UnexpectedEof { needed, remaining } => {
-                write!(f, "unexpected end of input: needed {needed}, had {remaining}")
+                write!(
+                    f,
+                    "unexpected end of input: needed {needed}, had {remaining}"
+                )
             }
             WireError::LengthTooLarge { length } => {
                 write!(f, "length prefix {length} exceeds sanity limit")
@@ -266,7 +269,10 @@ mod tests {
         w.put_bytes(&[0u8; 100]);
         let bytes = w.into_bytes();
         let mut r = Reader::new(&bytes[..50]);
-        assert!(matches!(r.get_bytes(), Err(WireError::UnexpectedEof { .. })));
+        assert!(matches!(
+            r.get_bytes(),
+            Err(WireError::UnexpectedEof { .. })
+        ));
     }
 
     #[test]

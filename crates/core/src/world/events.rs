@@ -1,0 +1,267 @@
+//! The scheduled-event queue: event kinds, staleness filtering, and the
+//! handlers for departures, session toggles, offline timeouts and
+//! age-category boundaries.
+//!
+//! Every event carries the `epoch` of the peer slot it was scheduled
+//! for; a mismatch at fire time means the slot was recycled (the peer
+//! departed and was replaced) and the event is silently dropped.
+//! Offline timeouts additionally carry the `session_seq` of the offline
+//! run they were armed for, so a reconnection invalidates them without
+//! any queue surgery.
+
+use peerback_sim::{Round, SimRng};
+
+use crate::age::AgeCategory;
+use crate::config::MaintenancePolicy;
+
+use super::peers::{ArchiveIdx, PeerId};
+use super::BackupWorld;
+
+/// Scheduled future events. Events carry the epoch of the peer they were
+/// scheduled for; a mismatch means the peer departed in the meantime and
+/// the event is stale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(in crate::world) enum Event {
+    /// The peer definitively leaves the system.
+    Death {
+        /// Affected peer slot.
+        peer: PeerId,
+        /// Slot epoch the event was armed for.
+        epoch: u32,
+    },
+    /// The peer's session flips between online and offline.
+    Toggle {
+        /// Affected peer slot.
+        peer: PeerId,
+        /// Slot epoch the event was armed for.
+        epoch: u32,
+    },
+    /// The peer has been offline for the full monitoring timeout: its
+    /// hosted blocks are written off (valid only if `seq` still matches
+    /// the offline session it was scheduled for).
+    OfflineTimeout {
+        /// Affected peer slot.
+        peer: PeerId,
+        /// Slot epoch the event was armed for.
+        epoch: u32,
+        /// Session sequence number of the offline run.
+        seq: u32,
+    },
+    /// The peer crosses an age-category boundary.
+    CatAdvance {
+        /// Affected peer slot.
+        peer: PeerId,
+        /// Slot epoch the event was armed for.
+        epoch: u32,
+    },
+    /// Proactive-maintenance tick (only with `MaintenancePolicy::Proactive`).
+    ProactiveTick {
+        /// Affected peer slot.
+        peer: PeerId,
+        /// Slot epoch the event was armed for.
+        epoch: u32,
+    },
+}
+
+impl BackupWorld {
+    pub(in crate::world) fn handle_event(&mut self, event: Event, round: u64, rng: &mut SimRng) {
+        match event {
+            Event::Death { peer, epoch } => {
+                if self.peers[peer as usize].epoch == epoch {
+                    self.process_death(peer, round, rng);
+                }
+            }
+            Event::Toggle { peer, epoch } => {
+                if self.peers[peer as usize].epoch == epoch {
+                    self.process_toggle(peer, round, rng);
+                }
+            }
+            Event::OfflineTimeout { peer, epoch, seq } => {
+                let p = &self.peers[peer as usize];
+                if p.epoch == epoch && p.session_seq == seq && !p.online {
+                    self.process_offline_timeout(peer, round);
+                }
+            }
+            Event::CatAdvance { peer, epoch } => {
+                if self.peers[peer as usize].epoch == epoch {
+                    self.process_cat_advance(peer, round);
+                }
+            }
+            Event::ProactiveTick { peer, epoch } => {
+                if self.peers[peer as usize].epoch == epoch {
+                    self.schedule_proactive(peer, round);
+                    if self.peers[peer as usize].online {
+                        self.enqueue(peer);
+                    }
+                }
+            }
+        }
+    }
+
+    pub(in crate::world) fn schedule_proactive(&mut self, id: PeerId, round: u64) {
+        if let MaintenancePolicy::Proactive { tick_rounds } = self.cfg.maintenance {
+            let epoch = self.peers[id as usize].epoch;
+            self.wheel.schedule(
+                Round(round + tick_rounds),
+                Event::ProactiveTick { peer: id, epoch },
+            );
+        }
+    }
+
+    pub(in crate::world) fn schedule_offline_timeout(&mut self, id: PeerId, round: u64) {
+        if self.cfg.offline_timeout == 0 {
+            return;
+        }
+        let peer = &self.peers[id as usize];
+        debug_assert!(!peer.online);
+        self.wheel.schedule(
+            Round(round + self.cfg.offline_timeout),
+            Event::OfflineTimeout {
+                peer: id,
+                epoch: peer.epoch,
+                seq: peer.session_seq,
+            },
+        );
+    }
+
+    /// Write off all blocks hosted by `host` and notify the owners.
+    /// Shared by deaths ("blocks are immediately removed", §4.1) and
+    /// offline timeouts (§2.2.3).
+    pub(in crate::world) fn drop_hosted_blocks(&mut self, host: PeerId, round: u64) {
+        let hosted = core::mem::take(&mut self.peers[host as usize].hosted);
+        self.peers[host as usize].quota_used = 0;
+        let k = self.k();
+        let threshold_policy = !matches!(self.cfg.maintenance, MaintenancePolicy::Proactive { .. });
+        for (owner_id, aidx) in hosted {
+            let threshold = self.peers[owner_id as usize].threshold as u32;
+            let archive = &mut self.peers[owner_id as usize].archives[aidx as usize];
+            if let Some(pos) = archive.partners.iter().position(|&p| p == host) {
+                archive.partners.swap_remove(pos);
+            } else {
+                let pos = archive
+                    .stale_partners
+                    .iter()
+                    .position(|&p| p == host)
+                    .expect("hosted entry implies a partner entry");
+                archive.stale_partners.swap_remove(pos);
+            }
+            if !archive.joined {
+                continue; // mid-join: the join loop re-acquires
+            }
+            if archive.present() < k {
+                self.record_loss(owner_id, aidx, round);
+            } else if threshold_policy && archive.present() < threshold {
+                // Enqueue regardless of the owner's session state;
+                // activation skips offline owners and reconnection
+                // re-enqueues them.
+                self.enqueue(owner_id);
+            }
+        }
+    }
+
+    pub(in crate::world) fn process_death(&mut self, id: PeerId, round: u64, rng: &mut SimRng) {
+        debug_assert!(self.peers[id as usize].observer.is_none());
+        self.metrics.diag.departures += 1;
+        if self.peers[id as usize].online {
+            self.set_online(id, false);
+        }
+        let cat = self.peers[id as usize].category_at(round);
+        self.census[cat.index()] -= 1;
+
+        // Tear down this peer's own archives: free the blocks it stored
+        // on its partners.
+        for aidx in 0..self.peers[id as usize].archives.len() {
+            let archive = &mut self.peers[id as usize].archives[aidx];
+            let partners = core::mem::take(&mut archive.partners);
+            let stale = core::mem::take(&mut archive.stale_partners);
+            for p in partners.into_iter().chain(stale) {
+                self.remove_hosted_entry(p, id, aidx as ArchiveIdx, false);
+            }
+        }
+
+        // Its hosted blocks disappear with it.
+        self.drop_hosted_blocks(id, round);
+
+        // Immediate replacement (§4.1: "each peer leaving the system is
+        // immediately replaced").
+        let peer = &mut self.peers[id as usize];
+        peer.epoch = peer.epoch.wrapping_add(1);
+        peer.session_seq = 0;
+        self.init_regular_peer(id, round, rng);
+    }
+
+    pub(in crate::world) fn process_toggle(&mut self, id: PeerId, round: u64, rng: &mut SimRng) {
+        self.metrics.diag.session_toggles += 1;
+        let going_online = !self.peers[id as usize].online;
+        {
+            let peer = &mut self.peers[id as usize];
+            peer.session_seq = peer.session_seq.wrapping_add(1);
+            if !going_online {
+                // Closing an online session: bank it in the ledger.
+                peer.online_accum += round.saturating_sub(peer.last_transition);
+            }
+            peer.last_transition = round;
+        }
+        self.set_online(id, going_online);
+
+        // Schedule the next transition.
+        let peer = &self.peers[id as usize];
+        let epoch = peer.epoch;
+        let sampler = self.samplers[peer.profile as usize];
+        let dur = if going_online {
+            sampler.online_duration(rng)
+        } else {
+            sampler.offline_duration(rng)
+        };
+        self.wheel
+            .schedule(Round(round + dur), Event::Toggle { peer: id, epoch });
+
+        if going_online {
+            // A peer that reconnects resumes its own pending work.
+            let peer = &self.peers[id as usize];
+            let needs_join = !peer.fully_joined();
+            let threshold_policy =
+                !matches!(self.cfg.maintenance, MaintenancePolicy::Proactive { .. });
+            let threshold = peer.threshold as u32;
+            let needs_repair = peer
+                .archives
+                .iter()
+                .any(|a| a.repairing || (threshold_policy && a.joined && a.present() < threshold));
+            if needs_join || needs_repair {
+                self.enqueue(id);
+            }
+        } else {
+            // Arm the write-off timer for this offline run.
+            self.schedule_offline_timeout(id, round);
+        }
+    }
+
+    /// The peer has been unreachable for the whole threshold period: the
+    /// network writes its hosted blocks off (§2.2.3).
+    pub(in crate::world) fn process_offline_timeout(&mut self, id: PeerId, round: u64) {
+        if self.peers[id as usize].hosted.is_empty() {
+            return;
+        }
+        self.metrics.diag.partner_timeouts += 1;
+        self.drop_hosted_blocks(id, round);
+    }
+
+    pub(in crate::world) fn process_cat_advance(&mut self, id: PeerId, round: u64) {
+        let peer = &self.peers[id as usize];
+        debug_assert!(peer.observer.is_none());
+        let age = peer.age_at(round);
+        let new_cat = AgeCategory::of_age(age);
+        let prev_cat = AgeCategory::of_age(age - 1);
+        debug_assert_ne!(new_cat, prev_cat, "boundary event off by one");
+        self.census[prev_cat.index()] -= 1;
+        self.census[new_cat.index()] += 1;
+        if let Some((_, next_age)) = new_cat.next_boundary() {
+            let epoch = peer.epoch;
+            let birth = peer.birth;
+            self.wheel.schedule(
+                Round(birth + next_age),
+                Event::CatAdvance { peer: id, epoch },
+            );
+        }
+    }
+}

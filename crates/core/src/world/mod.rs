@@ -1,0 +1,249 @@
+//! The simulated backup network: peers, partnerships, repair and loss.
+//!
+//! This module implements the protocol of §3.2 on top of the
+//! `peerback-sim` engine. The design is *event-driven inside a
+//! round-based shell*: the per-archive partner count (`present`, the
+//! paper's `n − d`) changes only through three kinds of scheduled events
+//! — true departures, availability transitions, and offline timeouts —
+//! so a round costs O(events), not O(peers × partners).
+//!
+//! ## Protocol summary (DESIGN.md §6.3 has the full interpretation)
+//!
+//! * Blocks **disappear** when their host departs (known immediately,
+//!   §4.1) or stays offline past the monitoring timeout (§2.2.3's
+//!   "threshold period", default one day).
+//! * An online owner whose `present < k'` starts a **repair episode**:
+//!   one `k`-block download (decode) plus `d = n − present` block
+//!   uploads to fresh online partners, acquired through the mutual
+//!   acceptance test and the configured selection strategy. Episodes
+//!   that cannot find enough partners stay open and continue next round.
+//! * An archive is **lost** the instant `present < k`; the owner counts
+//!   one loss and rebuilds from its local copy (a fresh join).
+//!
+//! ## Layout
+//!
+//! The module is split along the protocol's natural seams; this file
+//! holds only the [`BackupWorld`] state container and the round driver
+//! composing the pieces:
+//!
+//! * [`peers`] — the peer table: slots, epochs, archives, the online
+//!   index, population spawning, and structural snapshots.
+//! * [`events`] — the scheduled-event queue: event kinds, staleness
+//!   filtering, and the departure / session-toggle / offline-timeout /
+//!   category-advance handlers.
+//! * [`partners`] — partnership acquisition: the acceptance-gated
+//!   candidate pool and the partner/hosted bookkeeping it feeds.
+//! * [`repair`] — the repair-episode lifecycle: join, trigger, episode
+//!   continuation across rounds, loss accounting, and the maintenance
+//!   policies.
+
+mod events;
+mod partners;
+mod peers;
+mod repair;
+
+#[cfg(test)]
+mod tests;
+
+use peerback_churn::SessionSampler;
+use peerback_sim::{Round, SimRng, TimingWheel, World};
+
+use crate::age::AgeCategory;
+use crate::config::{MaintenancePolicy, SimConfig};
+use crate::metrics::{CategorySample, Metrics, ObserverSeries};
+use crate::select::Candidate;
+
+use events::Event;
+use peers::{ArchiveIdx, Peer};
+
+pub use peers::{ObserverState, PeerId, WorldSnapshot};
+
+/// The backup network world; implements [`peerback_sim::World`].
+pub struct BackupWorld {
+    pub(in crate::world) cfg: SimConfig,
+    /// Per-profile session samplers (index = profile id).
+    pub(in crate::world) samplers: Vec<SessionSampler>,
+    pub(in crate::world) peers: Vec<Peer>,
+    /// Slots `0..observer_count` are observers.
+    pub(in crate::world) observer_count: usize,
+    /// Online peers, for O(1) uniform candidate sampling.
+    pub(in crate::world) online_ids: Vec<PeerId>,
+    /// Position of each peer in `online_ids` (`OFFLINE` when offline).
+    pub(in crate::world) online_pos: Vec<u32>,
+    pub(in crate::world) wheel: TimingWheel<Event>,
+    /// Peers waiting for activation next round.
+    pub(in crate::world) pending: Vec<PeerId>,
+    /// Population census by age category (observers excluded).
+    pub(in crate::world) census: [u64; AgeCategory::COUNT],
+    /// Regular peers spawned so far (for the growth ramp).
+    pub(in crate::world) spawned: usize,
+    pub(in crate::world) metrics: Metrics,
+    // Reusable scratch buffers (hot path, no per-event allocation).
+    pub(in crate::world) event_buf: Vec<Event>,
+    pub(in crate::world) pool_buf: Vec<Candidate>,
+
+    /// Pool-dedup marks: `mark[p] == mark_tag` means "p is excluded from
+    /// the pool being built".
+    pub(in crate::world) mark: Vec<u32>,
+    pub(in crate::world) mark_tag: u32,
+}
+
+impl BackupWorld {
+    /// Builds the world. Peers spawn during round 0 (or across the
+    /// growth ramp), so the constructor is cheap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`SimConfig::validate`].
+    pub fn new(cfg: SimConfig) -> Self {
+        if let Err(msg) = cfg.validate() {
+            panic!("invalid simulation config: {msg}");
+        }
+        let samplers = cfg
+            .profiles
+            .profiles()
+            .iter()
+            .map(|p| SessionSampler::new(p.availability, cfg.availability_cycle))
+            .collect();
+        let observer_count = cfg.observers.len();
+        let capacity = cfg.n_peers + observer_count;
+        BackupWorld {
+            samplers,
+            observer_count,
+            peers: Vec::with_capacity(capacity),
+            online_ids: Vec::with_capacity(capacity),
+            online_pos: Vec::with_capacity(capacity),
+            wheel: TimingWheel::new(8192),
+            pending: Vec::new(),
+            census: [0; 4],
+            spawned: 0,
+            metrics: Metrics::new(),
+            event_buf: Vec::new(),
+            pool_buf: Vec::new(),
+
+            mark: vec![0; capacity],
+            mark_tag: 0,
+            cfg,
+        }
+    }
+
+    /// Finishes the run and returns the collected metrics.
+    pub fn into_metrics(mut self) -> Metrics {
+        for (i, spec) in self.cfg.observers.iter().enumerate() {
+            let peer = &self.peers[i];
+            if let Some(series) = self.metrics.observers.get_mut(i) {
+                series.total_repairs = peer.repairs;
+                series.losses = peer.losses;
+            } else {
+                self.metrics.observers.push(ObserverSeries {
+                    name: spec.name,
+                    frozen_age: spec.frozen_age,
+                    points: Vec::new(),
+                    total_repairs: peer.repairs,
+                    losses: peer.losses,
+                });
+            }
+        }
+        self.metrics
+    }
+
+    /// Read access to the configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Read access to the metrics collected so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    // ----- small shared accessors ------------------------------------------
+
+    pub(in crate::world) fn n_blocks(&self) -> u32 {
+        self.cfg.n_blocks()
+    }
+
+    pub(in crate::world) fn k(&self) -> u32 {
+        self.cfg.k as u32
+    }
+}
+
+impl World for BackupWorld {
+    fn round_start(&mut self, round: Round, rng: &mut SimRng) {
+        self.ensure_population(round.index(), rng);
+        // Drain due events into a buffer first: the wheel cannot be
+        // borrowed while handlers mutate the world.
+        let mut events = core::mem::take(&mut self.event_buf);
+        events.clear();
+        self.wheel.advance(round, |e| events.push(e));
+        for event in events.drain(..) {
+            self.handle_event(event, round.index(), rng);
+        }
+        self.event_buf = events;
+    }
+
+    fn collect_actors(&mut self, _round: Round, buf: &mut Vec<usize>) {
+        for id in self.pending.drain(..) {
+            let peer = &mut self.peers[id as usize];
+            peer.queued = false;
+            // Pack the epoch so stale queue entries self-invalidate.
+            buf.push(((peer.epoch as usize) << 32) | id as usize);
+        }
+    }
+
+    fn activate(&mut self, round: Round, actor: usize, rng: &mut SimRng) {
+        let id = (actor & 0xffff_ffff) as PeerId;
+        let epoch = (actor >> 32) as u32;
+        let peer = &self.peers[id as usize];
+        if peer.epoch != epoch || !peer.online {
+            return; // departed or disconnected since it was queued
+        }
+        // Archives are handled independently (§4.1): one activation
+        // advances every archive that needs attention.
+        for aidx in 0..self.peers[id as usize].archives.len() {
+            let aidx = aidx as ArchiveIdx;
+            if !self.peers[id as usize].archives[aidx as usize].joined {
+                self.continue_join(id, aidx, round.index(), rng);
+                continue;
+            }
+            match self.cfg.maintenance {
+                MaintenancePolicy::Reactive { .. } | MaintenancePolicy::Adaptive { .. } => {
+                    let k_prime = self.peers[id as usize].threshold as u32;
+                    self.reactive_repair(id, aidx, k_prime, round.index(), rng);
+                }
+                MaintenancePolicy::Proactive { .. } => {
+                    self.proactive_repair(id, aidx, round.index(), rng);
+                }
+            }
+        }
+    }
+
+    fn round_end(&mut self, round: Round, _rng: &mut SimRng) {
+        self.metrics.rounds = round.index() + 1;
+        for cat in 0..AgeCategory::COUNT {
+            self.metrics.peer_rounds[cat] += self.census[cat];
+        }
+        if round.index().is_multiple_of(self.cfg.sample_interval) {
+            let mut cum_repairs = [0u64; 4];
+            cum_repairs.copy_from_slice(&self.metrics.repairs);
+            let mut cum_losses = [0u64; 4];
+            cum_losses.copy_from_slice(&self.metrics.losses);
+            self.metrics.samples.push(CategorySample {
+                round: round.index(),
+                cum_repairs,
+                cum_losses,
+                census: self.census,
+            });
+            for i in 0..self.observer_count {
+                let repairs = self.peers[i].repairs;
+                self.metrics.observers[i]
+                    .points
+                    .push((round.index(), repairs));
+            }
+            if self.cfg.measure_restorability && self.metrics.samples.len().is_multiple_of(10) {
+                let f = self.instant_restorability();
+                self.metrics.restorability.push((round.index(), f));
+            }
+        }
+    }
+}

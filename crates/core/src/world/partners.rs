@@ -1,0 +1,133 @@
+//! Partnership acquisition: the acceptance-gated candidate pool and the
+//! partner ↔ hosted-block bookkeeping it feeds.
+//!
+//! Building a pool is the protocol's only O(candidates) operation, so it
+//! reuses two world-level scratch structures: `pool_buf` (the candidate
+//! vector) and the `mark`/`mark_tag` array, a generation-counted set
+//! that deduplicates candidates without clearing anything between pools.
+
+use peerback_sim::SimRng;
+use rand::Rng;
+
+use crate::accept::accepts;
+use crate::select::Candidate;
+
+use super::peers::{ArchiveIdx, PeerId};
+use super::BackupWorld;
+
+impl BackupWorld {
+    /// The age another peer perceives for acceptance and ranking.
+    pub(in crate::world) fn negotiation_age(&self, id: PeerId, round: u64) -> u64 {
+        let peer = &self.peers[id as usize];
+        match peer.observer {
+            Some(i) => self.cfg.observers[i as usize].frozen_age,
+            None => peer.age_at(round),
+        }
+    }
+
+    /// Builds an acceptance-gated pool and attaches up to `d` new
+    /// partners to `(owner_id, aidx)`. Returns how many were attached.
+    pub(in crate::world) fn acquire_partners(
+        &mut self,
+        owner_id: PeerId,
+        aidx: ArchiveIdx,
+        d: u32,
+        round: u64,
+        rng: &mut SimRng,
+    ) -> u32 {
+        if d == 0 || self.online_ids.is_empty() {
+            return 0;
+        }
+        // Exclusion marks: self + this archive's current partners
+        // (partners for *other* archives stay eligible, §4.1).
+        self.mark_tag = self.mark_tag.wrapping_add(1);
+        if self.mark_tag == 0 {
+            self.mark.iter_mut().for_each(|m| *m = 0);
+            self.mark_tag = 1;
+        }
+        let tag = self.mark_tag;
+        self.mark[owner_id as usize] = tag;
+        let archive = &self.peers[owner_id as usize].archives[aidx as usize];
+        for &p in archive.partners.iter().chain(&archive.stale_partners) {
+            self.mark[p as usize] = tag;
+        }
+
+        let owner_age = self.negotiation_age(owner_id, round);
+        let clamp = self.cfg.acceptance_clamp;
+        let quota = self.cfg.quota;
+        let target = ((d as f64 * self.cfg.pool_target_factor).ceil() as usize).max(d as usize);
+        let attempts = (d * self.cfg.pool_attempt_factor).max(16);
+
+        self.pool_buf.clear();
+        for _ in 0..attempts {
+            if self.pool_buf.len() >= target {
+                break;
+            }
+            let c = self.online_ids[rng.gen_range(0..self.online_ids.len())];
+            if self.mark[c as usize] == tag {
+                continue;
+            }
+            let cand = &self.peers[c as usize];
+            if cand.observer.is_some() || cand.quota_used >= quota {
+                continue;
+            }
+            let cand_age = cand.age_at(round);
+            if self.cfg.acceptance_enabled {
+                // Owner-side test: does the owner accept this candidate?
+                if !accepts(rng, owner_age, cand_age, clamp) {
+                    continue;
+                }
+                // Candidate-side test ("both peers must agree").
+                if self.cfg.mutual_acceptance && !accepts(rng, cand_age, owner_age, clamp) {
+                    continue;
+                }
+            }
+            self.mark[c as usize] = tag;
+            self.pool_buf.push(Candidate {
+                id: c,
+                age: cand_age,
+                uptime: self.peers[c as usize].uptime_at(round),
+                true_remaining: self.peers[c as usize].death.saturating_sub(round),
+            });
+        }
+
+        let mut pool = core::mem::take(&mut self.pool_buf);
+        self.cfg.strategy.choose(rng, &mut pool, d as usize);
+        let owner_is_observer = self.peers[owner_id as usize].observer.is_some();
+        let attached = pool.len() as u32;
+        for cand in &pool {
+            self.peers[owner_id as usize].archives[aidx as usize]
+                .partners
+                .push(cand.id);
+            let host = &mut self.peers[cand.id as usize];
+            host.hosted.push((owner_id, aidx));
+            if !owner_is_observer {
+                host.quota_used += 1;
+            }
+        }
+        pool.clear();
+        self.pool_buf = pool;
+        self.metrics.diag.blocks_uploaded += attached as u64;
+        attached
+    }
+
+    /// Removes one hosted entry for `(owner, aidx)` from `host`.
+    pub(in crate::world) fn remove_hosted_entry(
+        &mut self,
+        host: PeerId,
+        owner: PeerId,
+        aidx: ArchiveIdx,
+        owner_is_observer: bool,
+    ) {
+        let host_peer = &mut self.peers[host as usize];
+        let pos = host_peer
+            .hosted
+            .iter()
+            .position(|&(o, a)| o == owner && a == aidx)
+            .expect("partner entry implies a hosted entry");
+        host_peer.hosted.swap_remove(pos);
+        if !owner_is_observer {
+            host_peer.quota_used -= 1;
+        }
+    }
+}

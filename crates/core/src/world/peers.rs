@@ -1,0 +1,445 @@
+//! The peer table: slots, epochs, archives, the online index, population
+//! spawning, and structural snapshots.
+//!
+//! Peer slots are **reused**: when a peer departs, its immediate
+//! replacement (§4.1) occupies the same slot with a bumped `epoch`, so
+//! scheduled events and queued activations can detect that they refer to
+//! a peer that no longer exists.
+
+use peerback_sim::{Round, SimRng};
+
+use crate::age::AgeCategory;
+use crate::metrics::ObserverSeries;
+
+use super::events::Event;
+use super::BackupWorld;
+
+/// Index of a peer slot. Slots are reused: when a peer departs, its
+/// replacement occupies the same slot with a bumped epoch.
+pub type PeerId = u32;
+
+/// Sentinel in `online_pos` for peers not currently online.
+pub(in crate::world) const OFFLINE: u32 = u32::MAX;
+
+/// Index of an archive within its owner (`0..archives_per_peer`).
+pub(in crate::world) type ArchiveIdx = u8;
+
+/// Owner-side state of one archive (peers may back up several,
+/// `SimConfig::archives_per_peer`; the paper's §4.1 uses one and claims
+/// linear scaling — ablation A5 tests that claim).
+#[derive(Debug, Clone, Default)]
+pub(in crate::world) struct ArchiveState {
+    /// Partners currently holding one block each of this archive.
+    pub(in crate::world) partners: Vec<PeerId>,
+    /// During a refreshing repair episode: the pre-episode partners,
+    /// kept (and counted as present) until displaced 1:1 by fresh ones
+    /// so redundancy never dips while the new code word uploads.
+    pub(in crate::world) stale_partners: Vec<PeerId>,
+    /// Initial upload finished.
+    pub(in crate::world) joined: bool,
+    /// An open repair episode (decode already paid, uploads ongoing).
+    pub(in crate::world) repairing: bool,
+    /// Set when the open episode hit a pool shortfall (drives the
+    /// adaptive policy's adjustment).
+    pub(in crate::world) episode_struggled: bool,
+}
+
+impl ArchiveState {
+    /// Blocks still in the network — the paper's `n − d`.
+    pub(in crate::world) fn present(&self) -> u32 {
+        (self.partners.len() + self.stale_partners.len()) as u32
+    }
+
+    pub(in crate::world) fn reset(&mut self) {
+        debug_assert!(self.partners.is_empty() && self.stale_partners.is_empty());
+        self.joined = false;
+        self.repairing = false;
+        self.episode_struggled = false;
+    }
+}
+
+/// One peer slot.
+#[derive(Debug, Clone)]
+pub(in crate::world) struct Peer {
+    pub(in crate::world) epoch: u32,
+    pub(in crate::world) profile: u8,
+    /// Round of first connection.
+    pub(in crate::world) birth: u64,
+    /// Departure round (`u64::MAX` = never).
+    pub(in crate::world) death: u64,
+    pub(in crate::world) online: bool,
+    /// Bumped on every session transition; lets timeout events detect
+    /// that the offline run they were armed for has ended.
+    pub(in crate::world) session_seq: u32,
+    /// Rounds spent online in completed sessions (the §2.1 monitoring
+    /// protocol's ledger; the open session is added on query).
+    pub(in crate::world) online_accum: u64,
+    /// Round of the last online/offline transition (or birth).
+    pub(in crate::world) last_transition: u64,
+    /// `Some(index into cfg.observers)` for observer peers.
+    pub(in crate::world) observer: Option<u8>,
+    /// Set while the peer sits in the pending-activation queue.
+    pub(in crate::world) queued: bool,
+    /// This peer's current trigger threshold (constant under the
+    /// reactive policy; drifts under the adaptive one; unused by
+    /// proactive).
+    pub(in crate::world) threshold: u16,
+    /// Owner-side state, one entry per archive.
+    pub(in crate::world) archives: Vec<ArchiveState>,
+    /// Blocks this peer hosts: one `(owner, archive index)` entry each.
+    pub(in crate::world) hosted: Vec<(PeerId, ArchiveIdx)>,
+    /// Hosted blocks counting against the quota (observer-owned blocks
+    /// are exempt, §4.2.2).
+    pub(in crate::world) quota_used: u32,
+    /// Lifetime repair count (drives the observer series).
+    pub(in crate::world) repairs: u64,
+    /// Lifetime archive losses.
+    pub(in crate::world) losses: u64,
+}
+
+impl Peer {
+    pub(in crate::world) fn age_at(&self, round: u64) -> u64 {
+        round.saturating_sub(self.birth)
+    }
+
+    pub(in crate::world) fn category_at(&self, round: u64) -> AgeCategory {
+        AgeCategory::of_age(self.age_at(round))
+    }
+
+    /// True when every archive finished its initial upload ("included
+    /// in the network", §3.2).
+    pub(in crate::world) fn fully_joined(&self) -> bool {
+        self.archives.iter().all(|a| a.joined)
+    }
+
+    /// Observed lifetime uptime fraction at `round` (1.0 at age zero —
+    /// a freshly arrived peer has a clean record).
+    pub(in crate::world) fn uptime_at(&self, round: u64) -> f64 {
+        let age = self.age_at(round);
+        if age == 0 {
+            return 1.0;
+        }
+        let mut online_rounds = self.online_accum;
+        if self.online {
+            online_rounds += round.saturating_sub(self.last_transition);
+        }
+        (online_rounds as f64 / age as f64).clamp(0.0, 1.0)
+    }
+}
+
+/// One observer's structural state in a [`WorldSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObserverState {
+    /// Observer name.
+    pub name: &'static str,
+    /// Present partner count.
+    pub present: u32,
+    /// Whether a repair episode is open.
+    pub repairing: bool,
+    /// Whether the initial upload finished.
+    pub joined: bool,
+    /// Episodes started so far.
+    pub repairs: u64,
+    /// Partner count per profile id (diagnostic).
+    pub partner_profiles: [u32; 8],
+    /// Mean partner age in rounds (diagnostic).
+    pub partner_mean_age: f64,
+}
+
+/// Coarse structural state of the world (diagnostics and tests).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorldSnapshot {
+    /// Regular peers with a completed initial upload.
+    pub joined_count: u64,
+    /// Regular peers still joining.
+    pub unjoined_count: u64,
+    /// Regular peers with an open repair episode.
+    pub repairing_count: u64,
+    /// Smallest present-block count among joined peers.
+    pub present_min: u32,
+    /// Mean present-block count among joined peers.
+    pub present_mean: f64,
+    /// Unused hosting capacity across all peers.
+    pub free_quota_total: u64,
+    /// Unused hosting capacity on currently-online peers.
+    pub free_quota_online: u64,
+    /// Online peers (including observers).
+    pub online_count: usize,
+    /// Per-observer states.
+    pub observers: Vec<ObserverState>,
+}
+
+impl Default for WorldSnapshot {
+    fn default() -> Self {
+        WorldSnapshot {
+            joined_count: 0,
+            unjoined_count: 0,
+            repairing_count: 0,
+            present_min: u32::MAX,
+            present_mean: 0.0,
+            free_quota_total: 0,
+            free_quota_online: 0,
+            online_count: 0,
+            observers: Vec::new(),
+        }
+    }
+}
+
+impl BackupWorld {
+    /// Fraction of joined (non-observer) archives whose owner could
+    /// start a restore immediately: at least `k` blocks sit on
+    /// currently-online partners.
+    pub(in crate::world) fn instant_restorability(&self) -> f64 {
+        let k = self.k() as usize;
+        let mut joined = 0u64;
+        let mut restorable = 0u64;
+        for p in self.peers.iter().skip(self.observer_count) {
+            for a in &p.archives {
+                if !a.joined {
+                    continue;
+                }
+                joined += 1;
+                let online = a
+                    .partners
+                    .iter()
+                    .chain(&a.stale_partners)
+                    .filter(|&&q| self.peers[q as usize].online)
+                    .count();
+                if online >= k {
+                    restorable += 1;
+                }
+            }
+        }
+        if joined == 0 {
+            1.0
+        } else {
+            restorable as f64 / joined as f64
+        }
+    }
+
+    /// Coarse structural snapshot for diagnostics and tests.
+    pub fn snapshot(&self) -> WorldSnapshot {
+        let mut snap = WorldSnapshot {
+            online_count: self.online_ids.len(),
+            ..WorldSnapshot::default()
+        };
+        let mut present_sum = 0u64;
+        let mut joined = 0u64;
+        for p in self.peers.iter() {
+            let total_present: u32 = p.archives.iter().map(ArchiveState::present).sum();
+            if let Some(obs_index) = p.observer {
+                let mut partner_profiles = [0u32; 8];
+                let mut partner_age_sum = 0u64;
+                for a in &p.archives {
+                    for &q in a.partners.iter().chain(&a.stale_partners) {
+                        let qp = &self.peers[q as usize];
+                        partner_profiles[(qp.profile as usize).min(7)] += 1;
+                        partner_age_sum += qp.age_at(self.metrics.rounds);
+                    }
+                }
+                snap.observers.push(ObserverState {
+                    name: self.cfg.observers[obs_index as usize].name,
+                    present: total_present,
+                    repairing: p.archives.iter().any(|a| a.repairing),
+                    joined: p.fully_joined(),
+                    repairs: p.repairs,
+                    partner_profiles,
+                    partner_mean_age: if total_present == 0 {
+                        0.0
+                    } else {
+                        partner_age_sum as f64 / total_present as f64
+                    },
+                });
+                continue;
+            }
+            if p.fully_joined() {
+                joined += 1;
+                present_sum += total_present as u64;
+                snap.present_min = snap.present_min.min(total_present);
+            } else {
+                snap.unjoined_count += 1;
+            }
+            if p.archives.iter().any(|a| a.repairing) {
+                snap.repairing_count += 1;
+            }
+            let free = self.cfg.quota.saturating_sub(p.quota_used) as u64;
+            snap.free_quota_total += free;
+            if p.online {
+                snap.free_quota_online += free;
+            }
+        }
+        snap.joined_count = joined;
+        snap.present_mean = if joined > 0 {
+            present_sum as f64 / joined as f64
+        } else {
+            0.0
+        };
+        if joined == 0 {
+            snap.present_min = 0;
+        }
+        snap
+    }
+
+    // ----- population lifecycle --------------------------------------------
+
+    /// Spawns observers (round 0 only) and ramps the regular population.
+    pub(in crate::world) fn ensure_population(&mut self, round: u64, rng: &mut SimRng) {
+        if round == 0 {
+            for i in 0..self.observer_count {
+                self.spawn_observer(i as u8);
+            }
+        }
+        let target = if self.cfg.growth_rounds == 0 || round + 1 >= self.cfg.growth_rounds {
+            self.cfg.n_peers
+        } else {
+            // Linear ramp over the growth phase.
+            (self.cfg.n_peers as u64 * (round + 1) / self.cfg.growth_rounds) as usize
+        };
+        while self.spawned < target {
+            self.peers.push(Self::empty_peer());
+            self.online_pos.push(OFFLINE);
+            if self.mark.len() < self.peers.len() {
+                self.mark.push(0);
+            }
+            self.spawned += 1;
+            let id = (self.peers.len() - 1) as PeerId;
+            self.init_regular_peer(id, round, rng);
+        }
+    }
+
+    pub(in crate::world) fn empty_peer() -> Peer {
+        Peer {
+            epoch: 0,
+            profile: 0,
+            birth: 0,
+            death: u64::MAX,
+            online: false,
+            session_seq: 0,
+            online_accum: 0,
+            last_transition: 0,
+            observer: None,
+            queued: false,
+            threshold: 0,
+            archives: Vec::new(),
+            hosted: Vec::new(),
+            quota_used: 0,
+            repairs: 0,
+            losses: 0,
+        }
+    }
+
+    pub(in crate::world) fn spawn_observer(&mut self, index: u8) {
+        let id = self.peers.len() as PeerId;
+        let mut peer = Self::empty_peer();
+        peer.threshold = self.cfg.maintenance.threshold().unwrap_or(0);
+        peer.archives = vec![ArchiveState::default(); self.cfg.archives_per_peer as usize];
+        peer.observer = Some(index);
+        self.peers.push(peer);
+        self.online_pos.push(OFFLINE);
+        if self.mark.len() < self.peers.len() {
+            self.mark.push(0);
+        }
+        self.set_online(id, true);
+        self.metrics.observers.push(ObserverSeries {
+            name: self.cfg.observers[index as usize].name,
+            frozen_age: self.cfg.observers[index as usize].frozen_age,
+            points: Vec::new(),
+            total_repairs: 0,
+            losses: 0,
+        });
+        self.enqueue(id); // start the initial upload
+        self.schedule_proactive(id, 0);
+    }
+
+    /// (Re)initialises a regular peer in its slot: samples profile,
+    /// lifetime and initial session, schedules its events.
+    pub(in crate::world) fn init_regular_peer(&mut self, id: PeerId, round: u64, rng: &mut SimRng) {
+        let profile_id = self.cfg.profiles.sample(rng);
+        let lifetime = self.cfg.profiles.profile(profile_id).lifetime.sample(rng);
+        let sampler = self.samplers[profile_id];
+        let online = sampler.initial_online(rng);
+
+        let peer = &mut self.peers[id as usize];
+        peer.profile = profile_id as u8;
+        peer.threshold = self.cfg.maintenance.threshold().unwrap_or(0);
+        peer.birth = round;
+        peer.death = lifetime.map_or(u64::MAX, |l| round + l);
+        peer.observer = None;
+        peer.online = false; // set_online manages the index
+        peer.online_accum = 0;
+        peer.last_transition = round;
+        debug_assert!(peer.hosted.is_empty());
+        peer.archives
+            .resize_with(self.cfg.archives_per_peer as usize, ArchiveState::default);
+        peer.archives.iter_mut().for_each(ArchiveState::reset);
+        peer.quota_used = 0;
+
+        let epoch = peer.epoch;
+        let death = peer.death;
+        self.census[AgeCategory::Newcomer.index()] += 1;
+
+        if death != u64::MAX {
+            self.wheel
+                .schedule(Round(death), Event::Death { peer: id, epoch });
+        }
+        // First category boundary.
+        self.wheel.schedule(
+            Round(round + AgeCategory::BOUNDARIES[0]),
+            Event::CatAdvance { peer: id, epoch },
+        );
+        // Session process.
+        if sampler.always_online() {
+            self.set_online(id, true);
+        } else if sampler.always_offline() {
+            // Stays offline forever; it can never act.
+        } else if online {
+            self.set_online(id, true);
+            let dur = sampler.online_duration(rng);
+            self.wheel
+                .schedule(Round(round + dur), Event::Toggle { peer: id, epoch });
+        } else {
+            let dur = sampler.offline_duration(rng);
+            self.wheel
+                .schedule(Round(round + dur), Event::Toggle { peer: id, epoch });
+            // A freshly spawned offline peer is mid-way through an
+            // offline run; arm its write-off timer too (no-op before it
+            // hosts anything, but keeps the mechanism uniform).
+            self.schedule_offline_timeout(id, round);
+        }
+        self.schedule_proactive(id, round);
+        if self.peers[id as usize].online {
+            self.enqueue(id); // begin joining
+        }
+    }
+
+    // ----- online index and activation queue -------------------------------
+
+    pub(in crate::world) fn set_online(&mut self, id: PeerId, online: bool) {
+        let peer = &mut self.peers[id as usize];
+        if peer.online == online {
+            return;
+        }
+        peer.online = online;
+        if online {
+            self.online_pos[id as usize] = self.online_ids.len() as u32;
+            self.online_ids.push(id);
+        } else {
+            let pos = self.online_pos[id as usize];
+            debug_assert_ne!(pos, OFFLINE);
+            let last = *self.online_ids.last().expect("online list not empty");
+            self.online_ids.swap_remove(pos as usize);
+            if last != id {
+                self.online_pos[last as usize] = pos;
+            }
+            self.online_pos[id as usize] = OFFLINE;
+        }
+    }
+
+    pub(in crate::world) fn enqueue(&mut self, id: PeerId) {
+        let peer = &mut self.peers[id as usize];
+        if !peer.queued {
+            peer.queued = true;
+            self.pending.push(id);
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! The repair-episode lifecycle: joining, triggering, continuing an
+//! episode across rounds, loss accounting, and the three maintenance
+//! policies (reactive, adaptive, proactive).
+//!
+//! An **episode** is the unit of §3.2 maintenance: one `k`-block decode
+//! (paid when the episode opens) followed by `d` block uploads. Episodes
+//! are *persistent*: when the candidate pool comes up short the episode
+//! stays open (`ArchiveState::repairing`) and the owner re-enqueues
+//! itself, continuing — without paying the decode again — on its next
+//! online activation.
+
+use peerback_sim::SimRng;
+
+use crate::config::MaintenancePolicy;
+
+use super::peers::{ArchiveIdx, PeerId};
+use super::BackupWorld;
+
+impl BackupWorld {
+    /// An archive's network copy became unrecoverable.
+    pub(in crate::world) fn record_loss(&mut self, owner_id: PeerId, aidx: ArchiveIdx, round: u64) {
+        let owner = &self.peers[owner_id as usize];
+        let is_observer = owner.observer.is_some();
+        if !is_observer {
+            let cat = owner.category_at(round);
+            self.metrics.losses[cat.index()] += 1;
+        }
+        let (partners, stale) = {
+            let owner = &mut self.peers[owner_id as usize];
+            owner.losses += 1;
+            let archive = &mut owner.archives[aidx as usize];
+            archive.joined = false;
+            archive.repairing = false;
+            (
+                core::mem::take(&mut archive.partners),
+                core::mem::take(&mut archive.stale_partners),
+            )
+        };
+        for p in partners.into_iter().chain(stale) {
+            self.remove_hosted_entry(p, owner_id, aidx, is_observer);
+        }
+        // Re-backup from the local copy: start a fresh join.
+        if self.peers[owner_id as usize].online {
+            self.enqueue(owner_id);
+        }
+    }
+
+    /// Join: the initial upload of all `n` blocks of one archive (a
+    /// "repair with d = 256", §3.2 — tracked separately from repairs).
+    pub(in crate::world) fn continue_join(
+        &mut self,
+        id: PeerId,
+        aidx: ArchiveIdx,
+        round: u64,
+        rng: &mut SimRng,
+    ) {
+        let n = self.n_blocks();
+        let d = n - self.peers[id as usize].archives[aidx as usize].present();
+        let attached = self.acquire_partners(id, aidx, d, round, rng);
+        let archive = &mut self.peers[id as usize].archives[aidx as usize];
+        if archive.present() == n {
+            archive.joined = true;
+            self.metrics.diag.joins_completed += 1;
+        } else {
+            if attached < d {
+                self.metrics.diag.pool_shortfalls += 1;
+            }
+            self.enqueue(id); // keep joining next round
+        }
+    }
+
+    /// Records the start of a repair episode (metrics + decode cost).
+    pub(in crate::world) fn begin_episode(&mut self, id: PeerId, aidx: ArchiveIdx, round: u64) {
+        let peer = &mut self.peers[id as usize];
+        let archive = &mut peer.archives[aidx as usize];
+        archive.repairing = true;
+        archive.episode_struggled = false;
+        peer.repairs += 1;
+        let is_observer = peer.observer.is_some();
+        self.metrics.diag.blocks_downloaded += self.k() as u64;
+        if !is_observer {
+            let cat = self.peers[id as usize].category_at(round);
+            self.metrics.repairs[cat.index()] += 1;
+        }
+    }
+
+    /// Reactive repair: trigger when `present < k'` (the paper's
+    /// `n − d < k'`), then top back up to `n`.
+    pub(in crate::world) fn reactive_repair(
+        &mut self,
+        id: PeerId,
+        aidx: ArchiveIdx,
+        k_prime: u32,
+        round: u64,
+        rng: &mut SimRng,
+    ) {
+        let (present, repairing) = {
+            let a = &self.peers[id as usize].archives[aidx as usize];
+            (a.present(), a.repairing)
+        };
+        if !repairing {
+            if present >= k_prime {
+                return; // stale trigger (a repair already covered it)
+            }
+            debug_assert!(present >= self.k(), "loss should have been recorded");
+            self.begin_episode(id, aidx, round);
+            if self.cfg.refresh_on_repair {
+                // New code word: every surviving block will be displaced
+                // by a freshly placed one (§2.2.3's "re-encode … new
+                // blocks"). Old partners stay counted until displaced.
+                let archive = &mut self.peers[id as usize].archives[aidx as usize];
+                debug_assert!(archive.stale_partners.is_empty());
+                core::mem::swap(&mut archive.partners, &mut archive.stale_partners);
+            }
+        }
+        self.continue_episode(id, aidx, round, rng);
+    }
+
+    /// Uploads replacement blocks until `n` *fresh* partners hold the
+    /// archive; displaced pre-episode partners are released 1:1 so the
+    /// present count never dips during a refreshing episode.
+    pub(in crate::world) fn continue_episode(
+        &mut self,
+        id: PeerId,
+        aidx: ArchiveIdx,
+        round: u64,
+        rng: &mut SimRng,
+    ) {
+        let n = self.n_blocks();
+        let d = n - self.peers[id as usize].archives[aidx as usize]
+            .partners
+            .len() as u32;
+        if d == 0 {
+            let archive = &mut self.peers[id as usize].archives[aidx as usize];
+            debug_assert!(archive.stale_partners.is_empty());
+            archive.repairing = false;
+            self.adapt_threshold(id, aidx);
+            return;
+        }
+        let attached = self.acquire_partners(id, aidx, d, round, rng);
+        // Displace one stale partner per block placed beyond `n`.
+        let owner_is_observer = self.peers[id as usize].observer.is_some();
+        while self.peers[id as usize].archives[aidx as usize].present() > n {
+            let stale = self.peers[id as usize].archives[aidx as usize]
+                .stale_partners
+                .pop()
+                .expect("present > n implies stale partners remain");
+            self.remove_hosted_entry(stale, id, aidx, owner_is_observer);
+        }
+        let archive = &mut self.peers[id as usize].archives[aidx as usize];
+        if archive.partners.len() as u32 == n {
+            debug_assert!(archive.stale_partners.is_empty());
+            archive.repairing = false;
+            self.adapt_threshold(id, aidx);
+        } else {
+            if attached < d {
+                self.metrics.diag.pool_shortfalls += 1;
+                archive.episode_struggled = true;
+            }
+            self.enqueue(id);
+        }
+    }
+
+    /// Applies the adaptive policy's per-peer adjustment after a
+    /// completed episode: struggling peers back off (repair later, churn
+    /// less); healthy peers drift back up to `base`.
+    pub(in crate::world) fn adapt_threshold(&mut self, id: PeerId, aidx: ArchiveIdx) {
+        let MaintenancePolicy::Adaptive {
+            base,
+            floor_margin,
+            step,
+        } = self.cfg.maintenance
+        else {
+            return;
+        };
+        let floor = (self.cfg.k + floor_margin).min(base);
+        let struggled = self.peers[id as usize].archives[aidx as usize].episode_struggled;
+        let peer = &mut self.peers[id as usize];
+        let old = peer.threshold;
+        peer.threshold = if struggled {
+            peer.threshold.saturating_sub(step).max(floor)
+        } else {
+            peer.threshold.saturating_add(step).min(base)
+        };
+        if peer.threshold != old {
+            self.metrics.diag.threshold_adjustments += 1;
+        }
+    }
+
+    /// Proactive maintenance: top one archive back up to `n` present
+    /// blocks at every tick, without any threshold trigger.
+    pub(in crate::world) fn proactive_repair(
+        &mut self,
+        id: PeerId,
+        aidx: ArchiveIdx,
+        round: u64,
+        rng: &mut SimRng,
+    ) {
+        let (present, repairing) = {
+            let a = &self.peers[id as usize].archives[aidx as usize];
+            (a.present(), a.repairing)
+        };
+        if !repairing {
+            if present >= self.n_blocks() {
+                return; // nothing disappeared since the last tick
+            }
+            self.begin_episode(id, aidx, round);
+        }
+        self.continue_episode(id, aidx, round, rng);
+    }
+}

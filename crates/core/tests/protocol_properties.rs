@@ -125,7 +125,8 @@ fn fuzzed_configurations_never_panic() {
             cfg = cfg.with_paper_observers();
         }
         cfg.growth_rounds = pick(0..100, 61);
-        cfg.validate().unwrap_or_else(|e| panic!("case {case}: invalid fuzz config: {e}"));
+        cfg.validate()
+            .unwrap_or_else(|e| panic!("case {case}: invalid fuzz config: {e}"));
 
         let peers = cfg.n_peers as u64;
         let rounds = cfg.rounds;

@@ -92,10 +92,7 @@ mod tests {
             ),
             (ErasureError::ShardLengthMismatch, "inconsistent"),
             (
-                ErasureError::IndexOutOfRange {
-                    index: 9,
-                    total: 6,
-                },
+                ErasureError::IndexOutOfRange { index: 9, total: 6 },
                 "index 9",
             ),
             (ErasureError::DuplicateIndex { index: 2 }, "index 2"),

@@ -142,7 +142,11 @@ impl Matrix {
     }
 
     /// Returns the sub-matrix spanning `row_range × col_range` half-open.
-    pub fn submatrix(&self, rows: core::ops::Range<usize>, cols: core::ops::Range<usize>) -> Matrix {
+    pub fn submatrix(
+        &self,
+        rows: core::ops::Range<usize>,
+        cols: core::ops::Range<usize>,
+    ) -> Matrix {
         assert!(rows.end <= self.rows && cols.end <= self.cols);
         Matrix::from_fn(rows.len(), cols.len(), |r, c| {
             self.get(rows.start + r, cols.start + c)
@@ -284,7 +288,10 @@ mod tests {
 
     #[test]
     fn zero_matrix_is_singular() {
-        assert_eq!(Matrix::zero(2, 2).inverse(), Err(ErasureError::SingularMatrix));
+        assert_eq!(
+            Matrix::zero(2, 2).inverse(),
+            Err(ErasureError::SingularMatrix)
+        );
     }
 
     #[test]

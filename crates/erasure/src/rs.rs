@@ -303,8 +303,7 @@ mod tests {
     fn round_trip_with_all_data_shards() {
         let rs = ReedSolomon::new(4, 2).unwrap();
         let data = sample_data(4, 32);
-        let survivors: Vec<(usize, Vec<u8>)> =
-            data.iter().cloned().enumerate().collect();
+        let survivors: Vec<(usize, Vec<u8>)> = data.iter().cloned().enumerate().collect();
         let out = rs.reconstruct_data(&survivors, 32).unwrap();
         assert_eq!(out, data);
     }
@@ -421,7 +420,10 @@ mod tests {
         let bad_count = sample_data(3, 8);
         assert!(matches!(
             rs.encode(&bad_count),
-            Err(ErasureError::WrongShardCount { expected: 4, actual: 3 })
+            Err(ErasureError::WrongShardCount {
+                expected: 4,
+                actual: 3
+            })
         ));
 
         let mut bad_len = sample_data(4, 8);
@@ -434,7 +436,10 @@ mod tests {
         let too_few: Vec<(usize, Vec<u8>)> = vec![(0, vec![0; 8]); 1];
         assert!(matches!(
             rs.reconstruct_data(&too_few, 8),
-            Err(ErasureError::NotEnoughShards { available: 1, needed: 4 })
+            Err(ErasureError::NotEnoughShards {
+                available: 1,
+                needed: 4
+            })
         ));
 
         let dup: Vec<(usize, Vec<u8>)> = vec![

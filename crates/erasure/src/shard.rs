@@ -248,7 +248,10 @@ mod tests {
         assert!(!set.decodable(&rs));
         assert!(matches!(
             set.repair(&rs),
-            Err(ErasureError::NotEnoughShards { available: 2, needed: 3 })
+            Err(ErasureError::NotEnoughShards {
+                available: 2,
+                needed: 3
+            })
         ));
     }
 }

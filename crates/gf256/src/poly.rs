@@ -266,8 +266,7 @@ mod tests {
     #[test]
     fn interpolation_recovers_polynomial() {
         let q = p(&[12, 0, 5, 9]);
-        let points: Vec<(Gf256, Gf256)> =
-            (1u8..=4).map(|x| (Gf256(x), q.eval(Gf256(x)))).collect();
+        let points: Vec<(Gf256, Gf256)> = (1u8..=4).map(|x| (Gf256(x), q.eval(Gf256(x)))).collect();
         assert_eq!(Poly::interpolate(&points), q);
     }
 

@@ -283,8 +283,7 @@ mod tests {
     #[test]
     fn faster_links_scale_costs_down() {
         let old = paper_model();
-        let modern =
-            RepairCostModel::new(LinkModel::DSL_MODERN, ArchiveGeometry::paper_default());
+        let modern = RepairCostModel::new(LinkModel::DSL_MODERN, ArchiveGeometry::paper_default());
         let ftth = RepairCostModel::new(LinkModel::FTTH, ArchiveGeometry::paper_default());
         let d = 128;
         assert!(

@@ -48,7 +48,10 @@ impl LinkModel {
     ///
     /// Panics unless both bandwidths are positive.
     pub fn new(name: &'static str, up_bytes_per_sec: f64, down_bytes_per_sec: f64) -> Self {
-        assert!(up_bytes_per_sec > 0.0, "upstream bandwidth must be positive");
+        assert!(
+            up_bytes_per_sec > 0.0,
+            "upstream bandwidth must be positive"
+        );
         assert!(
             down_bytes_per_sec > 0.0,
             "downstream bandwidth must be positive"

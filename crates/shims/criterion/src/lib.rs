@@ -1,0 +1,260 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the subset of criterion's API that the `benches/` targets
+//! use: [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`Throughput`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple — median of several timed batches
+//! after a short warm-up, printed as `ns/iter` plus derived throughput.
+//! There is no statistical regression analysis, HTML report, or
+//! comparison with saved baselines; benchmarks compile and produce
+//! usable numbers, which is what CI and quick perf probes need.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How many measured batches contribute to the reported median.
+const BATCHES: usize = 7;
+
+/// Target wall-clock time for one measured batch.
+const BATCH_TARGET: Duration = Duration::from_millis(20);
+
+/// Units-per-iteration annotation for derived throughput lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Abstract elements processed per iteration.
+    Elements(u64),
+}
+
+/// How `iter_batched` amortises setup cost. The shim always re-runs the
+/// setup per iteration, so the variants only document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: setup per batch in real criterion.
+    SmallInput,
+    /// Large inputs: fewer iterations per batch.
+    LargeInput,
+    /// Setup re-runs before every single iteration.
+    PerIteration,
+}
+
+/// The timing context handed to benchmark closures.
+pub struct Bencher {
+    /// Nanoseconds per iteration measured for the current benchmark.
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm up and estimate a batch size that lasts ~BATCH_TARGET.
+        let mut n: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(2) || n >= 1 << 30 {
+                let per_iter = elapsed.as_nanos().max(1) as f64 / n as f64;
+                n = ((BATCH_TARGET.as_nanos() as f64 / per_iter).ceil() as u64).max(1);
+                break;
+            }
+            n *= 4;
+        }
+
+        let mut samples = [0.0f64; BATCHES];
+        for sample in &mut samples {
+            let start = Instant::now();
+            for _ in 0..n {
+                black_box(routine());
+            }
+            *sample = start.elapsed().as_nanos() as f64 / n as f64;
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        self.ns_per_iter = samples[BATCHES / 2];
+    }
+
+    /// Times `routine` over fresh `setup` outputs; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        // One input is built right before its timed call, so at most a
+        // single setup output is live at a time (real criterion's
+        // BatchSize exists to bound exactly this; the per-call timing
+        // adds ~20 ns of Instant overhead per iteration, acceptable for
+        // the setup-dominated routines iter_batched is meant for).
+        let mut timed_batch = |n: u64| -> Duration {
+            let mut total = Duration::ZERO;
+            for _ in 0..n {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                total += start.elapsed();
+            }
+            total
+        };
+
+        let mut n: u64 = 1;
+        loop {
+            let elapsed = timed_batch(n);
+            if elapsed >= Duration::from_millis(2) || n >= 1 << 20 {
+                let per_iter = elapsed.as_nanos().max(1) as f64 / n as f64;
+                n = ((BATCH_TARGET.as_nanos() as f64 / per_iter).ceil() as u64).clamp(1, 1 << 20);
+                break;
+            }
+            n *= 4;
+        }
+
+        let mut samples = [0.0f64; BATCHES];
+        for sample in &mut samples {
+            *sample = timed_batch(n).as_nanos() as f64 / n as f64;
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        self.ns_per_iter = samples[BATCHES / 2];
+    }
+}
+
+fn report(name: &str, ns_per_iter: f64, throughput: Option<Throughput>) {
+    let time = if ns_per_iter >= 1e9 {
+        format!("{:.3} s", ns_per_iter / 1e9)
+    } else if ns_per_iter >= 1e6 {
+        format!("{:.3} ms", ns_per_iter / 1e6)
+    } else if ns_per_iter >= 1e3 {
+        format!("{:.3} µs", ns_per_iter / 1e3)
+    } else {
+        format!("{ns_per_iter:.1} ns")
+    };
+    let extra = match throughput {
+        Some(Throughput::Bytes(bytes)) => {
+            let gib = bytes as f64 / ns_per_iter; // bytes/ns == GB/s
+            format!("  ({gib:.3} GB/s)")
+        }
+        Some(Throughput::Elements(elems)) => {
+            let meps = elems as f64 / ns_per_iter * 1e3;
+            format!("  ({meps:.3} Melem/s)")
+        }
+        None => String::new(),
+    };
+    println!("bench: {name:<52} {time:>12}/iter{extra}");
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut bencher = Bencher { ns_per_iter: 0.0 };
+        f(&mut bencher);
+        report(name, bencher.ns_per_iter, None);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput
+/// annotation.
+pub struct BenchmarkGroup<'c> {
+    _criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim's batch count is fixed.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut bencher = Bencher { ns_per_iter: 0.0 };
+        f(&mut bencher);
+        report(
+            &format!("{}/{id}", self.name),
+            bencher.ns_per_iter,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        #[doc = "Runs this group's benchmark functions."]
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_something() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn groups_run_and_finish() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Bytes(8));
+        group.sample_size(10);
+        group.bench_function("sum", |b| {
+            b.iter(|| (0..64u64).sum::<u64>());
+        });
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::PerIteration);
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,60 @@
+//! Collection strategies (`proptest::collection`).
+
+use std::ops::Range;
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::strategy::Strategy;
+
+/// A strategy for `Vec`s of `elem`-generated values with a length drawn
+/// from `size`.
+pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { elem, size }
+}
+
+/// See [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    elem: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn new_value(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+        let len = if self.size.is_empty() {
+            self.size.start
+        } else {
+            rng.gen_range(self.size.clone())
+        };
+        (0..len).map(|_| self.elem.new_value(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::any;
+    use rand::SeedableRng;
+
+    #[test]
+    fn vec_lengths_and_elements_in_range() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let s = vec(0u8..10, 2..6);
+        for _ in 0..200 {
+            let v = s.new_value(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&e| e < 10));
+        }
+    }
+
+    #[test]
+    fn nested_vecs_work() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let s = vec((any::<u32>(), vec(any::<u8>(), 0..3)), 0..4);
+        let v = s.new_value(&mut rng);
+        assert!(v.len() < 4);
+    }
+}

@@ -1,0 +1,375 @@
+//! Value-generation strategies.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike real proptest there is no shrinking: `new_value` produces the
+/// final value directly from the RNG.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn new_value(&self, rng: &mut SmallRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keeps only values satisfying `f` (bounded retries; panics if the
+    /// predicate is satisfied too rarely).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            f,
+            whence,
+        }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn new_value(&self, rng: &mut SmallRng) -> Self::Value {
+        (**self).new_value(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn new_value(&self, rng: &mut SmallRng) -> U {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+    whence: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn new_value(&self, rng: &mut SmallRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.new_value(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter `{}` rejected 1000 consecutive values",
+            self.whence
+        );
+    }
+}
+
+/// A strategy producing one fixed value every time.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut SmallRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical full-domain strategy (real proptest's
+/// `Arbitrary`).
+pub trait Arbitrary: Sized {
+    /// Generates one unconstrained value.
+    fn arbitrary(rng: &mut SmallRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_uniform {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut SmallRng) -> Self {
+                rng.gen()
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+impl Arbitrary for f64 {
+    /// Finite floats spanning many magnitudes (no NaN/inf: every test
+    /// here feeds these into arithmetic that assumes finiteness).
+    fn arbitrary(rng: &mut SmallRng) -> Self {
+        let unit: f64 = rng.gen();
+        let exponent = rng.gen_range(-64i32..64) as f64;
+        let sign = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+        sign * unit * exponent.exp2()
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut SmallRng) -> Self {
+        // Mostly ASCII with occasional higher code points.
+        if rng.gen_range(0u32..4) == 0 {
+            char::from_u32(rng.gen_range(0x80u32..0xd800)).unwrap_or('\u{fffd}')
+        } else {
+            rng.gen_range(0x20u8..0x7f) as char
+        }
+    }
+}
+
+/// The full-domain strategy for `T` (`any::<u8>()`, …).
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(PhantomData)
+}
+
+/// See [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut SmallRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn new_value(&self, rng: &mut SmallRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn new_value(&self, rng: &mut SmallRng) -> f32 {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// String patterns: a `&str` is a strategy generating matching strings.
+///
+/// Only the character-class-with-repetition subset of the regex syntax
+/// is supported — `[a-z0-9_]{min,max}` or `[a-z0-9_]{n}` — which is all
+/// the tests use. Plain text without a leading `[` is generated
+/// literally (matching how a literal regex matches itself); a pattern
+/// that *starts* a class but fails to parse panics, so an unsupported
+/// or typo'd pattern cannot silently turn a property test vacuous.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn new_value(&self, rng: &mut SmallRng) -> String {
+        if !self.starts_with('[') {
+            return (*self).to_string();
+        }
+        let Some((chars, min, max)) = parse_class_pattern(self) else {
+            panic!(
+                "string strategy {self:?} is not a supported pattern \
+                 (`[class]{{min,max}}` or `[class]{{n}}`)"
+            );
+        };
+        let len = rng.gen_range(min..=max);
+        (0..len)
+            .map(|_| chars[rng.gen_range(0..chars.len())])
+            .collect()
+    }
+}
+
+/// Parses `[class]{min,max}` (or `[class]{n}`) into (alphabet, min, max).
+fn parse_class_pattern(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pattern.strip_prefix('[')?;
+    let close = rest.find(']')?;
+    let class: Vec<char> = rest[..close].chars().collect();
+    let reps = rest[close + 1..].strip_prefix('{')?.strip_suffix('}')?;
+    let (min, max) = match reps.split_once(',') {
+        Some((min_s, max_s)) => (min_s.parse().ok()?, max_s.parse().ok()?),
+        None => {
+            let n = reps.parse().ok()?;
+            (n, n)
+        }
+    };
+    if min > max {
+        return None;
+    }
+
+    let mut alphabet = Vec::new();
+    let mut i = 0;
+    while i < class.len() {
+        // `a-z` range (a leading or trailing `-` is a literal).
+        if i + 2 < class.len() && class[i + 1] == '-' {
+            let (lo, hi) = (class[i] as u32, class[i + 2] as u32);
+            if lo > hi {
+                return None;
+            }
+            alphabet.extend((lo..=hi).filter_map(char::from_u32));
+            i += 3;
+        } else {
+            alphabet.push(class[i]);
+            i += 1;
+        }
+    }
+    if alphabet.is_empty() && min > 0 {
+        return None;
+    }
+    if alphabet.is_empty() {
+        alphabet.push('x'); // unused: len is always 0
+    }
+    Some((alphabet, min, max))
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+);)*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn new_value(&self, rng: &mut SmallRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.new_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A);
+    (A, B);
+    (A, B, C);
+    (A, B, C, D);
+    (A, B, C, D, E);
+    (A, B, C, D, E, F);
+    (A, B, C, D, E, F, G);
+    (A, B, C, D, E, F, G, H);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let v = (5u64..10).new_value(&mut r);
+            assert!((5..10).contains(&v));
+            let w = (1u16..=256).new_value(&mut r);
+            assert!((1..=256).contains(&w));
+            let f = (0.25f64..0.75).new_value(&mut r);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn prop_map_transforms() {
+        let mut r = rng();
+        let s = (0u8..10).prop_map(|v| v as u32 + 100);
+        for _ in 0..100 {
+            let v = s.new_value(&mut r);
+            assert!((100..110).contains(&v));
+        }
+    }
+
+    #[test]
+    fn string_patterns_generate_matching_strings() {
+        let mut r = rng();
+        let s = "[a-c_]{2,5}";
+        for _ in 0..200 {
+            let v = s.new_value(&mut r);
+            assert!((2..=5).contains(&v.len()), "length {v:?}");
+            assert!(v.chars().all(|c| ('a'..='c').contains(&c) || c == '_'));
+        }
+        // Exact-count repetition.
+        for _ in 0..50 {
+            let v = "[xy]{4}".new_value(&mut r);
+            assert_eq!(v.len(), 4);
+            assert!(v.chars().all(|c| c == 'x' || c == 'y'));
+        }
+        // Plain text (no class) comes through literally.
+        assert_eq!("plain".new_value(&mut r), "plain");
+    }
+
+    #[test]
+    #[should_panic(expected = "not a supported pattern")]
+    fn malformed_class_patterns_fail_loudly() {
+        // min > max is a typo, not a literal — it must not silently
+        // degrade the strategy into a constant string.
+        let _ = "[a-z]{5,2}".new_value(&mut rng());
+    }
+
+    #[test]
+    fn tuples_compose() {
+        let mut r = rng();
+        let (a, b, c) = (any::<bool>(), 0u8..4, "[x]{1,1}").new_value(&mut r);
+        let _: bool = a;
+        assert!(b < 4);
+        assert_eq!(c, "x");
+    }
+
+    #[test]
+    fn filter_retries_and_just_repeats() {
+        let mut r = rng();
+        let s = (0u32..100).prop_filter("even", |v| v % 2 == 0);
+        for _ in 0..100 {
+            assert_eq!(s.new_value(&mut r) % 2, 0);
+        }
+        assert_eq!(Just(7u8).new_value(&mut r), 7);
+    }
+
+    #[test]
+    fn arbitrary_f64_is_finite() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert!(f64::arbitrary(&mut r).is_finite());
+        }
+    }
+}

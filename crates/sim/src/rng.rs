@@ -47,7 +47,9 @@ mod tests {
     fn different_seeds_diverge() {
         let mut a = sim_rng(42);
         let mut b = sim_rng(43);
-        let same = (0..100).filter(|_| a.gen::<u64>() == b.gen::<u64>()).count();
+        let same = (0..100)
+            .filter(|_| a.gen::<u64>() == b.gen::<u64>())
+            .count();
         assert_eq!(same, 0);
     }
 
@@ -66,7 +68,9 @@ mod tests {
     fn derived_streams_decorrelate() {
         let mut a = sim_rng(derive_seed(1, 10));
         let mut b = sim_rng(derive_seed(1, 11));
-        let same = (0..1000).filter(|_| a.gen::<u64>() == b.gen::<u64>()).count();
+        let same = (0..1000)
+            .filter(|_| a.gen::<u64>() == b.gen::<u64>())
+            .count();
         assert_eq!(same, 0);
     }
 }

@@ -8,9 +8,7 @@
 
 use bytes::Bytes;
 use peerback::core::archive::ArchiveBuilder;
-use peerback::core::{
-    Archive, BackupPipeline, MasterBlock, RestorePipeline, XorKeystream,
-};
+use peerback::core::{Archive, BackupPipeline, MasterBlock, RestorePipeline, XorKeystream};
 use peerback::ReedSolomon;
 
 fn main() {

@@ -12,10 +12,10 @@
 //! ```
 
 use peerback::analysis::TableBuilder;
+use peerback::churn::estimate::PeerObservation;
 use peerback::churn::{
     AgeRank, EmpiricalUptime, LifetimeDist, LifetimeEstimator, Pareto, ParetoConditional,
 };
-use peerback::churn::estimate::PeerObservation;
 use peerback::core::{acceptance_probability, PAPER_CLAMP_ROUNDS};
 use peerback::sim::sim_rng;
 

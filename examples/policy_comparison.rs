@@ -11,9 +11,7 @@
 //! ```
 
 use peerback::analysis::TableBuilder;
-use peerback::{
-    run_sweep, MaintenancePolicy, SelectionStrategy, SimConfig,
-};
+use peerback::{run_sweep, MaintenancePolicy, SelectionStrategy, SimConfig};
 
 fn main() {
     let base = || {

@@ -23,10 +23,22 @@ fn main() {
     let metrics = run_simulation(cfg);
 
     println!("\n== network activity ==");
-    println!("peers joined (initial uploads): {}", metrics.diag.joins_completed);
-    println!("departures (replaced):          {}", metrics.diag.departures);
-    println!("partner write-offs (timeouts):  {}", metrics.diag.partner_timeouts);
-    println!("repair episodes:                {}", metrics.total_repairs());
+    println!(
+        "peers joined (initial uploads): {}",
+        metrics.diag.joins_completed
+    );
+    println!(
+        "departures (replaced):          {}",
+        metrics.diag.departures
+    );
+    println!(
+        "partner write-offs (timeouts):  {}",
+        metrics.diag.partner_timeouts
+    );
+    println!(
+        "repair episodes:                {}",
+        metrics.total_repairs()
+    );
     println!("archives lost:                  {}", metrics.total_losses());
     println!(
         "maintenance traffic:            {} block uploads, {} block downloads",
@@ -36,7 +48,11 @@ fn main() {
     println!("\n== the paper's result: maintenance cost stratifies by age ==");
     for cat in AgeCategory::ALL {
         if let Some(rate) = metrics.repair_rate_per_1000(cat) {
-            println!("{:<12} {:.3} repairs per 1000 peers per round", cat.name(), rate);
+            println!(
+                "{:<12} {:.3} repairs per 1000 peers per round",
+                cat.name(),
+                rate
+            );
         } else {
             println!(
                 "{:<12} (no peers reached this age within the horizon)",

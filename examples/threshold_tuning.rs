@@ -15,9 +15,7 @@ use peerback::{run_sweep, AgeCategory, SimConfig};
 
 fn main() {
     let thresholds: Vec<u16> = vec![132, 140, 148, 160, 172];
-    println!(
-        "sweeping k' over {thresholds:?} on a 3,000-peer network (this takes a minute) ...\n"
-    );
+    println!("sweeping k' over {thresholds:?} on a 3,000-peer network (this takes a minute) ...\n");
     let configs: Vec<SimConfig> = thresholds
         .iter()
         .map(|&t| SimConfig::paper(3_000, 10_000, 7).with_threshold(t))

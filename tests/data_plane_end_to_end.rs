@@ -163,8 +163,7 @@ fn wrong_cipher_key_never_yields_wrong_data_silently() {
         .collect();
 
     for wrong_key in [0u64, 999, 1001, u64::MAX] {
-        match RestorePipeline::new(XorKeystream::new(wrong_key))
-            .restore(&plan.descriptor, &blocks)
+        match RestorePipeline::new(XorKeystream::new(wrong_key)).restore(&plan.descriptor, &blocks)
         {
             Err(_) => {}
             Ok(a) => assert_ne!(a, archive, "wrong key must not reproduce the archive"),

@@ -142,10 +142,7 @@ fn mixed_extreme_profiles() {
     let mut cfg = base(400, 6_000, 11);
     cfg.profiles = ProfileMix::new(vec![
         (Profile::new("Saint", LifetimeSpec::Unlimited, 0.99), 0.3),
-        (
-            Profile::new("Mayfly", LifetimeSpec::Fixed(72), 0.5),
-            0.7,
-        ),
+        (Profile::new("Mayfly", LifetimeSpec::Fixed(72), 0.5), 0.7),
     ]);
     let metrics = run_simulation(cfg);
     // Mayflies die every 3 days; each replacement re-draws a profile,

@@ -19,8 +19,12 @@ fn per_peer_rates_are_stable_across_population_size() {
     let large = run_simulation(config(1_200, 2));
 
     for cat in [AgeCategory::Newcomer, AgeCategory::Young] {
-        let a = small.repair_rate_per_1000(cat).expect("rate at small scale");
-        let b = large.repair_rate_per_1000(cat).expect("rate at large scale");
+        let a = small
+            .repair_rate_per_1000(cat)
+            .expect("rate at small scale");
+        let b = large
+            .repair_rate_per_1000(cat)
+            .expect("rate at large scale");
         let ratio = a.max(b) / a.min(b);
         assert!(
             ratio < 2.0,

@@ -131,8 +131,8 @@ fn losses_appear_only_near_the_decode_limit() {
     );
     if risky.total_losses() > 0 {
         // Losses, when they occur, fall on the young (paper Figure 2).
-        let newcomer_losses = risky.losses[AgeCategory::Newcomer.index()]
-            + risky.losses[AgeCategory::Young.index()];
+        let newcomer_losses =
+            risky.losses[AgeCategory::Newcomer.index()] + risky.losses[AgeCategory::Young.index()];
         assert!(
             newcomer_losses * 2 >= risky.total_losses(),
             "losses should be concentrated on young peers: {:?}",

@@ -3,10 +3,10 @@
 
 use proptest::prelude::*;
 
-use peerback::core::master::{ArchiveDescriptor, BlockPlacement};
-use peerback::core::archive::Entry;
-use peerback::core::{Archive, MasterBlock};
 use bytes::Bytes;
+use peerback::core::archive::Entry;
+use peerback::core::master::{ArchiveDescriptor, BlockPlacement};
+use peerback::core::{Archive, MasterBlock};
 
 fn arb_descriptor() -> impl Strategy<Value = ArchiveDescriptor> {
     (
