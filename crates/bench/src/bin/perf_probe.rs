@@ -6,22 +6,56 @@
 //! ```text
 //! cargo run --release -p peerback-bench --bin perf_probe -- --smoke
 //! ```
+//!
+//! With `--json` the probe emits one machine-readable object on stdout
+//! (timing, throughput, headline counters) so the perf trajectory can
+//! be tracked across PRs.
 
 use std::time::Instant;
 
-use peerback_bench::HarnessArgs;
+use peerback_bench::{json, HarnessArgs};
 use peerback_core::run_simulation;
 
 fn main() {
     let args = HarnessArgs::parse();
     let cfg = args.base_config().with_paper_observers();
-    println!(
-        "running {} peers x {} rounds (seed {}) ...",
-        args.peers, args.rounds, args.seed
-    );
+    if !args.json {
+        println!(
+            "running {} peers x {} rounds (seed {}) ...",
+            args.peers, args.rounds, args.seed
+        );
+    }
     let start = Instant::now();
     let metrics = run_simulation(cfg);
     let elapsed = start.elapsed();
+    if args.json {
+        let report = json::Object::new()
+            .str("probe", "perf_probe")
+            .num("peers", args.peers as u64)
+            .num("rounds", args.rounds)
+            .num("seed", args.seed)
+            .float("elapsed_secs", elapsed.as_secs_f64())
+            .float(
+                "peer_rounds_per_sec",
+                (args.peers as f64 * args.rounds as f64) / elapsed.as_secs_f64(),
+            )
+            .nums("repairs", metrics.repairs)
+            .nums("losses", metrics.losses)
+            .nums("peer_rounds", metrics.peer_rounds)
+            .num("departures", metrics.diag.departures)
+            .num("session_toggles", metrics.diag.session_toggles)
+            .num("joins_completed", metrics.diag.joins_completed)
+            .num("partner_timeouts", metrics.diag.partner_timeouts)
+            .num("pool_shortfalls", metrics.diag.pool_shortfalls)
+            .num("blocks_uploaded", metrics.diag.blocks_uploaded)
+            .num("blocks_downloaded", metrics.diag.blocks_downloaded)
+            .float(
+                "mean_restorability",
+                metrics.mean_restorability().unwrap_or(f64::NAN),
+            );
+        println!("{}", report.render());
+        return;
+    }
     println!(
         "done in {:.2}s  ({:.0} peer-rounds/s)",
         elapsed.as_secs_f64(),

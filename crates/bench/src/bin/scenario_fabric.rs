@@ -1,0 +1,178 @@
+//! Fabric end-to-end scenario: fault rates × repair policies, with the
+//! restorability auditor cross-checking bytes against the simulator in
+//! every cell.
+//!
+//! Opens the fault-injection workload family: each cell runs the full
+//! combined mode (simulate placement, move real bytes through the
+//! fault plane) and reports transfer outcomes, verified data losses
+//! and the audit ledger. The zero-fault column doubles as a continuous
+//! integration check — byte-level restorability must equal the
+//! simulator's prediction exactly, so the process exits non-zero if
+//! any cell reports an audit mismatch.
+//!
+//! ```text
+//! cargo run --release -p peerback-bench --bin scenario_fabric -- --peers 64 --rounds 50 --json
+//! ```
+
+use peerback_bench::{json, HarnessArgs};
+use peerback_core::{MaintenancePolicy, SimConfig};
+use peerback_fabric::{run_fabric, FabricConfig, FabricReport, FaultProfile};
+
+/// In-flight fault rates swept (0 = the cross-check column).
+const FAULT_RATES: [f64; 3] = [0.0, 0.02, 0.08];
+
+/// Repair policies swept (names + constructors sized for k = 8).
+const POLICIES: [(&str, MaintenancePolicy); 3] = [
+    ("reactive", MaintenancePolicy::Reactive { threshold: 10 }),
+    (
+        "adaptive",
+        MaintenancePolicy::Adaptive {
+            base: 12,
+            floor_margin: 1,
+            step: 1,
+        },
+    ),
+    (
+        "proactive",
+        MaintenancePolicy::Proactive { tick_rounds: 24 },
+    ),
+];
+
+/// The scenario's simulation config: a small 8+8 geometry so byte-level
+/// decodes stay cheap at any population.
+fn cell_config(args: &HarnessArgs, maintenance: MaintenancePolicy) -> SimConfig {
+    let mut cfg = SimConfig::paper(args.peers, args.rounds, args.seed);
+    cfg.k = 8;
+    cfg.m = 8;
+    cfg.quota = 48;
+    cfg.maintenance = maintenance;
+    cfg
+}
+
+struct Cell {
+    policy: &'static str,
+    fault_rate: f64,
+    report: FabricReport,
+}
+
+fn run_cell(
+    args: &HarnessArgs,
+    policy: &'static str,
+    maintenance: MaintenancePolicy,
+    rate: f64,
+) -> Cell {
+    let fabric_cfg = FabricConfig {
+        faults: FaultProfile::uniform(rate),
+        // Audit every round at smoke scales, sparser on long runs.
+        audit_interval: (args.rounds / 200).max(1),
+        ..FabricConfig::default()
+    };
+    let report = run_fabric(cell_config(args, maintenance), fabric_cfg)
+        .expect("scenario configuration is valid");
+    Cell {
+        policy,
+        fault_rate: rate,
+        report,
+    }
+}
+
+fn cell_json(cell: &Cell) -> String {
+    let stats = &cell.report.stats;
+    let audit = &cell.report.audit;
+    let failed = stats.transfers_corrupted + stats.transfers_truncated + stats.transfers_flapped;
+    json::Object::new()
+        .str("policy", cell.policy)
+        .float("fault_rate", cell.fault_rate)
+        .num("transfers_attempted", stats.transfers_attempted)
+        .num("transfers_delivered", stats.transfers_delivered)
+        .num("transfers_failed", failed)
+        .num("duplicate_frames", stats.duplicate_frames)
+        .num("bitrot_events", stats.bitrot_events)
+        .num("bytes_shipped", stats.bytes_shipped)
+        .float("upload_secs", stats.upload_secs)
+        .float("download_secs", stats.download_secs)
+        .num("joins", stats.joins)
+        .num("episodes", stats.episodes)
+        .num("repair_decodes", stats.repair_decodes)
+        .num("repair_decode_fallbacks", stats.repair_decode_fallbacks)
+        .num("sim_losses", cell.report.metrics.total_losses())
+        .num("verified_losses", cell.report.losses.len() as u64)
+        .num("audit_checks", audit.checks)
+        .num("audit_consistent", audit.consistent)
+        .num("fault_induced_losses", audit.fault_induced_losses)
+        .num("audit_mismatches", audit.mismatches)
+        .num("decode_attempts", audit.decode_attempts)
+        .num("decode_successes", audit.decode_successes)
+        .render()
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let mut cells = Vec::new();
+    for (name, maintenance) in POLICIES {
+        for rate in FAULT_RATES {
+            if !args.json {
+                eprintln!("running {name} @ fault rate {rate} ...");
+            }
+            cells.push(run_cell(&args, name, maintenance, rate));
+        }
+    }
+
+    let mismatches: u64 = cells.iter().map(|c| c.report.audit.mismatches).sum();
+    let unverified_losses: usize = cells
+        .iter()
+        .flat_map(|c| &c.report.losses)
+        .filter(|l| l.intact_shards >= l.k)
+        .count();
+
+    if args.json {
+        let report = json::Object::new()
+            .str("scenario", "fabric")
+            .num("peers", args.peers as u64)
+            .num("rounds", args.rounds)
+            .num("seed", args.seed)
+            .raw("cells", json::array(cells.iter().map(cell_json)))
+            .num("audit_mismatches", mismatches)
+            .num("unverified_losses", unverified_losses as u64)
+            .render();
+        println!("{report}");
+    } else {
+        println!(
+            "{:<10} {:>6} {:>9} {:>9} {:>7} {:>7} {:>7} {:>9} {:>10}",
+            "policy",
+            "fault",
+            "shipped",
+            "delivered",
+            "failed",
+            "dups",
+            "losses",
+            "audits",
+            "mismatches"
+        );
+        for cell in &cells {
+            let s = &cell.report.stats;
+            let failed = s.transfers_corrupted + s.transfers_truncated + s.transfers_flapped;
+            println!(
+                "{:<10} {:>6} {:>9} {:>9} {:>7} {:>7} {:>7} {:>9} {:>10}",
+                cell.policy,
+                format!("{:.0}%", cell.fault_rate * 100.0),
+                s.transfers_attempted,
+                s.transfers_delivered,
+                failed,
+                s.duplicate_frames,
+                cell.report.losses.len(),
+                cell.report.audit.checks,
+                cell.report.audit.mismatches,
+            );
+        }
+        println!("total audit mismatches: {mismatches}");
+    }
+
+    if mismatches > 0 || unverified_losses > 0 {
+        eprintln!(
+            "FAIL: {mismatches} audit mismatch(es), {unverified_losses} unverified loss(es) — \
+             the byte plane and the simulator disagree"
+        );
+        std::process::exit(1);
+    }
+}

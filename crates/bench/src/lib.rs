@@ -63,6 +63,10 @@ pub struct HarnessArgs {
     pub out_dir: PathBuf,
     /// Worker threads for sweeps (0 = all cores).
     pub threads: usize,
+    /// Emit machine-readable JSON on stdout instead of (or alongside)
+    /// the human-readable report, so perf and audit trajectories can be
+    /// tracked across runs and PRs.
+    pub json: bool,
 }
 
 impl HarnessArgs {
@@ -83,6 +87,7 @@ impl HarnessArgs {
         let mut seed = 42;
         let mut out_dir = PathBuf::from("results");
         let mut threads = 0;
+        let mut json = false;
 
         let mut iter = args.into_iter();
         while let Some(arg) = iter.next() {
@@ -98,6 +103,7 @@ impl HarnessArgs {
                 "--seed" => seed = parse_num(&value_for("--seed"), "--seed"),
                 "--out-dir" => out_dir = PathBuf::from(value_for("--out-dir")),
                 "--threads" => threads = parse_num(&value_for("--threads"), "--threads") as usize,
+                "--json" => json = true,
                 "--help" | "-h" => {
                     println!("{USAGE}");
                     std::process::exit(0);
@@ -111,6 +117,7 @@ impl HarnessArgs {
             seed,
             out_dir,
             threads,
+            json,
         }
     }
 
@@ -155,7 +162,10 @@ usage: <binary> [options]
   --rounds N        duration override
   --seed N          master seed (default 42)
   --out-dir DIR     where TSV output lands (default: results/)
-  --threads N       sweep workers (default: all cores)";
+  --threads N       sweep workers (default: all cores)
+  --json            emit a machine-readable JSON report on stdout
+                    (perf_probe and scenario_fabric; other binaries
+                    ignore the flag and print their usual tables)";
 
 /// Formats a float with sensible precision for tables.
 pub fn fmt_rate(v: Option<f64>) -> String {
@@ -208,6 +218,12 @@ mod tests {
     }
 
     #[test]
+    fn json_flag() {
+        assert!(!parse(&[]).json);
+        assert!(parse(&["--json"]).json);
+    }
+
+    #[test]
     fn explicit_overrides_win() {
         let a = parse(&[
             "--paper-scale",
@@ -247,5 +263,124 @@ mod tests {
     fn base_config_is_valid() {
         let a = parse(&["--smoke"]);
         assert!(a.base_config().validate().is_ok());
+    }
+}
+
+/// A minimal JSON object/array writer for the `--json` report mode.
+///
+/// The offline dependency set has no serde; the harness binaries emit
+/// flat reports (numbers, strings, arrays of numbers, nested objects),
+/// which this covers in a few lines. Keys and strings are escaped,
+/// numbers are rendered with enough precision to round-trip.
+pub mod json {
+    /// Escapes a string for use inside JSON quotes.
+    pub fn escape(s: &str) -> String {
+        let mut out = String::with_capacity(s.len());
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+
+    /// Builds one JSON object, insertion-ordered.
+    #[derive(Debug, Default)]
+    pub struct Object {
+        fields: Vec<(String, String)>,
+    }
+
+    impl Object {
+        /// An empty object.
+        pub fn new() -> Self {
+            Object::default()
+        }
+
+        /// Adds a pre-rendered JSON value.
+        pub fn raw(mut self, key: &str, value: impl Into<String>) -> Self {
+            self.fields.push((key.to_string(), value.into()));
+            self
+        }
+
+        /// Adds an integer field.
+        pub fn num(self, key: &str, value: impl Into<u64>) -> Self {
+            let v: u64 = value.into();
+            self.raw(key, v.to_string())
+        }
+
+        /// Adds a float field (NaN/inf render as null).
+        pub fn float(self, key: &str, value: f64) -> Self {
+            let rendered = if value.is_finite() {
+                format!("{value:.6}")
+            } else {
+                "null".to_string()
+            };
+            self.raw(key, rendered)
+        }
+
+        /// Adds a string field.
+        pub fn str(self, key: &str, value: &str) -> Self {
+            self.raw(key, format!("\"{}\"", escape(value)))
+        }
+
+        /// Adds an array of integers.
+        pub fn nums<I: IntoIterator<Item = u64>>(self, key: &str, values: I) -> Self {
+            let inner: Vec<String> = values.into_iter().map(|v| v.to_string()).collect();
+            self.raw(key, format!("[{}]", inner.join(",")))
+        }
+
+        /// Renders the object.
+        pub fn render(&self) -> String {
+            let inner: Vec<String> = self
+                .fields
+                .iter()
+                .map(|(k, v)| format!("\"{}\":{v}", escape(k)))
+                .collect();
+            format!("{{{}}}", inner.join(","))
+        }
+    }
+
+    /// Renders an array from pre-rendered values.
+    pub fn array<I: IntoIterator<Item = String>>(values: I) -> String {
+        let inner: Vec<String> = values.into_iter().collect();
+        format!("[{}]", inner.join(","))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn renders_flat_and_nested() {
+            let nested = Object::new().num("a", 1u64).render();
+            let obj = Object::new()
+                .str("name", "x\"y")
+                .float("rate", 0.5)
+                .nums("counts", [1u64, 2, 3])
+                .raw("inner", nested)
+                .render();
+            assert_eq!(
+                obj,
+                "{\"name\":\"x\\\"y\",\"rate\":0.500000,\"counts\":[1,2,3],\"inner\":{\"a\":1}}"
+            );
+        }
+
+        #[test]
+        fn non_finite_floats_become_null() {
+            assert_eq!(Object::new().float("v", f64::NAN).render(), "{\"v\":null}");
+        }
+
+        #[test]
+        fn array_of_objects() {
+            let parts = vec![
+                Object::new().num("i", 0u64).render(),
+                Object::new().num("i", 1u64).render(),
+            ];
+            assert_eq!(array(parts), "[{\"i\":0},{\"i\":1}]");
+        }
     }
 }

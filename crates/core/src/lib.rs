@@ -62,4 +62,4 @@ pub use observer::ObserverSpec;
 pub use restore::{RestoreError, RestorePipeline};
 pub use runner::{run_simulation, run_sweep, run_sweep_with_threads};
 pub use select::{Candidate, SelectionStrategy};
-pub use world::{BackupWorld, ObserverState, PeerId, WorldSnapshot};
+pub use world::{BackupWorld, FabricObserver, ObserverState, PeerId, WorldEvent, WorldSnapshot};

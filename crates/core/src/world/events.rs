@@ -14,6 +14,7 @@ use peerback_sim::{Round, SimRng};
 use crate::age::AgeCategory;
 use crate::config::MaintenancePolicy;
 
+use super::hooks::WorldEvent;
 use super::peers::{ArchiveIdx, PeerId};
 use super::BackupWorld;
 
@@ -145,6 +146,14 @@ impl BackupWorld {
                     .expect("hosted entry implies a partner entry");
                 archive.stale_partners.swap_remove(pos);
             }
+            if self.events_on() {
+                self.emit(WorldEvent::BlockDropped {
+                    owner: owner_id,
+                    archive: aidx,
+                    host,
+                });
+            }
+            let archive = &self.peers[owner_id as usize].archives[aidx as usize];
             if !archive.joined {
                 continue; // mid-join: the join loop re-acquires
             }
@@ -181,6 +190,12 @@ impl BackupWorld {
 
         // Its hosted blocks disappear with it.
         self.drop_hosted_blocks(id, round);
+
+        // Every block touching this peer has now been dropped; announce
+        // the slot recycle so observers reset per-slot state.
+        if self.events_on() {
+            self.emit(WorldEvent::PeerDeparted { peer: id });
+        }
 
         // Immediate replacement (§4.1: "each peer leaving the system is
         // immediately replaced").

@@ -1,0 +1,238 @@
+//! Fabric hooks: the event stream binding the simulated world to a
+//! byte-level data plane.
+//!
+//! The simulator decides *placement* (which peer hosts which block);
+//! the `peerback-fabric` crate moves *real bytes* along those
+//! decisions. The coupling is one-directional and observational: the
+//! world emits a [`WorldEvent`] at every block-level state change, and
+//! a [`FabricObserver`] drains the log once per round, replaying the
+//! changes against a real block store. The observer also gets read
+//! access to the world so the two halves can cross-check each other
+//! (see the `peerback-fabric` auditor).
+//!
+//! Recording is off by default and costs one branch per mutation; no
+//! allocation happens unless [`BackupWorld::set_event_recording`] has
+//! enabled the log.
+//!
+//! ## Event ordering contract
+//!
+//! Events are emitted in mutation order within a round, with two
+//! guarantees observers may rely on:
+//!
+//! 1. Any [`WorldEvent::BlockDropped`] caused by stale-partner
+//!    displacement precedes the [`WorldEvent::BlocksPlaced`] of the
+//!    same repair step, so at placement time the archive never holds
+//!    more than `n` blocks and a free shard index always exists.
+//! 2. [`WorldEvent::ArchiveLost`] is emitted *before* the surviving
+//!    partner entries of the lost archive are dropped, so an observer
+//!    can attempt a real decode with exactly the blocks the simulator
+//!    saw at loss time (necessarily fewer than `k`).
+
+use crate::age::AgeCategory;
+
+use super::peers::{ArchiveIdx, PeerId};
+use super::BackupWorld;
+
+/// One block-level state change in the simulated world.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorldEvent {
+    /// New partners were attached to an archive: one block must be
+    /// shipped to each listed host, in order.
+    BlocksPlaced {
+        /// Owning peer slot.
+        owner: PeerId,
+        /// Archive index within the owner.
+        archive: u8,
+        /// Hosts that each received one (simulated) block.
+        hosts: Vec<PeerId>,
+    },
+    /// A block left the network: its host departed, timed out, or was
+    /// displaced by a refreshing repair.
+    BlockDropped {
+        /// Owning peer slot.
+        owner: PeerId,
+        /// Archive index within the owner.
+        archive: u8,
+        /// Host whose copy vanished.
+        host: PeerId,
+    },
+    /// An archive finished its initial upload (all `n` blocks placed).
+    JoinCompleted {
+        /// Owning peer slot.
+        owner: PeerId,
+        /// Archive index within the owner.
+        archive: u8,
+    },
+    /// A repair episode opened: the owner pays the `k`-block decode.
+    EpisodeStarted {
+        /// Owning peer slot.
+        owner: PeerId,
+        /// Archive index within the owner.
+        archive: u8,
+        /// Whether the episode re-encodes the whole code word
+        /// (`SimConfig::refresh_on_repair`) rather than only missing
+        /// blocks.
+        refresh: bool,
+    },
+    /// A repair episode closed with all `n` blocks back in place.
+    EpisodeCompleted {
+        /// Owning peer slot.
+        owner: PeerId,
+        /// Archive index within the owner.
+        archive: u8,
+    },
+    /// The archive's network copy became unrecoverable (`present < k`).
+    /// Emitted while the surviving partner entries are still attached.
+    ArchiveLost {
+        /// Owning peer slot.
+        owner: PeerId,
+        /// Archive index within the owner.
+        archive: u8,
+        /// Round at which the loss was recorded.
+        round: u64,
+    },
+    /// The peer definitively left; its slot is about to be recycled
+    /// with a bumped epoch. All of its blocks (owned and hosted) have
+    /// already been dropped via [`WorldEvent::BlockDropped`].
+    PeerDeparted {
+        /// Recycled peer slot.
+        peer: PeerId,
+    },
+}
+
+/// Receives the world's event stream, in emission order.
+///
+/// Implementors get read access to the world *as of the end of the
+/// round being drained* — sufficient for the fabric's needs (profile
+/// lookups, online checks, cross-checks) because block-level causality
+/// within a round is already captured by the event order itself.
+pub trait FabricObserver {
+    /// Called once per drained event.
+    fn on_world_event(&mut self, world: &BackupWorld, event: &WorldEvent);
+}
+
+impl BackupWorld {
+    /// Enables or disables event recording. While disabled (the
+    /// default), emission is a single predicted branch per mutation.
+    pub fn set_event_recording(&mut self, enabled: bool) {
+        self.record_events = enabled;
+        if !enabled {
+            self.event_log.clear();
+        }
+    }
+
+    /// Whether events are currently being recorded.
+    pub fn event_recording(&self) -> bool {
+        self.record_events
+    }
+
+    /// Number of events currently buffered (drained by
+    /// [`BackupWorld::dispatch_events`]).
+    pub fn pending_events(&self) -> usize {
+        self.event_log.len()
+    }
+
+    /// Drains the buffered events into `observer`, in emission order.
+    pub fn dispatch_events(&mut self, observer: &mut impl FabricObserver) {
+        let mut log = core::mem::take(&mut self.event_log);
+        for event in log.drain(..) {
+            observer.on_world_event(self, &event);
+        }
+        // Hand the allocation back for reuse.
+        self.event_log = log;
+    }
+
+    #[inline]
+    pub(in crate::world) fn events_on(&self) -> bool {
+        self.record_events
+    }
+
+    #[inline]
+    pub(in crate::world) fn emit(&mut self, event: WorldEvent) {
+        debug_assert!(self.record_events, "emit() guarded by events_on()");
+        self.event_log.push(event);
+    }
+
+    /// Emits one [`WorldEvent::BlocksPlaced`] for the partners attached
+    /// beyond index `before` (the fresh-partner list only grows within
+    /// a protocol step, so the suffix is exactly the new batch).
+    pub(in crate::world) fn emit_placements(
+        &mut self,
+        owner: PeerId,
+        aidx: ArchiveIdx,
+        before: usize,
+    ) {
+        if !self.events_on() {
+            return;
+        }
+        let partners = &self.peers[owner as usize].archives[aidx as usize].partners;
+        if partners.len() > before {
+            let hosts = partners[before..].to_vec();
+            self.emit(WorldEvent::BlocksPlaced {
+                owner,
+                archive: aidx,
+                hosts,
+            });
+        }
+    }
+
+    // ----- read accessors for fabric cross-checks --------------------------
+
+    /// Number of peer slots currently allocated (observers first).
+    pub fn peer_slots(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// Whether the peer in `slot` is currently online.
+    pub fn peer_online(&self, slot: PeerId) -> bool {
+        self.peers[slot as usize].online
+    }
+
+    /// The availability (fraction of time online) of the peer's hidden
+    /// behaviour profile. Observers report 1.0 (always online).
+    pub fn peer_availability(&self, slot: PeerId) -> f64 {
+        let peer = &self.peers[slot as usize];
+        if peer.observer.is_some() {
+            return 1.0;
+        }
+        self.cfg
+            .profiles
+            .profile(peer.profile as usize)
+            .availability
+    }
+
+    /// The peer's age category at `round` (observers report their
+    /// frozen age's category).
+    pub fn peer_category(&self, slot: PeerId, round: u64) -> AgeCategory {
+        AgeCategory::of_age(self.negotiation_age(slot, round))
+    }
+
+    /// Whether `(owner, archive)` finished its initial upload.
+    pub fn archive_joined(&self, owner: PeerId, archive: u8) -> bool {
+        self.peers[owner as usize].archives[archive as usize].joined
+    }
+
+    /// The hosts currently holding one block each of `(owner, archive)`
+    /// — fresh and stale partners alike, in no particular order.
+    pub fn archive_hosts(&self, owner: PeerId, archive: u8) -> Vec<PeerId> {
+        let a = &self.peers[owner as usize].archives[archive as usize];
+        a.partners
+            .iter()
+            .chain(&a.stale_partners)
+            .copied()
+            .collect()
+    }
+
+    /// How many of the archive's blocks sit on currently-online hosts —
+    /// the simulator's instantaneous restorability predicate for one
+    /// archive (compare with [`crate::metrics::Metrics::restorability`],
+    /// which aggregates `online_present >= k` over all joined archives).
+    pub fn archive_online_present(&self, owner: PeerId, archive: u8) -> u32 {
+        let a = &self.peers[owner as usize].archives[archive as usize];
+        a.partners
+            .iter()
+            .chain(&a.stale_partners)
+            .filter(|&&h| self.peers[h as usize].online)
+            .count() as u32
+    }
+}

@@ -38,6 +38,7 @@
 //!   policies.
 
 mod events;
+mod hooks;
 mod partners;
 mod peers;
 mod repair;
@@ -56,6 +57,7 @@ use crate::select::Candidate;
 use events::Event;
 use peers::{ArchiveIdx, Peer};
 
+pub use hooks::{FabricObserver, WorldEvent};
 pub use peers::{ObserverState, PeerId, WorldSnapshot};
 
 /// The backup network world; implements [`peerback_sim::World`].
@@ -86,6 +88,11 @@ pub struct BackupWorld {
     /// the pool being built".
     pub(in crate::world) mark: Vec<u32>,
     pub(in crate::world) mark_tag: u32,
+
+    /// Whether block-level events are recorded for a fabric observer.
+    pub(in crate::world) record_events: bool,
+    /// Buffered events awaiting [`BackupWorld::dispatch_events`].
+    pub(in crate::world) event_log: Vec<WorldEvent>,
 }
 
 impl BackupWorld {
@@ -123,6 +130,8 @@ impl BackupWorld {
 
             mark: vec![0; capacity],
             mark_tag: 0,
+            record_events: false,
+            event_log: Vec::new(),
             cfg,
         }
     }

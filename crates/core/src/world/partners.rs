@@ -12,6 +12,7 @@ use rand::Rng;
 use crate::accept::accepts;
 use crate::select::Candidate;
 
+use super::hooks::WorldEvent;
 use super::peers::{ArchiveIdx, PeerId};
 use super::BackupWorld;
 
@@ -128,6 +129,13 @@ impl BackupWorld {
         host_peer.hosted.swap_remove(pos);
         if !owner_is_observer {
             host_peer.quota_used -= 1;
+        }
+        if self.events_on() {
+            self.emit(WorldEvent::BlockDropped {
+                owner,
+                archive: aidx,
+                host,
+            });
         }
     }
 }

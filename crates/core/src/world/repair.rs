@@ -13,12 +13,22 @@ use peerback_sim::SimRng;
 
 use crate::config::MaintenancePolicy;
 
+use super::hooks::WorldEvent;
 use super::peers::{ArchiveIdx, PeerId};
 use super::BackupWorld;
 
 impl BackupWorld {
     /// An archive's network copy became unrecoverable.
     pub(in crate::world) fn record_loss(&mut self, owner_id: PeerId, aidx: ArchiveIdx, round: u64) {
+        // Emitted while the surviving partners are still attached so a
+        // fabric can replay the failing decode (hooks.rs ordering rule 2).
+        if self.events_on() {
+            self.emit(WorldEvent::ArchiveLost {
+                owner: owner_id,
+                archive: aidx,
+                round,
+            });
+        }
         let owner = &self.peers[owner_id as usize];
         let is_observer = owner.observer.is_some();
         if !is_observer {
@@ -56,11 +66,21 @@ impl BackupWorld {
     ) {
         let n = self.n_blocks();
         let d = n - self.peers[id as usize].archives[aidx as usize].present();
+        let before = self.peers[id as usize].archives[aidx as usize]
+            .partners
+            .len();
         let attached = self.acquire_partners(id, aidx, d, round, rng);
+        self.emit_placements(id, aidx, before);
         let archive = &mut self.peers[id as usize].archives[aidx as usize];
         if archive.present() == n {
             archive.joined = true;
             self.metrics.diag.joins_completed += 1;
+            if self.events_on() {
+                self.emit(WorldEvent::JoinCompleted {
+                    owner: id,
+                    archive: aidx,
+                });
+            }
         } else {
             if attached < d {
                 self.metrics.diag.pool_shortfalls += 1;
@@ -70,7 +90,13 @@ impl BackupWorld {
     }
 
     /// Records the start of a repair episode (metrics + decode cost).
-    pub(in crate::world) fn begin_episode(&mut self, id: PeerId, aidx: ArchiveIdx, round: u64) {
+    pub(in crate::world) fn begin_episode(
+        &mut self,
+        id: PeerId,
+        aidx: ArchiveIdx,
+        round: u64,
+        refresh: bool,
+    ) {
         let peer = &mut self.peers[id as usize];
         let archive = &mut peer.archives[aidx as usize];
         archive.repairing = true;
@@ -81,6 +107,13 @@ impl BackupWorld {
         if !is_observer {
             let cat = self.peers[id as usize].category_at(round);
             self.metrics.repairs[cat.index()] += 1;
+        }
+        if self.events_on() {
+            self.emit(WorldEvent::EpisodeStarted {
+                owner: id,
+                archive: aidx,
+                refresh,
+            });
         }
     }
 
@@ -103,7 +136,7 @@ impl BackupWorld {
                 return; // stale trigger (a repair already covered it)
             }
             debug_assert!(present >= self.k(), "loss should have been recorded");
-            self.begin_episode(id, aidx, round);
+            self.begin_episode(id, aidx, round, self.cfg.refresh_on_repair);
             if self.cfg.refresh_on_repair {
                 // New code word: every surviving block will be displaced
                 // by a freshly placed one (§2.2.3's "re-encode … new
@@ -134,9 +167,18 @@ impl BackupWorld {
             let archive = &mut self.peers[id as usize].archives[aidx as usize];
             debug_assert!(archive.stale_partners.is_empty());
             archive.repairing = false;
+            if self.events_on() {
+                self.emit(WorldEvent::EpisodeCompleted {
+                    owner: id,
+                    archive: aidx,
+                });
+            }
             self.adapt_threshold(id, aidx);
             return;
         }
+        let before = self.peers[id as usize].archives[aidx as usize]
+            .partners
+            .len();
         let attached = self.acquire_partners(id, aidx, d, round, rng);
         // Displace one stale partner per block placed beyond `n`.
         let owner_is_observer = self.peers[id as usize].observer.is_some();
@@ -147,10 +189,20 @@ impl BackupWorld {
                 .expect("present > n implies stale partners remain");
             self.remove_hosted_entry(stale, id, aidx, owner_is_observer);
         }
+        // Placements are announced *after* the displacement drops so an
+        // observer never sees more than `n` live blocks (hooks.rs
+        // ordering rule 1).
+        self.emit_placements(id, aidx, before);
         let archive = &mut self.peers[id as usize].archives[aidx as usize];
         if archive.partners.len() as u32 == n {
             debug_assert!(archive.stale_partners.is_empty());
             archive.repairing = false;
+            if self.events_on() {
+                self.emit(WorldEvent::EpisodeCompleted {
+                    owner: id,
+                    archive: aidx,
+                });
+            }
             self.adapt_threshold(id, aidx);
         } else {
             if attached < d {
@@ -204,7 +256,8 @@ impl BackupWorld {
             if present >= self.n_blocks() {
                 return; // nothing disappeared since the last tick
             }
-            self.begin_episode(id, aidx, round);
+            // Proactive ticks top up missing blocks only; no refresh.
+            self.begin_episode(id, aidx, round, false);
         }
         self.continue_episode(id, aidx, round, rng);
     }

@@ -690,3 +690,169 @@ fn episode_survives_the_owner_going_offline_and_resumes() {
         "resume must not open a second episode"
     );
 }
+
+/// Mirrors the event stream into per-archive host sets and checks the
+/// hooks.rs ordering contract as it replays.
+struct MirrorObserver {
+    /// `(owner, archive)` → hosts believed to hold one block each.
+    held: std::collections::BTreeMap<(PeerId, u8), Vec<PeerId>>,
+    n: usize,
+    k: usize,
+    placements: u64,
+    drops: u64,
+    losses: u64,
+    departures: u64,
+    violations: Vec<String>,
+}
+
+impl FabricObserver for MirrorObserver {
+    fn on_world_event(&mut self, _world: &BackupWorld, event: &WorldEvent) {
+        match event {
+            WorldEvent::BlocksPlaced {
+                owner,
+                archive,
+                hosts,
+            } => {
+                let set = self.held.entry((*owner, *archive)).or_default();
+                for h in hosts {
+                    if set.contains(h) {
+                        self.violations.push(format!("duplicate host {h}"));
+                    }
+                    set.push(*h);
+                    self.placements += 1;
+                }
+                if set.len() > self.n {
+                    self.violations
+                        .push(format!("{} blocks > n for {owner}/{archive}", set.len()));
+                }
+            }
+            WorldEvent::BlockDropped {
+                owner,
+                archive,
+                host,
+            } => {
+                let set = self.held.entry((*owner, *archive)).or_default();
+                match set.iter().position(|h| h == host) {
+                    Some(pos) => {
+                        set.swap_remove(pos);
+                    }
+                    None => self
+                        .violations
+                        .push(format!("drop of unknown block {owner}/{archive}@{host}")),
+                }
+                self.drops += 1;
+            }
+            WorldEvent::ArchiveLost { owner, archive, .. } => {
+                let held = self.held.get(&(*owner, *archive)).map_or(0, Vec::len);
+                if held >= self.k {
+                    self.violations
+                        .push(format!("loss with {held} >= k blocks held"));
+                }
+                self.losses += 1;
+            }
+            WorldEvent::PeerDeparted { peer } => {
+                // All of the departed peer's own blocks must be gone.
+                for ((owner, archive), set) in &self.held {
+                    if owner == peer && !set.is_empty() {
+                        self.violations
+                            .push(format!("departed {peer} still owns blocks @{archive}"));
+                    }
+                    if set.contains(peer) {
+                        self.violations
+                            .push(format!("departed {peer} still hosts for {owner}"));
+                    }
+                }
+                self.departures += 1;
+            }
+            WorldEvent::JoinCompleted { .. }
+            | WorldEvent::EpisodeStarted { .. }
+            | WorldEvent::EpisodeCompleted { .. } => {}
+        }
+    }
+}
+
+#[test]
+fn event_stream_replays_to_a_consistent_mirror() {
+    let cfg = tiny_config(11);
+    let rounds = cfg.rounds;
+    let mut observer = MirrorObserver {
+        held: std::collections::BTreeMap::new(),
+        n: cfg.n_blocks() as usize,
+        k: cfg.k as usize,
+        placements: 0,
+        drops: 0,
+        losses: 0,
+        departures: 0,
+        violations: Vec::new(),
+    };
+    let mut world = BackupWorld::new(cfg);
+    world.set_event_recording(true);
+    let mut engine = Engine::new(11);
+    for _ in 0..rounds {
+        engine.step(&mut world);
+        world.dispatch_events(&mut observer);
+    }
+    assert!(
+        observer.violations.is_empty(),
+        "event-stream violations: {:?}",
+        &observer.violations[..observer.violations.len().min(5)]
+    );
+    assert!(observer.placements > 0, "no placements observed");
+    assert!(observer.drops > 0, "no drops observed (expected churn)");
+    assert_eq!(world.pending_events(), 0);
+
+    // The mirror must agree with the world, block for block.
+    for slot in 0..world.peer_slots() as PeerId {
+        for aidx in 0..world.peers[slot as usize].archives.len() as u8 {
+            let mut expected = world.archive_hosts(slot, aidx);
+            expected.sort_unstable();
+            let mut mirrored = observer
+                .held
+                .get(&(slot, aidx))
+                .cloned()
+                .unwrap_or_default();
+            mirrored.sort_unstable();
+            assert_eq!(mirrored, expected, "mirror desync at {slot}/{aidx}");
+        }
+    }
+
+    // The placed/dropped ledger must balance against live blocks.
+    let live: u64 = observer.held.values().map(|s| s.len() as u64).sum();
+    assert_eq!(observer.placements - observer.drops, live);
+}
+
+#[test]
+fn event_recording_off_buffers_nothing() {
+    let cfg = tiny_config(3);
+    let rounds = cfg.rounds;
+    let mut world = BackupWorld::new(cfg);
+    let mut engine = Engine::new(3);
+    engine.run(&mut world, rounds);
+    assert_eq!(world.pending_events(), 0);
+    assert!(!world.event_recording());
+}
+
+#[test]
+fn event_recording_does_not_perturb_the_simulation() {
+    let cfg = tiny_config(19);
+    let rounds = cfg.rounds;
+
+    let plain = run(tiny_config(19));
+
+    struct Sink;
+    impl FabricObserver for Sink {
+        fn on_world_event(&mut self, _world: &BackupWorld, _event: &WorldEvent) {}
+    }
+    let mut world = BackupWorld::new(cfg);
+    world.set_event_recording(true);
+    let mut engine = Engine::new(19);
+    let mut sink = Sink;
+    for _ in 0..rounds {
+        engine.step(&mut world);
+        world.dispatch_events(&mut sink);
+    }
+    let recorded = world.into_metrics();
+    assert_eq!(plain.repairs, recorded.repairs);
+    assert_eq!(plain.losses, recorded.losses);
+    assert_eq!(plain.diag, recorded.diag);
+}

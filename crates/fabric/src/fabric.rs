@@ -1,0 +1,610 @@
+//! The fabric driver: a [`BackupWorld`] whose placement decisions move
+//! real bytes.
+//!
+//! [`Fabric`] implements [`peerback_sim::World`] by delegating every
+//! phase to the wrapped simulator, then draining the round's
+//! [`WorldEvent`] stream into the data [`Plane`]:
+//!
+//! * a **placement** encodes the owner's archive through
+//!   [`BackupPipeline`] (once per content epoch, cached) and ships the
+//!   assigned shard as a checksummed [`BlockFrame`](crate::frame::BlockFrame)
+//!   across the [`FaultPlane`], accounting transfer bytes and seconds
+//!   against a [`LinkModel`];
+//! * a **drop** (host death, offline write-off, stale displacement)
+//!   deletes the stored bytes;
+//! * an **episode start** replays the paper's `k`-block decode as a
+//!   real [`RestorePipeline`] reconstruction from the surviving shards;
+//! * a **loss** triggers a verification decode that must fail with
+//!   fewer than `k` intact shards;
+//! * a **departure** recycles the slot: hosted bytes vanish and the
+//!   replacement peer gets fresh archive content.
+//!
+//! Once per audit interval the [auditor](crate::audit) re-derives
+//! restorability from bytes alone and cross-checks it against the
+//! simulator's prediction.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use bytes::Bytes;
+use peerback_core::archive::Entry;
+use peerback_core::{
+    Archive, ArchiveDescriptor, BackupPipeline, BackupWorld, FabricObserver, Metrics, PeerId,
+    RestorePipeline, SimConfig, WorldEvent, XorKeystream,
+};
+use peerback_erasure::ReedSolomon;
+use peerback_net::LinkModel;
+use peerback_sim::{derive_seed, Engine, Round, SimRng, World};
+use rand::{RngCore, SeedableRng};
+
+use crate::audit::{AuditReport, LossRecord};
+use crate::faults::{FaultKind, FaultPlane, FaultProfile};
+use crate::frame::BlockFrame;
+use crate::store::{BlockStore, IngestError};
+
+/// Sub-seed stream id for the fault plane (any fixed constant).
+const FAULT_STREAM: u64 = 0xFA_B51C;
+/// Sub-seed stream id for archive content.
+const CONTENT_STREAM: u64 = 0xC0_47E7;
+
+/// Configuration of the byte-level half.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FabricConfig {
+    /// Fault probabilities on the transfer path.
+    pub faults: FaultProfile,
+    /// Access-link model for transfer accounting.
+    pub link: LinkModel,
+    /// Synthetic archive payload size per peer archive, in bytes.
+    pub payload_bytes: usize,
+    /// Rounds between restorability audits (1 = every round).
+    pub audit_interval: u64,
+}
+
+impl Default for FabricConfig {
+    fn default() -> Self {
+        FabricConfig {
+            faults: FaultProfile::NONE,
+            link: LinkModel::DSL_MODERN,
+            payload_bytes: 256,
+            audit_interval: 1,
+        }
+    }
+}
+
+/// Byte-plane counters. All values are a pure function of the two
+/// configurations (simulation and fabric), seeds included.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FabricStats {
+    /// Frames pushed into the fault plane.
+    pub transfers_attempted: u64,
+    /// Frames stored intact on the receiving host.
+    pub transfers_delivered: u64,
+    /// Frames lost to in-flight bit flips.
+    pub transfers_corrupted: u64,
+    /// Frames lost to truncation.
+    pub transfers_truncated: u64,
+    /// Frames lost to link flaps (partial transfer).
+    pub transfers_flapped: u64,
+    /// Duplicate deliveries surfaced (and refused) by the store.
+    pub duplicate_frames: u64,
+    /// Stored blocks hit by at-rest bitrot.
+    pub bitrot_events: u64,
+    /// Frame bytes pushed onto links (including damaged transfers).
+    pub bytes_shipped: u64,
+    /// Simulated upload seconds across all placements.
+    pub upload_secs: f64,
+    /// Simulated download seconds across all episode decodes.
+    pub download_secs: f64,
+    /// Initial uploads completed (byte-side view of joins).
+    pub joins: u64,
+    /// Repair episodes observed.
+    pub episodes: u64,
+    /// Episodes that re-encoded the whole code word.
+    pub episode_refreshes: u64,
+    /// Episode-start decodes reconstructed from surviving shards.
+    pub repair_decodes: u64,
+    /// Episode-start decodes that fell back to the owner's local copy
+    /// (possible only under fault injection).
+    pub repair_decode_fallbacks: u64,
+    /// Simulator loss events replayed against real bytes.
+    pub losses_observed: u64,
+}
+
+/// The cached code word of one archive content epoch.
+struct CodeWord {
+    shards: Vec<Vec<u8>>,
+    descriptor: ArchiveDescriptor,
+    archive: Archive,
+    cipher_key: u64,
+}
+
+/// Byte-side state of one owned archive.
+pub(crate) struct OwnerArchive {
+    codeword: CodeWord,
+    /// Mirror of the simulator's placement: shard index → host.
+    pub(crate) slots: Vec<Option<PeerId>>,
+    pub(crate) joined: bool,
+}
+
+impl OwnerArchive {
+    pub(crate) fn hosts(&self) -> impl Iterator<Item = (usize, PeerId)> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.map(|h| (i, h)))
+    }
+}
+
+/// The data plane: block stores, fault injection, transfer accounting
+/// and the audit ledger. Implements [`FabricObserver`].
+pub(crate) struct Plane {
+    pub(crate) k: usize,
+    m: usize,
+    payload_bytes: usize,
+    link: LinkModel,
+    pub(crate) faults_enabled: bool,
+    faults: FaultPlane,
+    master_seed: u64,
+    /// Content epoch per slot (bumped on departure).
+    epochs: BTreeMap<PeerId, u32>,
+    pub(crate) owners: BTreeMap<(PeerId, u8), OwnerArchive>,
+    pub(crate) store: BlockStore,
+    pub(crate) stats: FabricStats,
+    pub(crate) audit: AuditReport,
+    pub(crate) losses: Vec<LossRecord>,
+    /// Archives currently byte-unrestorable while the simulator still
+    /// predicts them restorable (dedups audit loss records).
+    pub(crate) divergent: BTreeSet<(PeerId, u8)>,
+}
+
+impl Plane {
+    /// Gathers the archive's stored blocks as `(shard_index, bytes)`
+    /// pairs, skipping non-intact (rotten) ones. `online_only`
+    /// restricts to hosts currently online per the simulator.
+    pub(crate) fn surviving_blocks(
+        &self,
+        world: &BackupWorld,
+        owner: PeerId,
+        archive: u8,
+        online_only: bool,
+    ) -> Vec<(usize, Vec<u8>)> {
+        let Some(oa) = self.owners.get(&(owner, archive)) else {
+            return Vec::new();
+        };
+        let mut blocks = Vec::new();
+        for (_, host) in oa.hosts() {
+            if online_only && !world.peer_online(host) {
+                continue;
+            }
+            if let Some(b) = self.store.block(host, owner, archive) {
+                if b.intact() {
+                    blocks.push((b.shard_index as usize, b.bytes.clone()));
+                }
+            }
+        }
+        blocks
+    }
+
+    /// Attempts a real restore of `(owner, archive)` from the given
+    /// blocks; returns whether the decoded bytes reproduce the archive.
+    pub(crate) fn try_restore(
+        &mut self,
+        owner: PeerId,
+        archive: u8,
+        blocks: &[(usize, Vec<u8>)],
+    ) -> bool {
+        let Some(oa) = self.owners.get(&(owner, archive)) else {
+            return false;
+        };
+        self.audit.decode_attempts += 1;
+        let restore = RestorePipeline::new(XorKeystream::new(oa.codeword.cipher_key));
+        match restore.restore(&oa.codeword.descriptor, blocks) {
+            Ok(decoded) if decoded == oa.codeword.archive => {
+                self.audit.decode_successes += 1;
+                true
+            }
+            Ok(_) | Err(_) => false,
+        }
+    }
+
+    pub(crate) fn note(&mut self, message: String) {
+        self.audit.mismatches += 1;
+        if self.audit.notes.len() < AuditReport::MAX_NOTES {
+            self.audit.notes.push(message);
+        }
+    }
+
+    /// Builds (or fetches) the byte-side state for an owned archive.
+    fn owner_archive(&mut self, owner: PeerId, archive: u8) -> &mut OwnerArchive {
+        let epoch = self.epochs.get(&owner).copied().unwrap_or(0);
+        let (k, m, payload_bytes, master_seed) =
+            (self.k, self.m, self.payload_bytes, self.master_seed);
+        self.owners.entry((owner, archive)).or_insert_with(|| {
+            let slot_seed = derive_seed(master_seed, CONTENT_STREAM ^ owner as u64);
+            let content_seed = derive_seed(slot_seed, ((epoch as u64) << 8) | archive as u64);
+            let mut content_rng = SimRng::seed_from_u64(content_seed);
+            let mut payload = vec![0u8; payload_bytes.max(1)];
+            content_rng.fill_bytes(&mut payload);
+            let archive_id = ((owner as u64) << 8) | archive as u64;
+            let arch = Archive::from_entries(
+                archive_id,
+                false,
+                vec![Entry {
+                    name: "payload".into(),
+                    data: Bytes::from(payload),
+                }],
+            );
+            let rs = ReedSolomon::new(k, m).expect("geometry validated in Fabric::new");
+            let pipeline = BackupPipeline::new(rs, XorKeystream::new(content_seed), content_seed);
+            let placeholder_partners: Vec<u64> = (0..(k + m) as u64).collect();
+            let plan = pipeline
+                .backup(&arch, &placeholder_partners)
+                .expect("partner count matches geometry");
+            OwnerArchive {
+                codeword: CodeWord {
+                    shards: plan.blocks.into_iter().map(|b| b.bytes).collect(),
+                    descriptor: plan.descriptor,
+                    archive: arch,
+                    cipher_key: content_seed,
+                },
+                slots: vec![None; k + m],
+                joined: false,
+            }
+        })
+    }
+
+    /// Ships one shard to `host`, through the fault plane.
+    fn ship_block(&mut self, world: &BackupWorld, owner: PeerId, archive: u8, host: PeerId) {
+        // Mirror the simulator's placement first: the slot is taken even
+        // if the transfer fails (the simulator believes it succeeded —
+        // the divergence is exactly what the auditor measures).
+        let oa = self.owner_archive(owner, archive);
+        let Some(slot) = oa.slots.iter().position(Option::is_none) else {
+            self.note(format!(
+                "placement for {owner}/{archive} with no free shard slot"
+            ));
+            return;
+        };
+        oa.slots[slot] = Some(host);
+        let payload = oa.codeword.shards[slot].clone();
+
+        let mut bytes = BlockFrame {
+            owner,
+            archive,
+            shard_index: slot as u32,
+            payload,
+        }
+        .to_bytes();
+        let frame_len = bytes.len();
+        self.stats.transfers_attempted += 1;
+        self.stats.bytes_shipped += frame_len as u64;
+        self.stats.upload_secs += self.link.upload_secs(frame_len as f64);
+
+        let availability = world.peer_availability(host);
+        let transit = self.faults.transit(&mut bytes, availability);
+        match self.store.ingest(host, &bytes) {
+            Ok(()) => {
+                self.stats.transfers_delivered += 1;
+                if let Some(block) = self.store.block_mut(host, owner, archive) {
+                    if let Some((byte, bit)) = self.faults.bitrot(block.bytes.len()) {
+                        block.bytes[byte] ^= 1 << bit;
+                        self.stats.bitrot_events += 1;
+                    }
+                }
+            }
+            Err(IngestError::Frame(_)) => match transit.damage {
+                Some(FaultKind::Corruption) => self.stats.transfers_corrupted += 1,
+                Some(FaultKind::Truncation) => self.stats.transfers_truncated += 1,
+                Some(FaultKind::LinkFlap) => self.stats.transfers_flapped += 1,
+                None => self.note(format!(
+                    "undamaged frame for {owner}/{archive} refused by {host}"
+                )),
+            },
+            Err(IngestError::DuplicateFrame { .. }) => {
+                self.note(format!(
+                    "unexpected duplicate at {host} for {owner}/{archive}"
+                ));
+            }
+        }
+        if transit.duplicated {
+            // The retransmission delivers the same (possibly damaged)
+            // frame again; an intact copy must be refused as a
+            // duplicate, never silently merged or double-stored. The
+            // sender pays the link a second time.
+            self.stats.duplicate_frames += 1;
+            self.stats.bytes_shipped += frame_len as u64;
+            self.stats.upload_secs += self.link.upload_secs(frame_len as f64);
+            if matches!(self.store.ingest(host, &bytes), Ok(())) && transit.damage.is_none() {
+                self.note(format!(
+                    "duplicate frame for {owner}/{archive} accepted twice by {host}"
+                ));
+            }
+        }
+    }
+
+    fn on_blocks_placed(
+        &mut self,
+        world: &BackupWorld,
+        owner: PeerId,
+        archive: u8,
+        hosts: &[PeerId],
+    ) {
+        for &host in hosts {
+            self.ship_block(world, owner, archive, host);
+        }
+    }
+
+    fn on_block_dropped(&mut self, owner: PeerId, archive: u8, host: PeerId) {
+        let Some(oa) = self.owners.get_mut(&(owner, archive)) else {
+            self.note(format!("drop for unknown archive {owner}/{archive}"));
+            return;
+        };
+        match oa.slots.iter().position(|&s| s == Some(host)) {
+            Some(slot) => oa.slots[slot] = None,
+            None => self.note(format!("drop of unmirrored block {owner}/{archive}@{host}")),
+        }
+        self.store.drop_block(host, owner, archive);
+    }
+
+    fn on_episode_started(
+        &mut self,
+        world: &BackupWorld,
+        owner: PeerId,
+        archive: u8,
+        refresh: bool,
+    ) {
+        self.stats.episodes += 1;
+        if refresh {
+            self.stats.episode_refreshes += 1;
+        }
+        // The paper's k-block download, replayed for real: reconstruct
+        // the archive from the shards that actually survive on disk.
+        let blocks = self.surviving_blocks(world, owner, archive, false);
+        let shard_bytes: usize = blocks.iter().take(self.k).map(|(_, b)| b.len()).sum();
+        self.stats.download_secs += self.link.download_secs(shard_bytes as f64);
+        if self.try_restore(owner, archive, &blocks) {
+            self.stats.repair_decodes += 1;
+        } else {
+            // Fewer than k intact shards survive (possible only under
+            // fault injection): the owner re-encodes from its local
+            // copy, exactly like the paper's loss-and-rejoin path.
+            self.stats.repair_decode_fallbacks += 1;
+            if !self.faults_enabled {
+                self.note(format!(
+                    "episode decode failed without faults for {owner}/{archive}"
+                ));
+            }
+        }
+    }
+
+    fn on_archive_lost(&mut self, world: &BackupWorld, owner: PeerId, archive: u8, round: u64) {
+        self.stats.losses_observed += 1;
+        // Replay the failing restore with the blocks present at loss
+        // time (the event fires before the survivors are dropped).
+        let blocks = self.surviving_blocks(world, owner, archive, false);
+        let intact = blocks.len() as u32;
+        if self.try_restore(owner, archive, &blocks) {
+            self.note(format!(
+                "simulator lost {owner}/{archive} but bytes decoded from {intact} shards"
+            ));
+        }
+        if intact >= self.k as u32 {
+            self.note(format!(
+                "loss of {owner}/{archive} with {intact} intact shards >= k"
+            ));
+        }
+        self.losses.push(LossRecord {
+            round,
+            owner,
+            archive,
+            intact_shards: intact,
+            k: self.k as u32,
+        });
+        if let Some(oa) = self.owners.get_mut(&(owner, archive)) {
+            oa.joined = false;
+        }
+        self.divergent.remove(&(owner, archive));
+    }
+
+    fn on_peer_departed(&mut self, peer: PeerId) {
+        // Hosted bytes must already be gone, block by block.
+        let leftover = self.store.clear_host(peer);
+        if leftover > 0 {
+            self.note(format!("departed {peer} still stored {leftover} blocks"));
+        }
+        // Owned archives must already be empty; forget them so the
+        // replacement peer gets fresh content.
+        let keys: Vec<(PeerId, u8)> = self
+            .owners
+            .range((peer, 0)..=(peer, u8::MAX))
+            .map(|(&k, _)| k)
+            .collect();
+        for key in keys {
+            let oa = self.owners.remove(&key).expect("key just listed");
+            if oa.hosts().count() > 0 {
+                self.note(format!(
+                    "departed {peer} still had blocks placed for archive {}",
+                    key.1
+                ));
+            }
+            self.divergent.remove(&key);
+        }
+        *self.epochs.entry(peer).or_insert(0) += 1;
+    }
+}
+
+impl FabricObserver for Plane {
+    fn on_world_event(&mut self, world: &BackupWorld, event: &WorldEvent) {
+        match event {
+            WorldEvent::BlocksPlaced {
+                owner,
+                archive,
+                hosts,
+            } => self.on_blocks_placed(world, *owner, *archive, hosts),
+            WorldEvent::BlockDropped {
+                owner,
+                archive,
+                host,
+            } => self.on_block_dropped(*owner, *archive, *host),
+            WorldEvent::JoinCompleted { owner, archive } => {
+                self.stats.joins += 1;
+                if let Some(oa) = self.owners.get_mut(&(*owner, *archive)) {
+                    oa.joined = true;
+                    if oa.slots.iter().any(Option::is_none) {
+                        self.note(format!("join of {owner}/{archive} with empty shard slots"));
+                    }
+                } else {
+                    self.note(format!("join of unknown archive {owner}/{archive}"));
+                }
+            }
+            WorldEvent::EpisodeStarted {
+                owner,
+                archive,
+                refresh,
+            } => self.on_episode_started(world, *owner, *archive, *refresh),
+            WorldEvent::EpisodeCompleted { .. } => {}
+            WorldEvent::ArchiveLost {
+                owner,
+                archive,
+                round,
+            } => self.on_archive_lost(world, *owner, *archive, *round),
+            WorldEvent::PeerDeparted { peer } => self.on_peer_departed(*peer),
+        }
+    }
+}
+
+/// A [`BackupWorld`] bound to a real data plane.
+pub struct Fabric {
+    world: BackupWorld,
+    plane: Plane,
+    audit_interval: u64,
+    rounds: u64,
+}
+
+impl Fabric {
+    /// Builds the combined system.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first invalid parameter (simulation config,
+    /// fault profile, or an erasure geometry the codec cannot express).
+    pub fn new(cfg: SimConfig, fabric_cfg: FabricConfig) -> Result<Self, String> {
+        cfg.validate()?;
+        fabric_cfg.faults.validate()?;
+        if fabric_cfg.audit_interval == 0 {
+            return Err("audit interval must be at least one round".into());
+        }
+        ReedSolomon::new(cfg.k as usize, cfg.m as usize)
+            .map_err(|e| format!("erasure geometry k={} m={}: {e}", cfg.k, cfg.m))?;
+        let seed = cfg.seed;
+        let rounds = cfg.rounds;
+        let plane = Plane {
+            k: cfg.k as usize,
+            m: cfg.m as usize,
+            payload_bytes: fabric_cfg.payload_bytes,
+            link: fabric_cfg.link,
+            faults_enabled: fabric_cfg.faults.any_enabled(),
+            faults: FaultPlane::new(fabric_cfg.faults, derive_seed(seed, FAULT_STREAM)),
+            master_seed: seed,
+            epochs: BTreeMap::new(),
+            owners: BTreeMap::new(),
+            store: BlockStore::new(),
+            stats: FabricStats::default(),
+            audit: AuditReport::default(),
+            losses: Vec::new(),
+            divergent: BTreeSet::new(),
+        };
+        let mut world = BackupWorld::new(cfg);
+        world.set_event_recording(true);
+        Ok(Fabric {
+            world,
+            plane,
+            audit_interval: fabric_cfg.audit_interval,
+            rounds,
+        })
+    }
+
+    /// Read access to the wrapped world.
+    pub fn world(&self) -> &BackupWorld {
+        &self.world
+    }
+
+    /// Byte-plane counters so far.
+    pub fn stats(&self) -> &FabricStats {
+        &self.plane.stats
+    }
+
+    /// Audit ledger so far.
+    pub fn audit_report(&self) -> &AuditReport {
+        &self.plane.audit
+    }
+
+    /// Blocks currently stored across all hosts.
+    pub fn stored_blocks(&self) -> usize {
+        self.plane.store.total_blocks()
+    }
+
+    /// Runs the configured number of rounds and returns the report.
+    pub fn run(mut self) -> FabricReport {
+        let seed = self.world.config().seed;
+        let rounds = self.rounds;
+        let mut engine = Engine::new(seed);
+        engine.run(&mut self, rounds);
+        self.finish()
+    }
+
+    /// Finishes early (or after a manual drive) and returns the report.
+    pub fn finish(self) -> FabricReport {
+        let Fabric { world, plane, .. } = self;
+        FabricReport {
+            metrics: world.into_metrics(),
+            stats: plane.stats,
+            audit: plane.audit,
+            losses: plane.losses,
+        }
+    }
+}
+
+impl World for Fabric {
+    fn round_start(&mut self, round: Round, rng: &mut SimRng) {
+        self.world.round_start(round, rng);
+    }
+
+    fn collect_actors(&mut self, round: Round, buf: &mut Vec<usize>) {
+        self.world.collect_actors(round, buf);
+    }
+
+    fn activate(&mut self, round: Round, actor: usize, rng: &mut SimRng) {
+        self.world.activate(round, actor, rng);
+    }
+
+    fn round_end(&mut self, round: Round, rng: &mut SimRng) {
+        self.world.round_end(round, rng);
+        self.world.dispatch_events(&mut self.plane);
+        if round.index().is_multiple_of(self.audit_interval) {
+            self.plane.run_audit(&self.world, round.index());
+        }
+    }
+}
+
+/// Everything a fabric run produces.
+#[derive(Debug, Clone)]
+pub struct FabricReport {
+    /// The simulator's own metrics (identical to a plain run of the
+    /// same configuration — recording events does not perturb it).
+    pub metrics: Metrics,
+    /// Byte-plane counters.
+    pub stats: FabricStats,
+    /// The auditor's ledger.
+    pub audit: AuditReport,
+    /// Every data-loss event the auditor verified, in order.
+    pub losses: Vec<LossRecord>,
+}
+
+/// Builds and runs a fabric in one call.
+///
+/// # Errors
+///
+/// See [`Fabric::new`].
+pub fn run_fabric(cfg: SimConfig, fabric_cfg: FabricConfig) -> Result<FabricReport, String> {
+    Ok(Fabric::new(cfg, fabric_cfg)?.run())
+}

@@ -1,0 +1,300 @@
+//! The fault-injection plane: seeded, per-transfer damage.
+//!
+//! Every frame the fabric ships crosses this plane, which may damage
+//! it in the ways real transfers fail: in-flight **corruption** (bit
+//! flips), **truncation** (a sender or relay cuts the stream),
+//! **link flaps** (the connection dies mid-transfer, leaving a partial
+//! frame — the per-host probability scales with how unstable the
+//! host's churn profile says it is), and **duplicate delivery** (a
+//! retransmission storm hands the receiver the same frame twice).
+//! A fifth, at-rest shape — **bitrot** — is applied by the store after
+//! a successful ingest rather than in flight.
+//!
+//! All draws come from one RNG seeded from the scenario seed, so a run
+//! with faults is exactly as reproducible as one without.
+
+use peerback_sim::SimRng;
+use rand::Rng;
+
+/// Per-transfer fault probabilities, each in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultProfile {
+    /// Chance a frame suffers a single-bit flip in flight.
+    pub corrupt_rate: f64,
+    /// Chance a frame is truncated at an arbitrary point (including
+    /// mid-header).
+    pub truncate_rate: f64,
+    /// Base chance of a link flap mid-transfer; the effective chance
+    /// is `flap_rate * (1 - host availability)`, so stable profiles
+    /// flap rarely and erratic ones often.
+    pub flap_rate: f64,
+    /// Chance the frame is delivered twice.
+    pub duplicate_rate: f64,
+    /// Chance a *stored* block suffers one flipped bit at rest.
+    pub bitrot_rate: f64,
+}
+
+impl FaultProfile {
+    /// No faults: every transfer delivers exactly one intact frame.
+    pub const NONE: FaultProfile = FaultProfile {
+        corrupt_rate: 0.0,
+        truncate_rate: 0.0,
+        flap_rate: 0.0,
+        duplicate_rate: 0.0,
+        bitrot_rate: 0.0,
+    };
+
+    /// A uniform profile: every in-flight shape at `rate`, bitrot at a
+    /// tenth of it (at-rest damage is rarer than transfer damage).
+    pub fn uniform(rate: f64) -> Self {
+        FaultProfile {
+            corrupt_rate: rate,
+            truncate_rate: rate,
+            flap_rate: rate,
+            duplicate_rate: rate,
+            bitrot_rate: rate / 10.0,
+        }
+    }
+
+    /// True if any shape can fire.
+    pub fn any_enabled(&self) -> bool {
+        self.corrupt_rate > 0.0
+            || self.truncate_rate > 0.0
+            || self.flap_rate > 0.0
+            || self.duplicate_rate > 0.0
+            || self.bitrot_rate > 0.0
+    }
+
+    /// Validates that every rate is a probability.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first out-of-range rate.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, rate) in [
+            ("corrupt_rate", self.corrupt_rate),
+            ("truncate_rate", self.truncate_rate),
+            ("flap_rate", self.flap_rate),
+            ("duplicate_rate", self.duplicate_rate),
+            ("bitrot_rate", self.bitrot_rate),
+        ] {
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(format!("{name} = {rate} is not a probability"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// What the plane did to one frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// One bit flipped somewhere in the frame.
+    Corruption,
+    /// The frame was cut short at an arbitrary byte.
+    Truncation,
+    /// The link dropped mid-transfer; only a prefix arrived.
+    LinkFlap,
+}
+
+/// The outcome of pushing one frame through the plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transit {
+    /// Damage applied in flight, if any.
+    pub damage: Option<FaultKind>,
+    /// Whether the receiver gets the frame a second time.
+    pub duplicated: bool,
+}
+
+/// Applies seeded faults to frames in flight.
+#[derive(Debug)]
+pub struct FaultPlane {
+    profile: FaultProfile,
+    rng: SimRng,
+}
+
+impl FaultPlane {
+    /// Creates a plane with its own deterministic RNG stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile fails [`FaultProfile::validate`].
+    pub fn new(profile: FaultProfile, seed: u64) -> Self {
+        if let Err(msg) = profile.validate() {
+            panic!("invalid fault profile: {msg}");
+        }
+        FaultPlane {
+            profile,
+            rng: peerback_sim::sim_rng(seed),
+        }
+    }
+
+    /// The configured profile.
+    pub fn profile(&self) -> &FaultProfile {
+        &self.profile
+    }
+
+    /// Pushes one encoded frame through the plane, mutating it in
+    /// place when a fault fires. `host_availability` scales the flap
+    /// chance (an always-online host never flaps).
+    ///
+    /// At most one damage shape fires per transfer — the first drawn
+    /// in flap → truncate → corrupt order — mirroring that a dead link
+    /// pre-empts later damage.
+    pub fn transit(&mut self, frame: &mut Vec<u8>, host_availability: f64) -> Transit {
+        let duplicated =
+            self.profile.duplicate_rate > 0.0 && self.rng.gen_bool(self.profile.duplicate_rate);
+
+        let flap_chance = self.profile.flap_rate * (1.0 - host_availability.clamp(0.0, 1.0));
+        let damage = if flap_chance > 0.0 && self.rng.gen_bool(flap_chance) {
+            self.cut(frame);
+            Some(FaultKind::LinkFlap)
+        } else if self.profile.truncate_rate > 0.0 && self.rng.gen_bool(self.profile.truncate_rate)
+        {
+            self.cut(frame);
+            Some(FaultKind::Truncation)
+        } else if self.profile.corrupt_rate > 0.0 && self.rng.gen_bool(self.profile.corrupt_rate) {
+            self.flip_bit(frame);
+            Some(FaultKind::Corruption)
+        } else {
+            None
+        };
+        Transit { damage, duplicated }
+    }
+
+    /// Decides whether a freshly stored block rots, and if so which
+    /// bit flips. Returns the flipped `(byte, bit)` position.
+    pub fn bitrot(&mut self, len: usize) -> Option<(usize, u8)> {
+        if len == 0
+            || self.profile.bitrot_rate <= 0.0
+            || !self.rng.gen_bool(self.profile.bitrot_rate)
+        {
+            return None;
+        }
+        Some((self.rng.gen_range(0..len), self.rng.gen_range(0..8u8)))
+    }
+
+    fn cut(&mut self, frame: &mut Vec<u8>) {
+        if frame.is_empty() {
+            return;
+        }
+        let keep = self.rng.gen_range(0..frame.len());
+        frame.truncate(keep);
+    }
+
+    fn flip_bit(&mut self, frame: &mut [u8]) {
+        if frame.is_empty() {
+            return;
+        }
+        let byte = self.rng.gen_range(0..frame.len());
+        let bit = self.rng.gen_range(0..8u32);
+        frame[byte] ^= 1 << bit;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_faults_means_no_damage_ever() {
+        let mut plane = FaultPlane::new(FaultProfile::NONE, 1);
+        let original: Vec<u8> = (0..200u8).collect();
+        for _ in 0..1000 {
+            let mut frame = original.clone();
+            let t = plane.transit(&mut frame, 0.1);
+            assert_eq!(t.damage, None);
+            assert!(!t.duplicated);
+            assert_eq!(frame, original);
+        }
+    }
+
+    #[test]
+    fn uniform_profile_fires_every_shape() {
+        let mut plane = FaultPlane::new(FaultProfile::uniform(0.3), 2);
+        let mut seen_flap = false;
+        let mut seen_trunc = false;
+        let mut seen_corrupt = false;
+        let mut seen_dup = false;
+        for _ in 0..2000 {
+            let mut frame = vec![0xAAu8; 64];
+            let t = plane.transit(&mut frame, 0.2); // unstable host
+            match t.damage {
+                Some(FaultKind::LinkFlap) => {
+                    seen_flap = true;
+                    assert!(frame.len() < 64);
+                }
+                Some(FaultKind::Truncation) => {
+                    seen_trunc = true;
+                    assert!(frame.len() < 64);
+                }
+                Some(FaultKind::Corruption) => {
+                    seen_corrupt = true;
+                    assert_eq!(frame.len(), 64);
+                    assert_ne!(frame, vec![0xAAu8; 64]);
+                }
+                None => {}
+            }
+            seen_dup |= t.duplicated;
+        }
+        assert!(seen_flap && seen_trunc && seen_corrupt && seen_dup);
+    }
+
+    #[test]
+    fn fully_available_hosts_never_flap() {
+        let profile = FaultProfile {
+            flap_rate: 1.0,
+            ..FaultProfile::NONE
+        };
+        let mut plane = FaultPlane::new(profile, 3);
+        for _ in 0..500 {
+            let mut frame = vec![1u8; 16];
+            assert_eq!(plane.transit(&mut frame, 1.0).damage, None);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_fault_sequence() {
+        let run = |seed| {
+            let mut plane = FaultPlane::new(FaultProfile::uniform(0.25), seed);
+            (0..200)
+                .map(|_| {
+                    let mut frame = vec![7u8; 32];
+                    let t = plane.transit(&mut frame, 0.5);
+                    (t.damage, t.duplicated, frame)
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a probability")]
+    fn out_of_range_rate_is_rejected() {
+        let _ = FaultPlane::new(
+            FaultProfile {
+                corrupt_rate: 1.5,
+                ..FaultProfile::NONE
+            },
+            0,
+        );
+    }
+
+    #[test]
+    fn bitrot_positions_are_in_range() {
+        let profile = FaultProfile {
+            bitrot_rate: 1.0,
+            ..FaultProfile::NONE
+        };
+        let mut plane = FaultPlane::new(profile, 4);
+        for len in [1usize, 2, 64] {
+            for _ in 0..50 {
+                let (byte, bit) = plane.bitrot(len).expect("rate 1.0 always rots");
+                assert!(byte < len);
+                assert!(bit < 8);
+            }
+        }
+        assert_eq!(plane.bitrot(0), None);
+    }
+}

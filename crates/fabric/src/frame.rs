@@ -1,0 +1,214 @@
+//! The block frame: one erasure-coded shard on the wire.
+//!
+//! A frame is what one peer actually ships to another when the
+//! simulator decides a placement: a fixed header naming the block,
+//! the shard payload, and a checksum over everything before it. The
+//! codec is built on [`peerback_core::wire`] and inherits its
+//! strictness — truncation, hostile lengths and trailing bytes are
+//! typed errors, never panics — and the trailing checksum turns *any*
+//! in-flight bit flip into a typed error as well, so a transfer can
+//! never succeed silently with damaged bytes.
+
+use core::fmt;
+
+use peerback_core::wire::{Reader, WireError, Writer};
+use peerback_core::PeerId;
+
+const MAGIC: &[u8; 4] = b"PBF1";
+
+/// FNV-1a over `bytes` — the frame and at-rest integrity checksum.
+///
+/// Not cryptographic (the threat model is bitrot and transfer damage,
+/// not adversaries), but any single-bit flip changes the digest.
+pub fn checksum(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Frame decoding failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// Structural damage: truncation, bad magic, hostile lengths.
+    Wire(WireError),
+    /// The frame parsed but its checksum does not match — in-flight
+    /// corruption of header or payload.
+    ChecksumMismatch {
+        /// Digest recorded in the frame.
+        expected: u64,
+        /// Digest recomputed over the received bytes.
+        actual: u64,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Wire(e) => write!(f, "frame structure damaged: {e}"),
+            FrameError::ChecksumMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "frame checksum mismatch: recorded {expected:#018x}, computed {actual:#018x}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<WireError> for FrameError {
+    fn from(e: WireError) -> Self {
+        FrameError::Wire(e)
+    }
+}
+
+/// One shard in flight: who owns it, which archive and shard it is,
+/// and the coded bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockFrame {
+    /// Owning peer slot.
+    pub owner: PeerId,
+    /// Archive index within the owner.
+    pub archive: u8,
+    /// Shard index within the code word (`0..n`).
+    pub shard_index: u32,
+    /// The coded shard bytes.
+    pub payload: Vec<u8>,
+}
+
+impl BlockFrame {
+    /// Serialised length of the fixed part (magic + header + payload
+    /// length prefix + trailing checksum). Useful for link budgeting.
+    pub const OVERHEAD: usize = 4 + 4 + 1 + 4 + 4 + 8;
+
+    /// Encodes the frame: header, length-prefixed payload, then an
+    /// FNV-1a checksum over every preceding byte.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_raw(MAGIC);
+        w.put_u32(self.owner);
+        w.put_u8(self.archive);
+        w.put_u32(self.shard_index);
+        w.put_bytes(&self.payload);
+        let mut bytes = w.into_bytes();
+        let digest = checksum(&bytes);
+        bytes.extend_from_slice(&digest.to_le_bytes());
+        bytes
+    }
+
+    /// Decodes and verifies a frame.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::Wire`] on structural damage (truncation anywhere,
+    /// bad magic, hostile length prefixes, trailing bytes);
+    /// [`FrameError::ChecksumMismatch`] when the structure survives but
+    /// any bit of header or payload changed in flight.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, FrameError> {
+        let mut r = Reader::new(bytes);
+        if r.get_raw(4)? != MAGIC {
+            return Err(WireError::BadHeader.into());
+        }
+        let owner = r.get_u32()?;
+        let archive = r.get_u8()?;
+        let shard_index = r.get_u32()?;
+        let payload = r.get_bytes()?.to_vec();
+        let expected = r.get_u64()?;
+        r.finish()?;
+        let actual = checksum(&bytes[..bytes.len() - 8]);
+        if actual != expected {
+            return Err(FrameError::ChecksumMismatch { expected, actual });
+        }
+        Ok(BlockFrame {
+            owner,
+            archive,
+            shard_index,
+            payload,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame() -> BlockFrame {
+        BlockFrame {
+            owner: 17,
+            archive: 2,
+            shard_index: 9,
+            payload: (0..=100u8).collect(),
+        }
+    }
+
+    #[test]
+    fn round_trips() {
+        let f = frame();
+        let bytes = f.to_bytes();
+        assert_eq!(bytes.len(), f.payload.len() + BlockFrame::OVERHEAD);
+        assert_eq!(BlockFrame::from_bytes(&bytes).unwrap(), f);
+    }
+
+    #[test]
+    fn every_truncation_point_is_a_typed_error() {
+        let bytes = frame().to_bytes();
+        for cut in 0..bytes.len() {
+            let err = BlockFrame::from_bytes(&bytes[..cut])
+                .expect_err(&format!("truncation at {cut} accepted"));
+            assert!(matches!(err, FrameError::Wire(_)), "cut {cut}: {err:?}");
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let bytes = frame().to_bytes();
+        for byte in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut damaged = bytes.clone();
+                damaged[byte] ^= 1 << bit;
+                assert!(
+                    BlockFrame::from_bytes(&damaged).is_err(),
+                    "flip of bit {bit} in byte {byte} went unnoticed"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn payload_flip_is_a_checksum_mismatch() {
+        let f = frame();
+        let mut bytes = f.to_bytes();
+        // Flip one payload bit (header is 13 bytes + 4-byte length).
+        let payload_start = 4 + 4 + 1 + 4 + 4;
+        bytes[payload_start + 5] ^= 0x10;
+        assert!(matches!(
+            BlockFrame::from_bytes(&bytes),
+            Err(FrameError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = frame().to_bytes();
+        bytes.push(0);
+        assert!(matches!(
+            BlockFrame::from_bytes(&bytes),
+            Err(FrameError::Wire(WireError::TrailingBytes { .. }))
+        ));
+    }
+
+    #[test]
+    fn empty_payload_is_fine() {
+        let f = BlockFrame {
+            owner: 0,
+            archive: 0,
+            shard_index: 0,
+            payload: Vec::new(),
+        };
+        assert_eq!(BlockFrame::from_bytes(&f.to_bytes()).unwrap(), f);
+    }
+}

@@ -1,0 +1,206 @@
+//! The fabric ↔ simulator cross-check (the tentpole's acceptance test).
+//!
+//! * Faults **off**: over a 200-round run, the fabric's byte-level
+//!   restorability equals the simulator's predicted restorability for
+//!   every audited archive — zero audit mismatches — and the wrapped
+//!   simulator's metrics are identical to a plain run.
+//! * Faults **on**: every data-loss event the auditor reports comes
+//!   from a decode attempt with fewer than `k` intact shards, and the
+//!   whole run is deterministic under a fixed seed.
+
+use peerback_core::{run_simulation, MaintenancePolicy, SimConfig};
+use peerback_fabric::{run_fabric, FabricConfig, FabricReport, FaultProfile};
+
+/// A small but churn-rich world: 48 peers, 4+4 blocks, tight threshold.
+fn sim_config(seed: u64, rounds: u64) -> SimConfig {
+    let mut cfg = SimConfig::paper(48, rounds, seed);
+    cfg.k = 4;
+    cfg.m = 4;
+    cfg.quota = 24;
+    cfg.maintenance = MaintenancePolicy::Reactive { threshold: 5 };
+    cfg
+}
+
+fn run(seed: u64, rounds: u64, faults: FaultProfile) -> FabricReport {
+    let fabric_cfg = FabricConfig {
+        faults,
+        ..FabricConfig::default()
+    };
+    run_fabric(sim_config(seed, rounds), fabric_cfg).expect("valid configs")
+}
+
+#[test]
+fn faults_off_byte_restorability_equals_simulator_prediction() {
+    let report = run(42, 200, FaultProfile::NONE);
+
+    // The run actually exercised the plane…
+    assert!(report.stats.transfers_attempted > 100, "{:?}", report.stats);
+    assert!(report.stats.joins >= 48, "{:?}", report.stats);
+    assert!(report.audit.checks > 1_000, "{:?}", report.audit);
+    assert!(report.audit.decode_attempts > 0);
+
+    // …with a perfect transfer record (no faults)…
+    assert_eq!(
+        report.stats.transfers_attempted,
+        report.stats.transfers_delivered
+    );
+    assert_eq!(report.stats.duplicate_frames, 0);
+    assert_eq!(report.stats.bitrot_events, 0);
+    assert_eq!(report.stats.repair_decode_fallbacks, 0);
+
+    // …and exact agreement between the two halves, every archive,
+    // every audited round.
+    assert_eq!(
+        report.audit.mismatches, 0,
+        "notes: {:?}",
+        report.audit.notes
+    );
+    assert_eq!(report.audit.fault_induced_losses, 0);
+    assert_eq!(report.audit.consistent, report.audit.checks);
+
+    // Simulator-declared losses (if any at this seed) were all verified
+    // against real bytes: fewer than k intact shards at loss time.
+    assert_eq!(report.stats.losses_observed, report.losses.len() as u64);
+    for loss in &report.losses {
+        assert!(
+            loss.intact_shards < loss.k,
+            "loss at round {} had {} intact shards",
+            loss.round,
+            loss.intact_shards
+        );
+    }
+}
+
+#[test]
+fn wrapping_the_world_does_not_perturb_the_simulation() {
+    let plain = run_simulation(sim_config(7, 200));
+    let fabric = run(7, 200, FaultProfile::NONE);
+    assert_eq!(plain.repairs, fabric.metrics.repairs);
+    assert_eq!(plain.losses, fabric.metrics.losses);
+    assert_eq!(plain.diag, fabric.metrics.diag);
+    assert_eq!(
+        plain.total_losses(),
+        fabric.stats.losses_observed,
+        "every simulator loss must be replayed byte-side"
+    );
+}
+
+#[test]
+fn faults_on_every_loss_event_has_fewer_than_k_intact_shards() {
+    let report = run(42, 300, FaultProfile::uniform(0.08));
+
+    // Faults actually fired, in several shapes.
+    let failed = report.stats.transfers_corrupted
+        + report.stats.transfers_truncated
+        + report.stats.transfers_flapped;
+    assert!(
+        failed > 0,
+        "no transfer failures at 8% rates: {:?}",
+        report.stats
+    );
+    assert!(report.stats.duplicate_frames > 0);
+    assert!(
+        report.stats.transfers_delivered < report.stats.transfers_attempted,
+        "some transfers must fail"
+    );
+
+    // The contract survives the noise: no mismatches, and every
+    // auditor-reported data loss traces to a decode attempt with fewer
+    // than k intact shards.
+    assert_eq!(
+        report.audit.mismatches, 0,
+        "notes: {:?}",
+        report.audit.notes
+    );
+    assert!(!report.losses.is_empty(), "8% faults should cost something");
+    for loss in &report.losses {
+        assert!(
+            loss.intact_shards < loss.k,
+            "loss at round {} owner {} had {} intact shards (k = {})",
+            loss.round,
+            loss.owner,
+            loss.intact_shards,
+            loss.k
+        );
+    }
+}
+
+#[test]
+fn fabric_runs_are_deterministic_under_a_fixed_seed() {
+    for faults in [FaultProfile::NONE, FaultProfile::uniform(0.08)] {
+        let a = run(11, 150, faults);
+        let b = run(11, 150, faults);
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(a.audit, b.audit);
+        assert_eq!(a.losses, b.losses);
+        assert_eq!(a.metrics.repairs, b.metrics.repairs);
+        assert_eq!(a.metrics.diag, b.metrics.diag);
+    }
+    let c = run(12, 150, FaultProfile::uniform(0.08));
+    let d = run(11, 150, FaultProfile::uniform(0.08));
+    assert_ne!(c.stats, d.stats, "different seeds must diverge");
+}
+
+#[test]
+fn adaptive_and_proactive_policies_also_cross_check_cleanly() {
+    for maintenance in [
+        MaintenancePolicy::Adaptive {
+            base: 6,
+            floor_margin: 1,
+            step: 1,
+        },
+        MaintenancePolicy::Proactive { tick_rounds: 12 },
+    ] {
+        let mut cfg = sim_config(5, 200);
+        cfg.maintenance = maintenance;
+        let report = run_fabric(cfg, FabricConfig::default()).expect("valid configs");
+        assert_eq!(
+            report.audit.mismatches, 0,
+            "{maintenance:?}: {:?}",
+            report.audit.notes
+        );
+        assert!(report.stats.transfers_delivered > 0);
+    }
+}
+
+#[test]
+fn observers_and_growth_ramp_cross_check_cleanly() {
+    let mut cfg = sim_config(9, 200).with_paper_observers();
+    cfg.growth_rounds = 50;
+    let report = run_fabric(cfg, FabricConfig::default()).expect("valid configs");
+    assert_eq!(report.audit.mismatches, 0, "{:?}", report.audit.notes);
+    assert_eq!(report.metrics.observers.len(), 5);
+}
+
+#[test]
+fn invalid_configurations_are_refused() {
+    // Geometry the GF(2^8) codec cannot express.
+    let mut cfg = SimConfig::paper(48, 10, 1).with_threshold(300);
+    cfg.k = 200;
+    cfg.m = 200;
+    cfg.quota = 1200;
+    assert!(run_fabric(cfg, FabricConfig::default())
+        .unwrap_err()
+        .contains("erasure geometry"));
+
+    // Out-of-range fault rate.
+    let bad_faults = FabricConfig {
+        faults: FaultProfile {
+            corrupt_rate: 2.0,
+            ..FaultProfile::NONE
+        },
+        ..FabricConfig::default()
+    };
+    assert!(run_fabric(sim_config(1, 10), bad_faults)
+        .unwrap_err()
+        .contains("probability"));
+
+    // Zero audit interval.
+    let bad_interval = FabricConfig {
+        audit_interval: 0,
+        ..FabricConfig::default()
+    };
+    assert!(run_fabric(sim_config(1, 10), bad_interval)
+        .unwrap_err()
+        .contains("audit interval"));
+}

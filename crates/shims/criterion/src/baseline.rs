@@ -1,0 +1,212 @@
+//! Baseline persistence: per-bench medians saved across runs.
+//!
+//! Every reported median is recorded in-process and compared against
+//! the map loaded from `<target>/bench-baseline.json`; the delta is
+//! appended to the report line (`[+12.3% vs baseline]`). At the end of
+//! a run ([`persist`], called by `criterion_main!`) the saved map is
+//! merged with this run's medians — benches not run this time keep
+//! their old baseline — and written back.
+//!
+//! The file is a flat JSON object `{"bench/name": ns_per_iter, …}`,
+//! written and parsed by hand (the offline dependency set has no serde)
+//! and forgiving on read: an unparsable file is treated as no baseline.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::{Mutex, OnceLock};
+
+/// Deltas within this band print as `~` (noise, not a change).
+const NOISE_BAND_PERCENT: f64 = 2.0;
+
+fn previous() -> &'static BTreeMap<String, f64> {
+    static PREVIOUS: OnceLock<BTreeMap<String, f64>> = OnceLock::new();
+    PREVIOUS.get_or_init(|| {
+        std::fs::read_to_string(baseline_path())
+            .ok()
+            .map(|text| parse(&text))
+            .unwrap_or_default()
+    })
+}
+
+fn current() -> &'static Mutex<BTreeMap<String, f64>> {
+    static CURRENT: OnceLock<Mutex<BTreeMap<String, f64>>> = OnceLock::new();
+    CURRENT.get_or_init(Mutex::default)
+}
+
+/// Where the baseline lives: `bench-baseline.json` inside the cargo
+/// target directory. The running bench executable always lives under
+/// `<target>/<profile>/deps/`, so walk up from it; fall back to
+/// `$CARGO_TARGET_DIR` or a local `target/`.
+pub fn baseline_path() -> PathBuf {
+    let target_dir = std::env::current_exe()
+        .ok()
+        .and_then(|exe| {
+            exe.ancestors()
+                .find(|p| p.file_name().is_some_and(|n| n == "target"))
+                .map(PathBuf::from)
+        })
+        .or_else(|| std::env::var_os("CARGO_TARGET_DIR").map(PathBuf::from))
+        .unwrap_or_else(|| PathBuf::from("target"));
+    target_dir.join("bench-baseline.json")
+}
+
+/// Records one measured median and returns the formatted delta against
+/// the saved baseline (empty when no baseline exists for the name).
+pub fn record(name: &str, ns_per_iter: f64) -> String {
+    if ns_per_iter.is_finite() {
+        current()
+            .lock()
+            .expect("baseline lock")
+            .insert(name.to_string(), ns_per_iter);
+    }
+    let Some(&old) = previous().get(name) else {
+        return String::new();
+    };
+    if old <= 0.0 || !ns_per_iter.is_finite() {
+        return String::new();
+    }
+    let percent = (ns_per_iter - old) / old * 100.0;
+    if percent.abs() < NOISE_BAND_PERCENT {
+        "  [~ vs baseline]".to_string()
+    } else {
+        format!("  [{percent:+.1}% vs baseline]")
+    }
+}
+
+/// Merges this run's medians over the saved baseline and writes the
+/// result back. IO failures are reported, never fatal — a read-only
+/// checkout still runs its benches.
+pub fn persist() {
+    let fresh = current().lock().expect("baseline lock");
+    if fresh.is_empty() {
+        return;
+    }
+    let mut merged = previous().clone();
+    for (name, &ns) in fresh.iter() {
+        merged.insert(name.clone(), ns);
+    }
+    let path = baseline_path();
+    match std::fs::write(&path, render(&merged)) {
+        Ok(()) => println!(
+            "baseline: {} entr{} saved to {}",
+            merged.len(),
+            if merged.len() == 1 { "y" } else { "ies" },
+            path.display()
+        ),
+        Err(e) => eprintln!("baseline: could not write {}: {e}", path.display()),
+    }
+}
+
+/// Renders the flat JSON object.
+fn render(map: &BTreeMap<String, f64>) -> String {
+    let mut out = String::from("{\n");
+    for (i, (name, ns)) in map.iter().enumerate() {
+        out.push_str("  \"");
+        for c in name.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push_str(&format!(
+            "\": {ns:.3}{}\n",
+            if i + 1 < map.len() { "," } else { "" }
+        ));
+    }
+    out.push('}');
+    out
+}
+
+/// Parses the flat JSON object produced by [`render`]. Tolerant: lines
+/// that do not look like `"name": number` are skipped.
+fn parse(text: &str) -> BTreeMap<String, f64> {
+    let mut map = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some(rest) = line.strip_prefix('"') else {
+            continue;
+        };
+        // Find the closing quote, honouring backslash escapes.
+        let mut name = String::new();
+        let mut chars = rest.chars();
+        let mut closed = false;
+        while let Some(c) = chars.next() {
+            match c {
+                '"' => {
+                    closed = true;
+                    break;
+                }
+                '\\' => match chars.next() {
+                    Some('u') => {
+                        let hex: String = chars.by_ref().take(4).collect();
+                        if let Some(c) = u32::from_str_radix(&hex, 16).ok().and_then(char::from_u32)
+                        {
+                            name.push(c);
+                        }
+                    }
+                    Some(c) => name.push(c),
+                    None => break,
+                },
+                c => name.push(c),
+            }
+        }
+        if !closed {
+            continue;
+        }
+        let value = chars.as_str().trim_start().trim_start_matches(':').trim();
+        if let Ok(ns) = value.parse::<f64>() {
+            map.insert(name, ns);
+        }
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_parse_round_trip() {
+        let mut map = BTreeMap::new();
+        map.insert("group/bench".to_string(), 1234.5);
+        map.insert("odd \"name\"\\with\tescapes".to_string(), 0.125);
+        map.insert("plain".to_string(), 9e9);
+        let parsed = parse(&render(&map));
+        assert_eq!(parsed.len(), map.len());
+        for (name, ns) in &map {
+            let got = parsed.get(name).unwrap_or_else(|| panic!("lost {name:?}"));
+            assert!((got - ns).abs() < 1e-3, "{name}: {got} vs {ns}");
+        }
+    }
+
+    #[test]
+    fn parse_tolerates_garbage() {
+        assert!(parse("not json at all").is_empty());
+        assert!(parse("{\n  \"unterminated: 5\n}").is_empty());
+        let partial = parse("{\n  \"good\": 1.0,\n  broken line\n}");
+        assert_eq!(partial.len(), 1);
+        assert_eq!(partial["good"], 1.0);
+    }
+
+    #[test]
+    fn record_formats_deltas_against_previous() {
+        // No baseline for a never-seen name: no delta text.
+        assert_eq!(record("fresh-name-without-baseline", 100.0), "");
+        // The current map received the measurement regardless.
+        assert!(current()
+            .lock()
+            .unwrap()
+            .contains_key("fresh-name-without-baseline"));
+    }
+
+    #[test]
+    fn baseline_path_is_under_a_target_dir() {
+        let path = baseline_path();
+        assert_eq!(
+            path.file_name().and_then(|n| n.to_str()),
+            Some("bench-baseline.json")
+        );
+    }
+}

@@ -8,11 +8,17 @@
 //!
 //! Measurement is deliberately simple — median of several timed batches
 //! after a short warm-up, printed as `ns/iter` plus derived throughput.
-//! There is no statistical regression analysis, HTML report, or
-//! comparison with saved baselines; benchmarks compile and produce
-//! usable numbers, which is what CI and quick perf probes need.
+//! There is no statistical regression analysis or HTML report, but the
+//! shim *does* persist per-bench medians to
+//! `<target>/bench-baseline.json` and prints a delta against the saved
+//! baseline on the next run, so perf regressions show up without
+//! eyeballing raw numbers across runs. The file merges across bench
+//! binaries (running one binary never forgets another's baselines) and
+//! is overwritten with fresh medians at the end of each run.
 
 use std::time::{Duration, Instant};
+
+pub mod baseline;
 
 pub use std::hint::black_box;
 
@@ -145,7 +151,8 @@ fn report(name: &str, ns_per_iter: f64, throughput: Option<Throughput>) {
         }
         None => String::new(),
     };
-    println!("bench: {name:<52} {time:>12}/iter{extra}");
+    let delta = baseline::record(name, ns_per_iter);
+    println!("bench: {name:<52} {time:>12}/iter{extra}{delta}");
 }
 
 /// The benchmark harness entry point.
@@ -223,12 +230,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Emits `main` running the listed groups.
+/// Emits `main` running the listed groups, then persisting the medians
+/// as the new baseline.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::baseline::persist();
         }
     };
 }

@@ -169,6 +169,7 @@ macro_rules! __proptest_items {
                     ::core::result::Result::Err(
                         $crate::test_runner::TestCaseError::Fail(message),
                     ) => {
+                        $crate::test_runner::note_no_shrinking();
                         panic!(
                             "proptest `{}` failed after {executed} passing case(s): {message}",
                             stringify!($name),

@@ -62,6 +62,21 @@ impl std::fmt::Display for TestCaseError {
     }
 }
 
+/// Prints the shim's no-shrinking caveat once per process, so the first
+/// property failure in a test run explains how to act on its output
+/// (real proptest would shrink the case first; the shim reports it as
+/// generated).
+pub fn note_no_shrinking() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        eprintln!(
+            "note: the proptest shim does not shrink failing cases — the input below is \
+             exactly as generated. Seeds derive from the test name, so re-running the \
+             same test reproduces this case; set PROPTEST_CASES to widen coverage."
+        );
+    });
+}
+
 /// Drives generation for one test function.
 #[derive(Debug)]
 pub struct TestRunner {

@@ -18,6 +18,7 @@
 //! | [`sim`] | `peerback-sim` | deterministic round-based engine |
 //! | [`net`] | `peerback-net` | §2.2.4 bandwidth/repair-cost model |
 //! | [`core`] | `peerback-core` | the backup protocol + simulator + data plane |
+//! | [`fabric`] | `peerback-fabric` | simulator bound to the real data plane, fault injection, restorability audits |
 //! | [`analysis`] | `peerback-analysis` | stats, tables, terminal plots |
 //!
 //! The most common entry points are re-exported at the top level.
@@ -75,6 +76,7 @@ pub use peerback_analysis as analysis;
 pub use peerback_churn as churn;
 pub use peerback_core as core;
 pub use peerback_erasure as erasure;
+pub use peerback_fabric as fabric;
 pub use peerback_gf256 as gf256;
 pub use peerback_net as net;
 pub use peerback_sim as sim;
@@ -84,4 +86,5 @@ pub use peerback_core::{
     Metrics, ObserverSpec, SelectionStrategy, SimConfig,
 };
 pub use peerback_erasure::ReedSolomon;
+pub use peerback_fabric::{run_fabric, FabricConfig, FabricReport, FaultProfile};
 pub use peerback_net::{ArchiveGeometry, LinkModel, RepairCostModel};

@@ -1,5 +1,8 @@
 //! Property tests on the public wire formats: decoding arbitrary bytes
-//! must never panic, and valid encodings must round-trip exactly.
+//! must never panic, and valid encodings must round-trip exactly —
+//! including the fabric's block frames under the fault plane's shapes
+//! (truncation mid-header, bit flips in the payload, duplicate
+//! delivery), which must all surface as typed errors.
 
 use proptest::prelude::*;
 
@@ -7,6 +10,7 @@ use bytes::Bytes;
 use peerback::core::archive::Entry;
 use peerback::core::master::{ArchiveDescriptor, BlockPlacement};
 use peerback::core::{Archive, MasterBlock};
+use peerback::fabric::{BlockFrame, BlockStore, FrameError, IngestError};
 
 fn arb_descriptor() -> impl Strategy<Value = ArchiveDescriptor> {
     (
@@ -99,5 +103,103 @@ proptest! {
         let cut = ((bytes.len() as f64) * cut_fraction) as usize;
         prop_assume!(cut < bytes.len());
         prop_assert!(MasterBlock::from_bytes(&bytes[..cut]).is_err());
+    }
+
+    // ----- fabric block frames under the fault plane's shapes ------------
+
+    #[test]
+    fn block_frames_round_trip(
+        owner in any::<u32>(),
+        archive in any::<u8>(),
+        shard_index in any::<u32>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let frame = BlockFrame { owner, archive, shard_index, payload };
+        let back = BlockFrame::from_bytes(&frame.to_bytes()).unwrap();
+        prop_assert_eq!(back, frame);
+    }
+
+    #[test]
+    fn frame_decoder_never_panics_on_garbage(
+        bytes in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let _ = BlockFrame::from_bytes(&bytes);
+    }
+
+    #[test]
+    fn truncation_anywhere_including_mid_header_is_a_typed_wire_error(
+        payload in proptest::collection::vec(any::<u8>(), 0..128),
+        cut_fraction in 0.0f64..1.0,
+    ) {
+        let frame = BlockFrame { owner: 9, archive: 1, shard_index: 3, payload };
+        let bytes = frame.to_bytes();
+        let cut = ((bytes.len() as f64) * cut_fraction) as usize;
+        prop_assume!(cut < bytes.len());
+        // Typed error — never a panic, never a silent success. Cuts
+        // inside the 13-byte header and inside the payload alike.
+        prop_assert!(
+            matches!(
+                BlockFrame::from_bytes(&bytes[..cut]),
+                Err(FrameError::Wire(_))
+            ),
+            "truncation at {cut} of {} did not yield a wire error",
+            bytes.len()
+        );
+    }
+
+    #[test]
+    fn single_bit_corruption_never_decodes_silently(
+        payload in proptest::collection::vec(any::<u8>(), 1..128),
+        bit_fraction in 0.0f64..1.0,
+    ) {
+        let frame = BlockFrame { owner: 5, archive: 0, shard_index: 7, payload };
+        let mut bytes = frame.to_bytes();
+        let bit = ((bytes.len() * 8 - 1) as f64 * bit_fraction) as usize;
+        bytes[bit / 8] ^= 1 << (bit % 8);
+        prop_assert!(BlockFrame::from_bytes(&bytes).is_err(), "flip of bit {} accepted", bit);
+    }
+
+    #[test]
+    fn payload_bit_flips_specifically_fail_the_checksum(
+        payload in proptest::collection::vec(any::<u8>(), 1..128),
+        bit_fraction in 0.0f64..1.0,
+    ) {
+        let frame = BlockFrame { owner: 5, archive: 0, shard_index: 7, payload };
+        let mut bytes = frame.to_bytes();
+        let payload_start = 17; // magic 4 + owner 4 + archive 1 + shard 4 + len 4
+        let payload_bits = (bytes.len() - payload_start - 8) * 8;
+        prop_assume!(payload_bits > 0);
+        let bit = ((payload_bits - 1) as f64 * bit_fraction) as usize;
+        bytes[payload_start + bit / 8] ^= 1 << (bit % 8);
+        prop_assert!(
+            matches!(
+                BlockFrame::from_bytes(&bytes),
+                Err(FrameError::ChecksumMismatch { .. })
+            ),
+            "payload flip of bit {bit} was not a checksum mismatch"
+        );
+    }
+
+    #[test]
+    fn duplicate_frame_delivery_is_refused_not_merged(
+        host in any::<u32>(),
+        owner in any::<u32>(),
+        archive in any::<u8>(),
+        shard_index in 0u32..64,
+        payload in proptest::collection::vec(any::<u8>(), 1..64),
+    ) {
+        let mut store = BlockStore::new();
+        let bytes = BlockFrame { owner, archive, shard_index, payload }.to_bytes();
+        store.ingest(host, &bytes).unwrap();
+        // The retransmitted copy surfaces as a typed error…
+        prop_assert!(
+            matches!(
+                store.ingest(host, &bytes),
+                Err(IngestError::DuplicateFrame { stored_shard, .. }) if stored_shard == shard_index
+            ),
+            "duplicate delivery was not refused as DuplicateFrame"
+        );
+        // …and the store kept exactly one copy.
+        prop_assert_eq!(store.total_blocks(), 1);
     }
 }
