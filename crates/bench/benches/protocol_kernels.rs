@@ -2,6 +2,7 @@
 //! which run hundreds of times per repair episode.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use peerback_core::select::AgeOrderedIndex;
 use peerback_core::{acceptance_probability, accepts, Candidate, SelectionStrategy};
 use peerback_sim::sim_rng;
 use rand::Rng;
@@ -59,5 +60,94 @@ fn selection(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, acceptance, selection);
+/// The AgeBased pool-build kernel, before/after the maintained
+/// age-ordered index (the `acquire_partners` hot-path item): candidates
+/// stream in one at a time; the legacy path collects until full and
+/// shuffle-sorts at the end, the index path keeps a bounded ordered
+/// pool, pre-screens candidates that cannot improve it — skipping the
+/// acceptance draws they would otherwise cost — and stops after 32
+/// consecutive screen misses (mirroring `world::partners`).
+///
+/// Two stream shapes: `converged` is the steady-state case (heavy-
+/// tailed lifetimes: most online peers young, a small old tail — where
+/// the screen pays); `scattered` is the adversarial uniform-age case
+/// (maximum insertion churn, the index's worst case).
+fn age_pool_build(c: &mut Criterion) {
+    /// An age distribution shaping the candidate stream.
+    type AgeShape = Box<dyn Fn(u32) -> u64>;
+    let mut group = c.benchmark_group("age_pool_build");
+    const CAP: usize = 256;
+    let shapes: [(&str, AgeShape); 2] = [
+        (
+            "converged",
+            Box::new(|i| {
+                let h = (i as u64).wrapping_mul(2654435761) % 100;
+                if h < 90 {
+                    h
+                } else {
+                    100 + (i as u64).wrapping_mul(40503) % 4900
+                }
+            }),
+        ),
+        (
+            "scattered",
+            Box::new(|i| (i as u64).wrapping_mul(2654435761) % 5000),
+        ),
+    ];
+    for (shape, age_of) in shapes {
+        let stream: Vec<Candidate> = (0..1536u32)
+            .map(|i| Candidate {
+                id: i,
+                age: age_of(i),
+                uptime: (i % 100) as f64 / 100.0,
+                true_remaining: 0,
+            })
+            .collect();
+
+        group.bench_function(format!("legacy_rank_{shape}_1536_to_256"), |b| {
+            let mut rng = sim_rng(13);
+            b.iter(|| {
+                let mut pool = Vec::with_capacity(2 * CAP);
+                for cand in &stream {
+                    if pool.len() >= 2 * CAP {
+                        break;
+                    }
+                    // Acceptance draws for every collected candidate.
+                    if accepts(&mut rng, 2000, cand.age, 2160) {
+                        pool.push(*cand);
+                    }
+                }
+                SelectionStrategy::AgeBased.choose(&mut rng, &mut pool, CAP);
+                black_box(pool.len())
+            })
+        });
+
+        group.bench_function(format!("maintained_index_{shape}_1536_to_256"), |b| {
+            let mut rng = sim_rng(13);
+            b.iter(|| {
+                let mut index = AgeOrderedIndex::new(2 * CAP);
+                let mut misses = 0u32;
+                for cand in &stream {
+                    if !index.admits(cand.age) {
+                        misses += 1;
+                        if misses >= 32 {
+                            break;
+                        }
+                        continue; // no acceptance draws spent
+                    }
+                    if accepts(&mut rng, 2000, cand.age, 2160) {
+                        index.insert(*cand);
+                        misses = 0;
+                    }
+                }
+                let mut pool = index.into_ranked();
+                pool.truncate(CAP);
+                black_box(pool.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, acceptance, selection, age_pool_build);
 criterion_main!(benches);

@@ -9,7 +9,9 @@
 //!
 //! With `--json` the probe emits one machine-readable object on stdout
 //! (timing, throughput, headline counters) so the perf trajectory can
-//! be tracked across PRs.
+//! be tracked across PRs; `--stable-json` drops the timing fields so
+//! two same-seed runs (e.g. `--shards 1` vs `--shards 8`) must diff
+//! byte-for-byte — the CI determinism gate.
 
 use std::time::Instant;
 
@@ -21,24 +23,31 @@ fn main() {
     let cfg = args.base_config().with_paper_observers();
     if !args.json {
         println!(
-            "running {} peers x {} rounds (seed {}) ...",
-            args.peers, args.rounds, args.seed
+            "running {} peers x {} rounds (seed {}, {} shard workers) ...",
+            args.peers, args.rounds, args.seed, args.shards
         );
     }
     let start = Instant::now();
     let metrics = run_simulation(cfg);
     let elapsed = start.elapsed();
     if args.json {
-        let report = json::Object::new()
+        let mut report = json::Object::new()
             .str("probe", "perf_probe")
             .num("peers", args.peers as u64)
             .num("rounds", args.rounds)
-            .num("seed", args.seed)
-            .float("elapsed_secs", elapsed.as_secs_f64())
-            .float(
-                "peer_rounds_per_sec",
-                (args.peers as f64 * args.rounds as f64) / elapsed.as_secs_f64(),
-            )
+            .num("seed", args.seed);
+        if !args.stable_json {
+            // Timing (and the worker count that shapes it) is excluded
+            // from the stable form so shard counts diff byte-for-byte.
+            report = report
+                .num("shards", args.shards as u64)
+                .float("elapsed_secs", elapsed.as_secs_f64())
+                .float(
+                    "peer_rounds_per_sec",
+                    (args.peers as f64 * args.rounds as f64) / elapsed.as_secs_f64(),
+                );
+        }
+        let report = report
             .nums("repairs", metrics.repairs)
             .nums("losses", metrics.losses)
             .nums("peer_rounds", metrics.peer_rounds)

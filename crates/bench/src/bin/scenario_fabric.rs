@@ -41,7 +41,7 @@ const POLICIES: [(&str, MaintenancePolicy); 3] = [
 /// The scenario's simulation config: a small 8+8 geometry so byte-level
 /// decodes stay cheap at any population.
 fn cell_config(args: &HarnessArgs, maintenance: MaintenancePolicy) -> SimConfig {
-    let mut cfg = SimConfig::paper(args.peers, args.rounds, args.seed);
+    let mut cfg = SimConfig::paper(args.peers, args.rounds, args.seed).with_shards(args.shards);
     cfg.k = 8;
     cfg.m = 8;
     cfg.quota = 48;
@@ -131,6 +131,7 @@ fn main() {
             .num("peers", args.peers as u64)
             .num("rounds", args.rounds)
             .num("seed", args.seed)
+            .num("shards", args.shards as u64)
             .raw("cells", json::array(cells.iter().map(cell_json)))
             .num("audit_mismatches", mismatches)
             .num("unverified_losses", unverified_losses as u64)

@@ -67,6 +67,15 @@ pub struct HarnessArgs {
     /// the human-readable report, so perf and audit trajectories can be
     /// tracked across runs and PRs.
     pub json: bool,
+    /// Worker threads for the intra-run parallel phases
+    /// (`SimConfig::shards`). Results are bit-identical at every value;
+    /// only wall-clock changes.
+    pub shards: usize,
+    /// With `--json`: omit timing fields (elapsed seconds, throughput)
+    /// so two runs of the same seed diff byte-for-byte — the CI
+    /// determinism gate compares `--shards 1` against `--shards 8`
+    /// this way.
+    pub stable_json: bool,
 }
 
 impl HarnessArgs {
@@ -88,6 +97,8 @@ impl HarnessArgs {
         let mut out_dir = PathBuf::from("results");
         let mut threads = 0;
         let mut json = false;
+        let mut shards = 1;
+        let mut stable_json = false;
 
         let mut iter = args.into_iter();
         while let Some(arg) = iter.next() {
@@ -103,7 +114,9 @@ impl HarnessArgs {
                 "--seed" => seed = parse_num(&value_for("--seed"), "--seed"),
                 "--out-dir" => out_dir = PathBuf::from(value_for("--out-dir")),
                 "--threads" => threads = parse_num(&value_for("--threads"), "--threads") as usize,
+                "--shards" => shards = parse_num(&value_for("--shards"), "--shards") as usize,
                 "--json" => json = true,
+                "--stable-json" => stable_json = true,
                 "--help" | "-h" => {
                     println!("{USAGE}");
                     std::process::exit(0);
@@ -118,12 +131,14 @@ impl HarnessArgs {
             out_dir,
             threads,
             json,
+            shards,
+            stable_json,
         }
     }
 
     /// Base paper configuration at this scale.
     pub fn base_config(&self) -> SimConfig {
-        SimConfig::paper(self.peers, self.rounds, self.seed)
+        SimConfig::paper(self.peers, self.rounds, self.seed).with_shards(self.shards)
     }
 
     /// Resolved worker-thread count.
@@ -163,9 +178,13 @@ usage: <binary> [options]
   --seed N          master seed (default 42)
   --out-dir DIR     where TSV output lands (default: results/)
   --threads N       sweep workers (default: all cores)
+  --shards N        intra-run worker threads (default 1; results are
+                    bit-identical at every value)
   --json            emit a machine-readable JSON report on stdout
                     (perf_probe and scenario_fabric; other binaries
-                    ignore the flag and print their usual tables)";
+                    ignore the flag and print their usual tables)
+  --stable-json     with --json: omit timing fields so same-seed runs
+                    diff byte-for-byte (the CI determinism gate)";
 
 /// Formats a float with sensible precision for tables.
 pub fn fmt_rate(v: Option<f64>) -> String {
@@ -221,6 +240,20 @@ mod tests {
     fn json_flag() {
         assert!(!parse(&[]).json);
         assert!(parse(&["--json"]).json);
+    }
+
+    #[test]
+    fn shards_flag_reaches_the_config() {
+        assert_eq!(parse(&[]).shards, 1);
+        let a = parse(&["--shards", "8"]);
+        assert_eq!(a.shards, 8);
+        assert_eq!(a.base_config().shards, 8);
+    }
+
+    #[test]
+    fn stable_json_flag() {
+        assert!(!parse(&[]).stable_json);
+        assert!(parse(&["--stable-json"]).stable_json);
     }
 
     #[test]

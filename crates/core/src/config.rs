@@ -124,6 +124,14 @@ pub struct SimConfig {
     /// Whether to sample the instant-restorability series (an O(blocks)
     /// scan every 10th sample; negligible at default scales).
     pub measure_restorability: bool,
+    /// Worker threads for the intra-run parallel phases (shard-local
+    /// event firing and candidate-pool proposals). **Purely an
+    /// execution knob**: the peer table's logical sharding is a fixed
+    /// function of the capacity, so same-seed runs produce bit-identical
+    /// metrics and event streams at every value. `1` (the default) runs
+    /// single-threaded; values beyond the logical shard count are
+    /// clamped.
+    pub shards: usize,
 }
 
 impl SimConfig {
@@ -153,6 +161,7 @@ impl SimConfig {
             observers: Vec::new(),
             sample_interval: 24,
             measure_restorability: true,
+            shards: 1,
         }
     }
 
@@ -170,6 +179,13 @@ impl SimConfig {
     /// Sets the selection strategy.
     pub fn with_strategy(mut self, strategy: SelectionStrategy) -> Self {
         self.strategy = strategy;
+        self
+    }
+
+    /// Sets the worker-thread count for the intra-run parallel phases.
+    /// Results are identical at every value (see the `shards` field).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
         self
     }
 
@@ -255,6 +271,9 @@ impl SimConfig {
         }
         if self.archives_per_peer == 0 {
             return Err("peers must back up at least one archive".into());
+        }
+        if self.shards == 0 {
+            return Err("shards must be at least 1 (it is a worker-thread count)".into());
         }
         // The quota feasibility warning of §4.1: supply must cover demand
         // or nothing can ever fully join.

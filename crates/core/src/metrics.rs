@@ -61,7 +61,12 @@ pub struct Diagnostics {
 }
 
 /// All metrics collected during a run.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every field bit-for-bit (including the `f64`
+/// restorability series) — the equality the sharding determinism
+/// contract is stated in: same seed, any `SimConfig::shards`, equal
+/// metrics.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Metrics {
     /// Repair episodes started, by owner's age category at start.
     pub repairs: ByCategory<u64>,

@@ -113,6 +113,141 @@ impl SelectionStrategy {
     }
 }
 
+/// The maintained age-ordered candidate index behind
+/// [`SelectionStrategy::AgeBased`] pool building: a bounded
+/// top-`cap`-by-age structure over a binary min-heap.
+///
+/// Compared with the historical collect-shuffle-sort ranking, the
+/// index maintains order *while the pool is built*:
+///
+/// * [`admits`](AgeOrderedIndex::admits) is the hot-path pre-screen —
+///   one comparison against the current age floor decides whether a
+///   candidate can still improve a full pool, **before** the
+///   probabilistic acceptance test spends RNG draws on it. Ties cannot
+///   improve the pool, so they are screened out too.
+/// * [`insert`](AgeOrderedIndex::insert) costs `O(log cap)` (a heap
+///   sift, not a sorted-vector memmove), so scattered-age insertion
+///   streams stay cheap.
+/// * [`into_ranked`](AgeOrderedIndex::into_ranked) pays one final sort
+///   of at most `cap` survivors — the same cost the legacy path paid,
+///   but over a pool the screen kept small.
+///
+/// Determinism: entries are totally ordered by `(age, insertion
+/// sequence)` — equal-age candidates keep their sampling order, which
+/// is itself seed-deterministic — so the ranked output is a pure
+/// function of the insertion stream at any thread count.
+#[derive(Debug, Clone)]
+pub struct AgeOrderedIndex {
+    cap: usize,
+    seq: u32,
+    /// Min-heap: `heap[0]` is the youngest (and latest-sampled among
+    /// age ties) entry — the one eviction removes.
+    heap: Vec<HeapEntry>,
+}
+
+/// `(age, u32::MAX - insertion seq, candidate)`: tuple order on the
+/// first two fields makes earlier-sampled age-ties the *larger* entry,
+/// so eviction drops the latest tie first.
+type HeapEntry = (u64, u32, Candidate);
+
+#[inline]
+fn heap_key(entry: &HeapEntry) -> (u64, u32) {
+    (entry.0, entry.1)
+}
+
+impl AgeOrderedIndex {
+    /// An empty index keeping the oldest `cap` candidates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "index capacity must be positive");
+        AgeOrderedIndex {
+            cap,
+            seq: 0,
+            heap: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of candidates currently held.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the index holds no candidates.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Whether a candidate of `age` would enter the index: always while
+    /// below capacity, otherwise only by beating the current floor
+    /// (ties lose). The hot-path pre-screen.
+    #[inline]
+    pub fn admits(&self, age: u64) -> bool {
+        self.heap.len() < self.cap || age > self.heap[0].0
+    }
+
+    /// Inserts a candidate, evicting the youngest entry when full.
+    /// Returns whether the candidate entered.
+    pub fn insert(&mut self, cand: Candidate) -> bool {
+        if !self.admits(cand.age) {
+            return false;
+        }
+        let entry = (cand.age, u32::MAX - self.seq, cand);
+        self.seq = self.seq.wrapping_add(1);
+        if self.heap.len() < self.cap {
+            self.heap.push(entry);
+            self.sift_up(self.heap.len() - 1);
+        } else {
+            self.heap[0] = entry;
+            self.sift_down(0);
+        }
+        true
+    }
+
+    /// Consumes the index into a pool ranked oldest-first (equal ages
+    /// in sampling order).
+    pub fn into_ranked(self) -> Vec<Candidate> {
+        let mut entries = self.heap;
+        entries.sort_unstable_by_key(|e| core::cmp::Reverse(heap_key(e)));
+        entries.into_iter().map(|(_, _, cand)| cand).collect()
+    }
+
+    fn sift_up(&mut self, mut at: usize) {
+        while at > 0 {
+            let parent = (at - 1) / 2;
+            if heap_key(&self.heap[at]) < heap_key(&self.heap[parent]) {
+                self.heap.swap(at, parent);
+                at = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut at: usize) {
+        loop {
+            let (left, right) = (2 * at + 1, 2 * at + 2);
+            let mut smallest = at;
+            if left < self.heap.len() && heap_key(&self.heap[left]) < heap_key(&self.heap[smallest])
+            {
+                smallest = left;
+            }
+            if right < self.heap.len()
+                && heap_key(&self.heap[right]) < heap_key(&self.heap[smallest])
+            {
+                smallest = right;
+            }
+            if smallest == at {
+                break;
+            }
+            self.heap.swap(at, smallest);
+            at = smallest;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -265,6 +400,71 @@ mod tests {
             true_remaining: 0,
         };
         assert_eq!(c.uptime_score(), 100.0);
+    }
+
+    #[test]
+    fn age_index_keeps_the_oldest_in_descending_order() {
+        let mut index = AgeOrderedIndex::new(3);
+        for (i, age) in [5u64, 900, 42, 900, 7, 1000, 3].into_iter().enumerate() {
+            index.insert(Candidate {
+                id: i as u32,
+                age,
+                uptime: 1.0,
+                true_remaining: 0,
+            });
+        }
+        let pool = index.into_ranked();
+        let ages: Vec<u64> = pool.iter().map(|c| c.age).collect();
+        assert_eq!(ages, vec![1000, 900, 900]);
+        // Equal ages keep sampling order: id 1 was seen before id 3.
+        assert_eq!(pool[1].id, 1);
+        assert_eq!(pool[2].id, 3);
+    }
+
+    #[test]
+    fn age_index_screen_rejects_floor_and_ties_only_when_full() {
+        let mk = |age| Candidate {
+            id: 0,
+            age,
+            uptime: 1.0,
+            true_remaining: 0,
+        };
+        let mut index = AgeOrderedIndex::new(2);
+        assert!(index.admits(0), "empty index admits anything");
+        assert!(index.is_empty());
+        index.insert(mk(10));
+        index.insert(mk(20));
+        assert!(!index.admits(10), "tie with the floor");
+        assert!(!index.admits(5));
+        assert!(index.admits(11));
+        assert!(index.insert(mk(15)), "evicts the floor");
+        assert!(!index.insert(mk(3)), "too young to enter");
+        assert_eq!(index.len(), 2);
+        let pool = index.into_ranked();
+        assert_eq!(pool.last().unwrap().age, 15);
+    }
+
+    #[test]
+    fn age_index_matches_a_full_sort_on_scattered_ages() {
+        // Reference: sort everything by (age desc, arrival), take cap.
+        let stream: Vec<Candidate> = (0..500u32)
+            .map(|i| Candidate {
+                id: i,
+                age: (i as u64).wrapping_mul(2654435761) % 97,
+                uptime: 0.0,
+                true_remaining: 0,
+            })
+            .collect();
+        let mut index = AgeOrderedIndex::new(64);
+        for c in &stream {
+            index.insert(*c);
+        }
+        let got: Vec<u32> = index.into_ranked().iter().map(|c| c.id).collect();
+
+        let mut reference = stream.clone();
+        reference.sort_by_key(|c| (core::cmp::Reverse(c.age), c.id));
+        let want: Vec<u32> = reference[..64].iter().map(|c| c.id).collect();
+        assert_eq!(got, want);
     }
 
     #[test]

@@ -1,6 +1,9 @@
 //! The scheduled-event queue: event kinds, staleness filtering, and the
-//! handlers for departures, session toggles, offline timeouts and
-//! age-category boundaries.
+//! **cross-shard** handlers — departures and offline timeouts, the two
+//! kinds whose block write-offs reach owners in arbitrary shards and
+//! therefore run in the sequential phase of the round. The strictly
+//! shard-local kinds (session toggles, age-category advances, proactive
+//! ticks) are handled in [`super::shard`].
 //!
 //! Every event carries the `epoch` of the peer slot it was scheduled
 //! for; a mismatch at fire time means the slot was recycled (the peer
@@ -9,9 +12,8 @@
 //! run they were armed for, so a reconnection invalidates them without
 //! any queue surgery.
 
-use peerback_sim::{Round, SimRng};
+use peerback_sim::Round;
 
-use crate::age::AgeCategory;
 use crate::config::MaintenancePolicy;
 
 use super::hooks::WorldEvent;
@@ -65,16 +67,12 @@ pub(in crate::world) enum Event {
 }
 
 impl BackupWorld {
-    pub(in crate::world) fn handle_event(&mut self, event: Event, round: u64, rng: &mut SimRng) {
+    /// Handles one deferred cross-shard event (sequential phase).
+    pub(in crate::world) fn handle_deferred(&mut self, event: Event, round: u64) {
         match event {
             Event::Death { peer, epoch } => {
                 if self.peers[peer as usize].epoch == epoch {
-                    self.process_death(peer, round, rng);
-                }
-            }
-            Event::Toggle { peer, epoch } => {
-                if self.peers[peer as usize].epoch == epoch {
-                    self.process_toggle(peer, round, rng);
+                    self.process_death(peer, round);
                 }
             }
             Event::OfflineTimeout { peer, epoch, seq } => {
@@ -83,18 +81,8 @@ impl BackupWorld {
                     self.process_offline_timeout(peer, round);
                 }
             }
-            Event::CatAdvance { peer, epoch } => {
-                if self.peers[peer as usize].epoch == epoch {
-                    self.process_cat_advance(peer, round);
-                }
-            }
-            Event::ProactiveTick { peer, epoch } => {
-                if self.peers[peer as usize].epoch == epoch {
-                    self.schedule_proactive(peer, round);
-                    if self.peers[peer as usize].online {
-                        self.enqueue(peer);
-                    }
-                }
+            Event::Toggle { .. } | Event::CatAdvance { .. } | Event::ProactiveTick { .. } => {
+                unreachable!("shard-local events are handled in the parallel pass")
             }
         }
     }
@@ -102,7 +90,8 @@ impl BackupWorld {
     pub(in crate::world) fn schedule_proactive(&mut self, id: PeerId, round: u64) {
         if let MaintenancePolicy::Proactive { tick_rounds } = self.cfg.maintenance {
             let epoch = self.peers[id as usize].epoch;
-            self.wheel.schedule(
+            self.schedule_for(
+                id,
                 Round(round + tick_rounds),
                 Event::ProactiveTick { peer: id, epoch },
             );
@@ -115,12 +104,14 @@ impl BackupWorld {
         }
         let peer = &self.peers[id as usize];
         debug_assert!(!peer.online);
-        self.wheel.schedule(
+        let (epoch, seq) = (peer.epoch, peer.session_seq);
+        self.schedule_for(
+            id,
             Round(round + self.cfg.offline_timeout),
             Event::OfflineTimeout {
                 peer: id,
-                epoch: peer.epoch,
-                seq: peer.session_seq,
+                epoch,
+                seq,
             },
         );
     }
@@ -168,7 +159,7 @@ impl BackupWorld {
         }
     }
 
-    pub(in crate::world) fn process_death(&mut self, id: PeerId, round: u64, rng: &mut SimRng) {
+    pub(in crate::world) fn process_death(&mut self, id: PeerId, round: u64) {
         debug_assert!(self.peers[id as usize].observer.is_none());
         self.metrics.diag.departures += 1;
         if self.peers[id as usize].online {
@@ -202,53 +193,7 @@ impl BackupWorld {
         let peer = &mut self.peers[id as usize];
         peer.epoch = peer.epoch.wrapping_add(1);
         peer.session_seq = 0;
-        self.init_regular_peer(id, round, rng);
-    }
-
-    pub(in crate::world) fn process_toggle(&mut self, id: PeerId, round: u64, rng: &mut SimRng) {
-        self.metrics.diag.session_toggles += 1;
-        let going_online = !self.peers[id as usize].online;
-        {
-            let peer = &mut self.peers[id as usize];
-            peer.session_seq = peer.session_seq.wrapping_add(1);
-            if !going_online {
-                // Closing an online session: bank it in the ledger.
-                peer.online_accum += round.saturating_sub(peer.last_transition);
-            }
-            peer.last_transition = round;
-        }
-        self.set_online(id, going_online);
-
-        // Schedule the next transition.
-        let peer = &self.peers[id as usize];
-        let epoch = peer.epoch;
-        let sampler = self.samplers[peer.profile as usize];
-        let dur = if going_online {
-            sampler.online_duration(rng)
-        } else {
-            sampler.offline_duration(rng)
-        };
-        self.wheel
-            .schedule(Round(round + dur), Event::Toggle { peer: id, epoch });
-
-        if going_online {
-            // A peer that reconnects resumes its own pending work.
-            let peer = &self.peers[id as usize];
-            let needs_join = !peer.fully_joined();
-            let threshold_policy =
-                !matches!(self.cfg.maintenance, MaintenancePolicy::Proactive { .. });
-            let threshold = peer.threshold as u32;
-            let needs_repair = peer
-                .archives
-                .iter()
-                .any(|a| a.repairing || (threshold_policy && a.joined && a.present() < threshold));
-            if needs_join || needs_repair {
-                self.enqueue(id);
-            }
-        } else {
-            // Arm the write-off timer for this offline run.
-            self.schedule_offline_timeout(id, round);
-        }
+        self.init_regular_peer(id, round);
     }
 
     /// The peer has been unreachable for the whole threshold period: the
@@ -259,24 +204,5 @@ impl BackupWorld {
         }
         self.metrics.diag.partner_timeouts += 1;
         self.drop_hosted_blocks(id, round);
-    }
-
-    pub(in crate::world) fn process_cat_advance(&mut self, id: PeerId, round: u64) {
-        let peer = &self.peers[id as usize];
-        debug_assert!(peer.observer.is_none());
-        let age = peer.age_at(round);
-        let new_cat = AgeCategory::of_age(age);
-        let prev_cat = AgeCategory::of_age(age - 1);
-        debug_assert_ne!(new_cat, prev_cat, "boundary event off by one");
-        self.census[prev_cat.index()] -= 1;
-        self.census[new_cat.index()] += 1;
-        if let Some((_, next_age)) = new_cat.next_boundary() {
-            let epoch = peer.epoch;
-            let birth = peer.birth;
-            self.wheel.schedule(
-                Round(birth + next_age),
-                Event::CatAdvance { peer: id, epoch },
-            );
-        }
     }
 }

@@ -20,6 +20,17 @@
 //! * An archive is **lost** the instant `present < k`; the owner counts
 //!   one loss and rebuilds from its local copy (a fresh join).
 //!
+//! ## Sharding and the phased round
+//!
+//! The peer table is partitioned into a fixed number of **logical
+//! shards** (see [`shard`]); `SimConfig::shards` only sets how many
+//! worker threads execute the parallel phases, and same-seed results
+//! are bit-identical at every value. Each round runs as: population
+//! ramp → shard-local events (parallel) → cross-shard events
+//! (sequential, deterministic order) → partner-acquisition proposals
+//! against frozen state (parallel) → peer-id-ordered commit
+//! (sequential).
+//!
 //! ## Layout
 //!
 //! The module is split along the protocol's natural seams; this file
@@ -29,36 +40,44 @@
 //! * [`peers`] — the peer table: slots, epochs, archives, the online
 //!   index, population spawning, and structural snapshots.
 //! * [`events`] — the scheduled-event queue: event kinds, staleness
-//!   filtering, and the departure / session-toggle / offline-timeout /
-//!   category-advance handlers.
+//!   filtering, and the cross-shard departure / offline-timeout
+//!   handlers (shard-local kinds live in [`shard`]).
 //! * [`partners`] — partnership acquisition: the acceptance-gated
 //!   candidate pool and the partner/hosted bookkeeping it feeds.
 //! * [`repair`] — the repair-episode lifecycle: join, trigger, episode
 //!   continuation across rounds, loss accounting, and the maintenance
 //!   policies.
+//! * [`shard`] — the logical partition, per-shard state, and the
+//!   shard-local event handlers.
 
 mod events;
 mod hooks;
 mod partners;
 mod peers;
 mod repair;
+mod shard;
 
 #[cfg(test)]
 mod tests;
 
 use peerback_churn::SessionSampler;
-use peerback_sim::{Round, SimRng, TimingWheel, World};
+use peerback_sim::{derive_seed, Round, SimRng, TimingWheel, World};
+use rand::SeedableRng;
 
 use crate::age::AgeCategory;
-use crate::config::{MaintenancePolicy, SimConfig};
+use crate::config::SimConfig;
 use crate::metrics::{CategorySample, Metrics, ObserverSeries};
-use crate::select::Candidate;
 
 use events::Event;
 use peers::{ArchiveIdx, Peer};
+use shard::{ActionKind, Proposal, Scratch, ShardLane, ShardLayout};
 
 pub use hooks::{FabricObserver, WorldEvent};
 pub use peers::{ObserverState, PeerId, WorldSnapshot};
+
+/// Sub-seed stream offset for shard RNGs, so shard streams never
+/// collide with other derived streams of the same master seed.
+const SHARD_STREAM_BASE: u64 = 0x5ad_0000;
 
 /// The backup network world; implements [`peerback_sim::World`].
 pub struct BackupWorld {
@@ -68,26 +87,33 @@ pub struct BackupWorld {
     pub(in crate::world) peers: Vec<Peer>,
     /// Slots `0..observer_count` are observers.
     pub(in crate::world) observer_count: usize,
-    /// Online peers, for O(1) uniform candidate sampling.
-    pub(in crate::world) online_ids: Vec<PeerId>,
-    /// Position of each peer in `online_ids` (`OFFLINE` when offline).
+    /// The fixed logical partition of the slot space.
+    pub(in crate::world) layout: ShardLayout,
+    /// Worker threads for the parallel phases (`cfg.shards`, clamped).
+    pub(in crate::world) workers: usize,
+    /// Per-shard online peers, for O(1) uniform candidate sampling.
+    pub(in crate::world) online: Vec<Vec<PeerId>>,
+    /// Position of each peer in its shard's online list (`OFFLINE` when
+    /// offline).
     pub(in crate::world) online_pos: Vec<u32>,
-    pub(in crate::world) wheel: TimingWheel<Event>,
-    /// Peers waiting for activation next round.
-    pub(in crate::world) pending: Vec<PeerId>,
+    /// Per-shard timing-wheel segments.
+    pub(in crate::world) wheels: Vec<TimingWheel<Event>>,
+    /// Per-shard queues of peers waiting for activation.
+    pub(in crate::world) pendings: Vec<Vec<PeerId>>,
+    /// Per-shard RNG streams (forked from the run seed + shard index).
+    pub(in crate::world) rngs: Vec<SimRng>,
+    /// Per-shard buffers of deferred cross-shard events (reused).
+    pub(in crate::world) deferred: Vec<Vec<Event>>,
+    /// Per-worker pool-building scratch (execution-only state).
+    pub(in crate::world) scratch: Vec<Scratch>,
+    /// Scratch for the direct (white-box / single-call) pool path.
+    #[cfg(test)]
+    pub(in crate::world) direct_scratch: Scratch,
     /// Population census by age category (observers excluded).
     pub(in crate::world) census: [u64; AgeCategory::COUNT],
     /// Regular peers spawned so far (for the growth ramp).
     pub(in crate::world) spawned: usize,
     pub(in crate::world) metrics: Metrics,
-    // Reusable scratch buffers (hot path, no per-event allocation).
-    pub(in crate::world) event_buf: Vec<Event>,
-    pub(in crate::world) pool_buf: Vec<Candidate>,
-
-    /// Pool-dedup marks: `mark[p] == mark_tag` means "p is excluded from
-    /// the pool being built".
-    pub(in crate::world) mark: Vec<u32>,
-    pub(in crate::world) mark_tag: u32,
 
     /// Whether block-level events are recorded for a fabric observer.
     pub(in crate::world) record_events: bool,
@@ -114,22 +140,30 @@ impl BackupWorld {
             .collect();
         let observer_count = cfg.observers.len();
         let capacity = cfg.n_peers + observer_count;
+        let layout = ShardLayout::for_capacity(capacity);
+        let workers = cfg.shards.clamp(1, layout.count);
         BackupWorld {
             samplers,
             observer_count,
             peers: Vec::with_capacity(capacity),
-            online_ids: Vec::with_capacity(capacity),
+            layout,
+            workers,
+            online: (0..layout.count).map(|_| Vec::new()).collect(),
             online_pos: Vec::with_capacity(capacity),
-            wheel: TimingWheel::new(8192),
-            pending: Vec::new(),
+            wheels: (0..layout.count)
+                .map(|_| shard::new_shard_wheel())
+                .collect(),
+            pendings: (0..layout.count).map(|_| Vec::new()).collect(),
+            rngs: (0..layout.count)
+                .map(|s| SimRng::seed_from_u64(derive_seed(cfg.seed, SHARD_STREAM_BASE + s as u64)))
+                .collect(),
+            deferred: (0..layout.count).map(|_| Vec::new()).collect(),
+            scratch: Vec::new(),
+            #[cfg(test)]
+            direct_scratch: Scratch::default(),
             census: [0; 4],
             spawned: 0,
             metrics: Metrics::new(),
-            event_buf: Vec::new(),
-            pool_buf: Vec::new(),
-
-            mark: vec![0; capacity],
-            mark_tag: 0,
             record_events: false,
             event_log: Vec::new(),
             cfg,
@@ -175,56 +209,254 @@ impl BackupWorld {
     pub(in crate::world) fn k(&self) -> u32 {
         self.cfg.k as u32
     }
+
+    /// Schedules `event` for `id` on its shard's wheel segment.
+    pub(in crate::world) fn schedule_for(&mut self, id: PeerId, due: Round, event: Event) {
+        let s = self.layout.shard_of(id);
+        self.wheels[s].schedule(due, event);
+    }
+
+    /// Runs `f` with the shard RNG of `id` temporarily moved out, so
+    /// `f` may freely take `&mut self` alongside it.
+    pub(in crate::world) fn with_shard_rng<R>(
+        &mut self,
+        id: PeerId,
+        f: impl FnOnce(&mut Self, &mut SimRng) -> R,
+    ) -> R {
+        let s = self.layout.shard_of(id);
+        let mut rng = core::mem::replace(&mut self.rngs[s], SimRng::seed_from_u64(0));
+        let out = f(self, &mut rng);
+        self.rngs[s] = rng;
+        out
+    }
+
+    // ----- the phased round ------------------------------------------------
+
+    /// Phase 2: shard-local events, run on `workers` threads. Strictly
+    /// shard-local kinds (toggles, category advances, proactive ticks)
+    /// are handled here; deaths and offline timeouts are deferred.
+    fn run_local_events(&mut self, round: u64) {
+        let layout = self.layout;
+        let sz = layout.shard_size;
+        let cfg = &self.cfg;
+        let samplers = &self.samplers;
+        let mut lanes: Vec<ShardLane> = Vec::with_capacity(layout.count);
+        {
+            let mut peers_rest: &mut [Peer] = &mut self.peers;
+            let mut pos_rest: &mut [u32] = &mut self.online_pos;
+            let mut wheels = self.wheels.iter_mut();
+            let mut online = self.online.iter_mut();
+            let mut pendings = self.pendings.iter_mut();
+            let mut rngs = self.rngs.iter_mut();
+            for (s, deferred) in self.deferred.iter_mut().enumerate() {
+                let take = sz.min(peers_rest.len());
+                let (peers_chunk, rest) = peers_rest.split_at_mut(take);
+                peers_rest = rest;
+                let (pos_chunk, rest) = pos_rest.split_at_mut(take);
+                pos_rest = rest;
+                lanes.push(ShardLane {
+                    index: s,
+                    base: (s * sz) as PeerId,
+                    peers: peers_chunk,
+                    pos: pos_chunk,
+                    online: online.next().expect("online per shard"),
+                    wheel: wheels.next().expect("wheel per shard"),
+                    pending: pendings.next().expect("pending per shard"),
+                    rng: rngs.next().expect("rng per shard"),
+                    deferred: core::mem::take(deferred),
+                    toggles: 0,
+                    census_delta: [0; AgeCategory::COUNT],
+                });
+            }
+        }
+
+        let workers = self.workers.min(lanes.len()).max(1);
+        if workers == 1 {
+            let mut buf = Vec::new();
+            for lane in &mut lanes {
+                lane.run_local_events(round, cfg, samplers, &mut buf);
+            }
+        } else {
+            let per = lanes.len().div_ceil(workers);
+            std::thread::scope(|scope| {
+                for chunk in lanes.chunks_mut(per) {
+                    scope.spawn(move || {
+                        let mut buf = Vec::new();
+                        for lane in chunk {
+                            lane.run_local_events(round, cfg, samplers, &mut buf);
+                        }
+                    });
+                }
+            });
+        }
+
+        // Merge the per-shard deltas in shard order (deterministic).
+        for lane in lanes {
+            self.metrics.diag.session_toggles += lane.toggles;
+            for (c, &delta) in lane.census_delta.iter().enumerate() {
+                self.census[c] = (self.census[c] as i64 + delta) as u64;
+            }
+            self.deferred[lane.index] = lane.deferred;
+        }
+    }
+
+    /// Phase 3: deferred deaths and offline timeouts, applied
+    /// sequentially in shard order (their block drops reach owners in
+    /// arbitrary shards).
+    fn run_deferred_events(&mut self, round: u64) {
+        for s in 0..self.layout.count {
+            let mut events = core::mem::take(&mut self.deferred[s]);
+            for event in events.drain(..) {
+                self.handle_deferred(event, round);
+            }
+            self.deferred[s] = events;
+        }
+    }
+
+    /// Phase 4a: drains the per-shard pending queues into sorted actor
+    /// lists. Sorting per shard yields global peer-id order because
+    /// shard ranges are contiguous and visited in order.
+    fn drain_actors(&mut self) -> Vec<Vec<PeerId>> {
+        let mut actors = Vec::with_capacity(self.layout.count);
+        for s in 0..self.layout.count {
+            let mut pending = core::mem::take(&mut self.pendings[s]);
+            for &id in &pending {
+                self.peers[id as usize].queued = false;
+            }
+            // Offline owners activate nothing; reconnection re-enqueues
+            // them (stale entries for recycled slots simply act for the
+            // replacement peer, as the engine-driven path always did).
+            pending.retain(|&id| self.peers[id as usize].online);
+            pending.sort_unstable();
+            actors.push(pending);
+        }
+        actors
+    }
+
+    /// Phase 4b: builds candidate-pool proposals against the frozen
+    /// end-of-event-phase state, in parallel across shards.
+    fn build_proposals(&mut self, round: u64, actors: &[Vec<PeerId>]) -> Vec<Vec<Proposal>> {
+        let count = self.layout.count;
+        let workers = self.workers.min(count).max(1);
+        if self.scratch.len() < workers {
+            self.scratch.resize_with(workers, Scratch::default);
+        }
+        let mut rngs = core::mem::take(&mut self.rngs);
+        let mut scratch = core::mem::take(&mut self.scratch);
+        let mut proposals: Vec<Vec<Proposal>> = (0..count).map(|_| Vec::new()).collect();
+        // The online lists are frozen for the whole phase: one
+        // prefix-sum, installed in every worker's scratch.
+        let prefix = self.online_prefix();
+        scratch.iter_mut().for_each(|scr| scr.prefix = prefix);
+        {
+            let world: &BackupWorld = self;
+            if workers == 1 {
+                let scr = &mut scratch[0];
+                for s in 0..count {
+                    propose_shard(
+                        world,
+                        &actors[s],
+                        &mut rngs[s],
+                        scr,
+                        &mut proposals[s],
+                        round,
+                    );
+                }
+            } else {
+                let per = count.div_ceil(workers);
+                std::thread::scope(|scope| {
+                    let work = rngs
+                        .chunks_mut(per)
+                        .zip(proposals.chunks_mut(per))
+                        .zip(actors.chunks(per))
+                        .zip(scratch.iter_mut());
+                    for (((rng_chunk, prop_chunk), actor_chunk), scr) in work {
+                        scope.spawn(move || {
+                            for ((rng, out), ids) in rng_chunk
+                                .iter_mut()
+                                .zip(prop_chunk.iter_mut())
+                                .zip(actor_chunk)
+                            {
+                                propose_shard(world, ids, rng, scr, out, round);
+                            }
+                        });
+                    }
+                });
+            }
+        }
+        self.rngs = rngs;
+        self.scratch = scratch;
+        proposals
+    }
+
+    /// Phase 5: applies proposals sequentially in global peer-id order
+    /// (shard order × sorted actors), re-validating candidate quotas
+    /// that earlier commits may have filled.
+    fn commit_proposals(&mut self, round: u64, proposals: Vec<Vec<Proposal>>) {
+        for shard_proposals in proposals {
+            for p in shard_proposals {
+                match p.kind {
+                    ActionKind::Join => self.continue_join(p.owner, p.aidx, p.pool, p.d),
+                    ActionKind::Threshold => {
+                        let k_prime = self.peers[p.owner as usize].threshold as u32;
+                        if self.open_episode_if_triggered(p.owner, p.aidx, k_prime, round) {
+                            self.continue_episode(p.owner, p.aidx, p.pool, p.d);
+                        }
+                    }
+                    ActionKind::Proactive => {
+                        self.proactive_step(p.owner, p.aidx, round, p.pool, p.d);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Builds the proposals of one shard: pending owners in slot order,
+/// archives in index order, pools drawn from the shard's RNG stream.
+fn propose_shard(
+    world: &BackupWorld,
+    actors: &[PeerId],
+    rng: &mut SimRng,
+    scratch: &mut Scratch,
+    out: &mut Vec<Proposal>,
+    round: u64,
+) {
+    for &id in actors {
+        for aidx in 0..world.peers[id as usize].archives.len() {
+            let aidx = aidx as ArchiveIdx;
+            if let Some((kind, d)) = world.plan_archive(id, aidx) {
+                let pool = world.build_pool(scratch, rng, id, aidx, d, round);
+                out.push(Proposal {
+                    owner: id,
+                    aidx,
+                    kind,
+                    d,
+                    pool,
+                });
+            }
+        }
+    }
 }
 
 impl World for BackupWorld {
-    fn round_start(&mut self, round: Round, rng: &mut SimRng) {
-        self.ensure_population(round.index(), rng);
-        // Drain due events into a buffer first: the wheel cannot be
-        // borrowed while handlers mutate the world.
-        let mut events = core::mem::take(&mut self.event_buf);
-        events.clear();
-        self.wheel.advance(round, |e| events.push(e));
-        for event in events.drain(..) {
-            self.handle_event(event, round.index(), rng);
-        }
-        self.event_buf = events;
+    fn round_start(&mut self, round: Round, _rng: &mut SimRng) {
+        let r = round.index();
+        self.ensure_population(r);
+        self.run_local_events(r);
+        self.run_deferred_events(r);
+        let actors = self.drain_actors();
+        let proposals = self.build_proposals(r, &actors);
+        self.commit_proposals(r, proposals);
     }
 
-    fn collect_actors(&mut self, _round: Round, buf: &mut Vec<usize>) {
-        for id in self.pending.drain(..) {
-            let peer = &mut self.peers[id as usize];
-            peer.queued = false;
-            // Pack the epoch so stale queue entries self-invalidate.
-            buf.push(((peer.epoch as usize) << 32) | id as usize);
-        }
+    fn collect_actors(&mut self, _round: Round, _buf: &mut Vec<usize>) {
+        // The phased driver activates peers inside `round_start`; the
+        // engine's shuffle-and-activate loop has nothing left to do.
     }
 
-    fn activate(&mut self, round: Round, actor: usize, rng: &mut SimRng) {
-        let id = (actor & 0xffff_ffff) as PeerId;
-        let epoch = (actor >> 32) as u32;
-        let peer = &self.peers[id as usize];
-        if peer.epoch != epoch || !peer.online {
-            return; // departed or disconnected since it was queued
-        }
-        // Archives are handled independently (§4.1): one activation
-        // advances every archive that needs attention.
-        for aidx in 0..self.peers[id as usize].archives.len() {
-            let aidx = aidx as ArchiveIdx;
-            if !self.peers[id as usize].archives[aidx as usize].joined {
-                self.continue_join(id, aidx, round.index(), rng);
-                continue;
-            }
-            match self.cfg.maintenance {
-                MaintenancePolicy::Reactive { .. } | MaintenancePolicy::Adaptive { .. } => {
-                    let k_prime = self.peers[id as usize].threshold as u32;
-                    self.reactive_repair(id, aidx, k_prime, round.index(), rng);
-                }
-                MaintenancePolicy::Proactive { .. } => {
-                    self.proactive_repair(id, aidx, round.index(), rng);
-                }
-            }
-        }
+    fn activate(&mut self, _round: Round, _actor: usize, _rng: &mut SimRng) {
+        debug_assert!(false, "no actors are ever queued with the engine");
     }
 
     fn round_end(&mut self, round: Round, _rng: &mut SimRng) {

@@ -1,20 +1,52 @@
 //! Partnership acquisition: the acceptance-gated candidate pool and the
 //! partner ↔ hosted-block bookkeeping it feeds.
 //!
-//! Building a pool is the protocol's only O(candidates) operation, so it
-//! reuses two world-level scratch structures: `pool_buf` (the candidate
-//! vector) and the `mark`/`mark_tag` array, a generation-counted set
-//! that deduplicates candidates without clearing anything between pools.
+//! Acquisition is split along the proposal/commit seam of the sharded
+//! round (see [`super::shard`]):
+//!
+//! * [`BackupWorld::plan_archive`] decides — from owner-local state
+//!   only — whether an archive needs work this round and how many
+//!   partners `d` it wants.
+//! * [`BackupWorld::build_pool`] builds a **ranked** candidate pool
+//!   against frozen world state (`&self` + per-worker scratch + the
+//!   owner's shard RNG), so it can run in parallel across shards.
+//! * [`BackupWorld::attach_from_pool`] applies a ranked pool in the
+//!   sequential commit phase, re-checking each candidate's quota —
+//!   the one thing earlier same-round commits may have changed — and
+//!   attaching the first `d` still-valid entries.
+//!
+//! For [`SelectionStrategy::AgeBased`] the pool is built through the
+//! maintained age-ordered index ([`AgeOrderedIndex`]): candidates that
+//! cannot improve a full pool are screened out at one comparison each,
+//! *before* the acceptance test spends RNG draws on them; scanning
+//! stops once [`AGE_SCAN_MISS_BUDGET`] consecutive screens fail, and
+//! the pool needs no final shuffle-and-sort.
 
 use peerback_sim::SimRng;
 use rand::Rng;
 
 use crate::accept::accepts;
-use crate::select::Candidate;
+use crate::config::MaintenancePolicy;
+use crate::select::{AgeOrderedIndex, Candidate, SelectionStrategy};
 
 use super::hooks::WorldEvent;
 use super::peers::{ArchiveIdx, PeerId};
+use super::shard::{ActionKind, Scratch, MAX_SHARDS};
 use super::BackupWorld;
+
+/// Per-shard online-count prefix sums (see
+/// [`BackupWorld::online_prefix`]).
+pub(in crate::world) type OnlinePrefix = [usize; MAX_SHARDS + 1];
+
+/// How many *consecutive* age-screen rejections end the AgeBased
+/// post-fill scan. Once the pool is full, further sampling only pays
+/// off while genuinely older candidates keep turning up; a run of
+/// screen misses this long means the pool has converged on the old
+/// tail (or, in the join wave, that every candidate is an age tie) and
+/// the remaining budget would be pure overhead. The counter resets on
+/// every insertion, so age-diverse populations keep scanning.
+/// Deterministic: a pure function of the sampled candidate stream.
+const AGE_SCAN_MISS_BUDGET: u32 = 32;
 
 impl BackupWorld {
     /// The age another peer perceives for acceptance and ranking.
@@ -26,31 +58,95 @@ impl BackupWorld {
         }
     }
 
-    /// Builds an acceptance-gated pool and attaches up to `d` new
-    /// partners to `(owner_id, aidx)`. Returns how many were attached.
-    pub(in crate::world) fn acquire_partners(
-        &mut self,
+    /// Decides what protocol step archive `(id, aidx)` needs, and how
+    /// many partners `d` that step wants. Reads owner-local state only,
+    /// which no other shard mutates during the proposal phase; the
+    /// commit functions re-derive the same decision from live state.
+    pub(in crate::world) fn plan_archive(
+        &self,
+        id: PeerId,
+        aidx: ArchiveIdx,
+    ) -> Option<(ActionKind, u32)> {
+        let n = self.n_blocks();
+        let peer = &self.peers[id as usize];
+        let archive = &peer.archives[aidx as usize];
+        if !archive.joined {
+            return Some((ActionKind::Join, n - archive.present()));
+        }
+        let fresh_missing = n - archive.partners.len() as u32;
+        match self.cfg.maintenance {
+            MaintenancePolicy::Reactive { .. } | MaintenancePolicy::Adaptive { .. } => {
+                if archive.repairing {
+                    Some((ActionKind::Threshold, fresh_missing))
+                } else if archive.present() < peer.threshold as u32 {
+                    // Opening a refreshing episode re-places the whole
+                    // code word (the commit swaps partners to stale
+                    // first, so every fresh slot is open).
+                    let d = if self.cfg.refresh_on_repair {
+                        n
+                    } else {
+                        fresh_missing
+                    };
+                    Some((ActionKind::Threshold, d))
+                } else {
+                    None // stale trigger: a repair already covered it
+                }
+            }
+            MaintenancePolicy::Proactive { .. } => {
+                if archive.repairing || archive.present() < n {
+                    Some((ActionKind::Proactive, fresh_missing))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Prefix sums over the per-shard online lists: uniform global
+    /// sampling lands in shard `s` at local index `j - prefix[s]`.
+    /// The lists are frozen during the proposal phase, so the driver
+    /// computes this once per round and shares it across workers.
+    pub(in crate::world) fn online_prefix(&self) -> OnlinePrefix {
+        let mut prefix = [0usize; MAX_SHARDS + 1];
+        for (s, list) in self.online.iter().enumerate() {
+            prefix[s + 1] = prefix[s] + list.len();
+        }
+        prefix
+    }
+
+    /// Builds a ranked, acceptance-gated candidate pool for
+    /// `(owner_id, aidx)` against the current (frozen) world state.
+    /// `scratch.prefix` must be [`BackupWorld::online_prefix`] of that
+    /// state.
+    ///
+    /// The pool holds up to `pool_target_factor · d` candidates so the
+    /// commit phase can skip entries whose quota filled in the
+    /// meantime without voiding the step. Ranking: AgeBased pools come
+    /// out of the maintained age index already ordered; every other
+    /// strategy ranks via [`SelectionStrategy::choose`].
+    pub(in crate::world) fn build_pool(
+        &self,
+        scratch: &mut Scratch,
+        rng: &mut SimRng,
         owner_id: PeerId,
         aidx: ArchiveIdx,
         d: u32,
         round: u64,
-        rng: &mut SimRng,
-    ) -> u32 {
-        if d == 0 || self.online_ids.is_empty() {
-            return 0;
+    ) -> Vec<Candidate> {
+        let shard_count = self.layout.count;
+        let prefix = scratch.prefix;
+        let total_online = prefix[shard_count];
+        if d == 0 || total_online == 0 {
+            return Vec::new();
         }
+
         // Exclusion marks: self + this archive's current partners
         // (partners for *other* archives stay eligible, §4.1).
-        self.mark_tag = self.mark_tag.wrapping_add(1);
-        if self.mark_tag == 0 {
-            self.mark.iter_mut().for_each(|m| *m = 0);
-            self.mark_tag = 1;
-        }
-        let tag = self.mark_tag;
-        self.mark[owner_id as usize] = tag;
+        let tag = scratch.begin(self.peers.len());
+        scratch.mark[owner_id as usize] = tag;
         let archive = &self.peers[owner_id as usize].archives[aidx as usize];
         for &p in archive.partners.iter().chain(&archive.stale_partners) {
-            self.mark[p as usize] = tag;
+            scratch.mark[p as usize] = tag;
         }
 
         let owner_age = self.negotiation_age(owner_id, round);
@@ -58,14 +154,21 @@ impl BackupWorld {
         let quota = self.cfg.quota;
         let target = ((d as f64 * self.cfg.pool_target_factor).ceil() as usize).max(d as usize);
         let attempts = (d * self.cfg.pool_attempt_factor).max(16);
+        let mut index = (self.cfg.strategy == SelectionStrategy::AgeBased)
+            .then(|| AgeOrderedIndex::new(target));
+        let mut screen_misses = 0u32;
 
-        self.pool_buf.clear();
+        let mut pool: Vec<Candidate> = Vec::new();
         for _ in 0..attempts {
-            if self.pool_buf.len() >= target {
+            // The age-indexed path keeps scanning a full pool while the
+            // screen still finds improvements; the others stop once full.
+            if index.is_none() && pool.len() >= target {
                 break;
             }
-            let c = self.online_ids[rng.gen_range(0..self.online_ids.len())];
-            if self.mark[c as usize] == tag {
+            let j = rng.gen_range(0..total_online);
+            let shard = prefix[..=shard_count].partition_point(|&p| p <= j) - 1;
+            let c = self.online[shard][j - prefix[shard]];
+            if scratch.mark[c as usize] == tag {
                 continue;
             }
             let cand = &self.peers[c as usize];
@@ -73,6 +176,16 @@ impl BackupWorld {
                 continue;
             }
             let cand_age = cand.age_at(round);
+            if let Some(index) = &index {
+                if !index.admits(cand_age) {
+                    // Cannot improve a full pool: no acceptance draws.
+                    screen_misses += 1;
+                    if screen_misses >= AGE_SCAN_MISS_BUDGET {
+                        break; // the pool has converged on the old tail
+                    }
+                    continue;
+                }
+            }
             if self.cfg.acceptance_enabled {
                 // Owner-side test: does the owner accept this candidate?
                 if !accepts(rng, owner_age, cand_age, clamp) {
@@ -83,31 +196,83 @@ impl BackupWorld {
                     continue;
                 }
             }
-            self.mark[c as usize] = tag;
-            self.pool_buf.push(Candidate {
+            scratch.mark[c as usize] = tag;
+            let candidate = Candidate {
                 id: c,
                 age: cand_age,
-                uptime: self.peers[c as usize].uptime_at(round),
-                true_remaining: self.peers[c as usize].death.saturating_sub(round),
-            });
+                uptime: cand.uptime_at(round),
+                true_remaining: cand.death.saturating_sub(round),
+            };
+            match &mut index {
+                Some(index) => {
+                    index.insert(candidate);
+                    screen_misses = 0; // still finding improvements
+                }
+                None => pool.push(candidate),
+            }
         }
+        match index {
+            Some(index) => index.into_ranked(),
+            None => {
+                // Rank the whole pool (no truncation): the commit phase
+                // walks it in order and stops after `d` valid entries.
+                let len = pool.len();
+                self.cfg.strategy.choose(rng, &mut pool, len);
+                pool
+            }
+        }
+    }
 
-        let mut pool = core::mem::take(&mut self.pool_buf);
-        self.cfg.strategy.choose(rng, &mut pool, d as usize);
+    /// As [`BackupWorld::build_pool`], using the world's own scratch —
+    /// the direct path for single-call (white-box test) protocol steps.
+    #[cfg(test)]
+    pub(in crate::world) fn build_pool_direct(
+        &mut self,
+        rng: &mut SimRng,
+        owner_id: PeerId,
+        aidx: ArchiveIdx,
+        d: u32,
+        round: u64,
+    ) -> Vec<Candidate> {
+        let mut scratch = core::mem::take(&mut self.direct_scratch);
+        scratch.prefix = self.online_prefix();
+        let pool = self.build_pool(&mut scratch, rng, owner_id, aidx, d, round);
+        self.direct_scratch = scratch;
+        pool
+    }
+
+    /// Attaches up to `d` partners from a ranked pool to
+    /// `(owner_id, aidx)`, skipping candidates whose quota filled since
+    /// the pool was built (the only candidate state the sequential
+    /// commit phase can change). Returns how many were attached.
+    pub(in crate::world) fn attach_from_pool(
+        &mut self,
+        owner_id: PeerId,
+        aidx: ArchiveIdx,
+        d: u32,
+        pool: &[Candidate],
+    ) -> u32 {
+        let quota = self.cfg.quota;
         let owner_is_observer = self.peers[owner_id as usize].observer.is_some();
-        let attached = pool.len() as u32;
-        for cand in &pool {
-            self.peers[owner_id as usize].archives[aidx as usize]
-                .partners
-                .push(cand.id);
+        let mut attached = 0u32;
+        for cand in pool {
+            if attached == d {
+                break;
+            }
             let host = &mut self.peers[cand.id as usize];
+            if host.quota_used >= quota {
+                continue; // filled by an earlier commit this round
+            }
+            debug_assert!(host.online, "candidates cannot toggle mid-phase");
             host.hosted.push((owner_id, aidx));
             if !owner_is_observer {
                 host.quota_used += 1;
             }
+            self.peers[owner_id as usize].archives[aidx as usize]
+                .partners
+                .push(cand.id);
+            attached += 1;
         }
-        pool.clear();
-        self.pool_buf = pool;
         self.metrics.diag.blocks_uploaded += attached as u64;
         attached
     }

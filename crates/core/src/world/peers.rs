@@ -6,7 +6,7 @@
 //! scheduled events and queued activations can detect that they refer to
 //! a peer that no longer exists.
 
-use peerback_sim::{Round, SimRng};
+use peerback_sim::Round;
 
 use crate::age::AgeCategory;
 use crate::metrics::ObserverSeries;
@@ -220,7 +220,7 @@ impl BackupWorld {
     /// Coarse structural snapshot for diagnostics and tests.
     pub fn snapshot(&self) -> WorldSnapshot {
         let mut snap = WorldSnapshot {
-            online_count: self.online_ids.len(),
+            online_count: self.online.iter().map(Vec::len).sum(),
             ..WorldSnapshot::default()
         };
         let mut present_sum = 0u64;
@@ -283,7 +283,9 @@ impl BackupWorld {
     // ----- population lifecycle --------------------------------------------
 
     /// Spawns observers (round 0 only) and ramps the regular population.
-    pub(in crate::world) fn ensure_population(&mut self, round: u64, rng: &mut SimRng) {
+    /// Sequential: slot ids are handed out in order, so the per-shard
+    /// RNG draws happen in a fixed order at any worker count.
+    pub(in crate::world) fn ensure_population(&mut self, round: u64) {
         if round == 0 {
             for i in 0..self.observer_count {
                 self.spawn_observer(i as u8);
@@ -298,12 +300,9 @@ impl BackupWorld {
         while self.spawned < target {
             self.peers.push(Self::empty_peer());
             self.online_pos.push(OFFLINE);
-            if self.mark.len() < self.peers.len() {
-                self.mark.push(0);
-            }
             self.spawned += 1;
             let id = (self.peers.len() - 1) as PeerId;
-            self.init_regular_peer(id, round, rng);
+            self.init_regular_peer(id, round);
         }
     }
 
@@ -336,9 +335,6 @@ impl BackupWorld {
         peer.observer = Some(index);
         self.peers.push(peer);
         self.online_pos.push(OFFLINE);
-        if self.mark.len() < self.peers.len() {
-            self.mark.push(0);
-        }
         self.set_online(id, true);
         self.metrics.observers.push(ObserverSeries {
             name: self.cfg.observers[index as usize].name,
@@ -352,94 +348,129 @@ impl BackupWorld {
     }
 
     /// (Re)initialises a regular peer in its slot: samples profile,
-    /// lifetime and initial session, schedules its events.
-    pub(in crate::world) fn init_regular_peer(&mut self, id: PeerId, round: u64, rng: &mut SimRng) {
-        let profile_id = self.cfg.profiles.sample(rng);
-        let lifetime = self.cfg.profiles.profile(profile_id).lifetime.sample(rng);
-        let sampler = self.samplers[profile_id];
-        let online = sampler.initial_online(rng);
+    /// lifetime and initial session from the owning shard's RNG stream,
+    /// schedules its events on the shard's wheel segment.
+    pub(in crate::world) fn init_regular_peer(&mut self, id: PeerId, round: u64) {
+        self.with_shard_rng(id, |world, rng| {
+            let profile_id = world.cfg.profiles.sample(rng);
+            let lifetime = world.cfg.profiles.profile(profile_id).lifetime.sample(rng);
+            let sampler = world.samplers[profile_id];
+            let online = sampler.initial_online(rng);
 
-        let peer = &mut self.peers[id as usize];
-        peer.profile = profile_id as u8;
-        peer.threshold = self.cfg.maintenance.threshold().unwrap_or(0);
-        peer.birth = round;
-        peer.death = lifetime.map_or(u64::MAX, |l| round + l);
-        peer.observer = None;
-        peer.online = false; // set_online manages the index
-        peer.online_accum = 0;
-        peer.last_transition = round;
-        debug_assert!(peer.hosted.is_empty());
-        peer.archives
-            .resize_with(self.cfg.archives_per_peer as usize, ArchiveState::default);
-        peer.archives.iter_mut().for_each(ArchiveState::reset);
-        peer.quota_used = 0;
+            let peer = &mut world.peers[id as usize];
+            peer.profile = profile_id as u8;
+            peer.threshold = world.cfg.maintenance.threshold().unwrap_or(0);
+            peer.birth = round;
+            peer.death = lifetime.map_or(u64::MAX, |l| round + l);
+            peer.observer = None;
+            peer.online = false; // set_online manages the index
+            peer.online_accum = 0;
+            peer.last_transition = round;
+            debug_assert!(peer.hosted.is_empty());
+            peer.archives
+                .resize_with(world.cfg.archives_per_peer as usize, ArchiveState::default);
+            peer.archives.iter_mut().for_each(ArchiveState::reset);
+            peer.quota_used = 0;
 
-        let epoch = peer.epoch;
-        let death = peer.death;
-        self.census[AgeCategory::Newcomer.index()] += 1;
+            let epoch = peer.epoch;
+            let death = peer.death;
+            world.census[AgeCategory::Newcomer.index()] += 1;
 
-        if death != u64::MAX {
-            self.wheel
-                .schedule(Round(death), Event::Death { peer: id, epoch });
-        }
-        // First category boundary.
-        self.wheel.schedule(
-            Round(round + AgeCategory::BOUNDARIES[0]),
-            Event::CatAdvance { peer: id, epoch },
-        );
-        // Session process.
-        if sampler.always_online() {
-            self.set_online(id, true);
-        } else if sampler.always_offline() {
-            // Stays offline forever; it can never act.
-        } else if online {
-            self.set_online(id, true);
-            let dur = sampler.online_duration(rng);
-            self.wheel
-                .schedule(Round(round + dur), Event::Toggle { peer: id, epoch });
-        } else {
-            let dur = sampler.offline_duration(rng);
-            self.wheel
-                .schedule(Round(round + dur), Event::Toggle { peer: id, epoch });
-            // A freshly spawned offline peer is mid-way through an
-            // offline run; arm its write-off timer too (no-op before it
-            // hosts anything, but keeps the mechanism uniform).
-            self.schedule_offline_timeout(id, round);
-        }
-        self.schedule_proactive(id, round);
-        if self.peers[id as usize].online {
-            self.enqueue(id); // begin joining
-        }
+            if death != u64::MAX {
+                world.schedule_for(id, Round(death), Event::Death { peer: id, epoch });
+            }
+            // First category boundary.
+            world.schedule_for(
+                id,
+                Round(round + AgeCategory::BOUNDARIES[0]),
+                Event::CatAdvance { peer: id, epoch },
+            );
+            // Session process.
+            if sampler.always_online() {
+                world.set_online(id, true);
+            } else if sampler.always_offline() {
+                // Stays offline forever; it can never act.
+            } else if online {
+                world.set_online(id, true);
+                let dur = sampler.online_duration(rng);
+                world.schedule_for(id, Round(round + dur), Event::Toggle { peer: id, epoch });
+            } else {
+                let dur = sampler.offline_duration(rng);
+                world.schedule_for(id, Round(round + dur), Event::Toggle { peer: id, epoch });
+                // A freshly spawned offline peer is mid-way through an
+                // offline run; arm its write-off timer too (no-op before
+                // it hosts anything, but keeps the mechanism uniform).
+                world.schedule_offline_timeout(id, round);
+            }
+            world.schedule_proactive(id, round);
+            if world.peers[id as usize].online {
+                world.enqueue(id); // begin joining
+            }
+        });
     }
 
     // ----- online index and activation queue -------------------------------
 
+    /// Sets the peer's online flag, maintaining its shard's online
+    /// list (delegates to [`update_online_index`]).
     pub(in crate::world) fn set_online(&mut self, id: PeerId, online: bool) {
-        let peer = &mut self.peers[id as usize];
-        if peer.online == online {
-            return;
-        }
-        peer.online = online;
-        if online {
-            self.online_pos[id as usize] = self.online_ids.len() as u32;
-            self.online_ids.push(id);
-        } else {
-            let pos = self.online_pos[id as usize];
-            debug_assert_ne!(pos, OFFLINE);
-            let last = *self.online_ids.last().expect("online list not empty");
-            self.online_ids.swap_remove(pos as usize);
-            if last != id {
-                self.online_pos[last as usize] = pos;
-            }
-            self.online_pos[id as usize] = OFFLINE;
-        }
+        let shard = self.layout.shard_of(id);
+        update_online_index(
+            &mut self.peers[id as usize],
+            id,
+            &mut self.online[shard],
+            &mut self.online_pos,
+            0,
+            online,
+        );
     }
 
+    /// Queues the peer for activation (delegates to [`enqueue_pending`]).
     pub(in crate::world) fn enqueue(&mut self, id: PeerId) {
-        let peer = &mut self.peers[id as usize];
-        if !peer.queued {
-            peer.queued = true;
-            self.pending.push(id);
+        let shard = self.layout.shard_of(id);
+        enqueue_pending(&mut self.peers[id as usize], id, &mut self.pendings[shard]);
+    }
+}
+
+/// The one implementation of the online-index invariant, shared by the
+/// world-level path and the parallel shard lanes: flips `peer.online`,
+/// swap-removes from / pushes onto the shard's online `list`, and
+/// back-patches positions in `pos` (a slice of the global position
+/// table starting at peer id `pos_base` — the whole table for the
+/// world path, the shard's chunk for a lane).
+pub(in crate::world) fn update_online_index(
+    peer: &mut Peer,
+    id: PeerId,
+    list: &mut Vec<PeerId>,
+    pos: &mut [u32],
+    pos_base: PeerId,
+    online: bool,
+) {
+    if peer.online == online {
+        return;
+    }
+    peer.online = online;
+    if online {
+        pos[(id - pos_base) as usize] = list.len() as u32;
+        list.push(id);
+    } else {
+        let at = pos[(id - pos_base) as usize];
+        debug_assert_ne!(at, OFFLINE);
+        let last = *list.last().expect("online list not empty");
+        list.swap_remove(at as usize);
+        if last != id {
+            pos[(last - pos_base) as usize] = at;
         }
+        pos[(id - pos_base) as usize] = OFFLINE;
+    }
+}
+
+/// The one implementation of the pending-queue invariant (`queued`
+/// flag + per-shard queue), shared by the world-level path and the
+/// parallel shard lanes.
+pub(in crate::world) fn enqueue_pending(peer: &mut Peer, id: PeerId, pending: &mut Vec<PeerId>) {
+    if !peer.queued {
+        peer.queued = true;
+        pending.push(id);
     }
 }

@@ -8,10 +8,15 @@
 //! stays open (`ArchiveState::repairing`) and the owner re-enqueues
 //! itself, continuing — without paying the decode again — on its next
 //! online activation.
-
-use peerback_sim::SimRng;
+//!
+//! Every step takes the ranked pool built for it during the (possibly
+//! parallel) proposal phase, together with the `d` it was built for.
+//! The trigger logic always re-derives its decision from live state,
+//! which the proposal phase cannot have changed for owner-local fields
+//! — each step asserts that the pool's `d` still matches.
 
 use crate::config::MaintenancePolicy;
+use crate::select::Candidate;
 
 use super::hooks::WorldEvent;
 use super::peers::{ArchiveIdx, PeerId};
@@ -61,15 +66,16 @@ impl BackupWorld {
         &mut self,
         id: PeerId,
         aidx: ArchiveIdx,
-        round: u64,
-        rng: &mut SimRng,
+        pool: Vec<Candidate>,
+        built_for: u32,
     ) {
         let n = self.n_blocks();
         let d = n - self.peers[id as usize].archives[aidx as usize].present();
+        debug_assert_eq!(built_for, d, "join plan diverged from commit-time state");
         let before = self.peers[id as usize].archives[aidx as usize]
             .partners
             .len();
-        let attached = self.acquire_partners(id, aidx, d, round, rng);
+        let attached = self.attach_from_pool(id, aidx, d, &pool);
         self.emit_placements(id, aidx, before);
         let archive = &mut self.peers[id as usize].archives[aidx as usize];
         if archive.present() == n {
@@ -117,23 +123,46 @@ impl BackupWorld {
         }
     }
 
-    /// Reactive repair: trigger when `present < k'` (the paper's
-    /// `n − d < k'`), then top back up to `n`.
+    /// Reactive repair, single-call form: trigger check, pool sampling
+    /// and continuation in one step. White-box test entry point — the
+    /// round driver goes through [`BackupWorld::open_episode_if_triggered`]
+    /// with a proposal-phase pool instead.
+    #[cfg(test)]
     pub(in crate::world) fn reactive_repair(
         &mut self,
         id: PeerId,
         aidx: ArchiveIdx,
         k_prime: u32,
         round: u64,
-        rng: &mut SimRng,
+        rng: &mut peerback_sim::SimRng,
     ) {
+        if self.open_episode_if_triggered(id, aidx, k_prime, round) {
+            let d = self.n_blocks()
+                - self.peers[id as usize].archives[aidx as usize]
+                    .partners
+                    .len() as u32;
+            let pool = self.build_pool_direct(rng, id, aidx, d, round);
+            self.continue_episode(id, aidx, pool, d);
+        }
+    }
+
+    /// The threshold-policy trigger: opens an episode (with the refresh
+    /// swap) when `present < k'` and none is open. Returns whether an
+    /// episode is active — i.e. whether a continuation step should run.
+    pub(in crate::world) fn open_episode_if_triggered(
+        &mut self,
+        id: PeerId,
+        aidx: ArchiveIdx,
+        k_prime: u32,
+        round: u64,
+    ) -> bool {
         let (present, repairing) = {
             let a = &self.peers[id as usize].archives[aidx as usize];
             (a.present(), a.repairing)
         };
         if !repairing {
             if present >= k_prime {
-                return; // stale trigger (a repair already covered it)
+                return false; // stale trigger (a repair already covered it)
             }
             debug_assert!(present >= self.k(), "loss should have been recorded");
             self.begin_episode(id, aidx, round, self.cfg.refresh_on_repair);
@@ -146,7 +175,7 @@ impl BackupWorld {
                 core::mem::swap(&mut archive.partners, &mut archive.stale_partners);
             }
         }
-        self.continue_episode(id, aidx, round, rng);
+        true
     }
 
     /// Uploads replacement blocks until `n` *fresh* partners hold the
@@ -156,13 +185,14 @@ impl BackupWorld {
         &mut self,
         id: PeerId,
         aidx: ArchiveIdx,
-        round: u64,
-        rng: &mut SimRng,
+        pool: Vec<Candidate>,
+        built_for: u32,
     ) {
         let n = self.n_blocks();
         let d = n - self.peers[id as usize].archives[aidx as usize]
             .partners
             .len() as u32;
+        debug_assert_eq!(built_for, d, "episode plan diverged from commit-time state");
         if d == 0 {
             let archive = &mut self.peers[id as usize].archives[aidx as usize];
             debug_assert!(archive.stale_partners.is_empty());
@@ -179,7 +209,7 @@ impl BackupWorld {
         let before = self.peers[id as usize].archives[aidx as usize]
             .partners
             .len();
-        let attached = self.acquire_partners(id, aidx, d, round, rng);
+        let attached = self.attach_from_pool(id, aidx, d, &pool);
         // Displace one stale partner per block placed beyond `n`.
         let owner_is_observer = self.peers[id as usize].observer.is_some();
         while self.peers[id as usize].archives[aidx as usize].present() > n {
@@ -241,12 +271,13 @@ impl BackupWorld {
 
     /// Proactive maintenance: top one archive back up to `n` present
     /// blocks at every tick, without any threshold trigger.
-    pub(in crate::world) fn proactive_repair(
+    pub(in crate::world) fn proactive_step(
         &mut self,
         id: PeerId,
         aidx: ArchiveIdx,
         round: u64,
-        rng: &mut SimRng,
+        pool: Vec<Candidate>,
+        built_for: u32,
     ) {
         let (present, repairing) = {
             let a = &self.peers[id as usize].archives[aidx as usize];
@@ -259,6 +290,6 @@ impl BackupWorld {
             // Proactive ticks top up missing blocks only; no refresh.
             self.begin_episode(id, aidx, round, false);
         }
-        self.continue_episode(id, aidx, round, rng);
+        self.continue_episode(id, aidx, pool, built_for);
     }
 }

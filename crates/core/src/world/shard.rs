@@ -1,0 +1,453 @@
+//! Sharding: the fixed logical partition of the peer table and the
+//! per-shard state that makes intra-run parallelism deterministic.
+//!
+//! ## The determinism contract
+//!
+//! Same-seed runs must produce bit-identical [`Metrics`] and
+//! [`WorldEvent`] streams at **any** `SimConfig::shards` value. The knob
+//! therefore only chooses how many *worker threads* execute the round;
+//! everything with semantic weight is keyed to a **logical** partition
+//! that depends solely on the configured capacity:
+//!
+//! * The peer table is split into [`ShardLayout::count`] contiguous
+//!   slot ranges (`L = clamp(capacity / 64, 1, 64)`).
+//! * Each logical shard owns its own timing-wheel segment, online
+//!   index, pending-activation queue, and an RNG stream forked from the
+//!   run seed + the shard's index ([`peerback_sim::derive_seed`]).
+//! * Within a round, each phase visits shards in index order and peers
+//!   in slot order, so every shard stream sees a fixed draw sequence no
+//!   matter how many threads raced through the parallel phases.
+//!
+//! ## The phased round
+//!
+//! [`BackupWorld`](super::BackupWorld) executes one round as:
+//!
+//! 1. **Spawn** (sequential): population ramp; peer initialisation
+//!    draws from the owning shard's stream.
+//! 2. **Local events** (parallel): each shard advances its wheel
+//!    segment, sorts the due events by `(peer, kind)`, and handles the
+//!    strictly shard-local kinds — session toggles, age-category
+//!    advances, proactive ticks. Deaths and offline timeouts (the two
+//!    kinds that drop blocks on peers of *other* shards) are deferred.
+//! 3. **Cross-shard events** (sequential, shard order): deferred
+//!    deaths/timeouts run with full access to the world.
+//! 4. **Proposals** (parallel): pending owners build acceptance-gated
+//!    candidate pools against the *frozen* end-of-event-phase state,
+//!    drawing from their shard's stream.
+//! 5. **Commit** (sequential, peer-id order): proposals are re-validated
+//!    (quota may have filled) and applied; all [`WorldEvent`] emission
+//!    happens in the sequential phases, so the stream needs no merge.
+//!
+//! [`Metrics`]: crate::metrics::Metrics
+//! [`WorldEvent`]: super::hooks::WorldEvent
+
+use peerback_churn::SessionSampler;
+use peerback_sim::{Round, SimRng, TimingWheel};
+
+use crate::age::AgeCategory;
+use crate::config::SimConfig;
+use crate::select::Candidate;
+
+use super::events::Event;
+use super::peers::{ArchiveIdx, Peer, PeerId};
+
+/// Upper bound on logical shards (and therefore on useful worker
+/// threads).
+pub(in crate::world) const MAX_SHARDS: usize = 64;
+
+/// Minimum slots per logical shard; below this, extra shards would be
+/// bookkeeping without parallel work.
+const MIN_SHARD_SLOTS: usize = 64;
+
+/// Per-shard timing-wheel horizon (buckets). Events further out simply
+/// recirculate (one extra touch per lap).
+const SHARD_WHEEL_HORIZON: usize = 2048;
+
+/// The fixed logical partition of the peer-slot space.
+///
+/// A pure function of the configured capacity — never of the worker
+/// count — so that every `shards` setting sees the same partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(in crate::world) struct ShardLayout {
+    /// Number of logical shards.
+    pub(in crate::world) count: usize,
+    /// Slots per shard (the last shard may be short).
+    pub(in crate::world) shard_size: usize,
+}
+
+impl ShardLayout {
+    /// Computes the layout for a peer-slot capacity.
+    pub(in crate::world) fn for_capacity(capacity: usize) -> Self {
+        let count = (capacity / MIN_SHARD_SLOTS).clamp(1, MAX_SHARDS);
+        ShardLayout {
+            count,
+            shard_size: capacity.div_ceil(count).max(1),
+        }
+    }
+
+    /// The logical shard owning slot `id`.
+    #[inline]
+    pub(in crate::world) fn shard_of(&self, id: PeerId) -> usize {
+        (id as usize / self.shard_size).min(self.count - 1)
+    }
+}
+
+/// One proposed partner-acquisition step, computed against frozen state
+/// in the parallel proposal phase and applied in the sequential commit
+/// phase.
+#[derive(Debug)]
+pub(in crate::world) struct Proposal {
+    /// Owner of the archive needing work.
+    pub(in crate::world) owner: PeerId,
+    /// Archive index within the owner.
+    pub(in crate::world) aidx: ArchiveIdx,
+    /// What kind of protocol step the pool was built for.
+    pub(in crate::world) kind: ActionKind,
+    /// Partners needed when the pool was built (commit re-derives the
+    /// same value; kept for the drift assertion).
+    pub(in crate::world) d: u32,
+    /// Ranked candidate pool. Commit walks it in order and attaches the
+    /// first `d` still-valid entries, so earlier commits filling a
+    /// candidate's quota degrade the pool instead of voiding it.
+    pub(in crate::world) pool: Vec<Candidate>,
+}
+
+/// The protocol step a [`Proposal`] belongs to. The commit phase
+/// re-derives the trigger decision from live state (identical to the
+/// frozen state for owner-local fields) and asserts it matches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(in crate::world) enum ActionKind {
+    /// Initial upload of one archive.
+    Join,
+    /// Threshold-triggered repair (reactive or adaptive policy).
+    Threshold,
+    /// Proactive top-up tick.
+    Proactive,
+}
+
+/// Reusable per-worker scratch for pool building. Purely an execution
+/// buffer: its contents never influence results, so one instance per
+/// worker thread (not per logical shard) suffices.
+#[derive(Debug)]
+pub(in crate::world) struct Scratch {
+    /// Generation-counted exclusion set (`mark[p] == tag` ⇒ excluded).
+    pub(in crate::world) mark: Vec<u32>,
+    /// Current generation tag.
+    pub(in crate::world) tag: u32,
+    /// Cached online prefix sums for the current proposal phase (the
+    /// online lists are frozen while proposals run, so the driver
+    /// computes this once per round and installs it in every worker's
+    /// scratch; see `BackupWorld::online_prefix`).
+    pub(in crate::world) prefix: crate::world::partners::OnlinePrefix,
+}
+
+impl Default for Scratch {
+    fn default() -> Self {
+        Scratch {
+            mark: Vec::new(),
+            tag: 0,
+            prefix: [0; MAX_SHARDS + 1],
+        }
+    }
+}
+
+impl Scratch {
+    /// Starts a new exclusion generation sized for `slots` peers and
+    /// returns the fresh tag.
+    pub(in crate::world) fn begin(&mut self, slots: usize) -> u32 {
+        if self.mark.len() < slots {
+            self.mark.resize(slots, 0);
+        }
+        self.tag = self.tag.wrapping_add(1);
+        if self.tag == 0 {
+            self.mark.iter_mut().for_each(|m| *m = 0);
+            self.tag = 1;
+        }
+        self.tag
+    }
+}
+
+/// Deterministic ordering rank for events due in the same round on the
+/// same peer; see [`event_sort_key`].
+fn kind_rank(event: &Event) -> u8 {
+    match event {
+        Event::Toggle { .. } => 0,
+        Event::CatAdvance { .. } => 1,
+        Event::ProactiveTick { .. } => 2,
+        Event::Death { .. } => 3,
+        Event::OfflineTimeout { .. } => 4,
+    }
+}
+
+/// Total order on same-round events: by peer slot, then a fixed kind
+/// rank, then the timeout session sequence (several stale offline
+/// timeouts can share a round). The global wheel used to fire events in
+/// hash-bucket insertion order; a sorted order is what makes per-shard
+/// firing independent of how slots were interleaved at schedule time.
+pub(in crate::world) fn event_sort_key(event: &Event) -> (PeerId, u8, u32) {
+    let (peer, seq) = match *event {
+        Event::Death { peer, .. }
+        | Event::Toggle { peer, .. }
+        | Event::CatAdvance { peer, .. }
+        | Event::ProactiveTick { peer, .. } => (peer, 0),
+        Event::OfflineTimeout { peer, seq, .. } => (peer, seq),
+    };
+    (peer, kind_rank(event), seq)
+}
+
+/// Everything one logical shard owns mutably during the parallel local
+/// phases, plus the deltas it reports back for sequential merging.
+pub(in crate::world) struct ShardLane<'a> {
+    /// Index of this logical shard.
+    pub(in crate::world) index: usize,
+    /// First slot id of the shard's range.
+    pub(in crate::world) base: PeerId,
+    /// This shard's peer slots (`peers[base..]`, may be empty during
+    /// the growth ramp).
+    pub(in crate::world) peers: &'a mut [Peer],
+    /// This shard's slice of the global online-position table.
+    pub(in crate::world) pos: &'a mut [u32],
+    /// Online peers of this shard (order is part of the semantics: pool
+    /// sampling indexes into it).
+    pub(in crate::world) online: &'a mut Vec<PeerId>,
+    /// This shard's timing-wheel segment.
+    pub(in crate::world) wheel: &'a mut TimingWheel<Event>,
+    /// Peers of this shard awaiting activation.
+    pub(in crate::world) pending: &'a mut Vec<PeerId>,
+    /// This shard's RNG stream.
+    pub(in crate::world) rng: &'a mut SimRng,
+    /// Deaths and offline timeouts deferred to the sequential pass, in
+    /// sorted order.
+    pub(in crate::world) deferred: Vec<Event>,
+    /// Session toggles processed (merged into `Diagnostics`).
+    pub(in crate::world) toggles: u64,
+    /// Census movement between age categories.
+    pub(in crate::world) census_delta: [i64; AgeCategory::COUNT],
+}
+
+impl ShardLane<'_> {
+    #[inline]
+    fn local(&mut self, id: PeerId) -> &mut Peer {
+        &mut self.peers[(id - self.base) as usize]
+    }
+
+    /// Shard-local entry to the shared online-index invariant.
+    fn set_online(&mut self, id: PeerId, online: bool) {
+        let base = self.base;
+        super::peers::update_online_index(
+            &mut self.peers[(id - base) as usize],
+            id,
+            self.online,
+            self.pos,
+            base,
+            online,
+        );
+    }
+
+    /// Shard-local entry to the shared pending-queue invariant.
+    fn enqueue(&mut self, id: PeerId) {
+        let base = self.base;
+        super::peers::enqueue_pending(&mut self.peers[(id - base) as usize], id, self.pending);
+    }
+
+    /// Runs the shard-local half of the event phase for `round`: fires
+    /// the wheel segment, sorts the due events, handles the local
+    /// kinds, and defers deaths/timeouts.
+    pub(in crate::world) fn run_local_events(
+        &mut self,
+        round: u64,
+        cfg: &SimConfig,
+        samplers: &[SessionSampler],
+        buf: &mut Vec<Event>,
+    ) {
+        buf.clear();
+        self.wheel.advance(Round(round), |e| buf.push(e));
+        buf.sort_unstable_by_key(event_sort_key);
+        for event in buf.drain(..) {
+            match event {
+                Event::Toggle { peer, epoch } => {
+                    if self.local(peer).epoch == epoch {
+                        self.process_toggle(peer, round, cfg, samplers);
+                    }
+                }
+                Event::CatAdvance { peer, epoch } => {
+                    if self.local(peer).epoch == epoch {
+                        self.process_cat_advance(peer, round);
+                    }
+                }
+                Event::ProactiveTick { peer, epoch } => {
+                    if self.local(peer).epoch == epoch {
+                        self.process_proactive_tick(peer, round, cfg);
+                    }
+                }
+                Event::Death { .. } | Event::OfflineTimeout { .. } => {
+                    // Cross-shard write paths (dropping hosted blocks
+                    // touches owners anywhere): deferred to the
+                    // sequential pass. Validity is checked there.
+                    self.deferred.push(event);
+                }
+            }
+        }
+    }
+
+    /// Session flip (§3.2 availability process). Strictly shard-local:
+    /// the peer's own state, this shard's online index and wheel.
+    fn process_toggle(
+        &mut self,
+        id: PeerId,
+        round: u64,
+        cfg: &SimConfig,
+        samplers: &[SessionSampler],
+    ) {
+        self.toggles += 1;
+        let going_online = !self.local(id).online;
+        {
+            let peer = self.local(id);
+            peer.session_seq = peer.session_seq.wrapping_add(1);
+            if !going_online {
+                // Closing an online session: bank it in the ledger.
+                peer.online_accum += round.saturating_sub(peer.last_transition);
+            }
+            peer.last_transition = round;
+        }
+        self.set_online(id, going_online);
+
+        // Schedule the next transition.
+        let peer = self.local(id);
+        let epoch = peer.epoch;
+        let sampler = samplers[peer.profile as usize];
+        let dur = if going_online {
+            sampler.online_duration(self.rng)
+        } else {
+            sampler.offline_duration(self.rng)
+        };
+        self.wheel
+            .schedule(Round(round + dur), Event::Toggle { peer: id, epoch });
+
+        if going_online {
+            // A peer that reconnects resumes its own pending work.
+            let threshold_policy = !matches!(
+                cfg.maintenance,
+                crate::config::MaintenancePolicy::Proactive { .. }
+            );
+            let peer = self.local(id);
+            let needs_join = !peer.fully_joined();
+            let threshold = peer.threshold as u32;
+            let needs_repair = peer
+                .archives
+                .iter()
+                .any(|a| a.repairing || (threshold_policy && a.joined && a.present() < threshold));
+            if needs_join || needs_repair {
+                self.enqueue(id);
+            }
+        } else if cfg.offline_timeout > 0 {
+            // Arm the write-off timer for this offline run.
+            let peer = self.local(id);
+            let (epoch, seq) = (peer.epoch, peer.session_seq);
+            self.wheel.schedule(
+                Round(round + cfg.offline_timeout),
+                Event::OfflineTimeout {
+                    peer: id,
+                    epoch,
+                    seq,
+                },
+            );
+        }
+    }
+
+    /// Age-category boundary crossing: census delta + next boundary.
+    fn process_cat_advance(&mut self, id: PeerId, round: u64) {
+        let peer = self.local(id);
+        debug_assert!(peer.observer.is_none());
+        let age = peer.age_at(round);
+        let (epoch, birth) = (peer.epoch, peer.birth);
+        let new_cat = AgeCategory::of_age(age);
+        let prev_cat = AgeCategory::of_age(age - 1);
+        debug_assert_ne!(new_cat, prev_cat, "boundary event off by one");
+        self.census_delta[prev_cat.index()] -= 1;
+        self.census_delta[new_cat.index()] += 1;
+        if let Some((_, next_age)) = new_cat.next_boundary() {
+            self.wheel.schedule(
+                Round(birth + next_age),
+                Event::CatAdvance { peer: id, epoch },
+            );
+        }
+    }
+
+    /// Proactive-maintenance tick: reschedule and wake the owner.
+    fn process_proactive_tick(&mut self, id: PeerId, round: u64, cfg: &SimConfig) {
+        if let crate::config::MaintenancePolicy::Proactive { tick_rounds } = cfg.maintenance {
+            let epoch = self.local(id).epoch;
+            self.wheel.schedule(
+                Round(round + tick_rounds),
+                Event::ProactiveTick { peer: id, epoch },
+            );
+            if self.local(id).online {
+                self.enqueue(id);
+            }
+        }
+    }
+}
+
+/// Builds a fresh per-shard timing wheel.
+pub(in crate::world) fn new_shard_wheel() -> TimingWheel<Event> {
+    TimingWheel::new(SHARD_WHEEL_HORIZON)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_is_a_pure_function_of_capacity() {
+        let a = ShardLayout::for_capacity(25_000);
+        let b = ShardLayout::for_capacity(25_000);
+        assert_eq!(a, b);
+        assert!(a.count <= MAX_SHARDS);
+    }
+
+    #[test]
+    fn small_capacities_collapse_to_one_shard() {
+        for cap in [1, 2, 63, 64, 100] {
+            let l = ShardLayout::for_capacity(cap);
+            assert_eq!(l.count, 1, "capacity {cap}");
+            assert!(l.shard_size >= cap);
+        }
+    }
+
+    #[test]
+    fn ranges_are_contiguous_and_cover_every_slot() {
+        for cap in [65, 200, 1000, 4096, 100_000, 1_000_000] {
+            let l = ShardLayout::for_capacity(cap);
+            assert!(l.count >= 1 && l.count <= MAX_SHARDS);
+            assert!(l.shard_size * l.count >= cap, "capacity {cap} uncovered");
+            let mut prev = l.shard_of(0);
+            assert_eq!(prev, 0);
+            for id in 1..cap as PeerId {
+                let s = l.shard_of(id);
+                assert!(s == prev || s == prev + 1, "gap at slot {id}");
+                prev = s;
+            }
+            assert_eq!(prev, l.count - 1, "last shard unused at {cap}");
+        }
+    }
+
+    #[test]
+    fn shard_of_is_monotone_in_id() {
+        let l = ShardLayout::for_capacity(10_000);
+        for id in 1..10_000u32 {
+            assert!(l.shard_of(id) >= l.shard_of(id - 1));
+        }
+    }
+
+    #[test]
+    fn scratch_generation_survives_tag_wrap() {
+        let mut s = Scratch::default();
+        let t1 = s.begin(8);
+        s.mark[3] = t1;
+        s.tag = u32::MAX; // force the wrap on the next begin
+        let t2 = s.begin(8);
+        assert_eq!(t2, 1);
+        assert!(s.mark.iter().all(|&m| m != t2), "stale mark leaked");
+    }
+}

@@ -5,6 +5,7 @@ use peerback_sim::{sim_rng, Engine};
 
 use super::peers::ArchiveIdx;
 use super::*;
+use crate::config::MaintenancePolicy;
 use crate::select::SelectionStrategy;
 
 /// A small but fully functional configuration: 60 peers, 8+8 blocks.
@@ -819,6 +820,174 @@ fn event_stream_replays_to_a_consistent_mirror() {
     // The placed/dropped ledger must balance against live blocks.
     let live: u64 = observer.held.values().map(|s| s.len() as u64).sum();
     assert_eq!(observer.placements - observer.drops, live);
+}
+
+// ----- sharding: determinism and shard-boundary behaviour -------------------
+
+/// A config big enough to split into several logical shards (the
+/// layout gives one shard per 64 slots).
+fn sharded_config(peers: usize, rounds: u64, seed: u64) -> SimConfig {
+    let mut cfg = SimConfig::paper(peers, rounds, seed);
+    cfg.k = 8;
+    cfg.m = 8;
+    cfg.quota = 48;
+    cfg.maintenance = MaintenancePolicy::Reactive { threshold: 10 };
+    cfg
+}
+
+/// Runs a config to completion, recording the full event stream.
+fn run_recorded(cfg: SimConfig) -> (Metrics, Vec<WorldEvent>) {
+    struct Collector(Vec<WorldEvent>);
+    impl FabricObserver for Collector {
+        fn on_world_event(&mut self, _world: &BackupWorld, event: &WorldEvent) {
+            self.0.push(event.clone());
+        }
+    }
+    let rounds = cfg.rounds;
+    let seed = cfg.seed;
+    let mut world = BackupWorld::new(cfg);
+    world.set_event_recording(true);
+    let mut engine = Engine::new(seed);
+    let mut collector = Collector(Vec::new());
+    for _ in 0..rounds {
+        engine.step(&mut world);
+        world.dispatch_events(&mut collector);
+    }
+    (world.into_metrics(), collector.0)
+}
+
+#[test]
+fn sharded_runs_are_bit_identical_across_shard_counts() {
+    // The tentpole contract: `shards` is an execution knob only. The
+    // population must actually split into several logical shards for
+    // the worker threads to have distinct work.
+    let base = sharded_config(600, 400, 9).with_paper_observers();
+    {
+        let world = BackupWorld::new(base.clone());
+        assert!(
+            world.layout.count >= 8,
+            "test population too small to exercise sharding ({} shards)",
+            world.layout.count
+        );
+    }
+    let (m1, e1) = run_recorded(base.clone().with_shards(1));
+    let (m2, e2) = run_recorded(base.clone().with_shards(2));
+    let (m8, e8) = run_recorded(base.with_shards(8));
+    assert!(m1.total_repairs() > 0, "run too quiet to be meaningful");
+    assert!(!e1.is_empty());
+    assert_eq!(m1, m2, "metrics diverged between 1 and 2 workers");
+    assert_eq!(m1, m8, "metrics diverged between 1 and 8 workers");
+    assert_eq!(e1, e2, "event streams diverged between 1 and 2 workers");
+    assert_eq!(e1, e8, "event streams diverged between 1 and 8 workers");
+}
+
+#[test]
+fn oversized_shard_counts_clamp_and_still_match() {
+    let base = sharded_config(200, 200, 5);
+    let (m1, e1) = run_recorded(base.clone());
+    let (mx, ex) = run_recorded(base.with_shards(4096));
+    assert_eq!(m1, mx);
+    assert_eq!(e1, ex);
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::test_runner::ProptestConfig::with_cases(6))]
+
+    /// The commit phase applies partner acquisitions in global peer-id
+    /// order, whatever the worker count: within every round, the
+    /// `BlocksPlaced` subsequence is sorted by `(owner, archive)`.
+    #[test]
+    fn placements_commit_in_peer_id_order(
+        seed in proptest::strategy::any::<u64>(),
+        peers in 150usize..400,
+        shards in 1usize..9,
+        archives in 1u16..3,
+    ) {
+        let mut cfg = SimConfig::paper(peers, 50, seed);
+        cfg.k = 4;
+        cfg.m = 4;
+        cfg.quota = 24 * archives as u32;
+        cfg.archives_per_peer = archives;
+        cfg.maintenance = MaintenancePolicy::Reactive { threshold: 5 };
+        cfg.shards = shards;
+        let rounds = cfg.rounds;
+        let mut world = BackupWorld::new(cfg);
+        world.set_event_recording(true);
+        let mut engine = Engine::new(seed);
+        struct OrderCheck {
+            last: Option<(PeerId, u8)>,
+            placements: u64,
+        }
+        impl FabricObserver for OrderCheck {
+            fn on_world_event(&mut self, _world: &BackupWorld, event: &WorldEvent) {
+                if let WorldEvent::BlocksPlaced { owner, archive, .. } = event {
+                    let key = (*owner, *archive);
+                    if let Some(last) = self.last {
+                        assert!(
+                            last < key,
+                            "placement for {key:?} committed after {last:?}"
+                        );
+                    }
+                    self.last = Some(key);
+                    self.placements += 1;
+                }
+            }
+        }
+        for _ in 0..rounds {
+            engine.step(&mut world);
+            let mut check = OrderCheck { last: None, placements: 0 };
+            world.dispatch_events(&mut check);
+        }
+        let placed = world.metrics.diag.blocks_uploaded;
+        proptest::prop_assert!(placed > 0, "no placements at all");
+    }
+}
+
+#[test]
+fn cross_shard_episode_records_the_loss_exactly_once() {
+    // An archive whose owner and hosts live in different logical shards
+    // loses blocks through the cross-shard write-off path; dropping it
+    // below `k` must record exactly one loss and clean every shard up.
+    let cfg = sharded_config(300, 120, 33);
+    let mut world = BackupWorld::new(cfg);
+    let mut engine = Engine::new(33);
+    let owner = run_until_joined_owner(&mut world, &mut engine);
+    let round = engine.current_round().index();
+
+    let owner_shard = world.layout.shard_of(owner);
+    let partner_shards: std::collections::BTreeSet<usize> = world.peers[owner as usize].archives[0]
+        .partners
+        .iter()
+        .map(|&p| world.layout.shard_of(p))
+        .collect();
+    assert!(
+        world.layout.count >= 4,
+        "population too small for the scenario"
+    );
+    assert!(
+        partner_shards.len() >= 2 && partner_shards.iter().any(|&s| s != owner_shard),
+        "partners all landed in the owner's shard; pick another seed"
+    );
+
+    let k = world.k();
+    let losses_before = world.peers[owner as usize].losses;
+    while world.peers[owner as usize].archives[0].present() >= k {
+        let host = world.peers[owner as usize].archives[0].partners[0];
+        world.drop_hosted_blocks(host, round);
+    }
+    assert_eq!(
+        world.peers[owner as usize].losses,
+        losses_before + 1,
+        "cross-shard loss must be counted exactly once"
+    );
+    // Every shard released its hosted entries for the lost archive.
+    for (i, p) in world.peers.iter().enumerate() {
+        assert!(
+            !p.hosted.iter().any(|&(o, _)| o == owner),
+            "peer {i} (shard {}) still hosts a block of the lost archive",
+            world.layout.shard_of(i as PeerId)
+        );
+    }
 }
 
 #[test]

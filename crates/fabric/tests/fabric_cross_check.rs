@@ -142,6 +142,33 @@ fn fabric_runs_are_deterministic_under_a_fixed_seed() {
 }
 
 #[test]
+fn sharded_fabric_replay_is_identical_and_audits_cleanly() {
+    // The simulator's determinism contract extends through the byte
+    // plane: the fabric replays the same event stream whatever the
+    // worker count, so every byte-level counter matches too. A larger
+    // population than the other tests so the peer table actually splits
+    // into several logical shards.
+    let mk = |shards: usize| {
+        let mut cfg = SimConfig::paper(300, 80, 21);
+        cfg.k = 4;
+        cfg.m = 4;
+        cfg.quota = 24;
+        cfg.maintenance = MaintenancePolicy::Reactive { threshold: 5 };
+        cfg.shards = shards;
+        run_fabric(cfg, FabricConfig::default()).expect("valid configs")
+    };
+    let single = mk(1);
+    let sharded = mk(4);
+    assert!(single.stats.transfers_attempted > 100);
+    assert_eq!(single.audit.mismatches, 0, "{:?}", single.audit.notes);
+    assert_eq!(sharded.audit.mismatches, 0, "{:?}", sharded.audit.notes);
+    assert_eq!(single.metrics, sharded.metrics);
+    assert_eq!(single.stats, sharded.stats);
+    assert_eq!(single.audit, sharded.audit);
+    assert_eq!(single.losses, sharded.losses);
+}
+
+#[test]
 fn adaptive_and_proactive_policies_also_cross_check_cleanly() {
     for maintenance in [
         MaintenancePolicy::Adaptive {

@@ -47,6 +47,17 @@ fn same_seed_is_bit_identical_different_seed_is_not() {
 }
 
 #[test]
+fn sharded_execution_is_bit_identical_to_single_threaded() {
+    // `SimConfig::shards` is an execution knob only: worker threads
+    // split the fixed logical shards, and the whole `Metrics` struct —
+    // time series and restorability floats included — is equal.
+    let single = run_simulation(small_config(400, 2_000, 17));
+    let sharded = run_simulation(small_config(400, 2_000, 17).with_shards(8));
+    assert_eq!(single, sharded);
+    assert!(single.total_repairs() > 0, "run too quiet to be meaningful");
+}
+
+#[test]
 fn repair_cost_stratifies_by_age() {
     // The paper's headline: newcomers repair far more often than old
     // peers (Figure 1's vertical ordering).
