@@ -4,7 +4,7 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use peerback_core::select::AgeOrderedIndex;
 use peerback_core::{acceptance_probability, accepts, Candidate, SelectionStrategy};
-use peerback_sim::sim_rng;
+use peerback_sim::{sim_rng, HierarchicalWheel, Round, TimingWheel};
 use rand::Rng;
 
 fn acceptance(c: &mut Criterion) {
@@ -149,5 +149,72 @@ fn age_pool_build(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, acceptance, selection, age_pool_build);
+/// The shard-wheel kernel: schedule peer lifetimes spanning multiple
+/// simulated years, then advance a 4096-round window — the workload
+/// where the old flat 2048-bucket wheel recirculates every far event
+/// once per lap while the two-level hierarchy touches it at most twice
+/// (cascade + fire). The printed touch count is the hierarchy's own
+/// diagnostic ([`HierarchicalWheel::touches`]); the flat wheel's
+/// equivalent is `Σ due/2048` extra touches over the same window.
+fn wheel_touches(c: &mut Criterion) {
+    const EVENTS: u64 = 4096;
+    const SPAN: u64 = 105_000; // ~12 simulated years of lifetimes
+    const WINDOW: u64 = 4096; // rounds advanced per iteration
+    let dues: Vec<u64> = (0..EVENTS)
+        .map(|i| i.wrapping_mul(2654435761) % SPAN + 1)
+        .collect();
+
+    // One-shot touch-count report (not a timing): how often each wheel
+    // examines the far events while sweeping the window.
+    let mut hier: HierarchicalWheel<u64> = HierarchicalWheel::new(512, 512);
+    for &d in &dues {
+        hier.schedule(Round(d), d);
+    }
+    for r in 0..=WINDOW {
+        hier.advance(Round(r), |_| {});
+    }
+    let flat_touches: u64 = dues.iter().map(|d| d.min(&WINDOW) / 2048 + 1).sum();
+    println!(
+        "wheel_touches: {EVENTS} events over {WINDOW} rounds -> hierarchical {} touches, \
+         flat-2048 {flat_touches} touches",
+        hier.touches()
+    );
+
+    let mut group = c.benchmark_group("wheel_touches");
+    group.bench_function("flat_2048_advance_4096", |b| {
+        b.iter(|| {
+            let mut w: TimingWheel<u64> = TimingWheel::new(2048);
+            for &d in &dues {
+                w.schedule(Round(d), d);
+            }
+            let mut fired = 0u32;
+            for r in 0..=WINDOW {
+                w.advance(Round(r), |_| fired += 1);
+            }
+            black_box(fired)
+        })
+    });
+    group.bench_function("hier_512x512_advance_4096", |b| {
+        b.iter(|| {
+            let mut w: HierarchicalWheel<u64> = HierarchicalWheel::new(512, 512);
+            for &d in &dues {
+                w.schedule(Round(d), d);
+            }
+            let mut fired = 0u32;
+            for r in 0..=WINDOW {
+                w.advance(Round(r), |_| fired += 1);
+            }
+            black_box(fired)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    acceptance,
+    selection,
+    age_pool_build,
+    wheel_touches
+);
 criterion_main!(benches);

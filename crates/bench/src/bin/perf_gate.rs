@@ -91,8 +91,48 @@ fn parse_check(args: &[String]) -> Result<CheckArgs, String> {
     })
 }
 
+/// Reads an optional numeric field (absent key is not an error).
+fn read_optional_field(path: &str, key: &str) -> Result<Option<f64>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    Ok(extract_f64(&text, key))
+}
+
 fn run_check(args: &[String]) -> Result<ExitCode, String> {
     let args = parse_check(args)?;
+
+    // Elapsed-time comparisons across differing CPU counts are
+    // meaningless (the committed 1-CPU dev-container baseline once made
+    // the thresholds unreachable on CI runners): refuse them.
+    let base_cpus = read_optional_field(&args.baseline, "host_cpus")?;
+    let sample_cpus = read_optional_field(&args.samples[0], "host_cpus")?;
+    match (base_cpus, sample_cpus) {
+        (Some(b), Some(s)) if b != s => {
+            println!(
+                "::warning::perf baseline was recorded on a {b:.0}-CPU host but this runner has \
+                 {s:.0} CPUs — refusing the comparison. Refresh {} from this run's artifact \
+                 (it records host_cpus) to re-arm the gate.",
+                args.baseline
+            );
+            return Ok(ExitCode::SUCCESS);
+        }
+        (Some(b), None) => {
+            println!(
+                "::warning::perf samples record no host_cpus (stale probe binary?) but the \
+                 baseline was pinned to a {b:.0}-CPU host — refusing the comparison. Rebuild \
+                 the probes so samples carry host_cpus."
+            );
+            return Ok(ExitCode::SUCCESS);
+        }
+        (None, _) => {
+            println!(
+                "::warning::perf baseline {} records no host_cpus field; comparing anyway — \
+                 refresh it to get the cross-host guard",
+                args.baseline
+            );
+        }
+        _ => {}
+    }
+
     let base = read_field(&args.baseline, "median_elapsed_secs")?;
     let timings: Vec<f64> = args
         .samples
@@ -196,7 +236,9 @@ const USAGE: &str = "\
 usage: perf_gate <subcommand> [options]
   check   --baseline FILE [--warn-pct P] [--fail-pct P] SAMPLE.json...
           median(SAMPLE elapsed_secs) vs the baseline's median_elapsed_secs;
-          ::warning:: at +10%, non-zero exit (::error::) at +25%
+          ::warning:: at +10%, non-zero exit (::error::) at +25%.
+          Refuses (exit 0 + ::warning::) when the baseline's host_cpus
+          differs from the samples' — cross-host timings don't compare.
   speedup [--min-ratio R] --single FILE... --sharded FILE...
           require median(single elapsed) / median(sharded elapsed) >= R
           (default 2.0); a warning instead of a failure on <4-CPU hosts";
@@ -239,6 +281,40 @@ mod tests {
         assert_eq!(median(vec![3.0, 1.0, 2.0]), 2.0);
         assert_eq!(median(vec![4.0, 1.0, 2.0, 3.0]), 2.5);
         assert_eq!(median(vec![7.0]), 7.0);
+    }
+
+    #[test]
+    fn cpu_count_mismatch_refuses_the_comparison() {
+        let dir = std::env::temp_dir().join("perf_gate_cpu_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("base.json");
+        let sample = dir.join("sample.json");
+        std::fs::write(
+            &base,
+            r#"{"median_elapsed_secs":10.0,"host_cpus":1,"runner":"a"}"#,
+        )
+        .unwrap();
+        // A sample 10x slower than baseline, but from a different host:
+        // the gate must refuse (exit SUCCESS) instead of failing.
+        std::fs::write(&sample, r#"{"elapsed_secs":100.0,"host_cpus":8}"#).unwrap();
+        let args: Vec<String> = [
+            "--baseline",
+            base.to_str().unwrap(),
+            sample.to_str().unwrap(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        assert_eq!(run_check(&args).unwrap(), ExitCode::SUCCESS);
+
+        // Sample without host_cpus (stale probe binary) against a
+        // pinned baseline: also refused, not compared.
+        std::fs::write(&sample, r#"{"elapsed_secs":100.0}"#).unwrap();
+        assert_eq!(run_check(&args).unwrap(), ExitCode::SUCCESS);
+
+        // Same CPU count: the regression fires.
+        std::fs::write(&sample, r#"{"elapsed_secs":100.0,"host_cpus":1}"#).unwrap();
+        assert_eq!(run_check(&args).unwrap(), ExitCode::FAILURE);
     }
 
     #[test]

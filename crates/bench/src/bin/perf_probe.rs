@@ -23,8 +23,13 @@ fn main() {
     let cfg = args.base_config().with_paper_observers();
     if !args.json {
         println!(
-            "running {} peers x {} rounds (seed {}, {} shard workers) ...",
-            args.peers, args.rounds, args.seed, args.shards
+            "running {} peers x {} rounds (seed {}, {} shard workers, stealing {}{}) ...",
+            args.peers,
+            args.rounds,
+            args.seed,
+            args.shards,
+            if args.no_steal { "off" } else { "on" },
+            if args.skewed { ", skewed churn" } else { "" },
         );
     }
     let start = Instant::now();
@@ -37,10 +42,14 @@ fn main() {
             .num("rounds", args.rounds)
             .num("seed", args.seed);
         if !args.stable_json {
-            // Timing (and the worker count that shapes it) is excluded
-            // from the stable form so shard counts diff byte-for-byte.
+            // Timing and host facts (worker count, stealing, CPU
+            // count) are excluded from the stable form so shard counts
+            // diff byte-for-byte.
             report = report
                 .num("shards", args.shards as u64)
+                .num("work_stealing", u64::from(!args.no_steal))
+                .num("skewed_churn", u64::from(args.skewed))
+                .num("host_cpus", HarnessArgs::host_cpus())
                 .float("elapsed_secs", elapsed.as_secs_f64())
                 .float(
                     "peer_rounds_per_sec",

@@ -14,6 +14,8 @@
 //! cargo run --release -p peerback-bench --bin scenario_fabric -- --peers 64 --rounds 50 --json
 //! ```
 
+use std::time::Instant;
+
 use peerback_bench::{json, HarnessArgs};
 use peerback_core::{MaintenancePolicy, SimConfig};
 use peerback_fabric::{run_fabric, FabricConfig, FabricReport, FaultProfile};
@@ -41,7 +43,7 @@ const POLICIES: [(&str, MaintenancePolicy); 3] = [
 /// The scenario's simulation config: a small 8+8 geometry so byte-level
 /// decodes stay cheap at any population.
 fn cell_config(args: &HarnessArgs, maintenance: MaintenancePolicy) -> SimConfig {
-    let mut cfg = SimConfig::paper(args.peers, args.rounds, args.seed).with_shards(args.shards);
+    let mut cfg = args.base_config();
     cfg.k = 8;
     cfg.m = 8;
     cfg.quota = 48;
@@ -95,6 +97,9 @@ fn cell_json(cell: &Cell) -> String {
         .num("episodes", stats.episodes)
         .num("repair_decodes", stats.repair_decodes)
         .num("repair_decode_fallbacks", stats.repair_decode_fallbacks)
+        .num("transfers_retried", stats.transfers_retried)
+        .num("retry_deliveries", stats.retry_deliveries)
+        .num("retries_abandoned", stats.retries_abandoned)
         .num("sim_losses", cell.report.metrics.total_losses())
         .num("verified_losses", cell.report.losses.len() as u64)
         .num("audit_checks", audit.checks)
@@ -108,6 +113,7 @@ fn cell_json(cell: &Cell) -> String {
 
 fn main() {
     let args = HarnessArgs::parse();
+    let start = Instant::now();
     let mut cells = Vec::new();
     for (name, maintenance) in POLICIES {
         for rate in FAULT_RATES {
@@ -126,12 +132,23 @@ fn main() {
         .count();
 
     if args.json {
-        let report = json::Object::new()
+        let elapsed = start.elapsed();
+        let mut report = json::Object::new()
             .str("scenario", "fabric")
             .num("peers", args.peers as u64)
             .num("rounds", args.rounds)
-            .num("seed", args.seed)
-            .num("shards", args.shards as u64)
+            .num("seed", args.seed);
+        if !args.stable_json {
+            // Timing and host facts are excluded from the stable form
+            // so shard counts diff byte-for-byte (the CI combined-mode
+            // determinism gate).
+            report = report
+                .num("shards", args.shards as u64)
+                .num("work_stealing", u64::from(!args.no_steal))
+                .num("host_cpus", HarnessArgs::host_cpus())
+                .float("elapsed_secs", elapsed.as_secs_f64());
+        }
+        let report = report
             .raw("cells", json::array(cells.iter().map(cell_json)))
             .num("audit_mismatches", mismatches)
             .num("unverified_losses", unverified_losses as u64)

@@ -72,10 +72,17 @@ pub struct HarnessArgs {
     /// only wall-clock changes.
     pub shards: usize,
     /// With `--json`: omit timing fields (elapsed seconds, throughput)
-    /// so two runs of the same seed diff byte-for-byte — the CI
-    /// determinism gate compares `--shards 1` against `--shards 8`
-    /// this way.
+    /// and host facts (CPU count, worker knobs) so two runs of the same
+    /// seed diff byte-for-byte — the CI determinism gate compares
+    /// `--shards 1` against `--shards 8` this way.
     pub stable_json: bool,
+    /// Disable cross-shard work stealing (fixed shard ownership — the
+    /// measurable baseline for the steal-speedup gate). Results are
+    /// bit-identical either way.
+    pub no_steal: bool,
+    /// Assign churn profiles by slot range (hot first quarter) instead
+    /// of sampling the mix — the work-stealing benchmark scenario.
+    pub skewed: bool,
 }
 
 impl HarnessArgs {
@@ -99,6 +106,8 @@ impl HarnessArgs {
         let mut json = false;
         let mut shards = 1;
         let mut stable_json = false;
+        let mut no_steal = false;
+        let mut skewed = false;
 
         let mut iter = args.into_iter();
         while let Some(arg) = iter.next() {
@@ -117,6 +126,8 @@ impl HarnessArgs {
                 "--shards" => shards = parse_num(&value_for("--shards"), "--shards") as usize,
                 "--json" => json = true,
                 "--stable-json" => stable_json = true,
+                "--no-steal" => no_steal = true,
+                "--skewed" => skewed = true,
                 "--help" | "-h" => {
                     println!("{USAGE}");
                     std::process::exit(0);
@@ -133,12 +144,26 @@ impl HarnessArgs {
             json,
             shards,
             stable_json,
+            no_steal,
+            skewed,
         }
     }
 
     /// Base paper configuration at this scale.
     pub fn base_config(&self) -> SimConfig {
-        SimConfig::paper(self.peers, self.rounds, self.seed).with_shards(self.shards)
+        let mut cfg = SimConfig::paper(self.peers, self.rounds, self.seed)
+            .with_shards(self.shards)
+            .with_work_stealing(!self.no_steal);
+        if self.skewed {
+            cfg = cfg.with_skewed_churn();
+        }
+        cfg
+    }
+
+    /// CPUs visible to this process (recorded in perf reports so the
+    /// gate refuses to compare timings across differing hosts).
+    pub fn host_cpus() -> u64 {
+        std::thread::available_parallelism().map_or(1, |n| n.get() as u64)
     }
 
     /// Resolved worker-thread count.
@@ -183,8 +208,13 @@ usage: <binary> [options]
   --json            emit a machine-readable JSON report on stdout
                     (perf_probe and scenario_fabric; other binaries
                     ignore the flag and print their usual tables)
-  --stable-json     with --json: omit timing fields so same-seed runs
-                    diff byte-for-byte (the CI determinism gate)";
+  --stable-json     with --json: omit timing/host fields so same-seed
+                    runs diff byte-for-byte (the CI determinism gate)
+  --no-steal        disable cross-shard work stealing (fixed ownership
+                    baseline; results are bit-identical either way)
+  --skewed          slot-range-skewed churn: the first quarter of the
+                    slot space gets the churniest profile (the
+                    work-stealing benchmark scenario)";
 
 /// Formats a float with sensible precision for tables.
 pub fn fmt_rate(v: Option<f64>) -> String {
@@ -254,6 +284,17 @@ mod tests {
     fn stable_json_flag() {
         assert!(!parse(&[]).stable_json);
         assert!(parse(&["--stable-json"]).stable_json);
+    }
+
+    #[test]
+    fn steal_and_skew_flags_reach_the_config() {
+        let a = parse(&[]);
+        assert!(!a.no_steal && !a.skewed);
+        assert!(a.base_config().work_stealing);
+        assert!(!a.base_config().skewed_churn);
+        let a = parse(&["--no-steal", "--skewed"]);
+        assert!(!a.base_config().work_stealing);
+        assert!(a.base_config().skewed_churn);
     }
 
     #[test]

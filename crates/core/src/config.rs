@@ -124,14 +124,28 @@ pub struct SimConfig {
     /// Whether to sample the instant-restorability series (an O(blocks)
     /// scan every 10th sample; negligible at default scales).
     pub measure_restorability: bool,
-    /// Worker threads for the intra-run parallel phases (shard-local
-    /// event firing and candidate-pool proposals). **Purely an
-    /// execution knob**: the peer table's logical sharding is a fixed
-    /// function of the capacity, so same-seed runs produce bit-identical
-    /// metrics and event streams at every value. `1` (the default) runs
-    /// single-threaded; values beyond the logical shard count are
-    /// clamped.
+    /// Worker threads for the intra-run parallel stages (event firing,
+    /// teardown delivery, candidate-pool proposals, the two-phase
+    /// commit). **Purely an execution knob**: the peer table's logical
+    /// sharding is a fixed function of the capacity, so same-seed runs
+    /// produce bit-identical metrics and event streams at every value.
+    /// `1` (the default) runs single-threaded; values beyond the
+    /// logical shard count are clamped.
     pub shards: usize,
+    /// Whether workers that finish their own shard range steal
+    /// unstarted shards from the stragglers. Another pure execution
+    /// knob (results are bit-identical either way); disabling it
+    /// restores the fixed-ownership scheduling of the earlier executor,
+    /// kept as a measurable baseline for the steal-speedup gate.
+    pub work_stealing: bool,
+    /// Benchmark scenario: assign churn profiles by **slot range**
+    /// (first quarter of the slot space gets the churniest profile, the
+    /// rest the calmest) instead of sampling the mix, concentrating
+    /// nearly all deaths, timeouts and repair work in one contiguous
+    /// run of logical shards. This is the workload where fixed
+    /// ownership collapses to one busy worker and stealing shines. Not
+    /// a paper configuration.
+    pub skewed_churn: bool,
 }
 
 impl SimConfig {
@@ -162,6 +176,8 @@ impl SimConfig {
             sample_interval: 24,
             measure_restorability: true,
             shards: 1,
+            work_stealing: true,
+            skewed_churn: false,
         }
     }
 
@@ -182,10 +198,23 @@ impl SimConfig {
         self
     }
 
-    /// Sets the worker-thread count for the intra-run parallel phases.
+    /// Sets the worker-thread count for the intra-run parallel stages.
     /// Results are identical at every value (see the `shards` field).
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = shards;
+        self
+    }
+
+    /// Enables or disables cross-shard work stealing (execution knob;
+    /// results are identical either way).
+    pub fn with_work_stealing(mut self, steal: bool) -> Self {
+        self.work_stealing = steal;
+        self
+    }
+
+    /// Enables the slot-range-skewed churn benchmark scenario.
+    pub fn with_skewed_churn(mut self) -> Self {
+        self.skewed_churn = true;
         self
     }
 

@@ -1,9 +1,5 @@
-//! The scheduled-event queue: event kinds, staleness filtering, and the
-//! **cross-shard** handlers — departures and offline timeouts, the two
-//! kinds whose block write-offs reach owners in arbitrary shards and
-//! therefore run in the sequential phase of the round. The strictly
-//! shard-local kinds (session toggles, age-category advances, proactive
-//! ticks) are handled in [`super::shard`].
+//! The scheduled-event queue and the **two-hop** departure / offline-
+//! timeout teardown.
 //!
 //! Every event carries the `epoch` of the peer slot it was scheduled
 //! for; a mismatch at fire time means the slot was recycled (the peer
@@ -11,13 +7,33 @@
 //! Offline timeouts additionally carry the `session_seq` of the offline
 //! run they were armed for, so a reconnection invalidates them without
 //! any queue surgery.
+//!
+//! Deaths and offline timeouts used to run in a sequential cross-shard
+//! pass; they now split along the shard boundary:
+//!
+//! * **Hop 1** (here, on the owning [`ShardLane`], parallel): validate
+//!   the event, tear down the slot's *own* state — archives emptied,
+//!   hosted ledger cleared, the departed slot recycled and re-seeded
+//!   from the shard RNG — and convert every cross-shard side effect
+//!   into a [`Msg`]: a [`Msg::Release`] to each partner that hosted one
+//!   of the dying peer's blocks, a [`Msg::Drop`] to the owner of each
+//!   block the peer hosted.
+//! * **Hop 2** ([`WorkLane::apply_drop`] / `apply_release`, parallel by
+//!   destination shard): prune the remote ends, count losses the
+//!   instant `present < k`, and re-enqueue owners that fell below their
+//!   threshold. Entries already torn down by the *other* end's hop 1 in
+//!   the same round are skipped silently — the block-drop event was (or
+//!   will be) emitted exactly once, always on the owner side.
 
+use peerback_churn::SessionSampler;
 use peerback_sim::Round;
 
-use crate::config::MaintenancePolicy;
+use crate::config::{MaintenancePolicy, SimConfig};
 
+use super::exec::Msg;
 use super::hooks::WorldEvent;
 use super::peers::{ArchiveIdx, PeerId};
+use super::shard::ShardLane;
 use super::BackupWorld;
 
 /// Scheduled future events. Events carry the epoch of the peer they were
@@ -66,27 +82,136 @@ pub(in crate::world) enum Event {
     },
 }
 
-impl BackupWorld {
-    /// Handles one deferred cross-shard event (sequential phase).
-    pub(in crate::world) fn handle_deferred(&mut self, event: Event, round: u64) {
-        match event {
-            Event::Death { peer, epoch } => {
-                if self.peers[peer as usize].epoch == epoch {
-                    self.process_death(peer, round);
-                }
-            }
-            Event::OfflineTimeout { peer, epoch, seq } => {
-                let p = &self.peers[peer as usize];
-                if p.epoch == epoch && p.session_seq == seq && !p.online {
-                    self.process_offline_timeout(peer, round);
-                }
-            }
-            Event::Toggle { .. } | Event::CatAdvance { .. } | Event::ProactiveTick { .. } => {
-                unreachable!("shard-local events are handled in the parallel pass")
+impl ShardLane<'_> {
+    /// Hop 1 of a departure (§4.1: blocks vanish immediately, the peer
+    /// is immediately replaced). Strictly shard-local plus messages.
+    pub(in crate::world) fn process_death_local(
+        &mut self,
+        id: PeerId,
+        round: u64,
+        cfg: &SimConfig,
+        samplers: &[SessionSampler],
+    ) {
+        debug_assert!(self.local(id).observer.is_none());
+        self.delta.departures += 1;
+        if self.local(id).online {
+            self.set_online(id, false);
+        }
+        let cat = self.local(id).category_at(round);
+        self.census_delta[cat.index()] -= 1;
+
+        // Tear down this peer's own archives: the blocks it stored on
+        // its partners are dropped (events emitted here, on the owner
+        // side) and each partner's ledger is pruned in hop 2.
+        for aidx in 0..self.local(id).archives.len() {
+            let archive = &mut self.local(id).archives[aidx];
+            let partners = core::mem::take(&mut archive.partners);
+            let stale = core::mem::take(&mut archive.stale_partners);
+            for host in partners.into_iter().chain(stale) {
+                self.emit(WorldEvent::BlockDropped {
+                    owner: id,
+                    archive: aidx as ArchiveIdx,
+                    host,
+                });
+                self.out.push(Msg::Release {
+                    host,
+                    owner: id,
+                    aidx: aidx as ArchiveIdx,
+                    owner_observer: false,
+                });
             }
         }
+
+        // Its hosted blocks disappear with it; the owners learn in hop 2.
+        let hosted = core::mem::take(&mut self.local(id).hosted);
+        self.local(id).quota_used = 0;
+        for (owner, aidx) in hosted {
+            self.out.push(Msg::Drop {
+                owner,
+                aidx,
+                host: id,
+            });
+        }
+
+        // `PeerDeparted` is emitted by the driver once every drop of
+        // this round has been delivered (the observer contract).
+        self.departed.push(id);
+
+        // Immediate replacement in the same slot, bumped epoch.
+        let peer = self.local(id);
+        peer.epoch = peer.epoch.wrapping_add(1);
+        peer.session_seq = 0;
+        self.init_regular_peer(id, round, cfg, samplers);
     }
 
+    /// Hop 1 of an offline write-off (§2.2.3): the network considers the
+    /// peer gone and writes its hosted blocks off.
+    pub(in crate::world) fn process_timeout_local(&mut self, id: PeerId) {
+        if self.local(id).hosted.is_empty() {
+            return;
+        }
+        self.delta.partner_timeouts += 1;
+        let hosted = core::mem::take(&mut self.local(id).hosted);
+        self.local(id).quota_used = 0;
+        for (owner, aidx) in hosted {
+            self.out.push(Msg::Drop {
+                owner,
+                aidx,
+                host: id,
+            });
+        }
+    }
+}
+
+impl super::exec::WorkLane<'_> {
+    /// Hop 2 of a teardown, owner side: `host`'s copy of one
+    /// `(owner, aidx)` block vanished. Prunes the partner entry, emits
+    /// the drop, and runs the §3.2 consequences — loss the instant
+    /// `present < k`, re-enqueue below the repair threshold.
+    ///
+    /// Skips silently when the entry is already gone: the owner's own
+    /// hop-1 teardown (or an earlier loss this round) released it, and
+    /// that path already emitted the drop.
+    pub(in crate::world) fn apply_drop(
+        &mut self,
+        cfg: &SimConfig,
+        owner: PeerId,
+        aidx: ArchiveIdx,
+        host: PeerId,
+        round: u64,
+    ) {
+        let k = cfg.k as u32;
+        let threshold_policy = !matches!(cfg.maintenance, MaintenancePolicy::Proactive { .. });
+        let threshold = self.peer(owner).threshold as u32;
+        let archive = &mut self.peer_mut(owner).archives[aidx as usize];
+        if let Some(pos) = archive.partners.iter().position(|&p| p == host) {
+            archive.partners.swap_remove(pos);
+        } else if let Some(pos) = archive.stale_partners.iter().position(|&p| p == host) {
+            archive.stale_partners.swap_remove(pos);
+        } else {
+            return; // torn down earlier this round
+        }
+        self.emit(WorldEvent::BlockDropped {
+            owner,
+            archive: aidx,
+            host,
+        });
+        let archive = &self.peer(owner).archives[aidx as usize];
+        if !archive.joined {
+            return; // mid-join: the join loop re-acquires
+        }
+        if archive.present() < k {
+            self.record_loss(owner, aidx, round);
+        } else if threshold_policy && archive.present() < threshold {
+            // Enqueue regardless of the owner's session state;
+            // activation skips offline owners and reconnection
+            // re-enqueues them.
+            self.enqueue(owner);
+        }
+    }
+}
+
+impl BackupWorld {
     pub(in crate::world) fn schedule_proactive(&mut self, id: PeerId, round: u64) {
         if let MaintenancePolicy::Proactive { tick_rounds } = self.cfg.maintenance {
             let epoch = self.peers[id as usize].epoch;
@@ -98,111 +223,17 @@ impl BackupWorld {
         }
     }
 
-    pub(in crate::world) fn schedule_offline_timeout(&mut self, id: PeerId, round: u64) {
-        if self.cfg.offline_timeout == 0 {
-            return;
-        }
-        let peer = &self.peers[id as usize];
-        debug_assert!(!peer.online);
-        let (epoch, seq) = (peer.epoch, peer.session_seq);
-        self.schedule_for(
-            id,
-            Round(round + self.cfg.offline_timeout),
-            Event::OfflineTimeout {
-                peer: id,
-                epoch,
-                seq,
-            },
-        );
-    }
-
-    /// Write off all blocks hosted by `host` and notify the owners.
-    /// Shared by deaths ("blocks are immediately removed", §4.1) and
-    /// offline timeouts (§2.2.3).
+    /// White-box form of the write-off path: converts `host`'s hosted
+    /// ledger into drop messages and delivers them through the same
+    /// staged machinery the round driver uses.
+    #[cfg(test)]
     pub(in crate::world) fn drop_hosted_blocks(&mut self, host: PeerId, round: u64) {
         let hosted = core::mem::take(&mut self.peers[host as usize].hosted);
         self.peers[host as usize].quota_used = 0;
-        let k = self.k();
-        let threshold_policy = !matches!(self.cfg.maintenance, MaintenancePolicy::Proactive { .. });
-        for (owner_id, aidx) in hosted {
-            let threshold = self.peers[owner_id as usize].threshold as u32;
-            let archive = &mut self.peers[owner_id as usize].archives[aidx as usize];
-            if let Some(pos) = archive.partners.iter().position(|&p| p == host) {
-                archive.partners.swap_remove(pos);
-            } else {
-                let pos = archive
-                    .stale_partners
-                    .iter()
-                    .position(|&p| p == host)
-                    .expect("hosted entry implies a partner entry");
-                archive.stale_partners.swap_remove(pos);
-            }
-            if self.events_on() {
-                self.emit(WorldEvent::BlockDropped {
-                    owner: owner_id,
-                    archive: aidx,
-                    host,
-                });
-            }
-            let archive = &self.peers[owner_id as usize].archives[aidx as usize];
-            if !archive.joined {
-                continue; // mid-join: the join loop re-acquires
-            }
-            if archive.present() < k {
-                self.record_loss(owner_id, aidx, round);
-            } else if threshold_policy && archive.present() < threshold {
-                // Enqueue regardless of the owner's session state;
-                // activation skips offline owners and reconnection
-                // re-enqueues them.
-                self.enqueue(owner_id);
-            }
-        }
-    }
-
-    pub(in crate::world) fn process_death(&mut self, id: PeerId, round: u64) {
-        debug_assert!(self.peers[id as usize].observer.is_none());
-        self.metrics.diag.departures += 1;
-        if self.peers[id as usize].online {
-            self.set_online(id, false);
-        }
-        let cat = self.peers[id as usize].category_at(round);
-        self.census[cat.index()] -= 1;
-
-        // Tear down this peer's own archives: free the blocks it stored
-        // on its partners.
-        for aidx in 0..self.peers[id as usize].archives.len() {
-            let archive = &mut self.peers[id as usize].archives[aidx];
-            let partners = core::mem::take(&mut archive.partners);
-            let stale = core::mem::take(&mut archive.stale_partners);
-            for p in partners.into_iter().chain(stale) {
-                self.remove_hosted_entry(p, id, aidx as ArchiveIdx, false);
-            }
-        }
-
-        // Its hosted blocks disappear with it.
-        self.drop_hosted_blocks(id, round);
-
-        // Every block touching this peer has now been dropped; announce
-        // the slot recycle so observers reset per-slot state.
-        if self.events_on() {
-            self.emit(WorldEvent::PeerDeparted { peer: id });
-        }
-
-        // Immediate replacement (§4.1: "each peer leaving the system is
-        // immediately replaced").
-        let peer = &mut self.peers[id as usize];
-        peer.epoch = peer.epoch.wrapping_add(1);
-        peer.session_seq = 0;
-        self.init_regular_peer(id, round);
-    }
-
-    /// The peer has been unreachable for the whole threshold period: the
-    /// network writes its hosted blocks off (§2.2.3).
-    pub(in crate::world) fn process_offline_timeout(&mut self, id: PeerId, round: u64) {
-        if self.peers[id as usize].hosted.is_empty() {
-            return;
-        }
-        self.metrics.diag.partner_timeouts += 1;
-        self.drop_hosted_blocks(id, round);
+        let msgs: Vec<Msg> = hosted
+            .into_iter()
+            .map(|(owner, aidx)| Msg::Drop { owner, aidx, host })
+            .collect();
+        self.run_deliver(round, msgs);
     }
 }

@@ -1,0 +1,735 @@
+//! The staged round executor: deterministic work-stealing dispatch,
+//! shard-addressed messages, and the two-phase parallel commit.
+//!
+//! PR 3's phased round still funnelled two passes through one thread:
+//! every death/offline teardown (their block write-offs reach owners in
+//! arbitrary shards) and the entire peer-id-ordered commit. This module
+//! removes both ceilings by re-expressing every cross-shard effect as a
+//! **message addressed to a logical shard**, applied in a later stage
+//! that is itself parallel:
+//!
+//! * each stage is a set of independent **tasks keyed `(shard, stage)`**
+//!   run on the work-stealing executor ([`peerback_sim::exec`]) — a
+//!   churn hot-spot in one shard range no longer idles the other
+//!   workers, because finished workers steal the stragglers' shards;
+//! * a task may mutate **only its own shard's state** plus task-local
+//!   buffers (events, metric deltas, outboxes); everything it wants to
+//!   do to another shard becomes a [`Msg`] routed after the stage;
+//! * between stages, outboxes are merged and inboxes **sorted by a
+//!   total per-message key**, so the apply order — and therefore every
+//!   result and the entire [`WorldEvent`] stream — is a pure function
+//!   of the round's inputs, never of thread timing.
+//!
+//! ## The round, stage by stage
+//!
+//! 1. **Local events + teardown hop 1** (parallel): wheels fire, sorted
+//!    events are handled shard-locally. A death tears its own slot down
+//!    (epoch bump, re-init from the shard RNG) and *emits messages*:
+//!    [`Msg::Release`] to each partner hosting one of its blocks,
+//!    [`Msg::Drop`] to the owner of each block it hosted.
+//! 2. **Deliver — teardown hop 2** (parallel by destination shard):
+//!    releases prune hosted entries; drops prune partner entries, count
+//!    losses, re-enqueue owners below threshold. A loss releases the
+//!    survivors — a third, release-only wave.
+//! 3. **Proposals** (parallel): as before — frozen-state pools — but
+//!    additionally emitting [`Msg::Claim`]s for the first `d` ranks.
+//! 4. **Commit, two-phase** (parallel): host shards **grant** claims in
+//!    global `(owner, archive, rank)` order against shard-local quota
+//!    counters; owners top up denials with one fallback claim wave;
+//!    owner shards then run the protocol step with exactly the granted
+//!    partners; host shards apply the resulting [`Msg::Attach`] /
+//!    [`Msg::Release`] bookkeeping. Quota re-validation is thereby
+//!    shard-local — no global sequential pass remains.
+//!
+//! [`WorldEvent`]: super::hooks::WorldEvent
+
+use peerback_sim::derive_seed;
+use peerback_sim::exec as steal;
+
+use crate::age::AgeCategory;
+use crate::metrics::Metrics;
+
+use super::hooks::WorldEvent;
+use super::peers::{ArchiveIdx, Peer, PeerId};
+use super::shard::{Proposal, ShardLayout};
+use super::BackupWorld;
+
+/// Per-lane accumulator for the metric counters a stage may bump;
+/// merged into [`Metrics`] in shard order after every stage so the
+/// totals are independent of scheduling.
+#[derive(Debug, Clone, Copy, Default)]
+pub(in crate::world) struct MetricsDelta {
+    pub(in crate::world) repairs: [u64; AgeCategory::COUNT],
+    pub(in crate::world) losses: [u64; AgeCategory::COUNT],
+    pub(in crate::world) departures: u64,
+    pub(in crate::world) session_toggles: u64,
+    pub(in crate::world) partner_timeouts: u64,
+    pub(in crate::world) joins_completed: u64,
+    pub(in crate::world) pool_shortfalls: u64,
+    pub(in crate::world) blocks_uploaded: u64,
+    pub(in crate::world) blocks_downloaded: u64,
+    pub(in crate::world) threshold_adjustments: u64,
+}
+
+impl MetricsDelta {
+    /// Folds this delta into the global metrics and resets it.
+    pub(in crate::world) fn apply(&mut self, metrics: &mut Metrics) {
+        for c in 0..AgeCategory::COUNT {
+            metrics.repairs[c] += self.repairs[c];
+            metrics.losses[c] += self.losses[c];
+        }
+        let d = &mut metrics.diag;
+        d.departures += self.departures;
+        d.session_toggles += self.session_toggles;
+        d.partner_timeouts += self.partner_timeouts;
+        d.joins_completed += self.joins_completed;
+        d.pool_shortfalls += self.pool_shortfalls;
+        d.blocks_uploaded += self.blocks_uploaded;
+        d.blocks_downloaded += self.blocks_downloaded;
+        d.threshold_adjustments += self.threshold_adjustments;
+        *self = MetricsDelta::default();
+    }
+}
+
+/// A cross-shard effect, addressed to the logical shard that owns the
+/// state it touches. All block-drop *events* are emitted on the owner
+/// side at the moment the partner entry leaves the owner's archive;
+/// `Release`/`Attach` are pure host-side bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(in crate::world) enum Msg {
+    /// → `shard_of(host)`: forget the hosted entry for `(owner, aidx)`
+    /// and refund quota. Skipped silently when the host's own teardown
+    /// already cleared it this round.
+    Release {
+        host: PeerId,
+        owner: PeerId,
+        aidx: ArchiveIdx,
+        owner_observer: bool,
+    },
+    /// → `shard_of(owner)`: `host`'s copy of one `(owner, aidx)` block
+    /// vanished (host death or offline write-off). Skipped silently
+    /// when the owner's archive was already torn down this round.
+    Drop {
+        owner: PeerId,
+        aidx: ArchiveIdx,
+        host: PeerId,
+    },
+    /// → `shard_of(host)`: `(owner, aidx)` asks to place one block on
+    /// `host` (pool rank `rank`).
+    Claim {
+        host: PeerId,
+        owner: PeerId,
+        aidx: ArchiveIdx,
+        rank: u16,
+        owner_observer: bool,
+    },
+    /// → `shard_of(owner)`: the claim at `rank` was granted.
+    Grant {
+        owner: PeerId,
+        aidx: ArchiveIdx,
+        rank: u16,
+    },
+    /// → `shard_of(host)`: the granted placement was used; record the
+    /// hosted entry and charge quota.
+    Attach {
+        host: PeerId,
+        owner: PeerId,
+        aidx: ArchiveIdx,
+        owner_observer: bool,
+    },
+}
+
+impl Msg {
+    /// The logical shard whose state this message touches.
+    fn dest(&self, layout: &ShardLayout) -> usize {
+        match *self {
+            Msg::Release { host, .. } | Msg::Claim { host, .. } | Msg::Attach { host, .. } => {
+                layout.shard_of(host)
+            }
+            Msg::Drop { owner, .. } | Msg::Grant { owner, .. } => layout.shard_of(owner),
+        }
+    }
+
+    /// Total order for deterministic in-shard application. Releases
+    /// apply before drops (disjoint state, fixed for definiteness);
+    /// claims and grants compare in global commit order
+    /// `(owner, aidx, rank)`.
+    fn sort_key(&self) -> (u8, u64, u64, u64) {
+        match *self {
+            Msg::Release {
+                host, owner, aidx, ..
+            } => (0, host as u64, owner as u64, aidx as u64),
+            Msg::Drop { owner, aidx, host } => (1, owner as u64, aidx as u64, host as u64),
+            Msg::Claim {
+                owner, aidx, rank, ..
+            } => (2, owner as u64, aidx as u64, rank as u64),
+            Msg::Grant { owner, aidx, rank } => (3, owner as u64, aidx as u64, rank as u64),
+            Msg::Attach {
+                host, owner, aidx, ..
+            } => (4, host as u64, owner as u64, aidx as u64),
+        }
+    }
+}
+
+/// How the stages are dispatched: worker count, whether finished
+/// workers steal, and (under test) a seed forcing a random sequential
+/// interleaving instead of real threads.
+#[derive(Debug, Clone, Copy)]
+pub(in crate::world) struct ExecPolicy {
+    pub(in crate::world) workers: usize,
+    pub(in crate::world) steal: bool,
+    /// Test hook: execute stage tasks sequentially in a seeded random
+    /// order (a deterministic stand-in for an arbitrary steal
+    /// interleaving). `None` in production.
+    pub(in crate::world) fuzz: Option<u64>,
+}
+
+/// Below this many queued messages a stage runs on one worker: thread
+/// dispatch costs more than the work. Scheduling only — results are
+/// identical either way.
+const PARALLEL_MSG_MIN: usize = 2048;
+
+impl ExecPolicy {
+    /// Narrows the worker count for a stage with `busy` non-empty tasks
+    /// and `work` total queued messages: light stages run inline.
+    pub(in crate::world) fn narrowed(&self, busy: usize, work: usize) -> ExecPolicy {
+        let workers = if work < PARALLEL_MSG_MIN {
+            1
+        } else {
+            self.workers.min(busy.max(1))
+        };
+        ExecPolicy { workers, ..*self }
+    }
+
+    /// Runs one stage: `f(i, &mut states[i])` exactly once per task.
+    /// `salt` decorrelates fuzzed interleavings across stages/rounds.
+    pub(in crate::world) fn dispatch<S, F>(&self, salt: u64, states: &mut [S], f: F)
+    where
+        S: Send,
+        F: Fn(usize, &mut S) + Sync,
+    {
+        match self.fuzz {
+            Some(seed) => steal::run_tasks_fuzzed(derive_seed(seed, salt), states, f),
+            None => steal::run_tasks(self.workers, self.steal, states, f),
+        }
+    }
+
+    /// As [`ExecPolicy::dispatch`] with per-worker scratch state.
+    pub(in crate::world) fn dispatch_with<W, S, F>(
+        &self,
+        salt: u64,
+        worker_states: &mut [W],
+        states: &mut [S],
+        f: F,
+    ) where
+        W: Send,
+        S: Send,
+        F: Fn(&mut W, usize, &mut S) + Sync,
+    {
+        match self.fuzz {
+            Some(seed) => {
+                let scratch = worker_states.first_mut().expect("one worker state");
+                steal::run_tasks_fuzzed(derive_seed(seed, salt), states, |i, s| {
+                    f(scratch, i, s);
+                });
+            }
+            None => {
+                // Honour the (possibly narrowed) worker count: the
+                // runner derives its thread count from the slice.
+                let take = self.workers.clamp(1, worker_states.len());
+                steal::run_tasks_with(self.steal, &mut worker_states[..take], states, f);
+            }
+        }
+    }
+}
+
+/// Everything one shard may touch during a deliver/commit stage, plus
+/// the task-local buffers whose merge order is fixed by shard index.
+pub(in crate::world) struct WorkLane<'a> {
+    /// First slot id of the shard's range.
+    pub(in crate::world) base: PeerId,
+    /// This shard's peer slots.
+    pub(in crate::world) peers: &'a mut [Peer],
+    /// This shard's pending-activation queue.
+    pub(in crate::world) pending: &'a mut Vec<PeerId>,
+    /// Whether to record events.
+    pub(in crate::world) events_on: bool,
+    /// Events emitted by this lane, merged in shard order.
+    pub(in crate::world) events: Vec<WorldEvent>,
+    /// Metric counters bumped by this lane.
+    pub(in crate::world) delta: MetricsDelta,
+    /// Cross-shard effects for the next stage.
+    pub(in crate::world) out: Vec<Msg>,
+    /// Messages addressed to this shard (sorted before the stage runs).
+    pub(in crate::world) inbox: Vec<Msg>,
+}
+
+impl WorkLane<'_> {
+    #[inline]
+    pub(in crate::world) fn peer_mut(&mut self, id: PeerId) -> &mut Peer {
+        &mut self.peers[(id - self.base) as usize]
+    }
+
+    #[inline]
+    pub(in crate::world) fn peer(&self, id: PeerId) -> &Peer {
+        &self.peers[(id - self.base) as usize]
+    }
+
+    pub(in crate::world) fn enqueue(&mut self, id: PeerId) {
+        let base = self.base;
+        super::peers::enqueue_pending(&mut self.peers[(id - base) as usize], id, self.pending);
+    }
+
+    #[inline]
+    pub(in crate::world) fn emit(&mut self, event: WorldEvent) {
+        if self.events_on {
+            self.events.push(event);
+        }
+    }
+
+    /// Emits one `BlocksPlaced` for the partners attached beyond index
+    /// `before` (the lane mirror of `BackupWorld::emit_placements`).
+    pub(in crate::world) fn emit_placements(
+        &mut self,
+        owner: PeerId,
+        aidx: ArchiveIdx,
+        before: usize,
+    ) {
+        if !self.events_on {
+            return;
+        }
+        let partners = &self.peer(owner).archives[aidx as usize].partners;
+        if partners.len() > before {
+            let hosts = partners[before..].to_vec();
+            self.events.push(WorldEvent::BlocksPlaced {
+                owner,
+                archive: aidx,
+                hosts,
+            });
+        }
+    }
+}
+
+/// Per-shard scratch for the grant stages: tentative quota charges and
+/// the slots to wipe afterwards. Execution-only state.
+#[derive(Debug, Default)]
+pub(in crate::world) struct GrantScratch {
+    /// Tentative same-round grants per local slot.
+    tent: Vec<u32>,
+    /// Local slots with a non-zero tentative count.
+    touched: Vec<u32>,
+}
+
+impl GrantScratch {
+    fn ensure(&mut self, slots: usize) {
+        if self.tent.len() < slots {
+            self.tent.resize(slots, 0);
+        }
+    }
+
+    fn reset(&mut self) {
+        for &i in &self.touched {
+            self.tent[i as usize] = 0;
+        }
+        self.touched.clear();
+    }
+}
+
+/// A grant-stage task: one shard's claims in, grants out.
+struct GrantTask<'a> {
+    scratch: &'a mut GrantScratch,
+    inbox: Vec<Msg>,
+    out: Vec<Msg>,
+}
+
+impl BackupWorld {
+    /// Routes a merged outbox into per-shard inboxes, each sorted by
+    /// the deterministic message key.
+    pub(in crate::world) fn route(&self, msgs: Vec<Msg>) -> Vec<Vec<Msg>> {
+        let mut inboxes: Vec<Vec<Msg>> = (0..self.layout.count).map(|_| Vec::new()).collect();
+        for msg in msgs {
+            inboxes[msg.dest(&self.layout)].push(msg);
+        }
+        for inbox in &mut inboxes {
+            inbox.sort_unstable_by_key(Msg::sort_key);
+        }
+        inboxes
+    }
+
+    /// Stage 2 (+3): applies a deliver inbox — releases and drops, in
+    /// sorted order per shard — then the release-only survivor wave a
+    /// loss may generate. `round` is the current round (loss
+    /// accounting).
+    pub(in crate::world) fn run_deliver(&mut self, round: u64, msgs: Vec<Msg>) {
+        let mut wave = msgs;
+        // Wave 1 carries drops (which may generate survivor releases);
+        // wave 2 is release-only and terminates.
+        for salt in 0..2u64 {
+            if wave.is_empty() {
+                return;
+            }
+            let inboxes = self.route(wave);
+            let busy = inboxes.iter().filter(|i| !i.is_empty()).count();
+            let work: usize = inboxes.iter().map(Vec::len).sum();
+            let policy = self.exec.narrowed(busy, work);
+            let layout = self.layout;
+            let BackupWorld {
+                peers,
+                pendings,
+                cfg,
+                event_log,
+                metrics,
+                record_events,
+                ..
+            } = self;
+            let cfg: &crate::config::SimConfig = cfg;
+            let mut lanes = build_work_lanes(layout, *record_events, peers, pendings, inboxes);
+            policy.dispatch(round * 16 + 2 + salt, &mut lanes, |_, lane| {
+                let inbox = core::mem::take(&mut lane.inbox);
+                for msg in &inbox {
+                    match *msg {
+                        Msg::Release {
+                            host,
+                            owner,
+                            aidx,
+                            owner_observer,
+                        } => lane.apply_release(host, owner, aidx, owner_observer),
+                        Msg::Drop { owner, aidx, host } => {
+                            lane.apply_drop(cfg, owner, aidx, host, round);
+                        }
+                        _ => unreachable!("commit messages in the deliver stage"),
+                    }
+                }
+            });
+            wave = merge_lanes(event_log, metrics, lanes);
+            debug_assert!(
+                salt == 0 || wave.is_empty(),
+                "survivor releases generated further messages"
+            );
+        }
+    }
+
+    /// Stages 4–7: the two-phase commit. `claims` are the wave-A claims
+    /// built during the proposal stage (ranks `0..d` of each pool).
+    pub(in crate::world) fn commit_proposals(
+        &mut self,
+        round: u64,
+        mut proposals: Vec<Vec<Proposal>>,
+        claims: Vec<Msg>,
+    ) {
+        if proposals.iter().all(Vec::is_empty) {
+            return;
+        }
+
+        // Phase 1 (propose): hosts grant claims in global commit order
+        // against shard-local quota + tentative counters.
+        let mut grants = self.grant_stage(round * 16 + 4, claims);
+
+        // Denied claims get one fallback wave over the next pool ranks.
+        let wave_b = wave_b_claims(&proposals, &grants);
+        if !wave_b.is_empty() {
+            let grants_b = self.grant_stage(round * 16 + 5, wave_b);
+            for (shard, extra) in grants_b.into_iter().enumerate() {
+                grants[shard].extend(extra);
+                grants[shard].sort_unstable_by_key(Msg::sort_key);
+            }
+        }
+
+        // Phase 2 (ack/apply): owner shards run the protocol step with
+        // exactly the granted partners…
+        let effects = {
+            let busy = proposals.iter().filter(|p| !p.is_empty()).count();
+            // Owner steps are much heavier per item than bookkeeping
+            // messages; weight them accordingly.
+            let work = proposals.iter().map(Vec::len).sum::<usize>() * 64
+                + grants.iter().map(Vec::len).sum::<usize>();
+            let policy = self.exec.narrowed(busy, work);
+            let layout = self.layout;
+            let BackupWorld {
+                peers,
+                pendings,
+                cfg,
+                event_log,
+                metrics,
+                record_events,
+                ..
+            } = self;
+            let cfg: &crate::config::SimConfig = cfg;
+            let lanes = build_work_lanes(layout, *record_events, peers, pendings, Vec::new());
+            let mut states: Vec<(WorkLane<'_>, Vec<Proposal>, Vec<Msg>)> = lanes
+                .into_iter()
+                .zip(proposals.drain(..))
+                .zip(grants.drain(..))
+                .map(|((lane, props), grants)| (lane, props, grants))
+                .collect();
+            policy.dispatch(round * 16 + 6, &mut states, |_, (lane, props, grants)| {
+                let mut cursor = 0usize;
+                for prop in props.drain(..) {
+                    // The grants for this proposal are contiguous in
+                    // the sorted list.
+                    let mut hosts: Vec<PeerId> = Vec::new();
+                    while cursor < grants.len() {
+                        let Msg::Grant { owner, aidx, rank } = grants[cursor] else {
+                            unreachable!("non-grant in the grant inbox")
+                        };
+                        if (owner, aidx) != (prop.owner, prop.aidx) {
+                            break;
+                        }
+                        hosts.push(prop.pool[rank as usize].id);
+                        cursor += 1;
+                    }
+                    lane.commit_step(cfg, &prop, &hosts, round);
+                }
+                debug_assert_eq!(cursor, grants.len(), "grants without a proposal");
+            });
+            let lanes: Vec<WorkLane<'_>> = states.into_iter().map(|(lane, _, _)| lane).collect();
+            merge_lanes(event_log, metrics, lanes)
+        };
+
+        // …and host shards record the resulting attachments/releases.
+        if effects.is_empty() {
+            return;
+        }
+        let inboxes = self.route(effects);
+        let busy = inboxes.iter().filter(|i| !i.is_empty()).count();
+        let work: usize = inboxes.iter().map(Vec::len).sum();
+        let policy = self.exec.narrowed(busy, work);
+        let layout = self.layout;
+        let BackupWorld {
+            peers,
+            pendings,
+            event_log,
+            metrics,
+            record_events,
+            ..
+        } = self;
+        let mut lanes = build_work_lanes(layout, *record_events, peers, pendings, inboxes);
+        policy.dispatch(round * 16 + 7, &mut lanes, |_, lane| {
+            let inbox = core::mem::take(&mut lane.inbox);
+            for msg in &inbox {
+                match *msg {
+                    Msg::Release {
+                        host,
+                        owner,
+                        aidx,
+                        owner_observer,
+                    } => lane.apply_release(host, owner, aidx, owner_observer),
+                    Msg::Attach {
+                        host,
+                        owner,
+                        aidx,
+                        owner_observer,
+                    } => lane.apply_attach(host, owner, aidx, owner_observer),
+                    _ => unreachable!("non-bookkeeping message in the apply stage"),
+                }
+            }
+        });
+        let leftovers = merge_lanes(event_log, metrics, lanes);
+        debug_assert!(leftovers.is_empty(), "apply stage generated messages");
+    }
+
+    /// One grant stage: routes `claims`, lets each host shard grant in
+    /// sorted order against live quota plus the round's tentative
+    /// charges, and returns the grants routed per owner shard. The
+    /// tentative counters persist across the two waves of one round and
+    /// are wiped at the end of the second.
+    fn grant_stage(&mut self, salt: u64, claims: Vec<Msg>) -> Vec<Vec<Msg>> {
+        let inboxes = self.route(claims);
+        let busy = inboxes.iter().filter(|i| !i.is_empty()).count();
+        let work: usize = inboxes.iter().map(Vec::len).sum();
+        let layout = self.layout;
+        let quota = self.cfg.quota;
+        if self.grant_scratch.len() < layout.count {
+            self.grant_scratch
+                .resize_with(layout.count, GrantScratch::default);
+        }
+        let peers = &self.peers;
+        let policy = self.exec.narrowed(busy, work);
+        let mut tasks: Vec<GrantTask<'_>> = self
+            .grant_scratch
+            .iter_mut()
+            .zip(inboxes)
+            .map(|(scratch, inbox)| GrantTask {
+                scratch,
+                inbox,
+                out: Vec::new(),
+            })
+            .collect();
+        policy.dispatch(salt, &mut tasks, |shard, task| {
+            let base = shard * layout.shard_size;
+            let slots = layout.shard_size.min(peers.len().saturating_sub(base));
+            task.scratch.ensure(slots);
+            for msg in &task.inbox {
+                let Msg::Claim {
+                    host,
+                    owner,
+                    aidx,
+                    rank,
+                    owner_observer,
+                } = *msg
+                else {
+                    unreachable!("non-claim in a grant inbox")
+                };
+                let local = (host as usize) - base;
+                let peer = &peers[host as usize];
+                debug_assert!(peer.online, "claims target frozen-online candidates");
+                if peer.quota_used + task.scratch.tent[local] >= quota {
+                    continue; // full, counting this round's earlier grants
+                }
+                if !owner_observer {
+                    if task.scratch.tent[local] == 0 {
+                        task.scratch.touched.push(local as u32);
+                    }
+                    task.scratch.tent[local] += 1;
+                }
+                task.out.push(Msg::Grant { owner, aidx, rank });
+            }
+        });
+        // Route grants to owner shards (they are produced sorted per
+        // host shard; the merge + sort restores global commit order per
+        // destination).
+        let mut out: Vec<Vec<Msg>> = (0..layout.count).map(|_| Vec::new()).collect();
+        for task in tasks {
+            for grant in task.out {
+                let Msg::Grant { owner, .. } = grant else {
+                    unreachable!()
+                };
+                out[layout.shard_of(owner)].push(grant);
+            }
+        }
+        for inbox in &mut out {
+            inbox.sort_unstable_by_key(Msg::sort_key);
+        }
+        out
+    }
+
+    /// Wipes the grant stages' tentative counters (end of commit).
+    pub(in crate::world) fn reset_grant_scratch(&mut self) {
+        for scratch in &mut self.grant_scratch {
+            scratch.reset();
+        }
+    }
+}
+
+/// Builds one [`WorkLane`] per logical shard over split borrows of the
+/// peer table and pending queues, installing `inboxes` (or empty ones).
+fn build_work_lanes<'a>(
+    layout: ShardLayout,
+    events_on: bool,
+    peers: &'a mut [Peer],
+    pendings: &'a mut [Vec<PeerId>],
+    mut inboxes: Vec<Vec<Msg>>,
+) -> Vec<WorkLane<'a>> {
+    let sz = layout.shard_size;
+    let mut lanes = Vec::with_capacity(layout.count);
+    let mut peers_rest = peers;
+    let mut pendings = pendings.iter_mut();
+    for s in 0..layout.count {
+        let take = sz.min(peers_rest.len());
+        let (chunk, rest) = peers_rest.split_at_mut(take);
+        peers_rest = rest;
+        lanes.push(WorkLane {
+            base: (s * sz) as PeerId,
+            peers: chunk,
+            pending: pendings.next().expect("pending per shard"),
+            events_on,
+            events: Vec::new(),
+            delta: MetricsDelta::default(),
+            out: Vec::new(),
+            inbox: if inboxes.is_empty() {
+                Vec::new()
+            } else {
+                core::mem::take(&mut inboxes[s])
+            },
+        });
+    }
+    lanes
+}
+
+/// Merges lane buffers back into the world in shard order and returns
+/// the concatenated outbox.
+fn merge_lanes(
+    event_log: &mut Vec<WorldEvent>,
+    metrics: &mut Metrics,
+    lanes: Vec<WorkLane<'_>>,
+) -> Vec<Msg> {
+    let mut out = Vec::new();
+    let mut delta = MetricsDelta::default();
+    for mut lane in lanes {
+        event_log.append(&mut lane.events);
+        merge_delta(&mut delta, &lane.delta);
+        out.append(&mut lane.out);
+    }
+    delta.apply(metrics);
+    out
+}
+
+/// Accumulates `src` into `dst` field by field.
+pub(in crate::world) fn merge_delta(dst: &mut MetricsDelta, src: &MetricsDelta) {
+    for c in 0..AgeCategory::COUNT {
+        dst.repairs[c] += src.repairs[c];
+        dst.losses[c] += src.losses[c];
+    }
+    dst.departures += src.departures;
+    dst.session_toggles += src.session_toggles;
+    dst.partner_timeouts += src.partner_timeouts;
+    dst.joins_completed += src.joins_completed;
+    dst.pool_shortfalls += src.pool_shortfalls;
+    dst.blocks_uploaded += src.blocks_uploaded;
+    dst.blocks_downloaded += src.blocks_downloaded;
+    dst.threshold_adjustments += src.threshold_adjustments;
+}
+
+/// Builds the wave-A claims for one proposal: ranks `0..d` of its pool.
+pub(in crate::world) fn wave_a_claims(prop: &Proposal, out: &mut Vec<Msg>) {
+    for (rank, cand) in prop.pool.iter().take(prop.d as usize).enumerate() {
+        out.push(Msg::Claim {
+            host: cand.id,
+            owner: prop.owner,
+            aidx: prop.aidx,
+            rank: rank as u16,
+            owner_observer: prop.owner_observer,
+        });
+    }
+}
+
+/// Computes the fallback (wave B) claims: for each proposal granted
+/// fewer than `d` placements, claim the next `d − granted` pool ranks
+/// beyond the wave-A window.
+fn wave_b_claims(proposals: &[Vec<Proposal>], grants: &[Vec<Msg>]) -> Vec<Msg> {
+    let mut claims = Vec::new();
+    for (shard, props) in proposals.iter().enumerate() {
+        let shard_grants = &grants[shard];
+        let mut cursor = 0usize;
+        for prop in props {
+            let mut granted = 0u32;
+            while cursor < shard_grants.len() {
+                let Msg::Grant { owner, aidx, .. } = shard_grants[cursor] else {
+                    unreachable!()
+                };
+                if (owner, aidx) != (prop.owner, prop.aidx) {
+                    break;
+                }
+                granted += 1;
+                cursor += 1;
+            }
+            let wave_a = (prop.d as usize).min(prop.pool.len());
+            let missing = (prop.d - granted) as usize;
+            if missing == 0 || wave_a >= prop.pool.len() {
+                continue;
+            }
+            let end = (wave_a + missing).min(prop.pool.len());
+            for (off, cand) in prop.pool[wave_a..end].iter().enumerate() {
+                claims.push(Msg::Claim {
+                    host: cand.id,
+                    owner: prop.owner,
+                    aidx: prop.aidx,
+                    rank: (wave_a + off) as u16,
+                    owner_observer: prop.owner_observer,
+                });
+            }
+        }
+        debug_assert_eq!(cursor, shard_grants.len(), "grants without a proposal");
+    }
+    claims
+}

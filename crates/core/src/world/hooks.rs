@@ -30,7 +30,7 @@
 
 use crate::age::AgeCategory;
 
-use super::peers::{ArchiveIdx, PeerId};
+use super::peers::PeerId;
 use super::BackupWorld;
 
 /// One block-level state change in the simulated world.
@@ -142,39 +142,49 @@ impl BackupWorld {
         self.event_log = log;
     }
 
-    #[inline]
-    pub(in crate::world) fn events_on(&self) -> bool {
-        self.record_events
+    /// Takes the buffered events wholesale, in emission order — for
+    /// observers (like the sharded fabric) that orchestrate their own
+    /// parallel replay instead of consuming one event at a time.
+    pub fn take_events(&mut self) -> Vec<WorldEvent> {
+        core::mem::take(&mut self.event_log)
     }
 
-    #[inline]
-    pub(in crate::world) fn emit(&mut self, event: WorldEvent) {
-        debug_assert!(self.record_events, "emit() guarded by events_on()");
-        self.event_log.push(event);
+    /// Number of logical shards the peer table is partitioned into (a
+    /// pure function of the configured capacity).
+    pub fn logical_shards(&self) -> usize {
+        self.layout.count
     }
 
-    /// Emits one [`WorldEvent::BlocksPlaced`] for the partners attached
-    /// beyond index `before` (the fresh-partner list only grows within
-    /// a protocol step, so the suffix is exactly the new batch).
-    pub(in crate::world) fn emit_placements(
-        &mut self,
-        owner: PeerId,
-        aidx: ArchiveIdx,
-        before: usize,
-    ) {
-        if !self.events_on() {
-            return;
-        }
-        let partners = &self.peers[owner as usize].archives[aidx as usize].partners;
-        if partners.len() > before {
-            let hosts = partners[before..].to_vec();
-            self.emit(WorldEvent::BlocksPlaced {
-                owner,
-                archive: aidx,
-                hosts,
-            });
-        }
+    /// The logical shard owning peer `slot` — the same partition the
+    /// simulator's parallel stages key on, exposed so a fabric can
+    /// shard its stores identically.
+    pub fn shard_of_peer(&self, slot: PeerId) -> usize {
+        self.layout.shard_of(slot)
     }
+
+    /// The currently allocated slot range of logical shard `shard`
+    /// (empty while the growth ramp has not reached it).
+    pub fn shard_slot_range(&self, shard: usize) -> core::ops::Range<PeerId> {
+        let sz = self.layout.shard_size;
+        let start = (shard * sz).min(self.peers.len());
+        let end = ((shard + 1) * sz).min(self.peers.len());
+        start as PeerId..end as PeerId
+    }
+
+    /// Worker threads the parallel stages run on (`SimConfig::shards`
+    /// clamped to the logical shard count).
+    pub fn worker_threads(&self) -> usize {
+        self.exec.workers
+    }
+
+    /// Whether cross-shard work stealing is enabled.
+    pub fn work_stealing(&self) -> bool {
+        self.exec.steal
+    }
+
+    // (Event emission lives on the stage lanes — `ShardLane::emit` /
+    // `WorkLane::emit` — whose buffers merge in shard order; the world
+    // itself only stores the merged log.)
 
     // ----- read accessors for fabric cross-checks --------------------------
 

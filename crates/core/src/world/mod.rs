@@ -20,16 +20,17 @@
 //! * An archive is **lost** the instant `present < k`; the owner counts
 //!   one loss and rebuilds from its local copy (a fresh join).
 //!
-//! ## Sharding and the phased round
+//! ## Sharding and the staged round
 //!
 //! The peer table is partitioned into a fixed number of **logical
 //! shards** (see [`shard`]); `SimConfig::shards` only sets how many
-//! worker threads execute the parallel phases, and same-seed results
-//! are bit-identical at every value. Each round runs as: population
-//! ramp → shard-local events (parallel) → cross-shard events
-//! (sequential, deterministic order) → partner-acquisition proposals
-//! against frozen state (parallel) → peer-id-ordered commit
-//! (sequential).
+//! worker threads execute the parallel stages, and same-seed results
+//! are bit-identical at every value. Each round runs as a pipeline of
+//! parallel stages over a **work-stealing executor** (see [`exec`]):
+//! population ramp → shard-local events + teardown hop 1 → message
+//! delivery (teardown hop 2) → frozen-state proposals + claims → the
+//! two-phase grant/apply commit. No sequential cross-shard pass
+//! remains.
 //!
 //! ## Layout
 //!
@@ -40,8 +41,7 @@
 //! * [`peers`] — the peer table: slots, epochs, archives, the online
 //!   index, population spawning, and structural snapshots.
 //! * [`events`] — the scheduled-event queue: event kinds, staleness
-//!   filtering, and the cross-shard departure / offline-timeout
-//!   handlers (shard-local kinds live in [`shard`]).
+//!   filtering, and the two-hop departure / offline-timeout teardown.
 //! * [`partners`] — partnership acquisition: the acceptance-gated
 //!   candidate pool and the partner/hosted bookkeeping it feeds.
 //! * [`repair`] — the repair-episode lifecycle: join, trigger, episode
@@ -49,8 +49,11 @@
 //!   policies.
 //! * [`shard`] — the logical partition, per-shard state, and the
 //!   shard-local event handlers.
+//! * [`exec`] — the staged executor: shard-addressed messages, the
+//!   deliver stages, and the two-phase parallel commit.
 
 mod events;
+mod exec;
 mod hooks;
 mod partners;
 mod peers;
@@ -61,7 +64,7 @@ mod shard;
 mod tests;
 
 use peerback_churn::SessionSampler;
-use peerback_sim::{derive_seed, Round, SimRng, TimingWheel, World};
+use peerback_sim::{derive_seed, HierarchicalWheel, Round, SimRng, World};
 use rand::SeedableRng;
 
 use crate::age::AgeCategory;
@@ -69,8 +72,9 @@ use crate::config::SimConfig;
 use crate::metrics::{CategorySample, Metrics, ObserverSeries};
 
 use events::Event;
+use exec::{ExecPolicy, GrantScratch, MetricsDelta, Msg};
 use peers::{ArchiveIdx, Peer};
-use shard::{ActionKind, Proposal, Scratch, ShardLane, ShardLayout};
+use shard::{Proposal, Scratch, ShardLane, ShardLayout};
 
 pub use hooks::{FabricObserver, WorldEvent};
 pub use peers::{ObserverState, PeerId, WorldSnapshot};
@@ -89,23 +93,25 @@ pub struct BackupWorld {
     pub(in crate::world) observer_count: usize,
     /// The fixed logical partition of the slot space.
     pub(in crate::world) layout: ShardLayout,
-    /// Worker threads for the parallel phases (`cfg.shards`, clamped).
-    pub(in crate::world) workers: usize,
+    /// How the parallel stages are dispatched (worker threads from
+    /// `cfg.shards`, stealing from `cfg.work_stealing`).
+    pub(in crate::world) exec: ExecPolicy,
     /// Per-shard online peers, for O(1) uniform candidate sampling.
     pub(in crate::world) online: Vec<Vec<PeerId>>,
     /// Position of each peer in its shard's online list (`OFFLINE` when
     /// offline).
     pub(in crate::world) online_pos: Vec<u32>,
-    /// Per-shard timing-wheel segments.
-    pub(in crate::world) wheels: Vec<TimingWheel<Event>>,
+    /// Per-shard timing-wheel segments (two-level: multi-year events
+    /// stop recirculating).
+    pub(in crate::world) wheels: Vec<HierarchicalWheel<Event>>,
     /// Per-shard queues of peers waiting for activation.
     pub(in crate::world) pendings: Vec<Vec<PeerId>>,
     /// Per-shard RNG streams (forked from the run seed + shard index).
     pub(in crate::world) rngs: Vec<SimRng>,
-    /// Per-shard buffers of deferred cross-shard events (reused).
-    pub(in crate::world) deferred: Vec<Vec<Event>>,
     /// Per-worker pool-building scratch (execution-only state).
     pub(in crate::world) scratch: Vec<Scratch>,
+    /// Per-shard tentative-quota scratch for the grant stages.
+    pub(in crate::world) grant_scratch: Vec<GrantScratch>,
     /// Scratch for the direct (white-box / single-call) pool path.
     #[cfg(test)]
     pub(in crate::world) direct_scratch: Scratch,
@@ -141,13 +147,17 @@ impl BackupWorld {
         let observer_count = cfg.observers.len();
         let capacity = cfg.n_peers + observer_count;
         let layout = ShardLayout::for_capacity(capacity);
-        let workers = cfg.shards.clamp(1, layout.count);
+        let exec = ExecPolicy {
+            workers: cfg.shards.clamp(1, layout.count),
+            steal: cfg.work_stealing,
+            fuzz: None,
+        };
         BackupWorld {
             samplers,
             observer_count,
             peers: Vec::with_capacity(capacity),
             layout,
-            workers,
+            exec,
             online: (0..layout.count).map(|_| Vec::new()).collect(),
             online_pos: Vec::with_capacity(capacity),
             wheels: (0..layout.count)
@@ -157,8 +167,8 @@ impl BackupWorld {
             rngs: (0..layout.count)
                 .map(|s| SimRng::seed_from_u64(derive_seed(cfg.seed, SHARD_STREAM_BASE + s as u64)))
                 .collect(),
-            deferred: (0..layout.count).map(|_| Vec::new()).collect(),
             scratch: Vec::new(),
+            grant_scratch: Vec::new(),
             #[cfg(test)]
             direct_scratch: Scratch::default(),
             census: [0; 4],
@@ -216,30 +226,25 @@ impl BackupWorld {
         self.wheels[s].schedule(due, event);
     }
 
-    /// Runs `f` with the shard RNG of `id` temporarily moved out, so
-    /// `f` may freely take `&mut self` alongside it.
-    pub(in crate::world) fn with_shard_rng<R>(
-        &mut self,
-        id: PeerId,
-        f: impl FnOnce(&mut Self, &mut SimRng) -> R,
-    ) -> R {
-        let s = self.layout.shard_of(id);
-        let mut rng = core::mem::replace(&mut self.rngs[s], SimRng::seed_from_u64(0));
-        let out = f(self, &mut rng);
-        self.rngs[s] = rng;
-        out
+    /// Installs a seed forcing every stage dispatch to execute its
+    /// tasks sequentially in a random order — the steal-interleaving
+    /// test hook ([`exec`] module docs).
+    #[cfg(test)]
+    pub(in crate::world) fn set_exec_fuzz(&mut self, seed: Option<u64>) {
+        self.exec.fuzz = seed;
     }
 
-    // ----- the phased round ------------------------------------------------
+    // ----- the staged round ------------------------------------------------
 
-    /// Phase 2: shard-local events, run on `workers` threads. Strictly
-    /// shard-local kinds (toggles, category advances, proactive ticks)
-    /// are handled here; deaths and offline timeouts are deferred.
-    fn run_local_events(&mut self, round: u64) {
+    /// Stage 1: shard-local events plus teardown hop 1, one stealable
+    /// task per shard. Returns the merged cross-shard messages and the
+    /// peers that departed this round.
+    fn run_local_events(&mut self, round: u64) -> (Vec<Msg>, Vec<PeerId>) {
         let layout = self.layout;
         let sz = layout.shard_size;
         let cfg = &self.cfg;
         let samplers = &self.samplers;
+        let events_on = self.record_events;
         let mut lanes: Vec<ShardLane> = Vec::with_capacity(layout.count);
         {
             let mut peers_rest: &mut [Peer] = &mut self.peers;
@@ -248,14 +253,13 @@ impl BackupWorld {
             let mut online = self.online.iter_mut();
             let mut pendings = self.pendings.iter_mut();
             let mut rngs = self.rngs.iter_mut();
-            for (s, deferred) in self.deferred.iter_mut().enumerate() {
+            for s in 0..layout.count {
                 let take = sz.min(peers_rest.len());
                 let (peers_chunk, rest) = peers_rest.split_at_mut(take);
                 peers_rest = rest;
                 let (pos_chunk, rest) = pos_rest.split_at_mut(take);
                 pos_rest = rest;
                 lanes.push(ShardLane {
-                    index: s,
                     base: (s * sz) as PeerId,
                     peers: peers_chunk,
                     pos: pos_chunk,
@@ -263,54 +267,44 @@ impl BackupWorld {
                     wheel: wheels.next().expect("wheel per shard"),
                     pending: pendings.next().expect("pending per shard"),
                     rng: rngs.next().expect("rng per shard"),
-                    deferred: core::mem::take(deferred),
-                    toggles: 0,
+                    events_on,
+                    events: Vec::new(),
+                    out: Vec::new(),
+                    departed: Vec::new(),
+                    delta: MetricsDelta::default(),
                     census_delta: [0; AgeCategory::COUNT],
                 });
             }
         }
 
-        let workers = self.workers.min(lanes.len()).max(1);
-        if workers == 1 {
-            let mut buf = Vec::new();
-            for lane in &mut lanes {
-                lane.run_local_events(round, cfg, samplers, &mut buf);
-            }
-        } else {
-            let per = lanes.len().div_ceil(workers);
-            std::thread::scope(|scope| {
-                for chunk in lanes.chunks_mut(per) {
-                    scope.spawn(move || {
-                        let mut buf = Vec::new();
-                        for lane in chunk {
-                            lane.run_local_events(round, cfg, samplers, &mut buf);
-                        }
-                    });
-                }
+        let workers = self.exec.workers.min(lanes.len()).max(1);
+        let mut bufs: Vec<Vec<Event>> = (0..workers).map(|_| Vec::new()).collect();
+        self.exec
+            .dispatch_with(round * 16 + 1, &mut bufs, &mut lanes, |buf, _, lane| {
+                lane.run_local_events(round, cfg, samplers, buf);
             });
-        }
 
-        // Merge the per-shard deltas in shard order (deterministic).
-        for lane in lanes {
-            self.metrics.diag.session_toggles += lane.toggles;
-            for (c, &delta) in lane.census_delta.iter().enumerate() {
-                self.census[c] = (self.census[c] as i64 + delta) as u64;
+        // Merge the per-shard buffers in shard order (deterministic).
+        let mut msgs = Vec::new();
+        let mut departed = Vec::new();
+        let mut events = Vec::new();
+        let mut delta = MetricsDelta::default();
+        let mut census_delta = [0i64; AgeCategory::COUNT];
+        for mut lane in lanes {
+            events.append(&mut lane.events);
+            msgs.append(&mut lane.out);
+            departed.append(&mut lane.departed);
+            exec::merge_delta(&mut delta, &lane.delta);
+            for (c, &d) in lane.census_delta.iter().enumerate() {
+                census_delta[c] += d;
             }
-            self.deferred[lane.index] = lane.deferred;
         }
-    }
-
-    /// Phase 3: deferred deaths and offline timeouts, applied
-    /// sequentially in shard order (their block drops reach owners in
-    /// arbitrary shards).
-    fn run_deferred_events(&mut self, round: u64) {
-        for s in 0..self.layout.count {
-            let mut events = core::mem::take(&mut self.deferred[s]);
-            for event in events.drain(..) {
-                self.handle_deferred(event, round);
-            }
-            self.deferred[s] = events;
+        self.event_log.extend(events);
+        delta.apply(&mut self.metrics);
+        for (c, &d) in census_delta.iter().enumerate() {
+            self.census[c] = (self.census[c] as i64 + d) as u64;
         }
+        (msgs, departed)
     }
 
     /// Phase 4a: drains the per-shard pending queues into sorted actor
@@ -334,92 +328,85 @@ impl BackupWorld {
     }
 
     /// Phase 4b: builds candidate-pool proposals against the frozen
-    /// end-of-event-phase state, in parallel across shards.
-    fn build_proposals(&mut self, round: u64, actors: &[Vec<PeerId>]) -> Vec<Vec<Proposal>> {
+    /// end-of-event-phase state, one stealable task per shard, emitting
+    /// the wave-A claims alongside.
+    fn build_proposals(
+        &mut self,
+        round: u64,
+        actors: &[Vec<PeerId>],
+    ) -> (Vec<Vec<Proposal>>, Vec<Msg>) {
         let count = self.layout.count;
-        let workers = self.workers.min(count).max(1);
+        let workers = self.exec.workers.min(count).max(1);
         if self.scratch.len() < workers {
             self.scratch.resize_with(workers, Scratch::default);
         }
         let mut rngs = core::mem::take(&mut self.rngs);
         let mut scratch = core::mem::take(&mut self.scratch);
-        let mut proposals: Vec<Vec<Proposal>> = (0..count).map(|_| Vec::new()).collect();
         // The online lists are frozen for the whole phase: one
         // prefix-sum, installed in every worker's scratch.
         let prefix = self.online_prefix();
         scratch.iter_mut().for_each(|scr| scr.prefix = prefix);
+        struct ProposeTask<'a> {
+            rng: &'a mut SimRng,
+            actors: &'a [PeerId],
+            proposals: Vec<Proposal>,
+            claims: Vec<Msg>,
+        }
+        let mut tasks: Vec<ProposeTask<'_>> = rngs
+            .iter_mut()
+            .zip(actors)
+            .map(|(rng, ids)| ProposeTask {
+                rng,
+                actors: ids,
+                proposals: Vec::new(),
+                claims: Vec::new(),
+            })
+            .collect();
         {
             let world: &BackupWorld = self;
-            if workers == 1 {
-                let scr = &mut scratch[0];
-                for s in 0..count {
+            let busy = actors.iter().filter(|a| !a.is_empty()).count();
+            // Pool building is expensive per actor; weight accordingly.
+            let work = actors.iter().map(Vec::len).sum::<usize>() * 64;
+            let policy = world.exec.narrowed(busy, work);
+            policy.dispatch_with(
+                round * 16 + 8,
+                &mut scratch[..workers],
+                &mut tasks,
+                |scr, _, task| {
                     propose_shard(
                         world,
-                        &actors[s],
-                        &mut rngs[s],
+                        task.actors,
+                        task.rng,
                         scr,
-                        &mut proposals[s],
+                        &mut task.proposals,
+                        &mut task.claims,
                         round,
                     );
-                }
-            } else {
-                let per = count.div_ceil(workers);
-                std::thread::scope(|scope| {
-                    let work = rngs
-                        .chunks_mut(per)
-                        .zip(proposals.chunks_mut(per))
-                        .zip(actors.chunks(per))
-                        .zip(scratch.iter_mut());
-                    for (((rng_chunk, prop_chunk), actor_chunk), scr) in work {
-                        scope.spawn(move || {
-                            for ((rng, out), ids) in rng_chunk
-                                .iter_mut()
-                                .zip(prop_chunk.iter_mut())
-                                .zip(actor_chunk)
-                            {
-                                propose_shard(world, ids, rng, scr, out, round);
-                            }
-                        });
-                    }
-                });
-            }
+                },
+            );
+        }
+        let mut proposals = Vec::with_capacity(count);
+        let mut claims = Vec::new();
+        for mut task in tasks {
+            proposals.push(core::mem::take(&mut task.proposals));
+            claims.append(&mut task.claims);
         }
         self.rngs = rngs;
         self.scratch = scratch;
-        proposals
-    }
-
-    /// Phase 5: applies proposals sequentially in global peer-id order
-    /// (shard order × sorted actors), re-validating candidate quotas
-    /// that earlier commits may have filled.
-    fn commit_proposals(&mut self, round: u64, proposals: Vec<Vec<Proposal>>) {
-        for shard_proposals in proposals {
-            for p in shard_proposals {
-                match p.kind {
-                    ActionKind::Join => self.continue_join(p.owner, p.aidx, p.pool, p.d),
-                    ActionKind::Threshold => {
-                        let k_prime = self.peers[p.owner as usize].threshold as u32;
-                        if self.open_episode_if_triggered(p.owner, p.aidx, k_prime, round) {
-                            self.continue_episode(p.owner, p.aidx, p.pool, p.d);
-                        }
-                    }
-                    ActionKind::Proactive => {
-                        self.proactive_step(p.owner, p.aidx, round, p.pool, p.d);
-                    }
-                }
-            }
-        }
+        (proposals, claims)
     }
 }
 
 /// Builds the proposals of one shard: pending owners in slot order,
-/// archives in index order, pools drawn from the shard's RNG stream.
+/// archives in index order, pools drawn from the shard's RNG stream,
+/// wave-A claims for ranks `0..d`.
 fn propose_shard(
     world: &BackupWorld,
     actors: &[PeerId],
     rng: &mut SimRng,
     scratch: &mut Scratch,
     out: &mut Vec<Proposal>,
+    claims: &mut Vec<Msg>,
     round: u64,
 ) {
     for &id in actors {
@@ -427,13 +414,16 @@ fn propose_shard(
             let aidx = aidx as ArchiveIdx;
             if let Some((kind, d)) = world.plan_archive(id, aidx) {
                 let pool = world.build_pool(scratch, rng, id, aidx, d, round);
-                out.push(Proposal {
+                let prop = Proposal {
                     owner: id,
                     aidx,
                     kind,
                     d,
+                    owner_observer: world.peers[id as usize].observer.is_some(),
                     pool,
-                });
+                };
+                exec::wave_a_claims(&prop, claims);
+                out.push(prop);
             }
         }
     }
@@ -443,15 +433,23 @@ impl World for BackupWorld {
     fn round_start(&mut self, round: Round, _rng: &mut SimRng) {
         let r = round.index();
         self.ensure_population(r);
-        self.run_local_events(r);
-        self.run_deferred_events(r);
+        let (msgs, departed) = self.run_local_events(r);
+        self.run_deliver(r, msgs);
+        // Every drop of the round's teardowns has now been delivered;
+        // announce the slot recycles (hooks.rs observer contract).
+        if self.record_events {
+            for id in departed {
+                self.event_log.push(WorldEvent::PeerDeparted { peer: id });
+            }
+        }
         let actors = self.drain_actors();
-        let proposals = self.build_proposals(r, &actors);
-        self.commit_proposals(r, proposals);
+        let (proposals, claims) = self.build_proposals(r, &actors);
+        self.commit_proposals(r, proposals, claims);
+        self.reset_grant_scratch();
     }
 
     fn collect_actors(&mut self, _round: Round, _buf: &mut Vec<usize>) {
-        // The phased driver activates peers inside `round_start`; the
+        // The staged driver activates peers inside `round_start`; the
         // engine's shuffle-and-activate loop has nothing left to do.
     }
 

@@ -29,7 +29,6 @@ use crate::accept::accepts;
 use crate::config::MaintenancePolicy;
 use crate::select::{AgeOrderedIndex, Candidate, SelectionStrategy};
 
-use super::hooks::WorldEvent;
 use super::peers::{ArchiveIdx, PeerId};
 use super::shard::{ActionKind, Scratch, MAX_SHARDS};
 use super::BackupWorld;
@@ -240,67 +239,82 @@ impl BackupWorld {
         self.direct_scratch = scratch;
         pool
     }
+}
 
-    /// Attaches up to `d` partners from a ranked pool to
-    /// `(owner_id, aidx)`, skipping candidates whose quota filled since
-    /// the pool was built (the only candidate state the sequential
-    /// commit phase can change). Returns how many were attached.
-    pub(in crate::world) fn attach_from_pool(
-        &mut self,
-        owner_id: PeerId,
-        aidx: ArchiveIdx,
-        d: u32,
-        pool: &[Candidate],
-    ) -> u32 {
-        let quota = self.cfg.quota;
-        let owner_is_observer = self.peers[owner_id as usize].observer.is_some();
-        let mut attached = 0u32;
-        for cand in pool {
-            if attached == d {
-                break;
-            }
-            let host = &mut self.peers[cand.id as usize];
-            if host.quota_used >= quota {
-                continue; // filled by an earlier commit this round
-            }
-            debug_assert!(host.online, "candidates cannot toggle mid-phase");
-            host.hosted.push((owner_id, aidx));
-            if !owner_is_observer {
-                host.quota_used += 1;
-            }
-            self.peers[owner_id as usize].archives[aidx as usize]
-                .partners
-                .push(cand.id);
-            attached += 1;
-        }
-        self.metrics.diag.blocks_uploaded += attached as u64;
-        attached
-    }
-
-    /// Removes one hosted entry for `(owner, aidx)` from `host`.
-    pub(in crate::world) fn remove_hosted_entry(
+impl super::exec::WorkLane<'_> {
+    /// Host-side bookkeeping of a granted-and-used placement: record
+    /// the hosted entry and charge quota (observer-owned blocks are
+    /// exempt, §4.2.2). The matching partner entry and the
+    /// `BlocksPlaced` event were written on the owner side.
+    pub(in crate::world) fn apply_attach(
         &mut self,
         host: PeerId,
         owner: PeerId,
         aidx: ArchiveIdx,
-        owner_is_observer: bool,
+        owner_observer: bool,
     ) {
-        let host_peer = &mut self.peers[host as usize];
-        let pos = host_peer
+        let peer = self.peer_mut(host);
+        debug_assert!(peer.online, "granted hosts cannot toggle mid-round");
+        peer.hosted.push((owner, aidx));
+        if !owner_observer {
+            peer.quota_used += 1;
+        }
+    }
+
+    /// Host-side bookkeeping of a released block: forget the hosted
+    /// entry and refund quota. Skips silently when the host's own
+    /// teardown already cleared its ledger this round — the owner-side
+    /// handler that sent this message emitted the drop event either
+    /// way.
+    pub(in crate::world) fn apply_release(
+        &mut self,
+        host: PeerId,
+        owner: PeerId,
+        aidx: ArchiveIdx,
+        owner_observer: bool,
+    ) {
+        let peer = self.peer_mut(host);
+        let Some(pos) = peer
             .hosted
             .iter()
             .position(|&(o, a)| o == owner && a == aidx)
-            .expect("partner entry implies a hosted entry");
-        host_peer.hosted.swap_remove(pos);
-        if !owner_is_observer {
-            host_peer.quota_used -= 1;
+        else {
+            return; // the host's ledger was torn down this round
+        };
+        peer.hosted.swap_remove(pos);
+        if !owner_observer {
+            peer.quota_used -= 1;
         }
-        if self.events_on() {
-            self.emit(WorldEvent::BlockDropped {
-                owner,
-                archive: aidx,
+    }
+
+    /// Owner-side half of attachment: appends the granted `hosts` (in
+    /// rank order, at most `d`) to the archive's partner list and
+    /// addresses the host-side bookkeeping. Returns how many attached.
+    pub(in crate::world) fn attach_partners(
+        &mut self,
+        owner: PeerId,
+        aidx: ArchiveIdx,
+        d: u32,
+        hosts: &[PeerId],
+    ) -> u32 {
+        let owner_observer = self.peer(owner).observer.is_some();
+        let mut attached = 0u32;
+        for &host in hosts {
+            if attached == d {
+                break;
+            }
+            self.peer_mut(owner).archives[aidx as usize]
+                .partners
+                .push(host);
+            self.out.push(super::exec::Msg::Attach {
                 host,
+                owner,
+                aidx,
+                owner_observer,
             });
+            attached += 1;
         }
+        self.delta.blocks_uploaded += attached as u64;
+        attached
     }
 }

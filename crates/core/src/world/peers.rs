@@ -6,12 +6,15 @@
 //! scheduled events and queued activations can detect that they refer to
 //! a peer that no longer exists.
 
+use peerback_churn::SessionSampler;
 use peerback_sim::Round;
 
 use crate::age::AgeCategory;
+use crate::config::SimConfig;
 use crate::metrics::ObserverSeries;
 
 use super::events::Event;
+use super::shard::ShardLane;
 use super::BackupWorld;
 
 /// Index of a peer slot. Slots are reused: when a peer departs, its
@@ -302,8 +305,53 @@ impl BackupWorld {
             self.online_pos.push(OFFLINE);
             self.spawned += 1;
             let id = (self.peers.len() - 1) as PeerId;
-            self.init_regular_peer(id, round);
+            let shard = self.layout.shard_of(id);
+            self.with_shard_lane(shard, |lane, cfg, samplers| {
+                lane.init_regular_peer(id, round, cfg, samplers);
+            });
         }
+    }
+
+    /// Builds a [`ShardLane`] over shard `s` and runs `f` with it,
+    /// merging the lane's census/metric deltas back afterwards. The
+    /// sequential entry to the lane-based handlers (population ramp,
+    /// white-box tests); the round driver builds all lanes at once
+    /// instead.
+    pub(in crate::world) fn with_shard_lane<R>(
+        &mut self,
+        s: usize,
+        f: impl FnOnce(&mut ShardLane<'_>, &SimConfig, &[SessionSampler]) -> R,
+    ) -> R {
+        let sz = self.layout.shard_size;
+        let base = s * sz;
+        let end = (base + sz).min(self.peers.len());
+        let mut lane = ShardLane {
+            base: base as PeerId,
+            peers: &mut self.peers[base..end],
+            pos: &mut self.online_pos[base..end],
+            online: &mut self.online[s],
+            wheel: &mut self.wheels[s],
+            pending: &mut self.pendings[s],
+            rng: &mut self.rngs[s],
+            events_on: self.record_events,
+            events: Vec::new(),
+            out: Vec::new(),
+            departed: Vec::new(),
+            delta: super::exec::MetricsDelta::default(),
+            census_delta: [0; AgeCategory::COUNT],
+        };
+        let r = f(&mut lane, &self.cfg, &self.samplers);
+        debug_assert!(lane.out.is_empty(), "with_shard_lane cannot route messages");
+        debug_assert!(lane.departed.is_empty(), "departures need the full driver");
+        let events = core::mem::take(&mut lane.events);
+        let mut delta = lane.delta;
+        let census_delta = lane.census_delta;
+        self.event_log.extend(events);
+        delta.apply(&mut self.metrics);
+        for (c, &d) in census_delta.iter().enumerate() {
+            self.census[c] = (self.census[c] as i64 + d) as u64;
+        }
+        r
     }
 
     pub(in crate::world) fn empty_peer() -> Peer {
@@ -347,67 +395,9 @@ impl BackupWorld {
         self.schedule_proactive(id, 0);
     }
 
-    /// (Re)initialises a regular peer in its slot: samples profile,
-    /// lifetime and initial session from the owning shard's RNG stream,
-    /// schedules its events on the shard's wheel segment.
-    pub(in crate::world) fn init_regular_peer(&mut self, id: PeerId, round: u64) {
-        self.with_shard_rng(id, |world, rng| {
-            let profile_id = world.cfg.profiles.sample(rng);
-            let lifetime = world.cfg.profiles.profile(profile_id).lifetime.sample(rng);
-            let sampler = world.samplers[profile_id];
-            let online = sampler.initial_online(rng);
-
-            let peer = &mut world.peers[id as usize];
-            peer.profile = profile_id as u8;
-            peer.threshold = world.cfg.maintenance.threshold().unwrap_or(0);
-            peer.birth = round;
-            peer.death = lifetime.map_or(u64::MAX, |l| round + l);
-            peer.observer = None;
-            peer.online = false; // set_online manages the index
-            peer.online_accum = 0;
-            peer.last_transition = round;
-            debug_assert!(peer.hosted.is_empty());
-            peer.archives
-                .resize_with(world.cfg.archives_per_peer as usize, ArchiveState::default);
-            peer.archives.iter_mut().for_each(ArchiveState::reset);
-            peer.quota_used = 0;
-
-            let epoch = peer.epoch;
-            let death = peer.death;
-            world.census[AgeCategory::Newcomer.index()] += 1;
-
-            if death != u64::MAX {
-                world.schedule_for(id, Round(death), Event::Death { peer: id, epoch });
-            }
-            // First category boundary.
-            world.schedule_for(
-                id,
-                Round(round + AgeCategory::BOUNDARIES[0]),
-                Event::CatAdvance { peer: id, epoch },
-            );
-            // Session process.
-            if sampler.always_online() {
-                world.set_online(id, true);
-            } else if sampler.always_offline() {
-                // Stays offline forever; it can never act.
-            } else if online {
-                world.set_online(id, true);
-                let dur = sampler.online_duration(rng);
-                world.schedule_for(id, Round(round + dur), Event::Toggle { peer: id, epoch });
-            } else {
-                let dur = sampler.offline_duration(rng);
-                world.schedule_for(id, Round(round + dur), Event::Toggle { peer: id, epoch });
-                // A freshly spawned offline peer is mid-way through an
-                // offline run; arm its write-off timer too (no-op before
-                // it hosts anything, but keeps the mechanism uniform).
-                world.schedule_offline_timeout(id, round);
-            }
-            world.schedule_proactive(id, round);
-            if world.peers[id as usize].online {
-                world.enqueue(id); // begin joining
-            }
-        });
-    }
+    // (Peer initialisation lives on `ShardLane::init_regular_peer`, so
+    // the population ramp and the parallel death-replacement path share
+    // one implementation.)
 
     // ----- online index and activation queue -------------------------------
 
@@ -472,5 +462,126 @@ pub(in crate::world) fn enqueue_pending(peer: &mut Peer, id: PeerId, pending: &m
     if !peer.queued {
         peer.queued = true;
         pending.push(id);
+    }
+}
+
+/// The profile id a fresh peer in `slot` receives. Normally a draw from
+/// the configured mix; under `SimConfig::skewed_churn` the **slot
+/// range** decides instead — the first quarter of the slot space gets
+/// the churniest profile, the rest the calmest — so one contiguous
+/// shard range concentrates nearly all deaths, timeouts and repairs
+/// (the work-stealing benchmark scenario). The RNG draw happens either
+/// way, keeping the shard streams aligned with the uniform mix.
+fn assign_profile(cfg: &SimConfig, slot: PeerId, rng: &mut peerback_sim::SimRng) -> usize {
+    let sampled = cfg.profiles.sample(rng);
+    if !cfg.skewed_churn {
+        return sampled;
+    }
+    let by_availability = |a: &usize, b: &usize| {
+        let av = cfg.profiles.profile(*a).availability;
+        let bv = cfg.profiles.profile(*b).availability;
+        av.partial_cmp(&bv).expect("availability is finite")
+    };
+    let ids: Vec<usize> = (0..cfg.profiles.len()).collect();
+    let churniest = *ids
+        .iter()
+        .min_by(|a, b| by_availability(a, b))
+        .expect("mix");
+    let calmest = *ids
+        .iter()
+        .max_by(|a, b| by_availability(a, b))
+        .expect("mix");
+    let capacity = cfg.n_peers + cfg.observers.len();
+    if (slot as usize) < capacity / 4 {
+        churniest
+    } else {
+        calmest
+    }
+}
+
+impl ShardLane<'_> {
+    /// (Re)initialises a regular peer in its slot: samples profile,
+    /// lifetime and initial session from the shard's RNG stream,
+    /// schedules its events on the shard's wheel segment. Shared by the
+    /// sequential population ramp and the parallel death-replacement
+    /// path.
+    pub(in crate::world) fn init_regular_peer(
+        &mut self,
+        id: PeerId,
+        round: u64,
+        cfg: &SimConfig,
+        samplers: &[SessionSampler],
+    ) {
+        let profile_id = assign_profile(cfg, id, self.rng);
+        let lifetime = cfg.profiles.profile(profile_id).lifetime.sample(self.rng);
+        let sampler = samplers[profile_id];
+        let online = sampler.initial_online(self.rng);
+
+        let peer = self.local(id);
+        peer.profile = profile_id as u8;
+        peer.threshold = cfg.maintenance.threshold().unwrap_or(0);
+        peer.birth = round;
+        peer.death = lifetime.map_or(u64::MAX, |l| round + l);
+        peer.observer = None;
+        peer.online = false; // set_online manages the index
+        peer.online_accum = 0;
+        peer.last_transition = round;
+        debug_assert!(peer.hosted.is_empty());
+        peer.archives
+            .resize_with(cfg.archives_per_peer as usize, ArchiveState::default);
+        peer.archives.iter_mut().for_each(ArchiveState::reset);
+        peer.quota_used = 0;
+
+        let epoch = peer.epoch;
+        let death = peer.death;
+        self.census_delta[AgeCategory::Newcomer.index()] += 1;
+
+        if death != u64::MAX {
+            self.wheel
+                .schedule(Round(death), Event::Death { peer: id, epoch });
+        }
+        // First category boundary.
+        self.wheel.schedule(
+            Round(round + AgeCategory::BOUNDARIES[0]),
+            Event::CatAdvance { peer: id, epoch },
+        );
+        // Session process.
+        if sampler.always_online() {
+            self.set_online(id, true);
+        } else if sampler.always_offline() {
+            // Stays offline forever; it can never act.
+        } else if online {
+            self.set_online(id, true);
+            let dur = sampler.online_duration(self.rng);
+            self.wheel
+                .schedule(Round(round + dur), Event::Toggle { peer: id, epoch });
+        } else {
+            let dur = sampler.offline_duration(self.rng);
+            self.wheel
+                .schedule(Round(round + dur), Event::Toggle { peer: id, epoch });
+            // A freshly spawned offline peer is mid-way through an
+            // offline run; arm its write-off timer too (no-op before
+            // it hosts anything, but keeps the mechanism uniform).
+            if cfg.offline_timeout > 0 {
+                let seq = self.local(id).session_seq;
+                self.wheel.schedule(
+                    Round(round + cfg.offline_timeout),
+                    Event::OfflineTimeout {
+                        peer: id,
+                        epoch,
+                        seq,
+                    },
+                );
+            }
+        }
+        if let crate::config::MaintenancePolicy::Proactive { tick_rounds } = cfg.maintenance {
+            self.wheel.schedule(
+                Round(round + tick_rounds),
+                Event::ProactiveTick { peer: id, epoch },
+            );
+        }
+        if self.local(id).online {
+            self.enqueue(id); // begin joining
+        }
     }
 }

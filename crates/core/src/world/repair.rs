@@ -4,46 +4,68 @@
 //!
 //! An **episode** is the unit of §3.2 maintenance: one `k`-block decode
 //! (paid when the episode opens) followed by `d` block uploads. Episodes
-//! are *persistent*: when the candidate pool comes up short the episode
+//! are *persistent*: when the grant exchange comes up short the episode
 //! stays open (`ArchiveState::repairing`) and the owner re-enqueues
 //! itself, continuing — without paying the decode again — on its next
 //! online activation.
 //!
-//! Every step takes the ranked pool built for it during the (possibly
-//! parallel) proposal phase, together with the `d` it was built for.
-//! The trigger logic always re-derives its decision from live state,
-//! which the proposal phase cannot have changed for owner-local fields
-//! — each step asserts that the pool's `d` still matches.
+//! Every function here runs on a [`WorkLane`] during the owner-side
+//! half of the parallel commit: it may mutate the **owner's** state,
+//! buffer events and metric deltas, and address host-side bookkeeping
+//! as [`Msg`]s — never touch another shard directly. The trigger logic
+//! re-derives its decision from live owner state (unchanged since the
+//! proposal froze it mid-round); each step asserts the proposal's `d`
+//! still matches.
 
-use crate::config::MaintenancePolicy;
-use crate::select::Candidate;
+use crate::config::{MaintenancePolicy, SimConfig};
 
+use super::exec::{Msg, WorkLane};
 use super::hooks::WorldEvent;
 use super::peers::{ArchiveIdx, PeerId};
-use super::BackupWorld;
+use super::shard::{ActionKind, Proposal};
 
-impl BackupWorld {
-    /// An archive's network copy became unrecoverable.
-    pub(in crate::world) fn record_loss(&mut self, owner_id: PeerId, aidx: ArchiveIdx, round: u64) {
-        // Emitted while the surviving partners are still attached so a
-        // fabric can replay the failing decode (hooks.rs ordering rule 2).
-        if self.events_on() {
-            self.emit(WorldEvent::ArchiveLost {
-                owner: owner_id,
-                archive: aidx,
-                round,
-            });
+impl WorkLane<'_> {
+    /// Applies one committed proposal with the `hosts` the two-phase
+    /// grant exchange awarded it (rank order, at most `d`).
+    pub(in crate::world) fn commit_step(
+        &mut self,
+        cfg: &SimConfig,
+        prop: &Proposal,
+        hosts: &[PeerId],
+        round: u64,
+    ) {
+        match prop.kind {
+            ActionKind::Join => self.continue_join(cfg, prop.owner, prop.aidx, hosts, prop.d),
+            ActionKind::Threshold => {
+                let k_prime = self.peer(prop.owner).threshold as u32;
+                if self.open_episode_if_triggered(cfg, prop.owner, prop.aidx, k_prime, round) {
+                    self.continue_episode(cfg, prop.owner, prop.aidx, hosts, prop.d);
+                }
+            }
+            ActionKind::Proactive => {
+                self.proactive_step(cfg, prop.owner, prop.aidx, round, hosts, prop.d);
+            }
         }
-        let owner = &self.peers[owner_id as usize];
-        let is_observer = owner.observer.is_some();
+    }
+
+    /// An archive's network copy became unrecoverable. Emits the loss
+    /// *before* the surviving partner drops (hooks.rs ordering rule 2),
+    /// releases the survivors host-side, and starts the re-join.
+    pub(in crate::world) fn record_loss(&mut self, owner: PeerId, aidx: ArchiveIdx, round: u64) {
+        self.emit(WorldEvent::ArchiveLost {
+            owner,
+            archive: aidx,
+            round,
+        });
+        let is_observer = self.peer(owner).observer.is_some();
         if !is_observer {
-            let cat = owner.category_at(round);
-            self.metrics.losses[cat.index()] += 1;
+            let cat = self.peer(owner).category_at(round);
+            self.delta.losses[cat.index()] += 1;
         }
         let (partners, stale) = {
-            let owner = &mut self.peers[owner_id as usize];
-            owner.losses += 1;
-            let archive = &mut owner.archives[aidx as usize];
+            let peer = self.peer_mut(owner);
+            peer.losses += 1;
+            let archive = &mut peer.archives[aidx as usize];
             archive.joined = false;
             archive.repairing = false;
             (
@@ -51,12 +73,22 @@ impl BackupWorld {
                 core::mem::take(&mut archive.stale_partners),
             )
         };
-        for p in partners.into_iter().chain(stale) {
-            self.remove_hosted_entry(p, owner_id, aidx, is_observer);
+        for host in partners.into_iter().chain(stale) {
+            self.emit(WorldEvent::BlockDropped {
+                owner,
+                archive: aidx,
+                host,
+            });
+            self.out.push(Msg::Release {
+                host,
+                owner,
+                aidx,
+                owner_observer: is_observer,
+            });
         }
         // Re-backup from the local copy: start a fresh join.
-        if self.peers[owner_id as usize].online {
-            self.enqueue(owner_id);
+        if self.peer(owner).online {
+            self.enqueue(owner);
         }
     }
 
@@ -64,86 +96,53 @@ impl BackupWorld {
     /// "repair with d = 256", §3.2 — tracked separately from repairs).
     pub(in crate::world) fn continue_join(
         &mut self,
+        cfg: &SimConfig,
         id: PeerId,
         aidx: ArchiveIdx,
-        pool: Vec<Candidate>,
+        hosts: &[PeerId],
         built_for: u32,
     ) {
-        let n = self.n_blocks();
-        let d = n - self.peers[id as usize].archives[aidx as usize].present();
+        let n = cfg.n_blocks();
+        let d = n - self.peer(id).archives[aidx as usize].present();
         debug_assert_eq!(built_for, d, "join plan diverged from commit-time state");
-        let before = self.peers[id as usize].archives[aidx as usize]
-            .partners
-            .len();
-        let attached = self.attach_from_pool(id, aidx, d, &pool);
+        let before = self.peer(id).archives[aidx as usize].partners.len();
+        let attached = self.attach_partners(id, aidx, d, hosts);
         self.emit_placements(id, aidx, before);
-        let archive = &mut self.peers[id as usize].archives[aidx as usize];
+        let archive = &mut self.peer_mut(id).archives[aidx as usize];
         if archive.present() == n {
             archive.joined = true;
-            self.metrics.diag.joins_completed += 1;
-            if self.events_on() {
-                self.emit(WorldEvent::JoinCompleted {
-                    owner: id,
-                    archive: aidx,
-                });
-            }
+            self.delta.joins_completed += 1;
+            self.emit(WorldEvent::JoinCompleted {
+                owner: id,
+                archive: aidx,
+            });
         } else {
             if attached < d {
-                self.metrics.diag.pool_shortfalls += 1;
+                self.delta.pool_shortfalls += 1;
             }
             self.enqueue(id); // keep joining next round
         }
     }
 
     /// Records the start of a repair episode (metrics + decode cost).
-    pub(in crate::world) fn begin_episode(
-        &mut self,
-        id: PeerId,
-        aidx: ArchiveIdx,
-        round: u64,
-        refresh: bool,
-    ) {
-        let peer = &mut self.peers[id as usize];
-        let archive = &mut peer.archives[aidx as usize];
-        archive.repairing = true;
-        archive.episode_struggled = false;
-        peer.repairs += 1;
-        let is_observer = peer.observer.is_some();
-        self.metrics.diag.blocks_downloaded += self.k() as u64;
-        if !is_observer {
-            let cat = self.peers[id as usize].category_at(round);
-            self.metrics.repairs[cat.index()] += 1;
+    fn begin_episode(&mut self, id: PeerId, aidx: ArchiveIdx, round: u64, refresh: bool) {
+        let is_regular = {
+            let peer = self.peer_mut(id);
+            let archive = &mut peer.archives[aidx as usize];
+            archive.repairing = true;
+            archive.episode_struggled = false;
+            peer.repairs += 1;
+            peer.observer.is_none()
+        };
+        if is_regular {
+            let cat = self.peer(id).category_at(round);
+            self.delta.repairs[cat.index()] += 1;
         }
-        if self.events_on() {
-            self.emit(WorldEvent::EpisodeStarted {
-                owner: id,
-                archive: aidx,
-                refresh,
-            });
-        }
-    }
-
-    /// Reactive repair, single-call form: trigger check, pool sampling
-    /// and continuation in one step. White-box test entry point — the
-    /// round driver goes through [`BackupWorld::open_episode_if_triggered`]
-    /// with a proposal-phase pool instead.
-    #[cfg(test)]
-    pub(in crate::world) fn reactive_repair(
-        &mut self,
-        id: PeerId,
-        aidx: ArchiveIdx,
-        k_prime: u32,
-        round: u64,
-        rng: &mut peerback_sim::SimRng,
-    ) {
-        if self.open_episode_if_triggered(id, aidx, k_prime, round) {
-            let d = self.n_blocks()
-                - self.peers[id as usize].archives[aidx as usize]
-                    .partners
-                    .len() as u32;
-            let pool = self.build_pool_direct(rng, id, aidx, d, round);
-            self.continue_episode(id, aidx, pool, d);
-        }
+        self.emit(WorldEvent::EpisodeStarted {
+            owner: id,
+            archive: aidx,
+            refresh,
+        });
     }
 
     /// The threshold-policy trigger: opens an episode (with the refresh
@@ -151,26 +150,28 @@ impl BackupWorld {
     /// episode is active — i.e. whether a continuation step should run.
     pub(in crate::world) fn open_episode_if_triggered(
         &mut self,
+        cfg: &SimConfig,
         id: PeerId,
         aidx: ArchiveIdx,
         k_prime: u32,
         round: u64,
     ) -> bool {
         let (present, repairing) = {
-            let a = &self.peers[id as usize].archives[aidx as usize];
+            let a = &self.peer(id).archives[aidx as usize];
             (a.present(), a.repairing)
         };
         if !repairing {
             if present >= k_prime {
                 return false; // stale trigger (a repair already covered it)
             }
-            debug_assert!(present >= self.k(), "loss should have been recorded");
-            self.begin_episode(id, aidx, round, self.cfg.refresh_on_repair);
-            if self.cfg.refresh_on_repair {
+            debug_assert!(present >= cfg.k as u32, "loss should have been recorded");
+            self.begin_episode(id, aidx, round, cfg.refresh_on_repair);
+            self.delta.blocks_downloaded += cfg.k as u64;
+            if cfg.refresh_on_repair {
                 // New code word: every surviving block will be displaced
                 // by a freshly placed one (§2.2.3's "re-encode … new
                 // blocks"). Old partners stay counted until displaced.
-                let archive = &mut self.peers[id as usize].archives[aidx as usize];
+                let archive = &mut self.peer_mut(id).archives[aidx as usize];
                 debug_assert!(archive.stale_partners.is_empty());
                 core::mem::swap(&mut archive.partners, &mut archive.stale_partners);
             }
@@ -183,61 +184,64 @@ impl BackupWorld {
     /// present count never dips during a refreshing episode.
     pub(in crate::world) fn continue_episode(
         &mut self,
+        cfg: &SimConfig,
         id: PeerId,
         aidx: ArchiveIdx,
-        pool: Vec<Candidate>,
+        hosts: &[PeerId],
         built_for: u32,
     ) {
-        let n = self.n_blocks();
-        let d = n - self.peers[id as usize].archives[aidx as usize]
-            .partners
-            .len() as u32;
+        let n = cfg.n_blocks();
+        let d = n - self.peer(id).archives[aidx as usize].partners.len() as u32;
         debug_assert_eq!(built_for, d, "episode plan diverged from commit-time state");
         if d == 0 {
-            let archive = &mut self.peers[id as usize].archives[aidx as usize];
+            let archive = &mut self.peer_mut(id).archives[aidx as usize];
             debug_assert!(archive.stale_partners.is_empty());
             archive.repairing = false;
-            if self.events_on() {
-                self.emit(WorldEvent::EpisodeCompleted {
-                    owner: id,
-                    archive: aidx,
-                });
-            }
-            self.adapt_threshold(id, aidx);
+            self.emit(WorldEvent::EpisodeCompleted {
+                owner: id,
+                archive: aidx,
+            });
+            self.adapt_threshold(cfg, id, aidx);
             return;
         }
-        let before = self.peers[id as usize].archives[aidx as usize]
-            .partners
-            .len();
-        let attached = self.attach_from_pool(id, aidx, d, &pool);
-        // Displace one stale partner per block placed beyond `n`.
-        let owner_is_observer = self.peers[id as usize].observer.is_some();
-        while self.peers[id as usize].archives[aidx as usize].present() > n {
-            let stale = self.peers[id as usize].archives[aidx as usize]
+        let before = self.peer(id).archives[aidx as usize].partners.len();
+        let attached = self.attach_partners(id, aidx, d, hosts);
+        // Displace one stale partner per block placed beyond `n`; the
+        // drops are announced *before* the placements so an observer
+        // never sees more than `n` live blocks (hooks.rs ordering
+        // rule 1).
+        let owner_observer = self.peer(id).observer.is_some();
+        while self.peer(id).archives[aidx as usize].present() > n {
+            let stale = self.peer_mut(id).archives[aidx as usize]
                 .stale_partners
                 .pop()
                 .expect("present > n implies stale partners remain");
-            self.remove_hosted_entry(stale, id, aidx, owner_is_observer);
+            self.emit(WorldEvent::BlockDropped {
+                owner: id,
+                archive: aidx,
+                host: stale,
+            });
+            self.out.push(Msg::Release {
+                host: stale,
+                owner: id,
+                aidx,
+                owner_observer,
+            });
         }
-        // Placements are announced *after* the displacement drops so an
-        // observer never sees more than `n` live blocks (hooks.rs
-        // ordering rule 1).
         self.emit_placements(id, aidx, before);
-        let archive = &mut self.peers[id as usize].archives[aidx as usize];
+        let archive = &mut self.peer_mut(id).archives[aidx as usize];
         if archive.partners.len() as u32 == n {
             debug_assert!(archive.stale_partners.is_empty());
             archive.repairing = false;
-            if self.events_on() {
-                self.emit(WorldEvent::EpisodeCompleted {
-                    owner: id,
-                    archive: aidx,
-                });
-            }
-            self.adapt_threshold(id, aidx);
+            self.emit(WorldEvent::EpisodeCompleted {
+                owner: id,
+                archive: aidx,
+            });
+            self.adapt_threshold(cfg, id, aidx);
         } else {
             if attached < d {
-                self.metrics.diag.pool_shortfalls += 1;
-                archive.episode_struggled = true;
+                self.delta.pool_shortfalls += 1;
+                self.peer_mut(id).archives[aidx as usize].episode_struggled = true;
             }
             self.enqueue(id);
         }
@@ -246,18 +250,18 @@ impl BackupWorld {
     /// Applies the adaptive policy's per-peer adjustment after a
     /// completed episode: struggling peers back off (repair later, churn
     /// less); healthy peers drift back up to `base`.
-    pub(in crate::world) fn adapt_threshold(&mut self, id: PeerId, aidx: ArchiveIdx) {
+    fn adapt_threshold(&mut self, cfg: &SimConfig, id: PeerId, aidx: ArchiveIdx) {
         let MaintenancePolicy::Adaptive {
             base,
             floor_margin,
             step,
-        } = self.cfg.maintenance
+        } = cfg.maintenance
         else {
             return;
         };
-        let floor = (self.cfg.k + floor_margin).min(base);
-        let struggled = self.peers[id as usize].archives[aidx as usize].episode_struggled;
-        let peer = &mut self.peers[id as usize];
+        let floor = (cfg.k + floor_margin).min(base);
+        let struggled = self.peer(id).archives[aidx as usize].episode_struggled;
+        let peer = self.peer_mut(id);
         let old = peer.threshold;
         peer.threshold = if struggled {
             peer.threshold.saturating_sub(step).max(floor)
@@ -265,7 +269,7 @@ impl BackupWorld {
             peer.threshold.saturating_add(step).min(base)
         };
         if peer.threshold != old {
-            self.metrics.diag.threshold_adjustments += 1;
+            self.delta.threshold_adjustments += 1;
         }
     }
 
@@ -273,23 +277,64 @@ impl BackupWorld {
     /// blocks at every tick, without any threshold trigger.
     pub(in crate::world) fn proactive_step(
         &mut self,
+        cfg: &SimConfig,
         id: PeerId,
         aidx: ArchiveIdx,
         round: u64,
-        pool: Vec<Candidate>,
+        hosts: &[PeerId],
         built_for: u32,
     ) {
         let (present, repairing) = {
-            let a = &self.peers[id as usize].archives[aidx as usize];
+            let a = &self.peer(id).archives[aidx as usize];
             (a.present(), a.repairing)
         };
         if !repairing {
-            if present >= self.n_blocks() {
+            if present >= cfg.n_blocks() {
                 return; // nothing disappeared since the last tick
             }
             // Proactive ticks top up missing blocks only; no refresh.
             self.begin_episode(id, aidx, round, false);
+            self.delta.blocks_downloaded += cfg.k as u64;
         }
-        self.continue_episode(id, aidx, pool, built_for);
+        self.continue_episode(cfg, id, aidx, hosts, built_for);
+    }
+}
+
+#[cfg(test)]
+impl super::BackupWorld {
+    /// Reactive repair, single-call form: trigger check, pool sampling
+    /// and the full two-phase commit in one step. White-box test entry
+    /// point — the round driver batches proposals instead.
+    pub(in crate::world) fn reactive_repair(
+        &mut self,
+        id: PeerId,
+        aidx: ArchiveIdx,
+        k_prime: u32,
+        round: u64,
+        rng: &mut peerback_sim::SimRng,
+    ) {
+        debug_assert_eq!(
+            k_prime, self.peers[id as usize].threshold as u32,
+            "white-box threshold must match the peer's"
+        );
+        let Some((kind, d)) = self.plan_archive(id, aidx) else {
+            return;
+        };
+        let pool = self.build_pool_direct(rng, id, aidx, d, round);
+        let prop = Proposal {
+            owner: id,
+            aidx,
+            kind,
+            d,
+            owner_observer: self.peers[id as usize].observer.is_some(),
+            pool,
+        };
+        let mut claims = Vec::new();
+        super::exec::wave_a_claims(&prop, &mut claims);
+        let mut proposals: Vec<Vec<Proposal>> =
+            (0..self.layout.count).map(|_| Vec::new()).collect();
+        proposals[self.layout.shard_of(id)].push(prop);
+        self.commit_proposals(round, proposals, claims);
+        self.reset_grant_scratch();
     }
 }

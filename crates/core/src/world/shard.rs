@@ -42,13 +42,15 @@
 //! [`WorldEvent`]: super::hooks::WorldEvent
 
 use peerback_churn::SessionSampler;
-use peerback_sim::{Round, SimRng, TimingWheel};
+use peerback_sim::{HierarchicalWheel, Round, SimRng};
 
 use crate::age::AgeCategory;
 use crate::config::SimConfig;
 use crate::select::Candidate;
 
 use super::events::Event;
+use super::exec::{MetricsDelta, Msg};
+use super::hooks::WorldEvent;
 use super::peers::{ArchiveIdx, Peer, PeerId};
 
 /// Upper bound on logical shards (and therefore on useful worker
@@ -59,9 +61,15 @@ pub(in crate::world) const MAX_SHARDS: usize = 64;
 /// bookkeeping without parallel work.
 const MIN_SHARD_SLOTS: usize = 64;
 
-/// Per-shard timing-wheel horizon (buckets). Events further out simply
-/// recirculate (one extra touch per lap).
-const SHARD_WHEEL_HORIZON: usize = 2048;
+/// Inner (one bucket per round) level of the per-shard hierarchical
+/// timing wheel.
+const SHARD_WHEEL_INNER: usize = 512;
+
+/// Outer (one bucket per inner lap) level: the direct horizon is
+/// `512 × 512 = 262,144` rounds ≈ 30 simulated years, so multi-year
+/// lifetimes are touched at most twice instead of recirculating every
+/// 2,048 rounds as on the old single-level wheel.
+const SHARD_WHEEL_OUTER: usize = 512;
 
 /// The fixed logical partition of the peer-slot space.
 ///
@@ -106,9 +114,13 @@ pub(in crate::world) struct Proposal {
     /// Partners needed when the pool was built (commit re-derives the
     /// same value; kept for the drift assertion).
     pub(in crate::world) d: u32,
-    /// Ranked candidate pool. Commit walks it in order and attaches the
-    /// first `d` still-valid entries, so earlier commits filling a
-    /// candidate's quota degrade the pool instead of voiding it.
+    /// Whether the owner is an observer (observer placements are quota-
+    /// exempt; carried so host shards need no cross-shard lookup).
+    pub(in crate::world) owner_observer: bool,
+    /// Ranked candidate pool. The two-phase commit claims ranks `0..d`
+    /// first and falls back to the ranks beyond `d` for denied claims,
+    /// so earlier grants filling a candidate's quota degrade the pool
+    /// instead of voiding the step.
     pub(in crate::world) pool: Vec<Candidate>,
 }
 
@@ -196,10 +208,8 @@ pub(in crate::world) fn event_sort_key(event: &Event) -> (PeerId, u8, u32) {
 }
 
 /// Everything one logical shard owns mutably during the parallel local
-/// phases, plus the deltas it reports back for sequential merging.
+/// phases, plus the task-local buffers merged back in shard order.
 pub(in crate::world) struct ShardLane<'a> {
-    /// Index of this logical shard.
-    pub(in crate::world) index: usize,
     /// First slot id of the shard's range.
     pub(in crate::world) base: PeerId,
     /// This shard's peer slots (`peers[base..]`, may be empty during
@@ -211,28 +221,34 @@ pub(in crate::world) struct ShardLane<'a> {
     /// sampling indexes into it).
     pub(in crate::world) online: &'a mut Vec<PeerId>,
     /// This shard's timing-wheel segment.
-    pub(in crate::world) wheel: &'a mut TimingWheel<Event>,
+    pub(in crate::world) wheel: &'a mut HierarchicalWheel<Event>,
     /// Peers of this shard awaiting activation.
     pub(in crate::world) pending: &'a mut Vec<PeerId>,
     /// This shard's RNG stream.
     pub(in crate::world) rng: &'a mut SimRng,
-    /// Deaths and offline timeouts deferred to the sequential pass, in
-    /// sorted order.
-    pub(in crate::world) deferred: Vec<Event>,
-    /// Session toggles processed (merged into `Diagnostics`).
-    pub(in crate::world) toggles: u64,
+    /// Whether the world records events.
+    pub(in crate::world) events_on: bool,
+    /// Events emitted by this shard's handlers (merged in shard order).
+    pub(in crate::world) events: Vec<WorldEvent>,
+    /// Cross-shard effects of this shard's deaths/timeouts, delivered
+    /// in the next stage.
+    pub(in crate::world) out: Vec<Msg>,
+    /// Peers that departed this round (slot recycled in place).
+    pub(in crate::world) departed: Vec<PeerId>,
+    /// Metric counters bumped by this shard's handlers.
+    pub(in crate::world) delta: MetricsDelta,
     /// Census movement between age categories.
     pub(in crate::world) census_delta: [i64; AgeCategory::COUNT],
 }
 
 impl ShardLane<'_> {
     #[inline]
-    fn local(&mut self, id: PeerId) -> &mut Peer {
+    pub(in crate::world) fn local(&mut self, id: PeerId) -> &mut Peer {
         &mut self.peers[(id - self.base) as usize]
     }
 
     /// Shard-local entry to the shared online-index invariant.
-    fn set_online(&mut self, id: PeerId, online: bool) {
+    pub(in crate::world) fn set_online(&mut self, id: PeerId, online: bool) {
         let base = self.base;
         super::peers::update_online_index(
             &mut self.peers[(id - base) as usize],
@@ -245,14 +261,23 @@ impl ShardLane<'_> {
     }
 
     /// Shard-local entry to the shared pending-queue invariant.
-    fn enqueue(&mut self, id: PeerId) {
+    pub(in crate::world) fn enqueue(&mut self, id: PeerId) {
         let base = self.base;
         super::peers::enqueue_pending(&mut self.peers[(id - base) as usize], id, self.pending);
     }
 
+    #[inline]
+    pub(in crate::world) fn emit(&mut self, event: WorldEvent) {
+        if self.events_on {
+            self.events.push(event);
+        }
+    }
+
     /// Runs the shard-local half of the event phase for `round`: fires
-    /// the wheel segment, sorts the due events, handles the local
-    /// kinds, and defers deaths/timeouts.
+    /// the wheel segment, sorts the due events, and handles every kind
+    /// shard-locally. Deaths and offline timeouts tear down their own
+    /// slot here (hop 1) and address the cross-shard half of the
+    /// teardown as [`Msg`]s for the deliver stage (hop 2).
     pub(in crate::world) fn run_local_events(
         &mut self,
         round: u64,
@@ -280,11 +305,16 @@ impl ShardLane<'_> {
                         self.process_proactive_tick(peer, round, cfg);
                     }
                 }
-                Event::Death { .. } | Event::OfflineTimeout { .. } => {
-                    // Cross-shard write paths (dropping hosted blocks
-                    // touches owners anywhere): deferred to the
-                    // sequential pass. Validity is checked there.
-                    self.deferred.push(event);
+                Event::Death { peer, epoch } => {
+                    if self.local(peer).epoch == epoch {
+                        self.process_death_local(peer, round, cfg, samplers);
+                    }
+                }
+                Event::OfflineTimeout { peer, epoch, seq } => {
+                    let p = self.local(peer);
+                    if p.epoch == epoch && p.session_seq == seq && !p.online {
+                        self.process_timeout_local(peer);
+                    }
                 }
             }
         }
@@ -299,7 +329,7 @@ impl ShardLane<'_> {
         cfg: &SimConfig,
         samplers: &[SessionSampler],
     ) {
-        self.toggles += 1;
+        self.delta.session_toggles += 1;
         let going_online = !self.local(id).online;
         {
             let peer = self.local(id);
@@ -390,8 +420,8 @@ impl ShardLane<'_> {
 }
 
 /// Builds a fresh per-shard timing wheel.
-pub(in crate::world) fn new_shard_wheel() -> TimingWheel<Event> {
-    TimingWheel::new(SHARD_WHEEL_HORIZON)
+pub(in crate::world) fn new_shard_wheel() -> HierarchicalWheel<Event> {
+    HierarchicalWheel::new(SHARD_WHEEL_INNER, SHARD_WHEEL_OUTER)
 }
 
 #[cfg(test)]

@@ -990,6 +990,212 @@ fn cross_shard_episode_records_the_loss_exactly_once() {
     }
 }
 
+// ----- the staged executor: steal interleavings and commit conflicts --------
+
+/// As [`run_recorded`], with every stage dispatch executing its tasks
+/// sequentially in a seeded random order — the deterministic stand-in
+/// for an arbitrary work-steal interleaving.
+fn run_recorded_fuzzed(cfg: SimConfig, fuzz: u64) -> (Metrics, Vec<WorldEvent>) {
+    struct Collector(Vec<WorldEvent>);
+    impl FabricObserver for Collector {
+        fn on_world_event(&mut self, _world: &BackupWorld, event: &WorldEvent) {
+            self.0.push(event.clone());
+        }
+    }
+    let rounds = cfg.rounds;
+    let seed = cfg.seed;
+    let mut world = BackupWorld::new(cfg);
+    world.set_event_recording(true);
+    world.set_exec_fuzz(Some(fuzz));
+    let mut engine = Engine::new(seed);
+    let mut collector = Collector(Vec::new());
+    for _ in 0..rounds {
+        engine.step(&mut world);
+        world.dispatch_events(&mut collector);
+    }
+    (world.into_metrics(), collector.0)
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::test_runner::ProptestConfig::with_cases(6))]
+
+    /// The executor determinism contract: random steal interleavings
+    /// (seeded scheduler permutations of every stage's task order)
+    /// produce exactly the shards=1 metrics and event stream.
+    #[test]
+    fn steal_interleavings_never_change_the_stream(
+        seed in proptest::strategy::any::<u64>(),
+        fuzz in proptest::strategy::any::<u64>(),
+        peers in 150usize..400,
+        shards in 2usize..9,
+    ) {
+        let mut cfg = SimConfig::paper(peers, 60, seed);
+        cfg.k = 4;
+        cfg.m = 4;
+        cfg.quota = 24;
+        cfg.maintenance = MaintenancePolicy::Reactive { threshold: 5 };
+        let (m1, e1) = run_recorded(cfg.clone());
+        cfg.shards = shards;
+        let (m2, e2) = run_recorded_fuzzed(cfg, fuzz);
+        proptest::prop_assert!(m1 == m2, "metrics diverged under a fuzzed schedule");
+        proptest::prop_assert!(e1 == e2, "event stream diverged under a fuzzed schedule");
+        proptest::prop_assert!(!e1.is_empty(), "run too quiet to be meaningful");
+    }
+}
+
+#[test]
+fn contended_partner_slot_commits_to_the_lower_owner() {
+    // Two owners in different shards propose the same candidate, which
+    // has exactly one free quota slot. The two-phase grant exchange
+    // must resolve the conflict deterministically — global commit
+    // order, i.e. the lower owner id — and the loser records a
+    // shortfall instead of over-committing the host.
+    use super::exec;
+    use super::shard::{ActionKind, Proposal};
+    use crate::select::Candidate;
+
+    let mut cfg = sharded_config(300, 120, 33);
+    cfg.refresh_on_repair = false; // repairs top up only missing blocks
+    let threshold = 10u32;
+    let quota = cfg.quota;
+    let mut world = BackupWorld::new(cfg);
+    let mut engine = Engine::new(33);
+
+    // Find two joined, online, idle owners — in different shards.
+    let (a, b) = 'found: {
+        for _ in 0..150 {
+            engine.step(&mut world);
+            let owners: Vec<PeerId> = world
+                .peers
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| {
+                    p.observer.is_none()
+                        && p.online
+                        && p.fully_joined()
+                        && !p.archives[0].repairing
+                        && p.archives[0].stale_partners.is_empty()
+                })
+                .map(|(i, _)| i as PeerId)
+                .collect();
+            for &a in &owners {
+                for &b in &owners {
+                    if b > a && world.layout.shard_of(a) != world.layout.shard_of(b) {
+                        break 'found (a, b);
+                    }
+                }
+            }
+        }
+        panic!("no cross-shard owner pair found");
+    };
+    let round = engine.current_round().index();
+
+    // Candidate c: online, hosting for neither owner.
+    let c = world
+        .peers
+        .iter()
+        .enumerate()
+        .position(|(i, p)| {
+            let i = i as PeerId;
+            p.observer.is_none()
+                && p.online
+                && i != a
+                && i != b
+                && !world.peers[a as usize].archives[0].partners.contains(&i)
+                && !world.peers[b as usize].archives[0].partners.contains(&i)
+        })
+        .expect("an eligible candidate exists") as PeerId;
+
+    // Knock both archives below the repair threshold (never below k),
+    // avoiding c so its ledger stays untouched.
+    for owner in [a, b] {
+        while world.peers[owner as usize].archives[0].present() >= threshold {
+            let host = *world.peers[owner as usize].archives[0]
+                .partners
+                .iter()
+                .find(|&&h| h != c)
+                .expect("a partner other than c remains");
+            world.drop_hosted_blocks(host, round);
+        }
+        assert!(world.peers[owner as usize].archives[0].present() >= world.k());
+    }
+
+    // Exactly one free slot on the contended candidate.
+    world.peers[c as usize].quota_used = quota - 1;
+
+    let mk = |world: &BackupWorld, owner: PeerId| {
+        let (kind, d) = world.plan_archive(owner, 0).expect("below threshold");
+        assert_eq!(kind, ActionKind::Threshold);
+        assert!(d >= 1);
+        Proposal {
+            owner,
+            aidx: 0,
+            kind,
+            d,
+            owner_observer: false,
+            pool: vec![Candidate {
+                id: c,
+                age: world.peers[c as usize].age_at(round),
+                uptime: world.peers[c as usize].uptime_at(round),
+                true_remaining: world.peers[c as usize].death.saturating_sub(round),
+            }],
+        }
+    };
+    let shortfalls_before = world.metrics.diag.pool_shortfalls;
+    let mut proposals: Vec<Vec<Proposal>> = (0..world.layout.count).map(|_| Vec::new()).collect();
+    let mut claims = Vec::new();
+    for owner in [a, b] {
+        let prop = mk(&world, owner);
+        exec::wave_a_claims(&prop, &mut claims);
+        proposals[world.layout.shard_of(owner)].push(prop);
+    }
+    world.commit_proposals(round, proposals, claims);
+    world.reset_grant_scratch();
+
+    // The lower owner id wins the slot; the loser took nothing.
+    assert!(
+        world.peers[a as usize].archives[0].partners.contains(&c),
+        "lower owner must win the contended slot"
+    );
+    assert!(
+        !world.peers[b as usize].archives[0].partners.contains(&c),
+        "higher owner must be denied the filled slot"
+    );
+    assert_eq!(world.peers[c as usize].quota_used, quota);
+    assert_eq!(
+        world.peers[c as usize]
+            .hosted
+            .iter()
+            .filter(|&&(o, _)| o == a || o == b)
+            .count(),
+        1,
+        "exactly one hosted entry for the contended slot"
+    );
+    assert!(
+        world.metrics.diag.pool_shortfalls > shortfalls_before,
+        "the denied owner must record a shortfall"
+    );
+    assert!(
+        world.peers[b as usize].archives[0].repairing,
+        "the denied owner's episode stays open"
+    );
+}
+
+#[test]
+fn skewed_churn_stays_bit_identical_across_shard_counts() {
+    // The work-stealing benchmark scenario (hot shard range) obeys the
+    // same determinism contract as the uniform mix.
+    let base = sharded_config(600, 300, 17).with_skewed_churn();
+    let (m1, e1) = run_recorded(base.clone().with_shards(1));
+    let (m8, e8) = run_recorded(base.with_shards(8));
+    assert!(
+        m1.diag.partner_timeouts > 0,
+        "skewed scenario produced no churn to skew"
+    );
+    assert_eq!(m1, m8);
+    assert_eq!(e1, e8);
+}
+
 #[test]
 fn event_recording_off_buffers_nothing() {
     let cfg = tiny_config(3);

@@ -27,7 +27,7 @@
 
 use peerback_core::{BackupWorld, PeerId};
 
-use crate::fabric::Plane;
+use crate::fabric::{PlaneLane, PlaneShared};
 
 /// One verified data-loss event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,21 +75,37 @@ impl AuditReport {
     pub const MAX_NOTES: usize = 16;
 }
 
-impl Plane {
-    /// Runs one audit pass over every joined archive.
-    pub(crate) fn run_audit(&mut self, world: &BackupWorld, round: u64) {
+impl PlaneLane {
+    /// Runs one audit pass over every joined archive whose owner lives
+    /// in this lane's shard (`slots` is the shard's slot range, so each
+    /// lane audits a disjoint set and the merged counters are
+    /// independent of scheduling).
+    pub(crate) fn run_audit(
+        &mut self,
+        shared: &PlaneShared,
+        world: &BackupWorld,
+        round: u64,
+        slots: core::ops::Range<PeerId>,
+    ) {
         let archives_per_peer = world.config().archives_per_peer;
-        for slot in 0..world.peer_slots() as PeerId {
+        for slot in slots {
             for aidx in 0..archives_per_peer as u8 {
                 if !world.archive_joined(slot, aidx) {
                     continue;
                 }
-                self.audit_archive(world, round, slot, aidx);
+                self.audit_archive(shared, world, round, slot, aidx);
             }
         }
     }
 
-    fn audit_archive(&mut self, world: &BackupWorld, round: u64, owner: PeerId, archive: u8) {
+    fn audit_archive(
+        &mut self,
+        shared: &PlaneShared,
+        world: &BackupWorld,
+        round: u64,
+        owner: PeerId,
+        archive: u8,
+    ) {
         self.audit.checks += 1;
 
         // Structural cross-check: the replayed placement map must hold
@@ -122,10 +138,11 @@ impl Plane {
         }
 
         // Prediction vs byte truth.
-        let predicted = world.archive_online_present(owner, archive) >= self.k as u32;
+        let k = shared.k as u32;
+        let predicted = world.archive_online_present(owner, archive) >= k;
         let blocks = self.surviving_blocks(world, owner, archive, true);
         let intact = blocks.len() as u32;
-        let restorable = intact >= self.k as u32 && self.try_restore(owner, archive, &blocks);
+        let restorable = intact >= k && self.try_restore(owner, archive, &blocks);
 
         match (predicted, restorable) {
             (true, true) | (false, false) => {
@@ -133,11 +150,11 @@ impl Plane {
                 self.divergent.remove(&(owner, archive));
             }
             (true, false) => {
-                if intact >= self.k as u32 {
+                if intact >= k {
                     self.note(format!(
                         "decode of {owner}/{archive} failed with {intact} intact shards >= k"
                     ));
-                } else if !self.faults_enabled {
+                } else if !shared.faults_enabled {
                     self.note(format!(
                         "restorability mismatch for {owner}/{archive} without faults: \
                          predicted restorable, {intact} intact shards"
@@ -151,7 +168,7 @@ impl Plane {
                             owner,
                             archive,
                             intact_shards: intact,
-                            k: self.k as u32,
+                            k,
                         });
                     }
                 }

@@ -2,8 +2,8 @@
 //! real bytes.
 //!
 //! [`Fabric`] implements [`peerback_sim::World`] by delegating every
-//! phase to the wrapped simulator, then draining the round's
-//! [`WorldEvent`] stream into the data [`Plane`]:
+//! phase to the wrapped simulator, then replaying the round's
+//! [`WorldEvent`] stream against the data plane:
 //!
 //! * a **placement** encodes the owner's archive through
 //!   [`BackupPipeline`] (once per content epoch, cached) and ships the
@@ -17,34 +17,61 @@
 //! * a **loss** triggers a verification decode that must fail with
 //!   fewer than `k` intact shards;
 //! * a **departure** recycles the slot: hosted bytes vanish and the
-//!   replacement peer gets fresh archive content.
+//!   replacement peer gets fresh archive content;
+//! * a transfer the fault plane damaged is **retried** with bounded
+//!   exponential backoff and seeded jitter, instead of staying missing
+//!   until churn or repair replaces it.
+//!
+//! ## Sharded replay
+//!
+//! The plane is split into one [`PlaneLane`] per **logical owner
+//! shard** — the same partition the simulator's executor keys on
+//! ([`BackupWorld::shard_of_peer`]). Every event names its owner, so
+//! the stream partitions cleanly: each lane owns the block stores,
+//! code-word cache, counters, audit ledger and retry queue of its
+//! owners, and the lanes replay their subsequences concurrently on the
+//! same work-stealing pool as the simulator
+//! ([`peerback_sim::exec::run_tasks`]). Departures fan out to every
+//! lane (any lane may store bytes *hosted* by the departed peer).
+//! Per-lane buffers merge in lane order once per round, and fault
+//! draws come from per-transfer RNGs derived from
+//! `(seed, lane, transfer sequence)` — so every counter, note and loss
+//! record is bit-identical at every worker count.
 //!
 //! Once per audit interval the [auditor](crate::audit) re-derives
 //! restorability from bytes alone and cross-checks it against the
-//! simulator's prediction.
+//! simulator's prediction, each lane auditing its own owners.
 
 use std::collections::{BTreeMap, BTreeSet};
 
 use bytes::Bytes;
 use peerback_core::archive::Entry;
 use peerback_core::{
-    Archive, ArchiveDescriptor, BackupPipeline, BackupWorld, FabricObserver, Metrics, PeerId,
-    RestorePipeline, SimConfig, WorldEvent, XorKeystream,
+    Archive, ArchiveDescriptor, BackupPipeline, BackupWorld, Metrics, PeerId, RestorePipeline,
+    SimConfig, WorldEvent, XorKeystream,
 };
 use peerback_erasure::ReedSolomon;
 use peerback_net::LinkModel;
-use peerback_sim::{derive_seed, Engine, Round, SimRng, World};
-use rand::{RngCore, SeedableRng};
+use peerback_sim::{derive_seed, sim_rng, Engine, Round, SimRng, World};
+use rand::{Rng, RngCore, SeedableRng};
 
 use crate::audit::{AuditReport, LossRecord};
 use crate::faults::{FaultKind, FaultPlane, FaultProfile};
 use crate::frame::BlockFrame;
 use crate::store::{BlockStore, IngestError};
 
-/// Sub-seed stream id for the fault plane (any fixed constant).
+/// Sub-seed stream id for the fault plane (any fixed constant); each
+/// lane forks its own stream at `FAULT_STREAM + lane index`.
 const FAULT_STREAM: u64 = 0xFA_B51C;
 /// Sub-seed stream id for archive content.
 const CONTENT_STREAM: u64 = 0xC0_47E7;
+
+/// Retries per placement before the fabric gives up on it (the
+/// simulator's churn/repair machinery takes over from there).
+const MAX_TRANSFER_ATTEMPTS: u32 = 5;
+
+/// Below this many queued events the replay runs on one worker.
+const PARALLEL_EVENT_MIN: usize = 2048;
 
 /// Configuration of the byte-level half.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -71,7 +98,8 @@ impl Default for FabricConfig {
 }
 
 /// Byte-plane counters. All values are a pure function of the two
-/// configurations (simulation and fabric), seeds included.
+/// configurations (simulation and fabric), seeds included — at every
+/// worker count.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct FabricStats {
     /// Frames pushed into the fault plane.
@@ -107,6 +135,39 @@ pub struct FabricStats {
     pub repair_decode_fallbacks: u64,
     /// Simulator loss events replayed against real bytes.
     pub losses_observed: u64,
+    /// Damaged transfers re-shipped by the retry/backoff path.
+    pub transfers_retried: u64,
+    /// Retried transfers that landed an intact frame.
+    pub retry_deliveries: u64,
+    /// Scheduled retries dropped because the placement vanished, the
+    /// block arrived another way, or the attempt budget ran out.
+    pub retries_abandoned: u64,
+}
+
+impl FabricStats {
+    /// Accumulates `other` (used for the per-round lane merge, always
+    /// in lane order so the float sums are deterministic).
+    fn accumulate(&mut self, other: &FabricStats) {
+        self.transfers_attempted += other.transfers_attempted;
+        self.transfers_delivered += other.transfers_delivered;
+        self.transfers_corrupted += other.transfers_corrupted;
+        self.transfers_truncated += other.transfers_truncated;
+        self.transfers_flapped += other.transfers_flapped;
+        self.duplicate_frames += other.duplicate_frames;
+        self.bitrot_events += other.bitrot_events;
+        self.bytes_shipped += other.bytes_shipped;
+        self.upload_secs += other.upload_secs;
+        self.download_secs += other.download_secs;
+        self.joins += other.joins;
+        self.episodes += other.episodes;
+        self.episode_refreshes += other.episode_refreshes;
+        self.repair_decodes += other.repair_decodes;
+        self.repair_decode_fallbacks += other.repair_decode_fallbacks;
+        self.losses_observed += other.losses_observed;
+        self.transfers_retried += other.transfers_retried;
+        self.retry_deliveries += other.retry_deliveries;
+        self.retries_abandoned += other.retries_abandoned;
+    }
 }
 
 /// The cached code word of one archive content epoch.
@@ -134,9 +195,8 @@ impl OwnerArchive {
     }
 }
 
-/// The data plane: block stores, fault injection, transfer accounting
-/// and the audit ledger. Implements [`FabricObserver`].
-pub(crate) struct Plane {
+/// Immutable per-run parameters shared by every lane.
+pub(crate) struct PlaneShared {
     pub(crate) k: usize,
     m: usize,
     payload_bytes: usize,
@@ -144,7 +204,43 @@ pub(crate) struct Plane {
     pub(crate) faults_enabled: bool,
     faults: FaultPlane,
     master_seed: u64,
-    /// Content epoch per slot (bumped on departure).
+}
+
+/// One shard transfer to execute: which block, to whom, which slot of
+/// the code word, and how many attempts preceded it.
+#[derive(Debug, Clone, Copy)]
+struct ShipJob {
+    owner: PeerId,
+    archive: u8,
+    host: PeerId,
+    slot: usize,
+    /// 0 for the original transfer; retries count up.
+    attempt: u32,
+}
+
+/// A damaged placement waiting for its re-ship round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Retry {
+    /// Round the retry becomes due.
+    due: u64,
+    owner: PeerId,
+    archive: u8,
+    host: PeerId,
+    /// 1-based retry attempt (the original transfer was attempt 0).
+    attempt: u32,
+}
+
+/// One logical shard's slice of the data plane: the block stores,
+/// code-word cache, counters, audit ledger and retry queue of the
+/// owners in that shard. Mutated only by the worker that claimed the
+/// lane; merged in lane order.
+pub(crate) struct PlaneLane {
+    index: usize,
+    /// Per-lane fault sub-seed; per-transfer RNGs derive from it and
+    /// the lane's transfer sequence number.
+    fault_seed: u64,
+    transfer_seq: u64,
+    /// Content epoch per owner slot (bumped on departure).
     epochs: BTreeMap<PeerId, u32>,
     pub(crate) owners: BTreeMap<(PeerId, u8), OwnerArchive>,
     pub(crate) store: BlockStore,
@@ -154,9 +250,40 @@ pub(crate) struct Plane {
     /// Archives currently byte-unrestorable while the simulator still
     /// predicts them restorable (dedups audit loss records).
     pub(crate) divergent: BTreeSet<(PeerId, u8)>,
+    /// Pending transfer retries, kept sorted on processing.
+    retries: Vec<Retry>,
+    /// This round's events whose owner lives in this lane (plus every
+    /// departure).
+    inbox: Vec<WorldEvent>,
 }
 
-impl Plane {
+impl PlaneLane {
+    fn new(index: usize, master_seed: u64) -> Self {
+        PlaneLane {
+            index,
+            fault_seed: derive_seed(master_seed, FAULT_STREAM + index as u64),
+            transfer_seq: 0,
+            epochs: BTreeMap::new(),
+            owners: BTreeMap::new(),
+            store: BlockStore::new(),
+            stats: FabricStats::default(),
+            audit: AuditReport::default(),
+            losses: Vec::new(),
+            divergent: BTreeSet::new(),
+            retries: Vec::new(),
+            inbox: Vec::new(),
+        }
+    }
+
+    /// The RNG for the next transfer on this lane. Deterministic: the
+    /// sequence number advances with the lane's (deterministic) event
+    /// subsequence, independently of the other lanes.
+    fn transfer_rng(&mut self) -> SimRng {
+        let seq = self.transfer_seq;
+        self.transfer_seq += 1;
+        sim_rng(derive_seed(self.fault_seed, seq))
+    }
+
     /// Gathers the archive's stored blocks as `(shard_index, bytes)`
     /// pairs, skipping non-intact (rotten) ones. `online_only`
     /// restricts to hosts currently online per the simulator.
@@ -214,10 +341,15 @@ impl Plane {
     }
 
     /// Builds (or fetches) the byte-side state for an owned archive.
-    fn owner_archive(&mut self, owner: PeerId, archive: u8) -> &mut OwnerArchive {
+    fn owner_archive(
+        &mut self,
+        shared: &PlaneShared,
+        owner: PeerId,
+        archive: u8,
+    ) -> &mut OwnerArchive {
         let epoch = self.epochs.get(&owner).copied().unwrap_or(0);
         let (k, m, payload_bytes, master_seed) =
-            (self.k, self.m, self.payload_bytes, self.master_seed);
+            (shared.k, shared.m, shared.payload_bytes, shared.master_seed);
         self.owners.entry((owner, archive)).or_insert_with(|| {
             let slot_seed = derive_seed(master_seed, CONTENT_STREAM ^ owner as u64);
             let content_seed = derive_seed(slot_seed, ((epoch as u64) << 8) | archive as u64);
@@ -252,21 +384,21 @@ impl Plane {
         })
     }
 
-    /// Ships one shard to `host`, through the fault plane.
-    fn ship_block(&mut self, world: &BackupWorld, owner: PeerId, archive: u8, host: PeerId) {
-        // Mirror the simulator's placement first: the slot is taken even
-        // if the transfer fails (the simulator believes it succeeded —
-        // the divergence is exactly what the auditor measures).
-        let oa = self.owner_archive(owner, archive);
-        let Some(slot) = oa.slots.iter().position(Option::is_none) else {
-            self.note(format!(
-                "placement for {owner}/{archive} with no free shard slot"
-            ));
-            return;
+    /// Executes one shard transfer through the fault plane. A damaged
+    /// transfer with budget left re-enqueues itself with exponential
+    /// backoff and seeded jitter.
+    fn ship_slot(&mut self, shared: &PlaneShared, world: &BackupWorld, job: ShipJob, round: u64) {
+        let ShipJob {
+            owner,
+            archive,
+            host,
+            slot,
+            attempt,
+        } = job;
+        let payload = {
+            let oa = self.owners.get(&(owner, archive)).expect("slot mirrored");
+            oa.codeword.shards[slot].clone()
         };
-        oa.slots[slot] = Some(host);
-        let payload = oa.codeword.shards[slot].clone();
-
         let mut bytes = BlockFrame {
             owner,
             archive,
@@ -276,29 +408,56 @@ impl Plane {
         .to_bytes();
         let frame_len = bytes.len();
         self.stats.transfers_attempted += 1;
+        if attempt > 0 {
+            self.stats.transfers_retried += 1;
+        }
         self.stats.bytes_shipped += frame_len as u64;
-        self.stats.upload_secs += self.link.upload_secs(frame_len as f64);
+        self.stats.upload_secs += shared.link.upload_secs(frame_len as f64);
 
+        let mut rng = self.transfer_rng();
         let availability = world.peer_availability(host);
-        let transit = self.faults.transit(&mut bytes, availability);
+        let transit = shared.faults.transit(&mut rng, &mut bytes, availability);
         match self.store.ingest(host, &bytes) {
             Ok(()) => {
+                if attempt > 0 {
+                    self.stats.retry_deliveries += 1;
+                }
                 self.stats.transfers_delivered += 1;
                 if let Some(block) = self.store.block_mut(host, owner, archive) {
-                    if let Some((byte, bit)) = self.faults.bitrot(block.bytes.len()) {
+                    if let Some((byte, bit)) = shared.faults.bitrot(&mut rng, block.bytes.len()) {
                         block.bytes[byte] ^= 1 << bit;
                         self.stats.bitrot_events += 1;
                     }
                 }
             }
-            Err(IngestError::Frame(_)) => match transit.damage {
-                Some(FaultKind::Corruption) => self.stats.transfers_corrupted += 1,
-                Some(FaultKind::Truncation) => self.stats.transfers_truncated += 1,
-                Some(FaultKind::LinkFlap) => self.stats.transfers_flapped += 1,
-                None => self.note(format!(
-                    "undamaged frame for {owner}/{archive} refused by {host}"
-                )),
-            },
+            Err(IngestError::Frame(_)) => {
+                match transit.damage {
+                    Some(FaultKind::Corruption) => self.stats.transfers_corrupted += 1,
+                    Some(FaultKind::Truncation) => self.stats.transfers_truncated += 1,
+                    Some(FaultKind::LinkFlap) => self.stats.transfers_flapped += 1,
+                    None => self.note(format!(
+                        "undamaged frame for {owner}/{archive} refused by {host}"
+                    )),
+                }
+                if transit.damage.is_some() {
+                    if attempt + 1 < MAX_TRANSFER_ATTEMPTS {
+                        // Bounded exponential backoff with seeded
+                        // jitter: 2^a + U[0, 2^a) rounds.
+                        let a = attempt + 1;
+                        let base = 1u64 << a;
+                        let jitter = rng.gen_range(0..base);
+                        self.retries.push(Retry {
+                            due: round + base + jitter,
+                            owner,
+                            archive,
+                            host,
+                            attempt: a,
+                        });
+                    } else {
+                        self.stats.retries_abandoned += 1;
+                    }
+                }
+            }
             Err(IngestError::DuplicateFrame { .. }) => {
                 self.note(format!(
                     "unexpected duplicate at {host} for {owner}/{archive}"
@@ -312,7 +471,7 @@ impl Plane {
             // sender pays the link a second time.
             self.stats.duplicate_frames += 1;
             self.stats.bytes_shipped += frame_len as u64;
-            self.stats.upload_secs += self.link.upload_secs(frame_len as f64);
+            self.stats.upload_secs += shared.link.upload_secs(frame_len as f64);
             if matches!(self.store.ingest(host, &bytes), Ok(())) && transit.damage.is_none() {
                 self.note(format!(
                     "duplicate frame for {owner}/{archive} accepted twice by {host}"
@@ -321,15 +480,76 @@ impl Plane {
         }
     }
 
-    fn on_blocks_placed(
+    /// Mirrors a fresh placement and ships its shard.
+    fn place_block(
         &mut self,
+        shared: &PlaneShared,
         world: &BackupWorld,
         owner: PeerId,
         archive: u8,
-        hosts: &[PeerId],
+        host: PeerId,
+        round: u64,
     ) {
-        for &host in hosts {
-            self.ship_block(world, owner, archive, host);
+        // Mirror the simulator's placement first: the slot is taken even
+        // if the transfer fails (the simulator believes it succeeded —
+        // the divergence is what the auditor measures, and what the
+        // retry path repairs).
+        let oa = self.owner_archive(shared, owner, archive);
+        let Some(slot) = oa.slots.iter().position(Option::is_none) else {
+            self.note(format!(
+                "placement for {owner}/{archive} with no free shard slot"
+            ));
+            return;
+        };
+        oa.slots[slot] = Some(host);
+        let job = ShipJob {
+            owner,
+            archive,
+            host,
+            slot,
+            attempt: 0,
+        };
+        self.ship_slot(shared, world, job, round);
+    }
+
+    /// Re-ships the retries due at `round`, in deterministic order.
+    /// A retry whose placement vanished (or whose block arrived some
+    /// other way) is abandoned.
+    fn process_due_retries(&mut self, shared: &PlaneShared, world: &BackupWorld, round: u64) {
+        if self.retries.is_empty() {
+            return;
+        }
+        let mut due: Vec<Retry> = Vec::new();
+        self.retries.retain(|r| {
+            if r.due <= round {
+                due.push(*r);
+                false
+            } else {
+                true
+            }
+        });
+        due.sort_unstable();
+        for r in due {
+            let placement_live = self
+                .owners
+                .get(&(r.owner, r.archive))
+                .and_then(|oa| oa.slots.iter().position(|&s| s == Some(r.host)));
+            let Some(slot) = placement_live else {
+                self.stats.retries_abandoned += 1;
+                continue; // dropped/displaced since the failure
+            };
+            if self.store.block(r.host, r.owner, r.archive).is_some() {
+                self.stats.retries_abandoned += 1;
+                continue; // a fresh placement already delivered bytes
+            }
+            let job = ShipJob {
+                owner: r.owner,
+                archive: r.archive,
+                host: r.host,
+                slot,
+                attempt: r.attempt,
+            };
+            self.ship_slot(shared, world, job, round);
         }
     }
 
@@ -347,6 +567,7 @@ impl Plane {
 
     fn on_episode_started(
         &mut self,
+        shared: &PlaneShared,
         world: &BackupWorld,
         owner: PeerId,
         archive: u8,
@@ -359,8 +580,8 @@ impl Plane {
         // The paper's k-block download, replayed for real: reconstruct
         // the archive from the shards that actually survive on disk.
         let blocks = self.surviving_blocks(world, owner, archive, false);
-        let shard_bytes: usize = blocks.iter().take(self.k).map(|(_, b)| b.len()).sum();
-        self.stats.download_secs += self.link.download_secs(shard_bytes as f64);
+        let shard_bytes: usize = blocks.iter().take(shared.k).map(|(_, b)| b.len()).sum();
+        self.stats.download_secs += shared.link.download_secs(shard_bytes as f64);
         if self.try_restore(owner, archive, &blocks) {
             self.stats.repair_decodes += 1;
         } else {
@@ -368,7 +589,7 @@ impl Plane {
             // fault injection): the owner re-encodes from its local
             // copy, exactly like the paper's loss-and-rejoin path.
             self.stats.repair_decode_fallbacks += 1;
-            if !self.faults_enabled {
+            if !shared.faults_enabled {
                 self.note(format!(
                     "episode decode failed without faults for {owner}/{archive}"
                 ));
@@ -376,7 +597,14 @@ impl Plane {
         }
     }
 
-    fn on_archive_lost(&mut self, world: &BackupWorld, owner: PeerId, archive: u8, round: u64) {
+    fn on_archive_lost(
+        &mut self,
+        shared: &PlaneShared,
+        world: &BackupWorld,
+        owner: PeerId,
+        archive: u8,
+        round: u64,
+    ) {
         self.stats.losses_observed += 1;
         // Replay the failing restore with the blocks present at loss
         // time (the event fires before the survivors are dropped).
@@ -387,7 +615,7 @@ impl Plane {
                 "simulator lost {owner}/{archive} but bytes decoded from {intact} shards"
             ));
         }
-        if intact >= self.k as u32 {
+        if intact >= shared.k as u32 {
             self.note(format!(
                 "loss of {owner}/{archive} with {intact} intact shards >= k"
             ));
@@ -397,7 +625,7 @@ impl Plane {
             owner,
             archive,
             intact_shards: intact,
-            k: self.k as u32,
+            k: shared.k as u32,
         });
         if let Some(oa) = self.owners.get_mut(&(owner, archive)) {
             oa.joined = false;
@@ -405,11 +633,17 @@ impl Plane {
         self.divergent.remove(&(owner, archive));
     }
 
-    fn on_peer_departed(&mut self, peer: PeerId) {
+    /// Departure fan-out: every lane clears the bytes it stores for the
+    /// departed host; the lane owning the slot additionally recycles
+    /// the owner-side state (bumping the content epoch).
+    fn on_peer_departed(&mut self, world: &BackupWorld, peer: PeerId) {
         // Hosted bytes must already be gone, block by block.
         let leftover = self.store.clear_host(peer);
         if leftover > 0 {
             self.note(format!("departed {peer} still stored {leftover} blocks"));
+        }
+        if world.shard_of_peer(peer) != self.index {
+            return;
         }
         // Owned archives must already be empty; forget them so the
         // replacement peer gets fresh content.
@@ -430,44 +664,88 @@ impl Plane {
         }
         *self.epochs.entry(peer).or_insert(0) += 1;
     }
+
+    /// Replays this lane's slice of one round: due retries first, then
+    /// the event subsequence in stream order.
+    fn run_round(&mut self, shared: &PlaneShared, world: &BackupWorld, round: u64) {
+        self.process_due_retries(shared, world, round);
+        let inbox = core::mem::take(&mut self.inbox);
+        for event in &inbox {
+            match event {
+                WorldEvent::BlocksPlaced {
+                    owner,
+                    archive,
+                    hosts,
+                } => {
+                    for &host in hosts {
+                        self.place_block(shared, world, *owner, *archive, host, round);
+                    }
+                }
+                WorldEvent::BlockDropped {
+                    owner,
+                    archive,
+                    host,
+                } => self.on_block_dropped(*owner, *archive, *host),
+                WorldEvent::JoinCompleted { owner, archive } => {
+                    self.stats.joins += 1;
+                    if let Some(oa) = self.owners.get_mut(&(*owner, *archive)) {
+                        oa.joined = true;
+                        if oa.slots.iter().any(Option::is_none) {
+                            self.note(format!("join of {owner}/{archive} with empty shard slots"));
+                        }
+                    } else {
+                        self.note(format!("join of unknown archive {owner}/{archive}"));
+                    }
+                }
+                WorldEvent::EpisodeStarted {
+                    owner,
+                    archive,
+                    refresh,
+                } => self.on_episode_started(shared, world, *owner, *archive, *refresh),
+                WorldEvent::EpisodeCompleted { .. } => {}
+                WorldEvent::ArchiveLost {
+                    owner,
+                    archive,
+                    round: lost_round,
+                } => self.on_archive_lost(shared, world, *owner, *archive, *lost_round),
+                WorldEvent::PeerDeparted { peer } => self.on_peer_departed(world, *peer),
+            }
+        }
+    }
 }
 
-impl FabricObserver for Plane {
-    fn on_world_event(&mut self, world: &BackupWorld, event: &WorldEvent) {
-        match event {
-            WorldEvent::BlocksPlaced {
-                owner,
-                archive,
-                hosts,
-            } => self.on_blocks_placed(world, *owner, *archive, hosts),
-            WorldEvent::BlockDropped {
-                owner,
-                archive,
-                host,
-            } => self.on_block_dropped(*owner, *archive, *host),
-            WorldEvent::JoinCompleted { owner, archive } => {
-                self.stats.joins += 1;
-                if let Some(oa) = self.owners.get_mut(&(*owner, *archive)) {
-                    oa.joined = true;
-                    if oa.slots.iter().any(Option::is_none) {
-                        self.note(format!("join of {owner}/{archive} with empty shard slots"));
-                    }
-                } else {
-                    self.note(format!("join of unknown archive {owner}/{archive}"));
+/// The sharded data plane: one lane per logical owner shard plus the
+/// merged report state.
+pub(crate) struct Plane {
+    pub(crate) shared: PlaneShared,
+    pub(crate) lanes: Vec<PlaneLane>,
+    /// Counters merged from the lanes, in lane order, once per round.
+    pub(crate) stats: FabricStats,
+    pub(crate) audit: AuditReport,
+    pub(crate) losses: Vec<LossRecord>,
+}
+
+impl Plane {
+    /// Folds every lane's round output into the merged report, in lane
+    /// order (deterministic at any worker count; losses stay in
+    /// chronological order because the merge happens every round).
+    fn merge_round(&mut self) {
+        for lane in &mut self.lanes {
+            let stats = core::mem::take(&mut lane.stats);
+            self.stats.accumulate(&stats);
+            let audit = core::mem::take(&mut lane.audit);
+            self.audit.checks += audit.checks;
+            self.audit.consistent += audit.consistent;
+            self.audit.fault_induced_losses += audit.fault_induced_losses;
+            self.audit.mismatches += audit.mismatches;
+            self.audit.decode_attempts += audit.decode_attempts;
+            self.audit.decode_successes += audit.decode_successes;
+            for note in audit.notes {
+                if self.audit.notes.len() < AuditReport::MAX_NOTES {
+                    self.audit.notes.push(note);
                 }
             }
-            WorldEvent::EpisodeStarted {
-                owner,
-                archive,
-                refresh,
-            } => self.on_episode_started(world, *owner, *archive, *refresh),
-            WorldEvent::EpisodeCompleted { .. } => {}
-            WorldEvent::ArchiveLost {
-                owner,
-                archive,
-                round,
-            } => self.on_archive_lost(world, *owner, *archive, *round),
-            WorldEvent::PeerDeparted { peer } => self.on_peer_departed(*peer),
+            self.losses.append(&mut lane.losses);
         }
     }
 }
@@ -497,24 +775,27 @@ impl Fabric {
             .map_err(|e| format!("erasure geometry k={} m={}: {e}", cfg.k, cfg.m))?;
         let seed = cfg.seed;
         let rounds = cfg.rounds;
-        let plane = Plane {
+        let mut world = BackupWorld::new(cfg.clone());
+        world.set_event_recording(true);
+        let shared = PlaneShared {
             k: cfg.k as usize,
             m: cfg.m as usize,
             payload_bytes: fabric_cfg.payload_bytes,
             link: fabric_cfg.link,
             faults_enabled: fabric_cfg.faults.any_enabled(),
-            faults: FaultPlane::new(fabric_cfg.faults, derive_seed(seed, FAULT_STREAM)),
+            faults: FaultPlane::new(fabric_cfg.faults),
             master_seed: seed,
-            epochs: BTreeMap::new(),
-            owners: BTreeMap::new(),
-            store: BlockStore::new(),
+        };
+        let lanes = (0..world.logical_shards())
+            .map(|i| PlaneLane::new(i, seed))
+            .collect();
+        let plane = Plane {
+            shared,
+            lanes,
             stats: FabricStats::default(),
             audit: AuditReport::default(),
             losses: Vec::new(),
-            divergent: BTreeSet::new(),
         };
-        let mut world = BackupWorld::new(cfg);
-        world.set_event_recording(true);
         Ok(Fabric {
             world,
             plane,
@@ -528,19 +809,24 @@ impl Fabric {
         &self.world
     }
 
-    /// Byte-plane counters so far.
+    /// Byte-plane counters so far (merged through the last completed
+    /// round).
     pub fn stats(&self) -> &FabricStats {
         &self.plane.stats
     }
 
-    /// Audit ledger so far.
+    /// Audit ledger so far (merged through the last completed round).
     pub fn audit_report(&self) -> &AuditReport {
         &self.plane.audit
     }
 
     /// Blocks currently stored across all hosts.
     pub fn stored_blocks(&self) -> usize {
-        self.plane.store.total_blocks()
+        self.plane
+            .lanes
+            .iter()
+            .map(|l| l.store.total_blocks())
+            .sum()
     }
 
     /// Runs the configured number of rounds and returns the report.
@@ -579,10 +865,61 @@ impl World for Fabric {
 
     fn round_end(&mut self, round: Round, rng: &mut SimRng) {
         self.world.round_end(round, rng);
-        self.world.dispatch_events(&mut self.plane);
-        if round.index().is_multiple_of(self.audit_interval) {
-            self.plane.run_audit(&self.world, round.index());
+        let r = round.index();
+        let audit_due = r.is_multiple_of(self.audit_interval);
+
+        // Partition the round's events by owner shard; departures fan
+        // out to every lane (any lane may hold bytes the departed peer
+        // hosted).
+        let events = self.world.take_events();
+        let mut queued = 0usize;
+        for event in events {
+            match &event {
+                WorldEvent::PeerDeparted { .. } => {
+                    for lane in &mut self.plane.lanes {
+                        lane.inbox.push(event.clone());
+                        queued += 1;
+                    }
+                }
+                WorldEvent::BlocksPlaced { owner, .. }
+                | WorldEvent::BlockDropped { owner, .. }
+                | WorldEvent::JoinCompleted { owner, .. }
+                | WorldEvent::EpisodeStarted { owner, .. }
+                | WorldEvent::EpisodeCompleted { owner, .. }
+                | WorldEvent::ArchiveLost { owner, .. } => {
+                    let shard = self.world.shard_of_peer(*owner);
+                    self.plane.lanes[shard].inbox.push(event);
+                    queued += 1;
+                }
+            }
         }
+
+        // Replay on the simulator's worker pool. Light rounds run
+        // inline (scheduling only; results are identical either way).
+        let retries_due = self
+            .plane
+            .lanes
+            .iter()
+            .any(|l| l.retries.iter().any(|x| x.due <= r));
+        if queued == 0 && !audit_due && !retries_due {
+            return;
+        }
+        let workers = if audit_due || queued >= PARALLEL_EVENT_MIN {
+            self.world.worker_threads()
+        } else {
+            1
+        };
+        let steal = self.world.work_stealing();
+        let world = &self.world;
+        let shared = &self.plane.shared;
+        peerback_sim::exec::run_tasks(workers, steal, &mut self.plane.lanes, |i, lane| {
+            lane.run_round(shared, world, r);
+            if audit_due {
+                let range = world.shard_slot_range(i);
+                lane.run_audit(shared, world, r, range);
+            }
+        });
+        self.plane.merge_round();
     }
 }
 

@@ -10,8 +10,12 @@
 //! A fifth, at-rest shape — **bitrot** — is applied by the store after
 //! a successful ingest rather than in flight.
 //!
-//! All draws come from one RNG seeded from the scenario seed, so a run
-//! with faults is exactly as reproducible as one without.
+//! The plane itself is **stateless**: every call takes the RNG for the
+//! transfer being decided. The fabric derives one short-lived RNG per
+//! transfer from `(scenario seed, owner shard, transfer sequence)`, so
+//! fault realisations are a pure function of the configuration — and
+//! in particular independent of how many workers replay the event
+//! stream in parallel.
 
 use peerback_sim::SimRng;
 use rand::Rng;
@@ -106,27 +110,24 @@ pub struct Transit {
     pub duplicated: bool,
 }
 
-/// Applies seeded faults to frames in flight.
-#[derive(Debug)]
+/// Applies seeded faults to frames in flight (stateless; the caller
+/// supplies the per-transfer RNG).
+#[derive(Debug, Clone, Copy)]
 pub struct FaultPlane {
     profile: FaultProfile,
-    rng: SimRng,
 }
 
 impl FaultPlane {
-    /// Creates a plane with its own deterministic RNG stream.
+    /// Creates a plane for a validated profile.
     ///
     /// # Panics
     ///
     /// Panics if the profile fails [`FaultProfile::validate`].
-    pub fn new(profile: FaultProfile, seed: u64) -> Self {
+    pub fn new(profile: FaultProfile) -> Self {
         if let Err(msg) = profile.validate() {
             panic!("invalid fault profile: {msg}");
         }
-        FaultPlane {
-            profile,
-            rng: peerback_sim::sim_rng(seed),
-        }
+        FaultPlane { profile }
     }
 
     /// The configured profile.
@@ -141,20 +142,24 @@ impl FaultPlane {
     /// At most one damage shape fires per transfer — the first drawn
     /// in flap → truncate → corrupt order — mirroring that a dead link
     /// pre-empts later damage.
-    pub fn transit(&mut self, frame: &mut Vec<u8>, host_availability: f64) -> Transit {
+    pub fn transit(
+        &self,
+        rng: &mut SimRng,
+        frame: &mut Vec<u8>,
+        host_availability: f64,
+    ) -> Transit {
         let duplicated =
-            self.profile.duplicate_rate > 0.0 && self.rng.gen_bool(self.profile.duplicate_rate);
+            self.profile.duplicate_rate > 0.0 && rng.gen_bool(self.profile.duplicate_rate);
 
         let flap_chance = self.profile.flap_rate * (1.0 - host_availability.clamp(0.0, 1.0));
-        let damage = if flap_chance > 0.0 && self.rng.gen_bool(flap_chance) {
-            self.cut(frame);
+        let damage = if flap_chance > 0.0 && rng.gen_bool(flap_chance) {
+            cut(rng, frame);
             Some(FaultKind::LinkFlap)
-        } else if self.profile.truncate_rate > 0.0 && self.rng.gen_bool(self.profile.truncate_rate)
-        {
-            self.cut(frame);
+        } else if self.profile.truncate_rate > 0.0 && rng.gen_bool(self.profile.truncate_rate) {
+            cut(rng, frame);
             Some(FaultKind::Truncation)
-        } else if self.profile.corrupt_rate > 0.0 && self.rng.gen_bool(self.profile.corrupt_rate) {
-            self.flip_bit(frame);
+        } else if self.profile.corrupt_rate > 0.0 && rng.gen_bool(self.profile.corrupt_rate) {
+            flip_bit(rng, frame);
             Some(FaultKind::Corruption)
         } else {
             None
@@ -164,45 +169,45 @@ impl FaultPlane {
 
     /// Decides whether a freshly stored block rots, and if so which
     /// bit flips. Returns the flipped `(byte, bit)` position.
-    pub fn bitrot(&mut self, len: usize) -> Option<(usize, u8)> {
-        if len == 0
-            || self.profile.bitrot_rate <= 0.0
-            || !self.rng.gen_bool(self.profile.bitrot_rate)
-        {
+    pub fn bitrot(&self, rng: &mut SimRng, len: usize) -> Option<(usize, u8)> {
+        if len == 0 || self.profile.bitrot_rate <= 0.0 || !rng.gen_bool(self.profile.bitrot_rate) {
             return None;
         }
-        Some((self.rng.gen_range(0..len), self.rng.gen_range(0..8u8)))
+        Some((rng.gen_range(0..len), rng.gen_range(0..8u8)))
     }
+}
 
-    fn cut(&mut self, frame: &mut Vec<u8>) {
-        if frame.is_empty() {
-            return;
-        }
-        let keep = self.rng.gen_range(0..frame.len());
-        frame.truncate(keep);
+fn cut(rng: &mut SimRng, frame: &mut Vec<u8>) {
+    if frame.is_empty() {
+        return;
     }
+    let keep = rng.gen_range(0..frame.len());
+    frame.truncate(keep);
+}
 
-    fn flip_bit(&mut self, frame: &mut [u8]) {
-        if frame.is_empty() {
-            return;
-        }
-        let byte = self.rng.gen_range(0..frame.len());
-        let bit = self.rng.gen_range(0..8u32);
-        frame[byte] ^= 1 << bit;
+fn flip_bit(rng: &mut SimRng, frame: &mut [u8]) {
+    if frame.is_empty() {
+        return;
     }
+    let byte = rng.gen_range(0..frame.len());
+    let bit = rng.gen_range(0..8u32);
+    frame[byte] ^= 1 << bit;
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    use peerback_sim::sim_rng;
+
     #[test]
     fn no_faults_means_no_damage_ever() {
-        let mut plane = FaultPlane::new(FaultProfile::NONE, 1);
+        let plane = FaultPlane::new(FaultProfile::NONE);
+        let mut rng = sim_rng(1);
         let original: Vec<u8> = (0..200u8).collect();
         for _ in 0..1000 {
             let mut frame = original.clone();
-            let t = plane.transit(&mut frame, 0.1);
+            let t = plane.transit(&mut rng, &mut frame, 0.1);
             assert_eq!(t.damage, None);
             assert!(!t.duplicated);
             assert_eq!(frame, original);
@@ -211,14 +216,15 @@ mod tests {
 
     #[test]
     fn uniform_profile_fires_every_shape() {
-        let mut plane = FaultPlane::new(FaultProfile::uniform(0.3), 2);
+        let plane = FaultPlane::new(FaultProfile::uniform(0.3));
+        let mut rng = sim_rng(2);
         let mut seen_flap = false;
         let mut seen_trunc = false;
         let mut seen_corrupt = false;
         let mut seen_dup = false;
         for _ in 0..2000 {
             let mut frame = vec![0xAAu8; 64];
-            let t = plane.transit(&mut frame, 0.2); // unstable host
+            let t = plane.transit(&mut rng, &mut frame, 0.2); // unstable host
             match t.damage {
                 Some(FaultKind::LinkFlap) => {
                     seen_flap = true;
@@ -246,21 +252,23 @@ mod tests {
             flap_rate: 1.0,
             ..FaultProfile::NONE
         };
-        let mut plane = FaultPlane::new(profile, 3);
+        let plane = FaultPlane::new(profile);
+        let mut rng = sim_rng(3);
         for _ in 0..500 {
             let mut frame = vec![1u8; 16];
-            assert_eq!(plane.transit(&mut frame, 1.0).damage, None);
+            assert_eq!(plane.transit(&mut rng, &mut frame, 1.0).damage, None);
         }
     }
 
     #[test]
-    fn same_seed_same_fault_sequence() {
+    fn same_rng_seed_same_fault_sequence() {
         let run = |seed| {
-            let mut plane = FaultPlane::new(FaultProfile::uniform(0.25), seed);
+            let plane = FaultPlane::new(FaultProfile::uniform(0.25));
+            let mut rng = sim_rng(seed);
             (0..200)
                 .map(|_| {
                     let mut frame = vec![7u8; 32];
-                    let t = plane.transit(&mut frame, 0.5);
+                    let t = plane.transit(&mut rng, &mut frame, 0.5);
                     (t.damage, t.duplicated, frame)
                 })
                 .collect::<Vec<_>>()
@@ -272,13 +280,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "not a probability")]
     fn out_of_range_rate_is_rejected() {
-        let _ = FaultPlane::new(
-            FaultProfile {
-                corrupt_rate: 1.5,
-                ..FaultProfile::NONE
-            },
-            0,
-        );
+        let _ = FaultPlane::new(FaultProfile {
+            corrupt_rate: 1.5,
+            ..FaultProfile::NONE
+        });
     }
 
     #[test]
@@ -287,14 +292,15 @@ mod tests {
             bitrot_rate: 1.0,
             ..FaultProfile::NONE
         };
-        let mut plane = FaultPlane::new(profile, 4);
+        let plane = FaultPlane::new(profile);
+        let mut rng = sim_rng(4);
         for len in [1usize, 2, 64] {
             for _ in 0..50 {
-                let (byte, bit) = plane.bitrot(len).expect("rate 1.0 always rots");
+                let (byte, bit) = plane.bitrot(&mut rng, len).expect("rate 1.0 always rots");
                 assert!(byte < len);
                 assert!(bit < 8);
             }
         }
-        assert_eq!(plane.bitrot(0), None);
+        assert_eq!(plane.bitrot(&mut rng, 0), None);
     }
 }

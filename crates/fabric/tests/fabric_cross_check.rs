@@ -169,6 +169,55 @@ fn sharded_fabric_replay_is_identical_and_audits_cleanly() {
 }
 
 #[test]
+fn sharded_faulty_replay_is_identical_and_retries_repair_transfers() {
+    // Combined-mode determinism with the full machinery engaged: fault
+    // injection (per-transfer derived RNG streams), the retry/backoff
+    // path, and the sharded parallel replay must all produce the same
+    // report at every worker count.
+    let mk = |shards: usize| {
+        let mut cfg = SimConfig::paper(300, 120, 21);
+        cfg.k = 4;
+        cfg.m = 4;
+        cfg.quota = 24;
+        cfg.maintenance = MaintenancePolicy::Reactive { threshold: 5 };
+        cfg.shards = shards;
+        let fabric_cfg = FabricConfig {
+            faults: FaultProfile::uniform(0.06),
+            ..FabricConfig::default()
+        };
+        run_fabric(cfg, fabric_cfg).expect("valid configs")
+    };
+    let single = mk(1);
+    let sharded = mk(4);
+    assert_eq!(single.metrics, sharded.metrics);
+    assert_eq!(single.stats, sharded.stats);
+    assert_eq!(single.audit, sharded.audit);
+    assert_eq!(single.losses, sharded.losses);
+
+    // The retry path actually ran and actually repaired transfers.
+    assert!(
+        single.stats.transfers_retried > 0,
+        "no retries at 6% fault rates: {:?}",
+        single.stats
+    );
+    assert!(
+        single.stats.retry_deliveries > 0,
+        "retries never delivered: {:?}",
+        single.stats
+    );
+    // Retried frames are a subset of attempted frames.
+    assert!(single.stats.transfers_retried <= single.stats.transfers_attempted);
+}
+
+#[test]
+fn faults_off_transfers_never_retry() {
+    let report = run(13, 150, FaultProfile::NONE);
+    assert_eq!(report.stats.transfers_retried, 0);
+    assert_eq!(report.stats.retry_deliveries, 0);
+    assert_eq!(report.stats.retries_abandoned, 0);
+}
+
+#[test]
 fn adaptive_and_proactive_policies_also_cross_check_cleanly() {
     for maintenance in [
         MaintenancePolicy::Adaptive {

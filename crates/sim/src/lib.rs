@@ -18,10 +18,12 @@
 
 pub mod clock;
 pub mod engine;
+pub mod exec;
 pub mod rng;
 pub mod wheel;
 
 pub use clock::Round;
 pub use engine::{Engine, RoundReport, World};
+pub use exec::{run_tasks, run_tasks_fuzzed, run_tasks_with};
 pub use rng::{derive_seed, sim_rng, SimRng};
-pub use wheel::TimingWheel;
+pub use wheel::{HierarchicalWheel, TimingWheel};
