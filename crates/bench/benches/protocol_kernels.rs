@@ -210,11 +210,65 @@ fn wheel_touches(c: &mut Criterion) {
     group.finish();
 }
 
+/// The steady-state round-overhead kernel: a small, fully joined
+/// population stepped round by round. After the warm-up ramp the
+/// measured loop is exactly what the zero-allocation rebuild targets —
+/// recycled arenas instead of per-round `Vec::new()`s, pool epoch
+/// bumps instead of thread spawns, claim runs instead of per-rank
+/// messages. The printed dispatch rate is the pool's own counter;
+/// build with `--features count-allocs` to see the allocation rate via
+/// `perf_probe` instead (a global allocator cannot be swapped per
+/// bench).
+fn round_overhead(c: &mut Criterion) {
+    use peerback_core::{BackupWorld, SimConfig};
+    use peerback_sim::Engine;
+
+    let mk = |shards: usize| {
+        let mut cfg = SimConfig::paper(2048, u64::MAX, 7);
+        cfg.k = 8;
+        cfg.m = 8;
+        cfg.quota = 48;
+        cfg.maintenance = peerback_core::MaintenancePolicy::Reactive { threshold: 10 };
+        cfg.rounds = 1 << 20; // the bench steps manually; never reached
+        cfg.shards = shards;
+        let mut world = BackupWorld::new(cfg);
+        let mut engine = Engine::new(7);
+        // Warm-up: past the join wave and first-touch buffer growth.
+        engine.run(&mut world, 400);
+        (world, engine)
+    };
+
+    let (mut world, mut engine) = mk(1);
+    let before = world.stage_dispatches();
+    let mut group = c.benchmark_group("round_overhead");
+    group.bench_function("steady_round_2048_peers_1w", |b| {
+        b.iter(|| {
+            engine.step(&mut world);
+            black_box(world.metrics().rounds)
+        })
+    });
+    println!(
+        "round_overhead: {} pool dispatches across the measured single-worker rounds \
+         (inline stages wake nothing)",
+        world.stage_dispatches() - before
+    );
+
+    let (mut world, mut engine) = mk(4);
+    group.bench_function("steady_round_2048_peers_4w", |b| {
+        b.iter(|| {
+            engine.step(&mut world);
+            black_box(world.metrics().rounds)
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     acceptance,
     selection,
     age_pool_build,
-    wheel_touches
+    wheel_touches,
+    round_overhead
 );
 criterion_main!(benches);

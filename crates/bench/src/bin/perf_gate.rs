@@ -232,6 +232,51 @@ fn run_speedup(args: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// `alloc --budget N SAMPLE.json...`: the zero-allocation steady-state
+/// gate. Fails when the median `allocs_per_round` across the samples
+/// exceeds the budget, and when any sample lacks the field (the probe
+/// was built without `--features count-allocs` — a misconfigured gate
+/// must not silently pass).
+fn run_alloc(args: &[String]) -> Result<ExitCode, String> {
+    let mut budget: Option<f64> = None;
+    let mut samples = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--budget" => {
+                let v = iter.next().ok_or("flag --budget needs a value")?;
+                budget = Some(v.parse().map_err(|e| format!("--budget: {e}"))?);
+            }
+            other => samples.push(other.to_string()),
+        }
+    }
+    let budget = budget.ok_or("alloc needs --budget N")?;
+    if samples.is_empty() {
+        return Err("alloc needs at least one sample JSON".into());
+    }
+    let rates: Vec<f64> = samples
+        .iter()
+        .map(|p| {
+            read_field(p, "allocs_per_round")
+                .map_err(|e| format!("{e} (was the probe built with --features count-allocs?)"))
+        })
+        .collect::<Result<_, _>>()?;
+    let rate = median(rates);
+    println!(
+        "perf_gate: steady-state median {rate:.1} allocs/round over {} sample(s), budget {budget:.1}",
+        samples.len()
+    );
+    if rate > budget {
+        println!(
+            "::error::allocation regression: steady-state rounds allocate {rate:.1} times \
+             per round, above the {budget:.1} budget — a recycled arena or pool path is \
+             allocating again"
+        );
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
 const USAGE: &str = "\
 usage: perf_gate <subcommand> [options]
   check   --baseline FILE [--warn-pct P] [--fail-pct P] SAMPLE.json...
@@ -241,13 +286,18 @@ usage: perf_gate <subcommand> [options]
           differs from the samples' — cross-host timings don't compare.
   speedup [--min-ratio R] --single FILE... --sharded FILE...
           require median(single elapsed) / median(sharded elapsed) >= R
-          (default 2.0); a warning instead of a failure on <4-CPU hosts";
+          (default 2.0); a warning instead of a failure on <4-CPU hosts
+  alloc   --budget N SAMPLE.json...
+          require median(allocs_per_round) <= N (samples must come from
+          a probe built with --features count-allocs; a missing field
+          fails the gate rather than passing silently)";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("check") => run_check(&args[1..]),
         Some("speedup") => run_speedup(&args[1..]),
+        Some("alloc") => run_alloc(&args[1..]),
         Some("--help" | "-h") => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -315,6 +365,26 @@ mod tests {
         // Same CPU count: the regression fires.
         std::fs::write(&sample, r#"{"elapsed_secs":100.0,"host_cpus":1}"#).unwrap();
         assert_eq!(run_check(&args).unwrap(), ExitCode::FAILURE);
+    }
+
+    #[test]
+    fn alloc_gate_enforces_the_budget_and_the_field() {
+        let dir = std::env::temp_dir().join("perf_gate_alloc_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let sample = dir.join("alloc.json");
+        let args = |budget: &str| -> Vec<String> {
+            ["--budget", budget, sample.to_str().unwrap()]
+                .iter()
+                .map(|s| s.to_string())
+                .collect()
+        };
+        std::fs::write(&sample, r#"{"allocs_per_round":12.500000}"#).unwrap();
+        assert_eq!(run_alloc(&args("64")).unwrap(), ExitCode::SUCCESS);
+        assert_eq!(run_alloc(&args("10")).unwrap(), ExitCode::FAILURE);
+        // A sample without the field (probe built without the counting
+        // allocator) must fail loudly, not pass silently.
+        std::fs::write(&sample, r#"{"elapsed_secs":1.0}"#).unwrap();
+        assert!(run_alloc(&args("64")).is_err());
     }
 
     #[test]

@@ -12,11 +12,26 @@
 //! be tracked across PRs; `--stable-json` drops the timing fields so
 //! two same-seed runs (e.g. `--shards 1` vs `--shards 8`) must diff
 //! byte-for-byte — the CI determinism gate.
+//!
+//! ## Steady-state overhead counters
+//!
+//! The probe drives the engine in two halves and reports, for the
+//! **second** half only (after the join wave and other ramp effects):
+//!
+//! * `stage_dispatches_per_round` — worker-pool wake-ups per round
+//!   (single-worker inline stages cost no wake-up and are excluded);
+//! * `allocs_per_round` — heap allocations per round, present only
+//!   when the binary was built with `--features count-allocs` (the
+//!   counting global allocator; see `peerback_bench::alloc_probe`).
+//!
+//! Both are execution telemetry — they vary with `--shards` and the
+//! host — so they are omitted from `--stable-json` output.
 
 use std::time::Instant;
 
-use peerback_bench::{json, HarnessArgs};
-use peerback_core::run_simulation;
+use peerback_bench::{alloc_probe, json, HarnessArgs};
+use peerback_core::BackupWorld;
+use peerback_sim::Engine;
 
 fn main() {
     let args = HarnessArgs::parse();
@@ -32,8 +47,26 @@ fn main() {
             if args.skewed { ", skewed churn" } else { "" },
         );
     }
+    let seed = cfg.seed;
+    let rounds = cfg.rounds;
+    let mut world = BackupWorld::new(cfg);
+    let mut engine = Engine::new(seed);
     let start = Instant::now();
-    let metrics = run_simulation(cfg);
+    // Two halves: the second is the steady-state window the overhead
+    // counters cover (ramp effects — the join wave, first-touch buffer
+    // growth — land in the first half). The split changes nothing about
+    // the results: the engine's round counter carries across.
+    let ramp_rounds = rounds / 2;
+    engine.run(&mut world, ramp_rounds);
+    let allocs_before = alloc_probe::allocations();
+    let dispatches_before = world.stage_dispatches();
+    engine.run(&mut world, rounds - ramp_rounds);
+    let steady_rounds = (rounds - ramp_rounds).max(1);
+    let allocs_per_round =
+        (alloc_probe::allocations() - allocs_before) as f64 / steady_rounds as f64;
+    let dispatches_per_round =
+        (world.stage_dispatches() - dispatches_before) as f64 / steady_rounds as f64;
+    let metrics = world.into_metrics();
     let elapsed = start.elapsed();
     if args.json {
         let mut report = json::Object::new()
@@ -42,19 +75,25 @@ fn main() {
             .num("rounds", args.rounds)
             .num("seed", args.seed);
         if !args.stable_json {
-            // Timing and host facts (worker count, stealing, CPU
-            // count) are excluded from the stable form so shard counts
-            // diff byte-for-byte.
+            // Timing, host facts (worker count, stealing, CPU count)
+            // and execution telemetry (dispatch/alloc rates) are
+            // excluded from the stable form so shard counts diff
+            // byte-for-byte.
             report = report
                 .num("shards", args.shards as u64)
                 .num("work_stealing", u64::from(!args.no_steal))
                 .num("skewed_churn", u64::from(args.skewed))
+                .num("shard_slots", args.shard_slots as u64)
                 .num("host_cpus", HarnessArgs::host_cpus())
                 .float("elapsed_secs", elapsed.as_secs_f64())
                 .float(
                     "peer_rounds_per_sec",
                     (args.peers as f64 * args.rounds as f64) / elapsed.as_secs_f64(),
-                );
+                )
+                .float("stage_dispatches_per_round", dispatches_per_round);
+            if alloc_probe::ENABLED {
+                report = report.float("allocs_per_round", allocs_per_round);
+            }
         }
         let report = report
             .nums("repairs", metrics.repairs)
@@ -78,6 +117,14 @@ fn main() {
         "done in {:.2}s  ({:.0} peer-rounds/s)",
         elapsed.as_secs_f64(),
         (args.peers as f64 * args.rounds as f64) / elapsed.as_secs_f64()
+    );
+    println!(
+        "steady state: {dispatches_per_round:.2} pool dispatches/round{}",
+        if alloc_probe::ENABLED {
+            format!(", {allocs_per_round:.1} allocs/round")
+        } else {
+            String::new()
+        }
     );
     println!(
         "repairs={:?} losses={:?} departures={} toggles={} joins={} timeouts={} shortfalls={}",

@@ -12,6 +12,78 @@ use std::path::PathBuf;
 
 use peerback_core::SimConfig;
 
+/// Allocation counting for the zero-allocation steady-state gate.
+///
+/// With the `count-allocs` feature a counting wrapper around the system
+/// allocator is installed as the global allocator; [`alloc_probe::allocations`]
+/// then reports the process-wide number of heap allocations (allocs +
+/// reallocs) so far, and `perf_probe --json` derives `allocs_per_round`
+/// from the delta across the steady-state window. Without the feature
+/// the module compiles to a stub reporting zero with
+/// [`alloc_probe::ENABLED`] false, so callers can emit the field only
+/// when it means something.
+#[cfg(feature = "count-allocs")]
+pub mod alloc_probe {
+    #![allow(unsafe_code)] // a GlobalAlloc impl is unavoidably unsafe
+
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Whether allocation counting is compiled in.
+    pub const ENABLED: bool = true;
+
+    static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+    /// The system allocator with an allocation counter bolted on.
+    struct CountingAlloc;
+
+    // SAFETY: every method delegates directly to `System`, which
+    // upholds the `GlobalAlloc` contract; the only addition is a
+    // relaxed atomic increment, which cannot affect the returned
+    // memory.
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            // SAFETY: forwarded verbatim; the caller's obligations are
+            // exactly `System::alloc`'s.
+            unsafe { System.alloc(layout) }
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            // SAFETY: forwarded verbatim.
+            unsafe { System.dealloc(ptr, layout) }
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            // SAFETY: forwarded verbatim.
+            unsafe { System.realloc(ptr, layout, new_size) }
+        }
+    }
+
+    #[global_allocator]
+    static GLOBAL: CountingAlloc = CountingAlloc;
+
+    /// Heap allocations (allocs + reallocs) performed by the process so
+    /// far.
+    pub fn allocations() -> u64 {
+        ALLOCATIONS.load(Ordering::Relaxed)
+    }
+}
+
+/// Stub when the `count-allocs` feature is off (see the feature-gated
+/// module of the same name).
+#[cfg(not(feature = "count-allocs"))]
+pub mod alloc_probe {
+    /// Whether allocation counting is compiled in.
+    pub const ENABLED: bool = false;
+
+    /// Always zero without the `count-allocs` feature.
+    pub fn allocations() -> u64 {
+        0
+    }
+}
+
 /// Experiment scale presets.
 ///
 /// All reported metrics are normalised (per 1000 peers, per round), so
@@ -83,6 +155,10 @@ pub struct HarnessArgs {
     /// Assign churn profiles by slot range (hot first quarter) instead
     /// of sampling the mix — the work-stealing benchmark scenario.
     pub skewed: bool,
+    /// Minimum peer slots per logical shard (`SimConfig::shard_slots`).
+    /// Semantic — changes the logical partition and the RNG streams;
+    /// two runs only compare at the same value. Default 64.
+    pub shard_slots: usize,
 }
 
 impl HarnessArgs {
@@ -108,6 +184,7 @@ impl HarnessArgs {
         let mut stable_json = false;
         let mut no_steal = false;
         let mut skewed = false;
+        let mut shard_slots = 64usize;
 
         let mut iter = args.into_iter();
         while let Some(arg) = iter.next() {
@@ -128,6 +205,9 @@ impl HarnessArgs {
                 "--stable-json" => stable_json = true,
                 "--no-steal" => no_steal = true,
                 "--skewed" => skewed = true,
+                "--shard-slots" => {
+                    shard_slots = parse_num(&value_for("--shard-slots"), "--shard-slots") as usize;
+                }
                 "--help" | "-h" => {
                     println!("{USAGE}");
                     std::process::exit(0);
@@ -146,6 +226,7 @@ impl HarnessArgs {
             stable_json,
             no_steal,
             skewed,
+            shard_slots,
         }
     }
 
@@ -153,7 +234,8 @@ impl HarnessArgs {
     pub fn base_config(&self) -> SimConfig {
         let mut cfg = SimConfig::paper(self.peers, self.rounds, self.seed)
             .with_shards(self.shards)
-            .with_work_stealing(!self.no_steal);
+            .with_work_stealing(!self.no_steal)
+            .with_shard_slots(self.shard_slots);
         if self.skewed {
             cfg = cfg.with_skewed_churn();
         }
@@ -214,7 +296,10 @@ usage: <binary> [options]
                     baseline; results are bit-identical either way)
   --skewed          slot-range-skewed churn: the first quarter of the
                     slot space gets the churniest profile (the
-                    work-stealing benchmark scenario)";
+                    work-stealing benchmark scenario)
+  --shard-slots N   minimum peer slots per logical shard (default 64;
+                    semantic: changes the logical partition and the
+                    per-shard RNG streams)";
 
 /// Formats a float with sensible precision for tables.
 pub fn fmt_rate(v: Option<f64>) -> String {

@@ -146,6 +146,15 @@ pub struct SimConfig {
     /// ownership collapses to one busy worker and stealing shines. Not
     /// a paper configuration.
     pub skewed_churn: bool,
+    /// Minimum peer slots per **logical** shard (default 64). The peer
+    /// table splits into `clamp(capacity / shard_slots, 1, 512)`
+    /// contiguous shards; unlike `shards` (a worker-thread knob) this
+    /// changes the logical partition — and therefore the per-shard RNG
+    /// streams — so two runs only reproduce each other bit-for-bit at
+    /// the *same* `shard_slots`. Lower values expose more parallelism
+    /// (more stealable tasks, more worker fan-out) at the price of more
+    /// per-stage routing/merge bookkeeping.
+    pub shard_slots: usize,
 }
 
 impl SimConfig {
@@ -178,6 +187,7 @@ impl SimConfig {
             shards: 1,
             work_stealing: true,
             skewed_churn: false,
+            shard_slots: 64,
         }
     }
 
@@ -215,6 +225,14 @@ impl SimConfig {
     /// Enables the slot-range-skewed churn benchmark scenario.
     pub fn with_skewed_churn(mut self) -> Self {
         self.skewed_churn = true;
+        self
+    }
+
+    /// Sets the minimum peer slots per logical shard. **Semantic**, not
+    /// an execution knob: it changes the logical partition and the
+    /// per-shard RNG streams (see the `shard_slots` field).
+    pub fn with_shard_slots(mut self, slots: usize) -> Self {
+        self.shard_slots = slots;
         self
     }
 
@@ -303,6 +321,9 @@ impl SimConfig {
         }
         if self.shards == 0 {
             return Err("shards must be at least 1 (it is a worker-thread count)".into());
+        }
+        if self.shard_slots == 0 {
+            return Err("shard_slots must be at least 1 (slots per logical shard)".into());
         }
         // The quota feasibility warning of §4.1: supply must cover demand
         // or nothing can ever fully join.

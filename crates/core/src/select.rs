@@ -214,6 +214,29 @@ impl AgeOrderedIndex {
         entries.into_iter().map(|(_, _, cand)| cand).collect()
     }
 
+    /// Re-arms the index for a fresh build of capacity `cap`,
+    /// retaining the heap's allocation — the recycled-arena form of
+    /// [`AgeOrderedIndex::new`] (observationally identical to it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    pub fn reset(&mut self, cap: usize) {
+        assert!(cap > 0, "index capacity must be positive");
+        self.cap = cap;
+        self.seq = 0;
+        self.heap.clear();
+    }
+
+    /// Drains the index into `out` ranked oldest-first (equal ages in
+    /// sampling order), leaving it empty but with its allocation — the
+    /// recycled-arena form of [`AgeOrderedIndex::into_ranked`].
+    pub fn drain_ranked_into(&mut self, out: &mut Vec<Candidate>) {
+        self.heap
+            .sort_unstable_by_key(|e| core::cmp::Reverse(heap_key(e)));
+        out.extend(self.heap.drain(..).map(|(_, _, cand)| cand));
+    }
+
     fn sift_up(&mut self, mut at: usize) {
         while at > 0 {
             let parent = (at - 1) / 2;

@@ -230,10 +230,10 @@ impl BackupWorld {
     pub(in crate::world) fn drop_hosted_blocks(&mut self, host: PeerId, round: u64) {
         let hosted = core::mem::take(&mut self.peers[host as usize].hosted);
         self.peers[host as usize].quota_used = 0;
-        let msgs: Vec<Msg> = hosted
-            .into_iter()
-            .map(|(owner, aidx)| Msg::Drop { owner, aidx, host })
-            .collect();
-        self.run_deliver(round, msgs);
+        let shard = self.layout.shard_of(host);
+        for (owner, aidx) in hosted {
+            self.arena.outboxes[shard].push(Msg::Drop { owner, aidx, host });
+        }
+        self.run_deliver(round);
     }
 }

@@ -1,54 +1,62 @@
-//! The staged round executor: deterministic work-stealing dispatch,
-//! shard-addressed messages, and the two-phase parallel commit.
+//! The staged round executor: persistent-pool dispatch, recycled round
+//! arenas, shard-addressed messages, and the two-phase parallel commit
+//! with run-length-encoded claim traffic.
 //!
-//! PR 3's phased round still funnelled two passes through one thread:
-//! every death/offline teardown (their block write-offs reach owners in
-//! arbitrary shards) and the entire peer-id-ordered commit. This module
-//! removes both ceilings by re-expressing every cross-shard effect as a
-//! **message addressed to a logical shard**, applied in a later stage
-//! that is itself parallel:
+//! PR 4 made the round a fully parallel staged pipeline; this module's
+//! current form removes the steady-state overheads that pipeline still
+//! paid per round:
 //!
-//! * each stage is a set of independent **tasks keyed `(shard, stage)`**
-//!   run on the work-stealing executor ([`peerback_sim::exec`]) — a
-//!   churn hot-spot in one shard range no longer idles the other
-//!   workers, because finished workers steal the stragglers' shards;
-//! * a task may mutate **only its own shard's state** plus task-local
-//!   buffers (events, metric deltas, outboxes); everything it wants to
-//!   do to another shard becomes a [`Msg`] routed after the stage;
-//! * between stages, outboxes are merged and inboxes **sorted by a
-//!   total per-message key**, so the apply order — and therefore every
-//!   result and the entire [`WorldEvent`] stream — is a pure function
-//!   of the round's inputs, never of thread timing.
+//! * **Zero thread spawns** — stages dispatch through the persistent
+//!   [`peerback_sim::WorkerPool`] owned by the world: an epoch bump on
+//!   a barrier the workers park on, not a `thread::scope` spawn.
+//! * **Near-zero allocation** — every per-round buffer (per-shard
+//!   inboxes and outboxes, event buffers, proposal lists, candidate
+//!   pools, actor lists, wheel-fire scratch) lives in a [`RoundArena`]
+//!   whose vectors are cleared and reused across rounds, their
+//!   capacities high-water-marked by earlier rounds. Recycling is
+//!   observationally invisible; [`RoundArena::set_recycle`] is the
+//!   debug knob the determinism tests flip to prove it.
+//! * **Run-length-encoded claims** — the commit's claim wave no longer
+//!   materialises one message per `(owner, archive, rank)` placement.
+//!   A [`ClaimRun`] names a proposal plus a contiguous rank range whose
+//!   hosts share a destination shard; the grant side reads the hosts
+//!   straight out of the (shared, frozen) proposal pool. Round 0 at
+//!   paper scale routes a few thousand runs instead of `~n·d` claims,
+//!   and no claim sort is needed at all: runs are *generated* in global
+//!   commit order, and per-destination routing preserves it.
 //!
 //! ## The round, stage by stage
 //!
 //! 1. **Local events + teardown hop 1** (parallel): wheels fire, sorted
 //!    events are handled shard-locally. A death tears its own slot down
-//!    (epoch bump, re-init from the shard RNG) and *emits messages*:
-//!    [`Msg::Release`] to each partner hosting one of its blocks,
-//!    [`Msg::Drop`] to the owner of each block it hosted.
+//!    and *emits messages*: [`Msg::Release`] to each partner hosting
+//!    one of its blocks, [`Msg::Drop`] to the owner of each block it
+//!    hosted.
 //! 2. **Deliver — teardown hop 2** (parallel by destination shard):
 //!    releases prune hosted entries; drops prune partner entries, count
 //!    losses, re-enqueue owners below threshold. A loss releases the
 //!    survivors — a third, release-only wave.
-//! 3. **Proposals** (parallel): as before — frozen-state pools — but
-//!    additionally emitting [`Msg::Claim`]s for the first `d` ranks.
-//! 4. **Commit, two-phase** (parallel): host shards **grant** claims in
-//!    global `(owner, archive, rank)` order against shard-local quota
-//!    counters; owners top up denials with one fallback claim wave;
-//!    owner shards then run the protocol step with exactly the granted
-//!    partners; host shards apply the resulting [`Msg::Attach`] /
-//!    [`Msg::Release`] bookkeeping. Quota re-validation is thereby
-//!    shard-local — no global sequential pass remains.
+//! 3. **Proposals** (parallel): frozen-state candidate pools, drawn
+//!    from recycled per-shard pool buffers.
+//! 4. **Commit, two-phase** (parallel): wave-A [`ClaimRun`]s are staged
+//!    in commit order; host shards **grant** against shard-local
+//!    quota + tentative counters, emitting [`GrantRun`]s; denied owners
+//!    get one fallback claim wave; owner shards then run the protocol
+//!    step with exactly the granted partners; host shards apply the
+//!    resulting [`Msg::Attach`] / [`Msg::Release`] bookkeeping.
 //!
 //! [`WorldEvent`]: super::hooks::WorldEvent
 
-use peerback_sim::derive_seed;
-use peerback_sim::exec as steal;
+use std::sync::Arc;
+
+use peerback_sim::arena::{put_slot, take_slot};
+use peerback_sim::{derive_seed, BufPool, WorkerPool};
 
 use crate::age::AgeCategory;
 use crate::metrics::Metrics;
+use crate::select::Candidate;
 
+use super::events::Event;
 use super::hooks::WorldEvent;
 use super::peers::{ArchiveIdx, Peer, PeerId};
 use super::shard::{Proposal, ShardLayout};
@@ -94,7 +102,9 @@ impl MetricsDelta {
 /// A cross-shard effect, addressed to the logical shard that owns the
 /// state it touches. All block-drop *events* are emitted on the owner
 /// side at the moment the partner entry leaves the owner's archive;
-/// `Release`/`Attach` are pure host-side bookkeeping.
+/// `Release`/`Attach` are pure host-side bookkeeping. (Claim and grant
+/// traffic travels run-length-encoded as [`ClaimRun`]/[`GrantRun`]
+/// instead of one message per rank.)
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(in crate::world) enum Msg {
     /// → `shard_of(host)`: forget the hosted entry for `(owner, aidx)`
@@ -114,21 +124,6 @@ pub(in crate::world) enum Msg {
         aidx: ArchiveIdx,
         host: PeerId,
     },
-    /// → `shard_of(host)`: `(owner, aidx)` asks to place one block on
-    /// `host` (pool rank `rank`).
-    Claim {
-        host: PeerId,
-        owner: PeerId,
-        aidx: ArchiveIdx,
-        rank: u16,
-        owner_observer: bool,
-    },
-    /// → `shard_of(owner)`: the claim at `rank` was granted.
-    Grant {
-        owner: PeerId,
-        aidx: ArchiveIdx,
-        rank: u16,
-    },
     /// → `shard_of(host)`: the granted placement was used; record the
     /// hosted entry and charge quota.
     Attach {
@@ -143,38 +138,67 @@ impl Msg {
     /// The logical shard whose state this message touches.
     fn dest(&self, layout: &ShardLayout) -> usize {
         match *self {
-            Msg::Release { host, .. } | Msg::Claim { host, .. } | Msg::Attach { host, .. } => {
-                layout.shard_of(host)
-            }
-            Msg::Drop { owner, .. } | Msg::Grant { owner, .. } => layout.shard_of(owner),
+            Msg::Release { host, .. } | Msg::Attach { host, .. } => layout.shard_of(host),
+            Msg::Drop { owner, .. } => layout.shard_of(owner),
         }
     }
 
     /// Total order for deterministic in-shard application. Releases
     /// apply before drops (disjoint state, fixed for definiteness);
-    /// claims and grants compare in global commit order
-    /// `(owner, aidx, rank)`.
+    /// attaches apply after releases in the commit's bookkeeping stage.
     fn sort_key(&self) -> (u8, u64, u64, u64) {
         match *self {
             Msg::Release {
                 host, owner, aidx, ..
             } => (0, host as u64, owner as u64, aidx as u64),
             Msg::Drop { owner, aidx, host } => (1, owner as u64, aidx as u64, host as u64),
-            Msg::Claim {
-                owner, aidx, rank, ..
-            } => (2, owner as u64, aidx as u64, rank as u64),
-            Msg::Grant { owner, aidx, rank } => (3, owner as u64, aidx as u64, rank as u64),
             Msg::Attach {
                 host, owner, aidx, ..
-            } => (4, host as u64, owner as u64, aidx as u64),
+            } => (2, host as u64, owner as u64, aidx as u64),
         }
     }
 }
 
+/// One run of consecutive wave ranks of a single proposal whose hosts
+/// all live in one destination shard. The grant side resolves hosts by
+/// indexing the (shared, frozen) proposal pool, so the run itself is
+/// four words — the join wave's claim traffic collapses from `~n·d`
+/// messages to a few runs per proposal.
+///
+/// Runs are generated in `(owner shard, proposal index, rank)` order —
+/// which *is* global `(owner, archive, rank)` commit order, because
+/// proposals are built per shard in owner order — and per-destination
+/// routing preserves relative order, so grant inboxes need no sort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(in crate::world) struct ClaimRun {
+    /// Owner shard (index into the per-shard proposal lists).
+    pub(in crate::world) oshard: u32,
+    /// Proposal index within the owner shard's list.
+    pub(in crate::world) prop: u32,
+    /// First pool rank of the run.
+    pub(in crate::world) start: u16,
+    /// Ranks `start..start + len` (hosts contiguous in the dest shard).
+    pub(in crate::world) len: u16,
+}
+
+/// A run of consecutively granted ranks, addressed back to the owner
+/// shard. Sorted by `(prop, start)` per owner shard before the owner
+/// stage walks it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(in crate::world) struct GrantRun {
+    /// Proposal index within the owner shard's list.
+    pub(in crate::world) prop: u32,
+    /// First granted pool rank of the run.
+    pub(in crate::world) start: u16,
+    /// Granted ranks `start..start + len`.
+    pub(in crate::world) len: u16,
+}
+
 /// How the stages are dispatched: worker count, whether finished
-/// workers steal, and (under test) a seed forcing a random sequential
-/// interleaving instead of real threads.
-#[derive(Debug, Clone, Copy)]
+/// workers steal, the persistent pool dispatch runs on, and (under
+/// test) a seed forcing a random sequential interleaving instead of
+/// real threads.
+#[derive(Debug, Clone)]
 pub(in crate::world) struct ExecPolicy {
     pub(in crate::world) workers: usize,
     pub(in crate::world) steal: bool,
@@ -182,10 +206,13 @@ pub(in crate::world) struct ExecPolicy {
     /// order (a deterministic stand-in for an arbitrary steal
     /// interleaving). `None` in production.
     pub(in crate::world) fuzz: Option<u64>,
+    /// The world's persistent worker pool (width `workers`); stages are
+    /// epoch bumps on its barrier, never thread spawns.
+    pub(in crate::world) pool: Arc<WorkerPool>,
 }
 
-/// Below this many queued messages a stage runs on one worker: thread
-/// dispatch costs more than the work. Scheduling only — results are
+/// Below this many queued messages a stage runs on one worker: waking
+/// the pool costs more than the work. Scheduling only — results are
 /// identical either way.
 const PARALLEL_MSG_MIN: usize = 2048;
 
@@ -198,7 +225,10 @@ impl ExecPolicy {
         } else {
             self.workers.min(busy.max(1))
         };
-        ExecPolicy { workers, ..*self }
+        ExecPolicy {
+            workers,
+            ..self.clone()
+        }
     }
 
     /// Runs one stage: `f(i, &mut states[i])` exactly once per task.
@@ -209,8 +239,8 @@ impl ExecPolicy {
         F: Fn(usize, &mut S) + Sync,
     {
         match self.fuzz {
-            Some(seed) => steal::run_tasks_fuzzed(derive_seed(seed, salt), states, f),
-            None => steal::run_tasks(self.workers, self.steal, states, f),
+            Some(seed) => peerback_sim::exec::run_tasks_fuzzed(derive_seed(seed, salt), states, f),
+            None => self.pool.run_tasks(self.workers, self.steal, states, f),
         }
     }
 
@@ -229,17 +259,142 @@ impl ExecPolicy {
         match self.fuzz {
             Some(seed) => {
                 let scratch = worker_states.first_mut().expect("one worker state");
-                steal::run_tasks_fuzzed(derive_seed(seed, salt), states, |i, s| {
+                peerback_sim::exec::run_tasks_fuzzed(derive_seed(seed, salt), states, |i, s| {
                     f(scratch, i, s);
                 });
             }
             None => {
-                // Honour the (possibly narrowed) worker count: the
-                // runner derives its thread count from the slice.
+                // Honour the (possibly narrowed) worker count: the pool
+                // derives the stage width from the scratch slice.
                 let take = self.workers.clamp(1, worker_states.len());
-                steal::run_tasks_with(self.steal, &mut worker_states[..take], states, f);
+                self.pool
+                    .run_tasks_with(self.steal, &mut worker_states[..take], states, f);
             }
         }
+    }
+}
+
+/// The recycled per-round buffers: one slot per logical shard for every
+/// buffer family the staged round uses, plus per-shard candidate-pool
+/// free lists and per-worker wheel-fire scratch. Cleared-and-reused
+/// across rounds with capacities high-water-marked; with recycling off
+/// ([`RoundArena::set_recycle`]) every round starts from fresh vectors
+/// — the knob the determinism tests flip.
+pub(in crate::world) struct RoundArena {
+    pub(in crate::world) recycle: bool,
+    /// Routed per-shard [`Msg`] inboxes (deliver + commit-apply).
+    pub(in crate::world) msg_inboxes: Vec<Vec<Msg>>,
+    /// Per-shard lane outboxes (the next wave's input).
+    pub(in crate::world) outboxes: Vec<Vec<Msg>>,
+    /// Per-shard lane event buffers.
+    pub(in crate::world) event_bufs: Vec<Vec<WorldEvent>>,
+    /// Per-shard departed-peer lists of the current round.
+    pub(in crate::world) departed: Vec<Vec<PeerId>>,
+    /// Per-host-shard claim-run inboxes (both commit waves).
+    pub(in crate::world) claim_inboxes: Vec<Vec<ClaimRun>>,
+    /// Per-owner-shard granted runs (wave A, then merged with B).
+    pub(in crate::world) grant_inboxes: Vec<Vec<GrantRun>>,
+    /// Per-owner-shard wave-B grants awaiting the merge.
+    pub(in crate::world) grants_b: Vec<Vec<GrantRun>>,
+    /// Per-host-shard grant routing scratch (`(owner shard, run)`).
+    pub(in crate::world) grant_outs: Vec<Vec<(u32, GrantRun)>>,
+    /// Per-owner-shard proposal lists.
+    pub(in crate::world) proposals: Vec<Vec<Proposal>>,
+    /// Per-shard actor lists (the drained pending queues).
+    pub(in crate::world) actors: Vec<Vec<PeerId>>,
+    /// Per-owner-shard granted-hosts scratch for the owner stage.
+    pub(in crate::world) hosts_bufs: Vec<Vec<PeerId>>,
+    /// Per-owner-shard candidate-pool free lists (proposal pools cycle
+    /// propose → commit → free list).
+    pub(in crate::world) cand_pools: Vec<BufPool<Candidate>>,
+    /// Per-worker wheel-fire scratch for the local-events stage.
+    pub(in crate::world) fire_bufs: Vec<Vec<Event>>,
+}
+
+impl RoundArena {
+    pub(in crate::world) fn new(shards: usize) -> Self {
+        fn slots<T>(shards: usize) -> Vec<Vec<T>> {
+            (0..shards).map(|_| Vec::new()).collect()
+        }
+        RoundArena {
+            recycle: true,
+            msg_inboxes: slots(shards),
+            outboxes: slots(shards),
+            event_bufs: slots(shards),
+            departed: slots(shards),
+            claim_inboxes: slots(shards),
+            grant_inboxes: slots(shards),
+            grants_b: slots(shards),
+            grant_outs: slots(shards),
+            proposals: slots(shards),
+            actors: slots(shards),
+            hosts_bufs: slots(shards),
+            cand_pools: (0..shards).map(|_| BufPool::new()).collect(),
+            fire_bufs: Vec::new(),
+        }
+    }
+
+    /// Enables or disables cross-round buffer recycling (the debug knob
+    /// behind `BackupWorld::set_arena_recycling`). Disabling wipes all
+    /// retained capacity so the next round starts from fresh vectors.
+    pub(in crate::world) fn set_recycle(&mut self, on: bool) {
+        self.recycle = on;
+        for pool in &mut self.cand_pools {
+            pool.set_recycle(on);
+        }
+        if !on {
+            self.wipe();
+        }
+    }
+
+    /// Called at the end of every round: with recycling off, drop every
+    /// retained buffer so rounds cannot share capacity (let alone
+    /// contents); with recycling on this is a no-op — the buffers are
+    /// already cleared by their return paths.
+    pub(in crate::world) fn end_round(&mut self) {
+        if !self.recycle {
+            self.wipe();
+        }
+        debug_assert!(self.outboxes.iter().all(Vec::is_empty));
+        debug_assert!(self.msg_inboxes.iter().all(Vec::is_empty));
+        debug_assert!(self.claim_inboxes.iter().all(Vec::is_empty));
+    }
+
+    fn wipe(&mut self) {
+        for buf in &mut self.msg_inboxes {
+            *buf = Vec::new();
+        }
+        for buf in &mut self.outboxes {
+            *buf = Vec::new();
+        }
+        for buf in &mut self.event_bufs {
+            *buf = Vec::new();
+        }
+        for buf in &mut self.departed {
+            *buf = Vec::new();
+        }
+        for buf in &mut self.claim_inboxes {
+            *buf = Vec::new();
+        }
+        for buf in &mut self.grant_inboxes {
+            *buf = Vec::new();
+        }
+        for buf in &mut self.grants_b {
+            *buf = Vec::new();
+        }
+        for buf in &mut self.grant_outs {
+            *buf = Vec::new();
+        }
+        for buf in &mut self.proposals {
+            *buf = Vec::new();
+        }
+        for buf in &mut self.actors {
+            *buf = Vec::new();
+        }
+        for buf in &mut self.hosts_bufs {
+            *buf = Vec::new();
+        }
+        self.fire_bufs = Vec::new();
     }
 }
 
@@ -335,176 +490,86 @@ impl GrantScratch {
     }
 }
 
-/// A grant-stage task: one shard's claims in, grants out.
+/// A grant-stage task: one host shard's claim runs in, grant runs out.
 struct GrantTask<'a> {
     scratch: &'a mut GrantScratch,
-    inbox: Vec<Msg>,
-    out: Vec<Msg>,
+    inbox: Vec<ClaimRun>,
+    out: Vec<(u32, GrantRun)>,
+}
+
+/// An owner-stage task: one owner shard's proposals, its sorted grant
+/// runs, and the recycled scratch the step uses.
+struct CommitTask<'a> {
+    lane: WorkLane<'a>,
+    props: Vec<Proposal>,
+    grants: Vec<GrantRun>,
+    hosts: Vec<PeerId>,
+    cands: BufPool<Candidate>,
 }
 
 impl BackupWorld {
-    /// Routes a merged outbox into per-shard inboxes, each sorted by
-    /// the deterministic message key.
-    pub(in crate::world) fn route(&self, msgs: Vec<Msg>) -> Vec<Vec<Msg>> {
-        let mut inboxes: Vec<Vec<Msg>> = (0..self.layout.count).map(|_| Vec::new()).collect();
-        for msg in msgs {
-            inboxes[msg.dest(&self.layout)].push(msg);
-        }
-        for inbox in &mut inboxes {
-            inbox.sort_unstable_by_key(Msg::sort_key);
-        }
-        inboxes
-    }
-
-    /// Stage 2 (+3): applies a deliver inbox — releases and drops, in
-    /// sorted order per shard — then the release-only survivor wave a
-    /// loss may generate. `round` is the current round (loss
-    /// accounting).
-    pub(in crate::world) fn run_deliver(&mut self, round: u64, msgs: Vec<Msg>) {
-        let mut wave = msgs;
-        // Wave 1 carries drops (which may generate survivor releases);
-        // wave 2 is release-only and terminates.
-        for salt in 0..2u64 {
-            if wave.is_empty() {
-                return;
+    /// Drains every shard's outbox into the per-destination inboxes (in
+    /// shard order, preserving per-destination emission order), sorts
+    /// each inbox by the deterministic message key, and returns the
+    /// number of messages routed. All buffers are arena slots — no
+    /// allocation in the steady state.
+    fn route_outboxes(&mut self) -> usize {
+        let layout = self.layout;
+        let RoundArena {
+            outboxes,
+            msg_inboxes,
+            ..
+        } = &mut self.arena;
+        let mut total = 0usize;
+        for slot in outboxes.iter_mut().take(layout.count) {
+            if slot.is_empty() {
+                continue;
             }
-            let inboxes = self.route(wave);
-            let busy = inboxes.iter().filter(|i| !i.is_empty()).count();
-            let work: usize = inboxes.iter().map(Vec::len).sum();
-            let policy = self.exec.narrowed(busy, work);
-            let layout = self.layout;
-            let BackupWorld {
-                peers,
-                pendings,
-                cfg,
-                event_log,
-                metrics,
-                record_events,
-                ..
-            } = self;
-            let cfg: &crate::config::SimConfig = cfg;
-            let mut lanes = build_work_lanes(layout, *record_events, peers, pendings, inboxes);
-            policy.dispatch(round * 16 + 2 + salt, &mut lanes, |_, lane| {
-                let inbox = core::mem::take(&mut lane.inbox);
-                for msg in &inbox {
-                    match *msg {
-                        Msg::Release {
-                            host,
-                            owner,
-                            aidx,
-                            owner_observer,
-                        } => lane.apply_release(host, owner, aidx, owner_observer),
-                        Msg::Drop { owner, aidx, host } => {
-                            lane.apply_drop(cfg, owner, aidx, host, round);
-                        }
-                        _ => unreachable!("commit messages in the deliver stage"),
-                    }
-                }
-            });
-            wave = merge_lanes(event_log, metrics, lanes);
-            debug_assert!(
-                salt == 0 || wave.is_empty(),
-                "survivor releases generated further messages"
-            );
+            let mut out = core::mem::take(slot);
+            total += out.len();
+            for msg in out.drain(..) {
+                msg_inboxes[msg.dest(&layout)].push(msg);
+            }
+            *slot = out;
         }
-    }
-
-    /// Stages 4–7: the two-phase commit. `claims` are the wave-A claims
-    /// built during the proposal stage (ranks `0..d` of each pool).
-    pub(in crate::world) fn commit_proposals(
-        &mut self,
-        round: u64,
-        mut proposals: Vec<Vec<Proposal>>,
-        claims: Vec<Msg>,
-    ) {
-        if proposals.iter().all(Vec::is_empty) {
-            return;
-        }
-
-        // Phase 1 (propose): hosts grant claims in global commit order
-        // against shard-local quota + tentative counters.
-        let mut grants = self.grant_stage(round * 16 + 4, claims);
-
-        // Denied claims get one fallback wave over the next pool ranks.
-        let wave_b = wave_b_claims(&proposals, &grants);
-        if !wave_b.is_empty() {
-            let grants_b = self.grant_stage(round * 16 + 5, wave_b);
-            for (shard, extra) in grants_b.into_iter().enumerate() {
-                grants[shard].extend(extra);
-                grants[shard].sort_unstable_by_key(Msg::sort_key);
+        if total > 0 {
+            for inbox in msg_inboxes.iter_mut() {
+                inbox.sort_unstable_by_key(Msg::sort_key);
             }
         }
+        total
+    }
 
-        // Phase 2 (ack/apply): owner shards run the protocol step with
-        // exactly the granted partners…
-        let effects = {
-            let busy = proposals.iter().filter(|p| !p.is_empty()).count();
-            // Owner steps are much heavier per item than bookkeeping
-            // messages; weight them accordingly.
-            let work = proposals.iter().map(Vec::len).sum::<usize>() * 64
-                + grants.iter().map(Vec::len).sum::<usize>();
-            let policy = self.exec.narrowed(busy, work);
-            let layout = self.layout;
-            let BackupWorld {
-                peers,
-                pendings,
-                cfg,
-                event_log,
-                metrics,
-                record_events,
-                ..
-            } = self;
-            let cfg: &crate::config::SimConfig = cfg;
-            let lanes = build_work_lanes(layout, *record_events, peers, pendings, Vec::new());
-            let mut states: Vec<(WorkLane<'_>, Vec<Proposal>, Vec<Msg>)> = lanes
-                .into_iter()
-                .zip(proposals.drain(..))
-                .zip(grants.drain(..))
-                .map(|((lane, props), grants)| (lane, props, grants))
-                .collect();
-            policy.dispatch(round * 16 + 6, &mut states, |_, (lane, props, grants)| {
-                let mut cursor = 0usize;
-                for prop in props.drain(..) {
-                    // The grants for this proposal are contiguous in
-                    // the sorted list.
-                    let mut hosts: Vec<PeerId> = Vec::new();
-                    while cursor < grants.len() {
-                        let Msg::Grant { owner, aidx, rank } = grants[cursor] else {
-                            unreachable!("non-grant in the grant inbox")
-                        };
-                        if (owner, aidx) != (prop.owner, prop.aidx) {
-                            break;
-                        }
-                        hosts.push(prop.pool[rank as usize].id);
-                        cursor += 1;
-                    }
-                    lane.commit_step(cfg, &prop, &hosts, round);
-                }
-                debug_assert_eq!(cursor, grants.len(), "grants without a proposal");
-            });
-            let lanes: Vec<WorkLane<'_>> = states.into_iter().map(|(lane, _, _)| lane).collect();
-            merge_lanes(event_log, metrics, lanes)
-        };
-
-        // …and host shards record the resulting attachments/releases.
-        if effects.is_empty() {
-            return;
+    /// Routes the pending outboxes and runs one message-apply stage
+    /// over them. `commit` selects the commit bookkeeping stage
+    /// (release/attach) over the deliver stage (release/drop). Returns
+    /// how many messages were applied (0 = the stage was skipped).
+    fn run_msg_stage(&mut self, salt: u64, round: u64, commit: bool) -> usize {
+        let total = self.route_outboxes();
+        if total == 0 {
+            return 0;
         }
-        let inboxes = self.route(effects);
-        let busy = inboxes.iter().filter(|i| !i.is_empty()).count();
-        let work: usize = inboxes.iter().map(Vec::len).sum();
-        let policy = self.exec.narrowed(busy, work);
+        let busy = self
+            .arena
+            .msg_inboxes
+            .iter()
+            .filter(|i| !i.is_empty())
+            .count();
+        let policy = self.exec.narrowed(busy, total);
         let layout = self.layout;
         let BackupWorld {
             peers,
             pendings,
+            cfg,
             event_log,
             metrics,
             record_events,
+            arena,
             ..
         } = self;
-        let mut lanes = build_work_lanes(layout, *record_events, peers, pendings, inboxes);
-        policy.dispatch(round * 16 + 7, &mut lanes, |_, lane| {
+        let cfg: &crate::config::SimConfig = cfg;
+        let mut lanes = build_work_lanes(layout, *record_events, peers, pendings, arena, true);
+        policy.dispatch(salt, &mut lanes, |_, lane| {
             let inbox = core::mem::take(&mut lane.inbox);
             for msg in &inbox {
                 match *msg {
@@ -514,93 +579,362 @@ impl BackupWorld {
                         aidx,
                         owner_observer,
                     } => lane.apply_release(host, owner, aidx, owner_observer),
+                    Msg::Drop { owner, aidx, host } => {
+                        if commit {
+                            unreachable!("drop message in the commit apply stage");
+                        }
+                        lane.apply_drop(cfg, owner, aidx, host, round);
+                    }
                     Msg::Attach {
                         host,
                         owner,
                         aidx,
                         owner_observer,
-                    } => lane.apply_attach(host, owner, aidx, owner_observer),
-                    _ => unreachable!("non-bookkeeping message in the apply stage"),
+                    } => {
+                        if !commit {
+                            unreachable!("attach message in the deliver stage");
+                        }
+                        lane.apply_attach(host, owner, aidx, owner_observer);
+                    }
                 }
             }
+            lane.inbox = inbox;
         });
-        let leftovers = merge_lanes(event_log, metrics, lanes);
-        debug_assert!(leftovers.is_empty(), "apply stage generated messages");
+        merge_work_lanes(event_log, metrics, arena, lanes);
+        total
     }
 
-    /// One grant stage: routes `claims`, lets each host shard grant in
-    /// sorted order against live quota plus the round's tentative
-    /// charges, and returns the grants routed per owner shard. The
-    /// tentative counters persist across the two waves of one round and
-    /// are wiped at the end of the second.
-    fn grant_stage(&mut self, salt: u64, claims: Vec<Msg>) -> Vec<Vec<Msg>> {
-        let inboxes = self.route(claims);
-        let busy = inboxes.iter().filter(|i| !i.is_empty()).count();
-        let work: usize = inboxes.iter().map(Vec::len).sum();
+    /// Stage 2 (+3): applies the deliver waves — releases and drops, in
+    /// sorted order per shard — then the release-only survivor wave a
+    /// loss may generate. Input is whatever the local-events stage left
+    /// in the arena outboxes; `round` is the current round (loss
+    /// accounting).
+    pub(in crate::world) fn run_deliver(&mut self, round: u64) {
+        for salt in 0..2u64 {
+            if self.run_msg_stage(round * 16 + 2 + salt, round, false) == 0 {
+                return;
+            }
+        }
+        debug_assert!(
+            self.arena.outboxes.iter().all(Vec::is_empty),
+            "survivor releases generated further messages"
+        );
+    }
+
+    /// Stages 4–7: the two-phase commit over the proposals staged in
+    /// the arena (`arena.proposals`, filled by the proposal stage).
+    pub(in crate::world) fn commit_proposals(&mut self, round: u64) {
+        if self.arena.proposals.iter().all(Vec::is_empty) {
+            return;
+        }
+
+        // Phase 1 (propose): stage the wave-A claim runs in commit
+        // order, let host shards grant them, and top denied owners up
+        // with one fallback wave.
+        self.stage_wave_a_claims();
+        self.grant_stage(round * 16 + 4, false);
+        if self.stage_wave_b_claims() {
+            self.grant_stage(round * 16 + 5, true);
+            self.merge_wave_b_grants();
+        }
+
+        // Phase 2 (ack/apply): owner shards run the protocol step with
+        // exactly the granted partners, then host shards record the
+        // resulting attachments/releases.
+        self.commit_owner_stage(round);
+        self.run_msg_stage(round * 16 + 7, round, true);
+        debug_assert!(
+            self.arena.outboxes.iter().all(Vec::is_empty),
+            "apply stage generated messages"
+        );
+    }
+
+    /// Builds the wave-A claim runs: ranks `0..d` of every proposal,
+    /// segmented by destination shard, appended per destination in
+    /// global `(owner, archive, rank)` commit order — so the grant
+    /// inboxes need no sort.
+    fn stage_wave_a_claims(&mut self) {
+        let layout = self.layout;
+        let RoundArena {
+            proposals,
+            claim_inboxes,
+            ..
+        } = &mut self.arena;
+        for (s, props) in proposals.iter().enumerate() {
+            for (pi, prop) in props.iter().enumerate() {
+                let end = (prop.d as usize).min(prop.pool.len());
+                push_claim_runs(&layout, s as u32, pi as u32, prop, 0, end, claim_inboxes);
+            }
+        }
+    }
+
+    /// Computes the fallback (wave B) claim runs: for each proposal
+    /// granted fewer than `d` placements, claim the next `d − granted`
+    /// pool ranks beyond the wave-A window. Returns whether any were
+    /// staged.
+    fn stage_wave_b_claims(&mut self) -> bool {
+        let layout = self.layout;
+        let RoundArena {
+            proposals,
+            grant_inboxes,
+            claim_inboxes,
+            ..
+        } = &mut self.arena;
+        let mut any = false;
+        for (s, props) in proposals.iter().enumerate() {
+            let grants = &grant_inboxes[s];
+            let mut cursor = 0usize;
+            for (pi, prop) in props.iter().enumerate() {
+                let mut granted = 0u32;
+                while cursor < grants.len() && grants[cursor].prop as usize == pi {
+                    granted += grants[cursor].len as u32;
+                    cursor += 1;
+                }
+                let wave_a = (prop.d as usize).min(prop.pool.len());
+                let missing = (prop.d - granted) as usize;
+                if missing == 0 || wave_a >= prop.pool.len() {
+                    continue;
+                }
+                let end = (wave_a + missing).min(prop.pool.len());
+                push_claim_runs(
+                    &layout,
+                    s as u32,
+                    pi as u32,
+                    prop,
+                    wave_a,
+                    end,
+                    claim_inboxes,
+                );
+                any = true;
+            }
+            debug_assert_eq!(cursor, grants.len(), "grants without a proposal");
+        }
+        any
+    }
+
+    /// One grant stage over the staged claim runs: each host shard
+    /// grants in commit order against live quota plus the round's
+    /// tentative charges, producing grant runs routed back per owner
+    /// shard (into `grant_inboxes` for wave A, `grants_b` for wave B).
+    /// The tentative counters persist across the two waves of one round
+    /// and are wiped by [`BackupWorld::reset_grant_scratch`].
+    fn grant_stage(&mut self, salt: u64, wave_b: bool) {
         let layout = self.layout;
         let quota = self.cfg.quota;
+        let recycle = self.arena.recycle;
         if self.grant_scratch.len() < layout.count {
             self.grant_scratch
                 .resize_with(layout.count, GrantScratch::default);
         }
-        let peers = &self.peers;
+        type GrantOuts = Vec<Vec<(u32, GrantRun)>>;
+        let (inboxes, outs): (Vec<Vec<ClaimRun>>, GrantOuts) = {
+            let arena = &mut self.arena;
+            (0..layout.count)
+                .map(|s| {
+                    (
+                        core::mem::take(&mut arena.claim_inboxes[s]),
+                        take_slot(&mut arena.grant_outs[s], recycle),
+                    )
+                })
+                .unzip()
+        };
+        let busy = inboxes.iter().filter(|i| !i.is_empty()).count();
+        let work: usize = inboxes
+            .iter()
+            .flat_map(|i| i.iter())
+            .map(|run| run.len as usize)
+            .sum();
         let policy = self.exec.narrowed(busy, work);
+        let peers = &self.peers;
+        let proposals = &self.arena.proposals;
         let mut tasks: Vec<GrantTask<'_>> = self
             .grant_scratch
             .iter_mut()
             .zip(inboxes)
-            .map(|(scratch, inbox)| GrantTask {
+            .zip(outs)
+            .map(|((scratch, inbox), out)| GrantTask {
                 scratch,
                 inbox,
-                out: Vec::new(),
+                out,
             })
             .collect();
         policy.dispatch(salt, &mut tasks, |shard, task| {
             let base = shard * layout.shard_size;
             let slots = layout.shard_size.min(peers.len().saturating_sub(base));
             task.scratch.ensure(slots);
-            for msg in &task.inbox {
-                let Msg::Claim {
-                    host,
-                    owner,
-                    aidx,
-                    rank,
-                    owner_observer,
-                } = *msg
-                else {
-                    unreachable!("non-claim in a grant inbox")
-                };
-                let local = (host as usize) - base;
-                let peer = &peers[host as usize];
-                debug_assert!(peer.online, "claims target frozen-online candidates");
-                if peer.quota_used + task.scratch.tent[local] >= quota {
-                    continue; // full, counting this round's earlier grants
-                }
-                if !owner_observer {
-                    if task.scratch.tent[local] == 0 {
-                        task.scratch.touched.push(local as u32);
+            for run in &task.inbox {
+                let prop = &proposals[run.oshard as usize][run.prop as usize];
+                // Contiguous granted ranks merge into one output run.
+                let mut open: Option<GrantRun> = None;
+                for rank in run.start..run.start + run.len {
+                    let host = prop.pool[rank as usize].id;
+                    debug_assert_eq!(layout.shard_of(host), shard, "misrouted claim run");
+                    let local = (host as usize) - base;
+                    let peer = &peers[host as usize];
+                    debug_assert!(peer.online, "claims target frozen-online candidates");
+                    if peer.quota_used + task.scratch.tent[local] >= quota {
+                        // Full, counting this round's earlier grants.
+                        if let Some(done) = open.take() {
+                            task.out.push((run.oshard, done));
+                        }
+                        continue;
                     }
-                    task.scratch.tent[local] += 1;
+                    if !prop.owner_observer {
+                        if task.scratch.tent[local] == 0 {
+                            task.scratch.touched.push(local as u32);
+                        }
+                        task.scratch.tent[local] += 1;
+                    }
+                    match &mut open {
+                        // An open run always ends right before `rank`:
+                        // ranks advance by one and denials flush it.
+                        Some(g) => {
+                            debug_assert_eq!(g.start + g.len, rank, "non-contiguous grant run");
+                            g.len += 1;
+                        }
+                        None => {
+                            open = Some(GrantRun {
+                                prop: run.prop,
+                                start: rank,
+                                len: 1,
+                            });
+                        }
+                    }
                 }
-                task.out.push(Msg::Grant { owner, aidx, rank });
+                if let Some(done) = open.take() {
+                    task.out.push((run.oshard, done));
+                }
             }
         });
-        // Route grants to owner shards (they are produced sorted per
-        // host shard; the merge + sort restores global commit order per
-        // destination).
-        let mut out: Vec<Vec<Msg>> = (0..layout.count).map(|_| Vec::new()).collect();
-        for task in tasks {
-            for grant in task.out {
-                let Msg::Grant { owner, .. } = grant else {
-                    unreachable!()
-                };
-                out[layout.shard_of(owner)].push(grant);
+        // Route the grant runs to their owner shards (host shards
+        // interleave, so each destination list needs one small sort
+        // over runs — not ranks — to restore commit order).
+        let arena = &mut self.arena;
+        let dest = if wave_b {
+            &mut arena.grants_b
+        } else {
+            &mut arena.grant_inboxes
+        };
+        for (s, task) in tasks.into_iter().enumerate() {
+            let GrantTask {
+                mut inbox, mut out, ..
+            } = task;
+            for (oshard, grant) in out.drain(..) {
+                dest[oshard as usize].push(grant);
+            }
+            inbox.clear();
+            put_slot(&mut arena.claim_inboxes[s], inbox, recycle);
+            put_slot(&mut arena.grant_outs[s], out, recycle);
+        }
+        for list in dest.iter_mut() {
+            list.sort_unstable_by_key(|g| (g.prop, g.start));
+        }
+    }
+
+    /// Folds the wave-B grants into the wave-A lists, restoring commit
+    /// order per owner shard.
+    fn merge_wave_b_grants(&mut self) {
+        let RoundArena {
+            grant_inboxes,
+            grants_b,
+            ..
+        } = &mut self.arena;
+        for (dst, src) in grant_inboxes.iter_mut().zip(grants_b.iter_mut()) {
+            if !src.is_empty() {
+                dst.append(src);
+                dst.sort_unstable_by_key(|g| (g.prop, g.start));
             }
         }
-        for inbox in &mut out {
-            inbox.sort_unstable_by_key(Msg::sort_key);
+    }
+
+    /// The owner half of phase 2: each owner shard walks its proposals
+    /// with a cursor over the sorted grant runs, resolves the granted
+    /// hosts from the proposal pool, and runs the protocol step. Pool
+    /// buffers return to the shard's free list; attach/release
+    /// bookkeeping lands in the outboxes for the apply stage.
+    fn commit_owner_stage(&mut self, round: u64) {
+        let busy = self
+            .arena
+            .proposals
+            .iter()
+            .filter(|p| !p.is_empty())
+            .count();
+        // Owner steps are much heavier per item than bookkeeping
+        // messages; weight them accordingly.
+        let work = self.arena.proposals.iter().map(Vec::len).sum::<usize>() * 64
+            + self
+                .arena
+                .grant_inboxes
+                .iter()
+                .flat_map(|g| g.iter())
+                .map(|g| g.len as usize)
+                .sum::<usize>();
+        let policy = self.exec.narrowed(busy, work);
+        let layout = self.layout;
+        let recycle = self.arena.recycle;
+        let BackupWorld {
+            peers,
+            pendings,
+            cfg,
+            event_log,
+            metrics,
+            record_events,
+            arena,
+            ..
+        } = self;
+        let cfg: &crate::config::SimConfig = cfg;
+        let lanes = build_work_lanes(layout, *record_events, peers, pendings, arena, false);
+        let mut tasks: Vec<CommitTask<'_>> = lanes
+            .into_iter()
+            .enumerate()
+            .map(|(s, lane)| CommitTask {
+                lane,
+                props: core::mem::take(&mut arena.proposals[s]),
+                grants: core::mem::take(&mut arena.grant_inboxes[s]),
+                hosts: take_slot(&mut arena.hosts_bufs[s], recycle),
+                cands: core::mem::take(&mut arena.cand_pools[s]),
+            })
+            .collect();
+        policy.dispatch(round * 16 + 6, &mut tasks, |_, task| {
+            let CommitTask {
+                lane,
+                props,
+                grants,
+                hosts,
+                cands,
+            } = task;
+            let mut cursor = 0usize;
+            for (pi, prop) in props.drain(..).enumerate() {
+                hosts.clear();
+                while cursor < grants.len() && grants[cursor].prop as usize == pi {
+                    let g = grants[cursor];
+                    for rank in g.start..g.start + g.len {
+                        hosts.push(prop.pool[rank as usize].id);
+                    }
+                    cursor += 1;
+                }
+                lane.commit_step(cfg, &prop, hosts, round);
+                cands.put(prop.pool);
+            }
+            debug_assert_eq!(cursor, grants.len(), "grants without a proposal");
+        });
+        let mut delta = MetricsDelta::default();
+        for (s, task) in tasks.into_iter().enumerate() {
+            let CommitTask {
+                lane,
+                props,
+                mut grants,
+                hosts,
+                cands,
+            } = task;
+            merge_lane_core(event_log, &mut delta, arena, s, lane);
+            put_slot(&mut arena.proposals[s], props, recycle);
+            grants.clear();
+            put_slot(&mut arena.grant_inboxes[s], grants, recycle);
+            put_slot(&mut arena.hosts_bufs[s], hosts, recycle);
+            arena.cand_pools[s] = cands;
         }
-        out
+        delta.apply(metrics);
     }
 
     /// Wipes the grant stages' tentative counters (end of commit).
@@ -611,16 +945,48 @@ impl BackupWorld {
     }
 }
 
+/// Appends the claim runs of `prop.pool[start..end]` to the per-shard
+/// inboxes, one run per maximal rank range whose hosts share a
+/// destination shard.
+fn push_claim_runs(
+    layout: &ShardLayout,
+    oshard: u32,
+    prop_idx: u32,
+    prop: &Proposal,
+    start: usize,
+    end: usize,
+    inboxes: &mut [Vec<ClaimRun>],
+) {
+    let mut run_start = start;
+    while run_start < end {
+        let dest = layout.shard_of(prop.pool[run_start].id);
+        let mut run_end = run_start + 1;
+        while run_end < end && layout.shard_of(prop.pool[run_end].id) == dest {
+            run_end += 1;
+        }
+        inboxes[dest].push(ClaimRun {
+            oshard,
+            prop: prop_idx,
+            start: run_start as u16,
+            len: (run_end - run_start) as u16,
+        });
+        run_start = run_end;
+    }
+}
+
 /// Builds one [`WorkLane`] per logical shard over split borrows of the
-/// peer table and pending queues, installing `inboxes` (or empty ones).
+/// peer table and pending queues, drawing every lane buffer from the
+/// arena (inboxes carry the routed messages when `with_inboxes`).
 fn build_work_lanes<'a>(
     layout: ShardLayout,
     events_on: bool,
     peers: &'a mut [Peer],
     pendings: &'a mut [Vec<PeerId>],
-    mut inboxes: Vec<Vec<Msg>>,
+    arena: &mut RoundArena,
+    with_inboxes: bool,
 ) -> Vec<WorkLane<'a>> {
     let sz = layout.shard_size;
+    let recycle = arena.recycle;
     let mut lanes = Vec::with_capacity(layout.count);
     let mut peers_rest = peers;
     let mut pendings = pendings.iter_mut();
@@ -628,40 +994,64 @@ fn build_work_lanes<'a>(
         let take = sz.min(peers_rest.len());
         let (chunk, rest) = peers_rest.split_at_mut(take);
         peers_rest = rest;
+        debug_assert!(
+            arena.outboxes[s].is_empty(),
+            "outbox not routed before stage"
+        );
         lanes.push(WorkLane {
             base: (s * sz) as PeerId,
             peers: chunk,
             pending: pendings.next().expect("pending per shard"),
             events_on,
-            events: Vec::new(),
+            events: take_slot(&mut arena.event_bufs[s], recycle),
             delta: MetricsDelta::default(),
-            out: Vec::new(),
-            inbox: if inboxes.is_empty() {
-                Vec::new()
+            out: core::mem::take(&mut arena.outboxes[s]),
+            inbox: if with_inboxes {
+                core::mem::take(&mut arena.msg_inboxes[s])
             } else {
-                core::mem::take(&mut inboxes[s])
+                Vec::new()
             },
         });
     }
     lanes
 }
 
-/// Merges lane buffers back into the world in shard order and returns
-/// the concatenated outbox.
-fn merge_lanes(
+/// The per-lane half of every stage merge: events into the log, delta
+/// accumulated, the outbox (with its contents — the next wave's input)
+/// restored to its arena slot. Returns the lane's inbox for the caller
+/// to recycle (stages that routed one) or drop (stages that didn't —
+/// it is an empty `Vec::new()` there, which must *not* overwrite the
+/// retained inbox slot).
+fn merge_lane_core(
+    event_log: &mut Vec<WorldEvent>,
+    delta: &mut MetricsDelta,
+    arena: &mut RoundArena,
+    s: usize,
+    mut lane: WorkLane<'_>,
+) -> Vec<Msg> {
+    event_log.append(&mut lane.events);
+    put_slot(&mut arena.event_bufs[s], lane.events, arena.recycle);
+    merge_delta(delta, &lane.delta);
+    arena.outboxes[s] = lane.out;
+    lane.inbox
+}
+
+/// Merges lane buffers back into the world in shard order: events into
+/// the log, deltas into the metrics, outboxes (with their contents —
+/// the next wave's input) and cleared inboxes back into the arena.
+fn merge_work_lanes(
     event_log: &mut Vec<WorldEvent>,
     metrics: &mut Metrics,
+    arena: &mut RoundArena,
     lanes: Vec<WorkLane<'_>>,
-) -> Vec<Msg> {
-    let mut out = Vec::new();
+) {
+    let recycle = arena.recycle;
     let mut delta = MetricsDelta::default();
-    for mut lane in lanes {
-        event_log.append(&mut lane.events);
-        merge_delta(&mut delta, &lane.delta);
-        out.append(&mut lane.out);
+    for (s, lane) in lanes.into_iter().enumerate() {
+        let inbox = merge_lane_core(event_log, &mut delta, arena, s, lane);
+        put_slot(&mut arena.msg_inboxes[s], inbox, recycle);
     }
     delta.apply(metrics);
-    out
 }
 
 /// Accumulates `src` into `dst` field by field.
@@ -678,58 +1068,4 @@ pub(in crate::world) fn merge_delta(dst: &mut MetricsDelta, src: &MetricsDelta) 
     dst.blocks_uploaded += src.blocks_uploaded;
     dst.blocks_downloaded += src.blocks_downloaded;
     dst.threshold_adjustments += src.threshold_adjustments;
-}
-
-/// Builds the wave-A claims for one proposal: ranks `0..d` of its pool.
-pub(in crate::world) fn wave_a_claims(prop: &Proposal, out: &mut Vec<Msg>) {
-    for (rank, cand) in prop.pool.iter().take(prop.d as usize).enumerate() {
-        out.push(Msg::Claim {
-            host: cand.id,
-            owner: prop.owner,
-            aidx: prop.aidx,
-            rank: rank as u16,
-            owner_observer: prop.owner_observer,
-        });
-    }
-}
-
-/// Computes the fallback (wave B) claims: for each proposal granted
-/// fewer than `d` placements, claim the next `d − granted` pool ranks
-/// beyond the wave-A window.
-fn wave_b_claims(proposals: &[Vec<Proposal>], grants: &[Vec<Msg>]) -> Vec<Msg> {
-    let mut claims = Vec::new();
-    for (shard, props) in proposals.iter().enumerate() {
-        let shard_grants = &grants[shard];
-        let mut cursor = 0usize;
-        for prop in props {
-            let mut granted = 0u32;
-            while cursor < shard_grants.len() {
-                let Msg::Grant { owner, aidx, .. } = shard_grants[cursor] else {
-                    unreachable!()
-                };
-                if (owner, aidx) != (prop.owner, prop.aidx) {
-                    break;
-                }
-                granted += 1;
-                cursor += 1;
-            }
-            let wave_a = (prop.d as usize).min(prop.pool.len());
-            let missing = (prop.d - granted) as usize;
-            if missing == 0 || wave_a >= prop.pool.len() {
-                continue;
-            }
-            let end = (wave_a + missing).min(prop.pool.len());
-            for (off, cand) in prop.pool[wave_a..end].iter().enumerate() {
-                claims.push(Msg::Claim {
-                    host: cand.id,
-                    owner: prop.owner,
-                    aidx: prop.aidx,
-                    rank: (wave_a + off) as u16,
-                    owner_observer: prop.owner_observer,
-                });
-            }
-        }
-        debug_assert_eq!(cursor, shard_grants.len(), "grants without a proposal");
-    }
-    claims
 }

@@ -149,6 +149,39 @@ impl BackupWorld {
         core::mem::take(&mut self.event_log)
     }
 
+    /// Swaps the buffered events into `buf` (cleared first), handing
+    /// the world `buf`'s old allocation for the next round — the
+    /// zero-allocation form of [`BackupWorld::take_events`] for
+    /// observers that drain every round.
+    pub fn swap_event_buf(&mut self, buf: &mut Vec<WorldEvent>) {
+        buf.clear();
+        core::mem::swap(buf, &mut self.event_log);
+    }
+
+    /// The persistent worker pool the round stages dispatch on. Shared
+    /// so the fabric's lane replay rides the same parked threads
+    /// instead of spawning its own.
+    pub fn worker_pool(&self) -> &std::sync::Arc<peerback_sim::WorkerPool> {
+        &self.exec.pool
+    }
+
+    /// Stage dispatches that actually woke the worker pool so far
+    /// (inline single-worker stages cost no wake-up and are not
+    /// counted). Execution telemetry — varies with `shards`, never part
+    /// of the determinism contract.
+    pub fn stage_dispatches(&self) -> u64 {
+        self.exec.pool.dispatches()
+    }
+
+    /// Enables or disables cross-round arena recycling (on by
+    /// default). Recycling is observationally invisible — this knob
+    /// exists so tests can run the same seed both ways and assert
+    /// bit-identical results, proving no state leaks between rounds
+    /// through the recycled buffers.
+    pub fn set_arena_recycling(&mut self, on: bool) {
+        self.arena.set_recycle(on);
+    }
+
     /// Number of logical shards the peer table is partitioned into (a
     /// pure function of the configured capacity).
     pub fn logical_shards(&self) -> usize {

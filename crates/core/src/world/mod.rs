@@ -26,11 +26,13 @@
 //! shards** (see [`shard`]); `SimConfig::shards` only sets how many
 //! worker threads execute the parallel stages, and same-seed results
 //! are bit-identical at every value. Each round runs as a pipeline of
-//! parallel stages over a **work-stealing executor** (see [`exec`]):
-//! population ramp → shard-local events + teardown hop 1 → message
-//! delivery (teardown hop 2) → frozen-state proposals + claims → the
-//! two-phase grant/apply commit. No sequential cross-shard pass
-//! remains.
+//! parallel stages over a **persistent work-stealing worker pool**
+//! (see [`exec`]): population ramp → shard-local events + teardown
+//! hop 1 → message delivery (teardown hop 2) → frozen-state proposals →
+//! the two-phase grant/apply commit. Stages are barrier epoch bumps on
+//! the parked pool — a steady-state round spawns no threads — and every
+//! per-round buffer is recycled through the round arena, so the hot
+//! loop's heap traffic is (near) zero.
 //!
 //! ## Layout
 //!
@@ -49,8 +51,8 @@
 //!   policies.
 //! * [`shard`] — the logical partition, per-shard state, and the
 //!   shard-local event handlers.
-//! * [`exec`] — the staged executor: shard-addressed messages, the
-//!   deliver stages, and the two-phase parallel commit.
+//! * [`exec`] — the staged executor: pool dispatch, the round arena,
+//!   shard-addressed messages, and the two-phase parallel commit.
 
 mod events;
 mod exec;
@@ -63,8 +65,10 @@ mod shard;
 #[cfg(test)]
 mod tests;
 
+use std::sync::Arc;
+
 use peerback_churn::SessionSampler;
-use peerback_sim::{derive_seed, HierarchicalWheel, Round, SimRng, World};
+use peerback_sim::{derive_seed, HierarchicalWheel, Round, SimRng, WorkerPool, World};
 use rand::SeedableRng;
 
 use crate::age::AgeCategory;
@@ -72,7 +76,8 @@ use crate::config::SimConfig;
 use crate::metrics::{CategorySample, Metrics, ObserverSeries};
 
 use events::Event;
-use exec::{ExecPolicy, GrantScratch, MetricsDelta, Msg};
+use exec::{ExecPolicy, GrantScratch, MetricsDelta, RoundArena};
+use peerback_sim::BufPool;
 use peers::{ArchiveIdx, Peer};
 use shard::{Proposal, Scratch, ShardLane, ShardLayout};
 
@@ -94,7 +99,8 @@ pub struct BackupWorld {
     /// The fixed logical partition of the slot space.
     pub(in crate::world) layout: ShardLayout,
     /// How the parallel stages are dispatched (worker threads from
-    /// `cfg.shards`, stealing from `cfg.work_stealing`).
+    /// `cfg.shards`, stealing from `cfg.work_stealing`, the persistent
+    /// pool the stages run on).
     pub(in crate::world) exec: ExecPolicy,
     /// Per-shard online peers, for O(1) uniform candidate sampling.
     pub(in crate::world) online: Vec<Vec<PeerId>>,
@@ -112,6 +118,11 @@ pub struct BackupWorld {
     pub(in crate::world) scratch: Vec<Scratch>,
     /// Per-shard tentative-quota scratch for the grant stages.
     pub(in crate::world) grant_scratch: Vec<GrantScratch>,
+    /// The recycled per-round buffers (see [`exec::RoundArena`]).
+    pub(in crate::world) arena: RoundArena,
+    /// Frozen per-shard online-count prefix sums for the proposal
+    /// phase (recomputed once per round into the same buffer).
+    pub(in crate::world) prefix: Vec<usize>,
     /// Scratch for the direct (white-box / single-call) pool path.
     #[cfg(test)]
     pub(in crate::world) direct_scratch: Scratch,
@@ -129,7 +140,9 @@ pub struct BackupWorld {
 
 impl BackupWorld {
     /// Builds the world. Peers spawn during round 0 (or across the
-    /// growth ramp), so the constructor is cheap.
+    /// growth ramp), so the constructor is cheap; the persistent worker
+    /// pool (one parked thread per extra worker) is the only resource
+    /// acquired up front.
     ///
     /// # Panics
     ///
@@ -146,11 +159,13 @@ impl BackupWorld {
             .collect();
         let observer_count = cfg.observers.len();
         let capacity = cfg.n_peers + observer_count;
-        let layout = ShardLayout::for_capacity(capacity);
+        let layout = ShardLayout::for_capacity(capacity, cfg.shard_slots);
+        let workers = cfg.shards.clamp(1, layout.count);
         let exec = ExecPolicy {
-            workers: cfg.shards.clamp(1, layout.count),
+            workers,
             steal: cfg.work_stealing,
             fuzz: None,
+            pool: Arc::new(WorkerPool::new(workers)),
         };
         BackupWorld {
             samplers,
@@ -169,6 +184,8 @@ impl BackupWorld {
                 .collect(),
             scratch: Vec::new(),
             grant_scratch: Vec::new(),
+            arena: RoundArena::new(layout.count),
+            prefix: vec![0; layout.count + 1],
             #[cfg(test)]
             direct_scratch: Scratch::default(),
             census: [0; 4],
@@ -237,14 +254,22 @@ impl BackupWorld {
     // ----- the staged round ------------------------------------------------
 
     /// Stage 1: shard-local events plus teardown hop 1, one stealable
-    /// task per shard. Returns the merged cross-shard messages and the
-    /// peers that departed this round.
-    fn run_local_events(&mut self, round: u64) -> (Vec<Msg>, Vec<PeerId>) {
+    /// task per shard. Cross-shard messages land in the arena outboxes;
+    /// departed peers in the arena departed lists.
+    fn run_local_events(&mut self, round: u64) {
         let layout = self.layout;
         let sz = layout.shard_size;
+        let workers = self.exec.workers.min(layout.count).max(1);
+        let policy = self.exec.clone();
+        let recycle = self.arena.recycle;
+        let mut fire_bufs = core::mem::take(&mut self.arena.fire_bufs);
+        if fire_bufs.len() < workers {
+            fire_bufs.resize_with(workers, Vec::new);
+        }
         let cfg = &self.cfg;
         let samplers = &self.samplers;
         let events_on = self.record_events;
+        let arena = &mut self.arena;
         let mut lanes: Vec<ShardLane> = Vec::with_capacity(layout.count);
         {
             let mut peers_rest: &mut [Peer] = &mut self.peers;
@@ -268,73 +293,88 @@ impl BackupWorld {
                     pending: pendings.next().expect("pending per shard"),
                     rng: rngs.next().expect("rng per shard"),
                     events_on,
-                    events: Vec::new(),
-                    out: Vec::new(),
-                    departed: Vec::new(),
+                    events: peerback_sim::arena::take_slot(&mut arena.event_bufs[s], recycle),
+                    out: core::mem::take(&mut arena.outboxes[s]),
+                    departed: peerback_sim::arena::take_slot(&mut arena.departed[s], recycle),
                     delta: MetricsDelta::default(),
                     census_delta: [0; AgeCategory::COUNT],
                 });
             }
         }
 
-        let workers = self.exec.workers.min(lanes.len()).max(1);
-        let mut bufs: Vec<Vec<Event>> = (0..workers).map(|_| Vec::new()).collect();
-        self.exec
-            .dispatch_with(round * 16 + 1, &mut bufs, &mut lanes, |buf, _, lane| {
+        policy.dispatch_with(
+            round * 16 + 1,
+            &mut fire_bufs[..workers],
+            &mut lanes,
+            |buf, _, lane| {
                 lane.run_local_events(round, cfg, samplers, buf);
-            });
+            },
+        );
 
         // Merge the per-shard buffers in shard order (deterministic).
-        let mut msgs = Vec::new();
-        let mut departed = Vec::new();
-        let mut events = Vec::new();
         let mut delta = MetricsDelta::default();
         let mut census_delta = [0i64; AgeCategory::COUNT];
-        for mut lane in lanes {
-            events.append(&mut lane.events);
-            msgs.append(&mut lane.out);
-            departed.append(&mut lane.departed);
+        for (s, mut lane) in lanes.into_iter().enumerate() {
+            self.event_log.append(&mut lane.events);
+            peerback_sim::arena::put_slot(&mut arena.event_bufs[s], lane.events, recycle);
+            arena.outboxes[s] = lane.out;
+            arena.departed[s] = lane.departed;
             exec::merge_delta(&mut delta, &lane.delta);
             for (c, &d) in lane.census_delta.iter().enumerate() {
                 census_delta[c] += d;
             }
         }
-        self.event_log.extend(events);
+        self.arena.fire_bufs = fire_bufs;
         delta.apply(&mut self.metrics);
         for (c, &d) in census_delta.iter().enumerate() {
             self.census[c] = (self.census[c] as i64 + d) as u64;
         }
-        (msgs, departed)
+    }
+
+    /// Emits the round's `PeerDeparted` events (after every drop of the
+    /// teardown has been delivered — the hooks.rs observer contract)
+    /// and clears the departed lists either way.
+    fn flush_departed(&mut self) {
+        for s in 0..self.layout.count {
+            if self.record_events && !self.arena.departed[s].is_empty() {
+                let mut departed = core::mem::take(&mut self.arena.departed[s]);
+                for id in departed.drain(..) {
+                    self.event_log.push(WorldEvent::PeerDeparted { peer: id });
+                }
+                self.arena.departed[s] = departed;
+            } else {
+                self.arena.departed[s].clear();
+            }
+        }
     }
 
     /// Phase 4a: drains the per-shard pending queues into sorted actor
-    /// lists. Sorting per shard yields global peer-id order because
+    /// lists (arena-recycled; the buffers ping-pong between the pending
+    /// queues and the actor slots, so the steady state allocates
+    /// nothing). Sorting per shard yields global peer-id order because
     /// shard ranges are contiguous and visited in order.
-    fn drain_actors(&mut self) -> Vec<Vec<PeerId>> {
-        let mut actors = Vec::with_capacity(self.layout.count);
+    fn drain_actors(&mut self) {
+        let recycle = self.arena.recycle;
         for s in 0..self.layout.count {
-            let mut pending = core::mem::take(&mut self.pendings[s]);
-            for &id in &pending {
+            let mut actors = peerback_sim::arena::take_slot(&mut self.arena.actors[s], recycle);
+            debug_assert!(actors.is_empty());
+            core::mem::swap(&mut actors, &mut self.pendings[s]);
+            for &id in &actors {
                 self.peers[id as usize].queued = false;
             }
             // Offline owners activate nothing; reconnection re-enqueues
             // them (stale entries for recycled slots simply act for the
             // replacement peer, as the engine-driven path always did).
-            pending.retain(|&id| self.peers[id as usize].online);
-            pending.sort_unstable();
-            actors.push(pending);
+            actors.retain(|&id| self.peers[id as usize].online);
+            actors.sort_unstable();
+            self.arena.actors[s] = actors;
         }
-        actors
     }
 
     /// Phase 4b: builds candidate-pool proposals against the frozen
-    /// end-of-event-phase state, one stealable task per shard, emitting
-    /// the wave-A claims alongside.
-    fn build_proposals(
-        &mut self,
-        round: u64,
-        actors: &[Vec<PeerId>],
-    ) -> (Vec<Vec<Proposal>>, Vec<Msg>) {
+    /// end-of-event-phase state, one stealable task per shard, into the
+    /// arena's per-shard proposal lists.
+    fn build_proposals(&mut self, round: u64) {
         let count = self.layout.count;
         let workers = self.exec.workers.min(count).max(1);
         if self.scratch.len() < workers {
@@ -343,23 +383,24 @@ impl BackupWorld {
         let mut rngs = core::mem::take(&mut self.rngs);
         let mut scratch = core::mem::take(&mut self.scratch);
         // The online lists are frozen for the whole phase: one
-        // prefix-sum, installed in every worker's scratch.
-        let prefix = self.online_prefix();
-        scratch.iter_mut().for_each(|scr| scr.prefix = prefix);
+        // prefix-sum pass into the world's persistent buffer.
+        self.compute_online_prefix();
+        let actors = core::mem::take(&mut self.arena.actors);
         struct ProposeTask<'a> {
             rng: &'a mut SimRng,
             actors: &'a [PeerId],
             proposals: Vec<Proposal>,
-            claims: Vec<Msg>,
+            cands: BufPool<crate::select::Candidate>,
         }
         let mut tasks: Vec<ProposeTask<'_>> = rngs
             .iter_mut()
-            .zip(actors)
-            .map(|(rng, ids)| ProposeTask {
+            .zip(&actors)
+            .enumerate()
+            .map(|(s, (rng, ids))| ProposeTask {
                 rng,
                 actors: ids,
-                proposals: Vec::new(),
-                claims: Vec::new(),
+                proposals: core::mem::take(&mut self.arena.proposals[s]),
+                cands: core::mem::take(&mut self.arena.cand_pools[s]),
             })
             .collect();
         {
@@ -378,52 +419,52 @@ impl BackupWorld {
                         task.actors,
                         task.rng,
                         scr,
+                        &mut task.cands,
                         &mut task.proposals,
-                        &mut task.claims,
                         round,
                     );
                 },
             );
         }
-        let mut proposals = Vec::with_capacity(count);
-        let mut claims = Vec::new();
-        for mut task in tasks {
-            proposals.push(core::mem::take(&mut task.proposals));
-            claims.append(&mut task.claims);
+        for (s, task) in tasks.into_iter().enumerate() {
+            self.arena.proposals[s] = task.proposals;
+            self.arena.cand_pools[s] = task.cands;
         }
+        let mut actors = actors;
+        for a in &mut actors {
+            a.clear();
+        }
+        self.arena.actors = actors;
         self.rngs = rngs;
         self.scratch = scratch;
-        (proposals, claims)
     }
 }
 
 /// Builds the proposals of one shard: pending owners in slot order,
-/// archives in index order, pools drawn from the shard's RNG stream,
-/// wave-A claims for ranks `0..d`.
+/// archives in index order, pools drawn from the shard's RNG stream
+/// into the shard's recycled pool buffers.
 fn propose_shard(
     world: &BackupWorld,
     actors: &[PeerId],
     rng: &mut SimRng,
     scratch: &mut Scratch,
+    cands: &mut BufPool<crate::select::Candidate>,
     out: &mut Vec<Proposal>,
-    claims: &mut Vec<Msg>,
     round: u64,
 ) {
     for &id in actors {
         for aidx in 0..world.peers[id as usize].archives.len() {
             let aidx = aidx as ArchiveIdx;
             if let Some((kind, d)) = world.plan_archive(id, aidx) {
-                let pool = world.build_pool(scratch, rng, id, aidx, d, round);
-                let prop = Proposal {
+                let pool = world.build_pool(scratch, cands, rng, id, aidx, d, round);
+                out.push(Proposal {
                     owner: id,
                     aidx,
                     kind,
                     d,
                     owner_observer: world.peers[id as usize].observer.is_some(),
                     pool,
-                };
-                exec::wave_a_claims(&prop, claims);
-                out.push(prop);
+                });
             }
         }
     }
@@ -433,19 +474,16 @@ impl World for BackupWorld {
     fn round_start(&mut self, round: Round, _rng: &mut SimRng) {
         let r = round.index();
         self.ensure_population(r);
-        let (msgs, departed) = self.run_local_events(r);
-        self.run_deliver(r, msgs);
+        self.run_local_events(r);
+        self.run_deliver(r);
         // Every drop of the round's teardowns has now been delivered;
         // announce the slot recycles (hooks.rs observer contract).
-        if self.record_events {
-            for id in departed {
-                self.event_log.push(WorldEvent::PeerDeparted { peer: id });
-            }
-        }
-        let actors = self.drain_actors();
-        let (proposals, claims) = self.build_proposals(r, &actors);
-        self.commit_proposals(r, proposals, claims);
+        self.flush_departed();
+        self.drain_actors();
+        self.build_proposals(r);
+        self.commit_proposals(r);
         self.reset_grant_scratch();
+        self.arena.end_round();
     }
 
     fn collect_actors(&mut self, _round: Round, _buf: &mut Vec<usize>) {

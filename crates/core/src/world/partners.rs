@@ -22,20 +22,16 @@
 //! stops once [`AGE_SCAN_MISS_BUDGET`] consecutive screens fail, and
 //! the pool needs no final shuffle-and-sort.
 
-use peerback_sim::SimRng;
+use peerback_sim::{BufPool, SimRng};
 use rand::Rng;
 
 use crate::accept::accepts;
 use crate::config::MaintenancePolicy;
-use crate::select::{AgeOrderedIndex, Candidate, SelectionStrategy};
+use crate::select::{Candidate, SelectionStrategy};
 
 use super::peers::{ArchiveIdx, PeerId};
-use super::shard::{ActionKind, Scratch, MAX_SHARDS};
+use super::shard::{ActionKind, Scratch};
 use super::BackupWorld;
-
-/// Per-shard online-count prefix sums (see
-/// [`BackupWorld::online_prefix`]).
-pub(in crate::world) type OnlinePrefix = [usize; MAX_SHARDS + 1];
 
 /// How many *consecutive* age-screen rejections end the AgeBased
 /// post-fill scan. Once the pool is full, further sampling only pays
@@ -101,31 +97,36 @@ impl BackupWorld {
         }
     }
 
-    /// Prefix sums over the per-shard online lists: uniform global
-    /// sampling lands in shard `s` at local index `j - prefix[s]`.
-    /// The lists are frozen during the proposal phase, so the driver
-    /// computes this once per round and shares it across workers.
-    pub(in crate::world) fn online_prefix(&self) -> OnlinePrefix {
-        let mut prefix = [0usize; MAX_SHARDS + 1];
+    /// Recomputes the prefix sums over the per-shard online lists into
+    /// the world's persistent buffer: uniform global sampling lands in
+    /// shard `s` at local index `j - prefix[s]`. The lists are frozen
+    /// during the proposal phase, so the driver computes this once per
+    /// round and every worker reads it shared.
+    pub(in crate::world) fn compute_online_prefix(&mut self) {
+        self.prefix.resize(self.layout.count + 1, 0);
+        self.prefix[0] = 0;
         for (s, list) in self.online.iter().enumerate() {
-            prefix[s + 1] = prefix[s] + list.len();
+            self.prefix[s + 1] = self.prefix[s] + list.len();
         }
-        prefix
     }
 
     /// Builds a ranked, acceptance-gated candidate pool for
     /// `(owner_id, aidx)` against the current (frozen) world state.
-    /// `scratch.prefix` must be [`BackupWorld::online_prefix`] of that
-    /// state.
+    /// `self.prefix` must hold [`BackupWorld::compute_online_prefix`]
+    /// of that state; the pool vector comes from (and, after the
+    /// commit consumes it, returns to) the shard's recycled free list
+    /// `cands`.
     ///
     /// The pool holds up to `pool_target_factor · d` candidates so the
     /// commit phase can skip entries whose quota filled in the
     /// meantime without voiding the step. Ranking: AgeBased pools come
-    /// out of the maintained age index already ordered; every other
-    /// strategy ranks via [`SelectionStrategy::choose`].
+    /// out of the (recycled) maintained age index already ordered;
+    /// every other strategy ranks via [`SelectionStrategy::choose`].
+    #[allow(clippy::too_many_arguments)] // the frozen-state contract wants everything explicit
     pub(in crate::world) fn build_pool(
         &self,
         scratch: &mut Scratch,
+        cands: &mut BufPool<Candidate>,
         rng: &mut SimRng,
         owner_id: PeerId,
         aidx: ArchiveIdx,
@@ -133,10 +134,12 @@ impl BackupWorld {
         round: u64,
     ) -> Vec<Candidate> {
         let shard_count = self.layout.count;
-        let prefix = scratch.prefix;
+        let prefix = &self.prefix[..=shard_count];
         let total_online = prefix[shard_count];
+        let mut pool = cands.take();
+        debug_assert!(pool.is_empty());
         if d == 0 || total_online == 0 {
-            return Vec::new();
+            return pool;
         }
 
         // Exclusion marks: self + this archive's current partners
@@ -153,11 +156,14 @@ impl BackupWorld {
         let quota = self.cfg.quota;
         let target = ((d as f64 * self.cfg.pool_target_factor).ceil() as usize).max(d as usize);
         let attempts = (d * self.cfg.pool_attempt_factor).max(16);
-        let mut index = (self.cfg.strategy == SelectionStrategy::AgeBased)
-            .then(|| AgeOrderedIndex::new(target));
+        let mut index = if self.cfg.strategy == SelectionStrategy::AgeBased {
+            scratch.age_index.reset(target);
+            Some(&mut scratch.age_index)
+        } else {
+            None
+        };
         let mut screen_misses = 0u32;
 
-        let mut pool: Vec<Candidate> = Vec::new();
         for _ in 0..attempts {
             // The age-indexed path keeps scanning a full pool while the
             // screen still finds improvements; the others stop once full.
@@ -165,7 +171,7 @@ impl BackupWorld {
                 break;
             }
             let j = rng.gen_range(0..total_online);
-            let shard = prefix[..=shard_count].partition_point(|&p| p <= j) - 1;
+            let shard = prefix.partition_point(|&p| p <= j) - 1;
             let c = self.online[shard][j - prefix[shard]];
             if scratch.mark[c as usize] == tag {
                 continue;
@@ -211,7 +217,11 @@ impl BackupWorld {
             }
         }
         match index {
-            Some(index) => index.into_ranked(),
+            Some(index) => {
+                // The ranked pool drains out of the recycled index.
+                index.drain_ranked_into(&mut pool);
+                pool
+            }
             None => {
                 // Rank the whole pool (no truncation): the commit phase
                 // walks it in order and stops after `d` valid entries.
@@ -234,8 +244,9 @@ impl BackupWorld {
         round: u64,
     ) -> Vec<Candidate> {
         let mut scratch = core::mem::take(&mut self.direct_scratch);
-        scratch.prefix = self.online_prefix();
-        let pool = self.build_pool(&mut scratch, rng, owner_id, aidx, d, round);
+        self.compute_online_prefix();
+        let mut cands = BufPool::new();
+        let pool = self.build_pool(&mut scratch, &mut cands, rng, owner_id, aidx, d, round);
         self.direct_scratch = scratch;
         pool
     }

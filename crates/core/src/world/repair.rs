@@ -329,12 +329,10 @@ impl super::BackupWorld {
             owner_observer: self.peers[id as usize].observer.is_some(),
             pool,
         };
-        let mut claims = Vec::new();
-        super::exec::wave_a_claims(&prop, &mut claims);
-        let mut proposals: Vec<Vec<Proposal>> =
-            (0..self.layout.count).map(|_| Vec::new()).collect();
-        proposals[self.layout.shard_of(id)].push(prop);
-        self.commit_proposals(round, proposals, claims);
+        let shard = self.layout.shard_of(id);
+        self.arena.proposals[shard].push(prop);
+        self.commit_proposals(round);
         self.reset_grant_scratch();
+        self.arena.end_round();
     }
 }

@@ -10,7 +10,10 @@
 //! that depends solely on the configured capacity:
 //!
 //! * The peer table is split into [`ShardLayout::count`] contiguous
-//!   slot ranges (`L = clamp(capacity / 64, 1, 64)`).
+//!   slot ranges (`L = clamp(capacity / shard_slots, 1, 512)`, with
+//!   `SimConfig::shard_slots` defaulting to 64). `shard_slots` is a
+//!   **semantic** knob — it changes the partition and the per-shard RNG
+//!   streams — unlike `shards`, which only picks the worker count.
 //! * Each logical shard owns its own timing-wheel segment, online
 //!   index, pending-activation queue, and an RNG stream forked from the
 //!   run seed + the shard's index ([`peerback_sim::derive_seed`]).
@@ -54,12 +57,9 @@ use super::hooks::WorldEvent;
 use super::peers::{ArchiveIdx, Peer, PeerId};
 
 /// Upper bound on logical shards (and therefore on useful worker
-/// threads).
-pub(in crate::world) const MAX_SHARDS: usize = 64;
-
-/// Minimum slots per logical shard; below this, extra shards would be
-/// bookkeeping without parallel work.
-const MIN_SHARD_SLOTS: usize = 64;
+/// threads). A million-peer table at the default 64 slots per shard
+/// saturates this, feeding hundreds of workers.
+pub(in crate::world) const MAX_SHARDS: usize = 512;
 
 /// Inner (one bucket per round) level of the per-shard hierarchical
 /// timing wheel.
@@ -84,12 +84,16 @@ pub(in crate::world) struct ShardLayout {
 }
 
 impl ShardLayout {
-    /// Computes the layout for a peer-slot capacity.
-    pub(in crate::world) fn for_capacity(capacity: usize) -> Self {
-        let count = (capacity / MIN_SHARD_SLOTS).clamp(1, MAX_SHARDS);
+    /// Computes the layout for a peer-slot capacity at `shard_slots`
+    /// minimum slots per shard (`SimConfig::shard_slots`, default 64).
+    pub(in crate::world) fn for_capacity(capacity: usize, shard_slots: usize) -> Self {
+        let target = (capacity / shard_slots.max(1)).clamp(1, MAX_SHARDS);
+        let shard_size = capacity.div_ceil(target).max(1);
+        // Re-derive the count from the rounded-up size so the last
+        // shard is never empty (ceil twice can otherwise overshoot).
         ShardLayout {
-            count,
-            shard_size: capacity.div_ceil(count).max(1),
+            count: capacity.div_ceil(shard_size).max(1),
+            shard_size,
         }
     }
 
@@ -139,18 +143,19 @@ pub(in crate::world) enum ActionKind {
 
 /// Reusable per-worker scratch for pool building. Purely an execution
 /// buffer: its contents never influence results, so one instance per
-/// worker thread (not per logical shard) suffices.
+/// worker thread (not per logical shard) suffices. (The frozen online
+/// prefix sums live on the world itself — `BackupWorld::prefix` — and
+/// are shared read-only across workers.)
 #[derive(Debug)]
 pub(in crate::world) struct Scratch {
     /// Generation-counted exclusion set (`mark[p] == tag` ⇒ excluded).
     pub(in crate::world) mark: Vec<u32>,
     /// Current generation tag.
     pub(in crate::world) tag: u32,
-    /// Cached online prefix sums for the current proposal phase (the
-    /// online lists are frozen while proposals run, so the driver
-    /// computes this once per round and installs it in every worker's
-    /// scratch; see `BackupWorld::online_prefix`).
-    pub(in crate::world) prefix: crate::world::partners::OnlinePrefix,
+    /// Recycled AgeBased build index (re-armed per pool build; its
+    /// heap allocation is the only state that survives, and an empty
+    /// re-armed index is observationally a fresh one).
+    pub(in crate::world) age_index: crate::select::AgeOrderedIndex,
 }
 
 impl Default for Scratch {
@@ -158,7 +163,7 @@ impl Default for Scratch {
         Scratch {
             mark: Vec::new(),
             tag: 0,
-            prefix: [0; MAX_SHARDS + 1],
+            age_index: crate::select::AgeOrderedIndex::new(1),
         }
     }
 }
@@ -430,8 +435,8 @@ mod tests {
 
     #[test]
     fn layout_is_a_pure_function_of_capacity() {
-        let a = ShardLayout::for_capacity(25_000);
-        let b = ShardLayout::for_capacity(25_000);
+        let a = ShardLayout::for_capacity(25_000, 64);
+        let b = ShardLayout::for_capacity(25_000, 64);
         assert_eq!(a, b);
         assert!(a.count <= MAX_SHARDS);
     }
@@ -439,32 +444,50 @@ mod tests {
     #[test]
     fn small_capacities_collapse_to_one_shard() {
         for cap in [1, 2, 63, 64, 100] {
-            let l = ShardLayout::for_capacity(cap);
+            let l = ShardLayout::for_capacity(cap, 64);
             assert_eq!(l.count, 1, "capacity {cap}");
             assert!(l.shard_size >= cap);
         }
     }
 
     #[test]
+    fn large_capacities_reach_past_the_old_64_shard_ceiling() {
+        let l = ShardLayout::for_capacity(100_000, 64);
+        assert!(l.count > 64, "100k slots must split past 64 shards");
+        assert_eq!(ShardLayout::for_capacity(1_000_000, 64).count, MAX_SHARDS);
+    }
+
+    #[test]
+    fn shard_slots_sets_the_granularity() {
+        assert_eq!(ShardLayout::for_capacity(4096, 64).count, 64);
+        assert_eq!(ShardLayout::for_capacity(4096, 256).count, 16);
+        assert_eq!(ShardLayout::for_capacity(4096, 8).count, 512);
+        // Degenerate slot sizes clamp instead of dividing by zero.
+        assert_eq!(ShardLayout::for_capacity(4096, 0).count, MAX_SHARDS);
+    }
+
+    #[test]
     fn ranges_are_contiguous_and_cover_every_slot() {
-        for cap in [65, 200, 1000, 4096, 100_000, 1_000_000] {
-            let l = ShardLayout::for_capacity(cap);
-            assert!(l.count >= 1 && l.count <= MAX_SHARDS);
-            assert!(l.shard_size * l.count >= cap, "capacity {cap} uncovered");
-            let mut prev = l.shard_of(0);
-            assert_eq!(prev, 0);
-            for id in 1..cap as PeerId {
-                let s = l.shard_of(id);
-                assert!(s == prev || s == prev + 1, "gap at slot {id}");
-                prev = s;
+        for slots in [8usize, 64, 200] {
+            for cap in [65, 200, 1000, 4096, 100_000, 1_000_000] {
+                let l = ShardLayout::for_capacity(cap, slots);
+                assert!(l.count >= 1 && l.count <= MAX_SHARDS);
+                assert!(l.shard_size * l.count >= cap, "capacity {cap} uncovered");
+                let mut prev = l.shard_of(0);
+                assert_eq!(prev, 0);
+                for id in 1..cap as PeerId {
+                    let s = l.shard_of(id);
+                    assert!(s == prev || s == prev + 1, "gap at slot {id}");
+                    prev = s;
+                }
+                assert_eq!(prev, l.count - 1, "last shard unused at {cap}");
             }
-            assert_eq!(prev, l.count - 1, "last shard unused at {cap}");
         }
     }
 
     #[test]
     fn shard_of_is_monotone_in_id() {
-        let l = ShardLayout::for_capacity(10_000);
+        let l = ShardLayout::for_capacity(10_000, 64);
         for id in 1..10_000u32 {
             assert!(l.shard_of(id) >= l.shard_of(id - 1));
         }

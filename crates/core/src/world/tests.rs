@@ -1050,7 +1050,6 @@ fn contended_partner_slot_commits_to_the_lower_owner() {
     // must resolve the conflict deterministically — global commit
     // order, i.e. the lower owner id — and the loser records a
     // shortfall instead of over-committing the host.
-    use super::exec;
     use super::shard::{ActionKind, Proposal};
     use crate::select::Candidate;
 
@@ -1142,15 +1141,14 @@ fn contended_partner_slot_commits_to_the_lower_owner() {
         }
     };
     let shortfalls_before = world.metrics.diag.pool_shortfalls;
-    let mut proposals: Vec<Vec<Proposal>> = (0..world.layout.count).map(|_| Vec::new()).collect();
-    let mut claims = Vec::new();
     for owner in [a, b] {
         let prop = mk(&world, owner);
-        exec::wave_a_claims(&prop, &mut claims);
-        proposals[world.layout.shard_of(owner)].push(prop);
+        let shard = world.layout.shard_of(owner);
+        world.arena.proposals[shard].push(prop);
     }
-    world.commit_proposals(round, proposals, claims);
+    world.commit_proposals(round);
     world.reset_grant_scratch();
+    world.arena.end_round();
 
     // The lower owner id wins the slot; the loser took nothing.
     assert!(
@@ -1179,6 +1177,96 @@ fn contended_partner_slot_commits_to_the_lower_owner() {
         world.peers[b as usize].archives[0].repairing,
         "the denied owner's episode stays open"
     );
+}
+
+/// As [`run_recorded`], with cross-round arena recycling disabled:
+/// every round rebuilds its buffers from fresh vectors.
+fn run_recorded_fresh_arenas(cfg: SimConfig) -> (Metrics, Vec<WorldEvent>) {
+    struct Collector(Vec<WorldEvent>);
+    impl FabricObserver for Collector {
+        fn on_world_event(&mut self, _world: &BackupWorld, event: &WorldEvent) {
+            self.0.push(event.clone());
+        }
+    }
+    let rounds = cfg.rounds;
+    let seed = cfg.seed;
+    let mut world = BackupWorld::new(cfg);
+    world.set_event_recording(true);
+    world.set_arena_recycling(false);
+    let mut engine = Engine::new(seed);
+    let mut collector = Collector(Vec::new());
+    for _ in 0..rounds {
+        engine.step(&mut world);
+        world.dispatch_events(&mut collector);
+    }
+    (world.into_metrics(), collector.0)
+}
+
+#[test]
+fn arena_recycling_is_invisible() {
+    // The zero-allocation contract: recycled round arenas must be
+    // observationally identical to fresh per-round buffers — same
+    // seed, same Metrics, same WorldEvent stream — or stale state is
+    // leaking between rounds through a recycled vector.
+    let base = sharded_config(600, 400, 9).with_paper_observers();
+    let (m_recycled, e_recycled) = run_recorded(base.clone().with_shards(4));
+    let (m_fresh, e_fresh) = run_recorded_fresh_arenas(base.with_shards(4));
+    assert!(
+        m_recycled.total_repairs() > 0,
+        "run too quiet to be meaningful"
+    );
+    assert_eq!(
+        m_recycled, m_fresh,
+        "metrics diverged under arena recycling"
+    );
+    assert_eq!(
+        e_recycled, e_fresh,
+        "event stream diverged under arena recycling"
+    );
+}
+
+#[test]
+fn shard_slots_partitions_are_deterministic_per_setting() {
+    // shard_slots is a semantic knob (it changes the logical partition
+    // and the RNG streams), but at any fixed value the worker-count
+    // contract must still hold bit-for-bit.
+    for slots in [16usize, 256] {
+        let base = sharded_config(600, 300, 21).with_shard_slots(slots);
+        let (m1, e1) = run_recorded(base.clone().with_shards(1));
+        let (m8, e8) = run_recorded(base.with_shards(8));
+        assert_eq!(m1, m8, "metrics diverged at shard_slots={slots}");
+        assert_eq!(e1, e8, "events diverged at shard_slots={slots}");
+    }
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::test_runner::ProptestConfig::with_cases(6))]
+
+    /// Worker-pool sizes (and arena recycling) are pure execution
+    /// knobs: a random pool width with or without fresh arenas must
+    /// reproduce the single-worker recycled stream exactly.
+    #[test]
+    fn pool_sizes_and_recycling_never_change_results(
+        seed in proptest::strategy::any::<u64>(),
+        shards in 2usize..16,
+        fresh in proptest::strategy::any::<bool>(),
+        peers in 150usize..400,
+    ) {
+        let mut cfg = SimConfig::paper(peers, 60, seed);
+        cfg.k = 4;
+        cfg.m = 4;
+        cfg.quota = 24;
+        cfg.maintenance = MaintenancePolicy::Reactive { threshold: 5 };
+        let (m1, e1) = run_recorded(cfg.clone());
+        cfg.shards = shards;
+        let (m2, e2) = if fresh {
+            run_recorded_fresh_arenas(cfg)
+        } else {
+            run_recorded(cfg)
+        };
+        proptest::prop_assert!(m1 == m2, "metrics diverged at pool size {shards}");
+        proptest::prop_assert!(e1 == e2, "event stream diverged at pool size {shards}");
+    }
 }
 
 #[test]

@@ -252,8 +252,10 @@ pub(crate) struct PlaneLane {
     pub(crate) divergent: BTreeSet<(PeerId, u8)>,
     /// Pending transfer retries, kept sorted on processing.
     retries: Vec<Retry>,
+    /// Recycled scratch for the retries due this round.
+    due_scratch: Vec<Retry>,
     /// This round's events whose owner lives in this lane (plus every
-    /// departure).
+    /// departure). Drained-and-reused every round.
     inbox: Vec<WorldEvent>,
 }
 
@@ -271,6 +273,7 @@ impl PlaneLane {
             losses: Vec::new(),
             divergent: BTreeSet::new(),
             retries: Vec::new(),
+            due_scratch: Vec::new(),
             inbox: Vec::new(),
         }
     }
@@ -519,7 +522,10 @@ impl PlaneLane {
         if self.retries.is_empty() {
             return;
         }
-        let mut due: Vec<Retry> = Vec::new();
+        // The due list cycles through a per-lane scratch buffer, so the
+        // steady state allocates nothing here.
+        let mut due = core::mem::take(&mut self.due_scratch);
+        due.clear();
         self.retries.retain(|r| {
             if r.due <= round {
                 due.push(*r);
@@ -529,7 +535,7 @@ impl PlaneLane {
             }
         });
         due.sort_unstable();
-        for r in due {
+        for r in due.drain(..) {
             let placement_live = self
                 .owners
                 .get(&(r.owner, r.archive))
@@ -551,6 +557,7 @@ impl PlaneLane {
             };
             self.ship_slot(shared, world, job, round);
         }
+        self.due_scratch = due;
     }
 
     fn on_block_dropped(&mut self, owner: PeerId, archive: u8, host: PeerId) {
@@ -666,10 +673,11 @@ impl PlaneLane {
     }
 
     /// Replays this lane's slice of one round: due retries first, then
-    /// the event subsequence in stream order.
+    /// the event subsequence in stream order. The inbox buffer is
+    /// cleared and reused round over round.
     fn run_round(&mut self, shared: &PlaneShared, world: &BackupWorld, round: u64) {
         self.process_due_retries(shared, world, round);
-        let inbox = core::mem::take(&mut self.inbox);
+        let mut inbox = core::mem::take(&mut self.inbox);
         for event in &inbox {
             match event {
                 WorldEvent::BlocksPlaced {
@@ -711,6 +719,8 @@ impl PlaneLane {
                 WorldEvent::PeerDeparted { peer } => self.on_peer_departed(world, *peer),
             }
         }
+        inbox.clear();
+        self.inbox = inbox;
     }
 }
 
@@ -756,6 +766,9 @@ pub struct Fabric {
     plane: Plane,
     audit_interval: u64,
     rounds: u64,
+    /// Recycled buffer the world's per-round event log swaps through
+    /// (zero steady-state allocation on the replay path).
+    event_scratch: Vec<WorldEvent>,
 }
 
 impl Fabric {
@@ -801,12 +814,20 @@ impl Fabric {
             plane,
             audit_interval: fabric_cfg.audit_interval,
             rounds,
+            event_scratch: Vec::new(),
         })
     }
 
     /// Read access to the wrapped world.
     pub fn world(&self) -> &BackupWorld {
         &self.world
+    }
+
+    /// Enables or disables the simulator's cross-round arena recycling
+    /// (on by default; observationally invisible). Test knob: run the
+    /// same seed both ways and assert bit-identical reports.
+    pub fn set_arena_recycling(&mut self, on: bool) {
+        self.world.set_arena_recycling(on);
     }
 
     /// Byte-plane counters so far (merged through the last completed
@@ -870,10 +891,11 @@ impl World for Fabric {
 
         // Partition the round's events by owner shard; departures fan
         // out to every lane (any lane may hold bytes the departed peer
-        // hosted).
-        let events = self.world.take_events();
+        // hosted). The log swaps through a recycled scratch buffer.
+        let mut events = core::mem::take(&mut self.event_scratch);
+        self.world.swap_event_buf(&mut events);
         let mut queued = 0usize;
-        for event in events {
+        for event in events.drain(..) {
             match &event {
                 WorldEvent::PeerDeparted { .. } => {
                     for lane in &mut self.plane.lanes {
@@ -893,6 +915,7 @@ impl World for Fabric {
                 }
             }
         }
+        self.event_scratch = events;
 
         // Replay on the simulator's worker pool. Light rounds run
         // inline (scheduling only; results are identical either way).
@@ -912,13 +935,17 @@ impl World for Fabric {
         let steal = self.world.work_stealing();
         let world = &self.world;
         let shared = &self.plane.shared;
-        peerback_sim::exec::run_tasks(workers, steal, &mut self.plane.lanes, |i, lane| {
-            lane.run_round(shared, world, r);
-            if audit_due {
-                let range = world.shard_slot_range(i);
-                lane.run_audit(shared, world, r, range);
-            }
-        });
+        // The replay rides the simulator's persistent pool: an epoch
+        // bump on its barrier, never a thread spawn.
+        world
+            .worker_pool()
+            .run_tasks(workers, steal, &mut self.plane.lanes, |i, lane| {
+                lane.run_round(shared, world, r);
+                if audit_due {
+                    let range = world.shard_slot_range(i);
+                    lane.run_audit(shared, world, r, range);
+                }
+            });
         self.plane.merge_round();
     }
 }

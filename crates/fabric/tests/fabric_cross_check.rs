@@ -210,6 +210,35 @@ fn sharded_faulty_replay_is_identical_and_retries_repair_transfers() {
 }
 
 #[test]
+fn combined_mode_arena_recycling_is_invisible() {
+    // The executor's recycled round arenas must not leak state into the
+    // combined mode either: the same faulty, sharded scenario with
+    // fresh per-round buffers produces the identical full report.
+    let mk = |recycle: bool| {
+        let mut cfg = SimConfig::paper(300, 120, 21);
+        cfg.k = 4;
+        cfg.m = 4;
+        cfg.quota = 24;
+        cfg.maintenance = MaintenancePolicy::Reactive { threshold: 5 };
+        cfg.shards = 4;
+        let fabric_cfg = FabricConfig {
+            faults: FaultProfile::uniform(0.06),
+            ..FabricConfig::default()
+        };
+        let mut fabric = peerback_fabric::Fabric::new(cfg, fabric_cfg).expect("valid configs");
+        fabric.set_arena_recycling(recycle);
+        fabric.run()
+    };
+    let recycled = mk(true);
+    let fresh = mk(false);
+    assert!(recycled.stats.transfers_attempted > 100);
+    assert_eq!(recycled.metrics, fresh.metrics);
+    assert_eq!(recycled.stats, fresh.stats);
+    assert_eq!(recycled.audit, fresh.audit);
+    assert_eq!(recycled.losses, fresh.losses);
+}
+
+#[test]
 fn faults_off_transfers_never_retry() {
     let report = run(13, 150, FaultProfile::NONE);
     assert_eq!(report.stats.transfers_retried, 0);

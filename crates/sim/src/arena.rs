@@ -1,0 +1,143 @@
+//! Recycled buffer pools for (near-)zero-allocation steady states.
+//!
+//! Round-based hot loops tend to rebuild the same scratch vectors every
+//! round — inboxes, outboxes, event buffers, candidate pools — paying a
+//! heap round-trip for memory whose size distribution is stationary.
+//! [`BufPool`] is the small primitive behind the executor's *round
+//! arenas*: a free list of cleared `Vec`s whose capacities are
+//! high-water-marked by previous rounds, so a steady-state round reuses
+//! yesterday's allocations instead of making new ones.
+//!
+//! Recycling is **observationally invisible**: a vector taken from the
+//! pool is always empty, so the only difference from `Vec::new()` is
+//! the retained capacity. The `recycle` switch turns the pool into a
+//! pass-through (`take` returns fresh vectors, `put` drops) — the debug
+//! knob the determinism tests use to prove no state leaks through the
+//! arena between rounds.
+
+/// A free list of cleared, capacity-retaining vectors.
+#[derive(Debug, Clone)]
+pub struct BufPool<T> {
+    free: Vec<Vec<T>>,
+    recycle: bool,
+}
+
+impl<T> Default for BufPool<T> {
+    fn default() -> Self {
+        BufPool::new()
+    }
+}
+
+impl<T> BufPool<T> {
+    /// An empty pool with recycling enabled.
+    pub fn new() -> Self {
+        BufPool {
+            free: Vec::new(),
+            recycle: true,
+        }
+    }
+
+    /// Enables or disables recycling. Disabling drops the free list, so
+    /// every subsequent [`BufPool::take`] allocates fresh — the debug
+    /// mode for proving recycled and fresh buffers behave identically.
+    pub fn set_recycle(&mut self, on: bool) {
+        self.recycle = on;
+        if !on {
+            self.free.clear();
+        }
+    }
+
+    /// Whether recycling is enabled.
+    pub fn recycling(&self) -> bool {
+        self.recycle
+    }
+
+    /// Takes an empty vector — recycled (with its old capacity) when
+    /// one is available, freshly allocated otherwise.
+    pub fn take(&mut self) -> Vec<T> {
+        self.free.pop().unwrap_or_default()
+    }
+
+    /// Returns a vector to the pool. It is cleared here; with recycling
+    /// off it is dropped instead.
+    pub fn put(&mut self, mut v: Vec<T>) {
+        if self.recycle {
+            v.clear();
+            self.free.push(v);
+        }
+    }
+
+    /// Vectors currently parked in the free list.
+    pub fn idle(&self) -> usize {
+        self.free.len()
+    }
+}
+
+/// Takes the buffer stored in `slot`, leaving an empty one behind.
+/// With `recycle` false a fresh vector is handed out instead, so the
+/// caller sees `Vec::new()` semantics — the per-slot counterpart of
+/// [`BufPool::take`] for arenas that keep one buffer per shard.
+pub fn take_slot<T>(slot: &mut Vec<T>, recycle: bool) -> Vec<T> {
+    if recycle {
+        core::mem::take(slot)
+    } else {
+        Vec::new()
+    }
+}
+
+/// Stores `buf` (cleared) back into `slot` for the next round; with
+/// `recycle` false the buffer is dropped and the slot left empty.
+pub fn put_slot<T>(slot: &mut Vec<T>, mut buf: Vec<T>, recycle: bool) {
+    if recycle {
+        buf.clear();
+        *slot = buf;
+    } else {
+        *slot = Vec::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_put_cycles_capacity() {
+        let mut pool: BufPool<u32> = BufPool::new();
+        let mut v = pool.take();
+        v.extend(0..100);
+        let cap = v.capacity();
+        pool.put(v);
+        assert_eq!(pool.idle(), 1);
+        let v = pool.take();
+        assert!(v.is_empty());
+        assert_eq!(v.capacity(), cap, "capacity must survive the cycle");
+        assert_eq!(pool.idle(), 0);
+    }
+
+    #[test]
+    fn disabled_pool_hands_out_fresh_vectors() {
+        let mut pool: BufPool<u32> = BufPool::new();
+        let mut v = pool.take();
+        v.extend(0..100);
+        pool.set_recycle(false);
+        pool.put(v);
+        assert_eq!(pool.idle(), 0, "disabled pool must not retain buffers");
+        assert_eq!(pool.take().capacity(), 0);
+    }
+
+    #[test]
+    fn slot_helpers_mirror_the_pool_semantics() {
+        let mut slot: Vec<u32> = Vec::new();
+        let mut buf = take_slot(&mut slot, true);
+        buf.extend(0..64);
+        let cap = buf.capacity();
+        put_slot(&mut slot, buf, true);
+        assert!(slot.is_empty());
+        assert_eq!(slot.capacity(), cap);
+
+        let buf = take_slot(&mut slot, false);
+        assert_eq!(buf.capacity(), 0, "fresh mode must not reuse the slot");
+        put_slot(&mut slot, vec![1, 2, 3], false);
+        assert_eq!(slot.capacity(), 0, "fresh mode must drop returned buffers");
+    }
+}

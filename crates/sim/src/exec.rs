@@ -1,4 +1,5 @@
-//! A deterministic work-stealing task executor.
+//! A deterministic work-stealing task executor with a persistent
+//! worker pool.
 //!
 //! The sharded simulation (and the fabric's sharded replay) decomposes
 //! each phase of a round into one **task per logical shard**. Tasks are
@@ -11,15 +12,30 @@
 //!
 //! ## Scheduling
 //!
-//! [`run_tasks`] gives each worker a contiguous range of task indices
-//! (the same fixed ownership the pre-stealing executor used) and a
-//! shared claim table. A worker drains its own range front to back,
-//! then **steals**: it scans the other ranges and claims unstarted
-//! tasks from their tails. Claiming is a single compare-and-swap per
-//! task, so a task runs exactly once no matter how many workers race
-//! for it. With `steal` disabled the executor degrades to the fixed
-//! ownership model (a hot range then idles the other workers — kept as
-//! a measurable baseline and a fallback).
+//! Each worker owns a contiguous range of task indices (the same fixed
+//! ownership the pre-stealing executor used) and shares a claim table.
+//! A worker drains its own range front to back, then **steals**: it
+//! scans the other ranges and claims unstarted tasks from their tails.
+//! Claiming is one short-lived lock per task, so a task runs exactly
+//! once no matter how many workers race for it. With `steal` disabled
+//! the executor degrades to the fixed ownership model (a hot range then
+//! idles the other workers — kept as a measurable baseline and a
+//! fallback).
+//!
+//! ## The persistent pool
+//!
+//! [`WorkerPool`] keeps its threads alive for the lifetime of the
+//! simulation, parked on a stage barrier. Dispatching a stage is an
+//! **epoch bump** — publish the job, wake the sleepers, participate as
+//! worker 0, wait for the barrier — not a `thread::scope` spawn, so a
+//! steady-state round performs *zero* thread spawns however many stages
+//! it runs. Single-worker stages bypass the pool entirely and run
+//! inline on the caller. [`WorkerPool::dispatches`] counts the real
+//! wake-ups, which the bench layer reports as
+//! `stage_dispatches_per_round`.
+//!
+//! The free functions [`run_tasks`] / [`run_tasks_with`] remain as the
+//! pool-less (scoped-spawn) form for one-shot callers and tests.
 //!
 //! ## Testing interleavings
 //!
@@ -30,7 +46,10 @@
 //! full pipeline and asserting unchanged results is an effective (and
 //! deterministic) test of the independence contract.
 
-use std::sync::Mutex;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
 
 use rand::Rng;
 
@@ -39,7 +58,7 @@ use crate::rng::sim_rng;
 /// One claimable task slot. The `Option` is the claim: `take()` under
 /// the (uncontended, short-lived) lock yields the state's `&mut`
 /// exactly once, so a task runs on exactly one worker with exclusive
-/// access — no unsafe code needed, and at one lock per *task* (not per
+/// access — no unsafe aliasing, and at one lock per *task* (not per
 /// unit of work inside it) the cost is noise.
 type TaskSlot<'a, S> = Mutex<Option<&'a mut S>>;
 
@@ -55,14 +74,360 @@ fn own_range(len: usize, workers: usize, w: usize) -> (usize, usize) {
     (start, (start + per).min(len))
 }
 
-/// Runs `f(i, &mut states[i])` exactly once for every `i`, distributing
-/// the tasks over `workers` threads with work stealing (unless `steal`
-/// is false, in which case each worker only drains its own fixed
-/// range). Panics in `f` propagate.
+/// The claim-drain loop one worker runs over a stage: own range front
+/// to back, then (optionally) steal the other ranges from their tails,
+/// nearest victim first.
+fn drain_worker<'a, S>(
+    slots: &[TaskSlot<'a, S>],
+    len: usize,
+    workers: usize,
+    w: usize,
+    steal: bool,
+    mut f: impl FnMut(usize, &'a mut S),
+) {
+    let (start, end) = own_range(len, workers, w);
+    for i in start..end {
+        if let Some(state) = claim(slots, i) {
+            f(i, state);
+        }
+    }
+    if !steal {
+        return;
+    }
+    for step in 1..workers {
+        let victim = (w + step) % workers;
+        let (vs, ve) = own_range(len, workers, victim);
+        for i in (vs..ve).rev() {
+            if let Some(state) = claim(slots, i) {
+                f(i, state);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The persistent pool.
+
+/// A stage job, lifetime-erased so parked threads (whose loop cannot
+/// name the caller's stack lifetime) can run it. Soundness is purely a
+/// matter of the barrier protocol; see the `SAFETY` comment at the one
+/// erasure site in [`WorkerPool::dispatch`].
+type Job = &'static (dyn Fn(usize) + Sync);
+
+/// Barrier state shared between the dispatching caller and the parked
+/// workers.
+struct PoolState {
+    /// Bumped once per dispatched stage; workers wake on a change.
+    epoch: u64,
+    /// The published job for the current epoch.
+    job: Option<Job>,
+    /// Worker indices `< width` run the job and check in; helpers
+    /// beyond the width skip the epoch entirely (no job access, no
+    /// check-in), so narrow stages on a wide pool don't barrier on
+    /// every parked thread.
+    width: usize,
+    /// Participating helpers (`width − 1`) that have not yet checked
+    /// in for this epoch.
+    remaining: usize,
+    /// First panic payload raised by a helper's share of the job
+    /// (resumed on the dispatching caller).
+    panic_payload: Option<Box<dyn std::any::Any + Send>>,
+    /// Tells the helpers to exit their loop.
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Wakes helpers on a new epoch (or shutdown).
+    work: Condvar,
+    /// Wakes the dispatching caller once every helper checked in.
+    done: Condvar,
+}
+
+/// A persistent, parked worker pool for stage dispatch.
 ///
-/// Results must be written into `states[i]` (or derived from it): the
-/// caller reads them back in index order, which is what makes the
-/// execution order unobservable.
+/// `WorkerPool::new(w)` spawns `w − 1` helper threads (the dispatching
+/// caller itself acts as worker 0), so a pool of width 1 owns no
+/// threads at all and every dispatch runs inline. Threads park on a
+/// condition variable between stages and are joined on drop.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<JoinHandle<()>>,
+    /// Serializes whole dispatches: the barrier protocol (epoch, job,
+    /// remaining) supports exactly one stage in flight, and the erased
+    /// job reference must stay alive until *its own* barrier clears —
+    /// a second concurrent dispatcher would corrupt both. Held across
+    /// the entire dispatch; a concurrent caller simply waits its turn.
+    gate: Mutex<()>,
+    /// Pool wake-ups performed (stages that actually used ≥2 workers).
+    dispatches: AtomicU64,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("width", &self.width())
+            .field("dispatches", &self.dispatches())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Builds a pool of total width `workers` (including the caller):
+    /// `workers.saturating_sub(1)` parked helper threads.
+    pub fn new(workers: usize) -> Self {
+        let helpers = workers.saturating_sub(1);
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                epoch: 0,
+                job: None,
+                width: 0,
+                remaining: 0,
+                panic_payload: None,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let handles = (0..helpers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("peerback-worker-{}", i + 1))
+                    .spawn(move || helper_loop(&shared, i + 1))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            handles,
+            gate: Mutex::new(()),
+            dispatches: AtomicU64::new(0),
+        }
+    }
+
+    /// Total parallel width (helper threads + the dispatching caller).
+    pub fn width(&self) -> usize {
+        self.handles.len() + 1
+    }
+
+    /// Stage dispatches that woke the pool so far (inline single-worker
+    /// stages are not counted — they cost no wake-up).
+    pub fn dispatches(&self) -> u64 {
+        self.dispatches.load(Ordering::Relaxed)
+    }
+
+    /// Publishes `f` as the current stage, wakes the helpers, runs the
+    /// caller's share as worker 0 and waits for every helper to check
+    /// in. Panics in any worker propagate to the caller after the
+    /// barrier completes (so the job never dangles). Concurrent
+    /// dispatches from other threads serialize on the gate — the
+    /// second caller blocks until the first stage's barrier clears.
+    fn dispatch(&self, width: usize, f: &(dyn Fn(usize) + Sync)) {
+        debug_assert!(width >= 2, "width-1 stages run inline");
+        // One stage in flight at a time. Poisoning is ignored: a
+        // panicked dispatch restores the barrier invariants
+        // (remaining == 0, job cleared) before unwinding through the
+        // guard, so the pool stays usable.
+        let _stage = self
+            .gate
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        self.dispatches.fetch_add(1, Ordering::Relaxed);
+        // SAFETY-ADJACENT LIFETIME ERASURE (no unsafe keyword, but the
+        // contract matters): `job` borrows the caller's stack frame.
+        // The erased reference is only ever dereferenced by helper
+        // threads between the epoch bump below and their `remaining`
+        // check-in, and this function does not return until
+        // `remaining == 0` — so the referent strictly outlives every
+        // use. The erasure itself is a transmute of lifetimes only.
+        #[allow(unsafe_code)]
+        // SAFETY: lifetime erasure of a shared reference; the barrier
+        // below keeps the referent alive for the full borrow (this
+        // function blocks until every helper has checked in, even when
+        // the caller's own share panics).
+        let job: Job = unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(f)
+        };
+        {
+            let mut g = self.shared.state.lock().expect("pool state poisoned");
+            g.job = Some(job);
+            g.width = width;
+            // Only participating helpers (indices 1..width) check in;
+            // the rest skip the epoch without touching the job.
+            g.remaining = width - 1;
+            g.panic_payload = None;
+            g.epoch += 1;
+            self.shared.work.notify_all();
+        }
+        // The caller is worker 0. Catch its panic so the barrier wait
+        // below always happens — otherwise the erased job could dangle
+        // while a helper still runs it.
+        let caller = catch_unwind(AssertUnwindSafe(|| f(0)));
+        let helper_panic = {
+            let mut g = self.shared.state.lock().expect("pool state poisoned");
+            while g.remaining != 0 {
+                g = self.shared.done.wait(g).expect("pool state poisoned");
+            }
+            g.job = None;
+            g.panic_payload.take()
+        };
+        if let Err(payload) = caller {
+            resume_unwind(payload);
+        }
+        if let Some(payload) = helper_panic {
+            // Re-raise the helper's original panic (message, location
+            // payload and all) on the dispatching thread.
+            resume_unwind(payload);
+        }
+    }
+
+    /// Runs `f(i, &mut states[i])` exactly once for every `i` on up to
+    /// `workers` workers (clamped to the pool width and the task
+    /// count), with or without stealing. Single-worker stages run
+    /// inline without waking the pool.
+    pub fn run_tasks<S, F>(&self, workers: usize, steal: bool, states: &mut [S], f: F)
+    where
+        S: Send,
+        F: Fn(usize, &mut S) + Sync,
+    {
+        let len = states.len();
+        if len == 0 {
+            return;
+        }
+        let width = workers.min(len).min(self.width()).max(1);
+        if width == 1 {
+            for (i, state) in states.iter_mut().enumerate() {
+                f(i, state);
+            }
+            return;
+        }
+        let slots: Vec<TaskSlot<'_, S>> = states.iter_mut().map(|s| Mutex::new(Some(s))).collect();
+        let slots = &slots;
+        let f = &f;
+        self.dispatch(width, &move |w| {
+            drain_worker(slots, len, width, w, steal, |i, s: &mut S| f(i, s));
+        });
+    }
+
+    /// As [`WorkerPool::run_tasks`], with one mutable **worker-local**
+    /// state per worker (`worker_states.len()` bounds the width): each
+    /// call of `f` receives the state of the worker executing it
+    /// alongside the claimed task. Worker state is for reusable scratch
+    /// only — anything whose contents influence results belongs in the
+    /// per-task state, or the execution schedule becomes observable.
+    pub fn run_tasks_with<W, S, F>(
+        &self,
+        steal: bool,
+        worker_states: &mut [W],
+        states: &mut [S],
+        f: F,
+    ) where
+        W: Send,
+        S: Send,
+        F: Fn(&mut W, usize, &mut S) + Sync,
+    {
+        let len = states.len();
+        if len == 0 {
+            return;
+        }
+        let width = worker_states.len().min(len).min(self.width()).max(1);
+        if width == 1 {
+            let scratch = worker_states
+                .first_mut()
+                .expect("at least one worker state");
+            for (i, state) in states.iter_mut().enumerate() {
+                f(scratch, i, state);
+            }
+            return;
+        }
+        let slots: Vec<TaskSlot<'_, S>> = states.iter_mut().map(|s| Mutex::new(Some(s))).collect();
+        // One claim slot per worker-local state: worker `w` takes slot
+        // `w` exactly once per stage, giving it `&mut` scratch without
+        // any aliasing.
+        let wslots: Vec<TaskSlot<'_, W>> = worker_states
+            .iter_mut()
+            .take(width)
+            .map(|s| Mutex::new(Some(s)))
+            .collect();
+        let slots = &slots;
+        let wslots = &wslots;
+        let f = &f;
+        self.dispatch(width, &move |w| {
+            let scratch = claim(wslots, w).expect("worker scratch claimed once");
+            drain_worker(slots, len, width, w, steal, |i, s: &mut S| {
+                f(scratch, i, s);
+            });
+        });
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut g = self.shared.state.lock().expect("pool state poisoned");
+            g.shutdown = true;
+            self.shared.work.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The parked helper loop: wait for an epoch bump; if this worker is
+/// within the stage's width, run the published job and check in — and
+/// otherwise skip the epoch without touching the job (its lifetime is
+/// guaranteed by the participating workers' barrier alone).
+fn helper_loop(shared: &PoolShared, index: usize) {
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut g = shared.state.lock().expect("pool state poisoned");
+            loop {
+                if g.shutdown {
+                    return;
+                }
+                if g.epoch != seen {
+                    break;
+                }
+                g = shared.work.wait(g).expect("pool state poisoned");
+            }
+            seen = g.epoch;
+            if index >= g.width {
+                // Not part of this stage: no job access, no check-in.
+                // (The job may already be cleared — the dispatcher only
+                // waits for the *participating* helpers — which is fine
+                // because a non-participant never reads it.)
+                continue;
+            }
+            // A participant can always observe the job: the dispatcher
+            // cannot clear it before this helper's check-in.
+            g.job.expect("job published with the epoch")
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| job(index)));
+        let mut g = shared.state.lock().expect("pool state poisoned");
+        if let Err(payload) = result {
+            // Keep the first payload; the dispatcher re-raises it.
+            g.panic_payload.get_or_insert(payload);
+        }
+        g.remaining -= 1;
+        if g.remaining == 0 {
+            shared.done.notify_one();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pool-less forms (one-shot callers and tests).
+
+/// Runs `f(i, &mut states[i])` exactly once for every `i`, distributing
+/// the tasks over `workers` **scoped threads** with work stealing
+/// (unless `steal` is false, in which case each worker only drains its
+/// own fixed range). Panics in `f` propagate.
+///
+/// This is the pool-less form: it spawns threads per call, so hot loops
+/// should dispatch through a [`WorkerPool`] instead.
 pub fn run_tasks<S, F>(workers: usize, steal: bool, states: &mut [S], f: F)
 where
     S: Send,
@@ -104,28 +469,9 @@ where
     std::thread::scope(|scope| {
         for (w, scratch) in worker_states.iter_mut().take(workers).enumerate() {
             scope.spawn(move || {
-                // Own range first, front to back.
-                let (start, end) = own_range(len, workers, w);
-                for i in start..end {
-                    if let Some(state) = claim(slots, i) {
-                        f(scratch, i, state);
-                    }
-                }
-                if !steal {
-                    return;
-                }
-                // Steal pass: walk the other workers' ranges from the
-                // tail (the work an owner reaches last), nearest victim
-                // first.
-                for step in 1..workers {
-                    let victim = (w + step) % workers;
-                    let (vs, ve) = own_range(len, workers, victim);
-                    for i in (vs..ve).rev() {
-                        if let Some(state) = claim(slots, i) {
-                            f(scratch, i, state);
-                        }
-                    }
-                }
+                drain_worker(slots, len, workers, w, steal, |i, s: &mut S| {
+                    f(scratch, i, s);
+                });
             });
         }
     });
@@ -206,6 +552,140 @@ mod tests {
             counter.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(counter.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn pool_runs_every_task_exactly_once_across_stages() {
+        // One pool, many dispatches: the steady-state shape. No stage
+        // may lose or duplicate a task, whatever the width asked for.
+        let pool = WorkerPool::new(4);
+        for stage in 0..50u32 {
+            for &workers in &[1usize, 2, 3, 4, 9] {
+                for steal in [false, true] {
+                    let mut states = vec![0u32; 23];
+                    pool.run_tasks(workers, steal, &mut states, |i, s| {
+                        *s += stage + i as u32;
+                    });
+                    for (i, s) in states.iter().enumerate() {
+                        assert_eq!(*s, stage + i as u32);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pool_matches_the_scoped_executor_bit_for_bit() {
+        let compute_pool = |pool: &WorkerPool, workers: usize| {
+            let mut states = vec![0u64; 64];
+            pool.run_tasks(workers, true, &mut states, |i, s| {
+                let mut acc = i as u64;
+                for k in 0..100u64 {
+                    acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+                }
+                *s = acc;
+            });
+            states
+        };
+        let mut base = vec![0u64; 64];
+        run_tasks(1, false, &mut base, |i, s| {
+            let mut acc = i as u64;
+            for k in 0..100u64 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+            }
+            *s = acc;
+        });
+        let pool = WorkerPool::new(8);
+        for workers in [1, 2, 4, 8] {
+            assert_eq!(compute_pool(&pool, workers), base);
+        }
+    }
+
+    #[test]
+    fn pool_counts_only_real_wakeups() {
+        let pool = WorkerPool::new(4);
+        let mut states = vec![0u8; 8];
+        pool.run_tasks(1, true, &mut states, |_, s| *s += 1);
+        assert_eq!(pool.dispatches(), 0, "inline stages must not wake the pool");
+        pool.run_tasks(4, true, &mut states, |_, s| *s += 1);
+        assert_eq!(pool.dispatches(), 1);
+        assert!(states.iter().all(|&s| s == 2));
+    }
+
+    #[test]
+    fn pool_worker_scratch_is_exclusive_per_worker() {
+        let pool = WorkerPool::new(3);
+        let mut scratch = vec![0u32; 3];
+        let mut states = vec![0u32; 64];
+        pool.run_tasks_with(true, &mut scratch, &mut states, |scr, _, s| {
+            *scr += 1;
+            *s = 1;
+        });
+        assert!(states.iter().all(|&s| s == 1));
+        // Every task was counted exactly once across the workers.
+        assert_eq!(scratch.iter().sum::<u32>(), 64);
+    }
+
+    #[test]
+    fn pool_of_width_one_owns_no_threads() {
+        let pool = WorkerPool::new(1);
+        assert_eq!(pool.width(), 1);
+        let mut states = vec![0u8; 4];
+        pool.run_tasks(8, true, &mut states, |_, s| *s += 1);
+        assert!(states.iter().all(|&s| s == 1));
+        assert_eq!(pool.dispatches(), 0);
+    }
+
+    #[test]
+    fn concurrent_dispatches_serialize_safely() {
+        // The pool is Sync and shared by Arc, so two threads may
+        // legitimately dispatch at once; the gate must serialize the
+        // stages (one barrier in flight) with no lost or duplicated
+        // tasks on either side.
+        let pool = std::sync::Arc::new(WorkerPool::new(4));
+        let mut joins = Vec::new();
+        for t in 0..3u64 {
+            let pool = std::sync::Arc::clone(&pool);
+            joins.push(std::thread::spawn(move || {
+                for _ in 0..50 {
+                    let mut states = vec![0u64; 17];
+                    pool.run_tasks(4, true, &mut states, |i, s| {
+                        *s = t * 1000 + i as u64;
+                    });
+                    for (i, s) in states.iter().enumerate() {
+                        assert_eq!(*s, t * 1000 + i as u64);
+                    }
+                }
+            }));
+        }
+        for j in joins {
+            j.join().expect("dispatcher thread panicked");
+        }
+    }
+
+    #[test]
+    fn pool_propagates_worker_panics() {
+        let pool = WorkerPool::new(4);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let mut states = vec![0u8; 16];
+            pool.run_tasks(4, true, &mut states, |i, _| {
+                assert!(i != 11, "boom at task {i}");
+            });
+        }));
+        // The panic reaches the dispatcher with its original payload
+        // (not a generic "a task panicked" wrapper), whichever worker
+        // hit it.
+        let payload = result.expect_err("the panic must reach the dispatcher");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .expect("panic payload is a message");
+        assert!(msg.contains("boom at task 11"), "lost payload: {msg}");
+        // The pool must still be usable after a panicked stage.
+        let mut states = vec![0u8; 16];
+        pool.run_tasks(4, true, &mut states, |_, s| *s += 1);
+        assert!(states.iter().all(|&s| s == 1));
     }
 
     #[test]

@@ -16,14 +16,16 @@
 //! * [`rng`] has seed-derivation helpers so that sub-streams (per peer,
 //!   per experiment arm) are independent but reproducible.
 
+pub mod arena;
 pub mod clock;
 pub mod engine;
 pub mod exec;
 pub mod rng;
 pub mod wheel;
 
+pub use arena::BufPool;
 pub use clock::Round;
 pub use engine::{Engine, RoundReport, World};
-pub use exec::{run_tasks, run_tasks_fuzzed, run_tasks_with};
+pub use exec::{run_tasks, run_tasks_fuzzed, run_tasks_with, WorkerPool};
 pub use rng::{derive_seed, sim_rng, SimRng};
 pub use wheel::{HierarchicalWheel, TimingWheel};
