@@ -29,6 +29,14 @@ fn extract_f64(json: &str, key: &str) -> Option<f64> {
     rest[..end].trim().parse().ok()
 }
 
+/// Extracts a top-level string field from a flat JSON object.
+fn extract_str(json: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start().strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
+}
+
 fn read_field(path: &str, key: &str) -> Result<f64, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     extract_f64(&text, key).ok_or_else(|| format!("{path}: no numeric field {key:?}"))
@@ -277,6 +285,137 @@ fn run_alloc(args: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// `rs --baseline FILE [--min-ratio R] SAMPLE.json...`: the SIMD
+/// Reed–Solomon throughput gate over `rs_probe --json` samples.
+///
+/// Two checks:
+/// 1. The best backend must beat scalar by at least `--min-ratio`
+///    (default 4.0) — the SIMD kernels' acceptance floor. Hosts whose
+///    best backend *is* scalar (no SIMD) warn and pass: hardware, not
+///    a regression.
+/// 2. The best backend's `best_mib_s` must stay within `--fail-pct`
+///    (default 25%) below the baseline's `median_encode_mib_s`, with a
+///    `::warning::` from `--warn-pct` (default 10%). Refuses the
+///    comparison when the baseline's `host_cpus` or `backend` differ
+///    from the sample's — cross-host throughputs don't compare.
+fn run_rs(args: &[String]) -> Result<ExitCode, String> {
+    let mut baseline = None;
+    let mut min_ratio = 4.0f64;
+    let mut warn_pct = 10.0f64;
+    let mut fail_pct = 25.0f64;
+    let mut samples = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("flag {name} needs a value"))
+        };
+        match arg.as_str() {
+            "--baseline" => baseline = Some(value("--baseline")?),
+            "--min-ratio" => {
+                min_ratio = value("--min-ratio")?
+                    .parse()
+                    .map_err(|e| format!("--min-ratio: {e}"))?;
+            }
+            "--warn-pct" => {
+                warn_pct = value("--warn-pct")?
+                    .parse()
+                    .map_err(|e| format!("--warn-pct: {e}"))?;
+            }
+            "--fail-pct" => {
+                fail_pct = value("--fail-pct")?
+                    .parse()
+                    .map_err(|e| format!("--fail-pct: {e}"))?;
+            }
+            other => samples.push(other.to_string()),
+        }
+    }
+    if samples.is_empty() {
+        return Err("rs needs at least one rs_probe sample JSON".into());
+    }
+
+    let first =
+        std::fs::read_to_string(&samples[0]).map_err(|e| format!("reading {}: {e}", samples[0]))?;
+    let best_backend =
+        extract_str(&first, "best_backend").ok_or("sample has no best_backend field")?;
+    let speedups: Vec<f64> = samples
+        .iter()
+        .map(|p| read_field(p, "speedup"))
+        .collect::<Result<_, _>>()?;
+    let speedup = median(speedups);
+    println!(
+        "perf_gate: rs encode best backend {best_backend}, median speedup {speedup:.2}x over \
+         scalar (required {min_ratio:.2}x)"
+    );
+    if best_backend == "scalar" {
+        println!(
+            "::warning::no SIMD gf256 backend is available on this host — the {min_ratio:.2}x \
+             speedup floor cannot be checked"
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+    if speedup < min_ratio {
+        println!(
+            "::error::SIMD encode speedup {speedup:.2}x is below the required {min_ratio:.2}x \
+             over scalar — a vectorized gf256 kernel regressed"
+        );
+        return Ok(ExitCode::FAILURE);
+    }
+
+    let Some(baseline) = baseline else {
+        return Ok(ExitCode::SUCCESS);
+    };
+    let base_text = match std::fs::read_to_string(&baseline) {
+        Ok(text) => text,
+        Err(e) => {
+            println!("::warning::rs baseline {baseline} unreadable ({e}) — speedup-only gate");
+            return Ok(ExitCode::SUCCESS);
+        }
+    };
+    let base_backend = extract_str(&base_text, "backend");
+    let base_cpus = extract_f64(&base_text, "host_cpus");
+    let sample_cpus = extract_f64(&first, "host_cpus");
+    if base_backend.as_deref() != Some(best_backend.as_str()) || base_cpus != sample_cpus {
+        println!(
+            "::warning::rs baseline {baseline} was recorded for backend {:?} on {:?} CPUs but \
+             this run uses {best_backend} on {:?} — refusing the throughput comparison. \
+             Refresh the baseline from this run's artifact.",
+            base_backend.as_deref().unwrap_or("?"),
+            base_cpus.unwrap_or(f64::NAN),
+            sample_cpus.unwrap_or(f64::NAN),
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+    let base = extract_f64(&base_text, "median_encode_mib_s")
+        .ok_or_else(|| format!("{baseline}: no numeric field \"median_encode_mib_s\""))?;
+    let throughputs: Vec<f64> = samples
+        .iter()
+        .map(|p| read_field(p, "best_mib_s"))
+        .collect::<Result<_, _>>()?;
+    let fresh = median(throughputs);
+    let delta_pct = (fresh / base - 1.0) * 100.0;
+    println!(
+        "perf_gate: rs encode {fresh:.1} MiB/s over {} sample(s) vs baseline {base:.1} MiB/s \
+         ({delta_pct:+.1}%)",
+        samples.len()
+    );
+    if delta_pct <= -fail_pct {
+        println!(
+            "::error::rs encode throughput regression: {fresh:.1} MiB/s is {delta_pct:+.1}% vs \
+             the committed baseline {base:.1} MiB/s (fail threshold -{fail_pct:.0}%)"
+        );
+        return Ok(ExitCode::FAILURE);
+    }
+    if delta_pct <= -warn_pct {
+        println!(
+            "::warning::rs encode throughput drift: {fresh:.1} MiB/s is {delta_pct:+.1}% vs the \
+             committed baseline {base:.1} MiB/s (warn threshold -{warn_pct:.0}%)"
+        );
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
 const USAGE: &str = "\
 usage: perf_gate <subcommand> [options]
   check   --baseline FILE [--warn-pct P] [--fail-pct P] SAMPLE.json...
@@ -290,7 +429,13 @@ usage: perf_gate <subcommand> [options]
   alloc   --budget N SAMPLE.json...
           require median(allocs_per_round) <= N (samples must come from
           a probe built with --features count-allocs; a missing field
-          fails the gate rather than passing silently)";
+          fails the gate rather than passing silently)
+  rs      --baseline FILE [--min-ratio R] [--warn-pct P] [--fail-pct P]
+          SAMPLE.json...
+          require median(rs_probe speedup) >= R (default 4.0) and the
+          best backend's median(best_mib_s) within -25% of the
+          baseline's median_encode_mib_s; scalar-only hosts and
+          backend/CPU mismatches warn instead of failing";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -298,6 +443,7 @@ fn main() -> ExitCode {
         Some("check") => run_check(&args[1..]),
         Some("speedup") => run_speedup(&args[1..]),
         Some("alloc") => run_alloc(&args[1..]),
+        Some("rs") => run_rs(&args[1..]),
         Some("--help" | "-h") => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -324,6 +470,15 @@ mod tests {
         assert_eq!(extract_f64(j, "peers"), Some(100.0));
         assert_eq!(extract_f64(j, "missing"), None);
         assert_eq!(extract_f64(j, "probe"), None, "strings are not numbers");
+    }
+
+    #[test]
+    fn extracts_string_fields() {
+        let j = r#"{"probe":"rs_probe","best_backend":"avx2","speedup":5.25}"#;
+        assert_eq!(extract_str(j, "best_backend").as_deref(), Some("avx2"));
+        assert_eq!(extract_str(j, "probe").as_deref(), Some("rs_probe"));
+        assert_eq!(extract_str(j, "speedup"), None, "numbers are not strings");
+        assert_eq!(extract_str(j, "missing"), None);
     }
 
     #[test]

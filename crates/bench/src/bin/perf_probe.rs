@@ -85,6 +85,7 @@ fn main() {
                 .num("skewed_churn", u64::from(args.skewed))
                 .num("shard_slots", args.shard_slots as u64)
                 .num("host_cpus", HarnessArgs::host_cpus())
+                .str("gf256_backend", peerback_gf256::active_backend().name())
                 .float("elapsed_secs", elapsed.as_secs_f64())
                 .float(
                     "peer_rounds_per_sec",

@@ -8,15 +8,24 @@
 //! and the audit ledger. The zero-fault column doubles as a continuous
 //! integration check — byte-level restorability must equal the
 //! simulator's prediction exactly, so the process exits non-zero if
-//! any cell reports an audit mismatch.
+//! any cell reports an audit mismatch, **or** if a scrubbing sweep
+//! detected at-rest corruption that was never repaired by run end.
+//!
+//! With `--paper-scale` the sweep is replaced by **one** combined-mode
+//! run at the paper's §4.1 geometry, with the sampled auditor and
+//! periodic scrubbing enabled — the configuration the SIMD gf256
+//! backend exists to make affordable. Its JSON report carries the
+//! byte-plane headline numbers (`gf256_backend`, `encode_mib_s`,
+//! `scrub_detected`, `scrub_repaired`).
 //!
 //! ```text
 //! cargo run --release -p peerback-bench --bin scenario_fabric -- --peers 64 --rounds 50 --json
+//! cargo run --release -p peerback-bench --bin scenario_fabric -- --paper-scale --json
 //! ```
 
 use std::time::Instant;
 
-use peerback_bench::{json, HarnessArgs};
+use peerback_bench::{json, rs_bench, HarnessArgs};
 use peerback_core::{MaintenancePolicy, SimConfig};
 use peerback_fabric::{run_fabric, FabricConfig, FabricReport, FaultProfile};
 
@@ -67,6 +76,10 @@ fn run_cell(
         faults: FaultProfile::uniform(rate),
         // Audit every round at smoke scales, sparser on long runs.
         audit_interval: (args.rounds / 200).max(1),
+        // Scrub often enough that every cell exercises the detect →
+        // repair loop (and the unrepaired-corruption exit check has
+        // teeth at smoke scales).
+        scrub_interval: (args.rounds / 25).max(4),
         ..FabricConfig::default()
     };
     let report = run_fabric(cell_config(args, maintenance), fabric_cfg)
@@ -100,6 +113,10 @@ fn cell_json(cell: &Cell) -> String {
         .num("transfers_retried", stats.transfers_retried)
         .num("retry_deliveries", stats.retry_deliveries)
         .num("retries_abandoned", stats.retries_abandoned)
+        .num("scrub_checked", stats.scrub_checked)
+        .num("scrub_detected", stats.scrub_detected)
+        .num("scrub_repaired", stats.scrub_repaired)
+        .num("scrub_obsolete", stats.scrub_obsolete)
         .num("sim_losses", cell.report.metrics.total_losses())
         .num("verified_losses", cell.report.losses.len() as u64)
         .num("audit_checks", audit.checks)
@@ -111,8 +128,127 @@ fn cell_json(cell: &Cell) -> String {
         .render()
 }
 
+/// The `--paper-scale` single-run mode: combined mode at the paper's
+/// §4.1 geometry with the sampled auditor and periodic scrubbing — the
+/// workload the SIMD gf256 backend makes affordable on one host.
+fn run_paper_scale(args: &HarnessArgs) {
+    let start = Instant::now();
+    let maintenance = MaintenancePolicy::Adaptive {
+        base: 12,
+        floor_margin: 1,
+        step: 1,
+    };
+    let fabric_cfg = FabricConfig {
+        faults: FaultProfile::uniform(0.02),
+        // A full-ledger decode pass per round is what made paper scale
+        // unaffordable; the sampled auditor decodes ~1/64 of joined
+        // archives per pass instead, keeping round-level coverage of
+        // the whole ledger with a bounded per-round bill.
+        audit_interval: (args.rounds / 500).max(1),
+        audit_sample_period: 64,
+        // At-rest scrubbing: sweep the stores a few hundred times per
+        // run; every detection must be repaired (or obsoleted by
+        // churn) before the run ends, or the process exits non-zero.
+        scrub_interval: (args.rounds / 250).max(4),
+        ..FabricConfig::default()
+    };
+    if !args.json {
+        eprintln!(
+            "running paper-scale combined mode: {} peers x {} rounds ...",
+            args.peers, args.rounds
+        );
+    }
+    let report = run_fabric(cell_config(args, maintenance), fabric_cfg)
+        .expect("paper-scale configuration is valid");
+    let elapsed = start.elapsed();
+    let encode_mib_s = rs_bench::encode_mib_s();
+
+    let stats = &report.stats;
+    let audit = &report.audit;
+    let unverified_losses = report
+        .losses
+        .iter()
+        .filter(|l| l.intact_shards >= l.k)
+        .count();
+    let scrub_unrepaired = stats.scrub_unrepaired();
+    let failed = stats.transfers_corrupted + stats.transfers_truncated + stats.transfers_flapped;
+
+    if args.json {
+        let mut out = json::Object::new()
+            .str("scenario", "fabric-paper-scale")
+            .num("peers", args.peers as u64)
+            .num("rounds", args.rounds)
+            .num("seed", args.seed);
+        if !args.stable_json {
+            out = out
+                .num("shards", args.shards as u64)
+                .num("host_cpus", HarnessArgs::host_cpus())
+                .str("gf256_backend", peerback_gf256::active_backend().name())
+                .float("encode_mib_s", encode_mib_s)
+                .float("elapsed_secs", elapsed.as_secs_f64());
+        }
+        let out = out
+            .num("transfers_attempted", stats.transfers_attempted)
+            .num("transfers_delivered", stats.transfers_delivered)
+            .num("transfers_failed", failed)
+            .num("bitrot_events", stats.bitrot_events)
+            .num("bytes_shipped", stats.bytes_shipped)
+            .num("scrub_checked", stats.scrub_checked)
+            .num("scrub_detected", stats.scrub_detected)
+            .num("scrub_repaired", stats.scrub_repaired)
+            .num("scrub_obsolete", stats.scrub_obsolete)
+            .num("scrub_unrepaired", scrub_unrepaired)
+            .num("sim_losses", report.metrics.total_losses())
+            .num("verified_losses", report.losses.len() as u64)
+            .num("audit_checks", audit.checks)
+            .num("audit_consistent", audit.consistent)
+            .num("fault_induced_losses", audit.fault_induced_losses)
+            .num("audit_mismatches", audit.mismatches)
+            .num("decode_attempts", audit.decode_attempts)
+            .num("decode_successes", audit.decode_successes)
+            .num("unverified_losses", unverified_losses as u64)
+            .render();
+        println!("{out}");
+    } else {
+        println!(
+            "paper scale: {} peers x {} rounds in {:.1}s ({} backend, {encode_mib_s:.0} MiB/s \
+             encode)",
+            args.peers,
+            args.rounds,
+            elapsed.as_secs_f64(),
+            peerback_gf256::active_backend().name(),
+        );
+        println!(
+            "  transfers: {} attempted, {} delivered, {failed} failed, {} bitrot",
+            stats.transfers_attempted, stats.transfers_delivered, stats.bitrot_events
+        );
+        println!(
+            "  scrub: {} checked, {} detected, {} repaired, {} obsolete, {scrub_unrepaired} \
+             unrepaired",
+            stats.scrub_checked, stats.scrub_detected, stats.scrub_repaired, stats.scrub_obsolete
+        );
+        println!(
+            "  audit: {} checks, {} mismatches, {unverified_losses} unverified losses",
+            audit.checks, audit.mismatches
+        );
+    }
+
+    if audit.mismatches > 0 || unverified_losses > 0 || scrub_unrepaired > 0 {
+        eprintln!(
+            "FAIL: {} audit mismatch(es), {unverified_losses} unverified loss(es), \
+             {scrub_unrepaired} scrub detection(s) never repaired",
+            audit.mismatches
+        );
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args = HarnessArgs::parse();
+    if args.paper_scale {
+        run_paper_scale(&args);
+        return;
+    }
     let start = Instant::now();
     let mut cells = Vec::new();
     for (name, maintenance) in POLICIES {
@@ -130,6 +266,10 @@ fn main() {
         .flat_map(|c| &c.report.losses)
         .filter(|l| l.intact_shards >= l.k)
         .count();
+    let scrub_unrepaired: u64 = cells
+        .iter()
+        .map(|c| c.report.stats.scrub_unrepaired())
+        .sum();
 
     if args.json {
         let elapsed = start.elapsed();
@@ -152,6 +292,7 @@ fn main() {
             .raw("cells", json::array(cells.iter().map(cell_json)))
             .num("audit_mismatches", mismatches)
             .num("unverified_losses", unverified_losses as u64)
+            .num("scrub_unrepaired", scrub_unrepaired)
             .render();
         println!("{report}");
     } else {
@@ -186,10 +327,11 @@ fn main() {
         println!("total audit mismatches: {mismatches}");
     }
 
-    if mismatches > 0 || unverified_losses > 0 {
+    if mismatches > 0 || unverified_losses > 0 || scrub_unrepaired > 0 {
         eprintln!(
-            "FAIL: {mismatches} audit mismatch(es), {unverified_losses} unverified loss(es) — \
-             the byte plane and the simulator disagree"
+            "FAIL: {mismatches} audit mismatch(es), {unverified_losses} unverified loss(es), \
+             {scrub_unrepaired} scrub detection(s) never repaired — the byte plane and the \
+             simulator disagree"
         );
         std::process::exit(1);
     }

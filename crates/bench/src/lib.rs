@@ -159,6 +159,11 @@ pub struct HarnessArgs {
     /// Semantic — changes the logical partition and the RNG streams;
     /// two runs only compare at the same value. Default 64.
     pub shard_slots: usize,
+    /// Whether `--paper-scale` was passed. Binaries with a dedicated
+    /// paper-scale mode (scenario_fabric's single combined-mode run
+    /// with sampled audit + scrubbing) switch on this rather than
+    /// guessing from the numbers.
+    pub paper_scale: bool,
 }
 
 impl HarnessArgs {
@@ -227,6 +232,7 @@ impl HarnessArgs {
             no_steal,
             skewed,
             shard_slots,
+            paper_scale: scale == Scale::Paper,
         }
     }
 
@@ -422,6 +428,55 @@ mod tests {
     fn base_config_is_valid() {
         let a = parse(&["--smoke"]);
         assert!(a.base_config().validate().is_ok());
+    }
+}
+
+/// Reed–Solomon encode throughput measurement, shared by `rs_probe`
+/// (the per-backend CI gate sample) and `scenario_fabric --paper-scale`
+/// (the `encode_mib_s` report field).
+pub mod rs_bench {
+    use std::time::{Duration, Instant};
+
+    /// Data-shard payload used for throughput runs: large enough that
+    /// table setup and loop overhead vanish, small enough to stay in
+    /// cache-friendly territory.
+    pub const SHARD_BYTES: usize = 64 * 1024;
+
+    /// Measures streaming encode throughput of the paper-default RS
+    /// geometry with the **currently active** gf256 backend, in MiB of
+    /// source data per second. Deterministic input; the measured region
+    /// reuses one parity arena, so steady-state encode speed is what is
+    /// timed, not allocation.
+    pub fn encode_mib_s() -> f64 {
+        let rs = peerback_erasure::ReedSolomon::paper_default();
+        let k = rs.data_shards();
+        let data: Vec<Vec<u8>> = (0..k)
+            .map(|s| {
+                (0..SHARD_BYTES)
+                    .map(|i| {
+                        let x = (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ (s as u64);
+                        (x >> 32) as u8
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut parity: Vec<Vec<u8>> = vec![Vec::new(); rs.parity_shards()];
+        // Warm-up pass sizes the parity arena and faults the tables in.
+        rs.encode_into(&data, &mut parity).expect("valid geometry");
+
+        let target = Duration::from_millis(300);
+        let mut iters: u64 = 0;
+        let start = Instant::now();
+        loop {
+            rs.encode_into(&data, &mut parity).expect("valid geometry");
+            iters += 1;
+            if start.elapsed() >= target {
+                break;
+            }
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        let bytes = iters as f64 * (k * SHARD_BYTES) as f64;
+        bytes / elapsed / (1024.0 * 1024.0)
     }
 }
 

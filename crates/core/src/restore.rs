@@ -77,6 +77,10 @@ impl<C: Cipher> RestorePipeline<C> {
     /// Restores one archive from `(shard_index, bytes)` pairs (any `k`
     /// or more of the `n` blocks, any order).
     ///
+    /// Builds a fresh codec per call; hot loops decoding many archives
+    /// of one geometry should use [`restore_with`](Self::restore_with)
+    /// and share a codec instead.
+    ///
     /// # Errors
     ///
     /// [`RestoreError`] when decoding fails or the result is not the
@@ -84,12 +88,44 @@ impl<C: Cipher> RestorePipeline<C> {
     pub fn restore(
         &self,
         descriptor: &ArchiveDescriptor,
-        blocks: &[(usize, Vec<u8>)],
+        blocks: &[(usize, impl AsRef<[u8]>)],
     ) -> Result<Archive, RestoreError> {
         let rs = ReedSolomon::new(descriptor.k as usize, descriptor.m as usize)?;
-        let shard_len = blocks.first().map_or(0, |(_, b)| b.len());
-        let data_blocks = rs.reconstruct_data(blocks, shard_len)?;
-        let ciphertext = Archive::join_blocks(&data_blocks, descriptor.payload_len);
+        self.restore_with(&rs, descriptor, blocks, &mut Vec::new())
+    }
+
+    /// Restores one archive through a caller-shared codec and recycled
+    /// data-shard scratch buffers — the steady-state path: no
+    /// per-code-word Vandermonde rebuild, and decode output lands in
+    /// `data_scratch`'s reused capacity.
+    ///
+    /// # Errors
+    ///
+    /// As [`restore`](Self::restore).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the codec geometry does not match the descriptor's
+    /// `(k, m)`.
+    pub fn restore_with(
+        &self,
+        rs: &ReedSolomon,
+        descriptor: &ArchiveDescriptor,
+        blocks: &[(usize, impl AsRef<[u8]>)],
+        data_scratch: &mut Vec<Vec<u8>>,
+    ) -> Result<Archive, RestoreError> {
+        assert!(
+            rs.data_shards() == descriptor.k as usize
+                && rs.parity_shards() == descriptor.m as usize,
+            "codec geometry ({}, {}) does not match descriptor ({}, {})",
+            rs.data_shards(),
+            rs.parity_shards(),
+            descriptor.k,
+            descriptor.m
+        );
+        let shard_len = blocks.first().map_or(0, |(_, b)| b.as_ref().len());
+        rs.reconstruct_data_into(blocks, shard_len, data_scratch)?;
+        let ciphertext = Archive::join_blocks(data_scratch, descriptor.payload_len);
         let plaintext = self.cipher.decrypt(&ciphertext);
         let archive = Archive::from_bytes(&plaintext)?;
         if archive.id != descriptor.archive_id {

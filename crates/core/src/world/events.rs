@@ -102,12 +102,25 @@ impl ShardLane<'_> {
 
         // Tear down this peer's own archives: the blocks it stored on
         // its partners are dropped (events emitted here, on the owner
-        // side) and each partner's ledger is pruned in hop 2.
+        // side) and each partner's ledger is pruned in hop 2. Indexed
+        // walks + `clear` rather than `mem::take`: the slot is recycled
+        // in place, and keeping the vectors' capacity is what lets the
+        // replacement peer re-grow them without heap traffic.
         for aidx in 0..self.local(id).archives.len() {
-            let archive = &mut self.local(id).archives[aidx];
-            let partners = core::mem::take(&mut archive.partners);
-            let stale = core::mem::take(&mut archive.stale_partners);
-            for host in partners.into_iter().chain(stale) {
+            let (fresh, total) = {
+                let archive = &self.local(id).archives[aidx];
+                (
+                    archive.partners.len(),
+                    archive.partners.len() + archive.stale_partners.len(),
+                )
+            };
+            for i in 0..total {
+                let archive = &self.local(id).archives[aidx];
+                let host = if i < fresh {
+                    archive.partners[i]
+                } else {
+                    archive.stale_partners[i - fresh]
+                };
                 self.emit(WorldEvent::BlockDropped {
                     owner: id,
                     archive: aidx as ArchiveIdx,
@@ -120,18 +133,22 @@ impl ShardLane<'_> {
                     owner_observer: false,
                 });
             }
+            let archive = &mut self.local(id).archives[aidx];
+            archive.partners.clear();
+            archive.stale_partners.clear();
         }
 
         // Its hosted blocks disappear with it; the owners learn in hop 2.
-        let hosted = core::mem::take(&mut self.local(id).hosted);
-        self.local(id).quota_used = 0;
-        for (owner, aidx) in hosted {
+        for i in 0..self.local(id).hosted.len() {
+            let (owner, aidx) = self.local(id).hosted[i];
             self.out.push(Msg::Drop {
                 owner,
                 aidx,
                 host: id,
             });
         }
+        self.local(id).hosted.clear();
+        self.local(id).quota_used = 0;
 
         // `PeerDeparted` is emitted by the driver once every drop of
         // this round has been delivered (the observer contract).
@@ -151,15 +168,18 @@ impl ShardLane<'_> {
             return;
         }
         self.delta.partner_timeouts += 1;
-        let hosted = core::mem::take(&mut self.local(id).hosted);
-        self.local(id).quota_used = 0;
-        for (owner, aidx) in hosted {
+        // Indexed walk + `clear`, not `mem::take`: the peer keeps its
+        // ledger's capacity for when it reconnects and hosts again.
+        for i in 0..self.local(id).hosted.len() {
+            let (owner, aidx) = self.local(id).hosted[i];
             self.out.push(Msg::Drop {
                 owner,
                 aidx,
                 host: id,
             });
         }
+        self.local(id).hosted.clear();
+        self.local(id).quota_used = 0;
     }
 }
 

@@ -49,8 +49,8 @@
 
 use std::sync::Arc;
 
-use peerback_sim::arena::{put_slot, take_slot};
-use peerback_sim::{derive_seed, BufPool, WorkerPool};
+use peerback_sim::arena::{put_slot, retype_empty, take_slot};
+use peerback_sim::{derive_seed, BufPool, SimRng, WorkerPool};
 
 use crate::age::AgeCategory;
 use crate::metrics::Metrics;
@@ -59,7 +59,7 @@ use crate::select::Candidate;
 use super::events::Event;
 use super::hooks::WorldEvent;
 use super::peers::{ArchiveIdx, Peer, PeerId};
-use super::shard::{Proposal, ShardLayout};
+use super::shard::{Proposal, ShardLane, ShardLayout};
 use super::BackupWorld;
 
 /// Per-lane accumulator for the metric counters a stage may bump;
@@ -309,6 +309,17 @@ pub(in crate::world) struct RoundArena {
     pub(in crate::world) cand_pools: Vec<BufPool<Candidate>>,
     /// Per-worker wheel-fire scratch for the local-events stage.
     pub(in crate::world) fire_bufs: Vec<Vec<Event>>,
+    /// Recycled backing storage for the per-stage task vectors. The
+    /// element types borrow round-local state, so the capacity is
+    /// parked between rounds under a `'static` instantiation and
+    /// re-typed for each round's borrows
+    /// ([`peerback_sim::arena::retype_empty`]); the vectors themselves
+    /// are always empty here.
+    pub(in crate::world) lane_store: Vec<WorkLane<'static>>,
+    pub(in crate::world) shard_lane_store: Vec<ShardLane<'static>>,
+    pub(in crate::world) grant_task_store: Vec<GrantTask<'static>>,
+    pub(in crate::world) commit_task_store: Vec<CommitTask<'static>>,
+    pub(in crate::world) propose_task_store: Vec<ProposeTask<'static>>,
 }
 
 impl RoundArena {
@@ -331,6 +342,11 @@ impl RoundArena {
             hosts_bufs: slots(shards),
             cand_pools: (0..shards).map(|_| BufPool::new()).collect(),
             fire_bufs: Vec::new(),
+            lane_store: Vec::new(),
+            shard_lane_store: Vec::new(),
+            grant_task_store: Vec::new(),
+            commit_task_store: Vec::new(),
+            propose_task_store: Vec::new(),
         }
     }
 
@@ -395,6 +411,11 @@ impl RoundArena {
             *buf = Vec::new();
         }
         self.fire_bufs = Vec::new();
+        self.lane_store = Vec::new();
+        self.shard_lane_store = Vec::new();
+        self.grant_task_store = Vec::new();
+        self.commit_task_store = Vec::new();
+        self.propose_task_store = Vec::new();
     }
 }
 
@@ -491,7 +512,7 @@ impl GrantScratch {
 }
 
 /// A grant-stage task: one host shard's claim runs in, grant runs out.
-struct GrantTask<'a> {
+pub(in crate::world) struct GrantTask<'a> {
     scratch: &'a mut GrantScratch,
     inbox: Vec<ClaimRun>,
     out: Vec<(u32, GrantRun)>,
@@ -499,12 +520,21 @@ struct GrantTask<'a> {
 
 /// An owner-stage task: one owner shard's proposals, its sorted grant
 /// runs, and the recycled scratch the step uses.
-struct CommitTask<'a> {
+pub(in crate::world) struct CommitTask<'a> {
     lane: WorkLane<'a>,
     props: Vec<Proposal>,
     grants: Vec<GrantRun>,
     hosts: Vec<PeerId>,
     cands: BufPool<Candidate>,
+}
+
+/// A proposal-stage task: one owner shard's drained actor list and RNG
+/// stream, plus the recycled output buffers the pools build into.
+pub(in crate::world) struct ProposeTask<'a> {
+    pub(in crate::world) rng: &'a mut SimRng,
+    pub(in crate::world) actors: &'a [PeerId],
+    pub(in crate::world) proposals: Vec<Proposal>,
+    pub(in crate::world) cands: BufPool<Candidate>,
 }
 
 impl BackupWorld {
@@ -726,38 +756,31 @@ impl BackupWorld {
             self.grant_scratch
                 .resize_with(layout.count, GrantScratch::default);
         }
-        type GrantOuts = Vec<Vec<(u32, GrantRun)>>;
-        let (inboxes, outs): (Vec<Vec<ClaimRun>>, GrantOuts) = {
-            let arena = &mut self.arena;
-            (0..layout.count)
-                .map(|s| {
-                    (
-                        core::mem::take(&mut arena.claim_inboxes[s]),
-                        take_slot(&mut arena.grant_outs[s], recycle),
-                    )
-                })
-                .unzip()
-        };
-        let busy = inboxes.iter().filter(|i| !i.is_empty()).count();
-        let work: usize = inboxes
+        let BackupWorld {
+            peers,
+            grant_scratch,
+            arena,
+            exec,
+            ..
+        } = self;
+        let mut tasks: Vec<GrantTask<'_>> =
+            retype_empty(core::mem::take(&mut arena.grant_task_store));
+        for (s, scratch) in grant_scratch.iter_mut().take(layout.count).enumerate() {
+            tasks.push(GrantTask {
+                scratch,
+                inbox: core::mem::take(&mut arena.claim_inboxes[s]),
+                out: take_slot(&mut arena.grant_outs[s], recycle),
+            });
+        }
+        let busy = tasks.iter().filter(|t| !t.inbox.is_empty()).count();
+        let work: usize = tasks
             .iter()
-            .flat_map(|i| i.iter())
+            .flat_map(|t| t.inbox.iter())
             .map(|run| run.len as usize)
             .sum();
-        let policy = self.exec.narrowed(busy, work);
-        let peers = &self.peers;
-        let proposals = &self.arena.proposals;
-        let mut tasks: Vec<GrantTask<'_>> = self
-            .grant_scratch
-            .iter_mut()
-            .zip(inboxes)
-            .zip(outs)
-            .map(|((scratch, inbox), out)| GrantTask {
-                scratch,
-                inbox,
-                out,
-            })
-            .collect();
+        let policy = exec.narrowed(busy, work);
+        let peers: &[Peer] = peers;
+        let proposals = &arena.proposals;
         policy.dispatch(salt, &mut tasks, |shard, task| {
             let base = shard * layout.shard_size;
             let slots = layout.shard_size.min(peers.len().saturating_sub(base));
@@ -809,13 +832,12 @@ impl BackupWorld {
         // Route the grant runs to their owner shards (host shards
         // interleave, so each destination list needs one small sort
         // over runs — not ranks — to restore commit order).
-        let arena = &mut self.arena;
         let dest = if wave_b {
             &mut arena.grants_b
         } else {
             &mut arena.grant_inboxes
         };
-        for (s, task) in tasks.into_iter().enumerate() {
+        for (s, task) in tasks.drain(..).enumerate() {
             let GrantTask {
                 mut inbox, mut out, ..
             } = task;
@@ -826,6 +848,7 @@ impl BackupWorld {
             put_slot(&mut arena.claim_inboxes[s], inbox, recycle);
             put_slot(&mut arena.grant_outs[s], out, recycle);
         }
+        arena.grant_task_store = retype_empty(tasks);
         for list in dest.iter_mut() {
             list.sort_unstable_by_key(|g| (g.prop, g.start));
         }
@@ -883,18 +906,19 @@ impl BackupWorld {
             ..
         } = self;
         let cfg: &crate::config::SimConfig = cfg;
-        let lanes = build_work_lanes(layout, *record_events, peers, pendings, arena, false);
-        let mut tasks: Vec<CommitTask<'_>> = lanes
-            .into_iter()
-            .enumerate()
-            .map(|(s, lane)| CommitTask {
+        let mut lanes = build_work_lanes(layout, *record_events, peers, pendings, arena, false);
+        let mut tasks: Vec<CommitTask<'_>> =
+            retype_empty(core::mem::take(&mut arena.commit_task_store));
+        for (s, lane) in lanes.drain(..).enumerate() {
+            tasks.push(CommitTask {
                 lane,
                 props: core::mem::take(&mut arena.proposals[s]),
                 grants: core::mem::take(&mut arena.grant_inboxes[s]),
                 hosts: take_slot(&mut arena.hosts_bufs[s], recycle),
                 cands: core::mem::take(&mut arena.cand_pools[s]),
-            })
-            .collect();
+            });
+        }
+        arena.lane_store = retype_empty(lanes);
         policy.dispatch(round * 16 + 6, &mut tasks, |_, task| {
             let CommitTask {
                 lane,
@@ -919,7 +943,7 @@ impl BackupWorld {
             debug_assert_eq!(cursor, grants.len(), "grants without a proposal");
         });
         let mut delta = MetricsDelta::default();
-        for (s, task) in tasks.into_iter().enumerate() {
+        for (s, task) in tasks.drain(..).enumerate() {
             let CommitTask {
                 lane,
                 props,
@@ -934,6 +958,7 @@ impl BackupWorld {
             put_slot(&mut arena.hosts_bufs[s], hosts, recycle);
             arena.cand_pools[s] = cands;
         }
+        arena.commit_task_store = retype_empty(tasks);
         delta.apply(metrics);
     }
 
@@ -987,7 +1012,7 @@ fn build_work_lanes<'a>(
 ) -> Vec<WorkLane<'a>> {
     let sz = layout.shard_size;
     let recycle = arena.recycle;
-    let mut lanes = Vec::with_capacity(layout.count);
+    let mut lanes: Vec<WorkLane<'a>> = retype_empty(core::mem::take(&mut arena.lane_store));
     let mut peers_rest = peers;
     let mut pendings = pendings.iter_mut();
     for s in 0..layout.count {
@@ -1043,14 +1068,15 @@ fn merge_work_lanes(
     event_log: &mut Vec<WorldEvent>,
     metrics: &mut Metrics,
     arena: &mut RoundArena,
-    lanes: Vec<WorkLane<'_>>,
+    mut lanes: Vec<WorkLane<'_>>,
 ) {
     let recycle = arena.recycle;
     let mut delta = MetricsDelta::default();
-    for (s, lane) in lanes.into_iter().enumerate() {
+    for (s, lane) in lanes.drain(..).enumerate() {
         let inbox = merge_lane_core(event_log, &mut delta, arena, s, lane);
         put_slot(&mut arena.msg_inboxes[s], inbox, recycle);
     }
+    arena.lane_store = retype_empty(lanes);
     delta.apply(metrics);
 }
 

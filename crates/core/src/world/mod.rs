@@ -270,7 +270,8 @@ impl BackupWorld {
         let samplers = &self.samplers;
         let events_on = self.record_events;
         let arena = &mut self.arena;
-        let mut lanes: Vec<ShardLane> = Vec::with_capacity(layout.count);
+        let mut lanes: Vec<ShardLane> =
+            peerback_sim::arena::retype_empty(core::mem::take(&mut arena.shard_lane_store));
         {
             let mut peers_rest: &mut [Peer] = &mut self.peers;
             let mut pos_rest: &mut [u32] = &mut self.online_pos;
@@ -314,7 +315,7 @@ impl BackupWorld {
         // Merge the per-shard buffers in shard order (deterministic).
         let mut delta = MetricsDelta::default();
         let mut census_delta = [0i64; AgeCategory::COUNT];
-        for (s, mut lane) in lanes.into_iter().enumerate() {
+        for (s, mut lane) in lanes.drain(..).enumerate() {
             self.event_log.append(&mut lane.events);
             peerback_sim::arena::put_slot(&mut arena.event_bufs[s], lane.events, recycle);
             arena.outboxes[s] = lane.out;
@@ -324,6 +325,7 @@ impl BackupWorld {
                 census_delta[c] += d;
             }
         }
+        self.arena.shard_lane_store = peerback_sim::arena::retype_empty(lanes);
         self.arena.fire_bufs = fire_bufs;
         delta.apply(&mut self.metrics);
         for (c, &d) in census_delta.iter().enumerate() {
@@ -386,23 +388,16 @@ impl BackupWorld {
         // prefix-sum pass into the world's persistent buffer.
         self.compute_online_prefix();
         let actors = core::mem::take(&mut self.arena.actors);
-        struct ProposeTask<'a> {
-            rng: &'a mut SimRng,
-            actors: &'a [PeerId],
-            proposals: Vec<Proposal>,
-            cands: BufPool<crate::select::Candidate>,
-        }
-        let mut tasks: Vec<ProposeTask<'_>> = rngs
-            .iter_mut()
-            .zip(&actors)
-            .enumerate()
-            .map(|(s, (rng, ids))| ProposeTask {
+        let mut tasks: Vec<exec::ProposeTask<'_>> =
+            peerback_sim::arena::retype_empty(core::mem::take(&mut self.arena.propose_task_store));
+        for (s, (rng, ids)) in rngs.iter_mut().zip(&actors).enumerate() {
+            tasks.push(exec::ProposeTask {
                 rng,
                 actors: ids,
                 proposals: core::mem::take(&mut self.arena.proposals[s]),
                 cands: core::mem::take(&mut self.arena.cand_pools[s]),
-            })
-            .collect();
+            });
+        }
         {
             let world: &BackupWorld = self;
             let busy = actors.iter().filter(|a| !a.is_empty()).count();
@@ -426,10 +421,11 @@ impl BackupWorld {
                 },
             );
         }
-        for (s, task) in tasks.into_iter().enumerate() {
+        for (s, task) in tasks.drain(..).enumerate() {
             self.arena.proposals[s] = task.proposals;
             self.arena.cand_pools[s] = task.cands;
         }
+        self.arena.propose_task_store = peerback_sim::arena::retype_empty(tasks);
         let mut actors = actors;
         for a in &mut actors {
             a.clear();

@@ -62,18 +62,27 @@ impl WorkLane<'_> {
             let cat = self.peer(owner).category_at(round);
             self.delta.losses[cat.index()] += 1;
         }
-        let (partners, stale) = {
+        let (fresh, total) = {
             let peer = self.peer_mut(owner);
             peer.losses += 1;
             let archive = &mut peer.archives[aidx as usize];
             archive.joined = false;
             archive.repairing = false;
             (
-                core::mem::take(&mut archive.partners),
-                core::mem::take(&mut archive.stale_partners),
+                archive.partners.len(),
+                archive.partners.len() + archive.stale_partners.len(),
             )
         };
-        for host in partners.into_iter().chain(stale) {
+        // Indexed walk + `clear`, not `mem::take`: the re-join re-grows
+        // these vectors, and keeping their capacity keeps the loss path
+        // off the heap.
+        for i in 0..total {
+            let archive = &self.peer(owner).archives[aidx as usize];
+            let host = if i < fresh {
+                archive.partners[i]
+            } else {
+                archive.stale_partners[i - fresh]
+            };
             self.emit(WorldEvent::BlockDropped {
                 owner,
                 archive: aidx,
@@ -85,6 +94,11 @@ impl WorkLane<'_> {
                 aidx,
                 owner_observer: is_observer,
             });
+        }
+        {
+            let archive = &mut self.peer_mut(owner).archives[aidx as usize];
+            archive.partners.clear();
+            archive.stale_partners.clear();
         }
         // Re-backup from the local copy: start a fresh join.
         if self.peer(owner).online {

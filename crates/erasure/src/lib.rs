@@ -43,5 +43,5 @@ mod shard;
 
 pub use error::ErasureError;
 pub use matrix::Matrix;
-pub use rs::ReedSolomon;
+pub use rs::{DecodePlan, ReedSolomon};
 pub use shard::{Shard, ShardIndex, ShardSet};

@@ -1,5 +1,7 @@
 //! The systematic Reed–Solomon encoder/decoder.
 
+use std::sync::Arc;
+
 use peerback_gf256::{mul_add_slice, Gf256};
 
 use crate::{ErasureError, Matrix};
@@ -12,14 +14,21 @@ use crate::{ErasureError, Matrix};
 /// `k × k` block, so rows `0..k` form the identity (data shards pass
 /// through unchanged) and any `k` rows remain linearly independent.
 ///
-/// The type is cheap to clone and immutable after construction, so it can
-/// be shared freely between threads.
+/// The matrix and the flattened parity coefficient rows live behind an
+/// `Arc`, so cloning a codec is two reference-count bumps — cheap enough
+/// to hand one to every worker or pipeline instead of rebuilding the
+/// Vandermonde construction per code word. The type is immutable after
+/// construction and freely shareable between threads.
 #[derive(Debug, Clone)]
 pub struct ReedSolomon {
     data_shards: usize,
     parity_shards: usize,
     /// Full `n × k` encoding matrix (top block = identity).
-    encode_matrix: Matrix,
+    encode_matrix: Arc<Matrix>,
+    /// The parity rows of `encode_matrix` as raw bytes (`m × k`,
+    /// row-major) — the form the streaming encoder consumes without
+    /// per-call conversion.
+    parity_rows: Arc<[u8]>,
 }
 
 impl ReedSolomon {
@@ -43,10 +52,14 @@ impl ReedSolomon {
             .inverse()
             .expect("top Vandermonde block is always invertible");
         let encode_matrix = vandermonde.multiply(&top_inv);
+        let parity_rows: Arc<[u8]> = (data_shards..total)
+            .flat_map(|r| encode_matrix.row(r).iter().map(|g| g.value()))
+            .collect();
         Ok(ReedSolomon {
             data_shards,
             parity_shards,
-            encode_matrix,
+            encode_matrix: Arc::new(encode_matrix),
+            parity_rows,
         })
     }
 
@@ -103,15 +116,48 @@ impl ReedSolomon {
     /// [`ErasureError::WrongShardCount`] or
     /// [`ErasureError::ShardLengthMismatch`] on malformed input.
     pub fn encode(&self, data: &[impl AsRef<[u8]>]) -> Result<Vec<Vec<u8>>, ErasureError> {
+        let mut parity = vec![Vec::new(); self.parity_shards];
+        self.encode_into(data, &mut parity)?;
+        Ok(parity)
+    }
+
+    /// Streaming encode into caller-supplied parity buffers.
+    ///
+    /// Each buffer in `parity` (one per parity shard) is cleared and
+    /// resized to the shard length, reusing its existing capacity — a
+    /// steady-state caller recycling the same buffers allocates nothing.
+    /// The precomputed coefficient rows are applied *shard-major*: each
+    /// data shard is read exactly once and folded into every parity
+    /// buffer while it is hot in cache.
+    ///
+    /// # Errors
+    ///
+    /// [`ErasureError::WrongShardCount`] (for `data` or `parity` of the
+    /// wrong length) or [`ErasureError::ShardLengthMismatch`].
+    pub fn encode_into(
+        &self,
+        data: &[impl AsRef<[u8]>],
+        parity: &mut [Vec<u8>],
+    ) -> Result<(), ErasureError> {
         let len = self.check_data(data)?;
-        let mut parity = vec![vec![0u8; len]; self.parity_shards];
-        for (p, out) in parity.iter_mut().enumerate() {
-            let row = self.encode_matrix.row(self.data_shards + p);
-            for (c, shard) in data.iter().enumerate() {
-                mul_add_slice(out, shard.as_ref(), row[c].value());
+        if parity.len() != self.parity_shards {
+            return Err(ErasureError::WrongShardCount {
+                expected: self.parity_shards,
+                actual: parity.len(),
+            });
+        }
+        for out in parity.iter_mut() {
+            out.clear();
+            out.resize(len, 0);
+        }
+        let k = self.data_shards;
+        for (c, shard) in data.iter().enumerate() {
+            let src = shard.as_ref();
+            for (p, out) in parity.iter_mut().enumerate() {
+                mul_add_slice(out, src, self.parity_rows[p * k + c]);
             }
         }
-        Ok(parity)
+        Ok(())
     }
 
     /// Computes the single shard at `index` directly from the data shards
@@ -184,31 +230,101 @@ impl ReedSolomon {
         shards: &[(usize, impl AsRef<[u8]>)],
         shard_len: usize,
     ) -> Result<Vec<Vec<u8>>, ErasureError> {
-        self.validate_survivors(shards, shard_len)?;
-        let used = &shards[..self.data_shards];
-
-        // Fast path: if the k survivors happen to all be data shards we
-        // can copy them straight out without any matrix work.
-        if used.iter().all(|(i, _)| *i < self.data_shards) {
-            let mut data = vec![Vec::new(); self.data_shards];
-            for (index, shard) in used {
-                data[*index] = shard.as_ref().to_vec();
-            }
-            if data.iter().all(|d| !d.is_empty() || shard_len == 0) {
-                // All k distinct data shards present.
-                return Ok(data);
-            }
-        }
-
-        let rows: Vec<usize> = used.iter().map(|(i, _)| *i).collect();
-        let decode = self.encode_matrix.select_rows(&rows).inverse()?;
-        let mut data = vec![vec![0u8; shard_len]; self.data_shards];
-        for (r, out) in data.iter_mut().enumerate() {
-            for (c, (_, shard)) in used.iter().enumerate() {
-                mul_add_slice(out, shard.as_ref(), decode.get(r, c).value());
-            }
-        }
+        let mut data = Vec::new();
+        self.reconstruct_data_into(shards, shard_len, &mut data)?;
         Ok(data)
+    }
+
+    /// Streaming reconstruction into caller-supplied buffers (the reuse
+    /// counterpart of [`reconstruct_data`](Self::reconstruct_data), as
+    /// [`encode_into`](Self::encode_into) is to [`encode`](Self::encode)).
+    ///
+    /// `out` is resized to `k` buffers of `shard_len` bytes, reusing
+    /// capacity. Equivalent to building a [`DecodePlan`] for these
+    /// survivors and applying it once; callers decoding the same
+    /// survivor set repeatedly should build the plan themselves and
+    /// amortise the matrix inversion.
+    ///
+    /// # Errors
+    ///
+    /// As [`reconstruct_data`](Self::reconstruct_data).
+    pub fn reconstruct_data_into(
+        &self,
+        shards: &[(usize, impl AsRef<[u8]>)],
+        shard_len: usize,
+        out: &mut Vec<Vec<u8>>,
+    ) -> Result<(), ErasureError> {
+        self.validate_survivors(shards, shard_len)?;
+        let plan = self.decode_plan_validated(shards)?;
+        plan.apply(shards, shard_len, out);
+        Ok(())
+    }
+
+    /// Builds a reusable decode plan for a survivor set, given as the
+    /// shard indices that will be supplied (in the same order). The
+    /// plan's matrix inversion happens once here; applying the plan is
+    /// pure streaming coefficient work.
+    ///
+    /// # Errors
+    ///
+    /// As [`reconstruct_data`](Self::reconstruct_data) (not-enough /
+    /// out-of-range / duplicate indices, a singular decode matrix).
+    pub fn decode_plan(&self, survivors: &[usize]) -> Result<DecodePlan, ErasureError> {
+        if survivors.len() < self.data_shards {
+            return Err(ErasureError::NotEnoughShards {
+                available: survivors.len(),
+                needed: self.data_shards,
+            });
+        }
+        let mut seen = [false; 256];
+        for &index in survivors {
+            if index >= self.total_shards() {
+                return Err(ErasureError::IndexOutOfRange {
+                    index,
+                    total: self.total_shards(),
+                });
+            }
+            if seen[index] {
+                return Err(ErasureError::DuplicateIndex { index });
+            }
+            seen[index] = true;
+        }
+        self.build_plan(&survivors[..self.data_shards])
+    }
+
+    /// Plan construction for already-validated survivors.
+    fn decode_plan_validated(
+        &self,
+        shards: &[(usize, impl AsRef<[u8]>)],
+    ) -> Result<DecodePlan, ErasureError> {
+        let sources: Vec<usize> = shards[..self.data_shards].iter().map(|(i, _)| *i).collect();
+        self.build_plan(&sources)
+    }
+
+    fn build_plan(&self, sources: &[usize]) -> Result<DecodePlan, ErasureError> {
+        let k = self.data_shards;
+        // Fast path: the k survivors are all data shards (necessarily a
+        // permutation of 0..k once validated distinct) — reconstruction
+        // is a reordered copy, no matrix work at all.
+        if sources.iter().all(|&i| i < k) {
+            return Ok(DecodePlan {
+                data_shards: k,
+                sources: sources.to_vec(),
+                rows: Vec::new(),
+                passthrough: true,
+            });
+        }
+        let decode = self.encode_matrix.select_rows(sources).inverse()?;
+        let mut rows = Vec::with_capacity(k * k);
+        for r in 0..k {
+            rows.extend(decode.row(r).iter().map(|g| g.value()));
+        }
+        Ok(DecodePlan {
+            data_shards: k,
+            sources: sources.to_vec(),
+            rows,
+            passthrough: false,
+        })
     }
 
     /// Regenerates the shards at `wanted` indices from any `k` survivors:
@@ -256,6 +372,104 @@ impl ReedSolomon {
             .iter()
             .zip(&shards[self.data_shards..])
             .all(|(computed, given)| computed.as_slice() == given.as_ref()))
+    }
+}
+
+/// A precomputed reconstruction: the inverse of the survivor-row matrix
+/// for one fixed survivor set, flattened to raw coefficient bytes.
+///
+/// Built once by [`ReedSolomon::decode_plan`] (or internally per call by
+/// [`ReedSolomon::reconstruct_data_into`]); applying it is pure
+/// shard-major streaming over the supplied shards — no matrix algebra,
+/// no temporaries, and with recycled output buffers no allocation.
+#[derive(Debug, Clone)]
+pub struct DecodePlan {
+    data_shards: usize,
+    /// The `k` shard indices this plan consumes, in supply order.
+    sources: Vec<usize>,
+    /// `k × k` row-major decode coefficients; empty when `passthrough`.
+    rows: Vec<u8>,
+    /// All sources are data shards: reconstruction is a reordered copy.
+    passthrough: bool,
+}
+
+impl DecodePlan {
+    /// The shard indices this plan consumes, in the order the shards
+    /// must be supplied to [`reconstruct_into`](Self::reconstruct_into).
+    pub fn sources(&self) -> &[usize] {
+        &self.sources
+    }
+
+    /// Whether the plan is a pure copy (all sources are data shards).
+    pub fn is_passthrough(&self) -> bool {
+        self.passthrough
+    }
+
+    /// Reconstructs the `k` data shards into `out`, resizing it to `k`
+    /// buffers of `shard_len` bytes (capacity is reused).
+    ///
+    /// # Errors
+    ///
+    /// [`ErasureError::ShardLengthMismatch`] if a consumed shard is not
+    /// `shard_len` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the first `k` entries of `shards` do not carry exactly
+    /// the indices the plan was built for, in the same order — a plan is
+    /// only valid for its own survivor set.
+    pub fn reconstruct_into(
+        &self,
+        shards: &[(usize, impl AsRef<[u8]>)],
+        shard_len: usize,
+        out: &mut Vec<Vec<u8>>,
+    ) -> Result<(), ErasureError> {
+        let k = self.data_shards;
+        assert!(
+            shards.len() >= k
+                && shards[..k]
+                    .iter()
+                    .map(|(i, _)| *i)
+                    .eq(self.sources.iter().copied()),
+            "decode plan applied to a different survivor set than it was built for"
+        );
+        if shards[..k]
+            .iter()
+            .any(|(_, s)| s.as_ref().len() != shard_len)
+        {
+            return Err(ErasureError::ShardLengthMismatch);
+        }
+        self.apply(shards, shard_len, out);
+        Ok(())
+    }
+
+    /// The streaming core; inputs are already validated.
+    fn apply(
+        &self,
+        shards: &[(usize, impl AsRef<[u8]>)],
+        shard_len: usize,
+        out: &mut Vec<Vec<u8>>,
+    ) {
+        let k = self.data_shards;
+        out.resize_with(k, Vec::new);
+        out.truncate(k);
+        if self.passthrough {
+            for (&source, (_, shard)) in self.sources.iter().zip(shards) {
+                out[source].clear();
+                out[source].extend_from_slice(shard.as_ref());
+            }
+            return;
+        }
+        for buf in out.iter_mut() {
+            buf.clear();
+            buf.resize(shard_len, 0);
+        }
+        for (c, (_, shard)) in shards[..k].iter().enumerate() {
+            let src = shard.as_ref();
+            for (r, buf) in out.iter_mut().enumerate() {
+                mul_add_slice(buf, src, self.rows[r * k + c]);
+            }
+        }
     }
 }
 
@@ -474,6 +688,119 @@ mod tests {
         let survivors: Vec<(usize, Vec<u8>)> = vec![(2, vec![]), (3, vec![])];
         let out = rs.reconstruct_data(&survivors, 0).unwrap();
         assert_eq!(out, data);
+    }
+
+    #[test]
+    fn encode_into_reuses_buffers_and_matches_encode() {
+        let rs = ReedSolomon::new(4, 3).unwrap();
+        let data = sample_data(4, 40);
+        let fresh = rs.encode(&data).unwrap();
+
+        // Recycled buffers with stale contents and excess capacity.
+        let mut parity: Vec<Vec<u8>> = (0..3).map(|_| vec![0xAAu8; 100]).collect();
+        let caps: Vec<usize> = parity.iter().map(Vec::capacity).collect();
+        rs.encode_into(&data, &mut parity).unwrap();
+        assert_eq!(parity, fresh);
+        for (p, cap) in parity.iter().zip(caps) {
+            assert_eq!(p.capacity(), cap, "capacity must be reused");
+        }
+
+        // Wrong parity buffer count is rejected.
+        let mut short = vec![Vec::new(); 2];
+        assert!(matches!(
+            rs.encode_into(&data, &mut short),
+            Err(ErasureError::WrongShardCount {
+                expected: 3,
+                actual: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn decode_plan_reconstructs_and_is_reusable() {
+        let rs = ReedSolomon::new(4, 4).unwrap();
+        let data = sample_data(4, 24);
+        let parity = rs.encode(&data).unwrap();
+        let mut all = data.clone();
+        all.extend(parity);
+
+        // A mixed survivor set, deliberately out of order.
+        let survivors: Vec<(usize, Vec<u8>)> = [6usize, 0, 5, 3]
+            .iter()
+            .map(|&i| (i, all[i].clone()))
+            .collect();
+        let indices: Vec<usize> = survivors.iter().map(|(i, _)| *i).collect();
+        let plan = rs.decode_plan(&indices).unwrap();
+        assert!(!plan.is_passthrough());
+        assert_eq!(plan.sources(), &indices[..]);
+
+        let mut out = vec![vec![0xEEu8; 3]; 7]; // wrong shape: gets normalised
+        plan.reconstruct_into(&survivors, 24, &mut out).unwrap();
+        assert_eq!(out, data);
+
+        // Reuse the plan on different bytes with the same survivor set.
+        let data2 = sample_data(4, 24)
+            .into_iter()
+            .map(|mut s| {
+                for b in &mut s {
+                    *b ^= 0x5f;
+                }
+                s
+            })
+            .collect::<Vec<_>>();
+        let parity2 = rs.encode(&data2).unwrap();
+        let mut all2 = data2.clone();
+        all2.extend(parity2);
+        let survivors2: Vec<(usize, Vec<u8>)> = [6usize, 0, 5, 3]
+            .iter()
+            .map(|&i| (i, all2[i].clone()))
+            .collect();
+        plan.reconstruct_into(&survivors2, 24, &mut out).unwrap();
+        assert_eq!(out, data2);
+    }
+
+    #[test]
+    fn decode_plan_passthrough_for_all_data_survivors() {
+        let rs = ReedSolomon::new(3, 2).unwrap();
+        let data = sample_data(3, 9);
+        let survivors: Vec<(usize, Vec<u8>)> = [2usize, 0, 1]
+            .iter()
+            .map(|&i| (i, data[i].clone()))
+            .collect();
+        let plan = rs.decode_plan(&[2, 0, 1]).unwrap();
+        assert!(plan.is_passthrough());
+        let mut out = Vec::new();
+        plan.reconstruct_into(&survivors, 9, &mut out).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    #[should_panic(expected = "different survivor set")]
+    fn decode_plan_rejects_other_survivors() {
+        let rs = ReedSolomon::new(2, 2).unwrap();
+        let plan = rs.decode_plan(&[0, 2]).unwrap();
+        let wrong: Vec<(usize, Vec<u8>)> = vec![(0, vec![0; 4]), (3, vec![0; 4])];
+        let _ = plan.reconstruct_into(&wrong, 4, &mut Vec::new());
+    }
+
+    #[test]
+    fn decode_plan_validation_errors() {
+        let rs = ReedSolomon::new(3, 2).unwrap();
+        assert!(matches!(
+            rs.decode_plan(&[0, 1]),
+            Err(ErasureError::NotEnoughShards {
+                available: 2,
+                needed: 3
+            })
+        ));
+        assert!(matches!(
+            rs.decode_plan(&[0, 1, 9]),
+            Err(ErasureError::IndexOutOfRange { index: 9, total: 5 })
+        ));
+        assert!(matches!(
+            rs.decode_plan(&[0, 1, 1]),
+            Err(ErasureError::DuplicateIndex { index: 1 })
+        ));
     }
 
     #[test]

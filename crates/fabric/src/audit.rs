@@ -93,6 +93,12 @@ impl PlaneLane {
                 if !world.archive_joined(slot, aidx) {
                     continue;
                 }
+                // Sampled mode: decode only the seeded subset of cells
+                // this round (a pure function of (round, owner,
+                // archive) — the same subset at any worker count).
+                if !shared.audit_sampled(round, slot, aidx) {
+                    continue;
+                }
                 self.audit_archive(shared, world, round, slot, aidx);
             }
         }
@@ -142,7 +148,8 @@ impl PlaneLane {
         let predicted = world.archive_online_present(owner, archive) >= k;
         let blocks = self.surviving_blocks(world, owner, archive, true);
         let intact = blocks.len() as u32;
-        let restorable = intact >= k && self.try_restore(owner, archive, &blocks);
+        let restorable = intact >= k && self.try_restore(shared, owner, archive, &blocks);
+        self.release_blocks(blocks);
 
         match (predicted, restorable) {
             (true, true) | (false, false) => {

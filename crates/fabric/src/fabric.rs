@@ -52,6 +52,7 @@ use peerback_core::{
 };
 use peerback_erasure::ReedSolomon;
 use peerback_net::LinkModel;
+use peerback_sim::arena::BufPool;
 use peerback_sim::{derive_seed, sim_rng, Engine, Round, SimRng, World};
 use rand::{Rng, RngCore, SeedableRng};
 
@@ -65,6 +66,8 @@ use crate::store::{BlockStore, IngestError};
 const FAULT_STREAM: u64 = 0xFA_B51C;
 /// Sub-seed stream id for archive content.
 const CONTENT_STREAM: u64 = 0xC0_47E7;
+/// Sub-seed stream id for the sampled auditor's coverage hash.
+const AUDIT_STREAM: u64 = 0xA0_D175;
 
 /// Retries per placement before the fabric gives up on it (the
 /// simulator's churn/repair machinery takes over from there).
@@ -84,6 +87,16 @@ pub struct FabricConfig {
     pub payload_bytes: usize,
     /// Rounds between restorability audits (1 = every round).
     pub audit_interval: u64,
+    /// Sampled-audit divisor: each audit pass decodes roughly one in
+    /// `audit_sample_period` joined archives (1 = full scan). Sampling
+    /// is a seeded pure function of `(round, owner, archive)`, so the
+    /// covered subset is identical at every worker and shard count.
+    pub audit_sample_period: u64,
+    /// Rounds between at-rest scrubbing sweeps (0 = never scrub). A
+    /// sweep checksums every stored frame, drops rotten ones and
+    /// re-ships them through the retry machinery — catching bitrot
+    /// before the auditor has to count it as a loss.
+    pub scrub_interval: u64,
 }
 
 impl Default for FabricConfig {
@@ -93,6 +106,8 @@ impl Default for FabricConfig {
             link: LinkModel::DSL_MODERN,
             payload_bytes: 256,
             audit_interval: 1,
+            audit_sample_period: 1,
+            scrub_interval: 0,
         }
     }
 }
@@ -142,6 +157,15 @@ pub struct FabricStats {
     /// Scheduled retries dropped because the placement vanished, the
     /// block arrived another way, or the attempt budget ran out.
     pub retries_abandoned: u64,
+    /// At-rest blocks checksummed by scrubbing sweeps.
+    pub scrub_checked: u64,
+    /// Rotten blocks a sweep caught (dropped and queued for re-ship).
+    pub scrub_detected: u64,
+    /// Scrub-originated re-ships that landed an intact replacement.
+    pub scrub_repaired: u64,
+    /// Scrub repairs that became moot before shipping: churn removed
+    /// the placement, or a fresh block already arrived.
+    pub scrub_obsolete: u64,
 }
 
 impl FabricStats {
@@ -167,6 +191,18 @@ impl FabricStats {
         self.transfers_retried += other.transfers_retried;
         self.retry_deliveries += other.retry_deliveries;
         self.retries_abandoned += other.retries_abandoned;
+        self.scrub_checked += other.scrub_checked;
+        self.scrub_detected += other.scrub_detected;
+        self.scrub_repaired += other.scrub_repaired;
+        self.scrub_obsolete += other.scrub_obsolete;
+    }
+
+    /// Scrub detections neither repaired nor rendered moot by the end
+    /// of the run — corruption the fabric knew about and left standing.
+    /// Zero on a run that finished its repair backlog.
+    pub fn scrub_unrepaired(&self) -> u64 {
+        self.scrub_detected
+            .saturating_sub(self.scrub_repaired + self.scrub_obsolete)
     }
 }
 
@@ -204,6 +240,39 @@ pub(crate) struct PlaneShared {
     pub(crate) faults_enabled: bool,
     faults: FaultPlane,
     master_seed: u64,
+    /// The run's one codec: every encode and decode of the geometry
+    /// shares it (a clone is two `Arc` bumps, no matrix rebuild).
+    codec: ReedSolomon,
+    /// Sampled-audit divisor (1 = full scan).
+    audit_sample_period: u64,
+    /// Seed of the audit coverage hash, derived once from the master
+    /// seed.
+    audit_seed: u64,
+    /// Rounds between scrubbing sweeps (0 = off). A final-round sweep
+    /// still pays off: its re-ships complete in the end-of-run retry
+    /// drain.
+    scrub_interval: u64,
+}
+
+impl PlaneShared {
+    /// Whether the sampled auditor covers `(owner, archive)` at
+    /// `round`. A pure function of the cell and the audit seed —
+    /// independent of lane partition and worker count.
+    pub(crate) fn audit_sampled(&self, round: u64, owner: PeerId, archive: u8) -> bool {
+        if self.audit_sample_period <= 1 {
+            return true;
+        }
+        let cell = derive_seed(
+            derive_seed(self.audit_seed, round),
+            ((owner as u64) << 8) | archive as u64,
+        );
+        cell.is_multiple_of(self.audit_sample_period)
+    }
+
+    /// Whether a scrubbing sweep runs at `round`.
+    fn scrub_due(&self, round: u64) -> bool {
+        self.scrub_interval > 0 && round.is_multiple_of(self.scrub_interval)
+    }
 }
 
 /// One shard transfer to execute: which block, to whom, which slot of
@@ -216,6 +285,9 @@ struct ShipJob {
     slot: usize,
     /// 0 for the original transfer; retries count up.
     attempt: u32,
+    /// True when a scrubbing sweep originated the transfer (a delivery
+    /// then counts as a scrub repair).
+    scrub: bool,
 }
 
 /// A damaged placement waiting for its re-ship round.
@@ -226,8 +298,12 @@ struct Retry {
     owner: PeerId,
     archive: u8,
     host: PeerId,
-    /// 1-based retry attempt (the original transfer was attempt 0).
+    /// 1-based retry attempt (the original transfer was attempt 0) —
+    /// except scrub repairs, which enter the queue at attempt 0 (the
+    /// re-ship is a fresh transfer, not a retry of a failed one).
     attempt: u32,
+    /// Scrub-repair provenance, carried across backoff re-enqueues.
+    scrub: bool,
 }
 
 /// One logical shard's slice of the data plane: the block stores,
@@ -257,6 +333,17 @@ pub(crate) struct PlaneLane {
     /// This round's events whose owner lives in this lane (plus every
     /// departure). Drained-and-reused every round.
     inbox: Vec<WorldEvent>,
+    /// Arena feeding the shard buffers of [`PlaneLane::surviving_blocks`]
+    /// — decode inputs reuse yesterday's capacity instead of cloning
+    /// into fresh vectors.
+    block_arena: BufPool<u8>,
+    /// Recycled spine of the `(shard_index, bytes)` survivor list.
+    blocks_scratch: Vec<(usize, Vec<u8>)>,
+    /// Recycled data-shard output buffers for restore decodes.
+    data_scratch: Vec<Vec<u8>>,
+    /// Recycled `(host, owner, archive)` list of rotten blocks found by
+    /// a scrubbing sweep.
+    scrub_scratch: Vec<(PeerId, PeerId, u8)>,
 }
 
 impl PlaneLane {
@@ -275,6 +362,10 @@ impl PlaneLane {
             retries: Vec::new(),
             due_scratch: Vec::new(),
             inbox: Vec::new(),
+            block_arena: BufPool::new(),
+            blocks_scratch: Vec::new(),
+            data_scratch: Vec::new(),
+            scrub_scratch: Vec::new(),
         }
     }
 
@@ -290,34 +381,53 @@ impl PlaneLane {
     /// Gathers the archive's stored blocks as `(shard_index, bytes)`
     /// pairs, skipping non-intact (rotten) ones. `online_only`
     /// restricts to hosts currently online per the simulator.
+    ///
+    /// The spine and the per-shard byte buffers come from recycled
+    /// lane arenas; hand the list back with
+    /// [`PlaneLane::release_blocks`] when done.
     pub(crate) fn surviving_blocks(
-        &self,
+        &mut self,
         world: &BackupWorld,
         owner: PeerId,
         archive: u8,
         online_only: bool,
     ) -> Vec<(usize, Vec<u8>)> {
+        let mut blocks = core::mem::take(&mut self.blocks_scratch);
+        debug_assert!(blocks.is_empty(), "survivor scratch returned dirty");
         let Some(oa) = self.owners.get(&(owner, archive)) else {
-            return Vec::new();
+            return blocks;
         };
-        let mut blocks = Vec::new();
         for (_, host) in oa.hosts() {
             if online_only && !world.peer_online(host) {
                 continue;
             }
             if let Some(b) = self.store.block(host, owner, archive) {
                 if b.intact() {
-                    blocks.push((b.shard_index as usize, b.bytes.clone()));
+                    let mut buf = self.block_arena.take();
+                    buf.extend_from_slice(&b.bytes);
+                    blocks.push((b.shard_index as usize, buf));
                 }
             }
         }
         blocks
     }
 
+    /// Returns a survivor list from [`PlaneLane::surviving_blocks`] to
+    /// the lane arenas.
+    pub(crate) fn release_blocks(&mut self, mut blocks: Vec<(usize, Vec<u8>)>) {
+        for (_, buf) in blocks.drain(..) {
+            self.block_arena.put(buf);
+        }
+        self.blocks_scratch = blocks;
+    }
+
     /// Attempts a real restore of `(owner, archive)` from the given
     /// blocks; returns whether the decoded bytes reproduce the archive.
+    /// Decodes through the run's shared codec into recycled data-shard
+    /// scratch — no per-decode matrix rebuild, no fresh output buffers.
     pub(crate) fn try_restore(
         &mut self,
+        shared: &PlaneShared,
         owner: PeerId,
         archive: u8,
         blocks: &[(usize, Vec<u8>)],
@@ -326,14 +436,18 @@ impl PlaneLane {
             return false;
         };
         self.audit.decode_attempts += 1;
+        let mut data = core::mem::take(&mut self.data_scratch);
         let restore = RestorePipeline::new(XorKeystream::new(oa.codeword.cipher_key));
-        match restore.restore(&oa.codeword.descriptor, blocks) {
-            Ok(decoded) if decoded == oa.codeword.archive => {
-                self.audit.decode_successes += 1;
-                true
-            }
-            Ok(_) | Err(_) => false,
+        let ok =
+            match restore.restore_with(&shared.codec, &oa.codeword.descriptor, blocks, &mut data) {
+                Ok(decoded) if decoded == oa.codeword.archive => true,
+                Ok(_) | Err(_) => false,
+            };
+        self.data_scratch = data;
+        if ok {
+            self.audit.decode_successes += 1;
         }
+        ok
     }
 
     pub(crate) fn note(&mut self, message: String) {
@@ -353,6 +467,7 @@ impl PlaneLane {
         let epoch = self.epochs.get(&owner).copied().unwrap_or(0);
         let (k, m, payload_bytes, master_seed) =
             (shared.k, shared.m, shared.payload_bytes, shared.master_seed);
+        let codec = shared.codec.clone();
         self.owners.entry((owner, archive)).or_insert_with(|| {
             let slot_seed = derive_seed(master_seed, CONTENT_STREAM ^ owner as u64);
             let content_seed = derive_seed(slot_seed, ((epoch as u64) << 8) | archive as u64);
@@ -368,8 +483,8 @@ impl PlaneLane {
                     data: Bytes::from(payload),
                 }],
             );
-            let rs = ReedSolomon::new(k, m).expect("geometry validated in Fabric::new");
-            let pipeline = BackupPipeline::new(rs, XorKeystream::new(content_seed), content_seed);
+            let pipeline =
+                BackupPipeline::new(codec, XorKeystream::new(content_seed), content_seed);
             let placeholder_partners: Vec<u64> = (0..(k + m) as u64).collect();
             let plan = pipeline
                 .backup(&arch, &placeholder_partners)
@@ -397,6 +512,7 @@ impl PlaneLane {
             host,
             slot,
             attempt,
+            scrub,
         } = job;
         let payload = {
             let oa = self.owners.get(&(owner, archive)).expect("slot mirrored");
@@ -424,6 +540,9 @@ impl PlaneLane {
             Ok(()) => {
                 if attempt > 0 {
                     self.stats.retry_deliveries += 1;
+                }
+                if scrub {
+                    self.stats.scrub_repaired += 1;
                 }
                 self.stats.transfers_delivered += 1;
                 if let Some(block) = self.store.block_mut(host, owner, archive) {
@@ -455,6 +574,7 @@ impl PlaneLane {
                             archive,
                             host,
                             attempt: a,
+                            scrub,
                         });
                     } else {
                         self.stats.retries_abandoned += 1;
@@ -511,6 +631,7 @@ impl PlaneLane {
             host,
             slot,
             attempt: 0,
+            scrub: false,
         };
         self.ship_slot(shared, world, job, round);
     }
@@ -541,12 +662,22 @@ impl PlaneLane {
                 .get(&(r.owner, r.archive))
                 .and_then(|oa| oa.slots.iter().position(|&s| s == Some(r.host)));
             let Some(slot) = placement_live else {
-                self.stats.retries_abandoned += 1;
-                continue; // dropped/displaced since the failure
+                // Dropped/displaced since the failure (or the scrub).
+                if r.scrub {
+                    self.stats.scrub_obsolete += 1;
+                } else {
+                    self.stats.retries_abandoned += 1;
+                }
+                continue;
             };
             if self.store.block(r.host, r.owner, r.archive).is_some() {
-                self.stats.retries_abandoned += 1;
-                continue; // a fresh placement already delivered bytes
+                // A fresh placement already delivered bytes.
+                if r.scrub {
+                    self.stats.scrub_obsolete += 1;
+                } else {
+                    self.stats.retries_abandoned += 1;
+                }
+                continue;
             }
             let job = ShipJob {
                 owner: r.owner,
@@ -554,6 +685,7 @@ impl PlaneLane {
                 host: r.host,
                 slot,
                 attempt: r.attempt,
+                scrub: r.scrub,
             };
             self.ship_slot(shared, world, job, round);
         }
@@ -589,7 +721,9 @@ impl PlaneLane {
         let blocks = self.surviving_blocks(world, owner, archive, false);
         let shard_bytes: usize = blocks.iter().take(shared.k).map(|(_, b)| b.len()).sum();
         self.stats.download_secs += shared.link.download_secs(shard_bytes as f64);
-        if self.try_restore(owner, archive, &blocks) {
+        let restored = self.try_restore(shared, owner, archive, &blocks);
+        self.release_blocks(blocks);
+        if restored {
             self.stats.repair_decodes += 1;
         } else {
             // Fewer than k intact shards survive (possible only under
@@ -617,7 +751,9 @@ impl PlaneLane {
         // time (the event fires before the survivors are dropped).
         let blocks = self.surviving_blocks(world, owner, archive, false);
         let intact = blocks.len() as u32;
-        if self.try_restore(owner, archive, &blocks) {
+        let restored = self.try_restore(shared, owner, archive, &blocks);
+        self.release_blocks(blocks);
+        if restored {
             self.note(format!(
                 "simulator lost {owner}/{archive} but bytes decoded from {intact} shards"
             ));
@@ -672,9 +808,35 @@ impl PlaneLane {
         *self.epochs.entry(peer).or_insert(0) += 1;
     }
 
+    /// Scrubbing sweep: checksum every at-rest block in this lane's
+    /// store, drop the rotten ones and schedule their re-ship through
+    /// the retry machinery (due next round, attributed to scrubbing).
+    /// The placement mirror stays — the simulator still believes the
+    /// block is placed, and the repair restores that belief's bytes.
+    fn scrub_sweep(&mut self, round: u64) {
+        let mut rotten = core::mem::take(&mut self.scrub_scratch);
+        debug_assert!(rotten.is_empty(), "scrub scratch returned dirty");
+        self.stats.scrub_checked += self.store.collect_rotten(&mut rotten) as u64;
+        for &(host, owner, archive) in &rotten {
+            self.store.drop_block(host, owner, archive);
+            self.stats.scrub_detected += 1;
+            self.retries.push(Retry {
+                due: round + 1,
+                owner,
+                archive,
+                host,
+                attempt: 0,
+                scrub: true,
+            });
+        }
+        rotten.clear();
+        self.scrub_scratch = rotten;
+    }
+
     /// Replays this lane's slice of one round: due retries first, then
-    /// the event subsequence in stream order. The inbox buffer is
-    /// cleared and reused round over round.
+    /// the event subsequence in stream order, then (when due) the
+    /// scrubbing sweep over everything the round left at rest. The
+    /// inbox buffer is cleared and reused round over round.
     fn run_round(&mut self, shared: &PlaneShared, world: &BackupWorld, round: u64) {
         self.process_due_retries(shared, world, round);
         let mut inbox = core::mem::take(&mut self.inbox);
@@ -721,6 +883,9 @@ impl PlaneLane {
         }
         inbox.clear();
         self.inbox = inbox;
+        if shared.scrub_due(round) {
+            self.scrub_sweep(round);
+        }
     }
 }
 
@@ -784,7 +949,10 @@ impl Fabric {
         if fabric_cfg.audit_interval == 0 {
             return Err("audit interval must be at least one round".into());
         }
-        ReedSolomon::new(cfg.k as usize, cfg.m as usize)
+        if fabric_cfg.audit_sample_period == 0 {
+            return Err("audit sample period must be at least one (1 = full scan)".into());
+        }
+        let codec = ReedSolomon::new(cfg.k as usize, cfg.m as usize)
             .map_err(|e| format!("erasure geometry k={} m={}: {e}", cfg.k, cfg.m))?;
         let seed = cfg.seed;
         let rounds = cfg.rounds;
@@ -798,6 +966,10 @@ impl Fabric {
             faults_enabled: fabric_cfg.faults.any_enabled(),
             faults: FaultPlane::new(fabric_cfg.faults),
             master_seed: seed,
+            codec,
+            audit_sample_period: fabric_cfg.audit_sample_period,
+            audit_seed: derive_seed(seed, AUDIT_STREAM),
+            scrub_interval: fabric_cfg.scrub_interval,
         };
         let lanes = (0..world.logical_shards())
             .map(|i| PlaneLane::new(i, seed))
@@ -856,7 +1028,36 @@ impl Fabric {
         let rounds = self.rounds;
         let mut engine = Engine::new(seed);
         engine.run(&mut self, rounds);
+        self.drain_retries();
         self.finish()
+    }
+
+    /// Overtime: re-ships still pending when the last round ends (their
+    /// backoff pushed them past it) run against the frozen world until
+    /// the queue drains. Every scheduled repair therefore resolves —
+    /// delivered, obsolete, or abandoned after the attempt cap — before
+    /// the report is cut; a scrub detection the machinery never repairs
+    /// is a real failure, not run truncation. Terminates because each
+    /// pass consumes the earliest due batch and the attempt cap bounds
+    /// requeues. Inline and in lane order, so the result is identical
+    /// at any worker count.
+    fn drain_retries(&mut self) {
+        loop {
+            let next_due = self
+                .plane
+                .lanes
+                .iter()
+                .flat_map(|l| l.retries.iter().map(|x| x.due))
+                .min();
+            let Some(due) = next_due else { break };
+            let r = due.max(self.rounds);
+            let world = &self.world;
+            let shared = &self.plane.shared;
+            for lane in &mut self.plane.lanes {
+                lane.process_due_retries(shared, world, r);
+            }
+            self.plane.merge_round();
+        }
     }
 
     /// Finishes early (or after a manual drive) and returns the report.
@@ -924,7 +1125,8 @@ impl World for Fabric {
             .lanes
             .iter()
             .any(|l| l.retries.iter().any(|x| x.due <= r));
-        if queued == 0 && !audit_due && !retries_due {
+        let scrub_due = self.plane.shared.scrub_due(r);
+        if queued == 0 && !audit_due && !retries_due && !scrub_due {
             return;
         }
         let workers = if audit_due || queued >= PARALLEL_EVENT_MIN {

@@ -146,6 +146,23 @@ impl BlockStore {
             .and_then(|s| s.get_mut(&(owner, archive)))
     }
 
+    /// Scrubbing primitive: re-checksums every stored block, pushing
+    /// `(host, owner, archive)` of each rotten one onto `out` (in
+    /// deterministic `BTreeMap` order). Returns how many blocks were
+    /// checked.
+    pub fn collect_rotten(&self, out: &mut Vec<(PeerId, PeerId, u8)>) -> usize {
+        let mut checked = 0;
+        for (&host, shelf) in &self.hosts {
+            for (&(owner, archive), block) in shelf {
+                checked += 1;
+                if !block.intact() {
+                    out.push((host, owner, archive));
+                }
+            }
+        }
+        checked
+    }
+
     /// Drops everything `host` stores (slot recycled). Returns how many
     /// blocks vanished.
     pub fn clear_host(&mut self, host: PeerId) -> usize {

@@ -1,0 +1,59 @@
+//! Combined-mode reports must be bit-identical whatever GF(256)
+//! backend does the byte work.
+//!
+//! The SIMD kernels are drop-in replacements for the scalar field
+//! arithmetic, so a full fabric run — encode, transfer, fault
+//! injection, scrubbing, sampled audit, decode — has to produce the
+//! same report under every backend the host supports. This is the
+//! end-to-end half of the per-kernel equivalence proptests in
+//! `peerback-gf256`.
+
+use peerback_core::{MaintenancePolicy, SimConfig};
+use peerback_fabric::{run_fabric, FabricConfig, FabricReport, FaultProfile};
+use peerback_gf256::Backend;
+
+/// A run with everything engaged: faults, retries, scrubbing, sampled
+/// audit, and a sharded replay.
+fn run_once() -> FabricReport {
+    let mut cfg = SimConfig::paper(96, 120, 17);
+    cfg.k = 4;
+    cfg.m = 4;
+    cfg.quota = 24;
+    cfg.maintenance = MaintenancePolicy::Reactive { threshold: 5 };
+    cfg.shards = 2;
+    let fabric_cfg = FabricConfig {
+        faults: FaultProfile::uniform(0.06),
+        scrub_interval: 6,
+        audit_sample_period: 2,
+        ..FabricConfig::default()
+    };
+    run_fabric(cfg, fabric_cfg).expect("valid configs")
+}
+
+#[test]
+fn combined_mode_reports_are_identical_across_backends() {
+    let mut reference: Option<(Backend, FabricReport)> = None;
+    for backend in Backend::ALL {
+        if !backend.available() {
+            continue; // e.g. no AVX2 on this host
+        }
+        let prev = peerback_gf256::set_backend(backend);
+        let report = run_once();
+        peerback_gf256::set_backend(prev);
+        match &reference {
+            None => reference = Some((backend, report)),
+            Some((base, expect)) => {
+                let pair = format!("{} vs {}", base.name(), backend.name());
+                assert_eq!(expect.metrics, report.metrics, "metrics differ: {pair}");
+                assert_eq!(expect.stats, report.stats, "stats differ: {pair}");
+                assert_eq!(expect.audit, report.audit, "audit differs: {pair}");
+                assert_eq!(expect.losses, report.losses, "losses differ: {pair}");
+            }
+        }
+    }
+    let (_, report) = reference.expect("the scalar backend is always available");
+    // The comparison has to have covered real work.
+    assert!(report.stats.transfers_attempted > 100, "{:?}", report.stats);
+    assert!(report.stats.scrub_checked > 0, "{:?}", report.stats);
+    assert!(report.audit.decode_attempts > 0, "{:?}", report.audit);
+}

@@ -24,10 +24,12 @@
 
 mod field;
 mod poly;
+pub mod simd;
 mod slice;
 mod tables;
 
 pub use field::Gf256;
 pub use poly::Poly;
+pub use simd::{active_backend, set_backend, Backend, BACKEND_ENV};
 pub use slice::{add_assign_slice, mul_add_slice, mul_slice, mul_slice_in_place};
 pub use tables::{EXP_TABLE, LOG_TABLE, PRIMITIVE_POLY};

@@ -2,10 +2,13 @@
 //!
 //! Encoding a shard is a sequence of `dst ^= src * c` operations over whole
 //! blocks; routing them through per-element `Gf256` operators would pay the
-//! zero checks on every byte. These kernels hoist the constant's log out of
-//! the loop, which is the standard table-driven formulation and what the
-//! `rs_codec` Criterion bench measures.
+//! zero checks on every byte. The scalar kernels here hoist the constant's
+//! log out of the loop — the standard table-driven formulation — and the
+//! public entry points dispatch to the SIMD backend selected at runtime
+//! (see [`crate::simd`]); every backend produces byte-identical output, so
+//! callers never observe which one ran.
 
+use crate::simd::active_backend;
 use crate::tables::{EXP_TABLE, LOG_TABLE};
 
 /// `dst[i] ^= src[i]` for all `i`.
@@ -15,10 +18,7 @@ use crate::tables::{EXP_TABLE, LOG_TABLE};
 /// Panics if the slices have different lengths.
 #[inline]
 pub fn add_assign_slice(dst: &mut [u8], src: &[u8]) {
-    assert_eq!(dst.len(), src.len(), "slice length mismatch");
-    for (d, s) in dst.iter_mut().zip(src) {
-        *d ^= s;
-    }
+    active_backend().add_assign_slice(dst, src);
 }
 
 /// `dst[i] = src[i] * c` for all `i`.
@@ -26,38 +26,15 @@ pub fn add_assign_slice(dst: &mut [u8], src: &[u8]) {
 /// # Panics
 ///
 /// Panics if the slices have different lengths.
+#[inline]
 pub fn mul_slice(dst: &mut [u8], src: &[u8], c: u8) {
-    assert_eq!(dst.len(), src.len(), "slice length mismatch");
-    match c {
-        0 => dst.fill(0),
-        1 => dst.copy_from_slice(src),
-        _ => {
-            let log_c = LOG_TABLE[c as usize] as usize;
-            for (d, &s) in dst.iter_mut().zip(src) {
-                *d = if s == 0 {
-                    0
-                } else {
-                    EXP_TABLE[log_c + LOG_TABLE[s as usize] as usize]
-                };
-            }
-        }
-    }
+    active_backend().mul_slice(dst, src, c);
 }
 
 /// `data[i] *= c` for all `i`.
+#[inline]
 pub fn mul_slice_in_place(data: &mut [u8], c: u8) {
-    match c {
-        0 => data.fill(0),
-        1 => {}
-        _ => {
-            let log_c = LOG_TABLE[c as usize] as usize;
-            for d in data.iter_mut() {
-                if *d != 0 {
-                    *d = EXP_TABLE[log_c + LOG_TABLE[*d as usize] as usize];
-                }
-            }
-        }
-    }
+    active_backend().mul_slice_in_place(data, c);
 }
 
 /// `dst[i] ^= src[i] * c` for all `i` — the fused multiply-accumulate at
@@ -66,18 +43,47 @@ pub fn mul_slice_in_place(data: &mut [u8], c: u8) {
 /// # Panics
 ///
 /// Panics if the slices have different lengths.
+#[inline]
 pub fn mul_add_slice(dst: &mut [u8], src: &[u8], c: u8) {
-    assert_eq!(dst.len(), src.len(), "slice length mismatch");
-    match c {
-        0 => {}
-        1 => add_assign_slice(dst, src),
-        _ => {
-            let log_c = LOG_TABLE[c as usize] as usize;
-            for (d, &s) in dst.iter_mut().zip(src) {
-                if s != 0 {
-                    *d ^= EXP_TABLE[log_c + LOG_TABLE[s as usize] as usize];
-                }
-            }
+    active_backend().mul_add_slice(dst, src, c);
+}
+
+/// Scalar `dst[i] ^= src[i]`; also the SIMD kernels' tail handler.
+/// Callers guarantee equal lengths and `c >= 2` where applicable.
+pub(crate) fn scalar_add_assign(dst: &mut [u8], src: &[u8]) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d ^= s;
+    }
+}
+
+/// Scalar `dst[i] = src[i] * c` for `c >= 2`.
+pub(crate) fn scalar_mul(dst: &mut [u8], src: &[u8], c: u8) {
+    let log_c = LOG_TABLE[c as usize] as usize;
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d = if s == 0 {
+            0
+        } else {
+            EXP_TABLE[log_c + LOG_TABLE[s as usize] as usize]
+        };
+    }
+}
+
+/// Scalar `data[i] *= c` for `c >= 2`.
+pub(crate) fn scalar_mul_in_place(data: &mut [u8], c: u8) {
+    let log_c = LOG_TABLE[c as usize] as usize;
+    for d in data.iter_mut() {
+        if *d != 0 {
+            *d = EXP_TABLE[log_c + LOG_TABLE[*d as usize] as usize];
+        }
+    }
+}
+
+/// Scalar `dst[i] ^= src[i] * c` for `c >= 2`.
+pub(crate) fn scalar_mul_add(dst: &mut [u8], src: &[u8], c: u8) {
+    let log_c = LOG_TABLE[c as usize] as usize;
+    for (d, &s) in dst.iter_mut().zip(src) {
+        if s != 0 {
+            *d ^= EXP_TABLE[log_c + LOG_TABLE[s as usize] as usize];
         }
     }
 }

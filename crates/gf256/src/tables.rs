@@ -38,12 +38,20 @@ const fn build_log(exp: &[u8; 512]) -> [u8; 256] {
     log
 }
 
+/// Const view of the exp table, usable from other compile-time builders
+/// (the SIMD split-nibble tables derive from it in a const context,
+/// where reading a `static` is not allowed).
+pub(crate) const EXP: [u8; 512] = build_exp();
+
+/// Const view of the log table (see [`EXP`]).
+pub(crate) const LOG: [u8; 256] = build_log(&EXP);
+
 /// `EXP_TABLE[i] = g^i` for the generator `g = 2`, duplicated over 512
 /// entries so that products of two logs index without wraparound.
-pub static EXP_TABLE: [u8; 512] = build_exp();
+pub static EXP_TABLE: [u8; 512] = EXP;
 
 /// `LOG_TABLE[a] = log_g(a)` for `a != 0`; entry 0 is unused.
-pub static LOG_TABLE: [u8; 256] = build_log(&EXP_TABLE);
+pub static LOG_TABLE: [u8; 256] = LOG;
 
 #[cfg(test)]
 mod tests {

@@ -15,7 +15,10 @@ use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::{Mutex, OnceLock};
 
-/// Deltas within this band print as `~` (noise, not a change).
+/// The narrowest noise band applied to any delta. The effective band
+/// for a bench is the wider of this floor and the spread its own
+/// samples showed this run, so a naturally jittery bench does not
+/// flag every run as a regression.
 const NOISE_BAND_PERCENT: f64 = 2.0;
 
 fn previous() -> &'static BTreeMap<String, f64> {
@@ -52,7 +55,9 @@ pub fn baseline_path() -> PathBuf {
 
 /// Records one measured median and returns the formatted delta against
 /// the saved baseline (empty when no baseline exists for the name).
-pub fn record(name: &str, ns_per_iter: f64) -> String {
+/// `spread_percent` is the run's observed sample spread; the delta only
+/// prints as a change when it exceeds `max(NOISE_BAND_PERCENT, spread)`.
+pub fn record(name: &str, ns_per_iter: f64, spread_percent: f64) -> String {
     if ns_per_iter.is_finite() {
         current()
             .lock()
@@ -65,8 +70,13 @@ pub fn record(name: &str, ns_per_iter: f64) -> String {
     if old <= 0.0 || !ns_per_iter.is_finite() {
         return String::new();
     }
+    let band = NOISE_BAND_PERCENT.max(if spread_percent.is_finite() {
+        spread_percent
+    } else {
+        0.0
+    });
     let percent = (ns_per_iter - old) / old * 100.0;
-    if percent.abs() < NOISE_BAND_PERCENT {
+    if percent.abs() < band {
         "  [~ vs baseline]".to_string()
     } else {
         format!("  [{percent:+.1}% vs baseline]")
@@ -193,7 +203,7 @@ mod tests {
     #[test]
     fn record_formats_deltas_against_previous() {
         // No baseline for a never-seen name: no delta text.
-        assert_eq!(record("fresh-name-without-baseline", 100.0), "");
+        assert_eq!(record("fresh-name-without-baseline", 100.0, 0.0), "");
         // The current map received the measurement regardless.
         assert!(current()
             .lock()

@@ -6,10 +6,13 @@
 //! [`Bencher::iter_batched`], [`Throughput`], [`black_box`], and the
 //! [`criterion_group!`] / [`criterion_main!`] macros.
 //!
-//! Measurement is deliberately simple — median of several timed batches
-//! after a short warm-up, printed as `ns/iter` plus derived throughput.
-//! There is no statistical regression analysis or HTML report, but the
-//! shim *does* persist per-bench medians to
+//! Measurement is deliberately simple — min/median/max over several
+//! timed batches after a short warm-up, printed as `ns/iter` with the
+//! observed range plus derived throughput. There is no statistical
+//! regression analysis or HTML report, but the shim *does* keep a
+//! minimal noise model: baseline deltas only print as changes when
+//! they exceed the wider of a 2% floor and the run's own sample
+//! spread. Per-bench medians persist to
 //! `<target>/bench-baseline.json` and prints a delta against the saved
 //! baseline on the next run, so perf regressions show up without
 //! eyeballing raw numbers across runs. The file merges across bench
@@ -49,10 +52,43 @@ pub enum BatchSize {
     PerIteration,
 }
 
+/// Per-iteration timing summary over the measured batches: the minimal
+/// noise model the shim keeps instead of criterion's full distribution.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct Stats {
+    /// Fastest batch, ns/iter.
+    pub(crate) min: f64,
+    /// Median batch, ns/iter — the headline number.
+    pub(crate) median: f64,
+    /// Slowest batch, ns/iter.
+    pub(crate) max: f64,
+}
+
+impl Stats {
+    fn from_sorted(samples: &[f64; BATCHES]) -> Stats {
+        Stats {
+            min: samples[0],
+            median: samples[BATCHES / 2],
+            max: samples[BATCHES - 1],
+        }
+    }
+
+    /// Observed run-to-run spread as a percentage of the median — the
+    /// half-width of the min..max range. A jittery bench widens its own
+    /// noise band instead of tripping the baseline delta.
+    pub(crate) fn spread_percent(&self) -> f64 {
+        if self.median > 0.0 {
+            (self.max - self.min) / (2.0 * self.median) * 100.0
+        } else {
+            0.0
+        }
+    }
+}
+
 /// The timing context handed to benchmark closures.
 pub struct Bencher {
-    /// Nanoseconds per iteration measured for the current benchmark.
-    ns_per_iter: f64,
+    /// Timing summary measured for the current benchmark.
+    stats: Stats,
 }
 
 impl Bencher {
@@ -83,7 +119,7 @@ impl Bencher {
             *sample = start.elapsed().as_nanos() as f64 / n as f64;
         }
         samples.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
-        self.ns_per_iter = samples[BATCHES / 2];
+        self.stats = Stats::from_sorted(&samples);
     }
 
     /// Times `routine` over fresh `setup` outputs; setup time is
@@ -126,20 +162,26 @@ impl Bencher {
             *sample = timed_batch(n).as_nanos() as f64 / n as f64;
         }
         samples.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
-        self.ns_per_iter = samples[BATCHES / 2];
+        self.stats = Stats::from_sorted(&samples);
     }
 }
 
-fn report(name: &str, ns_per_iter: f64, throughput: Option<Throughput>) {
-    let time = if ns_per_iter >= 1e9 {
-        format!("{:.3} s", ns_per_iter / 1e9)
-    } else if ns_per_iter >= 1e6 {
-        format!("{:.3} ms", ns_per_iter / 1e6)
-    } else if ns_per_iter >= 1e3 {
-        format!("{:.3} µs", ns_per_iter / 1e3)
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
     } else {
-        format!("{ns_per_iter:.1} ns")
-    };
+        format!("{ns:.1} ns")
+    }
+}
+
+fn report(name: &str, stats: Stats, throughput: Option<Throughput>) {
+    let ns_per_iter = stats.median;
+    let time = format_ns(ns_per_iter);
+    let range = format!("[{} .. {}]", format_ns(stats.min), format_ns(stats.max));
     let extra = match throughput {
         Some(Throughput::Bytes(bytes)) => {
             let gib = bytes as f64 / ns_per_iter; // bytes/ns == GB/s
@@ -151,8 +193,8 @@ fn report(name: &str, ns_per_iter: f64, throughput: Option<Throughput>) {
         }
         None => String::new(),
     };
-    let delta = baseline::record(name, ns_per_iter);
-    println!("bench: {name:<52} {time:>12}/iter{extra}{delta}");
+    let delta = baseline::record(name, ns_per_iter, stats.spread_percent());
+    println!("bench: {name:<52} {time:>12}/iter {range:<28}{extra}{delta}");
 }
 
 /// The benchmark harness entry point.
@@ -162,9 +204,11 @@ pub struct Criterion {}
 impl Criterion {
     /// Runs one stand-alone benchmark.
     pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
-        let mut bencher = Bencher { ns_per_iter: 0.0 };
+        let mut bencher = Bencher {
+            stats: Stats::default(),
+        };
         f(&mut bencher);
-        report(name, bencher.ns_per_iter, None);
+        report(name, bencher.stats, None);
         self
     }
 
@@ -204,11 +248,13 @@ impl BenchmarkGroup<'_> {
         id: impl std::fmt::Display,
         mut f: impl FnMut(&mut Bencher),
     ) -> &mut Self {
-        let mut bencher = Bencher { ns_per_iter: 0.0 };
+        let mut bencher = Bencher {
+            stats: Stats::default(),
+        };
         f(&mut bencher);
         report(
             &format!("{}/{id}", self.name),
-            bencher.ns_per_iter,
+            bencher.stats,
             self.throughput,
         );
         self
@@ -245,6 +291,18 @@ macro_rules! criterion_main {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn spread_is_the_half_range_over_the_median() {
+        let stats = Stats {
+            min: 90.0,
+            median: 100.0,
+            max: 130.0,
+        };
+        // (130 - 90) / (2 * 100) = 20%.
+        assert!((stats.spread_percent() - 20.0).abs() < 1e-9);
+        assert_eq!(Stats::default().spread_percent(), 0.0);
+    }
 
     #[test]
     fn bench_function_measures_something() {

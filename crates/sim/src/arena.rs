@@ -20,6 +20,12 @@
 pub struct BufPool<T> {
     free: Vec<Vec<T>>,
     recycle: bool,
+    /// Largest capacity ever returned to the pool. [`BufPool::take`]
+    /// pre-grows smaller recycled buffers to this mark, so a pool whose
+    /// buffers serve variable-sized fills (small repair pools, large
+    /// join pools) converges — one growth per buffer — instead of
+    /// re-growing a small buffer every time it draws a large fill.
+    cap_mark: usize,
 }
 
 impl<T> Default for BufPool<T> {
@@ -34,6 +40,7 @@ impl<T> BufPool<T> {
         BufPool {
             free: Vec::new(),
             recycle: true,
+            cap_mark: 0,
         }
     }
 
@@ -44,6 +51,7 @@ impl<T> BufPool<T> {
         self.recycle = on;
         if !on {
             self.free.clear();
+            self.cap_mark = 0;
         }
     }
 
@@ -52,10 +60,19 @@ impl<T> BufPool<T> {
         self.recycle
     }
 
-    /// Takes an empty vector — recycled (with its old capacity) when
-    /// one is available, freshly allocated otherwise.
+    /// Takes an empty vector — recycled (pre-grown to the pool's
+    /// high-water capacity) when one is available, freshly allocated
+    /// otherwise.
     pub fn take(&mut self) -> Vec<T> {
-        self.free.pop().unwrap_or_default()
+        match self.free.pop() {
+            Some(mut v) => {
+                if v.capacity() < self.cap_mark {
+                    v.reserve_exact(self.cap_mark);
+                }
+                v
+            }
+            None => Vec::new(),
+        }
     }
 
     /// Returns a vector to the pool. It is cleared here; with recycling
@@ -63,6 +80,7 @@ impl<T> BufPool<T> {
     pub fn put(&mut self, mut v: Vec<T>) {
         if self.recycle {
             v.clear();
+            self.cap_mark = self.cap_mark.max(v.capacity());
             self.free.push(v);
         }
     }
@@ -70,6 +88,41 @@ impl<T> BufPool<T> {
     /// Vectors currently parked in the free list.
     pub fn idle(&self) -> usize {
         self.free.len()
+    }
+}
+
+/// Reinterprets an **empty** vector's allocation as a vector of a
+/// layout-identical element type.
+///
+/// The intended use is recycling the backing allocation of stage-task
+/// vectors whose element type is parameterised by a borrow lifetime
+/// (`Vec<Task<'round>>`): the arena stores the capacity between rounds
+/// under a `'static` instantiation and each round re-types it for its
+/// own borrows. No element values ever cross the boundary — the vector
+/// is cleared here — only the raw capacity does.
+///
+/// # Panics
+///
+/// Panics if `A` and `B` differ in size or alignment (the two
+/// instantiations of one lifetime-generic type never do).
+pub fn retype_empty<A, B>(mut v: Vec<A>) -> Vec<B> {
+    assert!(
+        core::mem::size_of::<A>() == core::mem::size_of::<B>()
+            && core::mem::align_of::<A>() == core::mem::align_of::<B>(),
+        "retype_empty requires layout-identical element types"
+    );
+    v.clear();
+    let cap = v.capacity();
+    let ptr = v.as_mut_ptr();
+    core::mem::forget(v);
+    // SAFETY: the allocation came from Vec<A> via the global allocator
+    // with capacity `cap`; `A` and `B` have identical size and
+    // alignment (asserted above), so the array layouts match and the
+    // same (ptr, cap) pair describes a valid Vec<B> allocation. Length
+    // is zero, so no value of `A` is ever read as a `B`.
+    #[allow(unsafe_code)]
+    unsafe {
+        Vec::from_raw_parts(ptr.cast::<B>(), 0, cap)
     }
 }
 
@@ -99,6 +152,21 @@ pub fn put_slot<T>(slot: &mut Vec<T>, mut buf: Vec<T>, recycle: bool) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn retype_empty_preserves_capacity_across_layout_twins() {
+        struct Borrowing<'a>(#[allow(dead_code)] Option<&'a mut u64>);
+        let mut v: Vec<Borrowing<'static>> = Vec::with_capacity(32);
+        let mut x = 7u64;
+        let mut round: Vec<Borrowing<'_>> = retype_empty(v);
+        round.push(Borrowing(Some(&mut x)));
+        round.clear();
+        let cap = round.capacity();
+        assert!(cap >= 32);
+        v = retype_empty(round);
+        assert_eq!(v.capacity(), cap, "capacity must survive the round trip");
+        assert!(v.is_empty());
+    }
 
     #[test]
     fn take_put_cycles_capacity() {

@@ -16,8 +16,9 @@
 //! ownership the pre-stealing executor used) and shares a claim table.
 //! A worker drains its own range front to back, then **steals**: it
 //! scans the other ranges and claims unstarted tasks from their tails.
-//! Claiming is one short-lived lock per task, so a task runs exactly
-//! once no matter how many workers race for it. With `steal` disabled
+//! Claiming is one atomic flag swap per task — a unique winner however
+//! many workers race for it — against a claim table the pool recycles
+//! across stages (no per-dispatch slot vector). With `steal` disabled
 //! the executor degrades to the fixed ownership model (a hot range then
 //! idles the other workers — kept as a measurable baseline and a
 //! fallback).
@@ -47,7 +48,7 @@
 //! deterministic) test of the independence contract.
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
@@ -55,16 +56,84 @@ use rand::Rng;
 
 use crate::rng::sim_rng;
 
-/// One claimable task slot. The `Option` is the claim: `take()` under
-/// the (uncontended, short-lived) lock yields the state's `&mut`
-/// exactly once, so a task runs on exactly one worker with exclusive
-/// access — no unsafe aliasing, and at one lock per *task* (not per
-/// unit of work inside it) the cost is noise.
-type TaskSlot<'a, S> = Mutex<Option<&'a mut S>>;
+/// The claim table: one flag per task, flipped exactly once. A claim is
+/// a single relaxed swap — atomicity alone guarantees a unique winner,
+/// and the stage's end-of-dispatch barrier publishes every task's
+/// results to the caller. The pool keeps one table for the life of the
+/// run (under the dispatch gate), so the steady state resets flags in
+/// place instead of allocating a slot vector per stage.
+#[derive(Default)]
+struct ClaimTable {
+    flags: Vec<AtomicBool>,
+}
 
-/// Claims task `i`, returning its state on first claim only.
-fn claim<'a, S>(slots: &[TaskSlot<'a, S>], i: usize) -> Option<&'a mut S> {
-    slots[i].lock().expect("task slot poisoned").take()
+impl ClaimTable {
+    /// A fresh table of `len` unclaimed flags.
+    fn with_len(len: usize) -> Self {
+        let mut table = ClaimTable::default();
+        table.reset(len);
+        table
+    }
+
+    /// Resets to `len` unclaimed flags, reusing the allocation.
+    fn reset(&mut self, len: usize) {
+        self.flags.clear();
+        self.flags.resize_with(len, AtomicBool::default);
+    }
+
+    /// True exactly once per index per stage.
+    fn claim(&self, i: usize) -> bool {
+        !self.flags[i].swap(true, Ordering::Relaxed)
+    }
+}
+
+/// A thread-shareable base pointer to a `&mut` slice of per-task (or
+/// per-worker) state. Exclusive access to an element is granted by the
+/// execution protocol — the claim table for task states, the worker
+/// index for worker scratch — never by the type system; see the
+/// `# Safety` contract on [`TaskBase::get`].
+struct TaskBase<S> {
+    ptr: *mut S,
+    len: usize,
+}
+
+#[allow(unsafe_code)]
+// SAFETY: a TaskBase only ever yields access to disjoint elements, each
+// claimed by (and then mutated on) one thread at a time; `S: Send`
+// makes that hand-off across threads sound.
+unsafe impl<S: Send> Send for TaskBase<S> {}
+#[allow(unsafe_code)]
+// SAFETY: as for Send — a shared `&TaskBase` grants `&mut` only to
+// elements the calling worker holds the unique claim on.
+unsafe impl<S: Send> Sync for TaskBase<S> {}
+
+impl<S> TaskBase<S> {
+    fn new(states: &mut [S]) -> Self {
+        TaskBase {
+            ptr: states.as_mut_ptr(),
+            len: states.len(),
+        }
+    }
+
+    /// Exclusive access to element `i`.
+    ///
+    /// # Safety
+    ///
+    /// The caller must hold the unique claim on `i` for the duration of
+    /// the returned borrow (no other worker may reach `i` in this
+    /// stage), and the slice behind the base must outlive the borrow —
+    /// both are upheld by the claim-table/worker-index protocol plus
+    /// the stage barrier.
+    // `&self -> &mut S` is intentional: `TaskBase` is a shared handle
+    // (like a cell) and the claim table guarantees at most one worker
+    // ever reaches a given `i` per stage, so the borrows never alias.
+    #[allow(unsafe_code, clippy::mut_from_ref)]
+    unsafe fn get(&self, i: usize) -> &mut S {
+        debug_assert!(i < self.len, "task index out of bounds");
+        // SAFETY: `i` is in bounds and exclusively claimed per the
+        // function contract.
+        unsafe { &mut *self.ptr.add(i) }
+    }
 }
 
 /// The contiguous task range initially owned by worker `w` of `workers`.
@@ -77,18 +146,22 @@ fn own_range(len: usize, workers: usize, w: usize) -> (usize, usize) {
 /// The claim-drain loop one worker runs over a stage: own range front
 /// to back, then (optionally) steal the other ranges from their tails,
 /// nearest victim first.
-fn drain_worker<'a, S>(
-    slots: &[TaskSlot<'a, S>],
+fn drain_worker<S>(
+    claims: &ClaimTable,
+    states: &TaskBase<S>,
     len: usize,
     workers: usize,
     w: usize,
     steal: bool,
-    mut f: impl FnMut(usize, &'a mut S),
+    mut f: impl FnMut(usize, &mut S),
 ) {
     let (start, end) = own_range(len, workers, w);
     for i in start..end {
-        if let Some(state) = claim(slots, i) {
-            f(i, state);
+        if claims.claim(i) {
+            // SAFETY: the claim succeeded, so this worker is the only
+            // one to ever reach element `i` this stage.
+            #[allow(unsafe_code)]
+            f(i, unsafe { states.get(i) });
         }
     }
     if !steal {
@@ -98,8 +171,11 @@ fn drain_worker<'a, S>(
         let victim = (w + step) % workers;
         let (vs, ve) = own_range(len, workers, victim);
         for i in (vs..ve).rev() {
-            if let Some(state) = claim(slots, i) {
-                f(i, state);
+            if claims.claim(i) {
+                // SAFETY: as above — the unique claim on `i` was just
+                // won by this worker.
+                #[allow(unsafe_code)]
+                f(i, unsafe { states.get(i) });
             }
         }
     }
@@ -158,7 +234,10 @@ pub struct WorkerPool {
     /// job reference must stay alive until *its own* barrier clears —
     /// a second concurrent dispatcher would corrupt both. Held across
     /// the entire dispatch; a concurrent caller simply waits its turn.
-    gate: Mutex<()>,
+    /// The guarded value is the recycled claim table — one stage in
+    /// flight means one table suffices, and resetting it in place keeps
+    /// the steady-state dispatch path allocation-free.
+    gate: Mutex<ClaimTable>,
     /// Pool wake-ups performed (stages that actually used ≥2 workers).
     dispatches: AtomicU64,
 }
@@ -201,7 +280,7 @@ impl WorkerPool {
         WorkerPool {
             shared,
             handles,
-            gate: Mutex::new(()),
+            gate: Mutex::new(ClaimTable::default()),
             dispatches: AtomicU64::new(0),
         }
     }
@@ -217,22 +296,29 @@ impl WorkerPool {
         self.dispatches.load(Ordering::Relaxed)
     }
 
-    /// Publishes `f` as the current stage, wakes the helpers, runs the
-    /// caller's share as worker 0 and waits for every helper to check
-    /// in. Panics in any worker propagate to the caller after the
-    /// barrier completes (so the job never dangles). Concurrent
-    /// dispatches from other threads serialize on the gate — the
-    /// second caller blocks until the first stage's barrier clears.
-    fn dispatch(&self, width: usize, f: &(dyn Fn(usize) + Sync)) {
-        debug_assert!(width >= 2, "width-1 stages run inline");
-        // One stage in flight at a time. Poisoning is ignored: a
-        // panicked dispatch restores the barrier invariants
-        // (remaining == 0, job cleared) before unwinding through the
-        // guard, so the pool stays usable.
-        let _stage = self
+    /// Claims the dispatch gate (serializing whole stages) and hands
+    /// back the recycled claim table, reset to `len` unclaimed flags.
+    /// Poisoning is ignored: a panicked dispatch restores the barrier
+    /// invariants (remaining == 0, job cleared) before unwinding
+    /// through the guard, so the pool stays usable.
+    fn claim_gate(&self, len: usize) -> std::sync::MutexGuard<'_, ClaimTable> {
+        let mut table = self
             .gate
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
+        table.reset(len);
+        table
+    }
+
+    /// Publishes `f` as the current stage, wakes the helpers, runs the
+    /// caller's share as worker 0 and waits for every helper to check
+    /// in. Panics in any worker propagate to the caller after the
+    /// barrier completes (so the job never dangles). The caller must
+    /// hold the dispatch gate (via [`WorkerPool::claim_gate`]) for the
+    /// whole call — concurrent dispatchers serialize there, blocking
+    /// until the in-flight stage's barrier clears.
+    fn dispatch(&self, width: usize, f: &(dyn Fn(usize) + Sync)) {
+        debug_assert!(width >= 2, "width-1 stages run inline");
         self.dispatches.fetch_add(1, Ordering::Relaxed);
         // SAFETY-ADJACENT LIFETIME ERASURE (no unsafe keyword, but the
         // contract matters): `job` borrows the caller's stack frame.
@@ -302,11 +388,13 @@ impl WorkerPool {
             }
             return;
         }
-        let slots: Vec<TaskSlot<'_, S>> = states.iter_mut().map(|s| Mutex::new(Some(s))).collect();
-        let slots = &slots;
+        let table = self.claim_gate(len);
+        let claims: &ClaimTable = &table;
+        let base = TaskBase::new(states);
+        let base = &base;
         let f = &f;
         self.dispatch(width, &move |w| {
-            drain_worker(slots, len, width, w, steal, |i, s: &mut S| f(i, s));
+            drain_worker(claims, base, len, width, w, steal, |i, s: &mut S| f(i, s));
         });
     }
 
@@ -341,21 +429,21 @@ impl WorkerPool {
             }
             return;
         }
-        let slots: Vec<TaskSlot<'_, S>> = states.iter_mut().map(|s| Mutex::new(Some(s))).collect();
-        // One claim slot per worker-local state: worker `w` takes slot
-        // `w` exactly once per stage, giving it `&mut` scratch without
-        // any aliasing.
-        let wslots: Vec<TaskSlot<'_, W>> = worker_states
-            .iter_mut()
-            .take(width)
-            .map(|s| Mutex::new(Some(s)))
-            .collect();
-        let slots = &slots;
-        let wslots = &wslots;
+        let table = self.claim_gate(len);
+        let claims: &ClaimTable = &table;
+        let base = TaskBase::new(states);
+        let base = &base;
+        let wbase = TaskBase::new(worker_states);
+        let wbase = &wbase;
         let f = &f;
         self.dispatch(width, &move |w| {
-            let scratch = claim(wslots, w).expect("worker scratch claimed once");
-            drain_worker(slots, len, width, w, steal, |i, s: &mut S| {
+            // SAFETY: worker index `w < width` is run by exactly one
+            // thread per stage (the barrier protocol), so element `w`
+            // of the worker-scratch slice is exclusively this
+            // worker's.
+            #[allow(unsafe_code)]
+            let scratch = unsafe { wbase.get(w) };
+            drain_worker(claims, base, len, width, w, steal, |i, s: &mut S| {
                 f(scratch, i, s);
             });
         });
@@ -463,13 +551,15 @@ where
         }
         return;
     }
-    let slots: Vec<TaskSlot<'_, S>> = states.iter_mut().map(|s| Mutex::new(Some(s))).collect();
-    let slots = &slots;
+    let claims = ClaimTable::with_len(len);
+    let claims = &claims;
+    let base = TaskBase::new(states);
+    let base = &base;
     let f = &f;
     std::thread::scope(|scope| {
         for (w, scratch) in worker_states.iter_mut().take(workers).enumerate() {
             scope.spawn(move || {
-                drain_worker(slots, len, workers, w, steal, |i, s: &mut S| {
+                drain_worker(claims, base, len, workers, w, steal, |i, s: &mut S| {
                     f(scratch, i, s);
                 });
             });
