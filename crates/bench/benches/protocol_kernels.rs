@@ -44,6 +44,7 @@ fn selection(c: &mut Criterion) {
             id: i,
             age: (i as u64 * 37) % 5000,
             uptime: (i % 100) as f64 / 100.0,
+            estimated_remaining: (i as u64 * 53) % 15_000,
             true_remaining: (i as u64 * 61) % 20_000,
         })
         .collect();
@@ -100,6 +101,7 @@ fn age_pool_build(c: &mut Criterion) {
                 id: i,
                 age: age_of(i),
                 uptime: (i % 100) as f64 / 100.0,
+                estimated_remaining: 0,
                 true_remaining: 0,
             })
             .collect();
@@ -136,7 +138,7 @@ fn age_pool_build(c: &mut Criterion) {
                         continue; // no acceptance draws spent
                     }
                     if accepts(&mut rng, 2000, cand.age, 2160) {
-                        index.insert(*cand);
+                        index.insert(cand.age, *cand);
                         misses = 0;
                     }
                 }

@@ -3,12 +3,15 @@
 //!
 //! Compares the paper's age-based ranking against a random baseline (a
 //! system with no lifetime estimation), an adversarial youngest-first
-//! ranking, and an oracle that sees true remaining lifetimes (the upper
-//! bound on any estimator). Reports per-category repair rates plus total
-//! maintenance traffic.
+//! ranking, an uptime-weighted heuristic, the learned-age strategy (the
+//! online survival model of `peerback-estimate`), and an oracle that
+//! sees true remaining lifetimes (the upper bound on any estimator).
+//! Reports per-category repair rates plus total maintenance traffic.
 //!
 //! Expected: age-based beats random on elder-peer maintenance cost and
-//! approaches the oracle; youngest-first is the worst.
+//! approaches the oracle; youngest-first is the worst; learned-age
+//! lands between age-based and the oracle once the model has data (see
+//! `estimate_probe` for the dedicated oracle/learned/uniform ablation).
 //!
 //! ```text
 //! cargo run --release -p peerback-bench --bin ablation_strategies
@@ -21,8 +24,10 @@ use peerback_core::{run_sweep_with_threads, AgeCategory, SelectionStrategy, SimC
 fn main() {
     let args = HarnessArgs::parse();
     eprintln!(
-        "ablation A1: 4 strategies at {} peers x {} rounds ...",
-        args.peers, args.rounds
+        "ablation A1: {} strategies at {} peers x {} rounds ...",
+        SelectionStrategy::ALL.len(),
+        args.peers,
+        args.rounds
     );
     let configs: Vec<SimConfig> = SelectionStrategy::ALL
         .iter()

@@ -1,0 +1,326 @@
+//! The learned-lifetime ablation: oracle vs learned vs uniform.
+//!
+//! Closes the loop on the paper's core claim. Three runs of the same
+//! seeded world, differing only in the partner-selection strategy:
+//!
+//! * **oracle** ([`SelectionStrategy::OracleLifetime`]) — ranks by true
+//!   remaining lifetime, the upper bound no estimator can beat;
+//! * **learned** ([`SelectionStrategy::LearnedAge`]) — ranks by the
+//!   online survival model of `peerback-estimate`, fed only from death
+//!   events the run itself observed;
+//! * **uniform** ([`SelectionStrategy::Random`]) — no lifetime
+//!   information at all, the paper's strawman baseline.
+//!
+//! The gated scenario is deliberately churn-rich (heavy-tailed
+//! lifetimes of days-to-weeks, not the paper's years) so the model
+//! observes enough deaths *within* a CI-scale run to activate; at the
+//! paper's real lifetime laws a 2,000-round window is shorter than
+//! almost every peer's life and all three strategies are
+//! indistinguishable. The `--misreport` / `--shift-round` axes from
+//! the shared harness apply to all three runs alike.
+//!
+//! Acceptance gates (both optional, both exit non-zero on violation):
+//!
+//! * `--max-loss-factor F` — learned losses must stay within `F ×`
+//!   oracle losses (oracle floored at one loss so a perfect oracle
+//!   does not demand perfection);
+//! * `--require-beat-uniform` — learned losses must be strictly below
+//!   uniform losses.
+//!
+//! ```text
+//! cargo run --release -p peerback-bench --bin estimate_probe -- \
+//!     --peers 4096 --rounds 2000 --json --max-loss-factor 3 \
+//!     --require-beat-uniform
+//! ```
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use peerback_bench::{json, HarnessArgs};
+use peerback_churn::{LifetimeSpec, Profile, ProfileMix};
+use peerback_core::{run_sweep_with_threads, Metrics, SelectionStrategy, SimConfig};
+
+/// The three ablation arms, in report order.
+const ARMS: [(&str, SelectionStrategy); 3] = [
+    ("oracle", SelectionStrategy::OracleLifetime),
+    ("learned", SelectionStrategy::LearnedAge),
+    ("uniform", SelectionStrategy::Random),
+];
+
+/// The gated scenario: the paper's geometry scaled to a 16+16 code
+/// with a heavy-tailed short-lifetime mix, so deaths (the model's
+/// training signal) and losses (the metric under test) both occur by
+/// the hundreds within a 2,000-round run. The reactive threshold sits
+/// two blocks above `k`: that thin repair margin is what makes partner
+/// *survival* — the quantity estimation improves — decide the loss
+/// count, rather than raw repair throughput.
+fn gated_config(args: &HarnessArgs, strategy: SelectionStrategy) -> SimConfig {
+    let mut cfg = args.base_config().with_strategy(strategy);
+    cfg.k = 16;
+    cfg.m = 16;
+    cfg.quota = 72;
+    cfg.maintenance = peerback_core::MaintenancePolicy::Reactive { threshold: 18 };
+    // All three laws are Pareto — the paper's measured reality, and the
+    // regime where its core claim (age predicts remaining lifetime)
+    // actually holds. A bounded law in the mix would make old peers of
+    // that class the *worst* partners and punish any age-trusting
+    // strategy for reasons unrelated to estimation quality.
+    cfg.profiles = ProfileMix::new(vec![
+        (
+            Profile::new(
+                "Flash",
+                LifetimeSpec::Pareto {
+                    x_min: 30.0,
+                    alpha: 1.5,
+                },
+                0.33,
+            ),
+            0.5,
+        ),
+        (
+            Profile::new(
+                "Transient",
+                LifetimeSpec::Pareto {
+                    x_min: 120.0,
+                    alpha: 1.9,
+                },
+                0.75,
+            ),
+            0.3,
+        ),
+        (
+            Profile::new(
+                "Seasonal",
+                LifetimeSpec::Pareto {
+                    x_min: 400.0,
+                    alpha: 2.4,
+                },
+                0.9,
+            ),
+            0.2,
+        ),
+    ]);
+    cfg
+}
+
+/// Flags specific to this probe, split off before the shared parse
+/// (which rejects unknown flags).
+struct GateArgs {
+    max_loss_factor: Option<f64>,
+    require_beat_uniform: bool,
+    rest: Vec<String>,
+}
+
+fn split_gate_args(args: impl IntoIterator<Item = String>) -> GateArgs {
+    let mut max_loss_factor = None;
+    let mut require_beat_uniform = false;
+    let mut rest = Vec::new();
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--max-loss-factor" => {
+                let v = iter
+                    .next()
+                    .unwrap_or_else(|| panic!("flag --max-loss-factor needs a value"));
+                let f: f64 = v
+                    .parse()
+                    .unwrap_or_else(|_| panic!("--max-loss-factor expects a number, got {v:?}"));
+                assert!(f >= 1.0, "--max-loss-factor must be at least 1, got {f}");
+                max_loss_factor = Some(f);
+            }
+            "--require-beat-uniform" => require_beat_uniform = true,
+            other => rest.push(other.to_string()),
+        }
+    }
+    GateArgs {
+        max_loss_factor,
+        require_beat_uniform,
+        rest,
+    }
+}
+
+fn arm_json(name: &str, metrics: &Metrics) -> String {
+    let mut obj = json::Object::new()
+        .str("strategy", name)
+        .num("losses", metrics.total_losses())
+        .num("repairs", metrics.total_repairs())
+        .num("blocks_uploaded", metrics.diag.blocks_uploaded)
+        .num("blocks_downloaded", metrics.diag.blocks_downloaded)
+        .num("departures", metrics.diag.departures)
+        .num("partner_timeouts", metrics.diag.partner_timeouts)
+        .num("pool_shortfalls", metrics.diag.pool_shortfalls)
+        .float(
+            "mean_restorability",
+            metrics.mean_restorability().unwrap_or(f64::NAN),
+        );
+    if let Some(report) = &metrics.estimator {
+        obj = obj.raw(
+            "estimator",
+            json::Object::new()
+                .num("active", u64::from(report.active))
+                .num("deaths_observed", report.deaths_observed)
+                .num("refreshes", report.refreshes)
+                .float("calibration_mae", report.calibration_mae)
+                .num("calibration_samples", report.calibration_samples)
+                .render(),
+        );
+    }
+    obj.render()
+}
+
+fn main() -> ExitCode {
+    let gate = split_gate_args(std::env::args().skip(1));
+    let args = HarnessArgs::parse_from(gate.rest.clone());
+    if !args.json {
+        eprintln!(
+            "estimate ablation: oracle/learned/uniform at {} peers x {} rounds (seed {}) ...",
+            args.peers, args.rounds, args.seed
+        );
+    }
+    let start = Instant::now();
+    let configs: Vec<SimConfig> = ARMS.iter().map(|&(_, s)| gated_config(&args, s)).collect();
+    let results = run_sweep_with_threads(configs, args.thread_count());
+    let elapsed = start.elapsed();
+
+    let losses_of = |name: &str| -> u64 {
+        ARMS.iter()
+            .zip(&results)
+            .find(|((n, _), _)| *n == name)
+            .map(|(_, m)| m.total_losses())
+            .expect("arm present")
+    };
+    let oracle_losses = losses_of("oracle");
+    let learned_losses = losses_of("learned");
+    let uniform_losses = losses_of("uniform");
+    // Floor the denominator: a perfect-oracle run must not force the
+    // learned arm to be perfect too.
+    let loss_factor = learned_losses as f64 / oracle_losses.max(1) as f64;
+
+    if args.json {
+        let mut report = json::Object::new()
+            .str("probe", "estimate_probe")
+            .num("peers", args.peers as u64)
+            .num("rounds", args.rounds)
+            .num("seed", args.seed);
+        if !args.stable_json {
+            report = report
+                .num("shards", args.shards as u64)
+                .num("host_cpus", HarnessArgs::host_cpus())
+                .float("elapsed_secs", elapsed.as_secs_f64());
+        }
+        let report = report
+            .raw(
+                "strategies",
+                json::array(
+                    ARMS.iter()
+                        .zip(&results)
+                        .map(|((name, _), m)| arm_json(name, m)),
+                ),
+            )
+            .float("loss_factor_learned_vs_oracle", loss_factor)
+            .num(
+                "learned_beats_uniform",
+                u64::from(learned_losses < uniform_losses),
+            )
+            .render();
+        println!("{report}");
+    } else {
+        println!(
+            "{:<8} {:>8} {:>8} {:>10} {:>12} {:>8}",
+            "strategy", "losses", "repairs", "uploads", "downloads", "restor"
+        );
+        for ((name, _), m) in ARMS.iter().zip(&results) {
+            println!(
+                "{:<8} {:>8} {:>8} {:>10} {:>12} {:>8.4}",
+                name,
+                m.total_losses(),
+                m.total_repairs(),
+                m.diag.blocks_uploaded,
+                m.diag.blocks_downloaded,
+                m.mean_restorability().unwrap_or(f64::NAN),
+            );
+        }
+        if let Some(report) = ARMS
+            .iter()
+            .zip(&results)
+            .find(|((n, _), _)| *n == "learned")
+            .and_then(|(_, m)| m.estimator.as_ref())
+        {
+            println!(
+                "learned model: active={}, {} deaths observed, {} refreshes, calibration MAE \
+                 {:.1} over {} back-tests",
+                report.active,
+                report.deaths_observed,
+                report.refreshes,
+                report.calibration_mae,
+                report.calibration_samples,
+            );
+        }
+        println!(
+            "loss factor learned/oracle = {loss_factor:.2}, learned beats uniform: {} \
+             ({learned_losses} vs {uniform_losses})",
+            learned_losses < uniform_losses
+        );
+    }
+
+    let mut failed = false;
+    if let Some(max) = gate.max_loss_factor {
+        if loss_factor > max {
+            eprintln!(
+                "FAIL: learned losses ({learned_losses}) exceed {max:.1}x oracle losses \
+                 ({oracle_losses}) — loss factor {loss_factor:.2}"
+            );
+            failed = true;
+        }
+    }
+    if gate.require_beat_uniform && learned_losses >= uniform_losses {
+        eprintln!(
+            "FAIL: learned losses ({learned_losses}) do not beat uniform selection \
+             ({uniform_losses})"
+        );
+        failed = true;
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_flags_are_split_from_the_shared_args() {
+        let args: Vec<String> = [
+            "--peers",
+            "100",
+            "--max-loss-factor",
+            "3",
+            "--require-beat-uniform",
+            "--seed",
+            "7",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let gate = split_gate_args(args);
+        assert_eq!(gate.max_loss_factor, Some(3.0));
+        assert!(gate.require_beat_uniform);
+        assert_eq!(gate.rest, vec!["--peers", "100", "--seed", "7"]);
+        let parsed = HarnessArgs::parse_from(gate.rest);
+        assert_eq!(parsed.peers, 100);
+        assert_eq!(parsed.seed, 7);
+    }
+
+    #[test]
+    fn gated_scenario_is_valid_and_strategy_specific() {
+        let args = HarnessArgs::parse_from(Vec::<String>::new());
+        for (_, strategy) in ARMS {
+            let cfg = gated_config(&args, strategy);
+            assert_eq!(cfg.strategy, strategy);
+            assert!(cfg.validate().is_ok());
+        }
+    }
+}

@@ -1,7 +1,8 @@
 //! CI performance gate: compares fresh `perf_probe --json` samples
 //! against the committed baseline in `ci/perf-baseline.json`.
 //!
-//! Two subcommands:
+//! The blocking subcommands (`alloc` and `rs` are documented on their
+//! functions; `mem` is the advisory memory check):
 //!
 //! * `check --baseline FILE SAMPLE...` — takes the **median** of the
 //!   samples' `elapsed_secs` and compares it with the baseline's
@@ -285,6 +286,57 @@ fn run_alloc(args: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// `mem --warn-above N SAMPLE.json...`: the non-blocking memory
+/// telemetry check over `perf_probe --json` samples. Prints a
+/// `::warning::` when the median `bytes_per_peer` exceeds the
+/// threshold; always exits zero — the per-slot footprint varies with
+/// allocator growth policy, so it is surfaced, never gated.
+fn run_mem(args: &[String]) -> Result<ExitCode, String> {
+    let mut warn_above: Option<f64> = None;
+    let mut samples = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--warn-above" => {
+                let v = iter.next().ok_or("flag --warn-above needs a value")?;
+                warn_above = Some(v.parse().map_err(|e| format!("--warn-above: {e}"))?);
+            }
+            other => samples.push(other.to_string()),
+        }
+    }
+    let warn_above = warn_above.ok_or("mem needs --warn-above N")?;
+    if samples.is_empty() {
+        return Err("mem needs at least one sample JSON".into());
+    }
+    let mut footprints = Vec::new();
+    for p in &samples {
+        match read_optional_field(p, "bytes_per_peer")? {
+            Some(v) => footprints.push(v),
+            None => {
+                println!(
+                    "::warning::{p} records no bytes_per_peer (stale probe binary or \
+                     --stable-json sample?) — skipping the memory check"
+                );
+                return Ok(ExitCode::SUCCESS);
+            }
+        }
+    }
+    let footprint = median(footprints);
+    println!(
+        "perf_gate: median {footprint:.0} bytes/peer over {} sample(s), warning threshold \
+         {warn_above:.0}",
+        samples.len()
+    );
+    if footprint > warn_above {
+        println!(
+            "::warning::peer-table footprint grew: {footprint:.0} bytes per peer slot is above \
+             the {warn_above:.0}-byte watchline — check the per-peer collections (partner \
+             lists, hosted ledgers) for capacity leaks. Advisory only; never fails the build."
+        );
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
 /// `rs --baseline FILE [--min-ratio R] SAMPLE.json...`: the SIMD
 /// Reed–Solomon throughput gate over `rs_probe --json` samples.
 ///
@@ -430,6 +482,9 @@ usage: perf_gate <subcommand> [options]
           require median(allocs_per_round) <= N (samples must come from
           a probe built with --features count-allocs; a missing field
           fails the gate rather than passing silently)
+  mem     --warn-above N SAMPLE.json...
+          ::warning:: when median(bytes_per_peer) exceeds N; always
+          exits zero (memory telemetry is advisory, never a gate)
   rs      --baseline FILE [--min-ratio R] [--warn-pct P] [--fail-pct P]
           SAMPLE.json...
           require median(rs_probe speedup) >= R (default 4.0) and the
@@ -443,6 +498,7 @@ fn main() -> ExitCode {
         Some("check") => run_check(&args[1..]),
         Some("speedup") => run_speedup(&args[1..]),
         Some("alloc") => run_alloc(&args[1..]),
+        Some("mem") => run_mem(&args[1..]),
         Some("rs") => run_rs(&args[1..]),
         Some("--help" | "-h") => {
             println!("{USAGE}");
@@ -540,6 +596,26 @@ mod tests {
         // allocator) must fail loudly, not pass silently.
         std::fs::write(&sample, r#"{"elapsed_secs":1.0}"#).unwrap();
         assert!(run_alloc(&args("64")).is_err());
+    }
+
+    #[test]
+    fn mem_check_warns_but_never_fails() {
+        let dir = std::env::temp_dir().join("perf_gate_mem_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let sample = dir.join("mem.json");
+        let args = |threshold: &str| -> Vec<String> {
+            ["--warn-above", threshold, sample.to_str().unwrap()]
+                .iter()
+                .map(|s| s.to_string())
+                .collect()
+        };
+        std::fs::write(&sample, r#"{"bytes_per_peer":4096.000000}"#).unwrap();
+        assert_eq!(run_mem(&args("8192")).unwrap(), ExitCode::SUCCESS);
+        // Above the watchline: still SUCCESS (warning only).
+        assert_eq!(run_mem(&args("1024")).unwrap(), ExitCode::SUCCESS);
+        // Missing field: skipped with a warning, not an error.
+        std::fs::write(&sample, r#"{"elapsed_secs":1.0}"#).unwrap();
+        assert_eq!(run_mem(&args("1024")).unwrap(), ExitCode::SUCCESS);
     }
 
     #[test]

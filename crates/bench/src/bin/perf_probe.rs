@@ -25,7 +25,11 @@
 //!   counting global allocator; see `peerback_bench::alloc_probe`).
 //!
 //! Both are execution telemetry — they vary with `--shards` and the
-//! host — so they are omitted from `--stable-json` output.
+//! host — so they are omitted from `--stable-json` output. The same
+//! applies to `bytes_per_peer`, the approximate per-slot heap footprint
+//! ([`BackupWorld::approx_bytes_per_peer`]): it depends on allocator
+//! growth policy, so it rides in the telemetry block and feeds the perf
+//! gate's non-blocking memory warning.
 
 use std::time::Instant;
 
@@ -66,6 +70,7 @@ fn main() {
         (alloc_probe::allocations() - allocs_before) as f64 / steady_rounds as f64;
     let dispatches_per_round =
         (world.stage_dispatches() - dispatches_before) as f64 / steady_rounds as f64;
+    let bytes_per_peer = world.approx_bytes_per_peer();
     let metrics = world.into_metrics();
     let elapsed = start.elapsed();
     if args.json {
@@ -91,7 +96,8 @@ fn main() {
                     "peer_rounds_per_sec",
                     (args.peers as f64 * args.rounds as f64) / elapsed.as_secs_f64(),
                 )
-                .float("stage_dispatches_per_round", dispatches_per_round);
+                .float("stage_dispatches_per_round", dispatches_per_round)
+                .float("bytes_per_peer", bytes_per_peer);
             if alloc_probe::ENABLED {
                 report = report.float("allocs_per_round", allocs_per_round);
             }
@@ -120,7 +126,8 @@ fn main() {
         (args.peers as f64 * args.rounds as f64) / elapsed.as_secs_f64()
     );
     println!(
-        "steady state: {dispatches_per_round:.2} pool dispatches/round{}",
+        "steady state: {dispatches_per_round:.2} pool dispatches/round{}, \
+         {bytes_per_peer:.0} bytes/peer",
         if alloc_probe::ENABLED {
             format!(", {allocs_per_round:.1} allocs/round")
         } else {

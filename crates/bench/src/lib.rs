@@ -10,7 +10,7 @@
 
 use std::path::PathBuf;
 
-use peerback_core::SimConfig;
+use peerback_core::{SelectionStrategy, SimConfig};
 
 /// Allocation counting for the zero-allocation steady-state gate.
 ///
@@ -164,6 +164,15 @@ pub struct HarnessArgs {
     /// with sampled audit + scrubbing) switch on this rather than
     /// guessing from the numbers.
     pub paper_scale: bool,
+    /// Partner-selection strategy override (`None` keeps the config
+    /// default, the paper's age-based rule).
+    pub strategy: Option<SelectionStrategy>,
+    /// Fraction of peers that misreport (inflate) their age during
+    /// negotiation. `0.0` disables the adversarial axis.
+    pub misreport: f64,
+    /// Round at which hidden churn profiles flip to the mirrored mix
+    /// for newly spawned peers (`0` disables the behaviour shift).
+    pub shift_round: u64,
 }
 
 impl HarnessArgs {
@@ -190,6 +199,9 @@ impl HarnessArgs {
         let mut no_steal = false;
         let mut skewed = false;
         let mut shard_slots = 64usize;
+        let mut strategy = None;
+        let mut misreport = 0.0f64;
+        let mut shift_round = 0u64;
 
         let mut iter = args.into_iter();
         while let Some(arg) = iter.next() {
@@ -213,6 +225,21 @@ impl HarnessArgs {
                 "--shard-slots" => {
                     shard_slots = parse_num(&value_for("--shard-slots"), "--shard-slots") as usize;
                 }
+                "--strategy" => {
+                    let name = value_for("--strategy");
+                    strategy = Some(SelectionStrategy::from_name(&name).unwrap_or_else(|| {
+                        let known: Vec<&str> =
+                            SelectionStrategy::ALL.iter().map(|s| s.name()).collect();
+                        panic!(
+                            "unknown strategy {name:?}; expected one of {}\n{USAGE}",
+                            known.join(", ")
+                        )
+                    }));
+                }
+                "--misreport" => misreport = parse_float(&value_for("--misreport"), "--misreport"),
+                "--shift-round" => {
+                    shift_round = parse_num(&value_for("--shift-round"), "--shift-round");
+                }
                 "--help" | "-h" => {
                     println!("{USAGE}");
                     std::process::exit(0);
@@ -233,6 +260,9 @@ impl HarnessArgs {
             skewed,
             shard_slots,
             paper_scale: scale == Scale::Paper,
+            strategy,
+            misreport,
+            shift_round,
         }
     }
 
@@ -244,6 +274,15 @@ impl HarnessArgs {
             .with_shard_slots(self.shard_slots);
         if self.skewed {
             cfg = cfg.with_skewed_churn();
+        }
+        if let Some(strategy) = self.strategy {
+            cfg = cfg.with_strategy(strategy);
+        }
+        if self.misreport > 0.0 {
+            cfg = cfg.with_misreport(self.misreport);
+        }
+        if self.shift_round > 0 {
+            cfg = cfg.with_shift_profiles_at(self.shift_round);
         }
         cfg
     }
@@ -282,6 +321,17 @@ fn parse_num(s: &str, flag: &str) -> u64 {
         .unwrap_or_else(|_| panic!("flag {flag} expects a number, got {s:?}\n{USAGE}"))
 }
 
+fn parse_float(s: &str, flag: &str) -> f64 {
+    let v: f64 = s
+        .parse()
+        .unwrap_or_else(|_| panic!("flag {flag} expects a number, got {s:?}\n{USAGE}"));
+    assert!(
+        v.is_finite() && (0.0..=1.0).contains(&v),
+        "flag {flag} expects a fraction in [0, 1], got {s:?}\n{USAGE}"
+    );
+    v
+}
+
 const USAGE: &str = "\
 usage: <binary> [options]
   --smoke           800 peers, 8k rounds (fast sanity check)
@@ -305,7 +355,14 @@ usage: <binary> [options]
                     work-stealing benchmark scenario)
   --shard-slots N   minimum peer slots per logical shard (default 64;
                     semantic: changes the logical partition and the
-                    per-shard RNG streams)";
+                    per-shard RNG streams)
+  --strategy NAME   partner-selection strategy override (age-based,
+                    random, youngest, uptime-weighted, oracle-lifetime,
+                    learned-age; default: the config's age-based rule)
+  --misreport F     fraction of peers that inflate their claimed age
+                    during negotiation (default 0: off)
+  --shift-round N   from round N on, newly spawned peers draw from the
+                    mirrored churn-profile mix (default 0: off)";
 
 /// Formats a float with sensible precision for tables.
 pub fn fmt_rate(v: Option<f64>) -> String {
@@ -402,6 +459,39 @@ mod tests {
         assert_eq!(a.peers, 1000);
         assert_eq!(a.rounds, 5000);
         assert_eq!(a.seed, 7);
+    }
+
+    #[test]
+    fn scenario_axis_flags_reach_the_config() {
+        let a = parse(&[]);
+        assert_eq!(a.strategy, None);
+        assert_eq!(a.misreport, 0.0);
+        assert_eq!(a.shift_round, 0);
+        let a = parse(&[
+            "--strategy",
+            "learned-age",
+            "--misreport",
+            "0.25",
+            "--shift-round",
+            "1200",
+        ]);
+        let cfg = a.base_config();
+        assert_eq!(cfg.strategy, SelectionStrategy::LearnedAge);
+        assert_eq!(cfg.misreport_fraction, 0.25);
+        assert_eq!(cfg.shift_profiles_at, 1200);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown strategy")]
+    fn unknown_strategy_panics() {
+        let _ = parse(&["--strategy", "astrology"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction in [0, 1]")]
+    fn out_of_range_misreport_panics() {
+        let _ = parse(&["--misreport", "1.5"]);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Simulation configuration (paper §4.1 parameters).
 
 use peerback_churn::{paper_profiles, ProfileMix};
+pub use peerback_estimate::EstimateParams;
 
 use crate::accept::PAPER_CLAMP_ROUNDS;
 use crate::observer::ObserverSpec;
@@ -155,6 +156,25 @@ pub struct SimConfig {
     /// (more stealable tasks, more worker fan-out) at the price of more
     /// per-stage routing/merge bookkeeping.
     pub shard_slots: usize,
+    /// Tuning of the online survival model behind
+    /// [`SelectionStrategy::LearnedAge`] (bin grid, observation window,
+    /// fallback thresholds, refresh cadence). Only consulted when that
+    /// strategy runs; the estimator is a *deterministic* part of the
+    /// run, so these are semantic knobs.
+    pub estimator: EstimateParams,
+    /// Scenario axis: round at which newly spawned peers' churn
+    /// profiles flip (the sampled profile index is mirrored), shifting
+    /// the population's behaviour mid-run — the regime change the
+    /// learned estimator must track. `0` disables the shift.
+    pub shift_profiles_at: u64,
+    /// Scenario axis: fraction of peers (drawn at spawn) that
+    /// *misreport* their age during negotiation, claiming
+    /// `misreport_inflation ×` their true age. Adversarial input for
+    /// age-trusting strategies; `0.0` disables (and keeps the RNG
+    /// streams of misreport-free runs unchanged).
+    pub misreport_fraction: f64,
+    /// Multiplier a misreporting peer applies to its claimed age.
+    pub misreport_inflation: u64,
 }
 
 impl SimConfig {
@@ -188,6 +208,10 @@ impl SimConfig {
             work_stealing: true,
             skewed_churn: false,
             shard_slots: 64,
+            estimator: EstimateParams::default(),
+            shift_profiles_at: 0,
+            misreport_fraction: 0.0,
+            misreport_inflation: 8,
         }
     }
 
@@ -239,6 +263,20 @@ impl SimConfig {
     /// Adds the paper's five observers (§4.2.2 table).
     pub fn with_paper_observers(mut self) -> Self {
         self.observers = ObserverSpec::paper_set();
+        self
+    }
+
+    /// Flips newly spawned peers' churn profiles from `round` onward
+    /// (the mid-run behaviour-shift scenario axis; `0` disables).
+    pub fn with_shift_profiles_at(mut self, round: u64) -> Self {
+        self.shift_profiles_at = round;
+        self
+    }
+
+    /// Makes `fraction` of peers misreport their age during
+    /// negotiation (the adversarial scenario axis).
+    pub fn with_misreport(mut self, fraction: f64) -> Self {
+        self.misreport_fraction = fraction;
         self
     }
 
@@ -325,6 +363,27 @@ impl SimConfig {
         if self.shard_slots == 0 {
             return Err("shard_slots must be at least 1 (slots per logical shard)".into());
         }
+        if !(0.0..=1.0).contains(&self.misreport_fraction) {
+            return Err(format!(
+                "misreport fraction {} is not a probability",
+                self.misreport_fraction
+            ));
+        }
+        if self.misreport_inflation == 0 {
+            return Err("misreport inflation must be at least 1".into());
+        }
+        if self.estimator.bin_rounds == 0 {
+            return Err("estimator age bins must have positive width".into());
+        }
+        if self.estimator.max_bins < 2 {
+            return Err("estimator needs at least two age bins".into());
+        }
+        if self.estimator.sample_cap == 0 {
+            return Err("estimator observation window cannot be empty".into());
+        }
+        if self.estimator.refresh_interval == 0 {
+            return Err("estimator refresh interval must be positive".into());
+        }
         // The quota feasibility warning of §4.1: supply must cover demand
         // or nothing can ever fully join.
         let demand = self.n_blocks() as u64 * self.archives_per_peer as u64;
@@ -398,6 +457,43 @@ mod tests {
 
         let mut c = base;
         c.pool_target_factor = 0.5;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn scenario_axis_validation() {
+        let base = SimConfig::paper(10, 10, 0);
+        assert_eq!(base.shift_profiles_at, 0);
+        assert_eq!(base.misreport_fraction, 0.0);
+
+        let c = base.clone().with_misreport(1.5);
+        assert!(c.validate().unwrap_err().contains("not a probability"));
+        let c = base.clone().with_misreport(-0.1);
+        assert!(c.validate().is_err());
+        let c = base.clone().with_misreport(0.25).with_shift_profiles_at(5);
+        assert!(c.validate().is_ok());
+        assert_eq!(c.misreport_fraction, 0.25);
+        assert_eq!(c.shift_profiles_at, 5);
+
+        let mut c = base.clone();
+        c.misreport_inflation = 0;
+        assert!(c.validate().unwrap_err().contains("inflation"));
+    }
+
+    #[test]
+    fn estimator_params_validation() {
+        let base = SimConfig::paper(10, 10, 0);
+        let mut c = base.clone();
+        c.estimator.bin_rounds = 0;
+        assert!(c.validate().is_err());
+        let mut c = base.clone();
+        c.estimator.max_bins = 1;
+        assert!(c.validate().is_err());
+        let mut c = base.clone();
+        c.estimator.sample_cap = 0;
+        assert!(c.validate().is_err());
+        let mut c = base;
+        c.estimator.refresh_interval = 0;
         assert!(c.validate().is_err());
     }
 

@@ -54,11 +54,12 @@ pub use accept::{acceptance_probability, accepts, PAPER_CLAMP_ROUNDS};
 pub use age::AgeCategory;
 pub use archive::{Archive, ArchiveBuilder, ArchiveId};
 pub use backup::{BackupPipeline, PlacedBlock, PlacementPlan};
-pub use config::{MaintenancePolicy, SimConfig};
+pub use config::{EstimateParams, MaintenancePolicy, SimConfig};
 pub use crypt::{Cipher, NoCipher, XorKeystream};
 pub use master::{ArchiveDescriptor, MasterBlock};
 pub use metrics::{CategorySample, Diagnostics, Metrics, ObserverSeries};
 pub use observer::ObserverSpec;
+pub use peerback_estimate::EstimatorReport;
 pub use restore::{RestoreError, RestorePipeline};
 pub use runner::{run_simulation, run_sweep, run_sweep_with_threads};
 pub use select::{Candidate, SelectionStrategy};

@@ -1,5 +1,7 @@
 //! Metric collection: everything the paper's figures are drawn from.
 
+use peerback_estimate::EstimatorReport;
+
 use crate::age::AgeCategory;
 
 /// Per-age-category counters, indexed by [`AgeCategory::index`].
@@ -87,6 +89,10 @@ pub struct Metrics {
     pub restorability: Vec<(u64, f64)>,
     /// Diagnostics.
     pub diag: Diagnostics,
+    /// Final state of the learned survival model (`Some` only when the
+    /// run used `SelectionStrategy::LearnedAge`). Part of the `PartialEq`
+    /// comparison, so the determinism contract covers estimator state.
+    pub estimator: Option<EstimatorReport>,
     /// Rounds actually simulated.
     pub rounds: u64,
 }
@@ -102,6 +108,7 @@ impl Metrics {
             observers: Vec::new(),
             restorability: Vec::new(),
             diag: Diagnostics::default(),
+            estimator: None,
             rounds: 0,
         }
     }

@@ -13,6 +13,11 @@
 //! * [`OracleLifetime`](SelectionStrategy::OracleLifetime) — sorts by the
 //!   peers' *true* remaining lifetimes (information no real system has);
 //!   upper bound on what any lifetime estimator could achieve.
+//! * [`LearnedAge`](SelectionStrategy::LearnedAge) — sorts by the
+//!   *learned* remaining-lifetime estimate from the online survival
+//!   model (`peerback-estimate`), the realisable version of the
+//!   paper's idea: it sits between `Random` and `OracleLifetime`, and
+//!   how close it gets to the oracle measures the estimator.
 
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -31,6 +36,11 @@ pub struct Candidate {
     /// True remaining lifetime in rounds (`u64::MAX` for durable peers).
     /// Only the oracle strategy may look at this.
     pub true_remaining: u64,
+    /// Learned remaining-lifetime estimate in rounds, from the online
+    /// survival model. Populated shard-locally while the pool is built
+    /// when a [`SelectionStrategy::LearnedAge`] world runs; 0 when no
+    /// estimator is attached.
+    pub estimated_remaining: u64,
 }
 
 impl Candidate {
@@ -57,16 +67,20 @@ pub enum SelectionStrategy {
     UptimeWeighted,
     /// Pick by true remaining lifetime (unrealisable upper bound).
     OracleLifetime,
+    /// Rank by the learned remaining-lifetime estimate (the online
+    /// Kaplan–Meier + isotonic survival model of `peerback-estimate`).
+    LearnedAge,
 }
 
 impl SelectionStrategy {
     /// All strategies, for sweep harnesses.
-    pub const ALL: [SelectionStrategy; 5] = [
+    pub const ALL: [SelectionStrategy; 6] = [
         SelectionStrategy::AgeBased,
         SelectionStrategy::Random,
         SelectionStrategy::Youngest,
         SelectionStrategy::UptimeWeighted,
         SelectionStrategy::OracleLifetime,
+        SelectionStrategy::LearnedAge,
     ];
 
     /// Name for reports.
@@ -77,7 +91,16 @@ impl SelectionStrategy {
             SelectionStrategy::Youngest => "youngest",
             SelectionStrategy::UptimeWeighted => "uptime-weighted",
             SelectionStrategy::OracleLifetime => "oracle-lifetime",
+            SelectionStrategy::LearnedAge => "learned-age",
         }
+    }
+
+    /// Parses a [`SelectionStrategy::name`] back into the strategy —
+    /// the CLI flag form used by the bench harnesses.
+    pub fn from_name(name: &str) -> Option<SelectionStrategy> {
+        SelectionStrategy::ALL
+            .into_iter()
+            .find(|s| s.name() == name)
     }
 
     /// Reorders `pool` so its first `min(d, len)` entries are the chosen
@@ -108,45 +131,64 @@ impl SelectionStrategy {
             SelectionStrategy::OracleLifetime => {
                 pool.sort_by_key(|c| core::cmp::Reverse(c.true_remaining));
             }
+            SelectionStrategy::LearnedAge => {
+                pool.sort_by_key(|c| core::cmp::Reverse(c.estimated_remaining));
+            }
         }
         pool.truncate(d);
     }
+
+    /// The ranking key this strategy orders candidate pools by, when
+    /// the ordering is a descending integer key — the strategies the
+    /// maintained [`AgeOrderedIndex`] build path can serve.
+    #[inline]
+    pub fn ranking_key(self, cand: &Candidate) -> Option<u64> {
+        match self {
+            SelectionStrategy::AgeBased => Some(cand.age),
+            SelectionStrategy::LearnedAge => Some(cand.estimated_remaining),
+            _ => None,
+        }
+    }
 }
 
-/// The maintained age-ordered candidate index behind
-/// [`SelectionStrategy::AgeBased`] pool building: a bounded
-/// top-`cap`-by-age structure over a binary min-heap.
+/// The maintained ranked candidate index behind
+/// [`SelectionStrategy::AgeBased`] and
+/// [`SelectionStrategy::LearnedAge`] pool building: a bounded
+/// top-`cap`-by-key structure over a binary min-heap. The ranking key
+/// is supplied by the caller per insertion — the candidate's age for
+/// the paper's strategy, its learned remaining-lifetime estimate for
+/// `LearnedAge` (see [`SelectionStrategy::ranking_key`]).
 ///
 /// Compared with the historical collect-shuffle-sort ranking, the
 /// index maintains order *while the pool is built*:
 ///
 /// * [`admits`](AgeOrderedIndex::admits) is the hot-path pre-screen —
-///   one comparison against the current age floor decides whether a
+///   one comparison against the current key floor decides whether a
 ///   candidate can still improve a full pool, **before** the
 ///   probabilistic acceptance test spends RNG draws on it. Ties cannot
 ///   improve the pool, so they are screened out too.
 /// * [`insert`](AgeOrderedIndex::insert) costs `O(log cap)` (a heap
-///   sift, not a sorted-vector memmove), so scattered-age insertion
+///   sift, not a sorted-vector memmove), so scattered-key insertion
 ///   streams stay cheap.
 /// * [`into_ranked`](AgeOrderedIndex::into_ranked) pays one final sort
 ///   of at most `cap` survivors — the same cost the legacy path paid,
 ///   but over a pool the screen kept small.
 ///
-/// Determinism: entries are totally ordered by `(age, insertion
-/// sequence)` — equal-age candidates keep their sampling order, which
+/// Determinism: entries are totally ordered by `(key, insertion
+/// sequence)` — equal-key candidates keep their sampling order, which
 /// is itself seed-deterministic — so the ranked output is a pure
 /// function of the insertion stream at any thread count.
 #[derive(Debug, Clone)]
 pub struct AgeOrderedIndex {
     cap: usize,
     seq: u32,
-    /// Min-heap: `heap[0]` is the youngest (and latest-sampled among
-    /// age ties) entry — the one eviction removes.
+    /// Min-heap: `heap[0]` is the lowest-keyed (and latest-sampled
+    /// among key ties) entry — the one eviction removes.
     heap: Vec<HeapEntry>,
 }
 
-/// `(age, u32::MAX - insertion seq, candidate)`: tuple order on the
-/// first two fields makes earlier-sampled age-ties the *larger* entry,
+/// `(key, u32::MAX - insertion seq, candidate)`: tuple order on the
+/// first two fields makes earlier-sampled key-ties the *larger* entry,
 /// so eviction drops the latest tie first.
 type HeapEntry = (u64, u32, Candidate);
 
@@ -180,21 +222,22 @@ impl AgeOrderedIndex {
         self.heap.is_empty()
     }
 
-    /// Whether a candidate of `age` would enter the index: always while
-    /// below capacity, otherwise only by beating the current floor
-    /// (ties lose). The hot-path pre-screen.
+    /// Whether a candidate with ranking key `key` would enter the
+    /// index: always while below capacity, otherwise only by beating
+    /// the current floor (ties lose). The hot-path pre-screen.
     #[inline]
-    pub fn admits(&self, age: u64) -> bool {
-        self.heap.len() < self.cap || age > self.heap[0].0
+    pub fn admits(&self, key: u64) -> bool {
+        self.heap.len() < self.cap || key > self.heap[0].0
     }
 
-    /// Inserts a candidate, evicting the youngest entry when full.
-    /// Returns whether the candidate entered.
-    pub fn insert(&mut self, cand: Candidate) -> bool {
-        if !self.admits(cand.age) {
+    /// Inserts a candidate under ranking key `key`, evicting the
+    /// lowest-keyed entry when full. Returns whether the candidate
+    /// entered.
+    pub fn insert(&mut self, key: u64, cand: Candidate) -> bool {
+        if !self.admits(key) {
             return false;
         }
-        let entry = (cand.age, u32::MAX - self.seq, cand);
+        let entry = (key, u32::MAX - self.seq, cand);
         self.seq = self.seq.wrapping_add(1);
         if self.heap.len() < self.cap {
             self.heap.push(entry);
@@ -206,8 +249,8 @@ impl AgeOrderedIndex {
         true
     }
 
-    /// Consumes the index into a pool ranked oldest-first (equal ages
-    /// in sampling order).
+    /// Consumes the index into a pool ranked highest-key-first (equal
+    /// keys in sampling order).
     pub fn into_ranked(self) -> Vec<Candidate> {
         let mut entries = self.heap;
         entries.sort_unstable_by_key(|e| core::cmp::Reverse(heap_key(e)));
@@ -228,9 +271,10 @@ impl AgeOrderedIndex {
         self.heap.clear();
     }
 
-    /// Drains the index into `out` ranked oldest-first (equal ages in
-    /// sampling order), leaving it empty but with its allocation — the
-    /// recycled-arena form of [`AgeOrderedIndex::into_ranked`].
+    /// Drains the index into `out` ranked highest-key-first (equal
+    /// keys in sampling order), leaving it empty but with its
+    /// allocation — the recycled-arena form of
+    /// [`AgeOrderedIndex::into_ranked`].
     pub fn drain_ranked_into(&mut self, out: &mut Vec<Candidate>) {
         self.heap
             .sort_unstable_by_key(|e| core::cmp::Reverse(heap_key(e)));
@@ -285,6 +329,13 @@ mod tests {
                 // differs from the pure age ranking.
                 uptime: 1.0 - (i as f64) * 0.04,
                 true_remaining: ((19 - i) as u64) * 50, // inverse of age
+                // Estimates agree with the truth only on parity so the
+                // learned ranking differs from every other ordering.
+                estimated_remaining: if i % 2 == 0 {
+                    (i as u64) * 10 + 1000
+                } else {
+                    1
+                },
             })
             .collect()
     }
@@ -362,6 +413,7 @@ mod tests {
                 age: 500,
                 uptime: 0.5,
                 true_remaining: 1,
+                estimated_remaining: 1,
             })
             .collect();
         let mut rng = sim_rng(5);
@@ -413,6 +465,7 @@ mod tests {
             age: 1000,
             uptime: 0.75,
             true_remaining: 0,
+            estimated_remaining: 0,
         };
         assert_eq!(c.uptime_score(), 750.0);
         // Out-of-range uptimes clamp defensively.
@@ -421,20 +474,69 @@ mod tests {
             age: 100,
             uptime: 1.5,
             true_remaining: 0,
+            estimated_remaining: 0,
         };
         assert_eq!(c.uptime_score(), 100.0);
+    }
+
+    #[test]
+    fn learned_age_ranks_by_estimate_not_age_or_truth() {
+        let mut rng = sim_rng(3);
+        let mut p = pool();
+        // Even ids carry large estimates growing with id; the top-3
+        // learned pick is the three largest even ids.
+        SelectionStrategy::LearnedAge.choose(&mut rng, &mut p, 3);
+        let mut ids: Vec<u32> = p.iter().map(|c| c.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![14, 16, 18]);
+        assert!(p
+            .windows(2)
+            .all(|w| w[0].estimated_remaining >= w[1].estimated_remaining));
+    }
+
+    #[test]
+    fn ranking_key_covers_exactly_the_indexed_strategies() {
+        let c = Candidate {
+            id: 1,
+            age: 70,
+            uptime: 0.5,
+            true_remaining: 9,
+            estimated_remaining: 33,
+        };
+        assert_eq!(SelectionStrategy::AgeBased.ranking_key(&c), Some(70));
+        assert_eq!(SelectionStrategy::LearnedAge.ranking_key(&c), Some(33));
+        for s in [
+            SelectionStrategy::Random,
+            SelectionStrategy::Youngest,
+            SelectionStrategy::UptimeWeighted,
+            SelectionStrategy::OracleLifetime,
+        ] {
+            assert_eq!(s.ranking_key(&c), None, "{}", s.name());
+        }
+    }
+
+    #[test]
+    fn from_name_round_trips_every_strategy() {
+        for s in SelectionStrategy::ALL {
+            assert_eq!(SelectionStrategy::from_name(s.name()), Some(s));
+        }
+        assert_eq!(SelectionStrategy::from_name("nonsense"), None);
     }
 
     #[test]
     fn age_index_keeps_the_oldest_in_descending_order() {
         let mut index = AgeOrderedIndex::new(3);
         for (i, age) in [5u64, 900, 42, 900, 7, 1000, 3].into_iter().enumerate() {
-            index.insert(Candidate {
-                id: i as u32,
+            index.insert(
                 age,
-                uptime: 1.0,
-                true_remaining: 0,
-            });
+                Candidate {
+                    id: i as u32,
+                    age,
+                    uptime: 1.0,
+                    true_remaining: 0,
+                    estimated_remaining: 0,
+                },
+            );
         }
         let pool = index.into_ranked();
         let ages: Vec<u64> = pool.iter().map(|c| c.age).collect();
@@ -451,17 +553,18 @@ mod tests {
             age,
             uptime: 1.0,
             true_remaining: 0,
+            estimated_remaining: 0,
         };
         let mut index = AgeOrderedIndex::new(2);
         assert!(index.admits(0), "empty index admits anything");
         assert!(index.is_empty());
-        index.insert(mk(10));
-        index.insert(mk(20));
+        index.insert(10, mk(10));
+        index.insert(20, mk(20));
         assert!(!index.admits(10), "tie with the floor");
         assert!(!index.admits(5));
         assert!(index.admits(11));
-        assert!(index.insert(mk(15)), "evicts the floor");
-        assert!(!index.insert(mk(3)), "too young to enter");
+        assert!(index.insert(15, mk(15)), "evicts the floor");
+        assert!(!index.insert(3, mk(3)), "too young to enter");
         assert_eq!(index.len(), 2);
         let pool = index.into_ranked();
         assert_eq!(pool.last().unwrap().age, 15);
@@ -476,11 +579,12 @@ mod tests {
                 age: (i as u64).wrapping_mul(2654435761) % 97,
                 uptime: 0.0,
                 true_remaining: 0,
+                estimated_remaining: 0,
             })
             .collect();
         let mut index = AgeOrderedIndex::new(64);
         for c in &stream {
-            index.insert(*c);
+            index.insert(c.age, *c);
         }
         let got: Vec<u32> = index.into_ranked().iter().map(|c| c.id).collect();
 
@@ -494,6 +598,25 @@ mod tests {
     fn names_are_unique() {
         let names: std::collections::HashSet<_> =
             SelectionStrategy::ALL.iter().map(|s| s.name()).collect();
-        assert_eq!(names.len(), 5);
+        assert_eq!(names.len(), 6);
+    }
+
+    #[test]
+    fn keyed_index_ranks_by_the_supplied_key_not_age() {
+        // Keys are learned estimates, deliberately anti-correlated
+        // with age: the index must follow the key.
+        let mut index = AgeOrderedIndex::new(3);
+        for i in 0..10u32 {
+            let cand = Candidate {
+                id: i,
+                age: 1000 - i as u64,
+                uptime: 0.5,
+                true_remaining: 0,
+                estimated_remaining: (i as u64) * 7,
+            };
+            index.insert(cand.estimated_remaining, cand);
+        }
+        let ids: Vec<u32> = index.into_ranked().iter().map(|c| c.id).collect();
+        assert_eq!(ids, vec![9, 8, 7]);
     }
 }

@@ -94,6 +94,18 @@ impl ShardLane<'_> {
     ) {
         debug_assert!(self.local(id).observer.is_none());
         self.delta.departures += 1;
+        if self.estimates_on {
+            // Record the completed lifetime before any teardown:
+            // `uptime_at` must still see the open session (set_online
+            // below does not bank it into the ledger).
+            let peer = self.local(id);
+            let rec = peerback_estimate::DeathRecord {
+                lifetime: peer.age_at(round),
+                uptime: peer.uptime_at(round),
+                sessions: peer.session_seq,
+            };
+            self.obs.push(rec);
+        }
         if self.local(id).online {
             self.set_online(id, false);
         }

@@ -215,6 +215,36 @@ impl BackupWorld {
         self.exec.steal
     }
 
+    /// Approximate heap footprint per allocated peer slot, in bytes:
+    /// the peer table itself plus the capacities of every per-peer
+    /// collection that scales with `n` and quota — partner lists,
+    /// stale-partner lists and hosted ledgers. Memory telemetry for the
+    /// perf gate; varies with allocator growth policy and is never part
+    /// of the determinism contract.
+    pub fn approx_bytes_per_peer(&self) -> f64 {
+        use super::peers::{ArchiveIdx, ArchiveState, Peer};
+        if self.peers.is_empty() {
+            return 0.0;
+        }
+        let mut bytes = self.peers.capacity() * core::mem::size_of::<Peer>()
+            + self.online_pos.capacity() * core::mem::size_of::<u32>();
+        for p in &self.peers {
+            bytes += p.hosted.capacity() * core::mem::size_of::<(PeerId, ArchiveIdx)>();
+            bytes += p.archives.capacity() * core::mem::size_of::<ArchiveState>();
+            for a in &p.archives {
+                bytes += (a.partners.capacity() + a.stale_partners.capacity())
+                    * core::mem::size_of::<PeerId>();
+            }
+        }
+        bytes as f64 / self.peers.len() as f64
+    }
+
+    /// Current state of the learned survival model (`None` unless the
+    /// run uses [`crate::select::SelectionStrategy::LearnedAge`]).
+    pub fn estimator_report(&self) -> Option<peerback_estimate::EstimatorReport> {
+        self.estimator.as_ref().map(|m| m.report())
+    }
+
     // (Event emission lives on the stage lanes — `ShardLane::emit` /
     // `WorkLane::emit` — whose buffers merge in shard order; the world
     // itself only stores the merged log.)

@@ -114,6 +114,16 @@ pub struct BackupWorld {
     pub(in crate::world) pendings: Vec<Vec<PeerId>>,
     /// Per-shard RNG streams (forked from the run seed + shard index).
     pub(in crate::world) rngs: Vec<SimRng>,
+    /// Online survival model driving [`SelectionStrategy::LearnedAge`]
+    /// (attached only under that strategy; every other strategy carries
+    /// `None` and pays nothing). Fed sequentially in shard order, read
+    /// shared (frozen) by the parallel proposal phase.
+    ///
+    /// [`SelectionStrategy::LearnedAge`]: crate::select::SelectionStrategy::LearnedAge
+    pub(in crate::world) estimator: Option<Box<peerback_estimate::OnlineSurvivalModel>>,
+    /// Per-shard death-observation buffers, filled by the parallel
+    /// event phase and drained into the model in shard order.
+    pub(in crate::world) obs: Vec<Vec<peerback_estimate::DeathRecord>>,
     /// Per-worker pool-building scratch (execution-only state).
     pub(in crate::world) scratch: Vec<Scratch>,
     /// Per-shard tentative-quota scratch for the grant stages.
@@ -182,6 +192,12 @@ impl BackupWorld {
             rngs: (0..layout.count)
                 .map(|s| SimRng::seed_from_u64(derive_seed(cfg.seed, SHARD_STREAM_BASE + s as u64)))
                 .collect(),
+            estimator: (cfg.strategy == crate::select::SelectionStrategy::LearnedAge).then(|| {
+                Box::new(peerback_estimate::OnlineSurvivalModel::new(
+                    cfg.estimator.clone(),
+                ))
+            }),
+            obs: (0..layout.count).map(|_| Vec::new()).collect(),
             scratch: Vec::new(),
             grant_scratch: Vec::new(),
             arena: RoundArena::new(layout.count),
@@ -199,6 +215,7 @@ impl BackupWorld {
 
     /// Finishes the run and returns the collected metrics.
     pub fn into_metrics(mut self) -> Metrics {
+        self.metrics.estimator = self.estimator.as_ref().map(|m| m.report());
         for (i, spec) in self.cfg.observers.iter().enumerate() {
             let peer = &self.peers[i];
             if let Some(series) = self.metrics.observers.get_mut(i) {
@@ -269,6 +286,7 @@ impl BackupWorld {
         let cfg = &self.cfg;
         let samplers = &self.samplers;
         let events_on = self.record_events;
+        let estimates_on = self.estimator.is_some();
         let arena = &mut self.arena;
         let mut lanes: Vec<ShardLane> =
             peerback_sim::arena::retype_empty(core::mem::take(&mut arena.shard_lane_store));
@@ -279,6 +297,7 @@ impl BackupWorld {
             let mut online = self.online.iter_mut();
             let mut pendings = self.pendings.iter_mut();
             let mut rngs = self.rngs.iter_mut();
+            let mut obs = self.obs.iter_mut();
             for s in 0..layout.count {
                 let take = sz.min(peers_rest.len());
                 let (peers_chunk, rest) = peers_rest.split_at_mut(take);
@@ -294,7 +313,9 @@ impl BackupWorld {
                     pending: pendings.next().expect("pending per shard"),
                     rng: rngs.next().expect("rng per shard"),
                     events_on,
+                    estimates_on,
                     events: peerback_sim::arena::take_slot(&mut arena.event_bufs[s], recycle),
+                    obs: obs.next().expect("obs per shard"),
                     out: core::mem::take(&mut arena.outboxes[s]),
                     departed: peerback_sim::arena::take_slot(&mut arena.departed[s], recycle),
                     delta: MetricsDelta::default(),
@@ -331,6 +352,36 @@ impl BackupWorld {
         for (c, &d) in census_delta.iter().enumerate() {
             self.census[c] = (self.census[c] as i64 + d) as u64;
         }
+        // Feed the round's completed lifetimes to the survival model in
+        // shard order — the sequential merge that keeps the model (and
+        // everything ranked through it) independent of worker count.
+        if let Some(model) = &mut self.estimator {
+            for shard_obs in &mut self.obs {
+                for rec in shard_obs.drain(..) {
+                    model.observe_death(rec);
+                }
+            }
+        }
+    }
+
+    /// Refreshes the learned survival model on its cadence: a census of
+    /// living regular peers' ages enters as right-censored observations
+    /// alongside the windowed deaths. Runs sequentially before the
+    /// proposal phase, so the parallel pool builders read frozen model
+    /// state.
+    fn refresh_estimator(&mut self, round: u64) {
+        let Some(mut model) = self.estimator.take() else {
+            return;
+        };
+        if round.is_multiple_of(model.params().refresh_interval) {
+            model.refresh(
+                self.peers
+                    .iter()
+                    .skip(self.observer_count)
+                    .map(|p| p.age_at(round)),
+            );
+        }
+        self.estimator = Some(model);
     }
 
     /// Emits the round's `PeerDeparted` events (after every drop of the
@@ -476,6 +527,7 @@ impl World for BackupWorld {
         // announce the slot recycles (hooks.rs observer contract).
         self.flush_departed();
         self.drain_actors();
+        self.refresh_estimator(r);
         self.build_proposals(r);
         self.commit_proposals(r);
         self.reset_grant_scratch();

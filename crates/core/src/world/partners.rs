@@ -15,12 +15,23 @@
 //!   the one thing earlier same-round commits may have changed — and
 //!   attaching the first `d` still-valid entries.
 //!
-//! For [`SelectionStrategy::AgeBased`] the pool is built through the
-//! maintained age-ordered index ([`AgeOrderedIndex`]): candidates that
-//! cannot improve a full pool are screened out at one comparison each,
-//! *before* the acceptance test spends RNG draws on them; scanning
-//! stops once [`AGE_SCAN_MISS_BUDGET`] consecutive screens fail, and
-//! the pool needs no final shuffle-and-sort.
+//! For [`SelectionStrategy::AgeBased`] and
+//! [`SelectionStrategy::LearnedAge`] the pool is built through the
+//! maintained key-ordered index ([`AgeOrderedIndex`]), keyed by the
+//! strategy's [`SelectionStrategy::ranking_key`] (reported age, or the
+//! survival model's remaining-lifetime estimate), which keeps the pool
+//! ranked as it fills and needs no final shuffle-and-sort.
+//!
+//! Every strategy — keyed or not — ranks within a bounded *random
+//! sample* of accepted candidates, never the global online population.
+//! An earlier build kept the keyed scan running past a full pool to
+//! chase globally optimal keys; that made every owner in a round
+//! converge on the same elite hosts, whose quota claims then collided
+//! in the commit phase (`pool_shortfalls`), stalling repairs exactly
+//! for the age-trusting strategies. Sample-then-rank keeps proposals
+//! decorrelated across owners — and matches the paper's discovery
+//! model, where a peer ranks the candidates it has found (§3.2), not
+//! the whole network.
 
 use peerback_sim::{BufPool, SimRng};
 use rand::Rng;
@@ -33,23 +44,24 @@ use super::peers::{ArchiveIdx, PeerId};
 use super::shard::{ActionKind, Scratch};
 use super::BackupWorld;
 
-/// How many *consecutive* age-screen rejections end the AgeBased
-/// post-fill scan. Once the pool is full, further sampling only pays
-/// off while genuinely older candidates keep turning up; a run of
-/// screen misses this long means the pool has converged on the old
-/// tail (or, in the join wave, that every candidate is an age tie) and
-/// the remaining budget would be pure overhead. The counter resets on
-/// every insertion, so age-diverse populations keep scanning.
-/// Deterministic: a pure function of the sampled candidate stream.
-const AGE_SCAN_MISS_BUDGET: u32 = 32;
-
 impl BackupWorld {
     /// The age another peer perceives for acceptance and ranking.
+    /// Observers present their frozen age; misreporting peers
+    /// (`SimConfig::misreport_fraction`) inflate their true age by the
+    /// configured factor. Death scheduling, uptime and loss accounting
+    /// all stay keyed to the true age — only negotiation sees the lie.
     pub(in crate::world) fn negotiation_age(&self, id: PeerId, round: u64) -> u64 {
         let peer = &self.peers[id as usize];
         match peer.observer {
             Some(i) => self.cfg.observers[i as usize].frozen_age,
-            None => peer.age_at(round),
+            None => {
+                let age = peer.age_at(round);
+                if peer.misreports {
+                    age.saturating_mul(self.cfg.misreport_inflation)
+                } else {
+                    age
+                }
+            }
         }
     }
 
@@ -119,9 +131,11 @@ impl BackupWorld {
     ///
     /// The pool holds up to `pool_target_factor · d` candidates so the
     /// commit phase can skip entries whose quota filled in the
-    /// meantime without voiding the step. Ranking: AgeBased pools come
-    /// out of the (recycled) maintained age index already ordered;
-    /// every other strategy ranks via [`SelectionStrategy::choose`].
+    /// meantime without voiding the step. Ranking: AgeBased and
+    /// LearnedAge pools come out of the (recycled) maintained key index
+    /// already ordered — keyed by reported age and by the survival
+    /// model's estimate respectively; every other strategy ranks via
+    /// [`SelectionStrategy::choose`].
     #[allow(clippy::too_many_arguments)] // the frozen-state contract wants everything explicit
     pub(in crate::world) fn build_pool(
         &self,
@@ -156,18 +170,22 @@ impl BackupWorld {
         let quota = self.cfg.quota;
         let target = ((d as f64 * self.cfg.pool_target_factor).ceil() as usize).max(d as usize);
         let attempts = (d * self.cfg.pool_attempt_factor).max(16);
-        let mut index = if self.cfg.strategy == SelectionStrategy::AgeBased {
+        let learned = self.cfg.strategy == SelectionStrategy::LearnedAge;
+        let mut index = if learned || self.cfg.strategy == SelectionStrategy::AgeBased {
             scratch.age_index.reset(target);
             Some(&mut scratch.age_index)
         } else {
             None
         };
-        let mut screen_misses = 0u32;
-
         for _ in 0..attempts {
-            // The age-indexed path keeps scanning a full pool while the
-            // screen still finds improvements; the others stop once full.
-            if index.is_none() && pool.len() >= target {
+            // Both paths stop once the sample is full: ranking happens
+            // *within* the random sample (see the module doc for why
+            // chasing globally optimal keys backfires at commit time).
+            let full = match &index {
+                Some(index) => index.len() >= target,
+                None => pool.len() >= target,
+            };
+            if full {
                 break;
             }
             let j = rng.gen_range(0..total_online);
@@ -180,17 +198,24 @@ impl BackupWorld {
             if cand.observer.is_some() || cand.quota_used >= quota {
                 continue;
             }
-            let cand_age = cand.age_at(round);
-            if let Some(index) = &index {
-                if !index.admits(cand_age) {
-                    // Cannot improve a full pool: no acceptance draws.
-                    screen_misses += 1;
-                    if screen_misses >= AGE_SCAN_MISS_BUDGET {
-                        break; // the pool has converged on the old tail
-                    }
-                    continue;
-                }
-            }
+            // The *reported* age: what the candidate claims during
+            // negotiation (misreporting peers inflate it). Matches
+            // `negotiation_age` for every non-observer (observers were
+            // screened out above).
+            let true_age = cand.age_at(round);
+            let cand_age = if cand.misreports {
+                true_age.saturating_mul(self.cfg.misreport_inflation)
+            } else {
+                true_age
+            };
+            // The survival model's remaining-lifetime estimate, computed
+            // shard-locally against the frozen model state. Only the
+            // LearnedAge strategy pays for it.
+            let estimate = learned.then(|| match &self.estimator {
+                Some(model) => model.estimate(cand_age, cand.uptime_at(round), cand.session_seq),
+                None => cand_age, // detached model: degrade to age rank
+            });
+            let rank_key = if learned { estimate } else { Some(cand_age) };
             if self.cfg.acceptance_enabled {
                 // Owner-side test: does the owner accept this candidate?
                 if !accepts(rng, owner_age, cand_age, clamp) {
@@ -206,12 +231,13 @@ impl BackupWorld {
                 id: c,
                 age: cand_age,
                 uptime: cand.uptime_at(round),
+                estimated_remaining: estimate.unwrap_or(0),
                 true_remaining: cand.death.saturating_sub(round),
             };
             match &mut index {
                 Some(index) => {
-                    index.insert(candidate);
-                    screen_misses = 0; // still finding improvements
+                    let key = rank_key.expect("the index is armed only for keyed strategies");
+                    index.insert(key, candidate);
                 }
                 None => pool.push(candidate),
             }

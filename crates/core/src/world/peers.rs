@@ -81,6 +81,11 @@ pub(in crate::world) struct Peer {
     pub(in crate::world) last_transition: u64,
     /// `Some(index into cfg.observers)` for observer peers.
     pub(in crate::world) observer: Option<u8>,
+    /// Whether this peer misstates its age during negotiation
+    /// (`SimConfig::misreport_fraction` adversarial axis). Inflates
+    /// [`BackupWorld::negotiation_age`] only — death scheduling and the
+    /// uptime ledger stay honest.
+    pub(in crate::world) misreports: bool,
     /// Set while the peer sits in the pending-activation queue.
     pub(in crate::world) queued: bool,
     /// This peer's current trigger threshold (constant under the
@@ -334,7 +339,9 @@ impl BackupWorld {
             pending: &mut self.pendings[s],
             rng: &mut self.rngs[s],
             events_on: self.record_events,
+            estimates_on: self.estimator.is_some(),
             events: Vec::new(),
+            obs: &mut self.obs[s],
             out: Vec::new(),
             departed: Vec::new(),
             delta: super::exec::MetricsDelta::default(),
@@ -365,6 +372,7 @@ impl BackupWorld {
             online_accum: 0,
             last_transition: 0,
             observer: None,
+            misreports: false,
             queued: false,
             threshold: 0,
             archives: Vec::new(),
@@ -465,15 +473,29 @@ pub(in crate::world) fn enqueue_pending(peer: &mut Peer, id: PeerId, pending: &m
     }
 }
 
-/// The profile id a fresh peer in `slot` receives. Normally a draw from
-/// the configured mix; under `SimConfig::skewed_churn` the **slot
-/// range** decides instead — the first quarter of the slot space gets
-/// the churniest profile, the rest the calmest — so one contiguous
+/// The profile id a fresh peer in `slot` receives at `round`. Normally
+/// a draw from the configured mix; under `SimConfig::skewed_churn` the
+/// **slot range** decides instead — the first quarter of the slot space
+/// gets the churniest profile, the rest the calmest — so one contiguous
 /// shard range concentrates nearly all deaths, timeouts and repairs
 /// (the work-stealing benchmark scenario). The RNG draw happens either
 /// way, keeping the shard streams aligned with the uniform mix.
-fn assign_profile(cfg: &SimConfig, slot: PeerId, rng: &mut peerback_sim::SimRng) -> usize {
-    let sampled = cfg.profiles.sample(rng);
+///
+/// From `SimConfig::shift_profiles_at` on (when non-zero), the sampled
+/// index is **mirrored** (`len − 1 − index`): the population's churn
+/// behaviour flips mid-run without touching the draw sequence, which is
+/// what makes the behaviour-shift scenario seed-comparable against the
+/// stationary one.
+fn assign_profile(
+    cfg: &SimConfig,
+    slot: PeerId,
+    round: u64,
+    rng: &mut peerback_sim::SimRng,
+) -> usize {
+    let mut sampled = cfg.profiles.sample(rng);
+    if cfg.shift_profiles_at > 0 && round >= cfg.shift_profiles_at {
+        sampled = cfg.profiles.len() - 1 - sampled;
+    }
     if !cfg.skewed_churn {
         return sampled;
     }
@@ -512,13 +534,20 @@ impl ShardLane<'_> {
         cfg: &SimConfig,
         samplers: &[SessionSampler],
     ) {
-        let profile_id = assign_profile(cfg, id, self.rng);
+        let profile_id = assign_profile(cfg, id, round, self.rng);
         let lifetime = cfg.profiles.profile(profile_id).lifetime.sample(self.rng);
         let sampler = samplers[profile_id];
         let online = sampler.initial_online(self.rng);
+        // Gated on the fraction so the axis being off leaves every
+        // existing seed's draw sequence untouched.
+        let misreports = cfg.misreport_fraction > 0.0 && {
+            use rand::Rng;
+            self.rng.gen_bool(cfg.misreport_fraction)
+        };
 
         let peer = self.local(id);
         peer.profile = profile_id as u8;
+        peer.misreports = misreports;
         peer.threshold = cfg.maintenance.threshold().unwrap_or(0);
         peer.birth = round;
         peer.death = lifetime.map_or(u64::MAX, |l| round + l);

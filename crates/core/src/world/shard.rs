@@ -45,6 +45,7 @@
 //! [`WorldEvent`]: super::hooks::WorldEvent
 
 use peerback_churn::SessionSampler;
+use peerback_estimate::DeathRecord;
 use peerback_sim::{HierarchicalWheel, Round, SimRng};
 
 use crate::age::AgeCategory;
@@ -233,8 +234,15 @@ pub(in crate::world) struct ShardLane<'a> {
     pub(in crate::world) rng: &'a mut SimRng,
     /// Whether the world records events.
     pub(in crate::world) events_on: bool,
+    /// Whether a survival estimator is attached (strategy `LearnedAge`);
+    /// gates the death-observation pushes so every other strategy pays
+    /// nothing.
+    pub(in crate::world) estimates_on: bool,
     /// Events emitted by this shard's handlers (merged in shard order).
     pub(in crate::world) events: Vec<WorldEvent>,
+    /// Completed-lifetime observations from this shard's deaths, drained
+    /// into the global survival model in shard order after the phase.
+    pub(in crate::world) obs: &'a mut Vec<DeathRecord>,
     /// Cross-shard effects of this shard's deaths/timeouts, delivered
     /// in the next stage.
     pub(in crate::world) out: Vec<Msg>,

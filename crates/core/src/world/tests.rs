@@ -1136,6 +1136,7 @@ fn contended_partner_slot_commits_to_the_lower_owner() {
                 id: c,
                 age: world.peers[c as usize].age_at(round),
                 uptime: world.peers[c as usize].uptime_at(round),
+                estimated_remaining: 0,
                 true_remaining: world.peers[c as usize].death.saturating_sub(round),
             }],
         }
@@ -1282,6 +1283,139 @@ fn skewed_churn_stays_bit_identical_across_shard_counts() {
     );
     assert_eq!(m1, m8);
     assert_eq!(e1, e8);
+}
+
+/// A churny mix with short heavy-tailed lifetimes: enough deaths in a
+/// few hundred rounds to warm the survival model (the paper mix spans
+/// years and would leave it on the cold-start prior).
+fn churny_config(peers: usize, rounds: u64, seed: u64) -> SimConfig {
+    use peerback_churn::{LifetimeSpec, Profile, ProfileMix};
+    let mut cfg = sharded_config(peers, rounds, seed);
+    cfg.profiles = ProfileMix::new(vec![
+        (
+            Profile::new(
+                "short",
+                LifetimeSpec::Pareto {
+                    x_min: 30.0,
+                    alpha: 1.5,
+                },
+                0.9,
+            ),
+            0.5,
+        ),
+        (
+            Profile::new("mid", LifetimeSpec::Uniform { low: 80, high: 300 }, 0.5),
+            0.3,
+        ),
+        (
+            Profile::new(
+                "long",
+                LifetimeSpec::Uniform {
+                    low: 400,
+                    high: 1200,
+                },
+                0.25,
+            ),
+            0.2,
+        ),
+    ]);
+    cfg
+}
+
+#[test]
+fn learned_age_stays_bit_identical_across_shards_and_stealing() {
+    // The estimator rides the determinism contract: deaths are merged
+    // into the model in shard order and the model refreshes
+    // sequentially, so LearnedAge runs — estimator state included, via
+    // `Metrics::estimator` — must be byte-identical at any worker
+    // count and steal setting. shard_slots 8 gives 640 slots ≈ 80
+    // logical shards, so shards=64 really runs 64 workers unclamped.
+    let base = churny_config(640, 300, 33)
+        .with_shard_slots(8)
+        .with_strategy(SelectionStrategy::LearnedAge);
+    {
+        let world = BackupWorld::new(base.clone());
+        assert!(world.layout.count >= 64, "need ≥64 logical shards");
+    }
+    let (m1, e1) = run_recorded(base.clone().with_shards(1));
+    let report = m1.estimator.as_ref().expect("LearnedAge attaches a model");
+    assert!(report.deaths_observed > 0, "run too quiet: no deaths fed");
+    assert!(report.refreshes > 0, "model never refreshed");
+    for (shards, steal) in [(8, true), (64, true), (8, false), (64, false)] {
+        let (m, e) = run_recorded(base.clone().with_shards(shards).with_work_stealing(steal));
+        assert_eq!(m1, m, "metrics diverged at shards={shards} steal={steal}");
+        assert_eq!(e1, e, "events diverged at shards={shards} steal={steal}");
+    }
+}
+
+#[test]
+fn scenario_axes_stay_bit_identical_across_shard_counts() {
+    // The behaviour-shift and age-misreport axes obey the same
+    // contract, alone and combined with the learned strategy.
+    let base = churny_config(600, 300, 29)
+        .with_strategy(SelectionStrategy::LearnedAge)
+        .with_shift_profiles_at(150)
+        .with_misreport(0.25);
+    let (m1, e1) = run_recorded(base.clone().with_shards(1));
+    assert!(m1.total_repairs() > 0, "run too quiet to be meaningful");
+    let (m8, e8) = run_recorded(base.with_shards(8));
+    assert_eq!(m1, m8);
+    assert_eq!(e1, e8);
+}
+
+#[test]
+fn learned_age_ranks_pools_differently_from_age_based_once_active() {
+    // Behavioural smoke: with the model active the learned ranking is
+    // a real function of the survival fit, not a re-label of AgeBased.
+    // (Identical runs would mean the estimate never deviates from the
+    // age prior — possible for a cold model, wrong for a warm one.)
+    let base = churny_config(600, 400, 41);
+    let (m_age, _) = run_recorded(base.clone().with_strategy(SelectionStrategy::AgeBased));
+    let (m_learned, _) = run_recorded(base.with_strategy(SelectionStrategy::LearnedAge));
+    assert!(
+        m_age.estimator.is_none(),
+        "AgeBased must not pay for a model"
+    );
+    let report = m_learned
+        .estimator
+        .as_ref()
+        .expect("LearnedAge attaches a model");
+    assert!(report.active, "400 rounds of churn must activate the model");
+    assert_ne!(
+        (m_age.total_repairs(), m_age.total_losses(), m_age.diag),
+        (
+            m_learned.total_repairs(),
+            m_learned.total_losses(),
+            m_learned.diag
+        ),
+        "learned ranking produced a byte-identical run — estimate unused?"
+    );
+}
+
+#[test]
+fn misreporting_peers_inflate_negotiation_age_only() {
+    let mut cfg = sharded_config(300, 5, 3).with_misreport(1.0);
+    cfg.misreport_inflation = 8;
+    let rounds = cfg.rounds;
+    let mut world = BackupWorld::new(cfg);
+    let mut engine = Engine::new(3);
+    engine.run(&mut world, rounds);
+    let round = world.metrics.rounds;
+    let mut checked = 0;
+    for id in 0..world.peers.len() as PeerId {
+        let peer = &world.peers[id as usize];
+        if peer.observer.is_some() || peer.age_at(round) == 0 {
+            continue;
+        }
+        assert!(peer.misreports, "fraction 1.0 marks every regular peer");
+        assert_eq!(
+            world.negotiation_age(id, round),
+            peer.age_at(round) * 8,
+            "misreported age must be the inflated true age"
+        );
+        checked += 1;
+    }
+    assert!(checked > 0, "no aged regular peers to check");
 }
 
 #[test]

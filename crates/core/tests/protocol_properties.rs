@@ -63,6 +63,7 @@ proptest! {
                 id: i,
                 age: (i as u64).wrapping_mul(seed % 97),
                 uptime: ((i as f64) * 0.137).fract(),
+                estimated_remaining: (i as u64).wrapping_mul(17) % 5_000,
                 true_remaining: (i as u64).wrapping_mul(31) % 10_000,
             })
             .collect();

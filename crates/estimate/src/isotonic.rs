@@ -1,0 +1,136 @@
+//! Pooled-adjacent-violators (PAV) isotonic regression.
+
+/// Replaces `values` with its weighted least-squares best
+/// non-decreasing fit, using the classic pooled-adjacent-violators
+/// algorithm: scan left to right, and whenever a value drops below its
+/// predecessor block, merge the two blocks into their weighted mean,
+/// cascading the merge leftward while the monotonicity violation
+/// persists.
+///
+/// `weights` must have the same length as `values`; non-positive
+/// weights are treated as zero (a zero-weight block still occupies its
+/// position but contributes nothing to pooled means).
+///
+/// Runs in O(n): every element is pushed and popped at most once.
+///
+/// # Panics
+///
+/// Panics if the two slices differ in length.
+pub fn isotonic_non_decreasing(values: &mut [f64], weights: &[f64]) {
+    assert_eq!(
+        values.len(),
+        weights.len(),
+        "isotonic regression needs one weight per value"
+    );
+    // Stack of merged blocks: (pooled mean, pooled weight, run length).
+    let mut mean: Vec<f64> = Vec::with_capacity(values.len());
+    let mut weight: Vec<f64> = Vec::with_capacity(values.len());
+    let mut len: Vec<usize> = Vec::with_capacity(values.len());
+
+    for i in 0..values.len() {
+        let mut m = values[i];
+        let mut w = weights[i].max(0.0);
+        let mut l = 1usize;
+        while let Some(&prev_mean) = mean.last() {
+            if prev_mean <= m {
+                break;
+            }
+            let prev_w = weight.pop().expect("stacks in lockstep");
+            let prev_l = len.pop().expect("stacks in lockstep");
+            mean.pop();
+            let total_w = prev_w + w;
+            m = if total_w > 0.0 {
+                (prev_mean * prev_w + m * w) / total_w
+            } else {
+                // Two weightless blocks: pool by run length so the fit
+                // stays defined.
+                (prev_mean * prev_l as f64 + m * l as f64) / (prev_l + l) as f64
+            };
+            w = total_w;
+            l += prev_l;
+        }
+        mean.push(m);
+        weight.push(w);
+        len.push(l);
+    }
+
+    let mut i = 0;
+    for (m, l) in mean.iter().zip(&len) {
+        values[i..i + l].fill(*m);
+        i += l;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn is_non_decreasing(v: &[f64]) -> bool {
+        v.windows(2).all(|w| w[0] <= w[1])
+    }
+
+    #[test]
+    fn monotone_input_is_untouched() {
+        let mut v = vec![1.0, 2.0, 2.0, 5.0, 9.0];
+        let orig = v.clone();
+        isotonic_non_decreasing(&mut v, &[1.0; 5]);
+        assert_eq!(v, orig);
+    }
+
+    #[test]
+    fn single_violation_pools_to_mean() {
+        let mut v = vec![1.0, 4.0, 2.0, 5.0];
+        isotonic_non_decreasing(&mut v, &[1.0; 4]);
+        assert_eq!(v, vec![1.0, 3.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn cascading_violation_pools_leftward() {
+        // The final small value drags every earlier block down.
+        let mut v = vec![3.0, 2.0, 1.0];
+        isotonic_non_decreasing(&mut v, &[1.0; 3]);
+        assert_eq!(v, vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn weights_shift_the_pooled_mean() {
+        let mut v = vec![4.0, 0.0];
+        isotonic_non_decreasing(&mut v, &[3.0, 1.0]);
+        assert_eq!(v, vec![3.0, 3.0]);
+    }
+
+    #[test]
+    fn zero_weight_values_do_not_pull_blocks() {
+        let mut v = vec![10.0, 0.0, 20.0];
+        isotonic_non_decreasing(&mut v, &[1.0, 0.0, 1.0]);
+        // The weightless middle value pools with its left neighbour
+        // without moving it.
+        assert_eq!(v, vec![10.0, 10.0, 20.0]);
+    }
+
+    #[test]
+    fn output_is_always_monotone_and_mean_preserving() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        for _ in 0..200 {
+            let n = rng.gen_range(1..40);
+            let mut v: Vec<f64> = (0..n).map(|_| rng.gen_range(-50.0..50.0)).collect();
+            let w: Vec<f64> = (0..n).map(|_| rng.gen_range(0.1..5.0)).collect();
+            let before: f64 = v.iter().zip(&w).map(|(x, y)| x * y).sum();
+            isotonic_non_decreasing(&mut v, &w);
+            let after: f64 = v.iter().zip(&w).map(|(x, y)| x * y).sum();
+            assert!(is_non_decreasing(&v), "not monotone: {v:?}");
+            assert!(
+                (before - after).abs() < 1e-6 * before.abs().max(1.0),
+                "weighted mean not preserved: {before} vs {after}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per value")]
+    fn length_mismatch_panics() {
+        isotonic_non_decreasing(&mut [1.0, 2.0], &[1.0]);
+    }
+}

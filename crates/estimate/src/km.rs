@@ -1,0 +1,123 @@
+//! Binned Kaplan–Meier product-limit survival estimation.
+//!
+//! Observations arrive pre-binned on a uniform age grid: `deaths[b]`
+//! counts completed lifetimes falling in bin `b`, `censored[b]` counts
+//! peers still alive at an age in bin `b` (their eventual lifetime is
+//! unknown — right-censored). Within a bin, deaths are conventionally
+//! ordered before censorings, so a peer censored in bin `b` is still
+//! at risk for that bin's deaths.
+
+/// The product-limit fit over a uniform bin grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BinnedSurvival {
+    /// `survival[b]` is the estimated probability of surviving past
+    /// the start of bin `b`; `survival[0] == 1.0` and the vector has
+    /// one more entry than the bin grid (the last entry is survival
+    /// past the whole horizon).
+    pub survival: Vec<f64>,
+    /// `at_risk[b]` is the number of observations still at risk
+    /// entering bin `b` (neither dead nor censored earlier) — the
+    /// natural confidence weight for bin `b`'s estimate.
+    pub at_risk: Vec<f64>,
+}
+
+/// Computes the Kaplan–Meier survival curve from binned death and
+/// censoring counts.
+///
+/// The hazard in bin `b` is `deaths[b] / at_risk[b]` and the survival
+/// curve is the running product of `1 - hazard`. Bins with nobody at
+/// risk contribute no hazard (the curve carries flat through them).
+///
+/// # Panics
+///
+/// Panics if the two slices differ in length.
+pub fn kaplan_meier(deaths: &[u64], censored: &[u64]) -> BinnedSurvival {
+    assert_eq!(
+        deaths.len(),
+        censored.len(),
+        "death and censoring grids must align"
+    );
+    let bins = deaths.len();
+    let total: u64 = deaths.iter().sum::<u64>() + censored.iter().sum::<u64>();
+
+    let mut survival = Vec::with_capacity(bins + 1);
+    let mut at_risk = Vec::with_capacity(bins);
+    let mut remaining = total as f64;
+    let mut s = 1.0;
+    survival.push(1.0);
+    for b in 0..bins {
+        at_risk.push(remaining);
+        let d = deaths[b] as f64;
+        if remaining > 0.0 && d > 0.0 {
+            s *= 1.0 - d / remaining;
+        }
+        survival.push(s);
+        remaining -= d + censored[b] as f64;
+    }
+    BinnedSurvival { survival, at_risk }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_deaths_means_flat_survival() {
+        let fit = kaplan_meier(&[0, 0, 0], &[5, 3, 2]);
+        assert_eq!(fit.survival, vec![1.0; 4]);
+        assert_eq!(fit.at_risk, vec![10.0, 5.0, 2.0]);
+    }
+
+    #[test]
+    fn uncensored_deaths_reproduce_the_empirical_cdf() {
+        // 4 lifetimes, one per bin: survival steps 1 → 3/4 → 1/2 → 1/4 → 0.
+        let fit = kaplan_meier(&[1, 1, 1, 1], &[0, 0, 0, 0]);
+        let expect = [1.0, 0.75, 0.5, 0.25, 0.0];
+        for (got, want) in fit.survival.iter().zip(expect) {
+            assert!((got - want).abs() < 1e-12, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn censoring_removes_from_risk_without_a_death_step() {
+        // Bin 0: 6 at risk, 2 die, 2 censored. Bin 1: 2 at risk, 1 dies.
+        let fit = kaplan_meier(&[2, 1], &[2, 1]);
+        assert_eq!(fit.at_risk, vec![6.0, 2.0]);
+        let s1 = 1.0 - 2.0 / 6.0;
+        let s2 = s1 * (1.0 - 1.0 / 2.0);
+        assert!((fit.survival[1] - s1).abs() < 1e-12);
+        assert!((fit.survival[2] - s2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn censoring_within_a_bin_counts_as_at_risk_for_its_deaths() {
+        // All observations land in one bin: the hazard denominator is
+        // the full 8, not 8 minus the 4 censored.
+        let fit = kaplan_meier(&[4, 0], &[4, 0]);
+        assert!((fit.survival[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_bins_carry_the_curve_flat() {
+        let fit = kaplan_meier(&[1, 0, 1], &[0, 0, 0]);
+        assert_eq!(fit.survival[1], fit.survival[2]);
+        assert!(fit.survival[3] < fit.survival[2]);
+    }
+
+    #[test]
+    fn survival_is_monotone_non_increasing_and_in_unit_range() {
+        let fit = kaplan_meier(&[3, 0, 7, 1, 0, 2], &[5, 2, 0, 9, 1, 0]);
+        for w in fit.survival.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12);
+        }
+        for &s in &fit.survival {
+            assert!((0.0..=1.0).contains(&s));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "grids must align")]
+    fn mismatched_grids_panic() {
+        kaplan_meier(&[1], &[1, 2]);
+    }
+}

@@ -1,0 +1,43 @@
+//! Online learned peer-lifetime estimation.
+//!
+//! The source paper ranks backup partners by *estimated* remaining
+//! lifetime; this crate supplies the estimator the simulator's
+//! `LearnedAge` strategy queries. It learns survival online, from the
+//! same session events the protocol already observes:
+//!
+//! * **Censoring-aware survival** ([`km`]): at any sampling instant
+//!   most peers are still alive, so their ages are *right-censored*
+//!   observations, not lifetimes. A binned Kaplan–Meier product-limit
+//!   curve combines completed lifetimes (deaths) with the censored
+//!   census of living ages.
+//! * **Isotonic regression** ([`isotonic`]): the paper's premise is
+//!   that expected remaining lifetime grows with observed age
+//!   (heavy-tailed sessions). Pooled-adjacent-violators regression
+//!   monotonizes the noisy mean-residual-life curve derived from the
+//!   Kaplan–Meier fit, weighting each age bin by its at-risk count.
+//! * **Availability classes** ([`model::AvailabilityClass`]): peers
+//!   bucket into reliable / diurnal / flaky by observed uptime, and a
+//!   per-class lifetime factor corrects the global curve — the
+//!   heterogeneity-aware layer. A peer with fewer than
+//!   [`model::EstimateParams::min_peer_sessions`] observed session
+//!   transitions falls back to the global curve alone, and before
+//!   [`model::EstimateParams::min_deaths`] lifetimes have been
+//!   observed at all the model falls back to the age-rank prior
+//!   (estimate = reported age), which reproduces the paper's original
+//!   heuristic during cold start.
+//!
+//! Everything here is deterministic pure arithmetic: no RNG, no
+//! wall-clock, no iteration over unordered containers. Fed the same
+//! observation stream in the same order, two models are bit-identical
+//! — which is what lets the simulator keep its same-seed ⇒
+//! byte-identical-metrics contract with the estimator in the loop.
+
+pub mod isotonic;
+pub mod km;
+pub mod model;
+
+pub use isotonic::isotonic_non_decreasing;
+pub use km::{kaplan_meier, BinnedSurvival};
+pub use model::{
+    AvailabilityClass, DeathRecord, EstimateParams, EstimatorReport, OnlineSurvivalModel,
+};

@@ -1,0 +1,501 @@
+//! The online survival model: a bounded window of observed lifetimes,
+//! a periodically refreshed Kaplan–Meier + isotonic remaining-lifetime
+//! curve, and availability-class correction factors.
+
+use crate::isotonic::isotonic_non_decreasing;
+use crate::km::{kaplan_meier, BinnedSurvival};
+
+/// Tuning knobs for [`OnlineSurvivalModel`]. Part of the simulator
+/// configuration, so it derives the comparison traits the config does.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EstimateParams {
+    /// Width of one age bin, in rounds (the survival curve's grid).
+    pub bin_rounds: u64,
+    /// Number of age bins; ages beyond `bin_rounds * max_bins` clamp
+    /// to the last bin.
+    pub max_bins: usize,
+    /// Capacity of the sliding window of recent death records. A
+    /// bounded window is what lets the model *track* populations whose
+    /// churn behaviour shifts mid-run: old-regime lifetimes age out.
+    pub sample_cap: usize,
+    /// Observed deaths required before the learned curve activates;
+    /// below this the model answers with the age-rank prior
+    /// (estimate = reported age), the paper's original heuristic.
+    pub min_deaths: u64,
+    /// Session transitions a peer must have exhibited before its
+    /// availability-class factor is applied; below this the peer gets
+    /// the global curve alone (the per-peer → global fallback).
+    pub min_peer_sessions: u32,
+    /// Rounds between model refreshes (curve rebuilds). Refreshing is
+    /// O(population + window), so this amortizes the cost.
+    pub refresh_interval: u64,
+}
+
+impl Default for EstimateParams {
+    fn default() -> Self {
+        Self {
+            bin_rounds: 24,
+            max_bins: 512,
+            sample_cap: 4096,
+            min_deaths: 32,
+            min_peer_sessions: 10,
+            refresh_interval: 64,
+        }
+    }
+}
+
+/// One completed lifetime observation, recorded at the moment a peer
+/// definitively departs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeathRecord {
+    /// Rounds from the peer's first appearance to its departure.
+    pub lifetime: u64,
+    /// Fraction of that lifetime the peer was observed online.
+    pub uptime: f64,
+    /// Session transitions (connect/disconnect) observed for the peer.
+    pub sessions: u32,
+}
+
+/// Coarse availability buckets for heterogeneity-aware mixing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AvailabilityClass {
+    /// Online almost always (uptime ≥ 0.75).
+    Reliable = 0,
+    /// Periodically online — e.g. a daily cycle (0.30 ≤ uptime < 0.75).
+    Diurnal = 1,
+    /// Rarely online (uptime < 0.30).
+    Flaky = 2,
+}
+
+impl AvailabilityClass {
+    /// Classifies an observed uptime fraction.
+    pub fn of(uptime: f64) -> Self {
+        if uptime >= 0.75 {
+            AvailabilityClass::Reliable
+        } else if uptime >= 0.30 {
+            AvailabilityClass::Diurnal
+        } else {
+            AvailabilityClass::Flaky
+        }
+    }
+}
+
+/// Deaths an availability class needs in the window before its factor
+/// departs from the neutral 1.0.
+const MIN_CLASS_DEATHS: u64 = 8;
+
+/// Clamp range for class correction factors.
+const CLASS_FACTOR_RANGE: (f64, f64) = (0.25, 4.0);
+
+/// Floor on the geometric tail hazard, bounding tail extrapolation.
+const MIN_TAIL_HAZARD: f64 = 1e-4;
+
+/// A diagnostic snapshot of the model, comparable across runs (it is
+/// part of the simulator's determinism-checked metrics).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EstimatorReport {
+    /// Completed lifetimes observed over the whole run.
+    pub deaths_observed: u64,
+    /// Curve rebuilds performed.
+    pub refreshes: u64,
+    /// Mean absolute calibration error, in rounds: each death is
+    /// back-tested against the prediction the live model would have
+    /// made at the peer's half-life. 0.0 until a sample exists.
+    pub calibration_mae: f64,
+    /// Back-tested predictions contributing to `calibration_mae`.
+    pub calibration_samples: u64,
+    /// Current per-class lifetime factors (reliable, diurnal, flaky).
+    pub class_factor: [f64; 3],
+    /// Whether the learned curve (rather than the age prior) is live.
+    pub active: bool,
+}
+
+/// Online learned remaining-lifetime estimator.
+///
+/// Feed it completed lifetimes via [`OnlineSurvivalModel::observe_death`]
+/// as they happen, call [`OnlineSurvivalModel::refresh`] periodically
+/// with a census of living peer ages (the censored observations), and
+/// query [`OnlineSurvivalModel::estimate`] at any time. All state is a
+/// pure function of the call sequence — no RNG, no clock.
+#[derive(Debug, Clone)]
+pub struct OnlineSurvivalModel {
+    params: EstimateParams,
+    /// Sliding window of recent deaths (ring once at capacity).
+    window: Vec<DeathRecord>,
+    window_next: usize,
+    deaths_total: u64,
+    /// Monotone expected-remaining-lifetime per age bin; empty until
+    /// the model activates.
+    curve: Vec<f64>,
+    class_factor: [f64; 3],
+    refreshes: u64,
+    calib_abs_err: f64,
+    calib_samples: u64,
+    /// Scratch reused across refreshes.
+    deaths_binned: Vec<u64>,
+    censored_binned: Vec<u64>,
+}
+
+impl OnlineSurvivalModel {
+    /// Creates an empty model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is degenerate (zero bins, zero-width
+    /// bins, or an empty observation window).
+    pub fn new(params: EstimateParams) -> Self {
+        assert!(params.bin_rounds >= 1, "age bins must have positive width");
+        assert!(params.max_bins >= 2, "need at least two age bins");
+        assert!(params.sample_cap >= 1, "observation window cannot be empty");
+        assert!(params.refresh_interval >= 1, "refresh interval must be ≥ 1");
+        let bins = params.max_bins;
+        Self {
+            params,
+            window: Vec::new(),
+            window_next: 0,
+            deaths_total: 0,
+            curve: Vec::new(),
+            class_factor: [1.0; 3],
+            refreshes: 0,
+            calib_abs_err: 0.0,
+            calib_samples: 0,
+            deaths_binned: vec![0; bins],
+            censored_binned: vec![0; bins],
+        }
+    }
+
+    /// The configured parameters.
+    pub fn params(&self) -> &EstimateParams {
+        &self.params
+    }
+
+    /// Whether the learned curve is live (enough deaths observed and at
+    /// least one refresh done); before that, estimates fall back to the
+    /// age-rank prior.
+    pub fn active(&self) -> bool {
+        !self.curve.is_empty()
+    }
+
+    /// Records a completed lifetime. If the curve is live, the death is
+    /// first back-tested against it: the model's prediction at the
+    /// peer's half-life is compared with the realized remainder, which
+    /// accumulates the calibration error reported in
+    /// [`OnlineSurvivalModel::report`].
+    pub fn observe_death(&mut self, rec: DeathRecord) {
+        if self.active() {
+            let half = rec.lifetime / 2;
+            let predicted = self.estimate(half, rec.uptime, rec.sessions) as f64;
+            let realized = (rec.lifetime - half) as f64;
+            self.calib_abs_err += (predicted - realized).abs();
+            self.calib_samples += 1;
+        }
+        self.deaths_total += 1;
+        if self.window.len() < self.params.sample_cap {
+            self.window.push(rec);
+        } else {
+            self.window[self.window_next] = rec;
+            self.window_next = (self.window_next + 1) % self.params.sample_cap;
+        }
+    }
+
+    /// Rebuilds the remaining-lifetime curve from the death window plus
+    /// a census of living peer ages (the right-censored observations).
+    ///
+    /// Pipeline: bin both observation kinds on the age grid → binned
+    /// Kaplan–Meier survival → mean residual life at each bin start
+    /// (with a geometric-hazard tail beyond the horizon, so heavy tails
+    /// are not truncated to zero) → pooled-adjacent-violators isotonic
+    /// fit weighted by at-risk counts → per-class lifetime factors.
+    pub fn refresh<I: IntoIterator<Item = u64>>(&mut self, living_ages: I) {
+        self.refreshes += 1;
+        let bins = self.params.max_bins;
+        let w = self.params.bin_rounds;
+        self.deaths_binned.iter_mut().for_each(|c| *c = 0);
+        self.censored_binned.iter_mut().for_each(|c| *c = 0);
+        for rec in &self.window {
+            self.deaths_binned[((rec.lifetime / w) as usize).min(bins - 1)] += 1;
+        }
+        for age in living_ages {
+            self.censored_binned[((age / w) as usize).min(bins - 1)] += 1;
+        }
+
+        if (self.window.len() as u64) < self.params.min_deaths {
+            self.curve.clear();
+            self.class_factor = [1.0; 3];
+            return;
+        }
+
+        let BinnedSurvival { survival, at_risk } =
+            kaplan_meier(&self.deaths_binned, &self.censored_binned);
+
+        // Expected rounds beyond the horizon, from the average hazard
+        // over the upper half of the populated grid (geometric tail).
+        let last_populated = at_risk.iter().rposition(|&n| n >= 1.0).unwrap_or(0);
+        let tail_from = last_populated / 2;
+        let mut tail_deaths = 0.0;
+        let mut tail_risk = 0.0;
+        for (d, n) in self.deaths_binned[tail_from..=last_populated]
+            .iter()
+            .zip(&at_risk[tail_from..=last_populated])
+        {
+            tail_deaths += *d as f64;
+            tail_risk += n;
+        }
+        let tail_hazard = if tail_risk > 0.0 {
+            (tail_deaths / tail_risk).clamp(MIN_TAIL_HAZARD, 1.0)
+        } else {
+            1.0
+        };
+        let tail_rounds = w as f64 * (1.0 - tail_hazard) / tail_hazard;
+
+        // Mean residual life at each bin start, integrating the curve
+        // rightward (right-endpoint rule, conservative within a bin).
+        let mut curve = vec![0.0; bins];
+        let mut acc = survival[bins] * tail_rounds;
+        for b in (0..bins).rev() {
+            acc += survival[b + 1] * w as f64;
+            curve[b] = if survival[b] > 0.0 {
+                acc / survival[b]
+            } else {
+                // Nobody survives to this age: inherit the estimate of
+                // the next bin computed so far (rev order).
+                if b + 1 < bins {
+                    curve[b + 1]
+                } else {
+                    acc
+                }
+            };
+        }
+        isotonic_non_decreasing(&mut curve, &at_risk);
+        self.curve = curve;
+
+        // Per-class lifetime factors over the same window.
+        let mut sum = [0.0f64; 3];
+        let mut count = [0u64; 3];
+        for rec in &self.window {
+            let c = AvailabilityClass::of(rec.uptime) as usize;
+            sum[c] += rec.lifetime as f64;
+            count[c] += 1;
+        }
+        let total: u64 = count.iter().sum();
+        let global_mean = sum.iter().sum::<f64>() / total as f64;
+        for c in 0..3 {
+            self.class_factor[c] = if count[c] >= MIN_CLASS_DEATHS && global_mean > 0.0 {
+                let (lo, hi) = CLASS_FACTOR_RANGE;
+                (sum[c] / count[c] as f64 / global_mean).clamp(lo, hi)
+            } else {
+                1.0
+            };
+        }
+    }
+
+    /// Expected remaining lifetime, in rounds, for a peer reporting
+    /// `reported_age` with `sessions` observed session transitions at
+    /// `uptime` observed availability. Always ≥ 1 so estimates can be
+    /// used as ranking keys without a zero degenerate class.
+    ///
+    /// Fallback ladder: no live curve → age-rank prior (the reported
+    /// age, clamped to the grid horizon); live curve but fewer than
+    /// `min_peer_sessions` observations for this peer → global curve
+    /// alone; otherwise global curve × availability-class factor.
+    pub fn estimate(&self, reported_age: u64, uptime: f64, sessions: u32) -> u64 {
+        if self.curve.is_empty() {
+            let horizon = self.params.bin_rounds * self.params.max_bins as u64;
+            return reported_age.min(horizon).max(1);
+        }
+        let bin = ((reported_age / self.params.bin_rounds) as usize).min(self.curve.len() - 1);
+        let mut est = self.curve[bin];
+        if sessions >= self.params.min_peer_sessions {
+            est *= self.class_factor[AvailabilityClass::of(uptime) as usize];
+        }
+        (est.round() as u64).max(1)
+    }
+
+    /// Diagnostic snapshot (deterministic; safe to embed in
+    /// comparison-checked metrics).
+    pub fn report(&self) -> EstimatorReport {
+        EstimatorReport {
+            deaths_observed: self.deaths_total,
+            refreshes: self.refreshes,
+            calibration_mae: if self.calib_samples > 0 {
+                self.calib_abs_err / self.calib_samples as f64
+            } else {
+                0.0
+            },
+            calibration_samples: self.calib_samples,
+            class_factor: self.class_factor,
+            active: self.active(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> EstimateParams {
+        EstimateParams {
+            bin_rounds: 10,
+            max_bins: 64,
+            sample_cap: 256,
+            min_deaths: 16,
+            min_peer_sessions: 4,
+            refresh_interval: 1,
+        }
+    }
+
+    fn feed(model: &mut OnlineSurvivalModel, lifetime: u64, uptime: f64, n: usize) {
+        for _ in 0..n {
+            model.observe_death(DeathRecord {
+                lifetime,
+                uptime,
+                sessions: 20,
+            });
+        }
+    }
+
+    #[test]
+    fn cold_model_falls_back_to_age_prior() {
+        let model = OnlineSurvivalModel::new(params());
+        assert!(!model.active());
+        assert_eq!(model.estimate(0, 0.5, 0), 1);
+        assert_eq!(model.estimate(100, 0.5, 0), 100);
+        // Prior clamps at the grid horizon.
+        assert_eq!(model.estimate(10_000, 0.5, 0), 640);
+    }
+
+    #[test]
+    fn stays_on_prior_below_min_deaths() {
+        let mut model = OnlineSurvivalModel::new(params());
+        feed(&mut model, 50, 0.5, 15);
+        model.refresh(std::iter::empty());
+        assert!(!model.active());
+        assert_eq!(model.estimate(100, 0.5, 0), 100);
+    }
+
+    #[test]
+    fn activates_and_is_monotone_in_age() {
+        let mut model = OnlineSurvivalModel::new(params());
+        // A mixed population: many short lifetimes, some long.
+        for i in 0..200u64 {
+            let lifetime = if i % 4 == 0 { 400 } else { 30 };
+            feed(&mut model, lifetime, 0.5, 1);
+        }
+        model.refresh((0..100u64).map(|i| i * 5));
+        assert!(model.active());
+        let mut prev = 0;
+        for age in [0u64, 50, 100, 200, 400] {
+            let est = model.estimate(age, 0.5, 0);
+            assert!(est >= prev, "estimate dropped at age {age}: {est} < {prev}");
+            prev = est;
+        }
+        // A peer that outlived the short mode should look clearly
+        // better than a newborn (the paper's core claim). The censored
+        // census keeps newborn survival from collapsing, so the gap is
+        // a ratio, not an order of magnitude.
+        let (newborn, survivor) = (model.estimate(0, 0.5, 0), model.estimate(100, 0.5, 0));
+        assert!(
+            survivor as f64 > 1.25 * newborn as f64,
+            "survivor {survivor} vs newborn {newborn}"
+        );
+    }
+
+    #[test]
+    fn censored_census_raises_survival() {
+        // Same deaths; one model also sees many long-lived censored
+        // peers. Its long-age estimates must not be lower.
+        let mut deaths_only = OnlineSurvivalModel::new(params());
+        let mut with_census = OnlineSurvivalModel::new(params());
+        for m in [&mut deaths_only, &mut with_census] {
+            feed(m, 40, 0.5, 64);
+        }
+        deaths_only.refresh(std::iter::empty());
+        with_census.refresh((0..64u64).map(|_| 300));
+        assert!(with_census.estimate(50, 0.5, 0) >= deaths_only.estimate(50, 0.5, 0));
+    }
+
+    #[test]
+    fn class_factor_separates_reliable_from_flaky() {
+        let mut model = OnlineSurvivalModel::new(params());
+        feed(&mut model, 300, 0.9, 64); // reliable peers live long
+        feed(&mut model, 30, 0.1, 64); // flaky peers die fast
+        model.refresh(std::iter::empty());
+        let reliable = model.estimate(50, 0.9, 20);
+        let flaky = model.estimate(50, 0.1, 20);
+        assert!(
+            reliable > flaky,
+            "reliable {reliable} should beat flaky {flaky}"
+        );
+        // Below the per-peer observation threshold both fall back to
+        // the global curve: identical estimates.
+        assert_eq!(model.estimate(50, 0.9, 1), model.estimate(50, 0.1, 1));
+    }
+
+    #[test]
+    fn behavior_shift_converges_to_the_new_regime() {
+        // Regime A: long lifetimes. Regime B: short. The bounded
+        // window must forget A and track B.
+        let mut model = OnlineSurvivalModel::new(params());
+        feed(&mut model, 500, 0.5, 256);
+        model.refresh(std::iter::empty());
+        let before = model.estimate(40, 0.5, 0);
+        assert!(before > 200, "regime A estimate too low: {before}");
+
+        // The shift: enough new-regime deaths to cycle the window.
+        feed(&mut model, 20, 0.5, 256);
+        model.refresh(std::iter::empty());
+        let after = model.estimate(40, 0.5, 0);
+        assert!(
+            after < before / 4,
+            "estimate did not converge to the new regime: {before} -> {after}"
+        );
+        assert!(after < 80, "new-regime estimate still inflated: {after}");
+    }
+
+    #[test]
+    fn calibration_error_accumulates_only_while_active() {
+        let mut model = OnlineSurvivalModel::new(params());
+        feed(&mut model, 100, 0.5, 64);
+        assert_eq!(model.report().calibration_samples, 0);
+        model.refresh(std::iter::empty());
+        feed(&mut model, 100, 0.5, 8);
+        let report = model.report();
+        assert_eq!(report.calibration_samples, 8);
+        assert!(report.calibration_mae >= 0.0);
+        assert_eq!(report.deaths_observed, 72);
+        assert!(report.active);
+    }
+
+    #[test]
+    fn identical_feeds_produce_identical_models() {
+        let run = || {
+            let mut model = OnlineSurvivalModel::new(params());
+            for i in 0..500u64 {
+                model.observe_death(DeathRecord {
+                    lifetime: (i * 37) % 450 + 1,
+                    uptime: (i % 10) as f64 / 10.0,
+                    sessions: (i % 30) as u32,
+                });
+                if i % 50 == 0 {
+                    model.refresh((0..40u64).map(|a| a * 7 % 300));
+                }
+            }
+            (
+                model.report(),
+                (0..20u64)
+                    .map(|a| model.estimate(a * 20, 0.4, 12))
+                    .collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn estimates_never_zero() {
+        let mut model = OnlineSurvivalModel::new(params());
+        feed(&mut model, 1, 0.0, 64);
+        model.refresh(std::iter::empty());
+        assert!(model.estimate(0, 0.0, 0) >= 1);
+        assert!(model.estimate(10_000, 0.0, 50) >= 1);
+    }
+}

@@ -8,7 +8,7 @@
 //!   from a decode attempt with fewer than `k` intact shards, and the
 //!   whole run is deterministic under a fixed seed.
 
-use peerback_core::{run_simulation, MaintenancePolicy, SimConfig};
+use peerback_core::{run_simulation, MaintenancePolicy, SelectionStrategy, SimConfig};
 use peerback_fabric::{run_fabric, FabricConfig, FabricReport, FaultProfile};
 
 /// A small but churn-rich world: 48 peers, 4+4 blocks, tight threshold.
@@ -344,6 +344,48 @@ fn sampled_audit_covers_a_deterministic_subset() {
     assert_eq!(sampled.audit, sharded.audit);
     assert_eq!(sampled.stats, sharded.stats);
     assert_eq!(sampled.losses, sharded.losses);
+}
+
+#[test]
+fn age_misreporting_peers_do_not_break_the_restorability_audit() {
+    // Adversarial peers that inflate their claimed age skew *who gets
+    // selected* — for the age-trusting strategies, exactly the input an
+    // attacker controls — but placement, transfers and the byte plane
+    // must stay coherent: zero audit mismatches, every simulator loss
+    // verified, and the sharded determinism contract intact with the
+    // axis enabled.
+    for strategy in [SelectionStrategy::AgeBased, SelectionStrategy::LearnedAge] {
+        let mk = |shards: usize| {
+            let mut cfg = SimConfig::paper(300, 120, 17)
+                .with_strategy(strategy)
+                .with_misreport(0.5);
+            cfg.k = 4;
+            cfg.m = 4;
+            cfg.quota = 24;
+            cfg.maintenance = MaintenancePolicy::Reactive { threshold: 5 };
+            cfg.shards = shards;
+            run_fabric(cfg, FabricConfig::default()).expect("valid configs")
+        };
+        let single = mk(1);
+        assert!(
+            single.stats.transfers_attempted > 100,
+            "{strategy:?}: {:?}",
+            single.stats
+        );
+        assert_eq!(
+            single.audit.mismatches, 0,
+            "{strategy:?}: {:?}",
+            single.audit.notes
+        );
+        assert_eq!(single.audit.consistent, single.audit.checks);
+        for loss in &single.losses {
+            assert!(loss.intact_shards < loss.k, "{strategy:?}: {loss:?}");
+        }
+        let sharded = mk(4);
+        assert_eq!(single.metrics, sharded.metrics, "{strategy:?}");
+        assert_eq!(single.stats, sharded.stats, "{strategy:?}");
+        assert_eq!(single.audit, sharded.audit, "{strategy:?}");
+    }
 }
 
 #[test]

@@ -29,6 +29,16 @@ impl<S: Strategy> Strategy for VecStrategy<S> {
         } else {
             rng.gen_range(self.size.clone())
         };
+        // Shrink retries (and `PROPTEST_SHRINK` replay) contract
+        // collection lengths toward the range floor; the length draw
+        // above still happens, so the element stream stays aligned
+        // with the original failing case.
+        let divisor = crate::test_runner::shrink_divisor() as usize;
+        let len = if divisor > 1 {
+            (len / divisor).max(self.size.start)
+        } else {
+            len
+        };
         (0..len).map(|_| self.elem.new_value(rng)).collect()
     }
 }
@@ -48,6 +58,20 @@ mod tests {
             assert!((2..6).contains(&v.len()));
             assert!(v.iter().all(|&e| e < 10));
         }
+    }
+
+    #[test]
+    fn shrink_divisor_contracts_lengths_to_the_range_floor() {
+        let s = vec(0u8..10, 4..9);
+        crate::test_runner::set_shrink_divisor(8);
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..100 {
+            // 8/8 = 1 would undershoot the range: the floor holds.
+            assert_eq!(s.new_value(&mut rng).len(), 4);
+        }
+        crate::test_runner::set_shrink_divisor(1);
+        let mut rng = SmallRng::seed_from_u64(5);
+        assert!(s.new_value(&mut rng).len() >= 4);
     }
 
     #[test]

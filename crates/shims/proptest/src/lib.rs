@@ -12,10 +12,15 @@
 //! * [`prop_assert!`]-family macros and [`prop_assume!`], reporting
 //!   failures through [`test_runner::TestCaseError`].
 //!
-//! **Deliberate divergence from real proptest:** failing cases are *not
-//! shrunk* — the failing input is printed as generated. Test seeds are
-//! derived deterministically from the test name, so failures reproduce
-//! exactly on re-run; set `PROPTEST_CASES` to raise the case count.
+//! **Deliberate divergence from real proptest:** there is no
+//! element-wise shrinking. Instead, a failing case is retried with
+//! collection lengths divided by 2, 4 and 8 (same per-case seed, so
+//! the element stream is unchanged), and the failure report names the
+//! smallest still-failing variant as a `PROPTEST_SEED=… [PROPTEST_SHRINK=…]`
+//! line; setting those environment variables replays exactly that
+//! case. Case seeds are derived deterministically from the test name
+//! and case index, so failures also reproduce on a plain re-run; set
+//! `PROPTEST_CASES` to raise the case count.
 
 pub mod collection;
 pub mod strategy;
@@ -139,21 +144,36 @@ macro_rules! __proptest_items {
         fn $name() {
             let config: $crate::test_runner::ProptestConfig = $config;
             let cases = config.resolved_cases();
-            let mut runner = $crate::test_runner::TestRunner::deterministic(stringify!($name));
+            let runner = $crate::test_runner::TestRunner::deterministic(stringify!($name));
+            let run_case = |seed: u64| -> ::core::result::Result<
+                (),
+                $crate::test_runner::TestCaseError,
+            > {
+                let rng = &mut $crate::test_runner::TestRunner::case_rng(seed);
+                $(
+                    let $arg = $crate::strategy::Strategy::new_value(&$strategy, rng);
+                )+
+                $body
+                #[allow(unreachable_code)]
+                ::core::result::Result::Ok(())
+            };
+            if let ::core::option::Option::Some(seed) = $crate::test_runner::replay_seed() {
+                // PROPTEST_SEED replay: exactly the reported case.
+                match run_case(seed) {
+                    ::core::result::Result::Ok(()) => return,
+                    ::core::result::Result::Err(error) => panic!(
+                        "proptest `{}` replaying PROPTEST_SEED={seed}: {error}",
+                        stringify!($name),
+                    ),
+                }
+            }
             let mut executed: u32 = 0;
             let mut rejected: u32 = 0;
+            let mut case_index: u32 = 0;
             while executed < cases {
-                let result: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
-                    (|| {
-                        $(
-                            let $arg =
-                                $crate::strategy::Strategy::new_value(&$strategy, runner.rng());
-                        )+
-                        $body
-                        #[allow(unreachable_code)]
-                        ::core::result::Result::Ok(())
-                    })();
-                match result {
+                let seed = runner.case_seed(case_index);
+                case_index += 1;
+                match run_case(seed) {
                     ::core::result::Result::Ok(()) => executed += 1,
                     ::core::result::Result::Err(
                         $crate::test_runner::TestCaseError::Reject(reason),
@@ -169,10 +189,17 @@ macro_rules! __proptest_items {
                     ::core::result::Result::Err(
                         $crate::test_runner::TestCaseError::Fail(message),
                     ) => {
-                        $crate::test_runner::note_no_shrinking();
+                        // The no-shrinking stand-in: retry this seed
+                        // with contracted collections and report the
+                        // smallest variant that still fails.
+                        let smallest = $crate::test_runner::retry_with_halved_collections(
+                            || run_case(seed),
+                            seed,
+                        );
                         panic!(
-                            "proptest `{}` failed after {executed} passing case(s): {message}",
+                            "proptest `{}` failed after {executed} passing case(s): {message}\n{}",
                             stringify!($name),
+                            $crate::test_runner::reproducer_note(seed, smallest),
                         );
                     }
                 }

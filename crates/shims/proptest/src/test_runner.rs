@@ -62,30 +62,84 @@ impl std::fmt::Display for TestCaseError {
     }
 }
 
-/// Prints the shim's no-shrinking caveat once per process, so the first
-/// property failure in a test run explains how to act on its output
-/// (real proptest would shrink the case first; the shim reports it as
-/// generated).
-pub fn note_no_shrinking() {
-    static ONCE: std::sync::Once = std::sync::Once::new();
-    ONCE.call_once(|| {
-        eprintln!(
-            "note: the proptest shim does not shrink failing cases — the input below is \
-             exactly as generated. Seeds derive from the test name, so re-running the \
-             same test reproduces this case; set PROPTEST_CASES to widen coverage."
-        );
-    });
+thread_local! {
+    /// Divisor applied to every [`crate::collection::vec`] length while
+    /// a failing case is retried — the shim's stand-in for shrinking.
+    static SHRINK_DIVISOR: std::cell::Cell<u32> = const { std::cell::Cell::new(1) };
+}
+
+/// The collection-length divisor currently in force (1 outside shrink
+/// retries). Read by [`crate::collection::vec`] at generation time.
+pub fn shrink_divisor() -> u32 {
+    SHRINK_DIVISOR.with(|d| d.get()).max(1)
+}
+
+/// Sets the collection-length divisor for this thread (used by the
+/// `proptest!` failure path and by `PROPTEST_SHRINK` replay).
+pub fn set_shrink_divisor(divisor: u32) {
+    SHRINK_DIVISOR.with(|d| d.set(divisor.max(1)));
+}
+
+/// The shim's stand-in for shrinking: re-runs the failing case (same
+/// seed, hence the same element stream) with collection lengths divided
+/// by 2, 4 and 8, and returns the largest divisor that still fails —
+/// i.e. the *smallest* reproducer found. Leaves the divisor reset to 1.
+///
+/// Scalar arguments are regenerated identically; only collection sizes
+/// contract, which is the common shrink that matters in practice (most
+/// failures do not need every generated element to manifest).
+pub fn retry_with_halved_collections<F>(run: F, _seed: u64) -> Option<u32>
+where
+    F: Fn() -> Result<(), TestCaseError>,
+{
+    let mut smallest = None;
+    for divisor in [2, 4, 8] {
+        set_shrink_divisor(divisor);
+        if matches!(run(), Err(TestCaseError::Fail(_))) {
+            smallest = Some(divisor);
+        }
+    }
+    set_shrink_divisor(1);
+    smallest
+}
+
+/// The replay line appended to a property-test failure: the seed (and,
+/// when a halved retry still failed, the collection divisor) that
+/// reproduces the smallest known failing case via the `PROPTEST_SEED` /
+/// `PROPTEST_SHRINK` environment variables.
+pub fn reproducer_note(seed: u64, smallest_divisor: Option<u32>) -> String {
+    match smallest_divisor {
+        Some(d) => format!(
+            "smallest reproducer: PROPTEST_SEED={seed} PROPTEST_SHRINK={d} (still fails with \
+             collection lengths divided by {d})"
+        ),
+        None => format!(
+            "reproducer: PROPTEST_SEED={seed} (halved-collection retries passed — the failure \
+             needs the full-size case)"
+        ),
+    }
+}
+
+/// The `PROPTEST_SEED` replay override: when set, a `proptest!` test
+/// runs exactly that one case (honouring `PROPTEST_SHRINK`) instead of
+/// its usual sweep.
+pub fn replay_seed() -> Option<u64> {
+    let seed = std::env::var("PROPTEST_SEED").ok()?.parse().ok()?;
+    if let Ok(divisor) = std::env::var("PROPTEST_SHRINK") {
+        set_shrink_divisor(divisor.parse().unwrap_or(1));
+    }
+    Some(seed)
 }
 
 /// Drives generation for one test function.
 #[derive(Debug)]
 pub struct TestRunner {
-    rng: SmallRng,
+    base: u64,
 }
 
 impl TestRunner {
-    /// A runner whose stream is a pure function of `name`, so a failing
-    /// case reproduces exactly on re-run.
+    /// A runner whose case seeds are a pure function of `name`, so a
+    /// failing case reproduces exactly on re-run.
     pub fn deterministic(name: &str) -> Self {
         // FNV-1a over the test name.
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
@@ -93,14 +147,24 @@ impl TestRunner {
             h ^= b as u64;
             h = h.wrapping_mul(0x0000_0100_0000_01b3);
         }
-        TestRunner {
-            rng: SmallRng::seed_from_u64(h),
-        }
+        TestRunner { base: h }
     }
 
-    /// The generation RNG.
-    pub fn rng(&mut self) -> &mut SmallRng {
-        &mut self.rng
+    /// The seed of case number `index`: a splitmix64 finalizer over the
+    /// name hash and index, so every case is independently replayable
+    /// from its seed alone.
+    pub fn case_seed(&self, index: u32) -> u64 {
+        let mut z = self
+            .base
+            .wrapping_add(u64::from(index).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A fresh generation RNG for one case seed.
+    pub fn case_rng(seed: u64) -> SmallRng {
+        SmallRng::seed_from_u64(seed)
     }
 }
 
@@ -111,11 +175,39 @@ mod tests {
 
     #[test]
     fn deterministic_runner_reproduces() {
-        let mut a = TestRunner::deterministic("some_test");
-        let mut b = TestRunner::deterministic("some_test");
-        assert_eq!(a.rng().next_u64(), b.rng().next_u64());
-        let mut c = TestRunner::deterministic("other_test");
-        assert_ne!(a.rng().next_u64(), c.rng().next_u64());
+        let a = TestRunner::deterministic("some_test");
+        let b = TestRunner::deterministic("some_test");
+        assert_eq!(a.case_seed(0), b.case_seed(0));
+        assert_ne!(a.case_seed(0), a.case_seed(1));
+        let c = TestRunner::deterministic("other_test");
+        assert_ne!(a.case_seed(0), c.case_seed(0));
+        let mut x = TestRunner::case_rng(a.case_seed(3));
+        let mut y = TestRunner::case_rng(b.case_seed(3));
+        assert_eq!(x.next_u64(), y.next_u64());
+    }
+
+    #[test]
+    fn shrink_retries_report_the_largest_failing_divisor() {
+        // Fails whenever collections would be quartered or more: the
+        // retry loop must come back with 8 (the smallest reproducer),
+        // not stop at the first failing divisor.
+        let smallest = retry_with_halved_collections(
+            || {
+                if shrink_divisor() >= 4 {
+                    Err(TestCaseError::fail("small case still fails"))
+                } else {
+                    Ok(())
+                }
+            },
+            7,
+        );
+        assert_eq!(smallest, Some(8));
+        assert_eq!(shrink_divisor(), 1, "divisor must be reset afterwards");
+
+        let none = retry_with_halved_collections(|| Ok(()), 7);
+        assert_eq!(none, None);
+        assert!(reproducer_note(7, Some(8)).contains("PROPTEST_SHRINK=8"));
+        assert!(reproducer_note(7, None).contains("PROPTEST_SEED=7"));
     }
 
     #[test]
