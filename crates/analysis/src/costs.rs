@@ -1,0 +1,137 @@
+//! Pricing observed repair traffic through the §2.2.4 cost model.
+//!
+//! The simulator counts maintenance traffic in *blocks* (uploads to new
+//! partners, `k`-block decodes per repair episode). The paper's §2.2.4
+//! prices a single repair in *link-seconds* at a given access line and
+//! archive geometry. This module closes the loop between the two: take
+//! the block counts a run actually produced, price every block at the
+//! geometry's block size over the link model, and report the result as
+//! per-peer daily link time — the unit the paper's "no more than 20
+//! repair operations per day" feasibility argument is stated in.
+//!
+//! Two runs of the same scenario (say, a static-width baseline and an
+//! adaptive-redundancy arm) priced through the same
+//! [`RepairCostModel`] become directly comparable in hours of uplink
+//! per peer per day, instead of abstract block counts.
+
+use peerback_net::{RepairCost, RepairCostModel};
+
+/// Maintenance traffic observed by a finished run, in simulator units.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObservedTraffic {
+    /// Blocks uploaded to new partners (join + repair placements) —
+    /// the simulator's `diag.blocks_uploaded`.
+    pub blocks_uploaded: u64,
+    /// Block-download equivalents for repair decodes (`k` per started
+    /// episode) — the simulator's `diag.blocks_downloaded`.
+    pub blocks_downloaded: u64,
+    /// Peer population of the run (traffic is normalised per peer).
+    pub peers: u64,
+    /// Rounds simulated; one round is [`ObservedTraffic::ROUND_SECS`]
+    /// of wall time (the paper's rounds are hours).
+    pub rounds: u64,
+}
+
+impl ObservedTraffic {
+    /// Seconds of wall time one simulated round represents (§3.2: one
+    /// activation per peer per hour).
+    pub const ROUND_SECS: f64 = 3600.0;
+
+    /// Prices this traffic through the §2.2.4 model: every observed
+    /// block costs one block-upload (or block-download) at the model's
+    /// geometry and link.
+    pub fn price(&self, model: &RepairCostModel) -> PricedTraffic {
+        let block = model.geometry.block_bytes();
+        let upload_secs = model.link.upload_secs(block * self.blocks_uploaded as f64);
+        let download_secs = model
+            .link
+            .download_secs(block * self.blocks_downloaded as f64);
+        let peer_days = self.peers.max(1) as f64 * self.rounds as f64 * Self::ROUND_SECS / 86_400.0;
+        let secs_per_peer_day = (upload_secs + download_secs) / peer_days.max(f64::MIN_POSITIVE);
+        let worst = model.repair_cost(model.geometry.m);
+        PricedTraffic {
+            upload_secs,
+            download_secs,
+            secs_per_peer_day,
+            link_utilisation: secs_per_peer_day / 86_400.0,
+            worst_case_repair: worst,
+            repairs_equiv_per_peer_day: secs_per_peer_day / worst.total_secs,
+        }
+    }
+}
+
+/// [`ObservedTraffic`] expressed in §2.2.4 units.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PricedTraffic {
+    /// Total uplink seconds the run's placements would cost at the
+    /// model's geometry and link.
+    pub upload_secs: f64,
+    /// Total downlink seconds of the run's repair decodes.
+    pub download_secs: f64,
+    /// Maintenance link time per peer per day, in seconds.
+    pub secs_per_peer_day: f64,
+    /// Fraction of each peer's day spent on maintenance traffic
+    /// (`secs_per_peer_day / 86 400`).
+    pub link_utilisation: f64,
+    /// The model's worst-case (`d = m`) single-repair cost, for
+    /// reference against the per-day figures.
+    pub worst_case_repair: RepairCost,
+    /// Per-peer daily maintenance expressed as equivalent worst-case
+    /// repairs — the paper's "repairs per day" currency.
+    pub repairs_equiv_per_peer_day: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peerback_net::{ArchiveGeometry, LinkModel};
+
+    fn paper_model() -> RepairCostModel {
+        RepairCostModel::new(LinkModel::DSL_2009, ArchiveGeometry::paper_default())
+    }
+
+    #[test]
+    fn pricing_matches_the_paper_arithmetic() {
+        // One peer, one day, one k-block decode and m uploaded blocks:
+        // exactly one worst-case repair.
+        let t = ObservedTraffic {
+            blocks_uploaded: 128,
+            blocks_downloaded: 128,
+            peers: 1,
+            rounds: 24,
+        };
+        let p = t.price(&paper_model());
+        // 128 blocks x 32 s of upload, 512 s of download (§2.2.4).
+        assert!((p.upload_secs - 4096.0).abs() < 1e-9, "{p:?}");
+        assert!((p.download_secs - 512.0).abs() < 1e-9, "{p:?}");
+        assert!((p.repairs_equiv_per_peer_day - 1.0).abs() < 1e-9, "{p:?}");
+        assert!((p.link_utilisation - 4608.0 / 86_400.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pricing_normalises_per_peer() {
+        let t = ObservedTraffic {
+            blocks_uploaded: 1280,
+            blocks_downloaded: 0,
+            peers: 10,
+            rounds: 24,
+        };
+        let p = t.price(&paper_model());
+        // Ten peers share the traffic: each pays 128 uploads per day.
+        assert!((p.secs_per_peer_day - 4096.0).abs() < 1e-9, "{p:?}");
+    }
+
+    #[test]
+    fn empty_traffic_prices_to_zero() {
+        let t = ObservedTraffic {
+            blocks_uploaded: 0,
+            blocks_downloaded: 0,
+            peers: 0,
+            rounds: 0,
+        };
+        let p = t.price(&paper_model());
+        assert_eq!(p.upload_secs, 0.0);
+        assert_eq!(p.secs_per_peer_day, 0.0);
+        assert_eq!(p.repairs_equiv_per_peer_day, 0.0);
+    }
+}

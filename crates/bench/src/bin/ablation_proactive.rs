@@ -1,6 +1,6 @@
 //! **Ablation A3** — reactive threshold repair vs proactive top-up.
 //!
-//! The paper's related work (Duminuco et al. [10]) replaces threshold
+//! The paper's related work (Duminuco et al. \[10\]) replaces threshold
 //! monitoring with proactive block creation at the measured churn rate.
 //! This ablation compares the paper's reactive `k' = 148` policy against
 //! proactive top-up at several tick intervals, measuring maintenance

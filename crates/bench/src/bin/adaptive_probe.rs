@@ -1,0 +1,335 @@
+//! The adaptive-redundancy ablation: static width vs adaptive width.
+//!
+//! Two runs of the same seeded world, differing only in whether the
+//! per-archive redundancy policy is active:
+//!
+//! * **static** — every archive keeps the configured `n = k + m`
+//!   placements for its whole life, the paper's fixed-width baseline;
+//! * **adaptive** — [`AdaptiveRedundancy`] rescoring trims archives
+//!   whose hosts the learned lifetime model predicts will survive the
+//!   horizon comfortably, and widens (with a preemptive repair episode)
+//!   archives whose predicted durability has sagged.
+//!
+//! Both arms select partners with `LearnedAge`, so the learned model is
+//! held constant and only the *width policy* varies. The scenario is
+//! the same churn-rich gated mix as `estimate_probe`: heavy-tailed
+//! Pareto lifetimes so the model trains inside a CI-scale run.
+//!
+//! Block counts alone undersell the result, so the report also prices
+//! both arms through the §2.2.4 link-cost model
+//! ([`peerback_analysis::costs`]): maintenance seconds per peer per
+//! day at the paper's DSL line, the unit its feasibility argument is
+//! stated in.
+//!
+//! Acceptance gates (both optional, both exit non-zero on violation):
+//!
+//! * `--max-upload-ratio F` — adaptive uploads must stay within `F ×`
+//!   static uploads (the issue's headline gate uses `0.9`);
+//! * `--require-no-extra-loss` — adaptive losses must not exceed
+//!   static losses.
+//!
+//! ```text
+//! cargo run --release -p peerback-bench --bin adaptive_probe -- \
+//!     --peers 4096 --rounds 2000 --json --max-upload-ratio 0.9 \
+//!     --require-no-extra-loss
+//! ```
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use peerback_analysis::ObservedTraffic;
+use peerback_bench::{json, HarnessArgs};
+use peerback_churn::{LifetimeSpec, Profile, ProfileMix};
+use peerback_core::{
+    run_sweep_with_threads, AdaptiveRedundancy, Metrics, SelectionStrategy, SimConfig,
+};
+use peerback_net::{ArchiveGeometry, LinkModel, RepairCostModel};
+
+/// Width the adaptive arm may trim: 8 blocks off a 16+16 code leaves a
+/// floor of 24 placements, comfortably above the reactive threshold of
+/// 18 so a freshly narrowed archive is never already due for repair.
+const MAX_TRIM: u16 = 8;
+
+/// The gated scenario, shared by both arms: `estimate_probe`'s
+/// churn-rich 16+16 geometry (all-Pareto lifetime mix, reactive
+/// threshold two blocks above `k`) with `LearnedAge` selection, so the
+/// lifetime model that feeds the redundancy policy is trained by the
+/// run itself.
+fn gated_config(args: &HarnessArgs, adaptive: bool) -> SimConfig {
+    let mut cfg = args
+        .base_config()
+        .with_strategy(SelectionStrategy::LearnedAge);
+    cfg.k = 16;
+    cfg.m = 16;
+    cfg.quota = 72;
+    cfg.maintenance = peerback_core::MaintenancePolicy::Reactive { threshold: 18 };
+    cfg.profiles = ProfileMix::new(vec![
+        (
+            Profile::new(
+                "Flash",
+                LifetimeSpec::Pareto {
+                    x_min: 30.0,
+                    alpha: 1.5,
+                },
+                0.33,
+            ),
+            0.5,
+        ),
+        (
+            Profile::new(
+                "Transient",
+                LifetimeSpec::Pareto {
+                    x_min: 120.0,
+                    alpha: 1.9,
+                },
+                0.75,
+            ),
+            0.3,
+        ),
+        (
+            Profile::new(
+                "Seasonal",
+                LifetimeSpec::Pareto {
+                    x_min: 400.0,
+                    alpha: 2.4,
+                },
+                0.9,
+            ),
+            0.2,
+        ),
+    ]);
+    if adaptive {
+        cfg = cfg.with_adaptive_n(AdaptiveRedundancy::tuned(MAX_TRIM));
+    }
+    cfg
+}
+
+/// The §2.2.4 pricing model for this scenario: the gated 16+16
+/// geometry at the paper's archive size, over the paper's DSL line.
+fn cost_model() -> RepairCostModel {
+    RepairCostModel::new(
+        LinkModel::DSL_2009,
+        ArchiveGeometry::new(128.0 * 1024.0 * 1024.0, 16, 16),
+    )
+}
+
+/// Flags specific to this probe, split off before the shared parse
+/// (which rejects unknown flags).
+struct GateArgs {
+    max_upload_ratio: Option<f64>,
+    require_no_extra_loss: bool,
+    rest: Vec<String>,
+}
+
+fn split_gate_args(args: impl IntoIterator<Item = String>) -> GateArgs {
+    let mut max_upload_ratio = None;
+    let mut require_no_extra_loss = false;
+    let mut rest = Vec::new();
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--max-upload-ratio" => {
+                let v = iter
+                    .next()
+                    .unwrap_or_else(|| panic!("flag --max-upload-ratio needs a value"));
+                let f: f64 = v
+                    .parse()
+                    .unwrap_or_else(|_| panic!("--max-upload-ratio expects a number, got {v:?}"));
+                assert!(f > 0.0, "--max-upload-ratio must be positive, got {f}");
+                max_upload_ratio = Some(f);
+            }
+            "--require-no-extra-loss" => require_no_extra_loss = true,
+            other => rest.push(other.to_string()),
+        }
+    }
+    GateArgs {
+        max_upload_ratio,
+        require_no_extra_loss,
+        rest,
+    }
+}
+
+fn arm_json(name: &str, args: &HarnessArgs, m: &Metrics) -> String {
+    let traffic = ObservedTraffic {
+        blocks_uploaded: m.diag.blocks_uploaded,
+        blocks_downloaded: m.diag.blocks_downloaded,
+        peers: args.peers as u64,
+        rounds: args.rounds,
+    };
+    let priced = traffic.price(&cost_model());
+    json::Object::new()
+        .str("policy", name)
+        .num("losses", m.total_losses())
+        .num("repairs", m.total_repairs())
+        .num("blocks_uploaded", m.diag.blocks_uploaded)
+        .num("blocks_downloaded", m.diag.blocks_downloaded)
+        .num("redundancy_widened", m.diag.redundancy_widened)
+        .num("redundancy_narrowed", m.diag.redundancy_narrowed)
+        .num("preemptive_repairs", m.diag.preemptive_repairs)
+        .num("placements_released", m.diag.placements_released)
+        .float(
+            "mean_restorability",
+            m.mean_restorability().unwrap_or(f64::NAN),
+        )
+        .float("maintenance_secs_per_peer_day", priced.secs_per_peer_day)
+        .float(
+            "repairs_equiv_per_peer_day",
+            priced.repairs_equiv_per_peer_day,
+        )
+        .render()
+}
+
+fn main() -> ExitCode {
+    let gate = split_gate_args(std::env::args().skip(1));
+    let args = HarnessArgs::parse_from(gate.rest.clone());
+    if !args.json {
+        eprintln!(
+            "adaptive ablation: static/adaptive width at {} peers x {} rounds (seed {}) ...",
+            args.peers, args.rounds, args.seed
+        );
+    }
+    let start = Instant::now();
+    let configs = vec![gated_config(&args, false), gated_config(&args, true)];
+    let results = run_sweep_with_threads(configs, args.thread_count());
+    let elapsed = start.elapsed();
+    let (stat, adap) = (&results[0], &results[1]);
+
+    let upload_ratio = adap.diag.blocks_uploaded as f64 / stat.diag.blocks_uploaded.max(1) as f64;
+    let static_losses = stat.total_losses();
+    let adaptive_losses = adap.total_losses();
+
+    if args.json {
+        let mut report = json::Object::new()
+            .str("probe", "adaptive_probe")
+            .num("peers", args.peers as u64)
+            .num("rounds", args.rounds)
+            .num("seed", args.seed)
+            .num("max_trim", MAX_TRIM as u64);
+        if !args.stable_json {
+            report = report
+                .num("shards", args.shards as u64)
+                .num("host_cpus", HarnessArgs::host_cpus())
+                .float("elapsed_secs", elapsed.as_secs_f64());
+        }
+        let report = report
+            .raw(
+                "policies",
+                json::array(
+                    [("static", stat), ("adaptive", adap)]
+                        .iter()
+                        .map(|(name, m)| arm_json(name, &args, m)),
+                ),
+            )
+            .float("upload_ratio_adaptive_vs_static", upload_ratio)
+            .num(
+                "adaptive_within_static_losses",
+                u64::from(adaptive_losses <= static_losses),
+            )
+            .render();
+        println!("{report}");
+    } else {
+        println!(
+            "{:<9} {:>8} {:>8} {:>10} {:>12} {:>8} {:>12}",
+            "policy", "losses", "repairs", "uploads", "downloads", "restor", "secs/peer/d"
+        );
+        for (name, m) in [("static", stat), ("adaptive", adap)] {
+            let traffic = ObservedTraffic {
+                blocks_uploaded: m.diag.blocks_uploaded,
+                blocks_downloaded: m.diag.blocks_downloaded,
+                peers: args.peers as u64,
+                rounds: args.rounds,
+            };
+            let priced = traffic.price(&cost_model());
+            println!(
+                "{:<9} {:>8} {:>8} {:>10} {:>12} {:>8.4} {:>12.1}",
+                name,
+                m.total_losses(),
+                m.total_repairs(),
+                m.diag.blocks_uploaded,
+                m.diag.blocks_downloaded,
+                m.mean_restorability().unwrap_or(f64::NAN),
+                priced.secs_per_peer_day,
+            );
+        }
+        println!(
+            "adaptive policy: {} widened ({} preemptive repairs), {} narrowed \
+             ({} placements released)",
+            adap.diag.redundancy_widened,
+            adap.diag.preemptive_repairs,
+            adap.diag.redundancy_narrowed,
+            adap.diag.placements_released,
+        );
+        println!(
+            "upload ratio adaptive/static = {upload_ratio:.3}, losses {adaptive_losses} vs \
+             {static_losses} (adaptive within static: {})",
+            adaptive_losses <= static_losses
+        );
+    }
+
+    let mut failed = false;
+    if let Some(max) = gate.max_upload_ratio {
+        if upload_ratio > max {
+            eprintln!(
+                "FAIL: adaptive uploads ({}) exceed {max:.2}x static uploads ({}) — ratio \
+                 {upload_ratio:.3}",
+                adap.diag.blocks_uploaded, stat.diag.blocks_uploaded
+            );
+            failed = true;
+        }
+    }
+    if gate.require_no_extra_loss && adaptive_losses > static_losses {
+        eprintln!(
+            "FAIL: adaptive losses ({adaptive_losses}) exceed the static baseline \
+             ({static_losses})"
+        );
+        failed = true;
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_flags_are_split_from_the_shared_args() {
+        let args: Vec<String> = [
+            "--peers",
+            "100",
+            "--max-upload-ratio",
+            "0.9",
+            "--require-no-extra-loss",
+            "--seed",
+            "7",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let gate = split_gate_args(args);
+        assert_eq!(gate.max_upload_ratio, Some(0.9));
+        assert!(gate.require_no_extra_loss);
+        assert_eq!(gate.rest, vec!["--peers", "100", "--seed", "7"]);
+        let parsed = HarnessArgs::parse_from(gate.rest);
+        assert_eq!(parsed.peers, 100);
+        assert_eq!(parsed.seed, 7);
+    }
+
+    #[test]
+    fn gated_scenario_is_valid_and_arm_specific() {
+        let args = HarnessArgs::parse_from(Vec::<String>::new());
+        let stat = gated_config(&args, false);
+        assert!(stat.validate().is_ok());
+        assert!(!stat.adaptive_n.enabled);
+        let adap = gated_config(&args, true);
+        assert!(adap.validate().is_ok());
+        assert!(adap.adaptive_n.enabled);
+        assert_eq!(adap.adaptive_n.max_trim, MAX_TRIM);
+        // The narrowed floor must stay above the reactive threshold so a
+        // freshly trimmed archive is not instantly due for repair.
+        assert!(adap.k + adap.m - MAX_TRIM > 18);
+    }
+}

@@ -333,6 +333,36 @@ fn run_mem(args: &[String]) -> Result<ExitCode, String> {
              the {warn_above:.0}-byte watchline — check the per-peer collections (partner \
              lists, hosted ledgers) for capacity leaks. Advisory only; never fails the build."
         );
+        // Name the collection that grew: medians of the per-component
+        // layout the probe measured alongside the total.
+        const COMPONENTS: [(&str, &str); 5] = [
+            ("bytes_peer_table", "peer table"),
+            ("bytes_online_index", "online index"),
+            ("bytes_hosted_ledgers", "hosted ledgers"),
+            ("bytes_archive_states", "archive states"),
+            ("bytes_partner_lists", "partner lists"),
+        ];
+        let mut printed_header = false;
+        for (key, label) in COMPONENTS {
+            let mut values = Vec::new();
+            for p in &samples {
+                if let Some(v) = read_optional_field(p, key)? {
+                    values.push(v);
+                }
+            }
+            if values.is_empty() {
+                continue; // stale probe binary: no breakdown recorded
+            }
+            if !printed_header {
+                println!("perf_gate: measured per-peer layout (median over samples):");
+                printed_header = true;
+            }
+            let v = median(values);
+            println!(
+                "perf_gate:   {label:<15} {v:>8.0} bytes/peer ({:>5.1}%)",
+                100.0 * v / footprint.max(f64::MIN_POSITIVE)
+            );
+        }
     }
     Ok(ExitCode::SUCCESS)
 }
@@ -612,6 +642,14 @@ mod tests {
         std::fs::write(&sample, r#"{"bytes_per_peer":4096.000000}"#).unwrap();
         assert_eq!(run_mem(&args("8192")).unwrap(), ExitCode::SUCCESS);
         // Above the watchline: still SUCCESS (warning only).
+        assert_eq!(run_mem(&args("1024")).unwrap(), ExitCode::SUCCESS);
+        // With the layout breakdown recorded, the warning path prints
+        // it and still exits zero.
+        std::fs::write(
+            &sample,
+            r#"{"bytes_per_peer":4096.000000,"bytes_peer_table":2048.000000,"bytes_partner_lists":2048.000000}"#,
+        )
+        .unwrap();
         assert_eq!(run_mem(&args("1024")).unwrap(), ExitCode::SUCCESS);
         // Missing field: skipped with a warning, not an error.
         std::fs::write(&sample, r#"{"elapsed_secs":1.0}"#).unwrap();

@@ -70,7 +70,8 @@ fn main() {
         (alloc_probe::allocations() - allocs_before) as f64 / steady_rounds as f64;
     let dispatches_per_round =
         (world.stage_dispatches() - dispatches_before) as f64 / steady_rounds as f64;
-    let bytes_per_peer = world.approx_bytes_per_peer();
+    let mem = world.memory_breakdown();
+    let bytes_per_peer = mem.total();
     let metrics = world.into_metrics();
     let elapsed = start.elapsed();
     if args.json {
@@ -97,7 +98,14 @@ fn main() {
                     (args.peers as f64 * args.rounds as f64) / elapsed.as_secs_f64(),
                 )
                 .float("stage_dispatches_per_round", dispatches_per_round)
-                .float("bytes_per_peer", bytes_per_peer);
+                .float("bytes_per_peer", bytes_per_peer)
+                // The layout behind the total, so the perf gate's
+                // memory warning can name the collection that grew.
+                .float("bytes_peer_table", mem.peer_table)
+                .float("bytes_online_index", mem.online_index)
+                .float("bytes_hosted_ledgers", mem.hosted_ledgers)
+                .float("bytes_archive_states", mem.archive_states)
+                .float("bytes_partner_lists", mem.partner_lists);
             if alloc_probe::ENABLED {
                 report = report.float("allocs_per_round", allocs_per_round);
             }

@@ -80,6 +80,9 @@ fn run_cell(
         // repair loop (and the unrepaired-corruption exit check has
         // teeth at smoke scales).
         scrub_interval: (args.rounds / 25).max(4),
+        // `--link-cap` / `--flash-restore` switch every cell onto the
+        // per-link transfer scheduler.
+        schedule: args.schedule(),
         ..FabricConfig::default()
     };
     let report = run_fabric(cell_config(args, maintenance), fabric_cfg)
@@ -117,6 +120,12 @@ fn cell_json(cell: &Cell) -> String {
         .num("scrub_detected", stats.scrub_detected)
         .num("scrub_repaired", stats.scrub_repaired)
         .num("scrub_obsolete", stats.scrub_obsolete)
+        .num("transfers_queued", stats.transfers_queued)
+        .num("transfers_carried", stats.transfers_carried)
+        .num("transfers_cancelled", stats.transfers_cancelled)
+        .num("flash_restores", stats.flash_restores)
+        .num("flash_restore_failures", stats.flash_restore_failures)
+        .num("audit_skipped_in_flight", audit.skipped_in_flight)
         .num("sim_losses", cell.report.metrics.total_losses())
         .num("verified_losses", cell.report.losses.len() as u64)
         .num("audit_checks", audit.checks)
@@ -150,6 +159,7 @@ fn run_paper_scale(args: &HarnessArgs) {
         // run; every detection must be repaired (or obsoleted by
         // churn) before the run ends, or the process exits non-zero.
         scrub_interval: (args.rounds / 250).max(4),
+        schedule: args.schedule(),
         ..FabricConfig::default()
     };
     if !args.json {
@@ -198,6 +208,12 @@ fn run_paper_scale(args: &HarnessArgs) {
             .num("scrub_repaired", stats.scrub_repaired)
             .num("scrub_obsolete", stats.scrub_obsolete)
             .num("scrub_unrepaired", scrub_unrepaired)
+            .num("transfers_queued", stats.transfers_queued)
+            .num("transfers_carried", stats.transfers_carried)
+            .num("transfers_cancelled", stats.transfers_cancelled)
+            .num("flash_restores", stats.flash_restores)
+            .num("flash_restore_failures", stats.flash_restore_failures)
+            .num("audit_skipped_in_flight", audit.skipped_in_flight)
             .num("sim_losses", report.metrics.total_losses())
             .num("verified_losses", report.losses.len() as u64)
             .num("audit_checks", audit.checks)

@@ -6,7 +6,7 @@
 //! * [`HarnessArgs`] — the common command line (`--paper-scale`,
 //!   `--peers`, `--rounds`, `--seed`, `--out-dir`, `--threads`);
 //! * [`Scale`] — the population/duration presets;
-//! * [`results_dir`] — where TSVs land (`results/` by default).
+//! * [`HarnessArgs::out_dir`] — where TSVs land (`results/` by default).
 
 use std::path::PathBuf;
 
@@ -173,6 +173,18 @@ pub struct HarnessArgs {
     /// Round at which hidden churn profiles flip to the mirrored mix
     /// for newly spawned peers (`0` disables the behaviour shift).
     pub shift_round: u64,
+    /// Adaptive per-archive redundancy: maximum blocks the policy may
+    /// trim below `n` (`SimConfig::adaptive_n`, tuned defaults). `0`
+    /// disables the loop (the static-width baseline).
+    pub adaptive_n: u16,
+    /// Per-peer per-round transfer byte budget for the fabric's
+    /// bandwidth-aware scheduler (`0` = instant shipping, the classic
+    /// path). Consumed by the combined-mode binaries.
+    pub link_cap: u64,
+    /// Round at which every joined archive's owner starts a full
+    /// restore through the scheduler (`0` = no wave). Implies nothing
+    /// without a `--link-cap`-enabled schedule.
+    pub flash_restore: u64,
 }
 
 impl HarnessArgs {
@@ -202,6 +214,9 @@ impl HarnessArgs {
         let mut strategy = None;
         let mut misreport = 0.0f64;
         let mut shift_round = 0u64;
+        let mut adaptive_n = 0u16;
+        let mut link_cap = 0u64;
+        let mut flash_restore = 0u64;
 
         let mut iter = args.into_iter();
         while let Some(arg) = iter.next() {
@@ -240,6 +255,13 @@ impl HarnessArgs {
                 "--shift-round" => {
                     shift_round = parse_num(&value_for("--shift-round"), "--shift-round");
                 }
+                "--adaptive-n" => {
+                    adaptive_n = parse_num(&value_for("--adaptive-n"), "--adaptive-n") as u16;
+                }
+                "--link-cap" => link_cap = parse_num(&value_for("--link-cap"), "--link-cap"),
+                "--flash-restore" => {
+                    flash_restore = parse_num(&value_for("--flash-restore"), "--flash-restore");
+                }
                 "--help" | "-h" => {
                     println!("{USAGE}");
                     std::process::exit(0);
@@ -263,6 +285,9 @@ impl HarnessArgs {
             strategy,
             misreport,
             shift_round,
+            adaptive_n,
+            link_cap,
+            flash_restore,
         }
     }
 
@@ -284,7 +309,23 @@ impl HarnessArgs {
         if self.shift_round > 0 {
             cfg = cfg.with_shift_profiles_at(self.shift_round);
         }
+        if self.adaptive_n > 0 {
+            cfg = cfg.with_adaptive_n(peerback_core::AdaptiveRedundancy::tuned(self.adaptive_n));
+        }
         cfg
+    }
+
+    /// The fabric schedule requested by `--link-cap`/`--flash-restore`
+    /// (`None` when neither axis is engaged — the instant path).
+    pub fn schedule(&self) -> Option<peerback_fabric::ScheduleConfig> {
+        if self.link_cap == 0 && self.flash_restore == 0 {
+            return None;
+        }
+        Some(peerback_fabric::ScheduleConfig {
+            link_cap: (self.link_cap > 0).then_some(self.link_cap),
+            flash_restore: (self.flash_restore > 0).then_some(self.flash_restore),
+            ..peerback_fabric::ScheduleConfig::default()
+        })
     }
 
     /// CPUs visible to this process (recorded in perf reports so the
@@ -362,7 +403,14 @@ usage: <binary> [options]
   --misreport F     fraction of peers that inflate their claimed age
                     during negotiation (default 0: off)
   --shift-round N   from round N on, newly spawned peers draw from the
-                    mirrored churn-profile mix (default 0: off)";
+                    mirrored churn-profile mix (default 0: off)
+  --adaptive-n N    adaptive per-archive redundancy, trimming targets
+                    up to N blocks below n (default 0: static widths)
+  --link-cap N      per-peer per-round transfer budget in bytes for the
+                    fabric's bandwidth-aware scheduler (default 0:
+                    instant shipping; combined-mode binaries only)
+  --flash-restore N at round N every joined archive's owner starts a
+                    full restore through the scheduler (default 0: off)";
 
 /// Formats a float with sensible precision for tables.
 pub fn fmt_rate(v: Option<f64>) -> String {
@@ -480,6 +528,36 @@ mod tests {
         assert_eq!(cfg.misreport_fraction, 0.25);
         assert_eq!(cfg.shift_profiles_at, 1200);
         assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn adaptive_and_scheduler_flags_resolve() {
+        let a = parse(&[]);
+        assert_eq!(a.adaptive_n, 0);
+        assert!(!a.base_config().adaptive_n.enabled);
+        assert!(a.schedule().is_none());
+
+        let a = parse(&[
+            "--adaptive-n",
+            "8",
+            "--link-cap",
+            "4096",
+            "--flash-restore",
+            "900",
+        ]);
+        let cfg = a.base_config();
+        assert!(cfg.adaptive_n.enabled);
+        assert_eq!(cfg.adaptive_n.max_trim, 8);
+        assert!(cfg.validate().is_ok());
+        let sched = a.schedule().expect("link cap engages the scheduler");
+        assert_eq!(sched.link_cap, Some(4096));
+        assert_eq!(sched.flash_restore, Some(900));
+
+        // A flash wave alone still builds a schedule (link-derived
+        // budgets, no explicit cap).
+        let a = parse(&["--flash-restore", "900"]);
+        let sched = a.schedule().expect("wave engages the scheduler");
+        assert_eq!(sched.link_cap, None);
     }
 
     #[test]

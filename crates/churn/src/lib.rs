@@ -1,7 +1,7 @@
 //! Peer lifetime and availability modelling.
 //!
 //! Peer-to-peer measurement studies cited by Bernard & Le Fessant (2009)
-//! — Bustamante & Qiao [5], Maymounkov & Mazières [16], Tian & Dai [23] —
+//! — Bustamante & Qiao \[5\], Maymounkov & Mazières \[16\], Tian & Dai \[23\] —
 //! established two facts this crate encodes:
 //!
 //! 1. **Lifetimes are heavy-tailed** (Pareto-like): most peers leave

@@ -18,7 +18,7 @@ pub enum MaintenancePolicy {
         threshold: u16,
     },
     /// Rate-based proactive maintenance in the spirit of Duminuco et
-    /// al. [10] (paper §5): once per `tick_rounds` the owner tops its
+    /// al. \[10\] (paper §5): once per `tick_rounds` the owner tops its
     /// redundancy back up to `n` present blocks, without waiting for a
     /// threshold crossing. Ablation A3.
     Proactive {
@@ -49,6 +49,107 @@ impl MaintenancePolicy {
             MaintenancePolicy::Reactive { threshold } => Some(*threshold),
             MaintenancePolicy::Proactive { .. } => None,
             MaintenancePolicy::Adaptive { base, .. } => Some(*base),
+        }
+    }
+}
+
+/// The per-archive redundancy control loop (ROADMAP direction 1, after
+/// PAPERS.md "Adaptive Redundancy Management for Durable P2P Backup").
+///
+/// When enabled, every `check_interval` rounds the world scores each
+/// joined archive's predicted durability over the next `horizon` rounds
+/// from the live survival estimates of its current hosts (falling back
+/// to availability-class means when no learned model is attached) and
+/// moves its per-archive target width `target_n` inside
+/// `[n - max_trim, n]`:
+///
+/// * **Narrow** (durable host set): `target_n` drops by one, and any
+///   placement beyond the new target — the host with the *shortest*
+///   predicted remaining lifetime — is released. Subsequent refresh
+///   episodes re-place only `target_n` blocks, which is where the
+///   repair-traffic saving comes from.
+/// * **Widen** (predicted survivors close to the repair trigger):
+///   `target_n` rises by `widen_step` (capped at `n`) and a preemptive
+///   refresh episode opens through the normal repair machinery, paying
+///   the usual `k`-block decode.
+///
+/// `target_n` never exceeds `n = k + m`: the code word has exactly `n`
+/// blocks, so "widening" means restoring width trimmed earlier, not
+/// inventing redundancy the erasure code cannot produce.
+///
+/// # Example
+///
+/// Off by default; enable it with [`SimConfig::with_adaptive_n`] and
+/// read the policy's decisions from the run diagnostics:
+///
+/// ```
+/// use peerback_core::{run_simulation, AdaptiveRedundancy, SimConfig};
+///
+/// let mut cfg = SimConfig::paper(120, 200, 11);
+/// cfg.k = 8;
+/// cfg.m = 8;
+/// cfg.quota = 48;
+/// cfg = cfg
+///     .with_threshold(10)
+///     .with_adaptive_n(AdaptiveRedundancy::tuned(4)); // floor = 16 - 4
+/// let metrics = run_simulation(cfg);
+/// assert!(
+///     metrics.diag.placements_released <= metrics.diag.redundancy_narrowed,
+///     "a narrow decision releases at most one placement"
+/// );
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveRedundancy {
+    /// Master switch. `false` (the default) leaves every archive at the
+    /// static width `n` and keeps the run byte-identical to a build
+    /// without this feature.
+    pub enabled: bool,
+    /// Rounds between scoring sweeps (the loop's control period).
+    pub check_interval: u64,
+    /// Prediction horizon in rounds: an archive is judged by the
+    /// expected number of its hosts still alive `horizon` rounds out.
+    pub horizon: u64,
+    /// Widen when the predicted surviving-host count falls below
+    /// `max(k, threshold) + widen_margin`.
+    pub widen_margin: f64,
+    /// Narrow only when the predicted surviving-host count exceeds
+    /// `target_n - narrow_slack` (i.e. nearly every current host is
+    /// expected to outlive the horizon).
+    pub narrow_slack: f64,
+    /// Maximum blocks the policy may trim below `n`; the floor
+    /// `n - max_trim` must stay at or above the repair threshold or a
+    /// narrowed archive would re-trigger its own repair forever.
+    pub max_trim: u16,
+    /// Blocks restored per widen decision.
+    pub widen_step: u16,
+}
+
+impl Default for AdaptiveRedundancy {
+    /// Disabled; the tuned parameters are those of [`AdaptiveRedundancy::tuned`].
+    fn default() -> Self {
+        let mut ar = AdaptiveRedundancy::tuned(0);
+        ar.enabled = false;
+        ar
+    }
+}
+
+impl AdaptiveRedundancy {
+    /// An enabled policy with the parameters tuned at the gated
+    /// 4096×2000 ablation scenario (`adaptive_probe`): score every 8
+    /// rounds against a 96-round horizon, trim eagerly (a narrow fires
+    /// while predicted survivors exceed `target_n - 4`), and widen back
+    /// in small, cheap steps of two blocks. At that scenario this
+    /// combination carries 12–13% less upload traffic than the static
+    /// width at ~40% fewer losses across seeds.
+    pub fn tuned(max_trim: u16) -> Self {
+        AdaptiveRedundancy {
+            enabled: true,
+            check_interval: 8,
+            horizon: 96,
+            widen_margin: 1.5,
+            narrow_slack: 4.0,
+            max_trim,
+            widen_step: 2,
         }
     }
 }
@@ -175,6 +276,9 @@ pub struct SimConfig {
     pub misreport_fraction: f64,
     /// Multiplier a misreporting peer applies to its claimed age.
     pub misreport_inflation: u64,
+    /// Per-archive adaptive redundancy control loop (disabled by
+    /// default; see [`AdaptiveRedundancy`]).
+    pub adaptive_n: AdaptiveRedundancy,
 }
 
 impl SimConfig {
@@ -212,6 +316,7 @@ impl SimConfig {
             shift_profiles_at: 0,
             misreport_fraction: 0.0,
             misreport_inflation: 8,
+            adaptive_n: AdaptiveRedundancy::default(),
         }
     }
 
@@ -277,6 +382,13 @@ impl SimConfig {
     /// negotiation (the adversarial scenario axis).
     pub fn with_misreport(mut self, fraction: f64) -> Self {
         self.misreport_fraction = fraction;
+        self
+    }
+
+    /// Installs an adaptive per-archive redundancy policy (the
+    /// `--adaptive-n` scenario axis; see [`AdaptiveRedundancy`]).
+    pub fn with_adaptive_n(mut self, adaptive: AdaptiveRedundancy) -> Self {
+        self.adaptive_n = adaptive;
         self
     }
 
@@ -383,6 +495,38 @@ impl SimConfig {
         }
         if self.estimator.refresh_interval == 0 {
             return Err("estimator refresh interval must be positive".into());
+        }
+        if self.adaptive_n.enabled {
+            let ar = &self.adaptive_n;
+            if ar.check_interval == 0 {
+                return Err("adaptive redundancy check interval must be positive".into());
+            }
+            if ar.horizon == 0 {
+                return Err("adaptive redundancy horizon must be positive".into());
+            }
+            if ar.widen_step == 0 {
+                return Err("adaptive redundancy widen step must be positive".into());
+            }
+            if !(ar.widen_margin.is_finite() && ar.widen_margin >= 0.0) {
+                return Err("adaptive redundancy widen margin must be finite and >= 0".into());
+            }
+            if !(ar.narrow_slack.is_finite() && ar.narrow_slack >= 0.0) {
+                return Err("adaptive redundancy narrow slack must be finite and >= 0".into());
+            }
+            let floor = self.n_blocks().saturating_sub(ar.max_trim as u32);
+            // A target below the repair trigger would re-open an episode
+            // the moment it completes; a target below `k` would let the
+            // policy narrow an archive past decodability.
+            let trigger = self
+                .maintenance
+                .threshold()
+                .map_or(self.k as u32, |t| t as u32);
+            if floor < trigger {
+                return Err(format!(
+                    "adaptive redundancy floor n-max_trim={floor} below the repair \
+                     trigger {trigger}: narrowed archives would repair forever"
+                ));
+            }
         }
         // The quota feasibility warning of §4.1: supply must cover demand
         // or nothing can ever fully join.
@@ -516,6 +660,34 @@ mod tests {
             .threshold(),
             Some(148)
         );
+    }
+
+    #[test]
+    fn adaptive_redundancy_validation() {
+        let base = SimConfig::paper(10, 10, 0);
+        assert!(!base.adaptive_n.enabled, "must default off");
+
+        // n = 256, k' = 148: anything up to 108 trimmed blocks is fine.
+        let c = base.clone().with_adaptive_n(AdaptiveRedundancy::tuned(108));
+        assert!(c.validate().is_ok());
+        let c = base.clone().with_adaptive_n(AdaptiveRedundancy::tuned(109));
+        assert!(c.validate().unwrap_err().contains("repair forever"));
+
+        let mut ar = AdaptiveRedundancy::tuned(8);
+        ar.check_interval = 0;
+        assert!(base.clone().with_adaptive_n(ar).validate().is_err());
+        let mut ar = AdaptiveRedundancy::tuned(8);
+        ar.horizon = 0;
+        assert!(base.clone().with_adaptive_n(ar).validate().is_err());
+        let mut ar = AdaptiveRedundancy::tuned(8);
+        ar.widen_step = 0;
+        assert!(base.clone().with_adaptive_n(ar).validate().is_err());
+        let mut ar = AdaptiveRedundancy::tuned(8);
+        ar.widen_margin = f64::NAN;
+        assert!(base.clone().with_adaptive_n(ar).validate().is_err());
+        let mut ar = AdaptiveRedundancy::tuned(8);
+        ar.narrow_slack = -1.0;
+        assert!(base.with_adaptive_n(ar).validate().is_err());
     }
 
     #[test]

@@ -1,3 +1,5 @@
+#![deny(missing_docs)]
+
 //! Lifetime-aware peer-to-peer backup: the core protocol crate.
 //!
 //! This crate implements the system of *"Optimizing peer-to-peer backup
@@ -54,7 +56,7 @@ pub use accept::{acceptance_probability, accepts, PAPER_CLAMP_ROUNDS};
 pub use age::AgeCategory;
 pub use archive::{Archive, ArchiveBuilder, ArchiveId};
 pub use backup::{BackupPipeline, PlacedBlock, PlacementPlan};
-pub use config::{EstimateParams, MaintenancePolicy, SimConfig};
+pub use config::{AdaptiveRedundancy, EstimateParams, MaintenancePolicy, SimConfig};
 pub use crypt::{Cipher, NoCipher, XorKeystream};
 pub use master::{ArchiveDescriptor, MasterBlock};
 pub use metrics::{CategorySample, Diagnostics, Metrics, ObserverSeries};
@@ -63,4 +65,6 @@ pub use peerback_estimate::EstimatorReport;
 pub use restore::{RestoreError, RestorePipeline};
 pub use runner::{run_simulation, run_sweep, run_sweep_with_threads};
 pub use select::{Candidate, SelectionStrategy};
-pub use world::{BackupWorld, FabricObserver, ObserverState, PeerId, WorldEvent, WorldSnapshot};
+pub use world::{
+    BackupWorld, FabricObserver, MemoryBreakdown, ObserverState, PeerId, WorldEvent, WorldSnapshot,
+};

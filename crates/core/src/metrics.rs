@@ -60,6 +60,19 @@ pub struct Diagnostics {
     /// Per-peer threshold adjustments made by the adaptive maintenance
     /// policy.
     pub threshold_adjustments: u64,
+    /// Widen decisions made by the adaptive redundancy policy
+    /// (`SimConfig::adaptive_n`): archives whose target width was
+    /// raised back toward `n`.
+    pub redundancy_widened: u64,
+    /// Narrow decisions made by the adaptive redundancy policy:
+    /// archives whose target width was trimmed by one block.
+    pub redundancy_narrowed: u64,
+    /// Repair episodes opened preemptively by a widen decision (before
+    /// the threshold trigger would have fired).
+    pub preemptive_repairs: u64,
+    /// Placements released by narrow decisions (the lowest-value block
+    /// of each narrowed archive).
+    pub placements_released: u64,
 }
 
 /// All metrics collected during a run.

@@ -54,6 +54,27 @@ impl Candidate {
 }
 
 /// How the owner ranks its candidate pool.
+///
+/// # Example
+///
+/// Strategies plug into [`SimConfig`](crate::SimConfig); `LearnedAge`
+/// additionally attaches the online survival model, whose end-of-run
+/// state rides out in the metrics:
+///
+/// ```
+/// use peerback_core::{run_simulation, SelectionStrategy, SimConfig};
+///
+/// let mut cfg = SimConfig::paper(120, 200, 11);
+/// cfg.k = 8;
+/// cfg.m = 8;
+/// cfg.quota = 48;
+/// cfg = cfg.with_threshold(10).with_strategy(SelectionStrategy::LearnedAge);
+/// let metrics = run_simulation(cfg);
+/// assert!(
+///     metrics.estimator.is_some(),
+///     "LearnedAge attaches the survival model"
+/// );
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SelectionStrategy {
     /// The paper's scheme: pick the oldest candidates.

@@ -33,6 +33,40 @@ use crate::age::AgeCategory;
 use super::peers::PeerId;
 use super::BackupWorld;
 
+/// Per-peer heap composition measured by
+/// [`BackupWorld::memory_breakdown`], in bytes per allocated slot.
+///
+/// Memory telemetry for the perf gate's advisory `mem` check: when the
+/// total drifts past the watchline, these components say *which*
+/// collection grew. Like the total, the figures depend on allocator
+/// growth policy and are never part of the determinism contract.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MemoryBreakdown {
+    /// The peer table itself (`Vec<Peer>` capacity × slot size).
+    pub peer_table: f64,
+    /// The online-position index maintained for O(1) presence updates.
+    pub online_index: f64,
+    /// Hosted-block ledgers (one `(owner, archive)` entry per stored
+    /// block, scales with quota).
+    pub hosted_ledgers: f64,
+    /// Per-owner archive state records.
+    pub archive_states: f64,
+    /// Partner and stale-partner lists (scale with `n`).
+    pub partner_lists: f64,
+}
+
+impl MemoryBreakdown {
+    /// Sum of all components — what
+    /// [`BackupWorld::approx_bytes_per_peer`] reports.
+    pub fn total(&self) -> f64 {
+        self.peer_table
+            + self.online_index
+            + self.hosted_ledgers
+            + self.archive_states
+            + self.partner_lists
+    }
+}
+
 /// One block-level state change in the simulated world.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WorldEvent {
@@ -222,21 +256,37 @@ impl BackupWorld {
     /// perf gate; varies with allocator growth policy and is never part
     /// of the determinism contract.
     pub fn approx_bytes_per_peer(&self) -> f64 {
+        self.memory_breakdown().total()
+    }
+
+    /// The per-component measurement behind
+    /// [`approx_bytes_per_peer`](Self::approx_bytes_per_peer), so a
+    /// footprint regression points at the collection that grew instead
+    /// of a single opaque total.
+    pub fn memory_breakdown(&self) -> MemoryBreakdown {
         use super::peers::{ArchiveIdx, ArchiveState, Peer};
         if self.peers.is_empty() {
-            return 0.0;
+            return MemoryBreakdown::default();
         }
-        let mut bytes = self.peers.capacity() * core::mem::size_of::<Peer>()
-            + self.online_pos.capacity() * core::mem::size_of::<u32>();
+        let mut hosted = 0usize;
+        let mut archives = 0usize;
+        let mut partners = 0usize;
         for p in &self.peers {
-            bytes += p.hosted.capacity() * core::mem::size_of::<(PeerId, ArchiveIdx)>();
-            bytes += p.archives.capacity() * core::mem::size_of::<ArchiveState>();
+            hosted += p.hosted.capacity() * core::mem::size_of::<(PeerId, ArchiveIdx)>();
+            archives += p.archives.capacity() * core::mem::size_of::<ArchiveState>();
             for a in &p.archives {
-                bytes += (a.partners.capacity() + a.stale_partners.capacity())
+                partners += (a.partners.capacity() + a.stale_partners.capacity())
                     * core::mem::size_of::<PeerId>();
             }
         }
-        bytes as f64 / self.peers.len() as f64
+        let slots = self.peers.len() as f64;
+        MemoryBreakdown {
+            peer_table: (self.peers.capacity() * core::mem::size_of::<Peer>()) as f64 / slots,
+            online_index: (self.online_pos.capacity() * core::mem::size_of::<u32>()) as f64 / slots,
+            hosted_ledgers: hosted as f64 / slots,
+            archive_states: archives as f64 / slots,
+            partner_lists: partners as f64 / slots,
+        }
     }
 
     /// Current state of the learned survival model (`None` unless the

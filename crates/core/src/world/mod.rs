@@ -23,11 +23,11 @@
 //! ## Sharding and the staged round
 //!
 //! The peer table is partitioned into a fixed number of **logical
-//! shards** (see [`shard`]); `SimConfig::shards` only sets how many
+//! shards** (see `shard`); `SimConfig::shards` only sets how many
 //! worker threads execute the parallel stages, and same-seed results
 //! are bit-identical at every value. Each round runs as a pipeline of
 //! parallel stages over a **persistent work-stealing worker pool**
-//! (see [`exec`]): population ramp → shard-local events + teardown
+//! (see `exec`): population ramp → shard-local events + teardown
 //! hop 1 → message delivery (teardown hop 2) → frozen-state proposals →
 //! the two-phase grant/apply commit. Stages are barrier epoch bumps on
 //! the parked pool — a steady-state round spawns no threads — and every
@@ -40,18 +40,18 @@
 //! holds only the [`BackupWorld`] state container and the round driver
 //! composing the pieces:
 //!
-//! * [`peers`] — the peer table: slots, epochs, archives, the online
+//! * `peers` — the peer table: slots, epochs, archives, the online
 //!   index, population spawning, and structural snapshots.
-//! * [`events`] — the scheduled-event queue: event kinds, staleness
+//! * `events` — the scheduled-event queue: event kinds, staleness
 //!   filtering, and the two-hop departure / offline-timeout teardown.
-//! * [`partners`] — partnership acquisition: the acceptance-gated
+//! * `partners` — partnership acquisition: the acceptance-gated
 //!   candidate pool and the partner/hosted bookkeeping it feeds.
-//! * [`repair`] — the repair-episode lifecycle: join, trigger, episode
+//! * `repair` — the repair-episode lifecycle: join, trigger, episode
 //!   continuation across rounds, loss accounting, and the maintenance
 //!   policies.
-//! * [`shard`] — the logical partition, per-shard state, and the
+//! * `shard` — the logical partition, per-shard state, and the
 //!   shard-local event handlers.
-//! * [`exec`] — the staged executor: pool dispatch, the round arena,
+//! * `exec` — the staged executor: pool dispatch, the round arena,
 //!   shard-addressed messages, and the two-phase parallel commit.
 
 mod events;
@@ -59,6 +59,7 @@ mod exec;
 mod hooks;
 mod partners;
 mod peers;
+mod redundancy;
 mod repair;
 mod shard;
 
@@ -81,7 +82,7 @@ use peerback_sim::BufPool;
 use peers::{ArchiveIdx, Peer};
 use shard::{Proposal, Scratch, ShardLane, ShardLayout};
 
-pub use hooks::{FabricObserver, WorldEvent};
+pub use hooks::{FabricObserver, MemoryBreakdown, WorldEvent};
 pub use peers::{ObserverState, PeerId, WorldSnapshot};
 
 /// Sub-seed stream offset for shard RNGs, so shard streams never
@@ -89,6 +90,28 @@ pub use peers::{ObserverState, PeerId, WorldSnapshot};
 const SHARD_STREAM_BASE: u64 = 0x5ad_0000;
 
 /// The backup network world; implements [`peerback_sim::World`].
+///
+/// # Example
+///
+/// [`run_simulation`](crate::run_simulation) owns the whole loop; for
+/// inspection mid-run, drive a world round by round with the engine:
+///
+/// ```
+/// use peerback_core::{BackupWorld, SimConfig};
+/// use peerback_sim::Engine;
+///
+/// let mut cfg = SimConfig::paper(60, 120, 7);
+/// cfg.k = 8;
+/// cfg.m = 8;
+/// cfg.quota = 48;
+/// cfg = cfg.with_threshold(10);
+/// let mut world = BackupWorld::new(cfg);
+/// let mut engine = Engine::new(7);
+/// engine.run(&mut world, 60); // first half ...
+/// let joined_midway = world.metrics().diag.joins_completed;
+/// engine.run(&mut world, 60); // ... and the rest of the run
+/// assert!(world.metrics().diag.joins_completed >= joined_midway);
+/// ```
 pub struct BackupWorld {
     pub(in crate::world) cfg: SimConfig,
     /// Per-profile session samplers (index = profile id).
@@ -124,6 +147,10 @@ pub struct BackupWorld {
     /// Per-shard death-observation buffers, filled by the parallel
     /// event phase and drained into the model in shard order.
     pub(in crate::world) obs: Vec<Vec<peerback_estimate::DeathRecord>>,
+    /// Per-shard decision buffers of the adaptive-redundancy stage
+    /// ([`redundancy`]): filled by the parallel scoring tasks, drained
+    /// in shard order, recycled across rounds. Empty between rounds.
+    pub(in crate::world) redundancy_bufs: Vec<Vec<redundancy::RedundancyDecision>>,
     /// Per-worker pool-building scratch (execution-only state).
     pub(in crate::world) scratch: Vec<Scratch>,
     /// Per-shard tentative-quota scratch for the grant stages.
@@ -198,6 +225,7 @@ impl BackupWorld {
                 ))
             }),
             obs: (0..layout.count).map(|_| Vec::new()).collect(),
+            redundancy_bufs: (0..layout.count).map(|_| Vec::new()).collect(),
             scratch: Vec::new(),
             grant_scratch: Vec::new(),
             arena: RoundArena::new(layout.count),
@@ -262,7 +290,7 @@ impl BackupWorld {
 
     /// Installs a seed forcing every stage dispatch to execute its
     /// tasks sequentially in a random order — the steal-interleaving
-    /// test hook ([`exec`] module docs).
+    /// test hook (`exec` module docs).
     #[cfg(test)]
     pub(in crate::world) fn set_exec_fuzz(&mut self, seed: Option<u64>) {
         self.exec.fuzz = seed;
@@ -526,6 +554,9 @@ impl World for BackupWorld {
         // Every drop of the round's teardowns has now been delivered;
         // announce the slot recycles (hooks.rs observer contract).
         self.flush_departed();
+        // Adaptive redundancy scores the settled post-teardown state;
+        // widen-enqueued owners are drained and propose this round.
+        self.run_redundancy(r);
         self.drain_actors();
         self.refresh_estimator(r);
         self.build_proposals(r);

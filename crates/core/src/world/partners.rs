@@ -74,13 +74,16 @@ impl BackupWorld {
         id: PeerId,
         aidx: ArchiveIdx,
     ) -> Option<(ActionKind, u32)> {
-        let n = self.n_blocks();
         let peer = &self.peers[id as usize];
         let archive = &peer.archives[aidx as usize];
+        // The archive's maintained width: `n` unless the adaptive
+        // redundancy policy trimmed it (`== n` whenever that policy is
+        // off, keeping this function byte-identical to the static path).
+        let target = archive.target_n;
         if !archive.joined {
-            return Some((ActionKind::Join, n - archive.present()));
+            return Some((ActionKind::Join, target.saturating_sub(archive.present())));
         }
-        let fresh_missing = n - archive.partners.len() as u32;
+        let fresh_missing = target.saturating_sub(archive.partners.len() as u32);
         match self.cfg.maintenance {
             MaintenancePolicy::Reactive { .. } | MaintenancePolicy::Adaptive { .. } => {
                 if archive.repairing {
@@ -90,7 +93,7 @@ impl BackupWorld {
                     // code word (the commit swaps partners to stale
                     // first, so every fresh slot is open).
                     let d = if self.cfg.refresh_on_repair {
-                        n
+                        target
                     } else {
                         fresh_missing
                     };
@@ -100,7 +103,7 @@ impl BackupWorld {
                 }
             }
             MaintenancePolicy::Proactive { .. } => {
-                if archive.repairing || archive.present() < n {
+                if archive.repairing || archive.present() < target {
                     Some((ActionKind::Proactive, fresh_missing))
                 } else {
                     None

@@ -45,6 +45,14 @@ pub(in crate::world) struct ArchiveState {
     /// Set when the open episode hit a pool shortfall (drives the
     /// adaptive policy's adjustment).
     pub(in crate::world) episode_struggled: bool,
+    /// The width this archive is maintained at. Equal to `n = k + m`
+    /// unless the adaptive-redundancy policy
+    /// (`SimConfig::adaptive_n`) trimmed it; always within
+    /// `[n - max_trim, n]`. Joins, repairs and proactive top-ups all
+    /// aim for this count instead of `n`. Survives an archive loss
+    /// (the owner re-joins at its trimmed width); reset to `n` when
+    /// the slot is recycled for a new peer.
+    pub(in crate::world) target_n: u32,
 }
 
 impl ArchiveState {
@@ -387,7 +395,13 @@ impl BackupWorld {
         let id = self.peers.len() as PeerId;
         let mut peer = Self::empty_peer();
         peer.threshold = self.cfg.maintenance.threshold().unwrap_or(0);
-        peer.archives = vec![ArchiveState::default(); self.cfg.archives_per_peer as usize];
+        peer.archives = vec![
+            ArchiveState {
+                target_n: self.cfg.n_blocks(),
+                ..ArchiveState::default()
+            };
+            self.cfg.archives_per_peer as usize
+        ];
         peer.observer = Some(index);
         self.peers.push(peer);
         self.online_pos.push(OFFLINE);
@@ -558,7 +572,11 @@ impl ShardLane<'_> {
         debug_assert!(peer.hosted.is_empty());
         peer.archives
             .resize_with(cfg.archives_per_peer as usize, ArchiveState::default);
-        peer.archives.iter_mut().for_each(ArchiveState::reset);
+        let n = cfg.n_blocks();
+        peer.archives.iter_mut().for_each(|a| {
+            a.reset();
+            a.target_n = n;
+        });
         peer.quota_used = 0;
 
         let epoch = peer.epoch;

@@ -1,0 +1,300 @@
+//! The adaptive per-archive redundancy control loop
+//! (`SimConfig::adaptive_n`): score → decide → apply.
+//!
+//! Every `check_interval` rounds — after the round's teardown has been
+//! delivered, before pending owners are drained into actors — the world
+//! scores each joined archive's predicted durability over the policy's
+//! horizon and moves the archive's `target_n` within `[n - max_trim, n]`
+//! (see [`AdaptiveRedundancy`](crate::config::AdaptiveRedundancy)):
+//!
+//! * **Scoring** runs as a parallel stage over the logical shards
+//!   against *frozen* world state: one stealable task per shard reads
+//!   the peer table shared and writes widen/narrow decisions into its
+//!   own per-shard buffer. Per-host survival comes from the learned
+//!   survival model when one is attached (`LearnedAge` runs) and from
+//!   the availability-class prior otherwise. The stage draws **no
+//!   randomness**, so enabling the loop leaves every RNG stream of the
+//!   run untouched.
+//! * **Apply** drains the buffers sequentially in shard order (slot
+//!   order within a shard, archive order within a slot), mutating the
+//!   world directly: a widen raises `target_n` and opens a preemptive
+//!   refresh episode through the normal repair machinery (decode paid,
+//!   `EpisodeStarted` emitted, owner enqueued — it proposes this very
+//!   round); a narrow trims `target_n` by one and releases the
+//!   placement with the shortest predicted remaining lifetime.
+//!
+//! Nothing mutates the world between scoring and apply, so decisions
+//! never need re-validation; and because the buffers drain in shard
+//! order no matter which worker filled them, same-seed runs stay
+//! byte-identical at any `--shards`/steal setting — the same
+//! determinism contract every other parallel stage rides.
+
+use peerback_estimate::AvailabilityClass;
+
+use super::hooks::WorldEvent;
+use super::peers::{ArchiveIdx, PeerId};
+use super::BackupWorld;
+
+/// One widen/narrow decision, produced by the parallel scoring stage
+/// and applied in the sequential drain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(in crate::world) enum RedundancyDecision {
+    /// Raise the archive's target width by `widen_step` (capped at `n`)
+    /// and open a preemptive repair episode.
+    Widen {
+        /// Owner of the at-risk archive.
+        owner: PeerId,
+        /// Archive index within the owner.
+        aidx: ArchiveIdx,
+    },
+    /// Trim the archive's target width by one block and release the
+    /// lowest-value placement.
+    Narrow {
+        /// Owner of the over-provisioned archive.
+        owner: PeerId,
+        /// Archive index within the owner.
+        aidx: ArchiveIdx,
+        /// The partner with the shortest predicted remaining lifetime
+        /// (chosen during scoring against the same frozen state).
+        victim: PeerId,
+    },
+}
+
+/// Lifetime factors of the availability-class prior, indexed by
+/// [`AvailabilityClass`] — the cold-model fallback: a reliable host is
+/// credited with more remaining lifetime than its age alone, a flaky
+/// one with less. The learned model supersedes this the moment a
+/// survival estimator is attached.
+const CLASS_PRIOR: [f64; 3] = [1.5, 1.0, 0.5];
+
+impl BackupWorld {
+    /// The adaptive-redundancy stage of the round. No-op unless the
+    /// policy is enabled and `round` is on its cadence.
+    pub(in crate::world) fn run_redundancy(&mut self, round: u64) {
+        let ar = self.cfg.adaptive_n;
+        if !ar.enabled || round == 0 || !round.is_multiple_of(ar.check_interval) {
+            return;
+        }
+        let count = self.layout.count;
+        let mut bufs = core::mem::take(&mut self.redundancy_bufs);
+        if bufs.len() < count {
+            bufs.resize_with(count, Vec::new);
+        }
+        {
+            let world: &BackupWorld = self;
+            // Scoring is a cheap linear scan per peer; weight it like
+            // message traffic so small worlds stay on one worker.
+            let policy = world.exec.narrowed(count, world.peers.len());
+            policy.dispatch(round * 16 + 9, &mut bufs[..count], |s, out| {
+                score_shard(world, round, s, out);
+            });
+        }
+        for decisions in bufs.iter_mut().take(count) {
+            for d in decisions.drain(..) {
+                self.apply_redundancy_decision(d, round);
+            }
+        }
+        self.redundancy_bufs = bufs;
+    }
+
+    /// Predicted probability that host `id` still holds its block
+    /// `horizon` rounds from now, plus the remaining-lifetime estimate
+    /// it was derived from (the narrow victim's ranking key). Pure
+    /// read-only: safe for the parallel scoring stage.
+    fn host_survival(&self, id: PeerId, round: u64, horizon: u64) -> (f64, u64) {
+        let host = &self.peers[id as usize];
+        // The *reported* age — what the host claims during negotiation
+        // (observers present their frozen age, misreporting peers
+        // inflate): the policy sees the network the way the selection
+        // strategies do, not through an oracle.
+        let reported_age = self.negotiation_age(id, round);
+        let uptime = host.uptime_at(round);
+        let est = match &self.estimator {
+            Some(model) => model.estimate(reported_age, uptime, host.session_seq),
+            None => {
+                let factor = CLASS_PRIOR[AvailabilityClass::of(uptime) as usize];
+                (reported_age.max(1) as f64 * factor) as u64
+            }
+        }
+        .max(1);
+        // Memoryless survival over the horizon at the estimated rate.
+        let mut p = (-(horizon as f64) / est as f64).exp();
+        // A host already deep into an offline run is partway to its
+        // write-off: discount linearly toward the timeout.
+        if !host.online && self.cfg.offline_timeout > 0 {
+            let offline = round.saturating_sub(host.last_transition);
+            p *= (1.0 - offline as f64 / self.cfg.offline_timeout as f64).clamp(0.0, 1.0);
+        }
+        (p, est)
+    }
+
+    /// Applies one decision against live state (identical to the frozen
+    /// scoring state — nothing runs in between).
+    fn apply_redundancy_decision(&mut self, d: RedundancyDecision, round: u64) {
+        let ar = self.cfg.adaptive_n;
+        let n = self.n_blocks();
+        match d {
+            RedundancyDecision::Widen { owner, aidx } => {
+                // A widen is a *width extension*, not a partner swap:
+                // the episode tops the archive up to the raised target
+                // and leaves the surviving placements where they are,
+                // even in `refresh_on_repair` runs. Full refresh at
+                // widen prices would re-upload `target_n` blocks to buy
+                // `widen_step` of extra width.
+                let refresh = false;
+                let (raised, needs_episode) = {
+                    let archive = &mut self.peers[owner as usize].archives[aidx as usize];
+                    debug_assert!(archive.joined && !archive.repairing);
+                    let old = archive.target_n;
+                    archive.target_n = old.saturating_add(ar.widen_step as u32).min(n);
+                    let raised = archive.target_n > old;
+                    (raised, raised || archive.present() < archive.target_n)
+                };
+                if raised {
+                    self.metrics.diag.redundancy_widened += 1;
+                }
+                if !needs_episode {
+                    return;
+                }
+                // The begin_episode mirror: preemptive episodes pay the
+                // same decode and ride the same continuation machinery
+                // as threshold-triggered ones.
+                {
+                    let archive = &mut self.peers[owner as usize].archives[aidx as usize];
+                    archive.repairing = true;
+                    archive.episode_struggled = false;
+                    if refresh {
+                        debug_assert!(archive.stale_partners.is_empty());
+                        core::mem::swap(&mut archive.partners, &mut archive.stale_partners);
+                    }
+                }
+                self.peers[owner as usize].repairs += 1;
+                let cat = self.peers[owner as usize].category_at(round);
+                self.metrics.repairs[cat.index()] += 1;
+                self.metrics.diag.blocks_downloaded += self.cfg.k as u64;
+                self.metrics.diag.preemptive_repairs += 1;
+                if self.record_events {
+                    self.event_log.push(WorldEvent::EpisodeStarted {
+                        owner,
+                        archive: aidx,
+                        refresh,
+                    });
+                }
+                // Drained into this round's actors: the owner proposes
+                // immediately.
+                self.enqueue(owner);
+            }
+            RedundancyDecision::Narrow {
+                owner,
+                aidx,
+                victim,
+            } => {
+                self.metrics.diag.redundancy_narrowed += 1;
+                let release = {
+                    let archive = &mut self.peers[owner as usize].archives[aidx as usize];
+                    debug_assert!(archive.joined && !archive.repairing);
+                    debug_assert!(archive.target_n > n.saturating_sub(ar.max_trim as u32));
+                    archive.target_n -= 1;
+                    if archive.present() <= archive.target_n {
+                        false // already narrower than the new target
+                    } else {
+                        let pos = archive
+                            .partners
+                            .iter()
+                            .position(|&p| p == victim)
+                            .expect("victim chosen from this partner list");
+                        archive.partners.remove(pos);
+                        true
+                    }
+                };
+                if !release {
+                    return;
+                }
+                // Drop event before the host-side bookkeeping, matching
+                // the owner-side emission rule everywhere else.
+                if self.record_events {
+                    self.event_log.push(WorldEvent::BlockDropped {
+                        owner,
+                        archive: aidx,
+                        host: victim,
+                    });
+                }
+                // Sequential stage: host-side bookkeeping applies
+                // directly instead of riding a message.
+                let host = &mut self.peers[victim as usize];
+                if let Some(hpos) = host
+                    .hosted
+                    .iter()
+                    .position(|&(o, a)| o == owner && a == aidx)
+                {
+                    host.hosted.swap_remove(hpos);
+                    host.quota_used -= 1;
+                }
+                self.metrics.diag.placements_released += 1;
+            }
+        }
+    }
+}
+
+/// Scores one shard's archives against the frozen world, pushing the
+/// shard's decisions in slot order (then archive order) — the order the
+/// sequential drain preserves.
+fn score_shard(world: &BackupWorld, round: u64, s: usize, out: &mut Vec<RedundancyDecision>) {
+    debug_assert!(out.is_empty());
+    let ar = world.cfg.adaptive_n;
+    let n = world.n_blocks();
+    let floor = n.saturating_sub(ar.max_trim as u32);
+    let base = s * world.layout.shard_size;
+    let end = (base + world.layout.shard_size).min(world.peers.len());
+    for id in base..end {
+        let peer = &world.peers[id];
+        // Observers are measurement instruments (their repair series
+        // must stay comparable across policies); offline owners cannot
+        // act on a decision this round anyway.
+        if peer.observer.is_some() || !peer.online {
+            continue;
+        }
+        let trigger = world.k().max(peer.threshold as u32) as f64;
+        for (aidx, archive) in peer.archives.iter().enumerate() {
+            if !archive.joined || archive.repairing {
+                continue;
+            }
+            debug_assert!(archive.stale_partners.is_empty());
+            let mut predicted = 0.0f64;
+            let mut victim: Option<(u64, PeerId)> = None;
+            for &h in &archive.partners {
+                let (p, est) = world.host_survival(h, round, ar.horizon);
+                predicted += p;
+                // Strict `<`: the first minimum in partner order wins,
+                // independent of float quirks and worker scheduling.
+                if victim.is_none_or(|(best, _)| est < best) {
+                    victim = Some((est, h));
+                }
+            }
+            let owner = id as PeerId;
+            let aidx = aidx as ArchiveIdx;
+            if predicted < trigger + ar.widen_margin {
+                // At risk *and* previously trimmed: restore width and
+                // repair preemptively. Archives already at full width
+                // are left to the reactive threshold — opening earlier
+                // episodes for them would just duplicate that machinery
+                // at full-refresh prices.
+                if archive.target_n < n {
+                    out.push(RedundancyDecision::Widen { owner, aidx });
+                }
+            } else if archive.target_n > floor
+                && predicted >= archive.target_n as f64 - ar.narrow_slack
+            {
+                // Durable enough that even the trimmed width survives
+                // the horizon: shed the weakest placement.
+                if let Some((_, victim)) = victim {
+                    out.push(RedundancyDecision::Narrow {
+                        owner,
+                        aidx,
+                        victim,
+                    });
+                }
+            }
+        }
+    }
+}

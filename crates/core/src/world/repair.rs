@@ -35,7 +35,7 @@ impl WorkLane<'_> {
         round: u64,
     ) {
         match prop.kind {
-            ActionKind::Join => self.continue_join(cfg, prop.owner, prop.aidx, hosts, prop.d),
+            ActionKind::Join => self.continue_join(prop.owner, prop.aidx, hosts, prop.d),
             ActionKind::Threshold => {
                 let k_prime = self.peer(prop.owner).threshold as u32;
                 if self.open_episode_if_triggered(cfg, prop.owner, prop.aidx, k_prime, round) {
@@ -106,24 +106,24 @@ impl WorkLane<'_> {
         }
     }
 
-    /// Join: the initial upload of all `n` blocks of one archive (a
-    /// "repair with d = 256", §3.2 — tracked separately from repairs).
+    /// Join: the initial upload of all `target_n` blocks of one archive
+    /// (a "repair with d = 256", §3.2 — tracked separately from
+    /// repairs; `target_n == n` unless adaptive redundancy trimmed it).
     pub(in crate::world) fn continue_join(
         &mut self,
-        cfg: &SimConfig,
         id: PeerId,
         aidx: ArchiveIdx,
         hosts: &[PeerId],
         built_for: u32,
     ) {
-        let n = cfg.n_blocks();
-        let d = n - self.peer(id).archives[aidx as usize].present();
+        let target = self.peer(id).archives[aidx as usize].target_n;
+        let d = target.saturating_sub(self.peer(id).archives[aidx as usize].present());
         debug_assert_eq!(built_for, d, "join plan diverged from commit-time state");
         let before = self.peer(id).archives[aidx as usize].partners.len();
         let attached = self.attach_partners(id, aidx, d, hosts);
         self.emit_placements(id, aidx, before);
         let archive = &mut self.peer_mut(id).archives[aidx as usize];
-        if archive.present() == n {
+        if archive.present() >= target {
             archive.joined = true;
             self.delta.joins_completed += 1;
             self.emit(WorldEvent::JoinCompleted {
@@ -193,9 +193,10 @@ impl WorkLane<'_> {
         true
     }
 
-    /// Uploads replacement blocks until `n` *fresh* partners hold the
-    /// archive; displaced pre-episode partners are released 1:1 so the
-    /// present count never dips during a refreshing episode.
+    /// Uploads replacement blocks until `target_n` *fresh* partners
+    /// hold the archive (`n` unless adaptive redundancy trimmed it);
+    /// displaced pre-episode partners are released 1:1 so the present
+    /// count never dips during a refreshing episode.
     pub(in crate::world) fn continue_episode(
         &mut self,
         cfg: &SimConfig,
@@ -204,8 +205,8 @@ impl WorkLane<'_> {
         hosts: &[PeerId],
         built_for: u32,
     ) {
-        let n = cfg.n_blocks();
-        let d = n - self.peer(id).archives[aidx as usize].partners.len() as u32;
+        let target = self.peer(id).archives[aidx as usize].target_n;
+        let d = target.saturating_sub(self.peer(id).archives[aidx as usize].partners.len() as u32);
         debug_assert_eq!(built_for, d, "episode plan diverged from commit-time state");
         if d == 0 {
             let archive = &mut self.peer_mut(id).archives[aidx as usize];
@@ -225,11 +226,11 @@ impl WorkLane<'_> {
         // never sees more than `n` live blocks (hooks.rs ordering
         // rule 1).
         let owner_observer = self.peer(id).observer.is_some();
-        while self.peer(id).archives[aidx as usize].present() > n {
+        while self.peer(id).archives[aidx as usize].present() > target {
             let stale = self.peer_mut(id).archives[aidx as usize]
                 .stale_partners
                 .pop()
-                .expect("present > n implies stale partners remain");
+                .expect("present > target implies stale partners remain");
             self.emit(WorldEvent::BlockDropped {
                 owner: id,
                 archive: aidx,
@@ -244,7 +245,7 @@ impl WorkLane<'_> {
         }
         self.emit_placements(id, aidx, before);
         let archive = &mut self.peer_mut(id).archives[aidx as usize];
-        if archive.partners.len() as u32 == n {
+        if archive.partners.len() as u32 >= target {
             debug_assert!(archive.stale_partners.is_empty());
             archive.repairing = false;
             self.emit(WorldEvent::EpisodeCompleted {
@@ -303,7 +304,7 @@ impl WorkLane<'_> {
             (a.present(), a.repairing)
         };
         if !repairing {
-            if present >= cfg.n_blocks() {
+            if present >= self.peer(id).archives[aidx as usize].target_n {
                 return; // nothing disappeared since the last tick
             }
             // Proactive ticks top up missing blocks only; no refresh.

@@ -1453,3 +1453,110 @@ fn event_recording_does_not_perturb_the_simulation() {
     assert_eq!(plain.losses, recorded.losses);
     assert_eq!(plain.diag, recorded.diag);
 }
+
+// ----- adaptive per-archive redundancy ---------------------------------
+
+/// The tiny config with the adaptive-redundancy loop on: n = 16,
+/// threshold 10, floor 16 − 4 = 12 ≥ 10.
+fn adaptive_config(seed: u64) -> SimConfig {
+    let mut cfg = tiny_config(seed);
+    cfg.rounds = 400;
+    cfg.adaptive_n = crate::config::AdaptiveRedundancy::tuned(4);
+    cfg.adaptive_n.check_interval = 8;
+    cfg.adaptive_n.horizon = 48;
+    // Peers in the tiny world are young, so predicted durability never
+    // approaches the full target width; loosen the slack so narrows
+    // actually fire at this scale.
+    cfg.adaptive_n.narrow_slack = 4.0;
+    cfg
+}
+
+#[test]
+fn adaptive_redundancy_narrows_durable_archives() {
+    let m = run(adaptive_config(21));
+    assert!(
+        m.diag.redundancy_narrowed > 0,
+        "the loop never narrowed anything (diag: {:?})",
+        m.diag
+    );
+    assert!(
+        m.diag.placements_released > 0,
+        "narrows never released a placement"
+    );
+    // Every release was recorded against a narrow decision.
+    assert!(m.diag.placements_released <= m.diag.redundancy_narrowed);
+}
+
+#[test]
+fn adaptive_redundancy_keeps_targets_in_band() {
+    let cfg = adaptive_config(22);
+    let rounds = cfg.rounds;
+    let n = cfg.n_blocks();
+    let floor = n - cfg.adaptive_n.max_trim as u32;
+    let mut world = BackupWorld::new(cfg);
+    let mut engine = Engine::new(22);
+    for _ in 0..rounds {
+        engine.step(&mut world);
+        for (i, p) in world.peers.iter().enumerate() {
+            for (ai, a) in p.archives.iter().enumerate() {
+                assert!(
+                    (floor..=n).contains(&a.target_n),
+                    "peer {i} archive {ai} target {} outside [{floor}, {n}]",
+                    a.target_n
+                );
+                assert!(
+                    a.present() <= a.target_n.max(n),
+                    "peer {i} archive {ai} holds {} blocks past its target",
+                    a.present()
+                );
+            }
+        }
+    }
+    // The loop actually engaged during the run.
+    assert!(world.metrics().diag.redundancy_narrowed > 0);
+}
+
+#[test]
+fn adaptive_redundancy_is_deterministic_across_shards() {
+    let mut base = adaptive_config(23);
+    base.shard_slots = 8; // several logical shards even at 60 peers
+    let one = run(base.clone().with_shards(1));
+    let four = run(base.clone().with_shards(4).with_work_stealing(true));
+    let fixed = run(base.with_shards(4).with_work_stealing(false));
+    assert_eq!(one, four, "worker count changed an adaptive run");
+    assert_eq!(one, fixed, "steal mode changed an adaptive run");
+}
+
+#[test]
+fn adaptive_redundancy_off_leaves_runs_untouched() {
+    // The disabled policy must be observationally absent: identical
+    // metrics to a config that never mentions it.
+    let plain = run(tiny_config(24));
+    let mut cfg = tiny_config(24);
+    cfg.adaptive_n = crate::config::AdaptiveRedundancy::default();
+    assert!(!cfg.adaptive_n.enabled);
+    let disabled = run(cfg);
+    assert_eq!(plain, disabled);
+}
+
+#[test]
+fn adaptive_redundancy_widen_opens_preemptive_episodes() {
+    // A riskier world (shorter horizon margin, deeper trim) must
+    // exercise the widen path too: narrowed archives whose host set
+    // deteriorates re-widen and repair before the threshold trigger.
+    let mut cfg = adaptive_config(25);
+    cfg.adaptive_n.widen_margin = 4.0;
+    cfg.adaptive_n.narrow_slack = 4.0; // narrow eagerly, then re-widen
+    let m = run(cfg);
+    assert!(m.diag.redundancy_narrowed > 0);
+    assert!(
+        m.diag.redundancy_widened > 0,
+        "no widen decisions (diag: {:?})",
+        m.diag
+    );
+    assert!(
+        m.diag.preemptive_repairs > 0,
+        "widens never opened an episode (diag: {:?})",
+        m.diag
+    );
+}

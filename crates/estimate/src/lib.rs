@@ -1,3 +1,5 @@
+#![deny(missing_docs)]
+
 //! Online learned peer-lifetime estimation.
 //!
 //! The source paper ranks backup partners by *estimated* remaining

@@ -61,6 +61,11 @@ pub struct AuditReport {
     /// failures with `k` or more intact shards, or any other breach of
     /// the contract between the two halves. Zero on a healthy build.
     pub mismatches: u64,
+    /// Audits skipped because the archive still had blocks streaming
+    /// through the transfer scheduler — the simulator believes them
+    /// placed, so comparing against bytes mid-flight would report a
+    /// false mismatch. Zero on unscheduled runs.
+    pub skipped_in_flight: u64,
     /// Real decode attempts performed (audits, episode starts, loss
     /// verifications).
     pub decode_attempts: u64,
@@ -97,6 +102,12 @@ impl PlaneLane {
                 // this round (a pure function of (round, owner,
                 // archive) — the same subset at any worker count).
                 if !shared.audit_sampled(round, slot, aidx) {
+                    continue;
+                }
+                // Blocks still streaming: bookkeeping and bytes
+                // legitimately disagree until the transfer completes.
+                if self.has_in_flight(slot, aidx) {
+                    self.audit.skipped_in_flight += 1;
                     continue;
                 }
                 self.audit_archive(shared, world, round, slot, aidx);

@@ -97,6 +97,12 @@ pub struct FabricConfig {
     /// re-ships them through the retry machinery — catching bitrot
     /// before the auditor has to count it as a loss.
     pub scrub_interval: u64,
+    /// Bandwidth-aware transfer scheduling (`None` = the classic
+    /// instant path: every shipment completes the round it is decided).
+    /// With a schedule, shipments queue against the per-peer link
+    /// budget and drain in priority order, carrying across rounds —
+    /// §2.2.4's link arithmetic made operational.
+    pub schedule: Option<ScheduleConfig>,
 }
 
 impl Default for FabricConfig {
@@ -108,8 +114,55 @@ impl Default for FabricConfig {
             audit_interval: 1,
             audit_sample_period: 1,
             scrub_interval: 0,
+            schedule: None,
         }
     }
+}
+
+/// The bandwidth-aware transfer scheduler's knobs.
+///
+/// With a schedule attached, every shard shipment enters a per-lane
+/// queue instead of completing instantly. Each round every peer gets a
+/// byte budget derived from the [`LinkModel`] (or capped explicitly),
+/// and its queued transfers drain in strict priority order — restores
+/// before repairs before fresh backups, oldest deadline first within a
+/// class. A transfer that exhausts the round's budget keeps its
+/// remaining bytes and carries over; the frame ships (exactly once)
+/// the round the last byte clears.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduleConfig {
+    /// Seconds of wall time one simulated round represents. The paper's
+    /// rounds are hours, so the default is 3600.
+    pub round_secs: f64,
+    /// Explicit per-peer per-round byte budget (both directions),
+    /// overriding the link-derived value. `Some(small)` is how tests
+    /// force a transfer to straddle many rounds.
+    pub link_cap: Option<u64>,
+    /// Round at which every joined archive's owner starts a full
+    /// restore (the "flash crowd" wave: everyone wants their data back
+    /// at once). Restores are downloads and preempt every other class.
+    pub flash_restore: Option<u64>,
+}
+
+impl Default for ScheduleConfig {
+    fn default() -> Self {
+        ScheduleConfig {
+            round_secs: 3600.0,
+            link_cap: None,
+            flash_restore: None,
+        }
+    }
+}
+
+/// [`ScheduleConfig`] with the per-round byte budgets already resolved
+/// against the link model.
+pub(crate) struct ResolvedSchedule {
+    /// Upload bytes per peer per round.
+    up_budget: u64,
+    /// Download bytes per peer per round.
+    down_budget: u64,
+    /// Flash-restore wave round, if any.
+    flash_restore: Option<u64>,
 }
 
 /// Byte-plane counters. All values are a pure function of the two
@@ -166,6 +219,23 @@ pub struct FabricStats {
     /// Scrub repairs that became moot before shipping: churn removed
     /// the placement, or a fresh block already arrived.
     pub scrub_obsolete: u64,
+    /// Shipments that entered the transfer scheduler's queue (zero on
+    /// unscheduled runs — the instant path never queues).
+    pub transfers_queued: u64,
+    /// Transfer-rounds carried across a round boundary: a queued
+    /// transfer still holding unsent bytes at round end counts one per
+    /// round it survives.
+    pub transfers_carried: u64,
+    /// Queued shipments cancelled before completing: the placement was
+    /// dropped or displaced mid-flight, or the block arrived some other
+    /// way first.
+    pub transfers_cancelled: u64,
+    /// Flash-restore downloads completed (decode attempted).
+    pub flash_restores: u64,
+    /// Flash-restore decodes that failed — fewer than `k` blocks on
+    /// currently-online hosts when the download finished. Without
+    /// faults this measures an availability miss, not corruption.
+    pub flash_restore_failures: u64,
 }
 
 impl FabricStats {
@@ -195,6 +265,11 @@ impl FabricStats {
         self.scrub_detected += other.scrub_detected;
         self.scrub_repaired += other.scrub_repaired;
         self.scrub_obsolete += other.scrub_obsolete;
+        self.transfers_queued += other.transfers_queued;
+        self.transfers_carried += other.transfers_carried;
+        self.transfers_cancelled += other.transfers_cancelled;
+        self.flash_restores += other.flash_restores;
+        self.flash_restore_failures += other.flash_restore_failures;
     }
 
     /// Scrub detections neither repaired nor rendered moot by the end
@@ -252,6 +327,9 @@ pub(crate) struct PlaneShared {
     /// still pays off: its re-ships complete in the end-of-run retry
     /// drain.
     scrub_interval: u64,
+    /// Bandwidth-aware scheduling, budgets resolved (`None` = instant
+    /// shipping).
+    pub(crate) schedule: Option<ResolvedSchedule>,
 }
 
 impl PlaneShared {
@@ -288,6 +366,40 @@ struct ShipJob {
     /// True when a scrubbing sweep originated the transfer (a delivery
     /// then counts as a scrub repair).
     scrub: bool,
+}
+
+/// Priority class of a scheduled transfer. The discriminant is the
+/// drain order: a user waiting on a restore outranks maintenance, and
+/// maintenance outranks fresh backups (which have a local copy anyway).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum TransferClass {
+    /// A flash-restore download (the owner pulling `k` blocks).
+    Restore = 0,
+    /// Repair traffic: re-ships after damage, scrub repairs, and
+    /// placements of already-joined (repairing) archives.
+    Repair = 1,
+    /// The initial upload of a joining archive.
+    Backup = 2,
+}
+
+/// One queued transfer: bytes still to move, and everything needed to
+/// execute the shipment (or restore decode) once the last byte clears.
+#[derive(Debug, Clone, Copy)]
+struct PendingTransfer {
+    class: TransferClass,
+    /// Round the transfer was enqueued — its deadline anchor: within a
+    /// class, older transfers drain first.
+    deadline: u64,
+    /// Lane-local enqueue sequence, the final tiebreaker (total order,
+    /// so the drain is deterministic at any worker count).
+    seq: u64,
+    owner: PeerId,
+    archive: u8,
+    /// Receiving host; the owner itself for restores.
+    host: PeerId,
+    attempt: u32,
+    scrub: bool,
+    bytes_left: u64,
 }
 
 /// A damaged placement waiting for its re-ship round.
@@ -344,6 +456,21 @@ pub(crate) struct PlaneLane {
     /// Recycled `(host, owner, archive)` list of rotten blocks found by
     /// a scrubbing sweep.
     scrub_scratch: Vec<(PeerId, PeerId, u8)>,
+    /// The transfer scheduler's queue (always empty on unscheduled
+    /// runs). Sorted by `(class, deadline, seq)` at each drain.
+    queue: Vec<PendingTransfer>,
+    /// Recycled spine for the drain's keep-list.
+    queue_scratch: Vec<PendingTransfer>,
+    /// Lane-local enqueue counter feeding [`PendingTransfer::seq`].
+    queue_seq: u64,
+    /// Count of in-flight *shipments* per archive (restores excluded —
+    /// they change no host state). The auditor skips archives with
+    /// in-flight blocks: the simulator already believes them placed.
+    in_flight: BTreeMap<(PeerId, u8), u32>,
+    /// Per-peer upload bytes spent this round's drain (recycled).
+    up_spent: BTreeMap<PeerId, u64>,
+    /// Per-peer download bytes spent this round's drain (recycled).
+    down_spent: BTreeMap<PeerId, u64>,
 }
 
 impl PlaneLane {
@@ -366,7 +493,154 @@ impl PlaneLane {
             blocks_scratch: Vec::new(),
             data_scratch: Vec::new(),
             scrub_scratch: Vec::new(),
+            queue: Vec::new(),
+            queue_scratch: Vec::new(),
+            queue_seq: 0,
+            in_flight: BTreeMap::new(),
+            up_spent: BTreeMap::new(),
+            down_spent: BTreeMap::new(),
         }
+    }
+
+    /// Whether any shipment for `(owner, archive)` is still in the
+    /// scheduler's queue.
+    pub(crate) fn has_in_flight(&self, owner: PeerId, archive: u8) -> bool {
+        self.in_flight.get(&(owner, archive)).copied().unwrap_or(0) > 0
+    }
+
+    /// Queues a transfer for the scheduler's drain.
+    #[allow(clippy::too_many_arguments)] // plain data, mirrors ShipJob
+    fn enqueue_transfer(
+        &mut self,
+        class: TransferClass,
+        owner: PeerId,
+        archive: u8,
+        host: PeerId,
+        attempt: u32,
+        scrub: bool,
+        bytes: u64,
+        round: u64,
+    ) {
+        self.stats.transfers_queued += 1;
+        if class != TransferClass::Restore {
+            *self.in_flight.entry((owner, archive)).or_insert(0) += 1;
+        }
+        let seq = self.queue_seq;
+        self.queue_seq += 1;
+        self.queue.push(PendingTransfer {
+            class,
+            deadline: round,
+            seq,
+            owner,
+            archive,
+            host,
+            attempt,
+            scrub,
+            bytes_left: bytes.max(1),
+        });
+    }
+
+    /// Wire length of one shard frame of `(owner, archive)` (the unit
+    /// the scheduler budgets in). The archive must be mirrored.
+    fn frame_bytes(&self, owner: PeerId, archive: u8) -> u64 {
+        let oa = self.owners.get(&(owner, archive)).expect("slot mirrored");
+        (oa.codeword.shards[0].len() + BlockFrame::OVERHEAD) as u64
+    }
+
+    /// One round of the scheduler: sort the queue into priority order,
+    /// stream bytes against each peer's budget, and execute whatever
+    /// completes. Runs after the round's events enqueued their
+    /// transfers; incomplete transfers carry their remaining bytes to
+    /// the next round.
+    fn drain_transfers(&mut self, shared: &PlaneShared, world: &BackupWorld, round: u64) {
+        let Some(sched) = &shared.schedule else {
+            return;
+        };
+        if self.queue.is_empty() {
+            return;
+        }
+        self.queue
+            .sort_unstable_by_key(|t| (t.class, t.deadline, t.seq));
+        self.up_spent.clear();
+        self.down_spent.clear();
+        let mut pending = core::mem::take(&mut self.queue);
+        let mut kept = core::mem::take(&mut self.queue_scratch);
+        debug_assert!(kept.is_empty(), "queue scratch returned dirty");
+        for mut t in pending.drain(..) {
+            let (budget, spent) = if t.class == TransferClass::Restore {
+                (
+                    sched.down_budget,
+                    self.down_spent.entry(t.owner).or_insert(0),
+                )
+            } else {
+                (sched.up_budget, self.up_spent.entry(t.owner).or_insert(0))
+            };
+            let send = budget.saturating_sub(*spent).min(t.bytes_left);
+            *spent += send;
+            t.bytes_left -= send;
+            if t.bytes_left > 0 {
+                self.stats.transfers_carried += 1;
+                kept.push(t);
+            } else {
+                self.complete_transfer(shared, world, t, round);
+            }
+        }
+        self.queue_scratch = pending;
+        self.queue = kept;
+    }
+
+    /// Executes a transfer whose last byte cleared the link this round:
+    /// a restore decodes, a shipment ships — exactly once, and only if
+    /// the placement it was queued for still stands.
+    fn complete_transfer(
+        &mut self,
+        shared: &PlaneShared,
+        world: &BackupWorld,
+        t: PendingTransfer,
+        round: u64,
+    ) {
+        if t.class == TransferClass::Restore {
+            self.stats.flash_restores += 1;
+            let blocks = self.surviving_blocks(world, t.owner, t.archive, true);
+            let bytes: usize = blocks.iter().take(shared.k).map(|(_, b)| b.len()).sum();
+            self.stats.download_secs += shared.link.download_secs(bytes as f64);
+            let ok = self.try_restore(shared, t.owner, t.archive, &blocks);
+            self.release_blocks(blocks);
+            if !ok {
+                self.stats.flash_restore_failures += 1;
+            }
+            return;
+        }
+        if let Some(count) = self.in_flight.get_mut(&(t.owner, t.archive)) {
+            *count -= 1;
+            if *count == 0 {
+                self.in_flight.remove(&(t.owner, t.archive));
+            }
+        }
+        // The placement may have been dropped, displaced, or refilled
+        // while the bytes were streaming; re-locate the slot by host,
+        // exactly like the retry path does.
+        let slot = self
+            .owners
+            .get(&(t.owner, t.archive))
+            .and_then(|oa| oa.slots.iter().position(|&s| s == Some(t.host)));
+        let Some(slot) = slot else {
+            self.stats.transfers_cancelled += 1;
+            return;
+        };
+        if self.store.block(t.host, t.owner, t.archive).is_some() {
+            self.stats.transfers_cancelled += 1;
+            return;
+        }
+        let job = ShipJob {
+            owner: t.owner,
+            archive: t.archive,
+            host: t.host,
+            slot,
+            attempt: t.attempt,
+            scrub: t.scrub,
+        };
+        self.ship_slot(shared, world, job, round);
     }
 
     /// The RNG for the next transfer on this lane. Deterministic: the
@@ -625,6 +899,21 @@ impl PlaneLane {
             return;
         };
         oa.slots[slot] = Some(host);
+        let joined = oa.joined;
+        if shared.schedule.is_some() {
+            // Scheduled path: the slot is mirrored now, the bytes move
+            // when the link budget allows. A placement for an archive
+            // that already joined is repair traffic; first-time uploads
+            // are backups.
+            let class = if joined {
+                TransferClass::Repair
+            } else {
+                TransferClass::Backup
+            };
+            let bytes = self.frame_bytes(owner, archive);
+            self.enqueue_transfer(class, owner, archive, host, 0, false, bytes, round);
+            return;
+        }
         let job = ShipJob {
             owner,
             archive,
@@ -679,6 +968,23 @@ impl PlaneLane {
                 }
                 continue;
             }
+            if shared.schedule.is_some() {
+                // Re-ships compete for the link like everything else,
+                // at repair priority, keeping their attempt budget and
+                // scrub provenance.
+                let bytes = self.frame_bytes(r.owner, r.archive);
+                self.enqueue_transfer(
+                    TransferClass::Repair,
+                    r.owner,
+                    r.archive,
+                    r.host,
+                    r.attempt,
+                    r.scrub,
+                    bytes,
+                    round,
+                );
+                continue;
+            }
             let job = ShipJob {
                 owner: r.owner,
                 archive: r.archive,
@@ -730,7 +1036,10 @@ impl PlaneLane {
             // fault injection): the owner re-encodes from its local
             // copy, exactly like the paper's loss-and-rejoin path.
             self.stats.repair_decode_fallbacks += 1;
-            if !shared.faults_enabled {
+            // With the scheduler on, an episode can legitimately start
+            // while earlier placements are still streaming — the local
+            // fallback is bandwidth, not corruption.
+            if !shared.faults_enabled && !self.has_in_flight(owner, archive) {
                 self.note(format!(
                     "episode decode failed without faults for {owner}/{archive}"
                 ));
@@ -883,8 +1192,39 @@ impl PlaneLane {
         }
         inbox.clear();
         self.inbox = inbox;
+        if let Some(sched) = &shared.schedule {
+            if sched.flash_restore == Some(round) {
+                self.enqueue_flash_restores(shared, round);
+            }
+        }
+        self.drain_transfers(shared, world, round);
         if shared.scrub_due(round) {
             self.scrub_sweep(round);
+        }
+    }
+
+    /// Queues one full-restore download for every joined archive in
+    /// this lane — the flash-crowd wave. Restore bytes are `k` frames;
+    /// the decode runs when the download completes.
+    fn enqueue_flash_restores(&mut self, shared: &PlaneShared, round: u64) {
+        let wave: Vec<(PeerId, u8)> = self
+            .owners
+            .iter()
+            .filter(|(_, oa)| oa.joined)
+            .map(|(&key, _)| key)
+            .collect();
+        for (owner, archive) in wave {
+            let bytes = shared.k as u64 * self.frame_bytes(owner, archive);
+            self.enqueue_transfer(
+                TransferClass::Restore,
+                owner,
+                archive,
+                owner,
+                0,
+                false,
+                bytes,
+                round,
+            );
         }
     }
 }
@@ -913,6 +1253,7 @@ impl Plane {
             self.audit.consistent += audit.consistent;
             self.audit.fault_induced_losses += audit.fault_induced_losses;
             self.audit.mismatches += audit.mismatches;
+            self.audit.skipped_in_flight += audit.skipped_in_flight;
             self.audit.decode_attempts += audit.decode_attempts;
             self.audit.decode_successes += audit.decode_successes;
             for note in audit.notes {
@@ -952,6 +1293,24 @@ impl Fabric {
         if fabric_cfg.audit_sample_period == 0 {
             return Err("audit sample period must be at least one (1 = full scan)".into());
         }
+        let schedule = match fabric_cfg.schedule {
+            None => None,
+            Some(s) => {
+                if !(s.round_secs.is_finite() && s.round_secs > 0.0) {
+                    return Err(format!("round_secs must be positive, got {}", s.round_secs));
+                }
+                if s.link_cap == Some(0) {
+                    return Err("link cap of 0 bytes per round would stall every transfer".into());
+                }
+                let up = (fabric_cfg.link.up_bytes_per_sec * s.round_secs) as u64;
+                let down = (fabric_cfg.link.down_bytes_per_sec * s.round_secs) as u64;
+                Some(ResolvedSchedule {
+                    up_budget: s.link_cap.unwrap_or(up).max(1),
+                    down_budget: s.link_cap.unwrap_or(down).max(1),
+                    flash_restore: s.flash_restore,
+                })
+            }
+        };
         let codec = ReedSolomon::new(cfg.k as usize, cfg.m as usize)
             .map_err(|e| format!("erasure geometry k={} m={}: {e}", cfg.k, cfg.m))?;
         let seed = cfg.seed;
@@ -970,6 +1329,7 @@ impl Fabric {
             audit_sample_period: fabric_cfg.audit_sample_period,
             audit_seed: derive_seed(seed, AUDIT_STREAM),
             scrub_interval: fabric_cfg.scrub_interval,
+            schedule,
         };
         let lanes = (0..world.logical_shards())
             .map(|i| PlaneLane::new(i, seed))
@@ -1032,31 +1392,42 @@ impl Fabric {
         self.finish()
     }
 
-    /// Overtime: re-ships still pending when the last round ends (their
-    /// backoff pushed them past it) run against the frozen world until
-    /// the queue drains. Every scheduled repair therefore resolves —
-    /// delivered, obsolete, or abandoned after the attempt cap — before
-    /// the report is cut; a scrub detection the machinery never repairs
-    /// is a real failure, not run truncation. Terminates because each
-    /// pass consumes the earliest due batch and the attempt cap bounds
-    /// requeues. Inline and in lane order, so the result is identical
-    /// at any worker count.
+    /// Overtime: re-ships and scheduled transfers still pending when
+    /// the last round ends run against the frozen world until both
+    /// queues drain. Every scheduled repair therefore resolves —
+    /// delivered, obsolete, or abandoned after the attempt cap — and
+    /// every queued transfer finishes streaming before the report is
+    /// cut; a scrub detection the machinery never repairs is a real
+    /// failure, not run truncation. Terminates because each pass
+    /// consumes the earliest due retry batch, the attempt cap bounds
+    /// requeues, and every overtime round moves at least one byte of
+    /// each peer's head-of-line transfer. Inline and in lane order, so
+    /// the result is identical at any worker count.
     fn drain_retries(&mut self) {
+        let mut r = self.rounds;
         loop {
+            let queued = self.plane.lanes.iter().any(|l| !l.queue.is_empty());
             let next_due = self
                 .plane
                 .lanes
                 .iter()
                 .flat_map(|l| l.retries.iter().map(|x| x.due))
                 .min();
-            let Some(due) = next_due else { break };
-            let r = due.max(self.rounds);
+            if !queued && next_due.is_none() {
+                break;
+            }
+            if !queued {
+                // Jump straight to the next backoff expiry.
+                r = r.max(next_due.expect("some retry pending"));
+            }
             let world = &self.world;
             let shared = &self.plane.shared;
             for lane in &mut self.plane.lanes {
                 lane.process_due_retries(shared, world, r);
+                lane.drain_transfers(shared, world, r);
             }
             self.plane.merge_round();
+            r += 1;
         }
     }
 
@@ -1126,7 +1497,16 @@ impl World for Fabric {
             .iter()
             .any(|l| l.retries.iter().any(|x| x.due <= r));
         let scrub_due = self.plane.shared.scrub_due(r);
-        if queued == 0 && !audit_due && !retries_due && !scrub_due {
+        // Carried transfers stream bytes every round even when no new
+        // events arrive; a flash-restore wave fires on its round too.
+        let transfers_pending = self.plane.lanes.iter().any(|l| !l.queue.is_empty())
+            || self
+                .plane
+                .shared
+                .schedule
+                .as_ref()
+                .is_some_and(|s| s.flash_restore == Some(r));
+        if queued == 0 && !audit_due && !retries_due && !scrub_due && !transfers_pending {
             return;
         }
         let workers = if audit_due || queued >= PARALLEL_EVENT_MIN {

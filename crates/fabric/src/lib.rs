@@ -1,3 +1,5 @@
+#![deny(missing_docs)]
+
 //! # peerback-fabric — the simulated world bound to a real data plane
 //!
 //! The paper's §3.2 simulator decides *placements* (which peer hosts
@@ -59,7 +61,7 @@ pub mod frame;
 pub mod store;
 
 pub use audit::{AuditReport, LossRecord};
-pub use fabric::{run_fabric, Fabric, FabricConfig, FabricReport, FabricStats};
+pub use fabric::{run_fabric, Fabric, FabricConfig, FabricReport, FabricStats, ScheduleConfig};
 pub use faults::{FaultKind, FaultPlane, FaultProfile, Transit};
 pub use frame::{checksum, BlockFrame, FrameError};
 pub use store::{BlockStore, IngestError, StoredBlock};

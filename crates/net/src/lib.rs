@@ -1,3 +1,5 @@
+#![deny(missing_docs)]
+
 //! Bandwidth and repair-cost modelling (paper §2.2.4).
 //!
 //! The paper's feasibility argument is a closed-form cost model: a repair

@@ -6,6 +6,21 @@ use core::fmt;
 ///
 /// The paper measures everything in kB (1 kB = 1024 bytes here, matching
 /// its arithmetic: 128 MB / 256 kB/s = 512 s).
+///
+/// # Example
+///
+/// The paper's §2.2.4 arithmetic on its 2009 DSL estimate:
+///
+/// ```
+/// use peerback_net::LinkModel;
+///
+/// let dsl = LinkModel::DSL_2009;
+/// // One 1 MB block uploads in 32 s; a full 128 MB archive
+/// // downloads (for a repair decode) in 512 s.
+/// assert_eq!(dsl.upload_secs(1024.0 * 1024.0), 32.0);
+/// assert_eq!(dsl.download_secs(128.0 * 1024.0 * 1024.0), 512.0);
+/// assert_eq!(dsl.asymmetry(), 8.0);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinkModel {
     /// Human-readable name for reports.

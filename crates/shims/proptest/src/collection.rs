@@ -13,7 +13,7 @@ pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
     VecStrategy { elem, size }
 }
 
-/// See [`vec`].
+/// See [`vec()`].
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S> {
     elem: S,

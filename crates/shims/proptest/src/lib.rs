@@ -3,8 +3,8 @@
 //! The build environment has no access to crates.io, so this workspace
 //! vendors the subset of proptest that its property tests use:
 //!
-//! * the [`Strategy`] trait with `prop_map`, plus strategies for
-//!   primitive types ([`any`]), integer/float ranges, tuples, string
+//! * the [`Strategy`](strategy::Strategy) trait with `prop_map`, plus strategies for
+//!   primitive types ([`any`](strategy::any)), integer/float ranges, tuples, string
 //!   patterns (a small character-class subset of the regex syntax) and
 //!   [`collection::vec`];
 //! * the [`proptest!`] macro, running each test body over many
