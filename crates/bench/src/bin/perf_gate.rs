@@ -1,8 +1,9 @@
 //! CI performance gate: compares fresh `perf_probe --json` samples
 //! against the committed baseline in `ci/perf-baseline.json`.
 //!
-//! The blocking subcommands (`alloc` and `rs` are documented on their
-//! functions; `mem` is the advisory memory check):
+//! The blocking subcommands (`alloc`, `mem` and `rs` are documented on
+//! their functions; `rebase` rewrites a committed baseline from a run
+//! artifact so cross-host refusals can be re-armed in one step):
 //!
 //! * `check --baseline FILE SAMPLE...` — takes the **median** of the
 //!   samples' `elapsed_secs` and compares it with the baseline's
@@ -20,6 +21,8 @@
 //! is sufficient and keeps the gate dependency-free.
 
 use std::process::ExitCode;
+
+use peerback_bench::json;
 
 /// Extracts a top-level numeric field from a flat JSON object.
 fn extract_f64(json: &str, key: &str) -> Option<f64> {
@@ -117,10 +120,12 @@ fn run_check(args: &[String]) -> Result<ExitCode, String> {
     match (base_cpus, sample_cpus) {
         (Some(b), Some(s)) if b != s => {
             println!(
-                "::warning::perf baseline was recorded on a {b:.0}-CPU host but this runner has \
-                 {s:.0} CPUs — refusing the comparison. Refresh {} from this run's artifact \
-                 (it records host_cpus) to re-arm the gate.",
-                args.baseline
+                "::warning::perf baseline {base} was recorded on a {b:.0}-CPU host but this \
+                 runner has {s:.0} CPUs — refusing the comparison. Re-arm the gate with \
+                 `perf_gate rebase --baseline {base} {sample}` (run it from a checkout on this \
+                 runner, or locally on this job's downloaded artifact) and commit the result.",
+                base = args.baseline,
+                sample = args.samples[0],
             );
             return Ok(ExitCode::SUCCESS);
         }
@@ -286,13 +291,54 @@ fn run_alloc(args: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
-/// `mem --warn-above N SAMPLE.json...`: the non-blocking memory
-/// telemetry check over `perf_probe --json` samples. Prints a
-/// `::warning::` when the median `bytes_per_peer` exceeds the
-/// threshold; always exits zero — the per-slot footprint varies with
-/// allocator growth policy, so it is surfaced, never gated.
+/// Prints the median per-component peer-table layout across samples,
+/// so a memory warning or failure names the collection that grew.
+fn print_mem_layout(samples: &[String], footprint: f64) -> Result<(), String> {
+    const COMPONENTS: [(&str, &str); 5] = [
+        ("bytes_peer_table", "peer table"),
+        ("bytes_online_index", "online index"),
+        ("bytes_hosted_ledgers", "hosted ledgers"),
+        ("bytes_archive_states", "archive states"),
+        ("bytes_partner_lists", "partner lists"),
+    ];
+    let mut printed_header = false;
+    for (key, label) in COMPONENTS {
+        let mut values = Vec::new();
+        for p in samples {
+            if let Some(v) = read_optional_field(p, key)? {
+                values.push(v);
+            }
+        }
+        if values.is_empty() {
+            continue; // stale probe binary: no breakdown recorded
+        }
+        if !printed_header {
+            println!("perf_gate: measured per-peer layout (median over samples):");
+            printed_header = true;
+        }
+        let v = median(values);
+        println!(
+            "perf_gate:   {label:<15} {v:>8.0} bytes/peer ({:>5.1}%)",
+            100.0 * v / footprint.max(f64::MIN_POSITIVE)
+        );
+    }
+    Ok(())
+}
+
+/// `mem [--warn-above N] [--fail-above N] SAMPLE.json...`: the memory
+/// budget gate over `perf_probe --json` samples.
+///
+/// `--fail-above` is the hard budget: the median `bytes_per_peer` above
+/// it fails the build (`::error::`) and prints the per-component layout
+/// so the collection that grew is named in the log. `--warn-above` is
+/// an optional earlier watchline that only annotates. At least one of
+/// the two is required. With a hard budget armed, a sample missing the
+/// `bytes_per_peer` field is an error (a misconfigured gate must not
+/// pass silently); with only a watchline it warns and passes, matching
+/// the historical advisory behaviour.
 fn run_mem(args: &[String]) -> Result<ExitCode, String> {
     let mut warn_above: Option<f64> = None;
+    let mut fail_above: Option<f64> = None;
     let mut samples = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -301,10 +347,16 @@ fn run_mem(args: &[String]) -> Result<ExitCode, String> {
                 let v = iter.next().ok_or("flag --warn-above needs a value")?;
                 warn_above = Some(v.parse().map_err(|e| format!("--warn-above: {e}"))?);
             }
+            "--fail-above" => {
+                let v = iter.next().ok_or("flag --fail-above needs a value")?;
+                fail_above = Some(v.parse().map_err(|e| format!("--fail-above: {e}"))?);
+            }
             other => samples.push(other.to_string()),
         }
     }
-    let warn_above = warn_above.ok_or("mem needs --warn-above N")?;
+    if warn_above.is_none() && fail_above.is_none() {
+        return Err("mem needs --fail-above N (hard budget) and/or --warn-above N".into());
+    }
     if samples.is_empty() {
         return Err("mem needs at least one sample JSON".into());
     }
@@ -312,6 +364,12 @@ fn run_mem(args: &[String]) -> Result<ExitCode, String> {
     for p in &samples {
         match read_optional_field(p, "bytes_per_peer")? {
             Some(v) => footprints.push(v),
+            None if fail_above.is_some() => {
+                return Err(format!(
+                    "{p} records no bytes_per_peer (stale probe binary or --stable-json \
+                     sample?) — the hard memory budget cannot be checked"
+                ));
+            }
             None => {
                 println!(
                     "::warning::{p} records no bytes_per_peer (stale probe binary or \
@@ -322,48 +380,146 @@ fn run_mem(args: &[String]) -> Result<ExitCode, String> {
         }
     }
     let footprint = median(footprints);
-    println!(
-        "perf_gate: median {footprint:.0} bytes/peer over {} sample(s), warning threshold \
-         {warn_above:.0}",
-        samples.len()
-    );
-    if footprint > warn_above {
-        println!(
-            "::warning::peer-table footprint grew: {footprint:.0} bytes per peer slot is above \
-             the {warn_above:.0}-byte watchline — check the per-peer collections (partner \
-             lists, hosted ledgers) for capacity leaks. Advisory only; never fails the build."
-        );
-        // Name the collection that grew: medians of the per-component
-        // layout the probe measured alongside the total.
-        const COMPONENTS: [(&str, &str); 5] = [
-            ("bytes_peer_table", "peer table"),
-            ("bytes_online_index", "online index"),
-            ("bytes_hosted_ledgers", "hosted ledgers"),
-            ("bytes_archive_states", "archive states"),
-            ("bytes_partner_lists", "partner lists"),
-        ];
-        let mut printed_header = false;
-        for (key, label) in COMPONENTS {
-            let mut values = Vec::new();
-            for p in &samples {
-                if let Some(v) = read_optional_field(p, key)? {
-                    values.push(v);
-                }
-            }
-            if values.is_empty() {
-                continue; // stale probe binary: no breakdown recorded
-            }
-            if !printed_header {
-                println!("perf_gate: measured per-peer layout (median over samples):");
-                printed_header = true;
-            }
-            let v = median(values);
+    match (fail_above, warn_above) {
+        (Some(f), Some(w)) => println!(
+            "perf_gate: median {footprint:.0} bytes/peer over {} sample(s), budget {f:.0} \
+             (watchline {w:.0})",
+            samples.len()
+        ),
+        (Some(f), None) => println!(
+            "perf_gate: median {footprint:.0} bytes/peer over {} sample(s), budget {f:.0}",
+            samples.len()
+        ),
+        (None, Some(w)) => println!(
+            "perf_gate: median {footprint:.0} bytes/peer over {} sample(s), warning threshold \
+             {w:.0}",
+            samples.len()
+        ),
+        (None, None) => unreachable!("at least one threshold is required"),
+    }
+    if let Some(budget) = fail_above {
+        if footprint > budget {
             println!(
-                "perf_gate:   {label:<15} {v:>8.0} bytes/peer ({:>5.1}%)",
-                100.0 * v / footprint.max(f64::MIN_POSITIVE)
+                "::error::peer-table footprint regression: {footprint:.0} bytes per peer slot \
+                 is above the {budget:.0}-byte budget — a per-peer column or slab grew. The \
+                 layout below names the collection; if the growth is intentional, rebase the \
+                 budget in the committed baseline."
             );
+            print_mem_layout(&samples, footprint)?;
+            return Ok(ExitCode::FAILURE);
         }
     }
+    if let Some(watchline) = warn_above {
+        if footprint > watchline {
+            println!(
+                "::warning::peer-table footprint grew: {footprint:.0} bytes per peer slot is \
+                 above the {watchline:.0}-byte watchline — check the per-peer columns and \
+                 slabs for stride growth before it hits the hard budget."
+            );
+            print_mem_layout(&samples, footprint)?;
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `rebase --baseline FILE [--runner NAME] ARTIFACT.json...`: rewrites
+/// a committed elapsed-time baseline from fresh run artifacts, so a
+/// cross-host refusal (`check` printing a `::warning::` about differing
+/// `host_cpus`) can be re-armed in one step instead of hand-editing the
+/// JSON.
+///
+/// Scenario identity (`probe`, `peers`, `rounds`, `seed`, `shards`) is
+/// copied from the first artifact; `median_elapsed_secs` is the median
+/// over every artifact; `host_cpus` must agree across artifacts. When
+/// the artifacts carry `bytes_per_peer`, its median and a +25% hard
+/// budget (`bytes_per_peer_budget`) are recorded too, keeping the
+/// memory gate's threshold alongside the timing baseline it was
+/// measured with. The previous baseline's `note` is preserved.
+fn run_rebase(args: &[String]) -> Result<ExitCode, String> {
+    let mut baseline = None;
+    let mut runner = None;
+    let mut artifacts = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("flag {name} needs a value"))
+        };
+        match arg.as_str() {
+            "--baseline" => baseline = Some(value("--baseline")?),
+            "--runner" => runner = Some(value("--runner")?),
+            other => artifacts.push(other.to_string()),
+        }
+    }
+    let baseline = baseline.ok_or("rebase needs --baseline FILE")?;
+    if artifacts.is_empty() {
+        return Err("rebase needs at least one run artifact JSON".into());
+    }
+
+    let first = std::fs::read_to_string(&artifacts[0])
+        .map_err(|e| format!("reading {}: {e}", artifacts[0]))?;
+    let probe = extract_str(&first, "probe")
+        .ok_or_else(|| format!("{}: no \"probe\" field — not a run artifact", artifacts[0]))?;
+    let host_cpus = extract_f64(&first, "host_cpus").ok_or_else(|| {
+        format!(
+            "{}: no host_cpus field (stale probe binary or --stable-json artifact?) — a \
+             baseline without it cannot arm the cross-host guard",
+            artifacts[0]
+        )
+    })?;
+    let mut timings = Vec::new();
+    let mut footprints = Vec::new();
+    for p in &artifacts {
+        timings.push(read_field(p, "elapsed_secs")?);
+        let cpus = read_optional_field(p, "host_cpus")?;
+        if cpus != Some(host_cpus) {
+            return Err(format!(
+                "{p}: host_cpus {:?} differs from {host_cpus} in {} — artifacts from \
+                 different hosts cannot form one baseline",
+                cpus, artifacts[0]
+            ));
+        }
+        if let Some(v) = read_optional_field(p, "bytes_per_peer")? {
+            footprints.push(v);
+        }
+    }
+
+    // Preserve the old baseline's note (the refresh rule and scenario
+    // rationale) when one exists; a missing or unreadable old baseline
+    // is fine — rebase can also mint a first baseline.
+    let old_note = std::fs::read_to_string(&baseline)
+        .ok()
+        .and_then(|text| extract_str(&text, "note"));
+    let runner = runner.unwrap_or_else(|| format!("{host_cpus:.0}-cpu-host"));
+
+    let mut report = json::Object::new().str("probe", &probe);
+    for key in ["peers", "rounds", "seed", "shards"] {
+        if let Some(v) = extract_f64(&first, key) {
+            report = report.num(key, v as u64);
+        }
+    }
+    report = report
+        .num("samples", artifacts.len() as u64)
+        .float("median_elapsed_secs", median(timings))
+        .num("host_cpus", host_cpus as u64)
+        .str("runner", &runner);
+    if !footprints.is_empty() {
+        let footprint = median(footprints);
+        report = report
+            .float("median_bytes_per_peer", footprint)
+            .num("bytes_per_peer_budget", (footprint * 1.25).ceil() as u64);
+    }
+    if let Some(note) = old_note {
+        report = report.str("note", &note);
+    }
+    let rendered = report.render();
+    std::fs::write(&baseline, format!("{rendered}\n"))
+        .map_err(|e| format!("writing {baseline}: {e}"))?;
+    println!(
+        "perf_gate: rebased {baseline} from {} artifact(s) ({probe}, {host_cpus:.0} CPUs)",
+        artifacts.len()
+    );
     Ok(ExitCode::SUCCESS)
 }
 
@@ -512,9 +668,17 @@ usage: perf_gate <subcommand> [options]
           require median(allocs_per_round) <= N (samples must come from
           a probe built with --features count-allocs; a missing field
           fails the gate rather than passing silently)
-  mem     --warn-above N SAMPLE.json...
-          ::warning:: when median(bytes_per_peer) exceeds N; always
-          exits zero (memory telemetry is advisory, never a gate)
+  mem     [--warn-above N] [--fail-above N] SAMPLE.json...
+          hard memory budget: non-zero exit (::error:: plus the
+          per-component layout) when median(bytes_per_peer) exceeds
+          --fail-above; --warn-above is an optional earlier watchline
+          that only annotates. At least one threshold is required.
+  rebase  --baseline FILE [--runner NAME] ARTIFACT.json...
+          rewrite FILE from fresh run artifacts: median elapsed_secs,
+          the artifacts' host_cpus (must agree), and — when recorded —
+          median bytes_per_peer plus a +25% bytes_per_peer_budget;
+          preserves the old baseline's note. Re-arms a cross-host
+          refusal in one step.
   rs      --baseline FILE [--min-ratio R] [--warn-pct P] [--fail-pct P]
           SAMPLE.json...
           require median(rs_probe speedup) >= R (default 4.0) and the
@@ -529,6 +693,7 @@ fn main() -> ExitCode {
         Some("speedup") => run_speedup(&args[1..]),
         Some("alloc") => run_alloc(&args[1..]),
         Some("mem") => run_mem(&args[1..]),
+        Some("rebase") => run_rebase(&args[1..]),
         Some("rs") => run_rs(&args[1..]),
         Some("--help" | "-h") => {
             println!("{USAGE}");
@@ -629,31 +794,118 @@ mod tests {
     }
 
     #[test]
-    fn mem_check_warns_but_never_fails() {
+    fn mem_gate_enforces_the_hard_budget() {
         let dir = std::env::temp_dir().join("perf_gate_mem_test");
         std::fs::create_dir_all(&dir).unwrap();
         let sample = dir.join("mem.json");
-        let args = |threshold: &str| -> Vec<String> {
-            ["--warn-above", threshold, sample.to_str().unwrap()]
+        let args = |flags: &[&str]| -> Vec<String> {
+            flags
                 .iter()
                 .map(|s| s.to_string())
+                .chain([sample.to_str().unwrap().to_string()])
                 .collect()
         };
-        std::fs::write(&sample, r#"{"bytes_per_peer":4096.000000}"#).unwrap();
-        assert_eq!(run_mem(&args("8192")).unwrap(), ExitCode::SUCCESS);
-        // Above the watchline: still SUCCESS (warning only).
-        assert_eq!(run_mem(&args("1024")).unwrap(), ExitCode::SUCCESS);
-        // With the layout breakdown recorded, the warning path prints
-        // it and still exits zero.
         std::fs::write(
             &sample,
             r#"{"bytes_per_peer":4096.000000,"bytes_peer_table":2048.000000,"bytes_partner_lists":2048.000000}"#,
         )
         .unwrap();
-        assert_eq!(run_mem(&args("1024")).unwrap(), ExitCode::SUCCESS);
-        // Missing field: skipped with a warning, not an error.
+        // Under the budget: pass.
+        assert_eq!(
+            run_mem(&args(&["--fail-above", "8192"])).unwrap(),
+            ExitCode::SUCCESS
+        );
+        // Over the hard budget: the gate blocks (and prints the layout).
+        assert_eq!(
+            run_mem(&args(&["--fail-above", "1024"])).unwrap(),
+            ExitCode::FAILURE
+        );
+        // Between the watchline and the budget: warn but pass.
+        assert_eq!(
+            run_mem(&args(&["--warn-above", "1024", "--fail-above", "8192"])).unwrap(),
+            ExitCode::SUCCESS
+        );
+        // Watchline-only mode keeps the historical advisory behaviour.
+        assert_eq!(
+            run_mem(&args(&["--warn-above", "1024"])).unwrap(),
+            ExitCode::SUCCESS
+        );
+        // Missing field: fatal when the hard budget is armed, skipped
+        // with a warning in advisory mode.
         std::fs::write(&sample, r#"{"elapsed_secs":1.0}"#).unwrap();
-        assert_eq!(run_mem(&args("1024")).unwrap(), ExitCode::SUCCESS);
+        assert!(run_mem(&args(&["--fail-above", "8192"])).is_err());
+        assert_eq!(
+            run_mem(&args(&["--warn-above", "1024"])).unwrap(),
+            ExitCode::SUCCESS
+        );
+        // No thresholds at all is a usage error.
+        assert!(run_mem(&args(&[])).is_err());
+    }
+
+    #[test]
+    fn rebase_rewrites_a_baseline_from_artifacts() {
+        let dir = std::env::temp_dir().join("perf_gate_rebase_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let baseline = dir.join("baseline.json");
+        let a = dir.join("a.json");
+        let b = dir.join("b.json");
+        std::fs::write(
+            &baseline,
+            r#"{"probe":"perf_probe","median_elapsed_secs":9.0,"host_cpus":1,"note":"refresh rule"}"#,
+        )
+        .unwrap();
+        std::fs::write(
+            &a,
+            r#"{"probe":"perf_probe","peers":4096,"rounds":2000,"seed":42,"shards":8,"host_cpus":8,"elapsed_secs":2.000000,"bytes_per_peer":2664.000000}"#,
+        )
+        .unwrap();
+        std::fs::write(
+            &b,
+            r#"{"probe":"perf_probe","peers":4096,"rounds":2000,"seed":42,"shards":8,"host_cpus":8,"elapsed_secs":3.000000,"bytes_per_peer":2664.000000}"#,
+        )
+        .unwrap();
+        let args: Vec<String> = [
+            "--baseline",
+            baseline.to_str().unwrap(),
+            "--runner",
+            "ci-8cpu",
+            a.to_str().unwrap(),
+            b.to_str().unwrap(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        assert_eq!(run_rebase(&args).unwrap(), ExitCode::SUCCESS);
+        let text = std::fs::read_to_string(&baseline).unwrap();
+        assert_eq!(extract_f64(&text, "median_elapsed_secs"), Some(2.5));
+        assert_eq!(extract_f64(&text, "host_cpus"), Some(8.0));
+        assert_eq!(extract_f64(&text, "peers"), Some(4096.0));
+        assert_eq!(extract_f64(&text, "samples"), Some(2.0));
+        // +25% over the measured footprint, rounded up.
+        assert_eq!(extract_f64(&text, "bytes_per_peer_budget"), Some(3330.0));
+        assert_eq!(extract_str(&text, "runner").as_deref(), Some("ci-8cpu"));
+        // The old baseline's refresh-rule note survives the rewrite.
+        assert_eq!(extract_str(&text, "note").as_deref(), Some("refresh rule"));
+
+        // The rebased file immediately arms `check` on the same host.
+        std::fs::write(&a, r#"{"elapsed_secs":10.0,"host_cpus":8}"#).unwrap();
+        let check: Vec<String> = [
+            "--baseline",
+            baseline.to_str().unwrap(),
+            a.to_str().unwrap(),
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        assert_eq!(run_check(&check).unwrap(), ExitCode::FAILURE);
+
+        // Artifacts from disagreeing hosts cannot form one baseline.
+        std::fs::write(
+            &b,
+            r#"{"probe":"perf_probe","host_cpus":4,"elapsed_secs":3.0}"#,
+        )
+        .unwrap();
+        assert!(run_rebase(&args).is_err());
     }
 
     #[test]

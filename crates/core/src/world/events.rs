@@ -92,47 +92,34 @@ impl ShardLane<'_> {
         cfg: &SimConfig,
         samplers: &[SessionSampler],
     ) {
-        debug_assert!(self.local(id).observer.is_none());
+        debug_assert!(self.peers.observer(id).is_none());
         self.delta.departures += 1;
         if self.estimates_on {
             // Record the completed lifetime before any teardown:
             // `uptime_at` must still see the open session (set_online
             // below does not bank it into the ledger).
-            let peer = self.local(id);
             let rec = peerback_estimate::DeathRecord {
-                lifetime: peer.age_at(round),
-                uptime: peer.uptime_at(round),
-                sessions: peer.session_seq,
+                lifetime: self.peers.age_at(id, round),
+                uptime: self.peers.uptime_at(id, round),
+                sessions: self.peers.session_seq(id),
             };
             self.obs.push(rec);
         }
-        if self.local(id).online {
+        if self.peers.online(id) {
             self.set_online(id, false);
         }
-        let cat = self.local(id).category_at(round);
+        let cat = self.peers.category_at(id, round);
         self.census_delta[cat.index()] -= 1;
 
         // Tear down this peer's own archives: the blocks it stored on
         // its partners are dropped (events emitted here, on the owner
         // side) and each partner's ledger is pruned in hop 2. Indexed
-        // walks + `clear` rather than `mem::take`: the slot is recycled
-        // in place, and keeping the vectors' capacity is what lets the
-        // replacement peer re-grow them without heap traffic.
-        for aidx in 0..self.local(id).archives.len() {
-            let (fresh, total) = {
-                let archive = &self.local(id).archives[aidx];
-                (
-                    archive.partners.len(),
-                    archive.partners.len() + archive.stale_partners.len(),
-                )
-            };
+        // walks in fresh-then-stale order, then the O(1) length reset —
+        // the slab slots are recycled in place for the replacement peer.
+        for aidx in 0..self.peers.archives_per_peer() {
+            let total = self.peers.present(id, aidx) as usize;
             for i in 0..total {
-                let archive = &self.local(id).archives[aidx];
-                let host = if i < fresh {
-                    archive.partners[i]
-                } else {
-                    archive.stale_partners[i - fresh]
-                };
+                let host = self.peers.host_at(id, aidx, i);
                 self.emit(WorldEvent::BlockDropped {
                     owner: id,
                     archive: aidx as ArchiveIdx,
@@ -145,53 +132,50 @@ impl ShardLane<'_> {
                     owner_observer: false,
                 });
             }
-            let archive = &mut self.local(id).archives[aidx];
-            archive.partners.clear();
-            archive.stale_partners.clear();
+            self.peers.clear_partner_lists(id, aidx);
         }
 
         // Its hosted blocks disappear with it; the owners learn in hop 2.
-        for i in 0..self.local(id).hosted.len() {
-            let (owner, aidx) = self.local(id).hosted[i];
+        for i in 0..self.peers.hosted_len(id) {
+            let (owner, aidx) = self.peers.hosted_at(id, i);
             self.out.push(Msg::Drop {
                 owner,
                 aidx,
                 host: id,
             });
         }
-        self.local(id).hosted.clear();
-        self.local(id).quota_used = 0;
+        self.peers.clear_hosted(id);
+        self.peers.set_quota_used(id, 0);
 
         // `PeerDeparted` is emitted by the driver once every drop of
         // this round has been delivered (the observer contract).
         self.departed.push(id);
 
         // Immediate replacement in the same slot, bumped epoch.
-        let peer = self.local(id);
-        peer.epoch = peer.epoch.wrapping_add(1);
-        peer.session_seq = 0;
+        self.peers.bump_epoch(id);
+        self.peers.set_session_seq(id, 0);
         self.init_regular_peer(id, round, cfg, samplers);
     }
 
     /// Hop 1 of an offline write-off (§2.2.3): the network considers the
     /// peer gone and writes its hosted blocks off.
     pub(in crate::world) fn process_timeout_local(&mut self, id: PeerId) {
-        if self.local(id).hosted.is_empty() {
+        if self.peers.hosted_len(id) == 0 {
             return;
         }
         self.delta.partner_timeouts += 1;
-        // Indexed walk + `clear`, not `mem::take`: the peer keeps its
-        // ledger's capacity for when it reconnects and hosts again.
-        for i in 0..self.local(id).hosted.len() {
-            let (owner, aidx) = self.local(id).hosted[i];
+        // Indexed walk + length reset: the slab slots stay in place for
+        // when the peer reconnects and hosts again.
+        for i in 0..self.peers.hosted_len(id) {
+            let (owner, aidx) = self.peers.hosted_at(id, i);
             self.out.push(Msg::Drop {
                 owner,
                 aidx,
                 host: id,
             });
         }
-        self.local(id).hosted.clear();
-        self.local(id).quota_used = 0;
+        self.peers.clear_hosted(id);
+        self.peers.set_quota_used(id, 0);
     }
 }
 
@@ -214,12 +198,12 @@ impl super::exec::WorkLane<'_> {
     ) {
         let k = cfg.k as u32;
         let threshold_policy = !matches!(cfg.maintenance, MaintenancePolicy::Proactive { .. });
-        let threshold = self.peer(owner).threshold as u32;
-        let archive = &mut self.peer_mut(owner).archives[aidx as usize];
-        if let Some(pos) = archive.partners.iter().position(|&p| p == host) {
-            archive.partners.swap_remove(pos);
-        } else if let Some(pos) = archive.stale_partners.iter().position(|&p| p == host) {
-            archive.stale_partners.swap_remove(pos);
+        let threshold = self.peers.threshold(owner) as u32;
+        let a = aidx as usize;
+        if let Some(pos) = self.peers.partner_position(owner, a, host) {
+            self.peers.swap_remove_partner(owner, a, pos);
+        } else if let Some(pos) = self.peers.stale_position(owner, a, host) {
+            self.peers.swap_remove_stale(owner, a, pos);
         } else {
             return; // torn down earlier this round
         }
@@ -228,13 +212,12 @@ impl super::exec::WorkLane<'_> {
             archive: aidx,
             host,
         });
-        let archive = &self.peer(owner).archives[aidx as usize];
-        if !archive.joined {
+        if !self.peers.joined(owner, a) {
             return; // mid-join: the join loop re-acquires
         }
-        if archive.present() < k {
+        if self.peers.present(owner, a) < k {
             self.record_loss(owner, aidx, round);
-        } else if threshold_policy && archive.present() < threshold {
+        } else if threshold_policy && self.peers.present(owner, a) < threshold {
             // Enqueue regardless of the owner's session state;
             // activation skips offline owners and reconnection
             // re-enqueues them.
@@ -246,7 +229,7 @@ impl super::exec::WorkLane<'_> {
 impl BackupWorld {
     pub(in crate::world) fn schedule_proactive(&mut self, id: PeerId, round: u64) {
         if let MaintenancePolicy::Proactive { tick_rounds } = self.cfg.maintenance {
-            let epoch = self.peers[id as usize].epoch;
+            let epoch = self.peers.epoch(id);
             self.schedule_for(
                 id,
                 Round(round + tick_rounds),
@@ -260,12 +243,13 @@ impl BackupWorld {
     /// staged machinery the round driver uses.
     #[cfg(test)]
     pub(in crate::world) fn drop_hosted_blocks(&mut self, host: PeerId, round: u64) {
-        let hosted = core::mem::take(&mut self.peers[host as usize].hosted);
-        self.peers[host as usize].quota_used = 0;
         let shard = self.layout.shard_of(host);
-        for (owner, aidx) in hosted {
+        for i in 0..self.peers.hosted_len(host) {
+            let (owner, aidx) = self.peers.hosted_at(host, i);
             self.arena.outboxes[shard].push(Msg::Drop { owner, aidx, host });
         }
+        self.peers.clear_hosted(host);
+        self.peers.set_quota_used(host, 0);
         self.run_deliver(round);
     }
 }

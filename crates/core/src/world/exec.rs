@@ -58,8 +58,9 @@ use crate::select::Candidate;
 
 use super::events::Event;
 use super::hooks::WorldEvent;
-use super::peers::{ArchiveIdx, Peer, PeerId};
+use super::peers::{ArchiveIdx, PeerId};
 use super::shard::{Proposal, ShardLane, ShardLayout};
+use super::table::{PeerTable, PeerView};
 use super::BackupWorld;
 
 /// Per-lane accumulator for the metric counters a stage may bump;
@@ -218,12 +219,17 @@ const PARALLEL_MSG_MIN: usize = 2048;
 
 impl ExecPolicy {
     /// Narrows the worker count for a stage with `busy` non-empty tasks
-    /// and `work` total queued messages: light stages run inline.
+    /// and `work` total queued messages: light stages run inline. With
+    /// stealing off the full width is kept even when few tasks are
+    /// non-empty — worker `w` always owns the same shard range, so its
+    /// table columns stay in that core's cache across stages.
     pub(in crate::world) fn narrowed(&self, busy: usize, work: usize) -> ExecPolicy {
         let workers = if work < PARALLEL_MSG_MIN {
             1
-        } else {
+        } else if self.steal {
             self.workers.min(busy.max(1))
+        } else {
+            self.workers
         };
         ExecPolicy {
             workers,
@@ -422,10 +428,9 @@ impl RoundArena {
 /// Everything one shard may touch during a deliver/commit stage, plus
 /// the task-local buffers whose merge order is fixed by shard index.
 pub(in crate::world) struct WorkLane<'a> {
-    /// First slot id of the shard's range.
-    pub(in crate::world) base: PeerId,
-    /// This shard's peer slots.
-    pub(in crate::world) peers: &'a mut [Peer],
+    /// This shard's columns of the peer table (the view carries the
+    /// shard's base slot id).
+    pub(in crate::world) peers: PeerView<'a>,
     /// This shard's pending-activation queue.
     pub(in crate::world) pending: &'a mut Vec<PeerId>,
     /// Whether to record events.
@@ -441,19 +446,8 @@ pub(in crate::world) struct WorkLane<'a> {
 }
 
 impl WorkLane<'_> {
-    #[inline]
-    pub(in crate::world) fn peer_mut(&mut self, id: PeerId) -> &mut Peer {
-        &mut self.peers[(id - self.base) as usize]
-    }
-
-    #[inline]
-    pub(in crate::world) fn peer(&self, id: PeerId) -> &Peer {
-        &self.peers[(id - self.base) as usize]
-    }
-
     pub(in crate::world) fn enqueue(&mut self, id: PeerId) {
-        let base = self.base;
-        super::peers::enqueue_pending(&mut self.peers[(id - base) as usize], id, self.pending);
+        self.peers.enqueue_pending(id, self.pending);
     }
 
     #[inline]
@@ -474,7 +468,7 @@ impl WorkLane<'_> {
         if !self.events_on {
             return;
         }
-        let partners = &self.peer(owner).archives[aidx as usize].partners;
+        let partners = self.peers.partners(owner, aidx as usize);
         if partners.len() > before {
             let hosts = partners[before..].to_vec();
             self.events.push(WorldEvent::BlocksPlaced {
@@ -779,7 +773,7 @@ impl BackupWorld {
             .map(|run| run.len as usize)
             .sum();
         let policy = exec.narrowed(busy, work);
-        let peers: &[Peer] = peers;
+        let peers: &PeerTable = peers;
         let proposals = &arena.proposals;
         policy.dispatch(salt, &mut tasks, |shard, task| {
             let base = shard * layout.shard_size;
@@ -793,9 +787,8 @@ impl BackupWorld {
                     let host = prop.pool[rank as usize].id;
                     debug_assert_eq!(layout.shard_of(host), shard, "misrouted claim run");
                     let local = (host as usize) - base;
-                    let peer = &peers[host as usize];
-                    debug_assert!(peer.online, "claims target frozen-online candidates");
-                    if peer.quota_used + task.scratch.tent[local] >= quota {
+                    debug_assert!(peers.online(host), "claims target frozen-online candidates");
+                    if peers.quota_used(host) + task.scratch.tent[local] >= quota {
                         // Full, counting this round's earlier grants.
                         if let Some(done) = open.take() {
                             task.out.push((run.oshard, done));
@@ -1000,12 +993,14 @@ fn push_claim_runs(
 }
 
 /// Builds one [`WorkLane`] per logical shard over split borrows of the
-/// peer table and pending queues, drawing every lane buffer from the
-/// arena (inboxes carry the routed messages when `with_inboxes`).
+/// peer-table columns and pending queues, drawing every lane buffer
+/// from the arena (inboxes carry the routed messages when
+/// `with_inboxes`). Allocation-free in the steady state: the column
+/// splitter carves slices, it never copies.
 fn build_work_lanes<'a>(
     layout: ShardLayout,
     events_on: bool,
-    peers: &'a mut [Peer],
+    peers: &'a mut PeerTable,
     pendings: &'a mut [Vec<PeerId>],
     arena: &mut RoundArena,
     with_inboxes: bool,
@@ -1013,19 +1008,15 @@ fn build_work_lanes<'a>(
     let sz = layout.shard_size;
     let recycle = arena.recycle;
     let mut lanes: Vec<WorkLane<'a>> = retype_empty(core::mem::take(&mut arena.lane_store));
-    let mut peers_rest = peers;
+    let mut split = peers.splitter();
     let mut pendings = pendings.iter_mut();
     for s in 0..layout.count {
-        let take = sz.min(peers_rest.len());
-        let (chunk, rest) = peers_rest.split_at_mut(take);
-        peers_rest = rest;
         debug_assert!(
             arena.outboxes[s].is_empty(),
             "outbox not routed before stage"
         );
         lanes.push(WorkLane {
-            base: (s * sz) as PeerId,
-            peers: chunk,
+            peers: split.take(sz),
             pending: pendings.next().expect("pending per shard"),
             events_on,
             events: take_slot(&mut arena.event_bufs[s], recycle),

@@ -42,16 +42,18 @@ use super::BackupWorld;
 /// growth policy and are never part of the determinism contract.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct MemoryBreakdown {
-    /// The peer table itself (`Vec<Peer>` capacity × slot size).
+    /// The per-peer scalar columns of the struct-of-arrays table
+    /// (session, quota, lifetime and counter columns).
     pub peer_table: f64,
     /// The online-position index maintained for O(1) presence updates.
     pub online_index: f64,
-    /// Hosted-block ledgers (one `(owner, archive)` entry per stored
-    /// block, scales with quota).
+    /// The hosted-block slab (fixed stride of packed `(owner, archive)`
+    /// entries per slot, scales with quota) plus its length column.
     pub hosted_ledgers: f64,
-    /// Per-owner archive state records.
+    /// Per-archive state columns (flags, targets, list lengths).
     pub archive_states: f64,
-    /// Partner and stale-partner lists (scale with `n`).
+    /// The partner slab: one fixed `n`-entry stride per archive holding
+    /// the fresh partners and displaced stale partners.
     pub partner_lists: f64,
 }
 
@@ -264,28 +266,16 @@ impl BackupWorld {
     /// footprint regression points at the collection that grew instead
     /// of a single opaque total.
     pub fn memory_breakdown(&self) -> MemoryBreakdown {
-        use super::peers::{ArchiveIdx, ArchiveState, Peer};
         if self.peers.is_empty() {
             return MemoryBreakdown::default();
         }
-        let mut hosted = 0usize;
-        let mut archives = 0usize;
-        let mut partners = 0usize;
-        for p in &self.peers {
-            hosted += p.hosted.capacity() * core::mem::size_of::<(PeerId, ArchiveIdx)>();
-            archives += p.archives.capacity() * core::mem::size_of::<ArchiveState>();
-            for a in &p.archives {
-                partners += (a.partners.capacity() + a.stale_partners.capacity())
-                    * core::mem::size_of::<PeerId>();
-            }
-        }
         let slots = self.peers.len() as f64;
         MemoryBreakdown {
-            peer_table: (self.peers.capacity() * core::mem::size_of::<Peer>()) as f64 / slots,
+            peer_table: self.peers.scalar_column_bytes() as f64 / slots,
             online_index: (self.online_pos.capacity() * core::mem::size_of::<u32>()) as f64 / slots,
-            hosted_ledgers: hosted as f64 / slots,
-            archive_states: archives as f64 / slots,
-            partner_lists: partners as f64 / slots,
+            hosted_ledgers: self.peers.hosted_slab_bytes() as f64 / slots,
+            archive_states: self.peers.archive_column_bytes() as f64 / slots,
+            partner_lists: self.peers.partner_slab_bytes() as f64 / slots,
         }
     }
 
@@ -308,19 +298,18 @@ impl BackupWorld {
 
     /// Whether the peer in `slot` is currently online.
     pub fn peer_online(&self, slot: PeerId) -> bool {
-        self.peers[slot as usize].online
+        self.peers.online(slot)
     }
 
     /// The availability (fraction of time online) of the peer's hidden
     /// behaviour profile. Observers report 1.0 (always online).
     pub fn peer_availability(&self, slot: PeerId) -> f64 {
-        let peer = &self.peers[slot as usize];
-        if peer.observer.is_some() {
+        if self.peers.observer(slot).is_some() {
             return 1.0;
         }
         self.cfg
             .profiles
-            .profile(peer.profile as usize)
+            .profile(self.peers.profile(slot) as usize)
             .availability
     }
 
@@ -332,17 +321,15 @@ impl BackupWorld {
 
     /// Whether `(owner, archive)` finished its initial upload.
     pub fn archive_joined(&self, owner: PeerId, archive: u8) -> bool {
-        self.peers[owner as usize].archives[archive as usize].joined
+        self.peers.joined(owner, archive as usize)
     }
 
     /// The hosts currently holding one block each of `(owner, archive)`
     /// — fresh and stale partners alike, in no particular order.
     pub fn archive_hosts(&self, owner: PeerId, archive: u8) -> Vec<PeerId> {
-        let a = &self.peers[owner as usize].archives[archive as usize];
-        a.partners
-            .iter()
-            .chain(&a.stale_partners)
-            .copied()
+        let a = archive as usize;
+        (0..self.peers.present(owner, a) as usize)
+            .map(|i| self.peers.host_at(owner, a, i))
             .collect()
     }
 
@@ -351,11 +338,10 @@ impl BackupWorld {
     /// archive (compare with [`crate::metrics::Metrics::restorability`],
     /// which aggregates `online_present >= k` over all joined archives).
     pub fn archive_online_present(&self, owner: PeerId, archive: u8) -> u32 {
-        let a = &self.peers[owner as usize].archives[archive as usize];
-        a.partners
-            .iter()
-            .chain(&a.stale_partners)
-            .filter(|&&h| self.peers[h as usize].online)
+        let a = archive as usize;
+        (0..self.peers.present(owner, a) as usize)
+            .map(|i| self.peers.host_at(owner, a, i))
+            .filter(|&h| self.peers.online(h))
             .count() as u32
     }
 }

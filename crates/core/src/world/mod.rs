@@ -62,6 +62,7 @@ mod peers;
 mod redundancy;
 mod repair;
 mod shard;
+mod table;
 
 #[cfg(test)]
 mod tests;
@@ -79,8 +80,9 @@ use crate::metrics::{CategorySample, Metrics, ObserverSeries};
 use events::Event;
 use exec::{ExecPolicy, GrantScratch, MetricsDelta, RoundArena};
 use peerback_sim::BufPool;
-use peers::{ArchiveIdx, Peer};
+use peers::ArchiveIdx;
 use shard::{Proposal, Scratch, ShardLane, ShardLayout};
+use table::PeerTable;
 
 pub use hooks::{FabricObserver, MemoryBreakdown, WorldEvent};
 pub use peers::{ObserverState, PeerId, WorldSnapshot};
@@ -116,7 +118,8 @@ pub struct BackupWorld {
     pub(in crate::world) cfg: SimConfig,
     /// Per-profile session samplers (index = profile id).
     pub(in crate::world) samplers: Vec<SessionSampler>,
-    pub(in crate::world) peers: Vec<Peer>,
+    /// The struct-of-arrays peer table (slots, archives, slabs).
+    pub(in crate::world) peers: PeerTable,
     /// Slots `0..observer_count` are observers.
     pub(in crate::world) observer_count: usize,
     /// The fixed logical partition of the slot space.
@@ -204,10 +207,22 @@ impl BackupWorld {
             fuzz: None,
             pool: Arc::new(WorkerPool::new(workers)),
         };
+        // Slab strides are fixed by the config: a partner slab holds at
+        // most `n` entries per archive (fresh + displaced stale share
+        // the width — displacement happens before attachment), a hosted
+        // ledger at most `quota` regular blocks plus the quota-exempt
+        // observer placements.
+        let hosted_cap = cfg.quota as usize + observer_count * cfg.archives_per_peer as usize;
+        let peers = PeerTable::with_capacity(
+            capacity,
+            cfg.archives_per_peer as usize,
+            cfg.n_blocks() as usize,
+            hosted_cap,
+        );
         BackupWorld {
             samplers,
             observer_count,
-            peers: Vec::with_capacity(capacity),
+            peers,
             layout,
             exec,
             online: (0..layout.count).map(|_| Vec::new()).collect(),
@@ -245,17 +260,19 @@ impl BackupWorld {
     pub fn into_metrics(mut self) -> Metrics {
         self.metrics.estimator = self.estimator.as_ref().map(|m| m.report());
         for (i, spec) in self.cfg.observers.iter().enumerate() {
-            let peer = &self.peers[i];
+            let id = i as PeerId;
+            let repairs = self.peers.repairs(id);
+            let losses = self.peers.losses(id);
             if let Some(series) = self.metrics.observers.get_mut(i) {
-                series.total_repairs = peer.repairs;
-                series.losses = peer.losses;
+                series.total_repairs = repairs;
+                series.losses = losses;
             } else {
                 self.metrics.observers.push(ObserverSeries {
                     name: spec.name,
                     frozen_age: spec.frozen_age,
                     points: Vec::new(),
-                    total_repairs: peer.repairs,
-                    losses: peer.losses,
+                    total_repairs: repairs,
+                    losses,
                 });
             }
         }
@@ -319,7 +336,7 @@ impl BackupWorld {
         let mut lanes: Vec<ShardLane> =
             peerback_sim::arena::retype_empty(core::mem::take(&mut arena.shard_lane_store));
         {
-            let mut peers_rest: &mut [Peer] = &mut self.peers;
+            let mut split = self.peers.splitter();
             let mut pos_rest: &mut [u32] = &mut self.online_pos;
             let mut wheels = self.wheels.iter_mut();
             let mut online = self.online.iter_mut();
@@ -327,14 +344,12 @@ impl BackupWorld {
             let mut rngs = self.rngs.iter_mut();
             let mut obs = self.obs.iter_mut();
             for s in 0..layout.count {
-                let take = sz.min(peers_rest.len());
-                let (peers_chunk, rest) = peers_rest.split_at_mut(take);
-                peers_rest = rest;
+                let view = split.take(sz);
+                let take = view.slots();
                 let (pos_chunk, rest) = pos_rest.split_at_mut(take);
                 pos_rest = rest;
                 lanes.push(ShardLane {
-                    base: (s * sz) as PeerId,
-                    peers: peers_chunk,
+                    peers: view,
                     pos: pos_chunk,
                     online: online.next().expect("online per shard"),
                     wheel: wheels.next().expect("wheel per shard"),
@@ -402,11 +417,10 @@ impl BackupWorld {
             return;
         };
         if round.is_multiple_of(model.params().refresh_interval) {
+            let peers = &self.peers;
             model.refresh(
-                self.peers
-                    .iter()
-                    .skip(self.observer_count)
-                    .map(|p| p.age_at(round)),
+                (self.observer_count as PeerId..peers.len() as PeerId)
+                    .map(|id| peers.age_at(id, round)),
             );
         }
         self.estimator = Some(model);
@@ -441,12 +455,13 @@ impl BackupWorld {
             debug_assert!(actors.is_empty());
             core::mem::swap(&mut actors, &mut self.pendings[s]);
             for &id in &actors {
-                self.peers[id as usize].queued = false;
+                self.peers.set_queued(id, false);
             }
             // Offline owners activate nothing; reconnection re-enqueues
             // them (stale entries for recycled slots simply act for the
             // replacement peer, as the engine-driven path always did).
-            actors.retain(|&id| self.peers[id as usize].online);
+            let peers = &self.peers;
+            actors.retain(|&id| peers.online(id));
             actors.sort_unstable();
             self.arena.actors[s] = actors;
         }
@@ -528,7 +543,7 @@ fn propose_shard(
     round: u64,
 ) {
     for &id in actors {
-        for aidx in 0..world.peers[id as usize].archives.len() {
+        for aidx in 0..world.peers.archives_per_peer() {
             let aidx = aidx as ArchiveIdx;
             if let Some((kind, d)) = world.plan_archive(id, aidx) {
                 let pool = world.build_pool(scratch, cands, rng, id, aidx, d, round);
@@ -537,7 +552,7 @@ fn propose_shard(
                     aidx,
                     kind,
                     d,
-                    owner_observer: world.peers[id as usize].observer.is_some(),
+                    owner_observer: world.peers.observer(id).is_some(),
                     pool,
                 });
             }
@@ -591,7 +606,7 @@ impl World for BackupWorld {
                 census: self.census,
             });
             for i in 0..self.observer_count {
-                let repairs = self.peers[i].repairs;
+                let repairs = self.peers.repairs(i as PeerId);
                 self.metrics.observers[i]
                     .points
                     .push((round.index(), repairs));

@@ -51,12 +51,11 @@ impl BackupWorld {
     /// configured factor. Death scheduling, uptime and loss accounting
     /// all stay keyed to the true age — only negotiation sees the lie.
     pub(in crate::world) fn negotiation_age(&self, id: PeerId, round: u64) -> u64 {
-        let peer = &self.peers[id as usize];
-        match peer.observer {
+        match self.peers.observer(id) {
             Some(i) => self.cfg.observers[i as usize].frozen_age,
             None => {
-                let age = peer.age_at(round);
-                if peer.misreports {
+                let age = self.peers.age_at(id, round);
+                if self.peers.misreports(id) {
                     age.saturating_mul(self.cfg.misreport_inflation)
                 } else {
                     age
@@ -74,21 +73,23 @@ impl BackupWorld {
         id: PeerId,
         aidx: ArchiveIdx,
     ) -> Option<(ActionKind, u32)> {
-        let peer = &self.peers[id as usize];
-        let archive = &peer.archives[aidx as usize];
+        let a = aidx as usize;
         // The archive's maintained width: `n` unless the adaptive
         // redundancy policy trimmed it (`== n` whenever that policy is
         // off, keeping this function byte-identical to the static path).
-        let target = archive.target_n;
-        if !archive.joined {
-            return Some((ActionKind::Join, target.saturating_sub(archive.present())));
+        let target = self.peers.target(id, a);
+        if !self.peers.joined(id, a) {
+            return Some((
+                ActionKind::Join,
+                target.saturating_sub(self.peers.present(id, a)),
+            ));
         }
-        let fresh_missing = target.saturating_sub(archive.partners.len() as u32);
+        let fresh_missing = target.saturating_sub(self.peers.partners_len(id, a) as u32);
         match self.cfg.maintenance {
             MaintenancePolicy::Reactive { .. } | MaintenancePolicy::Adaptive { .. } => {
-                if archive.repairing {
+                if self.peers.repairing(id, a) {
                     Some((ActionKind::Threshold, fresh_missing))
-                } else if archive.present() < peer.threshold as u32 {
+                } else if self.peers.present(id, a) < self.peers.threshold(id) as u32 {
                     // Opening a refreshing episode re-places the whole
                     // code word (the commit swaps partners to stale
                     // first, so every fresh slot is open).
@@ -103,7 +104,7 @@ impl BackupWorld {
                 }
             }
             MaintenancePolicy::Proactive { .. } => {
-                if archive.repairing || archive.present() < target {
+                if self.peers.repairing(id, a) || self.peers.present(id, a) < target {
                     Some((ActionKind::Proactive, fresh_missing))
                 } else {
                     None
@@ -163,8 +164,8 @@ impl BackupWorld {
         // (partners for *other* archives stay eligible, §4.1).
         let tag = scratch.begin(self.peers.len());
         scratch.mark[owner_id as usize] = tag;
-        let archive = &self.peers[owner_id as usize].archives[aidx as usize];
-        for &p in archive.partners.iter().chain(&archive.stale_partners) {
+        for i in 0..self.peers.present(owner_id, aidx as usize) as usize {
+            let p = self.peers.host_at(owner_id, aidx as usize, i);
             scratch.mark[p as usize] = tag;
         }
 
@@ -197,16 +198,15 @@ impl BackupWorld {
             if scratch.mark[c as usize] == tag {
                 continue;
             }
-            let cand = &self.peers[c as usize];
-            if cand.observer.is_some() || cand.quota_used >= quota {
+            if self.peers.observer(c).is_some() || self.peers.quota_used(c) >= quota {
                 continue;
             }
             // The *reported* age: what the candidate claims during
             // negotiation (misreporting peers inflate it). Matches
             // `negotiation_age` for every non-observer (observers were
             // screened out above).
-            let true_age = cand.age_at(round);
-            let cand_age = if cand.misreports {
+            let true_age = self.peers.age_at(c, round);
+            let cand_age = if self.peers.misreports(c) {
                 true_age.saturating_mul(self.cfg.misreport_inflation)
             } else {
                 true_age
@@ -215,7 +215,11 @@ impl BackupWorld {
             // shard-locally against the frozen model state. Only the
             // LearnedAge strategy pays for it.
             let estimate = learned.then(|| match &self.estimator {
-                Some(model) => model.estimate(cand_age, cand.uptime_at(round), cand.session_seq),
+                Some(model) => model.estimate(
+                    cand_age,
+                    self.peers.uptime_at(c, round),
+                    self.peers.session_seq(c),
+                ),
                 None => cand_age, // detached model: degrade to age rank
             });
             let rank_key = if learned { estimate } else { Some(cand_age) };
@@ -233,9 +237,9 @@ impl BackupWorld {
             let candidate = Candidate {
                 id: c,
                 age: cand_age,
-                uptime: cand.uptime_at(round),
+                uptime: self.peers.uptime_at(c, round),
                 estimated_remaining: estimate.unwrap_or(0),
-                true_remaining: cand.death.saturating_sub(round),
+                true_remaining: self.peers.death(c).saturating_sub(round),
             };
             match &mut index {
                 Some(index) => {
@@ -293,11 +297,14 @@ impl super::exec::WorkLane<'_> {
         aidx: ArchiveIdx,
         owner_observer: bool,
     ) {
-        let peer = self.peer_mut(host);
-        debug_assert!(peer.online, "granted hosts cannot toggle mid-round");
-        peer.hosted.push((owner, aidx));
+        debug_assert!(
+            self.peers.online(host),
+            "granted hosts cannot toggle mid-round"
+        );
+        self.peers.push_hosted(host, owner, aidx);
         if !owner_observer {
-            peer.quota_used += 1;
+            let q = self.peers.quota_used(host);
+            self.peers.set_quota_used(host, q + 1);
         }
     }
 
@@ -313,17 +320,13 @@ impl super::exec::WorkLane<'_> {
         aidx: ArchiveIdx,
         owner_observer: bool,
     ) {
-        let peer = self.peer_mut(host);
-        let Some(pos) = peer
-            .hosted
-            .iter()
-            .position(|&(o, a)| o == owner && a == aidx)
-        else {
+        let Some(pos) = self.peers.hosted_position(host, owner, aidx) else {
             return; // the host's ledger was torn down this round
         };
-        peer.hosted.swap_remove(pos);
+        self.peers.swap_remove_hosted(host, pos);
         if !owner_observer {
-            peer.quota_used -= 1;
+            let q = self.peers.quota_used(host);
+            self.peers.set_quota_used(host, q - 1);
         }
     }
 
@@ -337,15 +340,13 @@ impl super::exec::WorkLane<'_> {
         d: u32,
         hosts: &[PeerId],
     ) -> u32 {
-        let owner_observer = self.peer(owner).observer.is_some();
+        let owner_observer = self.peers.observer(owner).is_some();
         let mut attached = 0u32;
         for &host in hosts {
             if attached == d {
                 break;
             }
-            self.peer_mut(owner).archives[aidx as usize]
-                .partners
-                .push(host);
+            self.peers.push_partner(owner, aidx as usize, host);
             self.out.push(super::exec::Msg::Attach {
                 host,
                 owner,

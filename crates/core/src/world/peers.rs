@@ -1,10 +1,15 @@
-//! The peer table: slots, epochs, archives, the online index, population
-//! spawning, and structural snapshots.
+//! Peer slots, epochs, the online index, population spawning, and
+//! structural snapshots.
 //!
 //! Peer slots are **reused**: when a peer departs, its immediate
 //! replacement (§4.1) occupies the same slot with a bumped `epoch`, so
 //! scheduled events and queued activations can detect that they refer to
 //! a peer that no longer exists.
+//!
+//! Per-peer state itself lives in the struct-of-arrays
+//! [`PeerTable`](super::table::PeerTable) (`table.rs`); this module owns
+//! the *lifecycle* — spawning, the shard-lane entry point, and the
+//! world-level snapshot/restorability reads.
 
 use peerback_churn::SessionSampler;
 use peerback_sim::Round;
@@ -26,122 +31,6 @@ pub(in crate::world) const OFFLINE: u32 = u32::MAX;
 
 /// Index of an archive within its owner (`0..archives_per_peer`).
 pub(in crate::world) type ArchiveIdx = u8;
-
-/// Owner-side state of one archive (peers may back up several,
-/// `SimConfig::archives_per_peer`; the paper's §4.1 uses one and claims
-/// linear scaling — ablation A5 tests that claim).
-#[derive(Debug, Clone, Default)]
-pub(in crate::world) struct ArchiveState {
-    /// Partners currently holding one block each of this archive.
-    pub(in crate::world) partners: Vec<PeerId>,
-    /// During a refreshing repair episode: the pre-episode partners,
-    /// kept (and counted as present) until displaced 1:1 by fresh ones
-    /// so redundancy never dips while the new code word uploads.
-    pub(in crate::world) stale_partners: Vec<PeerId>,
-    /// Initial upload finished.
-    pub(in crate::world) joined: bool,
-    /// An open repair episode (decode already paid, uploads ongoing).
-    pub(in crate::world) repairing: bool,
-    /// Set when the open episode hit a pool shortfall (drives the
-    /// adaptive policy's adjustment).
-    pub(in crate::world) episode_struggled: bool,
-    /// The width this archive is maintained at. Equal to `n = k + m`
-    /// unless the adaptive-redundancy policy
-    /// (`SimConfig::adaptive_n`) trimmed it; always within
-    /// `[n - max_trim, n]`. Joins, repairs and proactive top-ups all
-    /// aim for this count instead of `n`. Survives an archive loss
-    /// (the owner re-joins at its trimmed width); reset to `n` when
-    /// the slot is recycled for a new peer.
-    pub(in crate::world) target_n: u32,
-}
-
-impl ArchiveState {
-    /// Blocks still in the network — the paper's `n − d`.
-    pub(in crate::world) fn present(&self) -> u32 {
-        (self.partners.len() + self.stale_partners.len()) as u32
-    }
-
-    pub(in crate::world) fn reset(&mut self) {
-        debug_assert!(self.partners.is_empty() && self.stale_partners.is_empty());
-        self.joined = false;
-        self.repairing = false;
-        self.episode_struggled = false;
-    }
-}
-
-/// One peer slot.
-#[derive(Debug, Clone)]
-pub(in crate::world) struct Peer {
-    pub(in crate::world) epoch: u32,
-    pub(in crate::world) profile: u8,
-    /// Round of first connection.
-    pub(in crate::world) birth: u64,
-    /// Departure round (`u64::MAX` = never).
-    pub(in crate::world) death: u64,
-    pub(in crate::world) online: bool,
-    /// Bumped on every session transition; lets timeout events detect
-    /// that the offline run they were armed for has ended.
-    pub(in crate::world) session_seq: u32,
-    /// Rounds spent online in completed sessions (the §2.1 monitoring
-    /// protocol's ledger; the open session is added on query).
-    pub(in crate::world) online_accum: u64,
-    /// Round of the last online/offline transition (or birth).
-    pub(in crate::world) last_transition: u64,
-    /// `Some(index into cfg.observers)` for observer peers.
-    pub(in crate::world) observer: Option<u8>,
-    /// Whether this peer misstates its age during negotiation
-    /// (`SimConfig::misreport_fraction` adversarial axis). Inflates
-    /// [`BackupWorld::negotiation_age`] only — death scheduling and the
-    /// uptime ledger stay honest.
-    pub(in crate::world) misreports: bool,
-    /// Set while the peer sits in the pending-activation queue.
-    pub(in crate::world) queued: bool,
-    /// This peer's current trigger threshold (constant under the
-    /// reactive policy; drifts under the adaptive one; unused by
-    /// proactive).
-    pub(in crate::world) threshold: u16,
-    /// Owner-side state, one entry per archive.
-    pub(in crate::world) archives: Vec<ArchiveState>,
-    /// Blocks this peer hosts: one `(owner, archive index)` entry each.
-    pub(in crate::world) hosted: Vec<(PeerId, ArchiveIdx)>,
-    /// Hosted blocks counting against the quota (observer-owned blocks
-    /// are exempt, §4.2.2).
-    pub(in crate::world) quota_used: u32,
-    /// Lifetime repair count (drives the observer series).
-    pub(in crate::world) repairs: u64,
-    /// Lifetime archive losses.
-    pub(in crate::world) losses: u64,
-}
-
-impl Peer {
-    pub(in crate::world) fn age_at(&self, round: u64) -> u64 {
-        round.saturating_sub(self.birth)
-    }
-
-    pub(in crate::world) fn category_at(&self, round: u64) -> AgeCategory {
-        AgeCategory::of_age(self.age_at(round))
-    }
-
-    /// True when every archive finished its initial upload ("included
-    /// in the network", §3.2).
-    pub(in crate::world) fn fully_joined(&self) -> bool {
-        self.archives.iter().all(|a| a.joined)
-    }
-
-    /// Observed lifetime uptime fraction at `round` (1.0 at age zero —
-    /// a freshly arrived peer has a clean record).
-    pub(in crate::world) fn uptime_at(&self, round: u64) -> f64 {
-        let age = self.age_at(round);
-        if age == 0 {
-            return 1.0;
-        }
-        let mut online_rounds = self.online_accum;
-        if self.online {
-            online_rounds += round.saturating_sub(self.last_transition);
-        }
-        (online_rounds as f64 / age as f64).clamp(0.0, 1.0)
-    }
-}
 
 /// One observer's structural state in a [`WorldSnapshot`].
 #[derive(Debug, Clone, PartialEq)]
@@ -204,22 +93,23 @@ impl Default for WorldSnapshot {
 impl BackupWorld {
     /// Fraction of joined (non-observer) archives whose owner could
     /// start a restore immediately: at least `k` blocks sit on
-    /// currently-online partners.
+    /// currently-online partners. A cache-linear column walk: the
+    /// archive flags, partner counts and the hosts' online flags are
+    /// the only columns touched.
     pub(in crate::world) fn instant_restorability(&self) -> f64 {
         let k = self.k() as usize;
+        let apap = self.peers.archives_per_peer();
         let mut joined = 0u64;
         let mut restorable = 0u64;
-        for p in self.peers.iter().skip(self.observer_count) {
-            for a in &p.archives {
-                if !a.joined {
+        for id in self.observer_count as PeerId..self.peers.len() as PeerId {
+            for aidx in 0..apap {
+                if !self.peers.joined(id, aidx) {
                     continue;
                 }
                 joined += 1;
-                let online = a
-                    .partners
-                    .iter()
-                    .chain(&a.stale_partners)
-                    .filter(|&&q| self.peers[q as usize].online)
+                let present = self.peers.present(id, aidx) as usize;
+                let online = (0..present)
+                    .filter(|&i| self.peers.online(self.peers.host_at(id, aidx, i)))
                     .count();
                 if online >= k {
                     restorable += 1;
@@ -239,26 +129,27 @@ impl BackupWorld {
             online_count: self.online.iter().map(Vec::len).sum(),
             ..WorldSnapshot::default()
         };
+        let apap = self.peers.archives_per_peer();
         let mut present_sum = 0u64;
         let mut joined = 0u64;
-        for p in self.peers.iter() {
-            let total_present: u32 = p.archives.iter().map(ArchiveState::present).sum();
-            if let Some(obs_index) = p.observer {
+        for id in 0..self.peers.len() as PeerId {
+            let total_present: u32 = (0..apap).map(|a| self.peers.present(id, a)).sum();
+            if let Some(obs_index) = self.peers.observer(id) {
                 let mut partner_profiles = [0u32; 8];
                 let mut partner_age_sum = 0u64;
-                for a in &p.archives {
-                    for &q in a.partners.iter().chain(&a.stale_partners) {
-                        let qp = &self.peers[q as usize];
-                        partner_profiles[(qp.profile as usize).min(7)] += 1;
-                        partner_age_sum += qp.age_at(self.metrics.rounds);
+                for aidx in 0..apap {
+                    for i in 0..self.peers.present(id, aidx) as usize {
+                        let q = self.peers.host_at(id, aidx, i);
+                        partner_profiles[(self.peers.profile(q) as usize).min(7)] += 1;
+                        partner_age_sum += self.peers.age_at(q, self.metrics.rounds);
                     }
                 }
                 snap.observers.push(ObserverState {
                     name: self.cfg.observers[obs_index as usize].name,
                     present: total_present,
-                    repairing: p.archives.iter().any(|a| a.repairing),
-                    joined: p.fully_joined(),
-                    repairs: p.repairs,
+                    repairing: (0..apap).any(|a| self.peers.repairing(id, a)),
+                    joined: self.peers.fully_joined(id),
+                    repairs: self.peers.repairs(id),
                     partner_profiles,
                     partner_mean_age: if total_present == 0 {
                         0.0
@@ -268,19 +159,19 @@ impl BackupWorld {
                 });
                 continue;
             }
-            if p.fully_joined() {
+            if self.peers.fully_joined(id) {
                 joined += 1;
                 present_sum += total_present as u64;
                 snap.present_min = snap.present_min.min(total_present);
             } else {
                 snap.unjoined_count += 1;
             }
-            if p.archives.iter().any(|a| a.repairing) {
+            if (0..apap).any(|a| self.peers.repairing(id, a)) {
                 snap.repairing_count += 1;
             }
-            let free = self.cfg.quota.saturating_sub(p.quota_used) as u64;
+            let free = self.cfg.quota.saturating_sub(self.peers.quota_used(id)) as u64;
             snap.free_quota_total += free;
-            if p.online {
+            if self.peers.online(id) {
                 snap.free_quota_online += free;
             }
         }
@@ -300,7 +191,9 @@ impl BackupWorld {
 
     /// Spawns observers (round 0 only) and ramps the regular population.
     /// Sequential: slot ids are handed out in order, so the per-shard
-    /// RNG draws happen in a fixed order at any worker count.
+    /// RNG draws happen in a fixed order at any worker count. Growing a
+    /// slot appends one default entry to every column — no per-peer
+    /// allocation (the columns' capacity is reserved at construction).
     pub(in crate::world) fn ensure_population(&mut self, round: u64) {
         if round == 0 {
             for i in 0..self.observer_count {
@@ -314,7 +207,7 @@ impl BackupWorld {
             (self.cfg.n_peers as u64 * (round + 1) / self.cfg.growth_rounds) as usize
         };
         while self.spawned < target {
-            self.peers.push(Self::empty_peer());
+            self.peers.push_slot();
             self.online_pos.push(OFFLINE);
             self.spawned += 1;
             let id = (self.peers.len() - 1) as PeerId;
@@ -339,8 +232,7 @@ impl BackupWorld {
         let base = s * sz;
         let end = (base + sz).min(self.peers.len());
         let mut lane = ShardLane {
-            base: base as PeerId,
-            peers: &mut self.peers[base..end],
+            peers: self.peers.view_range(base, end),
             pos: &mut self.online_pos[base..end],
             online: &mut self.online[s],
             wheel: &mut self.wheels[s],
@@ -369,42 +261,17 @@ impl BackupWorld {
         r
     }
 
-    pub(in crate::world) fn empty_peer() -> Peer {
-        Peer {
-            epoch: 0,
-            profile: 0,
-            birth: 0,
-            death: u64::MAX,
-            online: false,
-            session_seq: 0,
-            online_accum: 0,
-            last_transition: 0,
-            observer: None,
-            misreports: false,
-            queued: false,
-            threshold: 0,
-            archives: Vec::new(),
-            hosted: Vec::new(),
-            quota_used: 0,
-            repairs: 0,
-            losses: 0,
-        }
-    }
-
     pub(in crate::world) fn spawn_observer(&mut self, index: u8) {
         let id = self.peers.len() as PeerId;
-        let mut peer = Self::empty_peer();
-        peer.threshold = self.cfg.maintenance.threshold().unwrap_or(0);
-        peer.archives = vec![
-            ArchiveState {
-                target_n: self.cfg.n_blocks(),
-                ..ArchiveState::default()
-            };
-            self.cfg.archives_per_peer as usize
-        ];
-        peer.observer = Some(index);
-        self.peers.push(peer);
+        self.peers.push_slot();
         self.online_pos.push(OFFLINE);
+        self.peers
+            .set_threshold(id, self.cfg.maintenance.threshold().unwrap_or(0));
+        let n = self.cfg.n_blocks();
+        for aidx in 0..self.peers.archives_per_peer() {
+            self.peers.set_target(id, aidx, n);
+        }
+        self.peers.set_observer(id, Some(index));
         self.set_online(id, true);
         self.metrics.observers.push(ObserverSeries {
             name: self.cfg.observers[index as usize].name,
@@ -424,66 +291,18 @@ impl BackupWorld {
     // ----- online index and activation queue -------------------------------
 
     /// Sets the peer's online flag, maintaining its shard's online
-    /// list (delegates to [`update_online_index`]).
+    /// list (delegates to the table's `update_online`).
     pub(in crate::world) fn set_online(&mut self, id: PeerId, online: bool) {
         let shard = self.layout.shard_of(id);
-        update_online_index(
-            &mut self.peers[id as usize],
-            id,
-            &mut self.online[shard],
-            &mut self.online_pos,
-            0,
-            online,
-        );
+        self.peers
+            .update_online(id, &mut self.online[shard], &mut self.online_pos, 0, online);
     }
 
-    /// Queues the peer for activation (delegates to [`enqueue_pending`]).
+    /// Queues the peer for activation (delegates to the table's
+    /// `enqueue_pending`).
     pub(in crate::world) fn enqueue(&mut self, id: PeerId) {
         let shard = self.layout.shard_of(id);
-        enqueue_pending(&mut self.peers[id as usize], id, &mut self.pendings[shard]);
-    }
-}
-
-/// The one implementation of the online-index invariant, shared by the
-/// world-level path and the parallel shard lanes: flips `peer.online`,
-/// swap-removes from / pushes onto the shard's online `list`, and
-/// back-patches positions in `pos` (a slice of the global position
-/// table starting at peer id `pos_base` — the whole table for the
-/// world path, the shard's chunk for a lane).
-pub(in crate::world) fn update_online_index(
-    peer: &mut Peer,
-    id: PeerId,
-    list: &mut Vec<PeerId>,
-    pos: &mut [u32],
-    pos_base: PeerId,
-    online: bool,
-) {
-    if peer.online == online {
-        return;
-    }
-    peer.online = online;
-    if online {
-        pos[(id - pos_base) as usize] = list.len() as u32;
-        list.push(id);
-    } else {
-        let at = pos[(id - pos_base) as usize];
-        debug_assert_ne!(at, OFFLINE);
-        let last = *list.last().expect("online list not empty");
-        list.swap_remove(at as usize);
-        if last != id {
-            pos[(last - pos_base) as usize] = at;
-        }
-        pos[(id - pos_base) as usize] = OFFLINE;
-    }
-}
-
-/// The one implementation of the pending-queue invariant (`queued`
-/// flag + per-shard queue), shared by the world-level path and the
-/// parallel shard lanes.
-pub(in crate::world) fn enqueue_pending(peer: &mut Peer, id: PeerId, pending: &mut Vec<PeerId>) {
-    if !peer.queued {
-        peer.queued = true;
-        pending.push(id);
+        self.peers.enqueue_pending(id, &mut self.pendings[shard]);
     }
 }
 
@@ -559,28 +378,30 @@ impl ShardLane<'_> {
             self.rng.gen_bool(cfg.misreport_fraction)
         };
 
-        let peer = self.local(id);
-        peer.profile = profile_id as u8;
-        peer.misreports = misreports;
-        peer.threshold = cfg.maintenance.threshold().unwrap_or(0);
-        peer.birth = round;
-        peer.death = lifetime.map_or(u64::MAX, |l| round + l);
-        peer.observer = None;
-        peer.online = false; // set_online manages the index
-        peer.online_accum = 0;
-        peer.last_transition = round;
-        debug_assert!(peer.hosted.is_empty());
-        peer.archives
-            .resize_with(cfg.archives_per_peer as usize, ArchiveState::default);
+        self.peers.set_profile(id, profile_id as u8);
+        self.peers.set_misreports(id, misreports);
+        self.peers
+            .set_threshold(id, cfg.maintenance.threshold().unwrap_or(0));
+        self.peers.set_birth(id, round);
+        self.peers
+            .set_death(id, lifetime.map_or(u64::MAX, |l| round + l));
+        self.peers.set_observer(id, None);
+        self.peers.set_online_raw(id, false); // set_online manages the index
+        self.peers.set_online_accum(id, 0);
+        self.peers.set_last_transition(id, round);
+        debug_assert_eq!(self.peers.hosted_len(id), 0);
         let n = cfg.n_blocks();
-        peer.archives.iter_mut().for_each(|a| {
-            a.reset();
-            a.target_n = n;
-        });
-        peer.quota_used = 0;
+        for aidx in 0..cfg.archives_per_peer as usize {
+            debug_assert_eq!(self.peers.present(id, aidx), 0);
+            self.peers.set_joined(id, aidx, false);
+            self.peers.set_repairing(id, aidx, false);
+            self.peers.set_struggled(id, aidx, false);
+            self.peers.set_target(id, aidx, n);
+        }
+        self.peers.set_quota_used(id, 0);
 
-        let epoch = peer.epoch;
-        let death = peer.death;
+        let epoch = self.peers.epoch(id);
+        let death = self.peers.death(id);
         self.census_delta[AgeCategory::Newcomer.index()] += 1;
 
         if death != u64::MAX {
@@ -610,7 +431,7 @@ impl ShardLane<'_> {
             // offline run; arm its write-off timer too (no-op before
             // it hosts anything, but keeps the mechanism uniform).
             if cfg.offline_timeout > 0 {
-                let seq = self.local(id).session_seq;
+                let seq = self.peers.session_seq(id);
                 self.wheel.schedule(
                     Round(round + cfg.offline_timeout),
                     Event::OfflineTimeout {
@@ -627,7 +448,7 @@ impl ShardLane<'_> {
                 Event::ProactiveTick { peer: id, epoch },
             );
         }
-        if self.local(id).online {
+        if self.peers.online(id) {
             self.enqueue(id); // begin joining
         }
     }

@@ -102,15 +102,14 @@ impl BackupWorld {
     /// it was derived from (the narrow victim's ranking key). Pure
     /// read-only: safe for the parallel scoring stage.
     fn host_survival(&self, id: PeerId, round: u64, horizon: u64) -> (f64, u64) {
-        let host = &self.peers[id as usize];
         // The *reported* age — what the host claims during negotiation
         // (observers present their frozen age, misreporting peers
         // inflate): the policy sees the network the way the selection
         // strategies do, not through an oracle.
         let reported_age = self.negotiation_age(id, round);
-        let uptime = host.uptime_at(round);
+        let uptime = self.peers.uptime_at(id, round);
         let est = match &self.estimator {
-            Some(model) => model.estimate(reported_age, uptime, host.session_seq),
+            Some(model) => model.estimate(reported_age, uptime, self.peers.session_seq(id)),
             None => {
                 let factor = CLASS_PRIOR[AvailabilityClass::of(uptime) as usize];
                 (reported_age.max(1) as f64 * factor) as u64
@@ -121,8 +120,8 @@ impl BackupWorld {
         let mut p = (-(horizon as f64) / est as f64).exp();
         // A host already deep into an offline run is partway to its
         // write-off: discount linearly toward the timeout.
-        if !host.online && self.cfg.offline_timeout > 0 {
-            let offline = round.saturating_sub(host.last_transition);
+        if !self.peers.online(id) && self.cfg.offline_timeout > 0 {
+            let offline = round.saturating_sub(self.peers.last_transition(id));
             p *= (1.0 - offline as f64 / self.cfg.offline_timeout as f64).clamp(0.0, 1.0);
         }
         (p, est)
@@ -142,14 +141,13 @@ impl BackupWorld {
                 // widen prices would re-upload `target_n` blocks to buy
                 // `widen_step` of extra width.
                 let refresh = false;
-                let (raised, needs_episode) = {
-                    let archive = &mut self.peers[owner as usize].archives[aidx as usize];
-                    debug_assert!(archive.joined && !archive.repairing);
-                    let old = archive.target_n;
-                    archive.target_n = old.saturating_add(ar.widen_step as u32).min(n);
-                    let raised = archive.target_n > old;
-                    (raised, raised || archive.present() < archive.target_n)
-                };
+                let a = aidx as usize;
+                debug_assert!(self.peers.joined(owner, a) && !self.peers.repairing(owner, a));
+                let old = self.peers.target(owner, a);
+                let new = old.saturating_add(ar.widen_step as u32).min(n);
+                self.peers.set_target(owner, a, new);
+                let raised = new > old;
+                let needs_episode = raised || self.peers.present(owner, a) < new;
                 if raised {
                     self.metrics.diag.redundancy_widened += 1;
                 }
@@ -159,17 +157,13 @@ impl BackupWorld {
                 // The begin_episode mirror: preemptive episodes pay the
                 // same decode and ride the same continuation machinery
                 // as threshold-triggered ones.
-                {
-                    let archive = &mut self.peers[owner as usize].archives[aidx as usize];
-                    archive.repairing = true;
-                    archive.episode_struggled = false;
-                    if refresh {
-                        debug_assert!(archive.stale_partners.is_empty());
-                        core::mem::swap(&mut archive.partners, &mut archive.stale_partners);
-                    }
+                self.peers.set_repairing(owner, a, true);
+                self.peers.set_struggled(owner, a, false);
+                if refresh {
+                    self.peers.refresh_to_stale(owner, a);
                 }
-                self.peers[owner as usize].repairs += 1;
-                let cat = self.peers[owner as usize].category_at(round);
+                self.peers.bump_repairs(owner);
+                let cat = self.peers.category_at(owner, round);
                 self.metrics.repairs[cat.index()] += 1;
                 self.metrics.diag.blocks_downloaded += self.cfg.k as u64;
                 self.metrics.diag.preemptive_repairs += 1;
@@ -190,26 +184,19 @@ impl BackupWorld {
                 victim,
             } => {
                 self.metrics.diag.redundancy_narrowed += 1;
-                let release = {
-                    let archive = &mut self.peers[owner as usize].archives[aidx as usize];
-                    debug_assert!(archive.joined && !archive.repairing);
-                    debug_assert!(archive.target_n > n.saturating_sub(ar.max_trim as u32));
-                    archive.target_n -= 1;
-                    if archive.present() <= archive.target_n {
-                        false // already narrower than the new target
-                    } else {
-                        let pos = archive
-                            .partners
-                            .iter()
-                            .position(|&p| p == victim)
-                            .expect("victim chosen from this partner list");
-                        archive.partners.remove(pos);
-                        true
-                    }
-                };
-                if !release {
-                    return;
+                let a = aidx as usize;
+                debug_assert!(self.peers.joined(owner, a) && !self.peers.repairing(owner, a));
+                debug_assert!(self.peers.target(owner, a) > n.saturating_sub(ar.max_trim as u32));
+                let new = self.peers.target(owner, a) - 1;
+                self.peers.set_target(owner, a, new);
+                if self.peers.present(owner, a) <= new {
+                    return; // already narrower than the new target
                 }
+                let pos = self
+                    .peers
+                    .partner_position(owner, a, victim)
+                    .expect("victim chosen from this partner list");
+                self.peers.remove_partner(owner, a, pos);
                 // Drop event before the host-side bookkeeping, matching
                 // the owner-side emission rule everywhere else.
                 if self.record_events {
@@ -221,14 +208,10 @@ impl BackupWorld {
                 }
                 // Sequential stage: host-side bookkeeping applies
                 // directly instead of riding a message.
-                let host = &mut self.peers[victim as usize];
-                if let Some(hpos) = host
-                    .hosted
-                    .iter()
-                    .position(|&(o, a)| o == owner && a == aidx)
-                {
-                    host.hosted.swap_remove(hpos);
-                    host.quota_used -= 1;
+                if let Some(hpos) = self.peers.hosted_position(victim, owner, aidx) {
+                    self.peers.swap_remove_hosted(victim, hpos);
+                    let q = self.peers.quota_used(victim);
+                    self.peers.set_quota_used(victim, q - 1);
                 }
                 self.metrics.diag.placements_released += 1;
             }
@@ -246,23 +229,23 @@ fn score_shard(world: &BackupWorld, round: u64, s: usize, out: &mut Vec<Redundan
     let floor = n.saturating_sub(ar.max_trim as u32);
     let base = s * world.layout.shard_size;
     let end = (base + world.layout.shard_size).min(world.peers.len());
-    for id in base..end {
-        let peer = &world.peers[id];
+    for id in base as PeerId..end as PeerId {
         // Observers are measurement instruments (their repair series
         // must stay comparable across policies); offline owners cannot
         // act on a decision this round anyway.
-        if peer.observer.is_some() || !peer.online {
+        if world.peers.observer(id).is_some() || !world.peers.online(id) {
             continue;
         }
-        let trigger = world.k().max(peer.threshold as u32) as f64;
-        for (aidx, archive) in peer.archives.iter().enumerate() {
-            if !archive.joined || archive.repairing {
+        let trigger = world.k().max(world.peers.threshold(id) as u32) as f64;
+        for a in 0..world.peers.archives_per_peer() {
+            if !world.peers.joined(id, a) || world.peers.repairing(id, a) {
                 continue;
             }
-            debug_assert!(archive.stale_partners.is_empty());
+            debug_assert_eq!(world.peers.stale_len(id, a), 0);
+            let target = world.peers.target(id, a);
             let mut predicted = 0.0f64;
             let mut victim: Option<(u64, PeerId)> = None;
-            for &h in &archive.partners {
+            for &h in world.peers.partners(id, a) {
                 let (p, est) = world.host_survival(h, round, ar.horizon);
                 predicted += p;
                 // Strict `<`: the first minimum in partner order wins,
@@ -271,20 +254,18 @@ fn score_shard(world: &BackupWorld, round: u64, s: usize, out: &mut Vec<Redundan
                     victim = Some((est, h));
                 }
             }
-            let owner = id as PeerId;
-            let aidx = aidx as ArchiveIdx;
+            let owner = id;
+            let aidx = a as ArchiveIdx;
             if predicted < trigger + ar.widen_margin {
                 // At risk *and* previously trimmed: restore width and
                 // repair preemptively. Archives already at full width
                 // are left to the reactive threshold — opening earlier
                 // episodes for them would just duplicate that machinery
                 // at full-refresh prices.
-                if archive.target_n < n {
+                if target < n {
                     out.push(RedundancyDecision::Widen { owner, aidx });
                 }
-            } else if archive.target_n > floor
-                && predicted >= archive.target_n as f64 - ar.narrow_slack
-            {
+            } else if target > floor && predicted >= target as f64 - ar.narrow_slack {
                 // Durable enough that even the trimmed width survives
                 // the horizon: shed the weakest placement.
                 if let Some((_, victim)) = victim {

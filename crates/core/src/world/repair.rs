@@ -37,7 +37,7 @@ impl WorkLane<'_> {
         match prop.kind {
             ActionKind::Join => self.continue_join(prop.owner, prop.aidx, hosts, prop.d),
             ActionKind::Threshold => {
-                let k_prime = self.peer(prop.owner).threshold as u32;
+                let k_prime = self.peers.threshold(prop.owner) as u32;
                 if self.open_episode_if_triggered(cfg, prop.owner, prop.aidx, k_prime, round) {
                     self.continue_episode(cfg, prop.owner, prop.aidx, hosts, prop.d);
                 }
@@ -57,32 +57,21 @@ impl WorkLane<'_> {
             archive: aidx,
             round,
         });
-        let is_observer = self.peer(owner).observer.is_some();
+        let is_observer = self.peers.observer(owner).is_some();
         if !is_observer {
-            let cat = self.peer(owner).category_at(round);
+            let cat = self.peers.category_at(owner, round);
             self.delta.losses[cat.index()] += 1;
         }
-        let (fresh, total) = {
-            let peer = self.peer_mut(owner);
-            peer.losses += 1;
-            let archive = &mut peer.archives[aidx as usize];
-            archive.joined = false;
-            archive.repairing = false;
-            (
-                archive.partners.len(),
-                archive.partners.len() + archive.stale_partners.len(),
-            )
-        };
-        // Indexed walk + `clear`, not `mem::take`: the re-join re-grows
-        // these vectors, and keeping their capacity keeps the loss path
-        // off the heap.
+        let a = aidx as usize;
+        self.peers.bump_losses(owner);
+        self.peers.set_joined(owner, a, false);
+        self.peers.set_repairing(owner, a, false);
+        // Indexed walk in fresh-then-stale order, then the O(1) length
+        // reset: the re-join reuses the same slab slots, so the loss
+        // path stays off the heap.
+        let total = self.peers.present(owner, a) as usize;
         for i in 0..total {
-            let archive = &self.peer(owner).archives[aidx as usize];
-            let host = if i < fresh {
-                archive.partners[i]
-            } else {
-                archive.stale_partners[i - fresh]
-            };
+            let host = self.peers.host_at(owner, a, i);
             self.emit(WorldEvent::BlockDropped {
                 owner,
                 archive: aidx,
@@ -95,13 +84,9 @@ impl WorkLane<'_> {
                 owner_observer: is_observer,
             });
         }
-        {
-            let archive = &mut self.peer_mut(owner).archives[aidx as usize];
-            archive.partners.clear();
-            archive.stale_partners.clear();
-        }
+        self.peers.clear_partner_lists(owner, a);
         // Re-backup from the local copy: start a fresh join.
-        if self.peer(owner).online {
+        if self.peers.online(owner) {
             self.enqueue(owner);
         }
     }
@@ -116,15 +101,15 @@ impl WorkLane<'_> {
         hosts: &[PeerId],
         built_for: u32,
     ) {
-        let target = self.peer(id).archives[aidx as usize].target_n;
-        let d = target.saturating_sub(self.peer(id).archives[aidx as usize].present());
+        let a = aidx as usize;
+        let target = self.peers.target(id, a);
+        let d = target.saturating_sub(self.peers.present(id, a));
         debug_assert_eq!(built_for, d, "join plan diverged from commit-time state");
-        let before = self.peer(id).archives[aidx as usize].partners.len();
+        let before = self.peers.partners_len(id, a);
         let attached = self.attach_partners(id, aidx, d, hosts);
         self.emit_placements(id, aidx, before);
-        let archive = &mut self.peer_mut(id).archives[aidx as usize];
-        if archive.present() >= target {
-            archive.joined = true;
+        if self.peers.present(id, a) >= target {
+            self.peers.set_joined(id, a, true);
             self.delta.joins_completed += 1;
             self.emit(WorldEvent::JoinCompleted {
                 owner: id,
@@ -140,16 +125,12 @@ impl WorkLane<'_> {
 
     /// Records the start of a repair episode (metrics + decode cost).
     fn begin_episode(&mut self, id: PeerId, aidx: ArchiveIdx, round: u64, refresh: bool) {
-        let is_regular = {
-            let peer = self.peer_mut(id);
-            let archive = &mut peer.archives[aidx as usize];
-            archive.repairing = true;
-            archive.episode_struggled = false;
-            peer.repairs += 1;
-            peer.observer.is_none()
-        };
-        if is_regular {
-            let cat = self.peer(id).category_at(round);
+        let a = aidx as usize;
+        self.peers.set_repairing(id, a, true);
+        self.peers.set_struggled(id, a, false);
+        self.peers.bump_repairs(id);
+        if self.peers.observer(id).is_none() {
+            let cat = self.peers.category_at(id, round);
             self.delta.repairs[cat.index()] += 1;
         }
         self.emit(WorldEvent::EpisodeStarted {
@@ -170,11 +151,9 @@ impl WorkLane<'_> {
         k_prime: u32,
         round: u64,
     ) -> bool {
-        let (present, repairing) = {
-            let a = &self.peer(id).archives[aidx as usize];
-            (a.present(), a.repairing)
-        };
-        if !repairing {
+        let a = aidx as usize;
+        let present = self.peers.present(id, a);
+        if !self.peers.repairing(id, a) {
             if present >= k_prime {
                 return false; // stale trigger (a repair already covered it)
             }
@@ -185,9 +164,7 @@ impl WorkLane<'_> {
                 // New code word: every surviving block will be displaced
                 // by a freshly placed one (§2.2.3's "re-encode … new
                 // blocks"). Old partners stay counted until displaced.
-                let archive = &mut self.peer_mut(id).archives[aidx as usize];
-                debug_assert!(archive.stale_partners.is_empty());
-                core::mem::swap(&mut archive.partners, &mut archive.stale_partners);
+                self.peers.refresh_to_stale(id, a);
             }
         }
         true
@@ -205,13 +182,13 @@ impl WorkLane<'_> {
         hosts: &[PeerId],
         built_for: u32,
     ) {
-        let target = self.peer(id).archives[aidx as usize].target_n;
-        let d = target.saturating_sub(self.peer(id).archives[aidx as usize].partners.len() as u32);
+        let a = aidx as usize;
+        let target = self.peers.target(id, a);
+        let d = target.saturating_sub(self.peers.partners_len(id, a) as u32);
         debug_assert_eq!(built_for, d, "episode plan diverged from commit-time state");
         if d == 0 {
-            let archive = &mut self.peer_mut(id).archives[aidx as usize];
-            debug_assert!(archive.stale_partners.is_empty());
-            archive.repairing = false;
+            debug_assert_eq!(self.peers.stale_len(id, a), 0);
+            self.peers.set_repairing(id, a, false);
             self.emit(WorldEvent::EpisodeCompleted {
                 owner: id,
                 archive: aidx,
@@ -219,17 +196,20 @@ impl WorkLane<'_> {
             self.adapt_threshold(cfg, id, aidx);
             return;
         }
-        let before = self.peer(id).archives[aidx as usize].partners.len();
-        let attached = self.attach_partners(id, aidx, d, hosts);
-        // Displace one stale partner per block placed beyond `n`; the
-        // drops are announced *before* the placements so an observer
-        // never sees more than `n` live blocks (hooks.rs ordering
-        // rule 1).
-        let owner_observer = self.peer(id).observer.is_some();
-        while self.peer(id).archives[aidx as usize].present() > target {
-            let stale = self.peer_mut(id).archives[aidx as usize]
-                .stale_partners
-                .pop()
+        let before = self.peers.partners_len(id, a);
+        // Displace one stale partner per block about to be placed beyond
+        // `target`. The drops are announced *before* the placements so
+        // an observer never sees more than `target` live blocks
+        // (hooks.rs ordering rule 1) — and releasing first is also what
+        // keeps `fresh + stale` within the archive's fixed slab width
+        // while the fresh blocks attach.
+        let attaching = (hosts.len() as u32).min(d);
+        let will_be_present = before as u32 + attaching + self.peers.stale_len(id, a) as u32;
+        let owner_observer = self.peers.observer(id).is_some();
+        for _ in 0..will_be_present.saturating_sub(target) {
+            let stale = self
+                .peers
+                .pop_stale(id, a)
                 .expect("present > target implies stale partners remain");
             self.emit(WorldEvent::BlockDropped {
                 owner: id,
@@ -243,11 +223,12 @@ impl WorkLane<'_> {
                 owner_observer,
             });
         }
+        let attached = self.attach_partners(id, aidx, d, hosts);
+        debug_assert_eq!(attached, attaching);
         self.emit_placements(id, aidx, before);
-        let archive = &mut self.peer_mut(id).archives[aidx as usize];
-        if archive.partners.len() as u32 >= target {
-            debug_assert!(archive.stale_partners.is_empty());
-            archive.repairing = false;
+        if self.peers.partners_len(id, a) as u32 >= target {
+            debug_assert_eq!(self.peers.stale_len(id, a), 0);
+            self.peers.set_repairing(id, a, false);
             self.emit(WorldEvent::EpisodeCompleted {
                 owner: id,
                 archive: aidx,
@@ -256,7 +237,7 @@ impl WorkLane<'_> {
         } else {
             if attached < d {
                 self.delta.pool_shortfalls += 1;
-                self.peer_mut(id).archives[aidx as usize].episode_struggled = true;
+                self.peers.set_struggled(id, a, true);
             }
             self.enqueue(id);
         }
@@ -275,15 +256,15 @@ impl WorkLane<'_> {
             return;
         };
         let floor = (cfg.k + floor_margin).min(base);
-        let struggled = self.peer(id).archives[aidx as usize].episode_struggled;
-        let peer = self.peer_mut(id);
-        let old = peer.threshold;
-        peer.threshold = if struggled {
-            peer.threshold.saturating_sub(step).max(floor)
+        let struggled = self.peers.struggled(id, aidx as usize);
+        let old = self.peers.threshold(id);
+        let new = if struggled {
+            old.saturating_sub(step).max(floor)
         } else {
-            peer.threshold.saturating_add(step).min(base)
+            old.saturating_add(step).min(base)
         };
-        if peer.threshold != old {
+        self.peers.set_threshold(id, new);
+        if new != old {
             self.delta.threshold_adjustments += 1;
         }
     }
@@ -299,12 +280,9 @@ impl WorkLane<'_> {
         hosts: &[PeerId],
         built_for: u32,
     ) {
-        let (present, repairing) = {
-            let a = &self.peer(id).archives[aidx as usize];
-            (a.present(), a.repairing)
-        };
-        if !repairing {
-            if present >= self.peer(id).archives[aidx as usize].target_n {
+        let a = aidx as usize;
+        if !self.peers.repairing(id, a) {
+            if self.peers.present(id, a) >= self.peers.target(id, a) {
                 return; // nothing disappeared since the last tick
             }
             // Proactive ticks top up missing blocks only; no refresh.
@@ -329,7 +307,8 @@ impl super::BackupWorld {
         rng: &mut peerback_sim::SimRng,
     ) {
         debug_assert_eq!(
-            k_prime, self.peers[id as usize].threshold as u32,
+            k_prime,
+            self.peers.threshold(id) as u32,
             "white-box threshold must match the peer's"
         );
         let Some((kind, d)) = self.plan_archive(id, aidx) else {
@@ -341,7 +320,7 @@ impl super::BackupWorld {
             aidx,
             kind,
             d,
-            owner_observer: self.peers[id as usize].observer.is_some(),
+            owner_observer: self.peers.observer(id).is_some(),
             pool,
         };
         let shard = self.layout.shard_of(id);

@@ -55,7 +55,8 @@ use crate::select::Candidate;
 use super::events::Event;
 use super::exec::{MetricsDelta, Msg};
 use super::hooks::WorldEvent;
-use super::peers::{ArchiveIdx, Peer, PeerId};
+use super::peers::{ArchiveIdx, PeerId};
+use super::table::PeerView;
 
 /// Upper bound on logical shards (and therefore on useful worker
 /// threads). A million-peer table at the default 64 slots per shard
@@ -216,11 +217,9 @@ pub(in crate::world) fn event_sort_key(event: &Event) -> (PeerId, u8, u32) {
 /// Everything one logical shard owns mutably during the parallel local
 /// phases, plus the task-local buffers merged back in shard order.
 pub(in crate::world) struct ShardLane<'a> {
-    /// First slot id of the shard's range.
-    pub(in crate::world) base: PeerId,
-    /// This shard's peer slots (`peers[base..]`, may be empty during
-    /// the growth ramp).
-    pub(in crate::world) peers: &'a mut [Peer],
+    /// This shard's window into the peer-table columns (may cover zero
+    /// slots during the growth ramp). Carries the shard's base id.
+    pub(in crate::world) peers: PeerView<'a>,
     /// This shard's slice of the global online-position table.
     pub(in crate::world) pos: &'a mut [u32],
     /// Online peers of this shard (order is part of the semantics: pool
@@ -255,28 +254,16 @@ pub(in crate::world) struct ShardLane<'a> {
 }
 
 impl ShardLane<'_> {
-    #[inline]
-    pub(in crate::world) fn local(&mut self, id: PeerId) -> &mut Peer {
-        &mut self.peers[(id - self.base) as usize]
-    }
-
     /// Shard-local entry to the shared online-index invariant.
     pub(in crate::world) fn set_online(&mut self, id: PeerId, online: bool) {
-        let base = self.base;
-        super::peers::update_online_index(
-            &mut self.peers[(id - base) as usize],
-            id,
-            self.online,
-            self.pos,
-            base,
-            online,
-        );
+        let base = self.peers.base;
+        self.peers
+            .update_online(id, self.online, self.pos, base, online);
     }
 
     /// Shard-local entry to the shared pending-queue invariant.
     pub(in crate::world) fn enqueue(&mut self, id: PeerId) {
-        let base = self.base;
-        super::peers::enqueue_pending(&mut self.peers[(id - base) as usize], id, self.pending);
+        self.peers.enqueue_pending(id, self.pending);
     }
 
     #[inline]
@@ -304,28 +291,30 @@ impl ShardLane<'_> {
         for event in buf.drain(..) {
             match event {
                 Event::Toggle { peer, epoch } => {
-                    if self.local(peer).epoch == epoch {
+                    if self.peers.epoch(peer) == epoch {
                         self.process_toggle(peer, round, cfg, samplers);
                     }
                 }
                 Event::CatAdvance { peer, epoch } => {
-                    if self.local(peer).epoch == epoch {
+                    if self.peers.epoch(peer) == epoch {
                         self.process_cat_advance(peer, round);
                     }
                 }
                 Event::ProactiveTick { peer, epoch } => {
-                    if self.local(peer).epoch == epoch {
+                    if self.peers.epoch(peer) == epoch {
                         self.process_proactive_tick(peer, round, cfg);
                     }
                 }
                 Event::Death { peer, epoch } => {
-                    if self.local(peer).epoch == epoch {
+                    if self.peers.epoch(peer) == epoch {
                         self.process_death_local(peer, round, cfg, samplers);
                     }
                 }
                 Event::OfflineTimeout { peer, epoch, seq } => {
-                    let p = self.local(peer);
-                    if p.epoch == epoch && p.session_seq == seq && !p.online {
+                    if self.peers.epoch(peer) == epoch
+                        && self.peers.session_seq(peer) == seq
+                        && !self.peers.online(peer)
+                    {
                         self.process_timeout_local(peer);
                     }
                 }
@@ -343,22 +332,20 @@ impl ShardLane<'_> {
         samplers: &[SessionSampler],
     ) {
         self.delta.session_toggles += 1;
-        let going_online = !self.local(id).online;
-        {
-            let peer = self.local(id);
-            peer.session_seq = peer.session_seq.wrapping_add(1);
-            if !going_online {
-                // Closing an online session: bank it in the ledger.
-                peer.online_accum += round.saturating_sub(peer.last_transition);
-            }
-            peer.last_transition = round;
+        let going_online = !self.peers.online(id);
+        self.peers.bump_session_seq(id);
+        if !going_online {
+            // Closing an online session: bank it in the ledger.
+            let banked = round.saturating_sub(self.peers.last_transition(id));
+            self.peers
+                .set_online_accum(id, self.peers.online_accum(id) + banked);
         }
+        self.peers.set_last_transition(id, round);
         self.set_online(id, going_online);
 
         // Schedule the next transition.
-        let peer = self.local(id);
-        let epoch = peer.epoch;
-        let sampler = samplers[peer.profile as usize];
+        let epoch = self.peers.epoch(id);
+        let sampler = samplers[self.peers.profile(id) as usize];
         let dur = if going_online {
             sampler.online_duration(self.rng)
         } else {
@@ -373,20 +360,20 @@ impl ShardLane<'_> {
                 cfg.maintenance,
                 crate::config::MaintenancePolicy::Proactive { .. }
             );
-            let peer = self.local(id);
-            let needs_join = !peer.fully_joined();
-            let threshold = peer.threshold as u32;
-            let needs_repair = peer
-                .archives
-                .iter()
-                .any(|a| a.repairing || (threshold_policy && a.joined && a.present() < threshold));
+            let needs_join = !self.peers.fully_joined(id);
+            let threshold = self.peers.threshold(id) as u32;
+            let needs_repair = (0..self.peers.archives_per_peer()).any(|a| {
+                self.peers.repairing(id, a)
+                    || (threshold_policy
+                        && self.peers.joined(id, a)
+                        && self.peers.present(id, a) < threshold)
+            });
             if needs_join || needs_repair {
                 self.enqueue(id);
             }
         } else if cfg.offline_timeout > 0 {
             // Arm the write-off timer for this offline run.
-            let peer = self.local(id);
-            let (epoch, seq) = (peer.epoch, peer.session_seq);
+            let seq = self.peers.session_seq(id);
             self.wheel.schedule(
                 Round(round + cfg.offline_timeout),
                 Event::OfflineTimeout {
@@ -400,10 +387,9 @@ impl ShardLane<'_> {
 
     /// Age-category boundary crossing: census delta + next boundary.
     fn process_cat_advance(&mut self, id: PeerId, round: u64) {
-        let peer = self.local(id);
-        debug_assert!(peer.observer.is_none());
-        let age = peer.age_at(round);
-        let (epoch, birth) = (peer.epoch, peer.birth);
+        debug_assert!(self.peers.observer(id).is_none());
+        let age = self.peers.age_at(id, round);
+        let (epoch, birth) = (self.peers.epoch(id), self.peers.birth(id));
         let new_cat = AgeCategory::of_age(age);
         let prev_cat = AgeCategory::of_age(age - 1);
         debug_assert_ne!(new_cat, prev_cat, "boundary event off by one");
@@ -420,12 +406,12 @@ impl ShardLane<'_> {
     /// Proactive-maintenance tick: reschedule and wake the owner.
     fn process_proactive_tick(&mut self, id: PeerId, round: u64, cfg: &SimConfig) {
         if let crate::config::MaintenancePolicy::Proactive { tick_rounds } = cfg.maintenance {
-            let epoch = self.local(id).epoch;
+            let epoch = self.peers.epoch(id);
             self.wheel.schedule(
                 Round(round + tick_rounds),
                 Event::ProactiveTick { peer: id, epoch },
             );
-            if self.local(id).online {
+            if self.peers.online(id) {
                 self.enqueue(id);
             }
         }

@@ -87,25 +87,22 @@ fn partner_count_never_exceeds_n() {
     for _ in 0..rounds {
         engine.step(&mut world);
         let n = world.cfg.n_blocks();
-        for (i, p) in world.peers.iter().enumerate() {
-            for (ai, a) in p.archives.iter().enumerate() {
+        for i in 0..world.peers.len() as PeerId {
+            for ai in 0..world.peers.archives_per_peer() {
+                let present = world.peers.present(i, ai);
                 assert!(
-                    a.present() <= n,
-                    "peer {i} archive {ai} has {} partners (n = {n})",
-                    a.present()
+                    present <= n,
+                    "peer {i} archive {ai} has {present} partners (n = {n})"
                 );
                 // Partner lists (fresh + stale) never have duplicates.
-                let mut sorted: Vec<PeerId> = a
-                    .partners
-                    .iter()
-                    .chain(&a.stale_partners)
-                    .copied()
+                let mut sorted: Vec<PeerId> = (0..present as usize)
+                    .map(|x| world.peers.host_at(i, ai, x))
                     .collect();
                 sorted.sort_unstable();
                 sorted.dedup();
                 assert_eq!(
                     sorted.len(),
-                    a.present() as usize,
+                    present as usize,
                     "peer {i} archive {ai} duplicate partner"
                 );
             }
@@ -125,13 +122,13 @@ fn joined_archives_stay_above_k_or_get_lost() {
     for _ in 0..rounds {
         engine.step(&mut world);
         let k = world.k();
-        for (i, p) in world.peers.iter().enumerate() {
-            for (ai, a) in p.archives.iter().enumerate() {
-                if a.joined {
+        for i in 0..world.peers.len() as PeerId {
+            for ai in 0..world.peers.archives_per_peer() {
+                if world.peers.joined(i, ai) {
                     assert!(
-                        a.present() >= k,
+                        world.peers.present(i, ai) >= k,
                         "peer {i} archive {ai} joined with {} < k present blocks",
-                        a.present()
+                        world.peers.present(i, ai)
                     );
                 }
             }
@@ -149,14 +146,15 @@ fn quota_accounting_is_consistent() {
     let mut engine = Engine::new(6);
     for _ in 0..rounds {
         engine.step(&mut world);
-        for (i, p) in world.peers.iter().enumerate() {
-            let counted = p
-                .hosted
-                .iter()
-                .filter(|&&(o, _)| world.peers[o as usize].observer.is_none())
+        for i in 0..world.peers.len() as PeerId {
+            let counted = (0..world.peers.hosted_len(i))
+                .filter(|&x| {
+                    let (o, _) = world.peers.hosted_at(i, x);
+                    world.peers.observer(o).is_none()
+                })
                 .count() as u32;
-            assert_eq!(p.quota_used, counted, "peer {i} quota drifted");
-            assert!(p.quota_used <= quota, "peer {i} exceeds quota");
+            assert_eq!(world.peers.quota_used(i), counted, "peer {i} quota drifted");
+            assert!(world.peers.quota_used(i) <= quota, "peer {i} exceeds quota");
         }
     }
 }
@@ -171,14 +169,12 @@ fn hosted_and_partner_lists_are_mutually_consistent() {
     for _ in 0..rounds {
         engine.step(&mut world);
     }
-    for (i, p) in world.peers.iter().enumerate() {
-        for (ai, a) in p.archives.iter().enumerate() {
-            for &partner in a.partners.iter().chain(&a.stale_partners) {
-                let host = &world.peers[partner as usize];
-                let entries = host
-                    .hosted
-                    .iter()
-                    .filter(|&&(o, x)| o == i as PeerId && x as usize == ai)
+    for i in 0..world.peers.len() as PeerId {
+        for ai in 0..world.peers.archives_per_peer() {
+            for x in 0..world.peers.present(i, ai) as usize {
+                let partner = world.peers.host_at(i, ai, x);
+                let entries = (0..world.peers.hosted_len(partner))
+                    .filter(|&y| world.peers.hosted_at(partner, y) == (i, ai as ArchiveIdx))
                     .count();
                 assert_eq!(
                     entries, 1,
@@ -186,10 +182,12 @@ fn hosted_and_partner_lists_are_mutually_consistent() {
                 );
             }
         }
-        for &(owner, aidx) in &p.hosted {
-            let a = &world.peers[owner as usize].archives[aidx as usize];
+        for x in 0..world.peers.hosted_len(i) {
+            let (owner, aidx) = world.peers.hosted_at(i, x);
+            let a = aidx as usize;
             assert!(
-                a.partners.contains(&(i as PeerId)) || a.stale_partners.contains(&(i as PeerId)),
+                world.peers.partner_position(owner, a, i).is_some()
+                    || world.peers.stale_position(owner, a, i).is_some(),
                 "hosted entry without matching partner entry"
             );
         }
@@ -235,16 +233,17 @@ fn observers_are_never_partners_and_consume_no_quota() {
         engine.step(&mut world);
     }
     let obs_count = world.observer_count;
-    for (i, p) in world.peers.iter().enumerate() {
-        if i < obs_count {
-            assert!(p.hosted.is_empty(), "observer {i} hosts blocks");
-            assert!(p.online, "observer {i} offline");
-            assert!(p.observer.is_some());
+    for i in 0..world.peers.len() as PeerId {
+        if (i as usize) < obs_count {
+            assert_eq!(world.peers.hosted_len(i), 0, "observer {i} hosts blocks");
+            assert!(world.peers.online(i), "observer {i} offline");
+            assert!(world.peers.observer(i).is_some());
         } else {
-            for a in &p.archives {
-                for &q in a.partners.iter().chain(&a.stale_partners) {
+            for ai in 0..world.peers.archives_per_peer() {
+                for x in 0..world.peers.present(i, ai) as usize {
+                    let q = world.peers.host_at(i, ai, x);
                     assert!(
-                        world.peers[q as usize].observer.is_none(),
+                        world.peers.observer(q).is_none(),
                         "regular peer {i} uses observer {q} as partner"
                     );
                 }
@@ -323,9 +322,7 @@ fn multi_archive_peers_maintain_each_archive_independently() {
         engine.step(&mut world);
     }
     // Everyone ends up with 3 archive slots; joins counted per archive.
-    for (i, p) in world.peers.iter().enumerate() {
-        assert_eq!(p.archives.len(), 3, "peer {i} archive count");
-    }
+    assert_eq!(world.peers.archives_per_peer(), 3, "archive count");
     assert!(
         world.metrics.diag.joins_completed >= 3 * 60,
         "per-archive joins: {}",
@@ -333,8 +330,10 @@ fn multi_archive_peers_maintain_each_archive_independently() {
     );
     // A partner may host several archives of the same owner, but at
     // most one block per (owner, archive).
-    for p in &world.peers {
-        let mut entries: Vec<(PeerId, ArchiveIdx)> = p.hosted.clone();
+    for i in 0..world.peers.len() as PeerId {
+        let mut entries: Vec<(PeerId, ArchiveIdx)> = (0..world.peers.hosted_len(i))
+            .map(|x| world.peers.hosted_at(i, x))
+            .collect();
         entries.sort_unstable();
         let before = entries.len();
         entries.dedup();
@@ -474,15 +473,15 @@ fn invalid_config_panics() {
 fn run_until_joined_owner(world: &mut BackupWorld, engine: &mut Engine) -> PeerId {
     for _ in 0..100 {
         engine.step(world);
-        let found = world.peers.iter().enumerate().find(|(_, p)| {
-            p.observer.is_none()
-                && p.online
-                && p.fully_joined()
-                && !p.archives[0].repairing
-                && p.archives[0].stale_partners.is_empty()
+        let found = (0..world.peers.len() as PeerId).find(|&id| {
+            world.peers.observer(id).is_none()
+                && world.peers.online(id)
+                && world.peers.fully_joined(id)
+                && !world.peers.repairing(id, 0)
+                && world.peers.stale_len(id, 0) == 0
         });
-        if let Some((id, _)) = found {
-            return id as PeerId;
+        if let Some(id) = found {
+            return id;
         }
     }
     panic!("no joined online peer after 100 rounds");
@@ -492,9 +491,10 @@ fn run_until_joined_owner(world: &mut BackupWorld, engine: &mut Engine) -> PeerI
 /// saturating its quota (the pool filter skips full hosts).
 fn saturate_all_quotas_except(world: &mut BackupWorld, owner: PeerId) {
     let quota = world.cfg.quota;
-    for (i, p) in world.peers.iter_mut().enumerate() {
-        if i as PeerId != owner {
-            p.quota_used = p.quota_used.max(quota);
+    for id in 0..world.peers.len() as PeerId {
+        if id != owner {
+            let q = world.peers.quota_used(id).max(quota);
+            world.peers.set_quota_used(id, q);
         }
     }
 }
@@ -502,18 +502,14 @@ fn saturate_all_quotas_except(world: &mut BackupWorld, owner: PeerId) {
 /// Undoes [`saturate_all_quotas_except`]: restores each peer's
 /// `quota_used` to the true count of quota-charged hosted blocks.
 fn restore_true_quotas(world: &mut BackupWorld) {
-    let counts: Vec<u32> = world
-        .peers
-        .iter()
-        .map(|p| {
-            p.hosted
-                .iter()
-                .filter(|&&(o, _)| world.peers[o as usize].observer.is_none())
-                .count() as u32
-        })
-        .collect();
-    for (p, c) in world.peers.iter_mut().zip(counts) {
-        p.quota_used = c;
+    for id in 0..world.peers.len() as PeerId {
+        let counted = (0..world.peers.hosted_len(id))
+            .filter(|&x| {
+                let (o, _) = world.peers.hosted_at(id, x);
+                world.peers.observer(o).is_none()
+            })
+            .count() as u32;
+        world.peers.set_quota_used(id, counted);
     }
 }
 
@@ -534,24 +530,23 @@ fn episode_without_partners_stays_open_across_rounds() {
     let k = world.k();
     let mut present = n;
     while present >= threshold {
-        let host = world.peers[owner as usize].archives[0].partners[0];
+        let host = world.peers.partners(owner, 0)[0];
         world.drop_hosted_blocks(host, round);
-        present = world.peers[owner as usize].archives[0].present();
+        present = world.peers.present(owner, 0);
     }
     assert!(present >= k, "setup overshot: {present} < k");
-    assert!(!world.peers[owner as usize].archives[0].repairing);
-    let repairs_before = world.peers[owner as usize].repairs;
+    assert!(!world.peers.repairing(owner, 0));
+    let repairs_before = world.peers.repairs(owner);
 
     // Dry up the pool entirely, then trigger the repair.
     saturate_all_quotas_except(&mut world, owner);
     world.reactive_repair(owner, 0, threshold, round, &mut rng);
 
     // The episode opened (decode paid, repair counted once)…
-    let archive = &world.peers[owner as usize].archives[0];
-    assert!(archive.repairing, "episode should be open");
-    assert_eq!(world.peers[owner as usize].repairs, repairs_before + 1);
+    assert!(world.peers.repairing(owner, 0), "episode should be open");
+    assert_eq!(world.peers.repairs(owner), repairs_before + 1);
     assert!(
-        world.peers[owner as usize].queued,
+        world.peers.queued(owner),
         "open episode must re-enqueue the owner for the next round"
     );
     let shortfalls = world.metrics.diag.pool_shortfalls;
@@ -561,14 +556,16 @@ fn episode_without_partners_stays_open_across_rounds() {
     // WITHOUT starting (or paying for) a new episode.
     for r in 1..=3 {
         world.reactive_repair(owner, 0, threshold, round + r, &mut rng);
-        let archive = &world.peers[owner as usize].archives[0];
-        assert!(archive.repairing, "episode closed with the pool still dry");
+        assert!(
+            world.peers.repairing(owner, 0),
+            "episode closed with the pool still dry"
+        );
         assert_eq!(
-            world.peers[owner as usize].repairs,
+            world.peers.repairs(owner),
             repairs_before + 1,
             "a persistent episode must not be re-counted"
         );
-        assert!(world.peers[owner as usize].queued);
+        assert!(world.peers.queued(owner));
     }
     assert!(world.metrics.diag.pool_shortfalls > shortfalls);
 
@@ -577,16 +574,15 @@ fn episode_without_partners_stays_open_across_rounds() {
     restore_true_quotas(&mut world);
     for r in 4..=40 {
         world.reactive_repair(owner, 0, threshold, round + r, &mut rng);
-        if !world.peers[owner as usize].archives[0].repairing {
+        if !world.peers.repairing(owner, 0) {
             break;
         }
     }
-    let archive = &world.peers[owner as usize].archives[0];
-    assert!(!archive.repairing, "episode never completed");
-    assert_eq!(archive.partners.len() as u32, n);
-    assert!(archive.stale_partners.is_empty());
+    assert!(!world.peers.repairing(owner, 0), "episode never completed");
+    assert_eq!(world.peers.partners_len(owner, 0) as u32, n);
+    assert_eq!(world.peers.stale_len(owner, 0), 0);
     assert_eq!(
-        world.peers[owner as usize].repairs,
+        world.peers.repairs(owner),
         repairs_before + 1,
         "completion must not count an extra episode"
     );
@@ -601,46 +597,55 @@ fn loss_is_counted_the_instant_present_drops_below_k() {
     let round = engine.current_round().index();
 
     let k = world.k();
-    let losses_before = world.peers[owner as usize].losses;
-    let cat = world.peers[owner as usize].category_at(round);
+    let losses_before = world.peers.losses(owner);
+    let cat = world.peers.category_at(owner, round);
     let cat_losses_before = world.metrics.losses[cat.index()];
 
     // Write off hosts until exactly k blocks remain: still no loss —
     // `present == k` is the last recoverable state.
-    while world.peers[owner as usize].archives[0].present() > k {
-        let host = world.peers[owner as usize].archives[0].partners[0];
+    while world.peers.present(owner, 0) > k {
+        let host = world.peers.partners(owner, 0)[0];
         world.drop_hosted_blocks(host, round);
     }
-    assert_eq!(world.peers[owner as usize].archives[0].present(), k);
+    assert_eq!(world.peers.present(owner, 0), k);
     assert!(
-        world.peers[owner as usize].archives[0].joined,
+        world.peers.joined(owner, 0),
         "archive at present == k is not lost yet"
     );
-    assert_eq!(world.peers[owner as usize].losses, losses_before);
+    assert_eq!(world.peers.losses(owner), losses_before);
 
     // One more write-off pushes present below k: the loss is recorded
     // by the very same call — no round boundary, no activation needed.
-    let host = world.peers[owner as usize].archives[0].partners[0];
+    let host = world.peers.partners(owner, 0)[0];
     world.drop_hosted_blocks(host, round);
 
-    let peer = &world.peers[owner as usize];
-    assert_eq!(peer.losses, losses_before + 1, "loss not counted instantly");
+    assert_eq!(
+        world.peers.losses(owner),
+        losses_before + 1,
+        "loss not counted instantly"
+    );
     assert_eq!(world.metrics.losses[cat.index()], cat_losses_before + 1);
-    let archive = &peer.archives[0];
-    assert!(!archive.joined, "lost archive must leave the joined state");
-    assert!(!archive.repairing, "loss cancels any open episode");
     assert!(
-        archive.partners.is_empty() && archive.stale_partners.is_empty(),
+        !world.peers.joined(owner, 0),
+        "lost archive must leave the joined state"
+    );
+    assert!(
+        !world.peers.repairing(owner, 0),
+        "loss cancels any open episode"
+    );
+    assert_eq!(
+        world.peers.present(owner, 0),
+        0,
         "loss must release all surviving partners"
     );
     assert!(
-        peer.queued,
+        world.peers.queued(owner),
         "an online owner re-joins immediately after a loss"
     );
     // The released partners no longer carry hosted entries for it.
-    for (i, p) in world.peers.iter().enumerate() {
+    for i in 0..world.peers.len() as PeerId {
         assert!(
-            !p.hosted.iter().any(|&(o, _)| o == owner),
+            !(0..world.peers.hosted_len(i)).any(|x| world.peers.hosted_at(i, x).0 == owner),
             "peer {i} still hosts a block of the lost archive"
         );
     }
@@ -658,36 +663,37 @@ fn episode_survives_the_owner_going_offline_and_resumes() {
     let round = engine.current_round().index();
     let mut rng = sim_rng(0xfeed_f00d);
 
-    while world.peers[owner as usize].archives[0].present() >= threshold {
-        let host = world.peers[owner as usize].archives[0].partners[0];
+    while world.peers.present(owner, 0) >= threshold {
+        let host = world.peers.partners(owner, 0)[0];
         world.drop_hosted_blocks(host, round);
     }
     saturate_all_quotas_except(&mut world, owner);
     world.reactive_repair(owner, 0, threshold, round, &mut rng);
-    assert!(world.peers[owner as usize].archives[0].repairing);
-    let repairs_after_open = world.peers[owner as usize].repairs;
+    assert!(world.peers.repairing(owner, 0));
+    let repairs_after_open = world.peers.repairs(owner);
 
     // Owner drops offline mid-episode; the flag persists.
     world.set_online(owner, false);
-    assert!(world.peers[owner as usize].archives[0].repairing);
+    assert!(world.peers.repairing(owner, 0));
 
     // On reconnection the toggle path re-enqueues it because of the
     // open episode (mirrors `process_toggle`'s needs_repair check).
     world.set_online(owner, true);
-    let peer = &world.peers[owner as usize];
-    let needs_repair = peer.archives.iter().any(|a| a.repairing);
+    let needs_repair =
+        (0..world.peers.archives_per_peer()).any(|a| world.peers.repairing(owner, a));
     assert!(needs_repair, "reconnection must see the open episode");
 
     restore_true_quotas(&mut world);
     for r in 1..=40 {
         world.reactive_repair(owner, 0, threshold, round + r, &mut rng);
-        if !world.peers[owner as usize].archives[0].repairing {
+        if !world.peers.repairing(owner, 0) {
             break;
         }
     }
-    assert!(!world.peers[owner as usize].archives[0].repairing);
+    assert!(!world.peers.repairing(owner, 0));
     assert_eq!(
-        world.peers[owner as usize].repairs, repairs_after_open,
+        world.peers.repairs(owner),
+        repairs_after_open,
         "resume must not open a second episode"
     );
 }
@@ -804,7 +810,7 @@ fn event_stream_replays_to_a_consistent_mirror() {
 
     // The mirror must agree with the world, block for block.
     for slot in 0..world.peer_slots() as PeerId {
-        for aidx in 0..world.peers[slot as usize].archives.len() as u8 {
+        for aidx in 0..world.peers.archives_per_peer() as u8 {
             let mut expected = world.archive_hosts(slot, aidx);
             expected.sort_unstable();
             let mut mirrored = observer
@@ -955,8 +961,9 @@ fn cross_shard_episode_records_the_loss_exactly_once() {
     let round = engine.current_round().index();
 
     let owner_shard = world.layout.shard_of(owner);
-    let partner_shards: std::collections::BTreeSet<usize> = world.peers[owner as usize].archives[0]
-        .partners
+    let partner_shards: std::collections::BTreeSet<usize> = world
+        .peers
+        .partners(owner, 0)
         .iter()
         .map(|&p| world.layout.shard_of(p))
         .collect();
@@ -970,22 +977,22 @@ fn cross_shard_episode_records_the_loss_exactly_once() {
     );
 
     let k = world.k();
-    let losses_before = world.peers[owner as usize].losses;
-    while world.peers[owner as usize].archives[0].present() >= k {
-        let host = world.peers[owner as usize].archives[0].partners[0];
+    let losses_before = world.peers.losses(owner);
+    while world.peers.present(owner, 0) >= k {
+        let host = world.peers.partners(owner, 0)[0];
         world.drop_hosted_blocks(host, round);
     }
     assert_eq!(
-        world.peers[owner as usize].losses,
+        world.peers.losses(owner),
         losses_before + 1,
         "cross-shard loss must be counted exactly once"
     );
     // Every shard released its hosted entries for the lost archive.
-    for (i, p) in world.peers.iter().enumerate() {
+    for i in 0..world.peers.len() as PeerId {
         assert!(
-            !p.hosted.iter().any(|&(o, _)| o == owner),
+            !(0..world.peers.hosted_len(i)).any(|x| world.peers.hosted_at(i, x).0 == owner),
             "peer {i} (shard {}) still hosts a block of the lost archive",
-            world.layout.shard_of(i as PeerId)
+            world.layout.shard_of(i)
         );
     }
 }
@@ -1064,18 +1071,14 @@ fn contended_partner_slot_commits_to_the_lower_owner() {
     let (a, b) = 'found: {
         for _ in 0..150 {
             engine.step(&mut world);
-            let owners: Vec<PeerId> = world
-                .peers
-                .iter()
-                .enumerate()
-                .filter(|(_, p)| {
-                    p.observer.is_none()
-                        && p.online
-                        && p.fully_joined()
-                        && !p.archives[0].repairing
-                        && p.archives[0].stale_partners.is_empty()
+            let owners: Vec<PeerId> = (0..world.peers.len() as PeerId)
+                .filter(|&id| {
+                    world.peers.observer(id).is_none()
+                        && world.peers.online(id)
+                        && world.peers.fully_joined(id)
+                        && !world.peers.repairing(id, 0)
+                        && world.peers.stale_len(id, 0) == 0
                 })
-                .map(|(i, _)| i as PeerId)
                 .collect();
             for &a in &owners {
                 for &b in &owners {
@@ -1090,37 +1093,34 @@ fn contended_partner_slot_commits_to_the_lower_owner() {
     let round = engine.current_round().index();
 
     // Candidate c: online, hosting for neither owner.
-    let c = world
-        .peers
-        .iter()
-        .enumerate()
-        .position(|(i, p)| {
-            let i = i as PeerId;
-            p.observer.is_none()
-                && p.online
+    let c = (0..world.peers.len() as PeerId)
+        .find(|&i| {
+            world.peers.observer(i).is_none()
+                && world.peers.online(i)
                 && i != a
                 && i != b
-                && !world.peers[a as usize].archives[0].partners.contains(&i)
-                && !world.peers[b as usize].archives[0].partners.contains(&i)
+                && world.peers.partner_position(a, 0, i).is_none()
+                && world.peers.partner_position(b, 0, i).is_none()
         })
-        .expect("an eligible candidate exists") as PeerId;
+        .expect("an eligible candidate exists");
 
     // Knock both archives below the repair threshold (never below k),
     // avoiding c so its ledger stays untouched.
     for owner in [a, b] {
-        while world.peers[owner as usize].archives[0].present() >= threshold {
-            let host = *world.peers[owner as usize].archives[0]
-                .partners
+        while world.peers.present(owner, 0) >= threshold {
+            let host = *world
+                .peers
+                .partners(owner, 0)
                 .iter()
                 .find(|&&h| h != c)
                 .expect("a partner other than c remains");
             world.drop_hosted_blocks(host, round);
         }
-        assert!(world.peers[owner as usize].archives[0].present() >= world.k());
+        assert!(world.peers.present(owner, 0) >= world.k());
     }
 
     // Exactly one free slot on the contended candidate.
-    world.peers[c as usize].quota_used = quota - 1;
+    world.peers.set_quota_used(c, quota - 1);
 
     let mk = |world: &BackupWorld, owner: PeerId| {
         let (kind, d) = world.plan_archive(owner, 0).expect("below threshold");
@@ -1134,10 +1134,10 @@ fn contended_partner_slot_commits_to_the_lower_owner() {
             owner_observer: false,
             pool: vec![Candidate {
                 id: c,
-                age: world.peers[c as usize].age_at(round),
-                uptime: world.peers[c as usize].uptime_at(round),
+                age: world.peers.age_at(c, round),
+                uptime: world.peers.uptime_at(c, round),
                 estimated_remaining: 0,
-                true_remaining: world.peers[c as usize].death.saturating_sub(round),
+                true_remaining: world.peers.death(c).saturating_sub(round),
             }],
         }
     };
@@ -1153,19 +1153,20 @@ fn contended_partner_slot_commits_to_the_lower_owner() {
 
     // The lower owner id wins the slot; the loser took nothing.
     assert!(
-        world.peers[a as usize].archives[0].partners.contains(&c),
+        world.peers.partner_position(a, 0, c).is_some(),
         "lower owner must win the contended slot"
     );
     assert!(
-        !world.peers[b as usize].archives[0].partners.contains(&c),
+        world.peers.partner_position(b, 0, c).is_none(),
         "higher owner must be denied the filled slot"
     );
-    assert_eq!(world.peers[c as usize].quota_used, quota);
+    assert_eq!(world.peers.quota_used(c), quota);
     assert_eq!(
-        world.peers[c as usize]
-            .hosted
-            .iter()
-            .filter(|&&(o, _)| o == a || o == b)
+        (0..world.peers.hosted_len(c))
+            .filter(|&x| {
+                let (o, _) = world.peers.hosted_at(c, x);
+                o == a || o == b
+            })
             .count(),
         1,
         "exactly one hosted entry for the contended slot"
@@ -1175,7 +1176,7 @@ fn contended_partner_slot_commits_to_the_lower_owner() {
         "the denied owner must record a shortfall"
     );
     assert!(
-        world.peers[b as usize].archives[0].repairing,
+        world.peers.repairing(b, 0),
         "the denied owner's episode stays open"
     );
 }
@@ -1403,14 +1404,16 @@ fn misreporting_peers_inflate_negotiation_age_only() {
     let round = world.metrics.rounds;
     let mut checked = 0;
     for id in 0..world.peers.len() as PeerId {
-        let peer = &world.peers[id as usize];
-        if peer.observer.is_some() || peer.age_at(round) == 0 {
+        if world.peers.observer(id).is_some() || world.peers.age_at(id, round) == 0 {
             continue;
         }
-        assert!(peer.misreports, "fraction 1.0 marks every regular peer");
+        assert!(
+            world.peers.misreports(id),
+            "fraction 1.0 marks every regular peer"
+        );
         assert_eq!(
             world.negotiation_age(id, round),
-            peer.age_at(round) * 8,
+            world.peers.age_at(id, round) * 8,
             "misreported age must be the inflated true age"
         );
         checked += 1;
@@ -1497,17 +1500,17 @@ fn adaptive_redundancy_keeps_targets_in_band() {
     let mut engine = Engine::new(22);
     for _ in 0..rounds {
         engine.step(&mut world);
-        for (i, p) in world.peers.iter().enumerate() {
-            for (ai, a) in p.archives.iter().enumerate() {
+        for i in 0..world.peers.len() as PeerId {
+            for ai in 0..world.peers.archives_per_peer() {
+                let target = world.peers.target(i, ai);
                 assert!(
-                    (floor..=n).contains(&a.target_n),
-                    "peer {i} archive {ai} target {} outside [{floor}, {n}]",
-                    a.target_n
+                    (floor..=n).contains(&target),
+                    "peer {i} archive {ai} target {target} outside [{floor}, {n}]"
                 );
                 assert!(
-                    a.present() <= a.target_n.max(n),
+                    world.peers.present(i, ai) <= target.max(n),
                     "peer {i} archive {ai} holds {} blocks past its target",
-                    a.present()
+                    world.peers.present(i, ai)
                 );
             }
         }
@@ -1559,4 +1562,261 @@ fn adaptive_redundancy_widen_opens_preemptive_episodes() {
         "widens never opened an episode (diag: {:?})",
         m.diag
     );
+}
+
+// ---------------------------------------------------------------------
+// SoA layout equivalence: the struct-of-arrays peer table vs a
+// reference array-of-structs model with the old per-peer `Vec`
+// semantics, driven by random operation sequences.
+// ---------------------------------------------------------------------
+
+/// The pre-SoA per-peer layout, reduced to the state the table's
+/// observable API exposes: the oracle for
+/// [`soa_table_matches_aos_reference`].
+#[derive(Clone, Default)]
+struct AosPeer {
+    online: bool,
+    quota_used: u32,
+    birth: u64,
+    online_accum: u64,
+    last_transition: u64,
+    partners: Vec<Vec<PeerId>>,
+    stale: Vec<Vec<PeerId>>,
+    hosted: Vec<(PeerId, ArchiveIdx)>,
+}
+
+impl AosPeer {
+    fn age_at(&self, round: u64) -> u64 {
+        round.saturating_sub(self.birth)
+    }
+
+    /// The old `Peer::uptime_at` math, verbatim: bit-identical results
+    /// are part of the determinism contract, so the comparison below is
+    /// exact `f64` equality, not approximate.
+    fn uptime_at(&self, round: u64) -> f64 {
+        let age = self.age_at(round);
+        if age == 0 {
+            return 1.0;
+        }
+        let mut online_rounds = self.online_accum;
+        if self.online {
+            online_rounds += round.saturating_sub(self.last_transition);
+        }
+        (online_rounds as f64 / age as f64).clamp(0.0, 1.0)
+    }
+}
+
+/// Asserts every observable of `table` slot `id` against the oracle:
+/// partner order, stale order, the fresh-then-stale `host_at` chain,
+/// hosted-ledger order, quota, and the derived age/uptime reads.
+fn check_against_oracle(
+    table: &super::table::PeerTable,
+    oracle: &[AosPeer],
+    id: PeerId,
+    round: u64,
+) {
+    let o = &oracle[id as usize];
+    for a in 0..o.partners.len() {
+        assert_eq!(
+            table.partners(id, a),
+            o.partners[a].as_slice(),
+            "peer {id} archive {a}: fresh partner order diverged"
+        );
+        let stale: Vec<PeerId> = (0..table.stale_len(id, a))
+            .map(|i| table.stale_at(id, a, i))
+            .collect();
+        assert_eq!(
+            stale, o.stale[a],
+            "peer {id} archive {a}: stale partner order diverged"
+        );
+        let chain: Vec<PeerId> = (0..table.present(id, a) as usize)
+            .map(|i| table.host_at(id, a, i))
+            .collect();
+        let expect: Vec<PeerId> = o.partners[a].iter().chain(&o.stale[a]).copied().collect();
+        assert_eq!(chain, expect, "peer {id} archive {a}: host chain diverged");
+        assert_eq!(
+            table.present(id, a) as usize,
+            o.partners[a].len() + o.stale[a].len(),
+        );
+    }
+    let hosted: Vec<(PeerId, ArchiveIdx)> = (0..table.hosted_len(id))
+        .map(|i| table.hosted_at(id, i))
+        .collect();
+    assert_eq!(hosted, o.hosted, "peer {id}: hosted-ledger order diverged");
+    assert_eq!(
+        table.quota_used(id),
+        o.quota_used,
+        "peer {id}: quota diverged"
+    );
+    assert_eq!(
+        table.online(id),
+        o.online,
+        "peer {id}: online flag diverged"
+    );
+    assert_eq!(table.age_at(id, round), o.age_at(round));
+    assert_eq!(
+        table.uptime_at(id, round).to_bits(),
+        o.uptime_at(round).to_bits(),
+        "peer {id}: uptime_at diverged at round {round}"
+    );
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::test_runner::ProptestConfig::with_cases(16))]
+
+    /// Random operation sequences drive the SoA table and the AoS
+    /// reference in lockstep; every observable the refactor had to
+    /// preserve (partner/stale/hosted iteration order, quota
+    /// accounting, `age_at`/`uptime_at`) must agree after each step —
+    /// on the table itself and through base-offset [`PeerView`]s.
+    #[test]
+    fn soa_table_matches_aos_reference(seed in proptest::strategy::any::<u64>()) {
+        use rand::Rng;
+
+        use super::table::PeerTable;
+
+        const SLOTS: usize = 6;
+        const APAP: usize = 2;
+        const SLAB_N: usize = 5;
+        const HOSTED_CAP: usize = 8;
+
+        let mut rng = sim_rng(seed);
+        let mut table = PeerTable::with_capacity(SLOTS, APAP, SLAB_N, HOSTED_CAP);
+        let mut oracle = Vec::new();
+        for _ in 0..SLOTS {
+            table.push_slot();
+            oracle.push(AosPeer {
+                partners: vec![Vec::new(); APAP],
+                stale: vec![Vec::new(); APAP],
+                ..AosPeer::default()
+            });
+        }
+        let mut online_list: Vec<PeerId> = Vec::new();
+        let mut online_pos = vec![super::peers::OFFLINE; SLOTS];
+
+        for _ in 0..400 {
+            let id = rng.gen_range(0..SLOTS as PeerId);
+            let i = id as usize;
+            let a = rng.gen_range(0..APAP);
+            let p = oracle[i].partners[a].len();
+            let s = oracle[i].stale[a].len();
+            match rng.gen_range(0..11u32) {
+                0 => {
+                    // A live transition through the shared online-index
+                    // invariant (flag + shard list + position table).
+                    let now = oracle[i].online;
+                    table.update_online(id, &mut online_list, &mut online_pos, 0, !now);
+                    oracle[i].online = !now;
+                }
+                1 => {
+                    let birth = rng.gen_range(0..500u64);
+                    let accum = rng.gen_range(0..300u64);
+                    let last = rng.gen_range(0..800u64);
+                    table.set_birth(id, birth);
+                    table.set_online_accum(id, accum);
+                    table.set_last_transition(id, last);
+                    oracle[i].birth = birth;
+                    oracle[i].online_accum = accum;
+                    oracle[i].last_transition = last;
+                }
+                2 => {
+                    let v = rng.gen_range(0..512u32);
+                    table.set_quota_used(id, v);
+                    oracle[i].quota_used = v;
+                }
+                3 if p + s < SLAB_N => {
+                    let host = rng.gen_range(0..1000 as PeerId);
+                    table.push_partner(id, a, host);
+                    oracle[i].partners[a].push(host);
+                }
+                4 if p > 0 => {
+                    let pos = rng.gen_range(0..p);
+                    table.swap_remove_partner(id, a, pos);
+                    oracle[i].partners[a].swap_remove(pos);
+                }
+                5 if p > 0 => {
+                    let pos = rng.gen_range(0..p);
+                    table.remove_partner(id, a, pos);
+                    oracle[i].partners[a].remove(pos);
+                }
+                6 if s == 0 => {
+                    // The old refresh swap: the fresh list becomes the
+                    // stale list wholesale, same order.
+                    table.refresh_to_stale(id, a);
+                    let fresh = std::mem::take(&mut oracle[i].partners[a]);
+                    oracle[i].stale[a] = fresh;
+                }
+                7 => {
+                    let got = table.pop_stale(id, a);
+                    let expect = oracle[i].stale[a].pop();
+                    proptest::prop_assert_eq!(got, expect, "pop_stale diverged for peer {}", id);
+                }
+                8 if s > 0 => {
+                    let pos = rng.gen_range(0..s);
+                    table.swap_remove_stale(id, a, pos);
+                    oracle[i].stale[a].swap_remove(pos);
+                }
+                9 if oracle[i].hosted.len() < HOSTED_CAP => {
+                    let owner = rng.gen_range(0..SLOTS as PeerId);
+                    let oaidx = rng.gen_range(0..APAP) as ArchiveIdx;
+                    table.push_hosted(id, owner, oaidx);
+                    oracle[i].hosted.push((owner, oaidx));
+                }
+                10 if !oracle[i].hosted.is_empty() => {
+                    let pos = rng.gen_range(0..oracle[i].hosted.len());
+                    table.swap_remove_hosted(id, pos);
+                    oracle[i].hosted.swap_remove(pos);
+                }
+                _ => continue, // precondition not met this step
+            }
+            let round = rng.gen_range(0..2000u64);
+            check_against_oracle(&table, &oracle, id, round);
+
+            // Position lookups agree with a linear scan of the oracle.
+            let needle = rng.gen_range(0..1000 as PeerId);
+            proptest::prop_assert_eq!(
+                table.partner_position(id, a, needle),
+                oracle[i].partners[a].iter().position(|&h| h == needle)
+            );
+            proptest::prop_assert_eq!(
+                table.stale_position(id, a, needle),
+                oracle[i].stale[a].iter().position(|&h| h == needle)
+            );
+            // The online index stays consistent: every listed peer is
+            // online and back-referenced by its position entry.
+            proptest::prop_assert_eq!(online_list.len(), oracle.iter().filter(|o| o.online).count());
+            for (at, &listed) in online_list.iter().enumerate() {
+                proptest::prop_assert!(oracle[listed as usize].online);
+                proptest::prop_assert_eq!(online_pos[listed as usize], at as u32);
+            }
+        }
+
+        // Full final sweep on the table…
+        for id in 0..SLOTS as PeerId {
+            check_against_oracle(&table, &oracle, id, 1234);
+        }
+        // …and the same observables through shard views, whose base
+        // offset exercises the global-id-to-local-slot arithmetic.
+        let cut = rng.gen_range(1..SLOTS);
+        let mut split = table.splitter();
+        let views = [split.take(cut), split.take(SLOTS - cut)];
+        for (v, base) in views.iter().zip([0, cut]) {
+            for local in 0..v.slots() {
+                let id = (base + local) as PeerId;
+                let o = &oracle[id as usize];
+                for a in 0..APAP {
+                    proptest::prop_assert_eq!(v.partners(id, a), o.partners[a].as_slice());
+                    let stale: Vec<PeerId> =
+                        (0..v.stale_len(id, a)).map(|i| v.stale_at(id, a, i)).collect();
+                    proptest::prop_assert_eq!(stale, o.stale[a].clone());
+                }
+                let hosted: Vec<(PeerId, ArchiveIdx)> =
+                    (0..v.hosted_len(id)).map(|i| v.hosted_at(id, i)).collect();
+                proptest::prop_assert_eq!(hosted, o.hosted.clone());
+                proptest::prop_assert_eq!(v.quota_used(id), o.quota_used);
+                proptest::prop_assert_eq!(v.age_at(id, 1234), o.age_at(1234));
+                proptest::prop_assert_eq!(v.uptime_at(id, 1234).to_bits(), o.uptime_at(1234).to_bits());
+            }
+        }
+    }
 }
