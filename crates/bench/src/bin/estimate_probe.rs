@@ -161,7 +161,12 @@ fn arm_json(name: &str, metrics: &Metrics) -> String {
                 .num("deaths_observed", report.deaths_observed)
                 .num("refreshes", report.refreshes)
                 .float("calibration_mae", report.calibration_mae)
+                .float("legacy_mae", report.legacy_mae)
                 .num("calibration_samples", report.calibration_samples)
+                .nums(
+                    "class_curve_active",
+                    report.class_curve_active.map(u64::from),
+                )
                 .render(),
         );
     }
@@ -248,12 +253,27 @@ fn main() -> ExitCode {
         {
             println!(
                 "learned model: active={}, {} deaths observed, {} refreshes, calibration MAE \
-                 {:.1} over {} back-tests",
+                 {:.1} over {} back-tests (global-curve-x-factor path: {:.1})",
                 report.active,
                 report.deaths_observed,
                 report.refreshes,
                 report.calibration_mae,
                 report.calibration_samples,
+                report.legacy_mae,
+            );
+            let active: Vec<&str> = ["reliable", "diurnal", "flaky"]
+                .iter()
+                .zip(report.class_curve_active)
+                .filter(|&(_, on)| on)
+                .map(|(name, _)| *name)
+                .collect();
+            println!(
+                "per-class survival curves active: {}",
+                if active.is_empty() {
+                    "none (each class needs its own 64 windowed deaths)".to_string()
+                } else {
+                    active.join(", ")
+                }
             );
         }
         println!(

@@ -83,6 +83,7 @@ fn run_cell(
         // `--link-cap` / `--flash-restore` switch every cell onto the
         // per-link transfer scheduler.
         schedule: args.schedule(),
+        adversary: args.adversary,
         ..FabricConfig::default()
     };
     let report = run_fabric(cell_config(args, maintenance), fabric_cfg)
@@ -98,6 +99,10 @@ fn cell_json(cell: &Cell) -> String {
     let stats = &cell.report.stats;
     let audit = &cell.report.audit;
     let failed = stats.transfers_corrupted + stats.transfers_truncated + stats.transfers_flapped;
+    // Rounds-to-restore percentiles over every scheduler-tracked restore
+    // (all zero when no flash wave / restores ran).
+    let (p50, p95, p99) =
+        peerback_fabric::restore_percentiles(&cell.report.restore_durations).unwrap_or((0, 0, 0));
     json::Object::new()
         .str("policy", cell.policy)
         .float("fault_rate", cell.fault_rate)
@@ -125,6 +130,13 @@ fn cell_json(cell: &Cell) -> String {
         .num("transfers_cancelled", stats.transfers_cancelled)
         .num("flash_restores", stats.flash_restores)
         .num("flash_restore_failures", stats.flash_restore_failures)
+        .num(
+            "restores_completed",
+            cell.report.restore_durations.len() as u64,
+        )
+        .num("restore_p50_rounds", p50)
+        .num("restore_p95_rounds", p95)
+        .num("restore_p99_rounds", p99)
         .num("audit_skipped_in_flight", audit.skipped_in_flight)
         .num("sim_losses", cell.report.metrics.total_losses())
         .num("verified_losses", cell.report.losses.len() as u64)
@@ -182,6 +194,8 @@ fn run_paper_scale(args: &HarnessArgs) {
         .count();
     let scrub_unrepaired = stats.scrub_unrepaired();
     let failed = stats.transfers_corrupted + stats.transfers_truncated + stats.transfers_flapped;
+    let (p50, p95, p99) =
+        peerback_fabric::restore_percentiles(&report.restore_durations).unwrap_or((0, 0, 0));
 
     if args.json {
         let mut out = json::Object::new()
@@ -213,6 +227,10 @@ fn run_paper_scale(args: &HarnessArgs) {
             .num("transfers_cancelled", stats.transfers_cancelled)
             .num("flash_restores", stats.flash_restores)
             .num("flash_restore_failures", stats.flash_restore_failures)
+            .num("restores_completed", report.restore_durations.len() as u64)
+            .num("restore_p50_rounds", p50)
+            .num("restore_p95_rounds", p95)
+            .num("restore_p99_rounds", p99)
             .num("audit_skipped_in_flight", audit.skipped_in_flight)
             .num("sim_losses", report.metrics.total_losses())
             .num("verified_losses", report.losses.len() as u64)
@@ -243,6 +261,12 @@ fn run_paper_scale(args: &HarnessArgs) {
              unrepaired",
             stats.scrub_checked, stats.scrub_detected, stats.scrub_repaired, stats.scrub_obsolete
         );
+        if !report.restore_durations.is_empty() {
+            println!(
+                "  restores: {} completed, rounds-to-restore p50/p95/p99 = {p50}/{p95}/{p99}",
+                report.restore_durations.len()
+            );
+        }
         println!(
             "  audit: {} checks, {} mismatches, {unverified_losses} unverified losses",
             audit.checks, audit.mismatches

@@ -185,6 +185,48 @@ pub struct HarnessArgs {
     /// restore through the scheduler (`0` = no wave). Implies nothing
     /// without a `--link-cap`-enabled schedule.
     pub flash_restore: u64,
+    /// Adversarial host behaviour for the fabric (`--adversary SPEC`,
+    /// e.g. `free=0.1,rot=0.02,challenge=16,sample=4`). Inert by
+    /// default. Consumed by the combined-mode binaries.
+    pub adversary: peerback_fabric::AdversaryConfig,
+    /// Correlated failure domains (`--domains` plus the `--outage-*` /
+    /// `--partition-*` knobs). `domains == 0` disables the axis.
+    pub failure_domains: peerback_core::FailureDomainConfig,
+    /// Integrity strikes before a host is quarantined (`0` = never).
+    pub quarantine_threshold: u8,
+    /// Loss-deadline escalation margin for the transfer scheduler:
+    /// repair transfers of archives under `k + margin` placed blocks
+    /// jump the class-priority queue (`0` = off).
+    pub escalate_margin: u32,
+}
+
+/// Parses an `--adversary` spec: comma-separated `key=value` pairs with
+/// keys `free` (free-rider fraction), `rot` (rotter fraction),
+/// `challenge` (challenge-sweep interval in rounds), `sample`
+/// (challenge coverage divisor, 1 = every placement).
+///
+/// # Panics
+///
+/// Panics with a usage message on malformed or unknown keys, and on
+/// values [`peerback_fabric::AdversaryConfig::validate`] rejects.
+pub fn parse_adversary_spec(spec: &str) -> peerback_fabric::AdversaryConfig {
+    let mut cfg = peerback_fabric::AdversaryConfig::default();
+    for pair in spec.split(',').filter(|p| !p.is_empty()) {
+        let (key, value) = pair.split_once('=').unwrap_or_else(|| {
+            panic!("--adversary expects key=value pairs, got {pair:?}\n{USAGE}")
+        });
+        match key {
+            "free" => cfg.free_rider_fraction = parse_float(value, "--adversary free"),
+            "rot" => cfg.rot_fraction = parse_float(value, "--adversary rot"),
+            "challenge" => cfg.challenge_interval = parse_num(value, "--adversary challenge"),
+            "sample" => cfg.challenge_sample_period = parse_num(value, "--adversary sample"),
+            other => panic!("unknown --adversary key {other:?} in {spec:?}\n{USAGE}"),
+        }
+    }
+    if let Err(e) = cfg.validate() {
+        panic!("invalid --adversary spec {spec:?}: {e}\n{USAGE}");
+    }
+    cfg
 }
 
 impl HarnessArgs {
@@ -217,6 +259,10 @@ impl HarnessArgs {
         let mut adaptive_n = 0u16;
         let mut link_cap = 0u64;
         let mut flash_restore = 0u64;
+        let mut adversary = peerback_fabric::AdversaryConfig::default();
+        let mut failure_domains = peerback_core::FailureDomainConfig::default();
+        let mut quarantine_threshold = 0u8;
+        let mut escalate_margin = 0u32;
 
         let mut iter = args.into_iter();
         while let Some(arg) = iter.next() {
@@ -262,6 +308,40 @@ impl HarnessArgs {
                 "--flash-restore" => {
                     flash_restore = parse_num(&value_for("--flash-restore"), "--flash-restore");
                 }
+                "--adversary" => adversary = parse_adversary_spec(&value_for("--adversary")),
+                "--domains" => {
+                    failure_domains.domains =
+                        parse_num(&value_for("--domains"), "--domains") as u32;
+                }
+                "--outage-rate" => {
+                    failure_domains.outage_rate =
+                        parse_float(&value_for("--outage-rate"), "--outage-rate");
+                }
+                "--outage-rounds" => {
+                    failure_domains.outage_rounds =
+                        parse_num(&value_for("--outage-rounds"), "--outage-rounds");
+                }
+                "--outage-at" => {
+                    failure_domains.outage_at = parse_num(&value_for("--outage-at"), "--outage-at");
+                }
+                "--partition-rate" => {
+                    failure_domains.partition_rate =
+                        parse_float(&value_for("--partition-rate"), "--partition-rate");
+                }
+                "--partition-rounds" => {
+                    failure_domains.partition_rounds =
+                        parse_num(&value_for("--partition-rounds"), "--partition-rounds");
+                }
+                "--quarantine-threshold" => {
+                    quarantine_threshold = parse_num(
+                        &value_for("--quarantine-threshold"),
+                        "--quarantine-threshold",
+                    ) as u8;
+                }
+                "--escalate-margin" => {
+                    escalate_margin =
+                        parse_num(&value_for("--escalate-margin"), "--escalate-margin") as u32;
+                }
                 "--help" | "-h" => {
                     println!("{USAGE}");
                     std::process::exit(0);
@@ -288,6 +368,10 @@ impl HarnessArgs {
             adaptive_n,
             link_cap,
             flash_restore,
+            adversary,
+            failure_domains,
+            quarantine_threshold,
+            escalate_margin,
         }
     }
 
@@ -312,18 +396,25 @@ impl HarnessArgs {
         if self.adaptive_n > 0 {
             cfg = cfg.with_adaptive_n(peerback_core::AdaptiveRedundancy::tuned(self.adaptive_n));
         }
+        if self.failure_domains.domains > 0 {
+            cfg = cfg.with_failure_domains(self.failure_domains);
+        }
+        if self.quarantine_threshold > 0 {
+            cfg = cfg.with_quarantine_threshold(self.quarantine_threshold);
+        }
         cfg
     }
 
     /// The fabric schedule requested by `--link-cap`/`--flash-restore`
     /// (`None` when neither axis is engaged — the instant path).
     pub fn schedule(&self) -> Option<peerback_fabric::ScheduleConfig> {
-        if self.link_cap == 0 && self.flash_restore == 0 {
+        if self.link_cap == 0 && self.flash_restore == 0 && self.escalate_margin == 0 {
             return None;
         }
         Some(peerback_fabric::ScheduleConfig {
             link_cap: (self.link_cap > 0).then_some(self.link_cap),
             flash_restore: (self.flash_restore > 0).then_some(self.flash_restore),
+            escalate_margin: self.escalate_margin,
             ..peerback_fabric::ScheduleConfig::default()
         })
     }
@@ -410,7 +501,25 @@ usage: <binary> [options]
                     fabric's bandwidth-aware scheduler (default 0:
                     instant shipping; combined-mode binaries only)
   --flash-restore N at round N every joined archive's owner starts a
-                    full restore through the scheduler (default 0: off)";
+                    full restore through the scheduler (default 0: off)
+  --adversary SPEC  adversarial fabric hosts, e.g.
+                    free=0.1,rot=0.02,challenge=16,sample=4
+                    (free-rider fraction, rotter fraction, challenge
+                    sweep interval, challenge coverage divisor;
+                    default: all off)
+  --domains N       hash peers into N correlated failure domains
+                    (default 0: axis off)
+  --outage-rate F   per-domain per-round regional outage probability
+  --outage-rounds N rounds an outage keeps its domain offline
+  --outage-at N     force one outage of domain 0 at round N
+  --partition-rate F per-domain per-round partition probability
+  --partition-rounds N rounds a partition blocks new placements
+  --quarantine-threshold N integrity strikes before a host is
+                    quarantined and its hosted blocks written off
+                    (default 0: never)
+  --escalate-margin N repair transfers of archives under k+N placed
+                    blocks jump the scheduler's priority queue
+                    (default 0: off)";
 
 /// Formats a float with sensible precision for tables.
 pub fn fmt_rate(v: Option<f64>) -> String {
@@ -558,6 +667,72 @@ mod tests {
         let a = parse(&["--flash-restore", "900"]);
         let sched = a.schedule().expect("wave engages the scheduler");
         assert_eq!(sched.link_cap, None);
+    }
+
+    #[test]
+    fn adversary_and_failure_domain_flags_resolve() {
+        let a = parse(&[]);
+        assert!(!a.adversary.any_hostile());
+        assert_eq!(a.failure_domains.domains, 0);
+        assert_eq!(a.quarantine_threshold, 0);
+        assert_eq!(a.escalate_margin, 0);
+
+        let a = parse(&[
+            "--adversary",
+            "free=0.1,rot=0.02,challenge=16,sample=4",
+            "--domains",
+            "12",
+            "--outage-rate",
+            "0.001",
+            "--outage-rounds",
+            "40",
+            "--outage-at",
+            "500",
+            "--partition-rate",
+            "0.002",
+            "--partition-rounds",
+            "25",
+            "--quarantine-threshold",
+            "2",
+            "--escalate-margin",
+            "3",
+        ]);
+        assert_eq!(a.adversary.free_rider_fraction, 0.1);
+        assert_eq!(a.adversary.rot_fraction, 0.02);
+        assert_eq!(a.adversary.challenge_interval, 16);
+        assert_eq!(a.adversary.challenge_sample_period, 4);
+        let cfg = a.base_config();
+        assert_eq!(cfg.failure_domains.domains, 12);
+        assert_eq!(cfg.failure_domains.outage_rate, 0.001);
+        assert_eq!(cfg.failure_domains.outage_rounds, 40);
+        assert_eq!(cfg.failure_domains.outage_at, 500);
+        assert_eq!(cfg.failure_domains.partition_rate, 0.002);
+        assert_eq!(cfg.failure_domains.partition_rounds, 25);
+        assert_eq!(cfg.quarantine_threshold, 2);
+        assert!(cfg.validate().is_ok());
+        // An escalation margin alone engages the scheduler.
+        let a = parse(&["--escalate-margin", "2"]);
+        let sched = a.schedule().expect("margin engages the scheduler");
+        assert_eq!(sched.link_cap, None);
+        assert_eq!(sched.escalate_margin, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown --adversary key")]
+    fn unknown_adversary_key_panics() {
+        let _ = parse(&["--adversary", "free=0.1,evil=1"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "key=value")]
+    fn malformed_adversary_pair_panics() {
+        let _ = parse(&["--adversary", "free"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid --adversary spec")]
+    fn out_of_range_adversary_fraction_panics() {
+        let _ = parse(&["--adversary", "rot=0.2,sample=0"]);
     }
 
     #[test]

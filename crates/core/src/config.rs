@@ -154,6 +154,55 @@ impl AdaptiveRedundancy {
     }
 }
 
+/// Correlated failure domains: peers are hashed into seeded
+/// regions/domains, and region-wide outages and network partitions are
+/// injected as a pure function of `(seed, domain, round)` — so the same
+/// seed produces byte-identical incident schedules at every
+/// `shards`/steal configuration.
+///
+/// * An **outage** forces every peer of the domain offline for
+///   `outage_rounds`; peers whose session process would bring them
+///   online mid-outage stay down until it lifts. Offline-timeout
+///   write-offs then flow through the normal two-hop teardown, so a
+///   long outage produces the correlated repair storm the ROADMAP's
+///   robustness direction asks for.
+/// * A **partition** leaves the domain's peers online (they keep
+///   serving already-held blocks) but unreachable for *new*
+///   placements: the candidate-pool filter skips them while the
+///   partition lasts.
+///
+/// All-zero (the default) disables the axis entirely and leaves every
+/// existing seed's RNG draw sequence untouched.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FailureDomainConfig {
+    /// Number of failure domains peers are hashed into (0 = axis off).
+    pub domains: u32,
+    /// Per-domain per-round probability that a regional outage starts.
+    pub outage_rate: f64,
+    /// Rounds an outage keeps its domain offline.
+    pub outage_rounds: u64,
+    /// Scenario hook: force one outage of domain 0 to start at exactly
+    /// this round (0 = none) — the probe's "one regional outage".
+    pub outage_at: u64,
+    /// Per-domain per-round probability that a network partition starts.
+    pub partition_rate: f64,
+    /// Rounds a partition keeps its domain unreachable for placements.
+    pub partition_rounds: u64,
+}
+
+impl Default for FailureDomainConfig {
+    fn default() -> Self {
+        FailureDomainConfig {
+            domains: 0,
+            outage_rate: 0.0,
+            outage_rounds: 36,
+            outage_at: 0,
+            partition_rate: 0.0,
+            partition_rounds: 24,
+        }
+    }
+}
+
 /// Full configuration of one simulation run.
 ///
 /// Defaults (via [`SimConfig::paper`]) reproduce §4.1: 25,000 peers is
@@ -279,6 +328,14 @@ pub struct SimConfig {
     /// Per-archive adaptive redundancy control loop (disabled by
     /// default; see [`AdaptiveRedundancy`]).
     pub adaptive_n: AdaptiveRedundancy,
+    /// Correlated failure domains: regional outages and partitions
+    /// (disabled by default; see [`FailureDomainConfig`]).
+    pub failure_domains: FailureDomainConfig,
+    /// Integrity failures (failed challenges, scrub detections reported
+    /// by a byte-plane observer) a host may accumulate before it is
+    /// quarantined and its hosted blocks evicted through the repair
+    /// machinery. `0` (the default) disables quarantine.
+    pub quarantine_threshold: u8,
 }
 
 impl SimConfig {
@@ -317,6 +374,8 @@ impl SimConfig {
             misreport_fraction: 0.0,
             misreport_inflation: 8,
             adaptive_n: AdaptiveRedundancy::default(),
+            failure_domains: FailureDomainConfig::default(),
+            quarantine_threshold: 0,
         }
     }
 
@@ -389,6 +448,19 @@ impl SimConfig {
     /// `--adaptive-n` scenario axis; see [`AdaptiveRedundancy`]).
     pub fn with_adaptive_n(mut self, adaptive: AdaptiveRedundancy) -> Self {
         self.adaptive_n = adaptive;
+        self
+    }
+
+    /// Installs a correlated failure-domain plan (the `--domains`
+    /// scenario axis; see [`FailureDomainConfig`]).
+    pub fn with_failure_domains(mut self, fd: FailureDomainConfig) -> Self {
+        self.failure_domains = fd;
+        self
+    }
+
+    /// Sets the reputation-ledger quarantine threshold (`0` disables).
+    pub fn with_quarantine_threshold(mut self, failures: u8) -> Self {
+        self.quarantine_threshold = failures;
         self
     }
 
@@ -527,6 +599,35 @@ impl SimConfig {
                      trigger {trigger}: narrowed archives would repair forever"
                 ));
             }
+        }
+        let fd = &self.failure_domains;
+        if fd.domains > u16::MAX as u32 {
+            return Err(format!(
+                "failure domains {} exceed the u16 domain column",
+                fd.domains
+            ));
+        }
+        if !(0.0..=1.0).contains(&fd.outage_rate) {
+            return Err(format!(
+                "outage rate {} is not a probability",
+                fd.outage_rate
+            ));
+        }
+        if !(0.0..=1.0).contains(&fd.partition_rate) {
+            return Err(format!(
+                "partition rate {} is not a probability",
+                fd.partition_rate
+            ));
+        }
+        let wants_outages = fd.outage_rate > 0.0 || fd.outage_at > 0;
+        if wants_outages && fd.outage_rounds == 0 {
+            return Err("outage duration must be positive when outages can fire".into());
+        }
+        if fd.partition_rate > 0.0 && fd.partition_rounds == 0 {
+            return Err("partition duration must be positive when partitions can fire".into());
+        }
+        if (wants_outages || fd.partition_rate > 0.0) && fd.domains == 0 {
+            return Err("outages/partitions need at least one failure domain".into());
         }
         // The quota feasibility warning of §4.1: supply must cover demand
         // or nothing can ever fully join.
@@ -688,6 +789,61 @@ mod tests {
         let mut ar = AdaptiveRedundancy::tuned(8);
         ar.narrow_slack = -1.0;
         assert!(base.with_adaptive_n(ar).validate().is_err());
+    }
+
+    #[test]
+    fn failure_domain_validation() {
+        let base = SimConfig::paper(10, 10, 0);
+        assert_eq!(base.failure_domains.domains, 0, "must default off");
+        assert_eq!(base.quarantine_threshold, 0, "must default off");
+
+        let mut fd = FailureDomainConfig {
+            domains: 8,
+            outage_rate: 0.001,
+            outage_at: 5,
+            ..FailureDomainConfig::default()
+        };
+        assert!(base.clone().with_failure_domains(fd).validate().is_ok());
+
+        fd.outage_rate = 1.5;
+        assert!(base
+            .clone()
+            .with_failure_domains(fd)
+            .validate()
+            .unwrap_err()
+            .contains("not a probability"));
+        fd.outage_rate = 0.001;
+        fd.outage_rounds = 0;
+        assert!(base
+            .clone()
+            .with_failure_domains(fd)
+            .validate()
+            .unwrap_err()
+            .contains("duration"));
+        fd.outage_rounds = 36;
+        fd.domains = 0;
+        assert!(base
+            .clone()
+            .with_failure_domains(fd)
+            .validate()
+            .unwrap_err()
+            .contains("at least one failure domain"));
+        fd.domains = 1 << 17;
+        assert!(base
+            .clone()
+            .with_failure_domains(fd)
+            .validate()
+            .unwrap_err()
+            .contains("u16"));
+        let mut fd = FailureDomainConfig {
+            domains: 4,
+            partition_rate: 0.01,
+            partition_rounds: 0,
+            ..FailureDomainConfig::default()
+        };
+        assert!(base.clone().with_failure_domains(fd).validate().is_err());
+        fd.partition_rounds = 12;
+        assert!(base.with_failure_domains(fd).validate().is_ok());
     }
 
     #[test]

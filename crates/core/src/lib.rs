@@ -56,7 +56,9 @@ pub use accept::{acceptance_probability, accepts, PAPER_CLAMP_ROUNDS};
 pub use age::AgeCategory;
 pub use archive::{Archive, ArchiveBuilder, ArchiveId};
 pub use backup::{BackupPipeline, PlacedBlock, PlacementPlan};
-pub use config::{AdaptiveRedundancy, EstimateParams, MaintenancePolicy, SimConfig};
+pub use config::{
+    AdaptiveRedundancy, EstimateParams, FailureDomainConfig, MaintenancePolicy, SimConfig,
+};
 pub use crypt::{Cipher, NoCipher, XorKeystream};
 pub use master::{ArchiveDescriptor, MasterBlock};
 pub use metrics::{CategorySample, Diagnostics, Metrics, ObserverSeries};

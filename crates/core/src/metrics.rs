@@ -73,6 +73,18 @@ pub struct Diagnostics {
     /// Placements released by narrow decisions (the lowest-value block
     /// of each narrowed archive).
     pub placements_released: u64,
+    /// Regional outages started (`SimConfig::failure_domains`).
+    pub outages_started: u64,
+    /// Network partitions started (`SimConfig::failure_domains`).
+    pub partitions_started: u64,
+    /// Online peers forcibly disconnected by a regional outage.
+    pub outage_disconnects: u64,
+    /// Hosts pushed over `SimConfig::quarantine_threshold` by the
+    /// reputation ledger and quarantined.
+    pub hosts_quarantined: u64,
+    /// Quarantine evictions executed (hosted blocks written off through
+    /// the normal two-hop teardown; at most one per quarantined host).
+    pub quarantine_evictions: u64,
 }
 
 /// All metrics collected during a run.

@@ -54,6 +54,13 @@ pub(in crate::world) enum Event {
         peer: PeerId,
         /// Slot epoch the event was armed for.
         epoch: u32,
+        /// Session sequence the flip was armed for. A forced transition
+        /// (a regional outage cutting the session short) bumps the
+        /// sequence, invalidating the superseded flip without any queue
+        /// surgery — exactly the offline-timeout staleness scheme. In a
+        /// domain-free run nothing but toggles bump the sequence, so
+        /// the check never fails and behaviour is unchanged.
+        seq: u32,
     },
     /// The peer has been offline for the full monitoring timeout: its
     /// hosted blocks are written off (valid only if `seq` still matches
@@ -80,6 +87,16 @@ pub(in crate::world) enum Event {
         /// Slot epoch the event was armed for.
         epoch: u32,
     },
+    /// The host crossed the reputation ledger's quarantine threshold:
+    /// its hosted blocks are evicted (written off through the normal
+    /// two-hop teardown, re-entering the repair machinery) and the
+    /// quarantined flag keeps it out of every future candidate pool.
+    Quarantine {
+        /// Affected peer slot.
+        peer: PeerId,
+        /// Slot epoch the event was armed for.
+        epoch: u32,
+    },
 }
 
 impl ShardLane<'_> {
@@ -94,7 +111,10 @@ impl ShardLane<'_> {
     ) {
         debug_assert!(self.peers.observer(id).is_none());
         self.delta.departures += 1;
-        if self.estimates_on {
+        // Quarantined hosts are censored out of the survival model:
+        // their "lifetime" ended by eviction, not by the churn process,
+        // and letting them in would poison the learned curve.
+        if self.estimates_on && !self.peers.quarantined(id) {
             // Record the completed lifetime before any teardown:
             // `uptime_at` must still see the open session (set_online
             // below does not bank it into the ledger).
@@ -155,6 +175,28 @@ impl ShardLane<'_> {
         self.peers.bump_epoch(id);
         self.peers.set_session_seq(id, 0);
         self.init_regular_peer(id, round, cfg, samplers);
+    }
+
+    /// Hop 1 of a quarantine eviction: the host's hosted blocks are
+    /// written off exactly like an offline timeout — the owners learn
+    /// in hop 2 and repair through the normal machinery — and the
+    /// quarantined column (set when the reputation ledger crossed the
+    /// threshold) keeps the host out of every future candidate pool.
+    /// Unlike a timeout this fires regardless of the host's session
+    /// state: the peer is alive, just distrusted.
+    pub(in crate::world) fn process_quarantine_local(&mut self, id: PeerId) {
+        debug_assert!(self.peers.quarantined(id));
+        self.delta.quarantine_evictions += 1;
+        for i in 0..self.peers.hosted_len(id) {
+            let (owner, aidx) = self.peers.hosted_at(id, i);
+            self.out.push(Msg::Drop {
+                owner,
+                aidx,
+                host: id,
+            });
+        }
+        self.peers.clear_hosted(id);
+        self.peers.set_quota_used(id, 0);
     }
 
     /// Hop 1 of an offline write-off (§2.2.3): the network considers the

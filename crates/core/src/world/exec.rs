@@ -78,6 +78,8 @@ pub(in crate::world) struct MetricsDelta {
     pub(in crate::world) blocks_uploaded: u64,
     pub(in crate::world) blocks_downloaded: u64,
     pub(in crate::world) threshold_adjustments: u64,
+    pub(in crate::world) outage_disconnects: u64,
+    pub(in crate::world) quarantine_evictions: u64,
 }
 
 impl MetricsDelta {
@@ -96,6 +98,8 @@ impl MetricsDelta {
         d.blocks_uploaded += self.blocks_uploaded;
         d.blocks_downloaded += self.blocks_downloaded;
         d.threshold_adjustments += self.threshold_adjustments;
+        d.outage_disconnects += self.outage_disconnects;
+        d.quarantine_evictions += self.quarantine_evictions;
         *self = MetricsDelta::default();
     }
 }
@@ -1085,4 +1089,6 @@ pub(in crate::world) fn merge_delta(dst: &mut MetricsDelta, src: &MetricsDelta) 
     dst.blocks_uploaded += src.blocks_uploaded;
     dst.blocks_downloaded += src.blocks_downloaded;
     dst.threshold_adjustments += src.threshold_adjustments;
+    dst.outage_disconnects += src.outage_disconnects;
+    dst.quarantine_evictions += src.quarantine_evictions;
 }

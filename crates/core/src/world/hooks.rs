@@ -344,4 +344,66 @@ impl BackupWorld {
             .filter(|&h| self.peers.online(h))
             .count() as u32
     }
+
+    // ----- the reputation ledger (fabric feedback channel) -----------------
+
+    /// Feeds detected integrity failures (failed challenge-response
+    /// probes, scrub-detected corruption) into the per-host reputation
+    /// ledger. `hosts` must be in a deterministic order — the fabric
+    /// merges its per-lane detections in lane order before calling —
+    /// and may contain repeats (each counts as one strike).
+    ///
+    /// A host crossing [`SimConfig::quarantine_threshold`] strikes is
+    /// quarantined: the flag keeps it out of every future candidate
+    /// pool, and an eviction event scheduled for `round + 1` writes its
+    /// hosted blocks off through the normal two-hop teardown, so the
+    /// affected owners repair through the ordinary machinery. With the
+    /// threshold at `0` (the default) the ledger is inert: strikes
+    /// accumulate in the suspicion column but nothing is ever
+    /// quarantined.
+    ///
+    /// [`SimConfig::quarantine_threshold`]: crate::config::SimConfig::quarantine_threshold
+    pub fn report_integrity_failures(&mut self, round: u64, hosts: &[PeerId]) {
+        let threshold = self.cfg.quarantine_threshold;
+        for &id in hosts {
+            if self.peers.observer(id).is_some() || self.peers.quarantined(id) {
+                continue;
+            }
+            let strikes = self.peers.bump_suspicion(id);
+            if threshold > 0 && strikes >= threshold {
+                self.peers.set_quarantined(id, true);
+                self.quarantine_log.push((id, round));
+                self.metrics.diag.hosts_quarantined += 1;
+                let epoch = self.peers.epoch(id);
+                self.schedule_for(
+                    id,
+                    peerback_sim::Round(round + 1),
+                    super::events::Event::Quarantine { peer: id, epoch },
+                );
+            }
+        }
+    }
+
+    /// The `(peer, round)` log of quarantine decisions, in decision
+    /// order. Slots may repeat across epochs (a replacement peer in a
+    /// recycled slot can be quarantined again).
+    pub fn quarantine_log(&self) -> &[(PeerId, u64)] {
+        &self.quarantine_log
+    }
+
+    /// Whether the peer in `slot` is currently quarantined.
+    pub fn peer_quarantined(&self, slot: PeerId) -> bool {
+        self.peers.quarantined(slot)
+    }
+
+    /// The failure domain of peer `slot` (always `0` when
+    /// `SimConfig::failure_domains.domains == 0`).
+    pub fn peer_domain(&self, slot: PeerId) -> u16 {
+        self.peers.domain(slot)
+    }
+
+    /// Whether failure domain `d` is currently in a forced outage.
+    pub fn domain_in_outage(&self, d: u16, round: u64) -> bool {
+        self.outages.get(d as usize).is_some_and(|&end| end > round)
+    }
 }

@@ -91,6 +91,28 @@ pub use peers::{ObserverState, PeerId, WorldSnapshot};
 /// collide with other derived streams of the same master seed.
 const SHARD_STREAM_BASE: u64 = 0x5ad_0000;
 
+/// Sub-seed stream for the failure-domain hash of each peer slot.
+const DOMAIN_STREAM: u64 = 0xd0_3a17;
+/// Sub-seed stream for the per-round regional-outage draws.
+const OUTAGE_STREAM: u64 = 0x07_a63e;
+/// Sub-seed stream for the per-round network-partition draws.
+const PARTITION_STREAM: u64 = 0x9a_7117;
+
+/// The failure domain of peer slot `id`: a pure hash of the slot under
+/// the run seed (no RNG draw — replacements inherit their slot's
+/// domain, and the assignment is identical at every shard/steal
+/// configuration).
+pub(in crate::world) fn domain_of(seed: u64, domains: u32, id: PeerId) -> u16 {
+    (derive_seed(derive_seed(seed, DOMAIN_STREAM), id as u64) % domains as u64) as u16
+}
+
+/// Maps a derived seed to a uniform draw in `[0, 1)` without touching
+/// any RNG stream (the incident schedule must be a pure function of
+/// `(seed, domain, round)`).
+fn unit_draw(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
 /// The backup network world; implements [`peerback_sim::World`].
 ///
 /// # Example
@@ -166,6 +188,24 @@ pub struct BackupWorld {
     /// Scratch for the direct (white-box / single-call) pool path.
     #[cfg(test)]
     pub(in crate::world) direct_scratch: Scratch,
+    /// Per-domain round at which the current regional outage ends
+    /// (`0` = no outage; a domain is down while `outages[d] > round`).
+    /// Maintained sequentially by [`advance_failure_domains`] as a pure
+    /// function of `(seed, domain, round)`; lanes read it shared.
+    ///
+    /// [`advance_failure_domains`]: BackupWorld::advance_failure_domains
+    pub(in crate::world) outages: Vec<u64>,
+    /// Per-domain round at which the current partition heals (`0` = no
+    /// partition). Partitioned domains stay up but are unreachable for
+    /// *new* placements: the candidate screen skips them.
+    pub(in crate::world) partitions: Vec<u64>,
+    /// Domains whose outage starts *this* round — the lanes force their
+    /// online members offline at the top of the event phase. Rebuilt
+    /// each round; empty in domain-free runs (the lane fast path).
+    pub(in crate::world) outage_starts: Vec<u16>,
+    /// `(peer, round)` log of quarantine decisions, in decision order
+    /// (sequential, so deterministic). Drives the adversary probe.
+    pub(in crate::world) quarantine_log: Vec<(PeerId, u64)>,
     /// Population census by age category (observers excluded).
     pub(in crate::world) census: [u64; AgeCategory::COUNT],
     /// Regular peers spawned so far (for the growth ramp).
@@ -247,6 +287,10 @@ impl BackupWorld {
             prefix: vec![0; layout.count + 1],
             #[cfg(test)]
             direct_scratch: Scratch::default(),
+            outages: vec![0; cfg.failure_domains.domains as usize],
+            partitions: vec![0; cfg.failure_domains.domains as usize],
+            outage_starts: Vec::new(),
+            quarantine_log: Vec::new(),
             census: [0; 4],
             spawned: 0,
             metrics: Metrics::new(),
@@ -315,6 +359,46 @@ impl BackupWorld {
 
     // ----- the staged round ------------------------------------------------
 
+    /// Stage 0: advances the failure-domain incident schedule. Runs
+    /// sequentially at the top of the round; whether each domain starts
+    /// an outage or partition this round is a pure function of
+    /// `(seed, domain, round)` — no RNG stream is touched, so runs with
+    /// domains disabled draw exactly the sequences they always did, and
+    /// runs with domains enabled are identical at every `shards`/steal
+    /// configuration.
+    fn advance_failure_domains(&mut self, round: u64) {
+        let fd = &self.cfg.failure_domains;
+        if fd.domains == 0 {
+            self.outage_starts.clear();
+            return;
+        }
+        self.outage_starts.clear();
+        let outage_stream = derive_seed(self.cfg.seed, OUTAGE_STREAM);
+        let partition_stream = derive_seed(self.cfg.seed, PARTITION_STREAM);
+        for d in 0..fd.domains as usize {
+            if self.outages[d] <= round {
+                let key = ((d as u64) << 32) | round;
+                let scheduled = fd.outage_at != 0 && round == fd.outage_at && d == 0;
+                let drawn = fd.outage_rate > 0.0
+                    && unit_draw(derive_seed(outage_stream, key)) < fd.outage_rate;
+                if scheduled || drawn {
+                    self.outages[d] = round + fd.outage_rounds;
+                    self.outage_starts.push(d as u16);
+                    self.metrics.diag.outages_started += 1;
+                }
+            }
+            if self.partitions[d] <= round {
+                let key = ((d as u64) << 32) | round;
+                if fd.partition_rate > 0.0
+                    && unit_draw(derive_seed(partition_stream, key)) < fd.partition_rate
+                {
+                    self.partitions[d] = round + fd.partition_rounds;
+                    self.metrics.diag.partitions_started += 1;
+                }
+            }
+        }
+    }
+
     /// Stage 1: shard-local events plus teardown hop 1, one stealable
     /// task per shard. Cross-shard messages land in the arena outboxes;
     /// departed peers in the arena departed lists.
@@ -332,6 +416,8 @@ impl BackupWorld {
         let samplers = &self.samplers;
         let events_on = self.record_events;
         let estimates_on = self.estimator.is_some();
+        let outages: &[u64] = &self.outages;
+        let outage_starts: &[u16] = &self.outage_starts;
         let arena = &mut self.arena;
         let mut lanes: Vec<ShardLane> =
             peerback_sim::arena::retype_empty(core::mem::take(&mut arena.shard_lane_store));
@@ -357,6 +443,8 @@ impl BackupWorld {
                     rng: rngs.next().expect("rng per shard"),
                     events_on,
                     estimates_on,
+                    outages,
+                    outage_starts,
                     events: peerback_sim::arena::take_slot(&mut arena.event_bufs[s], recycle),
                     obs: obs.next().expect("obs per shard"),
                     out: core::mem::take(&mut arena.outboxes[s]),
@@ -418,9 +506,15 @@ impl BackupWorld {
         };
         if round.is_multiple_of(model.params().refresh_interval) {
             let peers = &self.peers;
-            model.refresh(
+            // The classed census (age + observed uptime) is what lets
+            // the model grow per-availability-class survival curves.
+            // Quarantined peers are excluded, matching the censoring of
+            // their deaths: an evicted host's lifetime is a verdict on
+            // its honesty, not its hardware.
+            model.refresh_classed(
                 (self.observer_count as PeerId..peers.len() as PeerId)
-                    .map(|id| peers.age_at(id, round)),
+                    .filter(|&id| !peers.quarantined(id))
+                    .map(|id| (peers.age_at(id, round), peers.uptime_at(id, round))),
             );
         }
         self.estimator = Some(model);
@@ -563,6 +657,7 @@ fn propose_shard(
 impl World for BackupWorld {
     fn round_start(&mut self, round: Round, _rng: &mut SimRng) {
         let r = round.index();
+        self.advance_failure_domains(r);
         self.ensure_population(r);
         self.run_local_events(r);
         self.run_deliver(r);

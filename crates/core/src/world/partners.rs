@@ -201,6 +201,18 @@ impl BackupWorld {
             if self.peers.observer(c).is_some() || self.peers.quota_used(c) >= quota {
                 continue;
             }
+            // Quarantined hosts never re-enter a candidate pool, and a
+            // partitioned domain is online-but-unreachable for *new*
+            // placements (existing ones keep counting — a partition
+            // does not destroy data). Both vectors are empty in
+            // domain-free/quarantine-free runs.
+            if self.peers.quarantined(c) {
+                continue;
+            }
+            if !self.partitions.is_empty() && self.partitions[self.peers.domain(c) as usize] > round
+            {
+                continue;
+            }
             // The *reported* age: what the candidate claims during
             // negotiation (misreporting peers inflate it). Matches
             // `negotiation_age` for every non-observer (observers were

@@ -240,6 +240,8 @@ impl BackupWorld {
             rng: &mut self.rngs[s],
             events_on: self.record_events,
             estimates_on: self.estimator.is_some(),
+            outages: &self.outages,
+            outage_starts: &self.outage_starts,
             events: Vec::new(),
             obs: &mut self.obs[s],
             out: Vec::new(),
@@ -380,6 +382,17 @@ impl ShardLane<'_> {
 
         self.peers.set_profile(id, profile_id as u8);
         self.peers.set_misreports(id, misreports);
+        // Failure domain: a pure hash of the slot (no RNG draw, so the
+        // axis being off — or on — never perturbs the draw sequence).
+        let dom = if cfg.failure_domains.domains > 0 {
+            super::domain_of(cfg.seed, cfg.failure_domains.domains, id)
+        } else {
+            0
+        };
+        self.peers.set_domain(id, dom);
+        // The reputation ledger starts clean for the replacement peer.
+        self.peers.set_suspicion(id, 0);
+        self.peers.set_quarantined(id, false);
         self.peers
             .set_threshold(id, cfg.maintenance.threshold().unwrap_or(0));
         self.peers.set_birth(id, round);
@@ -401,6 +414,7 @@ impl ShardLane<'_> {
         self.peers.set_quota_used(id, 0);
 
         let epoch = self.peers.epoch(id);
+        let seq = self.peers.session_seq(id);
         let death = self.peers.death(id);
         self.census_delta[AgeCategory::Newcomer.index()] += 1;
 
@@ -413,25 +427,58 @@ impl ShardLane<'_> {
             Round(round + AgeCategory::BOUNDARIES[0]),
             Event::CatAdvance { peer: id, epoch },
         );
-        // Session process.
-        if sampler.always_online() {
-            self.set_online(id, true);
-        } else if sampler.always_offline() {
+        // Session process. A peer spawning into an active regional
+        // outage starts offline regardless of its draw and reconnects
+        // when the outage lifts (its toggle defers further if needed).
+        let outage = self.outage_end(id, round);
+        if sampler.always_offline() {
             // Stays offline forever; it can never act.
+        } else if let Some(end) = outage {
+            self.wheel.schedule(
+                Round(end),
+                Event::Toggle {
+                    peer: id,
+                    epoch,
+                    seq,
+                },
+            );
+            if cfg.offline_timeout > 0 {
+                self.wheel.schedule(
+                    Round(round + cfg.offline_timeout),
+                    Event::OfflineTimeout {
+                        peer: id,
+                        epoch,
+                        seq,
+                    },
+                );
+            }
+        } else if sampler.always_online() {
+            self.set_online(id, true);
         } else if online {
             self.set_online(id, true);
             let dur = sampler.online_duration(self.rng);
-            self.wheel
-                .schedule(Round(round + dur), Event::Toggle { peer: id, epoch });
+            self.wheel.schedule(
+                Round(round + dur),
+                Event::Toggle {
+                    peer: id,
+                    epoch,
+                    seq,
+                },
+            );
         } else {
             let dur = sampler.offline_duration(self.rng);
-            self.wheel
-                .schedule(Round(round + dur), Event::Toggle { peer: id, epoch });
+            self.wheel.schedule(
+                Round(round + dur),
+                Event::Toggle {
+                    peer: id,
+                    epoch,
+                    seq,
+                },
+            );
             // A freshly spawned offline peer is mid-way through an
             // offline run; arm its write-off timer too (no-op before
             // it hosts anything, but keeps the mechanism uniform).
             if cfg.offline_timeout > 0 {
-                let seq = self.peers.session_seq(id);
                 self.wheel.schedule(
                     Round(round + cfg.offline_timeout),
                     Event::OfflineTimeout {

@@ -195,20 +195,22 @@ fn kind_rank(event: &Event) -> u8 {
         Event::ProactiveTick { .. } => 2,
         Event::Death { .. } => 3,
         Event::OfflineTimeout { .. } => 4,
+        Event::Quarantine { .. } => 5,
     }
 }
 
 /// Total order on same-round events: by peer slot, then a fixed kind
-/// rank, then the timeout session sequence (several stale offline
+/// rank, then the session sequence (several stale toggles or offline
 /// timeouts can share a round). The global wheel used to fire events in
 /// hash-bucket insertion order; a sorted order is what makes per-shard
 /// firing independent of how slots were interleaved at schedule time.
 pub(in crate::world) fn event_sort_key(event: &Event) -> (PeerId, u8, u32) {
     let (peer, seq) = match *event {
         Event::Death { peer, .. }
-        | Event::Toggle { peer, .. }
         | Event::CatAdvance { peer, .. }
-        | Event::ProactiveTick { peer, .. } => (peer, 0),
+        | Event::ProactiveTick { peer, .. }
+        | Event::Quarantine { peer, .. } => (peer, 0),
+        Event::Toggle { peer, seq, .. } => (peer, seq),
         Event::OfflineTimeout { peer, seq, .. } => (peer, seq),
     };
     (peer, kind_rank(event), seq)
@@ -242,6 +244,12 @@ pub(in crate::world) struct ShardLane<'a> {
     /// Completed-lifetime observations from this shard's deaths, drained
     /// into the global survival model in shard order after the phase.
     pub(in crate::world) obs: &'a mut Vec<DeathRecord>,
+    /// Per-domain outage end rounds (empty when failure domains are
+    /// off; `end > round` means the domain is down this round).
+    pub(in crate::world) outages: &'a [u64],
+    /// Domains whose outage starts this round (their online peers are
+    /// forced offline before the wheel fires).
+    pub(in crate::world) outage_starts: &'a [u16],
     /// Cross-shard effects of this shard's deaths/timeouts, delivered
     /// in the next stage.
     pub(in crate::world) out: Vec<Msg>,
@@ -285,13 +293,19 @@ impl ShardLane<'_> {
         samplers: &[SessionSampler],
         buf: &mut Vec<Event>,
     ) {
+        // Regional outages starting this round disconnect their domains
+        // first, so the due events below already see the outage state
+        // (superseded toggles and timeouts fail their sequence check).
+        if !self.outage_starts.is_empty() {
+            self.force_domain_outages(round, cfg);
+        }
         buf.clear();
         self.wheel.advance(Round(round), |e| buf.push(e));
         buf.sort_unstable_by_key(event_sort_key);
         for event in buf.drain(..) {
             match event {
-                Event::Toggle { peer, epoch } => {
-                    if self.peers.epoch(peer) == epoch {
+                Event::Toggle { peer, epoch, seq } => {
+                    if self.peers.epoch(peer) == epoch && self.peers.session_seq(peer) == seq {
                         self.process_toggle(peer, round, cfg, samplers);
                     }
                 }
@@ -318,6 +332,68 @@ impl ShardLane<'_> {
                         self.process_timeout_local(peer);
                     }
                 }
+                Event::Quarantine { peer, epoch } => {
+                    if self.peers.epoch(peer) == epoch && self.peers.quarantined(peer) {
+                        self.process_quarantine_local(peer);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The end round of the outage covering `id`'s domain, if one is
+    /// active (`None` in domain-free runs — the slice is empty then).
+    pub(in crate::world) fn outage_end(&self, id: PeerId, round: u64) -> Option<u64> {
+        if self.outages.is_empty() {
+            return None;
+        }
+        let end = self.outages[self.peers.domain(id) as usize];
+        (end > round).then_some(end)
+    }
+
+    /// Disconnects every online peer of the domains whose outage starts
+    /// this round: the open session is closed (time banked), the armed
+    /// flip is superseded by the sequence bump, the return flip is
+    /// scheduled for the outage's end, and the offline-timeout timer is
+    /// armed — so a long outage writes the domain's hosted blocks off
+    /// through the normal two-hop teardown.
+    fn force_domain_outages(&mut self, round: u64, cfg: &SimConfig) {
+        let base = self.peers.base;
+        for i in 0..self.peers.slots() {
+            let id = base + i as PeerId;
+            let dom = self.peers.domain(id);
+            if !self.outage_starts.contains(&dom)
+                || !self.peers.online(id)
+                || self.peers.observer(id).is_some()
+            {
+                continue;
+            }
+            self.delta.outage_disconnects += 1;
+            let banked = round.saturating_sub(self.peers.last_transition(id));
+            self.peers
+                .set_online_accum(id, self.peers.online_accum(id) + banked);
+            self.peers.bump_session_seq(id);
+            self.peers.set_last_transition(id, round);
+            self.set_online(id, false);
+            let (epoch, seq) = (self.peers.epoch(id), self.peers.session_seq(id));
+            let end = self.outages[dom as usize];
+            self.wheel.schedule(
+                Round(end),
+                Event::Toggle {
+                    peer: id,
+                    epoch,
+                    seq,
+                },
+            );
+            if cfg.offline_timeout > 0 {
+                self.wheel.schedule(
+                    Round(round + cfg.offline_timeout),
+                    Event::OfflineTimeout {
+                        peer: id,
+                        epoch,
+                        seq,
+                    },
+                );
             }
         }
     }
@@ -331,8 +407,27 @@ impl ShardLane<'_> {
         cfg: &SimConfig,
         samplers: &[SessionSampler],
     ) {
-        self.delta.session_toggles += 1;
         let going_online = !self.peers.online(id);
+        if going_online {
+            if let Some(end) = self.outage_end(id, round) {
+                // The domain is down: the reconnection is deferred to
+                // the outage's end, same sequence (the flip is delayed,
+                // not superseded). No draws — the outage schedule is a
+                // pure function of the seed, so this stays identical at
+                // every shard/steal configuration.
+                let (epoch, seq) = (self.peers.epoch(id), self.peers.session_seq(id));
+                self.wheel.schedule(
+                    Round(end),
+                    Event::Toggle {
+                        peer: id,
+                        epoch,
+                        seq,
+                    },
+                );
+                return;
+            }
+        }
+        self.delta.session_toggles += 1;
         self.peers.bump_session_seq(id);
         if !going_online {
             // Closing an online session: bank it in the ledger.
@@ -343,16 +438,26 @@ impl ShardLane<'_> {
         self.peers.set_last_transition(id, round);
         self.set_online(id, going_online);
 
-        // Schedule the next transition.
-        let epoch = self.peers.epoch(id);
+        // Schedule the next transition. A permanently-online peer only
+        // ever reaches this flip when an outage cut its session short;
+        // it stays up for good again, so no further flip is armed.
+        let (epoch, seq) = (self.peers.epoch(id), self.peers.session_seq(id));
         let sampler = samplers[self.peers.profile(id) as usize];
-        let dur = if going_online {
-            sampler.online_duration(self.rng)
-        } else {
-            sampler.offline_duration(self.rng)
-        };
-        self.wheel
-            .schedule(Round(round + dur), Event::Toggle { peer: id, epoch });
+        if !(going_online && sampler.always_online()) {
+            let dur = if going_online {
+                sampler.online_duration(self.rng)
+            } else {
+                sampler.offline_duration(self.rng)
+            };
+            self.wheel.schedule(
+                Round(round + dur),
+                Event::Toggle {
+                    peer: id,
+                    epoch,
+                    seq,
+                },
+            );
+        }
 
         if going_online {
             // A peer that reconnects resumes its own pending work.

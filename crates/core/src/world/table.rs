@@ -165,6 +165,45 @@ macro_rules! peer_columns_api {
             self.misreports[i] = v;
         }
 
+        /// The peer's failure domain (0 when domains are disabled).
+        #[inline]
+        pub(in crate::world) fn domain(&self, id: PeerId) -> u16 {
+            self.domain[self.l(id)]
+        }
+
+        pub(in crate::world) fn set_domain(&mut self, id: PeerId, v: u16) {
+            let i = self.l(id);
+            self.domain[i] = v;
+        }
+
+        /// Integrity-failure count in the reputation ledger.
+        #[inline]
+        pub(in crate::world) fn suspicion(&self, id: PeerId) -> u8 {
+            self.suspicion[self.l(id)]
+        }
+
+        pub(in crate::world) fn set_suspicion(&mut self, id: PeerId, v: u8) {
+            let i = self.l(id);
+            self.suspicion[i] = v;
+        }
+
+        pub(in crate::world) fn bump_suspicion(&mut self, id: PeerId) -> u8 {
+            let i = self.l(id);
+            self.suspicion[i] = self.suspicion[i].saturating_add(1);
+            self.suspicion[i]
+        }
+
+        /// Whether the host is quarantined (never selected as a partner).
+        #[inline]
+        pub(in crate::world) fn quarantined(&self, id: PeerId) -> bool {
+            self.quarantined[self.l(id)]
+        }
+
+        pub(in crate::world) fn set_quarantined(&mut self, id: PeerId, v: bool) {
+            let i = self.l(id);
+            self.quarantined[i] = v;
+        }
+
         #[inline]
         pub(in crate::world) fn birth(&self, id: PeerId) -> u64 {
             self.birth[self.l(id)]
@@ -625,6 +664,9 @@ pub(in crate::world) struct PeerTable {
     profile: Vec<u8>,
     observer: Vec<u8>,
     misreports: Vec<bool>,
+    domain: Vec<u16>,
+    suspicion: Vec<u8>,
+    quarantined: Vec<bool>,
     birth: Vec<u64>,
     death: Vec<u64>,
     online_accum: Vec<u64>,
@@ -671,6 +713,9 @@ impl PeerTable {
             profile: Vec::with_capacity(capacity),
             observer: Vec::with_capacity(capacity),
             misreports: Vec::with_capacity(capacity),
+            domain: Vec::with_capacity(capacity),
+            suspicion: Vec::with_capacity(capacity),
+            quarantined: Vec::with_capacity(capacity),
             birth: Vec::with_capacity(capacity),
             death: Vec::with_capacity(capacity),
             online_accum: Vec::with_capacity(capacity),
@@ -699,6 +744,9 @@ impl PeerTable {
         self.profile.push(0);
         self.observer.push(NO_OBSERVER);
         self.misreports.push(false);
+        self.domain.push(0);
+        self.suspicion.push(0);
+        self.quarantined.push(false);
         self.birth.push(0);
         self.death.push(u64::MAX);
         self.online_accum.push(0);
@@ -751,6 +799,9 @@ impl PeerTable {
             profile: &mut self.profile,
             observer: &mut self.observer,
             misreports: &mut self.misreports,
+            domain: &mut self.domain,
+            suspicion: &mut self.suspicion,
+            quarantined: &mut self.quarantined,
             birth: &mut self.birth,
             death: &mut self.death,
             online_accum: &mut self.online_accum,
@@ -789,6 +840,9 @@ impl PeerTable {
             + bytes(&self.profile)
             + bytes(&self.observer)
             + bytes(&self.misreports)
+            + bytes(&self.domain)
+            + bytes(&self.suspicion)
+            + bytes(&self.quarantined)
             + bytes(&self.birth)
             + bytes(&self.death)
             + bytes(&self.online_accum)
@@ -844,6 +898,9 @@ pub(in crate::world) struct PeerView<'a> {
     profile: &'a mut [u8],
     observer: &'a mut [u8],
     misreports: &'a mut [bool],
+    domain: &'a mut [u16],
+    suspicion: &'a mut [u8],
+    quarantined: &'a mut [bool],
     birth: &'a mut [u64],
     death: &'a mut [u64],
     online_accum: &'a mut [u64],
@@ -900,6 +957,9 @@ pub(in crate::world) struct ColSplit<'a> {
     profile: &'a mut [u8],
     observer: &'a mut [u8],
     misreports: &'a mut [bool],
+    domain: &'a mut [u16],
+    suspicion: &'a mut [u8],
+    quarantined: &'a mut [bool],
     birth: &'a mut [u64],
     death: &'a mut [u64],
     online_accum: &'a mut [u64],
@@ -943,6 +1003,9 @@ impl<'a> ColSplit<'a> {
             profile: take_front(&mut self.profile, count),
             observer: take_front(&mut self.observer, count),
             misreports: take_front(&mut self.misreports, count),
+            domain: take_front(&mut self.domain, count),
+            suspicion: take_front(&mut self.suspicion, count),
+            quarantined: take_front(&mut self.quarantined, count),
             birth: take_front(&mut self.birth, count),
             death: take_front(&mut self.death, count),
             online_accum: take_front(&mut self.online_accum, count),

@@ -1820,3 +1820,211 @@ proptest::proptest! {
         }
     }
 }
+
+// ----- failure domains, outages, partitions and quarantine -----------------
+
+/// A churny sharded config with eight failure domains and a scheduled
+/// mid-run regional outage plus random partitions — the adversary
+/// plane's determinism workload.
+fn domained_config(peers: usize, rounds: u64, seed: u64) -> SimConfig {
+    churny_config(peers, rounds, seed).with_failure_domains(crate::config::FailureDomainConfig {
+        domains: 8,
+        outage_rate: 0.002,
+        outage_rounds: 30,
+        outage_at: rounds / 3,
+        partition_rate: 0.002,
+        partition_rounds: 20,
+    })
+}
+
+#[test]
+fn failure_domains_off_is_bit_identical_to_the_seed_behaviour() {
+    // The whole plane is gated: with `domains == 0` (the default) no
+    // draw sequence moves, so a config that never mentions domains
+    // produces the exact run it produced before the plane existed.
+    let base = churny_config(600, 300, 55);
+    let (m_off, e_off) = run_recorded(base.clone());
+    let explicit = base.with_failure_domains(crate::config::FailureDomainConfig::default());
+    let (m_def, e_def) = run_recorded(explicit);
+    assert_eq!(m_off, m_def);
+    assert_eq!(e_off, e_def);
+    assert_eq!(m_off.diag.outages_started, 0);
+    assert_eq!(m_off.diag.outage_disconnects, 0);
+}
+
+#[test]
+fn regional_outages_fire_and_stay_bit_identical_across_shards_and_stealing() {
+    let base = domained_config(640, 300, 61).with_shard_slots(8);
+    let (m1, e1) = run_recorded(base.clone().with_shards(1));
+    assert!(m1.diag.outages_started > 0, "no outage ever started");
+    assert!(
+        m1.diag.outage_disconnects > 0,
+        "outages disconnected nobody"
+    );
+    assert!(m1.diag.partitions_started > 0, "no partition ever started");
+    for (shards, steal) in [(8, true), (64, true), (8, false), (64, false)] {
+        let (m, e) = run_recorded(base.clone().with_shards(shards).with_work_stealing(steal));
+        assert_eq!(m1, m, "metrics diverged at shards={shards} steal={steal}");
+        assert_eq!(e1, e, "events diverged at shards={shards} steal={steal}");
+    }
+}
+
+#[test]
+fn outages_preserve_census_and_eventually_release_the_domain() {
+    // Conservation under forced disconnection: the census never leaks a
+    // peer, and after the outage window the domain's peers resume
+    // toggling (session churn continues to accumulate).
+    let cfg = domained_config(400, 400, 71);
+    let rounds = cfg.rounds;
+    let n = cfg.n_peers as u64;
+    let outage_end_floor = cfg.failure_domains.outage_at + cfg.failure_domains.outage_rounds;
+    let mut world = BackupWorld::new(cfg);
+    let mut engine = Engine::new(71);
+    let mut toggles_at_end = None;
+    for _ in 0..rounds {
+        engine.step(&mut world);
+        let total: u64 = world.census.iter().sum();
+        assert_eq!(total, n, "census drifted at {}", engine.current_round());
+        if engine.current_round().index() == outage_end_floor {
+            toggles_at_end = Some(world.metrics().diag.session_toggles);
+        }
+    }
+    let m = world.into_metrics();
+    assert!(m.diag.outage_disconnects > 0, "scheduled outage never hit");
+    let at_end = toggles_at_end.expect("run covers the outage window");
+    assert!(
+        m.diag.session_toggles > at_end,
+        "toggling never resumed after the outage window"
+    );
+}
+
+#[test]
+fn outage_domain_goes_fully_offline_during_the_window() {
+    // During the forced window every non-observer member of the hit
+    // domain is offline — the definition of a correlated outage.
+    let mut cfg = churny_config(400, 200, 83);
+    cfg = cfg.with_failure_domains(crate::config::FailureDomainConfig {
+        domains: 4,
+        outage_rate: 0.0,
+        outage_rounds: 40,
+        outage_at: 80,
+        partition_rate: 0.0,
+        partition_rounds: 0,
+    });
+    let mut world = BackupWorld::new(cfg.clone());
+    let mut engine = Engine::new(83);
+    for _ in 0..120 {
+        engine.step(&mut world);
+    }
+    // Round 120 is inside the window (80..120+): domain 0 must be dark.
+    let seed = cfg.seed;
+    let mut members = 0;
+    for id in world.observer_count as PeerId..world.peers.len() as PeerId {
+        if domain_of(seed, 4, id) == 0 {
+            members += 1;
+            assert!(
+                !world.peers.online(id),
+                "peer {id} of the outage domain is online mid-window"
+            );
+        }
+    }
+    assert!(members > 50, "domain 0 too small to be meaningful");
+    assert!(world.metrics().diag.outage_disconnects > 0);
+}
+
+#[test]
+fn quarantine_evicts_hosted_blocks_and_bars_the_host_from_pools() {
+    let mut cfg = sharded_config(300, 200, 91);
+    cfg = cfg.with_quarantine_threshold(2);
+    let mut world = BackupWorld::new(cfg);
+    let mut engine = Engine::new(91);
+    for _ in 0..100 {
+        engine.step(&mut world);
+    }
+    // Pick the busiest host of the settled network.
+    let victim = (0..world.peers.len() as PeerId)
+        .filter(|&id| world.peers.observer(id).is_none())
+        .max_by_key(|&id| world.peers.hosted_len(id))
+        .expect("peers exist");
+    assert!(world.peers.hosted_len(victim) > 0, "network never placed");
+    // Strikes are reported against the round just completed, exactly
+    // like the fabric's post-round feedback call (`current_round` is
+    // the *next* round to execute).
+    let r = engine.current_round().index() - 1;
+    // One strike: suspicious but still serving.
+    world.report_integrity_failures(r, &[victim]);
+    assert!(!world.peer_quarantined(victim));
+    assert!(world.quarantine_log().is_empty());
+    // Second strike crosses the threshold.
+    world.report_integrity_failures(r, &[victim]);
+    assert!(world.peer_quarantined(victim));
+    assert_eq!(world.quarantine_log(), &[(victim, r)]);
+    assert_eq!(world.metrics().diag.hosts_quarantined, 1);
+    // Next round the eviction fires: the hosted ledger empties and the
+    // blocks re-enter the repair machinery.
+    engine.step(&mut world);
+    assert_eq!(world.peers.hosted_len(victim), 0, "eviction never fired");
+    assert_eq!(world.peers.quota_used(victim), 0);
+    assert_eq!(world.metrics().diag.quarantine_evictions, 1);
+    // Further strikes on a quarantined host are no-ops (no double log).
+    world.report_integrity_failures(r + 1, &[victim]);
+    assert_eq!(world.quarantine_log().len(), 1);
+    // The host never re-enters a candidate pool.
+    let mut rng = sim_rng(4242);
+    for _ in 0..40 {
+        engine.step(&mut world);
+        let owner = (world.observer_count as PeerId..world.peers.len() as PeerId)
+            .find(|&id| id != victim && world.peers.online(id))
+            .expect("someone is online");
+        let pool = world.build_pool_direct(&mut rng, owner, 0, 8, engine.current_round().index());
+        assert!(
+            pool.iter().all(|c| c.id != victim),
+            "quarantined host appeared in a candidate pool"
+        );
+        assert_eq!(world.peers.hosted_len(victim), 0, "host re-acquired blocks");
+    }
+}
+
+#[test]
+fn quarantine_feedback_stays_bit_identical_across_shards_and_stealing() {
+    // Deterministic strike schedule (a stand-in for the fabric's
+    // lane-ordered challenge detections): every 10 rounds, strike the
+    // three lowest online non-observer slots. Same metrics and event
+    // stream at every worker count.
+    fn run_with(cfg: SimConfig) -> (Metrics, Vec<WorldEvent>, Vec<(PeerId, u64)>) {
+        let rounds = cfg.rounds;
+        let seed = cfg.seed;
+        let mut world = BackupWorld::new(cfg);
+        world.set_event_recording(true);
+        let mut engine = Engine::new(seed);
+        let mut events = Vec::new();
+        for _ in 0..rounds {
+            engine.step(&mut world);
+            let r = engine.current_round().index();
+            if r.is_multiple_of(10) {
+                let strikes: Vec<PeerId> = (world.observer_count as PeerId
+                    ..world.peers.len() as PeerId)
+                    .filter(|&id| world.peers.online(id) && !world.peers.quarantined(id))
+                    .take(3)
+                    .collect();
+                world.report_integrity_failures(r, &strikes);
+            }
+            events.extend(world.take_events());
+        }
+        let log = world.quarantine_log().to_vec();
+        (world.into_metrics(), events, log)
+    }
+    let base = churny_config(600, 300, 97).with_quarantine_threshold(3);
+    let (m1, e1, q1) = run_with(base.clone().with_shards(1));
+    assert!(
+        m1.diag.hosts_quarantined > 0,
+        "strike schedule never quarantined anyone"
+    );
+    assert!(m1.diag.quarantine_evictions > 0);
+    for (shards, steal) in [(8, true), (8, false)] {
+        let (m, e, q) = run_with(base.clone().with_shards(shards).with_work_stealing(steal));
+        assert_eq!(m1, m, "metrics diverged at shards={shards} steal={steal}");
+        assert_eq!(e1, e, "events diverged at shards={shards} steal={steal}");
+        assert_eq!(q1, q, "quarantine log diverged at shards={shards}");
+    }
+}

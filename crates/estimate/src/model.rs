@@ -84,6 +84,13 @@ impl AvailabilityClass {
 /// departs from the neutral 1.0.
 const MIN_CLASS_DEATHS: u64 = 8;
 
+/// Deaths an availability class needs in the window before it earns its
+/// own survival curve, replacing the global-curve × class-factor
+/// approximation entirely (the factor compresses a whole survival shape
+/// into one scalar; with enough per-class data the shape itself is
+/// learnable).
+const MIN_CLASS_CURVE_DEATHS: u64 = 64;
+
 /// Clamp range for class correction factors.
 const CLASS_FACTOR_RANGE: (f64, f64) = (0.25, 4.0);
 
@@ -104,8 +111,17 @@ pub struct EstimatorReport {
     pub calibration_mae: f64,
     /// Back-tested predictions contributing to `calibration_mae`.
     pub calibration_samples: u64,
+    /// Mean absolute calibration error of the *legacy* estimate path
+    /// (global curve × class factor) over the same back-tested deaths —
+    /// the baseline `calibration_mae` is measured against once
+    /// per-class curves go live. Equal to `calibration_mae` while no
+    /// class curve is active.
+    pub legacy_mae: f64,
     /// Current per-class lifetime factors (reliable, diurnal, flaky).
     pub class_factor: [f64; 3],
+    /// Which availability classes currently answer from their own
+    /// survival curve rather than the global curve × factor.
+    pub class_curve_active: [bool; 3],
     /// Whether the learned curve (rather than the age prior) is live.
     pub active: bool,
 }
@@ -128,12 +144,19 @@ pub struct OnlineSurvivalModel {
     /// the model activates.
     curve: Vec<f64>,
     class_factor: [f64; 3],
+    /// Per-class curves; an empty vec means the class falls back to
+    /// `curve` × `class_factor`. Built only from a classed census
+    /// ([`OnlineSurvivalModel::refresh_classed`]) and only for classes
+    /// with at least [`MIN_CLASS_CURVE_DEATHS`] windowed deaths.
+    class_curve: [Vec<f64>; 3],
     refreshes: u64,
     calib_abs_err: f64,
+    legacy_abs_err: f64,
     calib_samples: u64,
     /// Scratch reused across refreshes.
     deaths_binned: Vec<u64>,
     censored_binned: Vec<u64>,
+    class_censored_binned: [Vec<u64>; 3],
 }
 
 impl OnlineSurvivalModel {
@@ -156,11 +179,14 @@ impl OnlineSurvivalModel {
             deaths_total: 0,
             curve: Vec::new(),
             class_factor: [1.0; 3],
+            class_curve: [Vec::new(), Vec::new(), Vec::new()],
             refreshes: 0,
             calib_abs_err: 0.0,
+            legacy_abs_err: 0.0,
             calib_samples: 0,
             deaths_binned: vec![0; bins],
             censored_binned: vec![0; bins],
+            class_censored_binned: [vec![0; bins], vec![0; bins], vec![0; bins]],
         }
     }
 
@@ -185,8 +211,10 @@ impl OnlineSurvivalModel {
         if self.active() {
             let half = rec.lifetime / 2;
             let predicted = self.estimate(half, rec.uptime, rec.sessions) as f64;
+            let legacy = self.estimate_legacy(half, rec.uptime, rec.sessions) as f64;
             let realized = (rec.lifetime - half) as f64;
             self.calib_abs_err += (predicted - realized).abs();
+            self.legacy_abs_err += (legacy - realized).abs();
             self.calib_samples += 1;
         }
         self.deaths_total += 1;
@@ -207,66 +235,57 @@ impl OnlineSurvivalModel {
     /// are not truncated to zero) → pooled-adjacent-violators isotonic
     /// fit weighted by at-risk counts → per-class lifetime factors.
     pub fn refresh<I: IntoIterator<Item = u64>>(&mut self, living_ages: I) {
+        self.refresh_impl(living_ages.into_iter().map(|age| (age, None)));
+    }
+
+    /// [`OnlineSurvivalModel::refresh`] with an *uptime-classed* census:
+    /// each living peer contributes `(age, observed uptime fraction)`.
+    /// The classed census is what unlocks per-availability-class
+    /// survival curves — a class with at least 64 windowed deaths
+    /// (`MIN_CLASS_CURVE_DEATHS`) gets its own Kaplan–Meier + isotonic curve
+    /// (censored by its own class's living ages) and stops using the
+    /// global curve × scalar factor. The unclassed `refresh` keeps
+    /// every class on the factor path.
+    pub fn refresh_classed<I: IntoIterator<Item = (u64, f64)>>(&mut self, living: I) {
+        self.refresh_impl(living.into_iter().map(|(age, uptime)| (age, Some(uptime))));
+    }
+
+    fn refresh_impl(&mut self, living: impl Iterator<Item = (u64, Option<f64>)>) {
         self.refreshes += 1;
         let bins = self.params.max_bins;
         let w = self.params.bin_rounds;
         self.deaths_binned.iter_mut().for_each(|c| *c = 0);
         self.censored_binned.iter_mut().for_each(|c| *c = 0);
+        for cb in &mut self.class_censored_binned {
+            cb.iter_mut().for_each(|c| *c = 0);
+        }
         for rec in &self.window {
             self.deaths_binned[((rec.lifetime / w) as usize).min(bins - 1)] += 1;
         }
-        for age in living_ages {
-            self.censored_binned[((age / w) as usize).min(bins - 1)] += 1;
+        let mut classed_census = true;
+        for (age, uptime) in living {
+            let b = ((age / w) as usize).min(bins - 1);
+            self.censored_binned[b] += 1;
+            match uptime {
+                Some(u) => self.class_censored_binned[AvailabilityClass::of(u) as usize][b] += 1,
+                None => classed_census = false,
+            }
         }
 
         if (self.window.len() as u64) < self.params.min_deaths {
             self.curve.clear();
+            self.class_curve.iter_mut().for_each(Vec::clear);
             self.class_factor = [1.0; 3];
             return;
         }
 
-        let BinnedSurvival { survival, at_risk } =
-            kaplan_meier(&self.deaths_binned, &self.censored_binned);
-
-        // Expected rounds beyond the horizon, from the average hazard
-        // over the upper half of the populated grid (geometric tail).
-        let last_populated = at_risk.iter().rposition(|&n| n >= 1.0).unwrap_or(0);
-        let tail_from = last_populated / 2;
-        let mut tail_deaths = 0.0;
-        let mut tail_risk = 0.0;
-        for (d, n) in self.deaths_binned[tail_from..=last_populated]
-            .iter()
-            .zip(&at_risk[tail_from..=last_populated])
-        {
-            tail_deaths += *d as f64;
-            tail_risk += n;
-        }
-        let tail_hazard = if tail_risk > 0.0 {
-            (tail_deaths / tail_risk).clamp(MIN_TAIL_HAZARD, 1.0)
-        } else {
-            1.0
-        };
-        let tail_rounds = w as f64 * (1.0 - tail_hazard) / tail_hazard;
-
-        // Mean residual life at each bin start, integrating the curve
-        // rightward (right-endpoint rule, conservative within a bin).
-        let mut curve = vec![0.0; bins];
-        let mut acc = survival[bins] * tail_rounds;
-        for b in (0..bins).rev() {
-            acc += survival[b + 1] * w as f64;
-            curve[b] = if survival[b] > 0.0 {
-                acc / survival[b]
-            } else {
-                // Nobody survives to this age: inherit the estimate of
-                // the next bin computed so far (rev order).
-                if b + 1 < bins {
-                    curve[b + 1]
-                } else {
-                    acc
-                }
-            };
-        }
-        isotonic_non_decreasing(&mut curve, &at_risk);
+        let (curve, global_tail_hazard) = mean_residual_curve(
+            w,
+            bins,
+            &self.deaths_binned,
+            &self.censored_binned,
+            MIN_TAIL_HAZARD,
+        );
         self.curve = curve;
 
         // Per-class lifetime factors over the same window.
@@ -287,6 +306,37 @@ impl OnlineSurvivalModel {
                 1.0
             };
         }
+
+        // Per-class survival curves, where the data supports them: the
+        // class's own deaths censored by the class's own living ages.
+        // Without a classed census the class-side censoring is unknown
+        // and a deaths-only fit would bias the class curves low, so
+        // they stay off.
+        let mut class_deaths = core::mem::take(&mut self.deaths_binned);
+        for (c, &class_count) in count.iter().enumerate() {
+            if !classed_census || class_count < MIN_CLASS_CURVE_DEATHS {
+                self.class_curve[c].clear();
+                continue;
+            }
+            class_deaths.iter_mut().for_each(|d| *d = 0);
+            for rec in &self.window {
+                if AvailabilityClass::of(rec.uptime) as usize == c {
+                    class_deaths[((rec.lifetime / w) as usize).min(bins - 1)] += 1;
+                }
+            }
+            // A class with no deaths in its own upper age range has no
+            // tail evidence of its own; shrink its tail hazard toward
+            // the global one instead of the optimistic global floor, or
+            // a death-free tail would extrapolate absurd lifetimes.
+            (self.class_curve[c], _) = mean_residual_curve(
+                w,
+                bins,
+                &class_deaths,
+                &self.class_censored_binned[c],
+                global_tail_hazard,
+            );
+        }
+        self.deaths_binned = class_deaths;
     }
 
     /// Expected remaining lifetime, in rounds, for a peer reporting
@@ -298,7 +348,29 @@ impl OnlineSurvivalModel {
     /// age, clamped to the grid horizon); live curve but fewer than
     /// `min_peer_sessions` observations for this peer → global curve
     /// alone; otherwise global curve × availability-class factor.
+    /// Fallback ladder (continued): a class whose own survival curve is
+    /// live answers from that curve directly (no scalar factor).
     pub fn estimate(&self, reported_age: u64, uptime: f64, sessions: u32) -> u64 {
+        if self.curve.is_empty() {
+            let horizon = self.params.bin_rounds * self.params.max_bins as u64;
+            return reported_age.min(horizon).max(1);
+        }
+        let bin = ((reported_age / self.params.bin_rounds) as usize).min(self.curve.len() - 1);
+        if sessions >= self.params.min_peer_sessions {
+            let c = AvailabilityClass::of(uptime) as usize;
+            if !self.class_curve[c].is_empty() {
+                return (self.class_curve[c][bin].round() as u64).max(1);
+            }
+            return (self.curve[bin] * self.class_factor[c]).round().max(1.0) as u64;
+        }
+        (self.curve[bin].round() as u64).max(1)
+    }
+
+    /// The pre-class-curve estimate path — global curve × class factor,
+    /// with the same fallback ladder otherwise. Kept live so the
+    /// calibration back-test can report both paths' MAE over the same
+    /// deaths ([`EstimatorReport::legacy_mae`]).
+    pub fn estimate_legacy(&self, reported_age: u64, uptime: f64, sessions: u32) -> u64 {
         if self.curve.is_empty() {
             let horizon = self.params.bin_rounds * self.params.max_bins as u64;
             return reported_age.min(horizon).max(1);
@@ -323,10 +395,77 @@ impl OnlineSurvivalModel {
                 0.0
             },
             calibration_samples: self.calib_samples,
+            legacy_mae: if self.calib_samples > 0 {
+                self.legacy_abs_err / self.calib_samples as f64
+            } else {
+                0.0
+            },
             class_factor: self.class_factor,
+            class_curve_active: [
+                !self.class_curve[0].is_empty(),
+                !self.class_curve[1].is_empty(),
+                !self.class_curve[2].is_empty(),
+            ],
             active: self.active(),
         }
     }
+}
+
+/// The shared curve-building pipeline: binned Kaplan–Meier survival →
+/// geometric-hazard tail (floored at `min_hazard`) → mean residual life
+/// per bin start → isotonic fit weighted by at-risk counts. Used for
+/// the global curve (floored at [`MIN_TAIL_HAZARD`]) and for each live
+/// per-class curve (floored at the global tail hazard — shrinkage).
+/// Returns the curve and the tail hazard actually used.
+fn mean_residual_curve(
+    w: u64,
+    bins: usize,
+    deaths_binned: &[u64],
+    censored_binned: &[u64],
+    min_hazard: f64,
+) -> (Vec<f64>, f64) {
+    let BinnedSurvival { survival, at_risk } = kaplan_meier(deaths_binned, censored_binned);
+
+    // Expected rounds beyond the horizon, from the average hazard
+    // over the upper half of the populated grid (geometric tail).
+    let last_populated = at_risk.iter().rposition(|&n| n >= 1.0).unwrap_or(0);
+    let tail_from = last_populated / 2;
+    let mut tail_deaths = 0.0;
+    let mut tail_risk = 0.0;
+    for (d, n) in deaths_binned[tail_from..=last_populated]
+        .iter()
+        .zip(&at_risk[tail_from..=last_populated])
+    {
+        tail_deaths += *d as f64;
+        tail_risk += n;
+    }
+    let tail_hazard = if tail_risk > 0.0 {
+        (tail_deaths / tail_risk).clamp(min_hazard, 1.0)
+    } else {
+        1.0
+    };
+    let tail_rounds = w as f64 * (1.0 - tail_hazard) / tail_hazard;
+
+    // Mean residual life at each bin start, integrating the curve
+    // rightward (right-endpoint rule, conservative within a bin).
+    let mut curve = vec![0.0; bins];
+    let mut acc = survival[bins] * tail_rounds;
+    for b in (0..bins).rev() {
+        acc += survival[b + 1] * w as f64;
+        curve[b] = if survival[b] > 0.0 {
+            acc / survival[b]
+        } else {
+            // Nobody survives to this age: inherit the estimate of
+            // the next bin computed so far (rev order).
+            if b + 1 < bins {
+                curve[b + 1]
+            } else {
+                acc
+            }
+        };
+    }
+    isotonic_non_decreasing(&mut curve, &at_risk);
+    (curve, tail_hazard)
 }
 
 #[cfg(test)]
@@ -450,6 +589,90 @@ mod tests {
             "estimate did not converge to the new regime: {before} -> {after}"
         );
         assert!(after < 80, "new-regime estimate still inflated: {after}");
+    }
+
+    #[test]
+    fn class_curves_activate_with_enough_classed_data() {
+        // Two classes whose lifetimes differ by ~80×: far beyond what
+        // the clamped scalar factor (0.25–4.0) can express. Per-class
+        // curves learn each scale directly.
+        let mut model = OnlineSurvivalModel::new(params());
+        for i in 0..128u64 {
+            feed(&mut model, 600 + (i % 5) * 100, 0.9, 1); // reliable
+            feed(&mut model, 6 + i % 5, 0.1, 1); // flaky
+        }
+
+        // Unclassed census: curves stay off, factor path answers.
+        model.refresh((0..32u64).map(|_| 100));
+        let report = model.report();
+        assert_eq!(report.class_curve_active, [false; 3]);
+
+        // Classed census (ages consistent with each class's deaths):
+        // both saturated classes earn their own curve.
+        model.refresh_classed((0..32u64).map(|i| {
+            if i % 2 == 0 {
+                (i * 20, 0.9)
+            } else {
+                (i % 8, 0.1)
+            }
+        }));
+        let report = model.report();
+        assert!(report.class_curve_active[AvailabilityClass::Reliable as usize]);
+        assert!(report.class_curve_active[AvailabilityClass::Flaky as usize]);
+        assert!(!report.class_curve_active[AvailabilityClass::Diurnal as usize]);
+
+        // At the same reported age, the class curves separate the two
+        // populations far more than the clamped factors ever could, and
+        // the flaky estimate stops being inflated by the long-lived
+        // majority's weight in the global curve.
+        let reliable = model.estimate(5, 0.9, 20);
+        let flaky = model.estimate(5, 0.1, 20);
+        let legacy_reliable = model.estimate_legacy(5, 0.9, 20);
+        let legacy_flaky = model.estimate_legacy(5, 0.1, 20);
+        assert!(
+            reliable as f64 / flaky as f64 > 2.0 * legacy_reliable as f64 / legacy_flaky as f64,
+            "class curves {reliable}/{flaky} vs legacy {legacy_reliable}/{legacy_flaky}"
+        );
+        // Truth for a young flaky peer is single-digit rounds.
+        assert!(
+            flaky < legacy_flaky,
+            "flaky class curve {flaky} vs legacy {legacy_flaky}"
+        );
+        assert!(flaky <= 15, "flaky estimate still inflated: {flaky}");
+    }
+
+    #[test]
+    fn class_curves_backtest_no_worse_than_the_factor_path() {
+        // Feed the bimodal-by-class population continuously and compare
+        // the two paths' running MAE over the same back-tested deaths.
+        let mut model = OnlineSurvivalModel::new(params());
+        for i in 0..600u64 {
+            let (lifetime, uptime) = if i % 2 == 0 {
+                (if i % 4 == 0 { 30 } else { 400 }, 0.9)
+            } else {
+                (25, 0.1)
+            };
+            feed(&mut model, lifetime, uptime, 1);
+            if i % 40 == 0 {
+                // Census consistent with the classes: reliable ages
+                // spread over the long mode, flaky ages all young.
+                model.refresh_classed((0..64u64).map(|j| {
+                    if j % 2 == 0 {
+                        (j * 7 % 300, 0.9)
+                    } else {
+                        (j % 3 * 8, 0.1)
+                    }
+                }));
+            }
+        }
+        let report = model.report();
+        assert!(report.calibration_samples > 100);
+        assert!(
+            report.calibration_mae <= report.legacy_mae,
+            "class curves regressed calibration: {} vs legacy {}",
+            report.calibration_mae,
+            report.legacy_mae
+        );
     }
 
     #[test]

@@ -172,7 +172,7 @@ impl PlaneLane {
                     self.note(format!(
                         "decode of {owner}/{archive} failed with {intact} intact shards >= k"
                     ));
-                } else if !shared.faults_enabled {
+                } else if !shared.faults_enabled && !shared.adversary_enabled {
                     self.note(format!(
                         "restorability mismatch for {owner}/{archive} without faults: \
                          predicted restorable, {intact} intact shards"

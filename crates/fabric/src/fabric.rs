@@ -68,10 +68,125 @@ const FAULT_STREAM: u64 = 0xFA_B51C;
 const CONTENT_STREAM: u64 = 0xC0_47E7;
 /// Sub-seed stream id for the sampled auditor's coverage hash.
 const AUDIT_STREAM: u64 = 0xA0_D175;
+/// Sub-seed stream id for adversary role assignment (free rider /
+/// rotter membership is a pure hash of the slot under this stream).
+const ADVERSARY_STREAM: u64 = 0xAD_5EED;
+/// Sub-seed stream id for the challenge sweep's coverage hash.
+const CHALLENGE_STREAM: u64 = 0xC7_A11E;
 
 /// Retries per placement before the fabric gives up on it (the
 /// simulator's churn/repair machinery takes over from there).
 const MAX_TRANSFER_ATTEMPTS: u32 = 5;
+
+/// Maps a derived seed to a uniform draw in `[0, 1)` without touching
+/// any RNG stream (role assignment and coverage sampling must be pure
+/// functions, identical at every worker and shard count).
+fn unit_draw(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Declarative adversarial host behaviour on the data plane.
+///
+/// Roles are assigned per peer *slot* as a pure hash of the run seed —
+/// a replacement peer in a recycled slot inherits the slot's role, the
+/// assignment is identical at every `shards`/steal configuration, and
+/// observers are always honest. Every knob defaults to off; a default
+/// `AdversaryConfig` leaves the fabric byte-identical to a run without
+/// one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdversaryConfig {
+    /// Fraction of peer slots that **free-ride**: they ack every
+    /// placement (the sender pays the link and believes it succeeded)
+    /// and silently drop the bytes. Only challenges, scrubbing and the
+    /// auditor can tell.
+    pub free_rider_fraction: f64,
+    /// Fraction of peer slots that are **selectively honest**: they
+    /// store the bytes but corrupt a random byte of roughly half the
+    /// frames they accept — bitrot with intent, caught by the same
+    /// scrub/challenge machinery.
+    pub rot_fraction: f64,
+    /// Rounds between challenge-response integrity sweeps (0 = never).
+    /// A sweep asks sampled hosts to prove they hold each placed block
+    /// intact; failures feed the world's reputation ledger
+    /// ([`peerback_core::BackupWorld::report_integrity_failures`]).
+    pub challenge_interval: u64,
+    /// Challenge-sweep sampling divisor: each sweep covers roughly one
+    /// in `challenge_sample_period` archive cells (1 = every cell).
+    /// Coverage is a seeded pure function of `(round, owner, archive)`.
+    pub challenge_sample_period: u64,
+}
+
+impl Default for AdversaryConfig {
+    fn default() -> Self {
+        AdversaryConfig {
+            free_rider_fraction: 0.0,
+            rot_fraction: 0.0,
+            challenge_interval: 0,
+            challenge_sample_period: 1,
+        }
+    }
+}
+
+impl AdversaryConfig {
+    /// Checks the knobs for consistency.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first invalid parameter.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [
+            ("free_rider_fraction", self.free_rider_fraction),
+            ("rot_fraction", self.rot_fraction),
+        ] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(format!("{name} must be a probability, got {v}"));
+            }
+        }
+        if self.free_rider_fraction + self.rot_fraction > 1.0 {
+            return Err("adversary fractions sum to more than 1".into());
+        }
+        if self.challenge_sample_period == 0 {
+            return Err("challenge sample period must be at least one (1 = every cell)".into());
+        }
+        Ok(())
+    }
+
+    /// Whether any slot behaves adversarially.
+    pub fn any_hostile(&self) -> bool {
+        self.free_rider_fraction > 0.0 || self.rot_fraction > 0.0
+    }
+
+    /// The role of peer slot `slot` under `seed` (`observer_count`
+    /// leading slots are observers, always honest). Pure and cheap —
+    /// probes recompute membership from the config alone.
+    pub fn role_of(&self, seed: u64, observer_count: usize, slot: PeerId) -> AdversaryRole {
+        if (slot as usize) < observer_count || !self.any_hostile() {
+            return AdversaryRole::Honest;
+        }
+        let u = unit_draw(derive_seed(
+            derive_seed(seed, ADVERSARY_STREAM),
+            slot as u64,
+        ));
+        if u < self.free_rider_fraction {
+            AdversaryRole::FreeRider
+        } else if u < self.free_rider_fraction + self.rot_fraction {
+            AdversaryRole::Rotter
+        } else {
+            AdversaryRole::Honest
+        }
+    }
+}
+
+/// The behaviour assigned to one peer slot by [`AdversaryConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdversaryRole {
+    /// Stores what it accepts, faithfully.
+    Honest,
+    /// Acks placements and drops the bytes.
+    FreeRider,
+    /// Stores the bytes, corrupts some of them.
+    Rotter,
+}
 
 /// Below this many queued events the replay runs on one worker.
 const PARALLEL_EVENT_MIN: usize = 2048;
@@ -103,6 +218,9 @@ pub struct FabricConfig {
     /// budget and drain in priority order, carrying across rounds —
     /// §2.2.4's link arithmetic made operational.
     pub schedule: Option<ScheduleConfig>,
+    /// Adversarial host behaviour (all-off by default: every host is
+    /// honest and no challenges run).
+    pub adversary: AdversaryConfig,
 }
 
 impl Default for FabricConfig {
@@ -115,6 +233,7 @@ impl Default for FabricConfig {
             audit_sample_period: 1,
             scrub_interval: 0,
             schedule: None,
+            adversary: AdversaryConfig::default(),
         }
     }
 }
@@ -142,6 +261,13 @@ pub struct ScheduleConfig {
     /// restore (the "flash crowd" wave: everyone wants their data back
     /// at once). Restores are downloads and preempt every other class.
     pub flash_restore: Option<u64>,
+    /// Loss-deadline escalation margin (0 = off). A repair-class
+    /// transfer whose archive currently mirrors fewer than
+    /// `k + escalate_margin` placed blocks jumps the class-priority
+    /// queue to restore priority: the archives closest to the loss
+    /// cliff get the link first. With the margin at 0 the drain order
+    /// is exactly the classic `(class, deadline, seq)`.
+    pub escalate_margin: u32,
 }
 
 impl Default for ScheduleConfig {
@@ -150,6 +276,7 @@ impl Default for ScheduleConfig {
             round_secs: 3600.0,
             link_cap: None,
             flash_restore: None,
+            escalate_margin: 0,
         }
     }
 }
@@ -163,6 +290,8 @@ pub(crate) struct ResolvedSchedule {
     down_budget: u64,
     /// Flash-restore wave round, if any.
     flash_restore: Option<u64>,
+    /// Loss-deadline escalation margin (0 = off).
+    escalate_margin: u32,
 }
 
 /// Byte-plane counters. All values are a pure function of the two
@@ -236,6 +365,20 @@ pub struct FabricStats {
     /// currently-online hosts when the download finished. Without
     /// faults this measures an availability miss, not corruption.
     pub flash_restore_failures: u64,
+    /// Frames acked-and-dropped by free-riding hosts (the sender paid
+    /// the link; the bytes never existed on the host).
+    pub adversary_drops: u64,
+    /// Stored frames deliberately corrupted by selectively-honest
+    /// hosts.
+    pub adversary_corruptions: u64,
+    /// Challenge-response probes issued (one per challenged placement).
+    pub challenges_issued: u64,
+    /// Challenges the host failed: the block was missing or not intact.
+    pub challenge_failures: u64,
+    /// Transfer-rounds drained at escalated (loss-deadline) priority:
+    /// a repair transfer under the `escalate_margin` cliff counts one
+    /// per drain round it survives at the head of the queue.
+    pub escalated_transfer_rounds: u64,
 }
 
 impl FabricStats {
@@ -270,6 +413,11 @@ impl FabricStats {
         self.transfers_cancelled += other.transfers_cancelled;
         self.flash_restores += other.flash_restores;
         self.flash_restore_failures += other.flash_restore_failures;
+        self.adversary_drops += other.adversary_drops;
+        self.adversary_corruptions += other.adversary_corruptions;
+        self.challenges_issued += other.challenges_issued;
+        self.challenge_failures += other.challenge_failures;
+        self.escalated_transfer_rounds += other.escalated_transfer_rounds;
     }
 
     /// Scrub detections neither repaired nor rendered moot by the end
@@ -330,6 +478,16 @@ pub(crate) struct PlaneShared {
     /// Bandwidth-aware scheduling, budgets resolved (`None` = instant
     /// shipping).
     pub(crate) schedule: Option<ResolvedSchedule>,
+    /// Adversarial host behaviour (inert by default).
+    adversary: AdversaryConfig,
+    /// Whether any slot behaves adversarially — gates the expected-
+    /// degradation paths exactly like `faults_enabled` does for the
+    /// fault plane.
+    pub(crate) adversary_enabled: bool,
+    /// Seed of the challenge coverage hash.
+    challenge_seed: u64,
+    /// Leading observer slots (always honest).
+    observer_count: usize,
 }
 
 impl PlaneShared {
@@ -350,6 +508,32 @@ impl PlaneShared {
     /// Whether a scrubbing sweep runs at `round`.
     fn scrub_due(&self, round: u64) -> bool {
         self.scrub_interval > 0 && round.is_multiple_of(self.scrub_interval)
+    }
+
+    /// Whether a challenge sweep runs at `round`.
+    fn challenge_due(&self, round: u64) -> bool {
+        self.adversary.challenge_interval > 0
+            && round.is_multiple_of(self.adversary.challenge_interval)
+    }
+
+    /// Whether the challenge sweep covers `(owner, archive)` at
+    /// `round`. Pure, like [`PlaneShared::audit_sampled`].
+    fn challenge_sampled(&self, round: u64, owner: PeerId, archive: u8) -> bool {
+        if self.adversary.challenge_sample_period <= 1 {
+            return true;
+        }
+        let cell = derive_seed(
+            derive_seed(self.challenge_seed, round),
+            ((owner as u64) << 8) | archive as u64,
+        );
+        cell.is_multiple_of(self.adversary.challenge_sample_period)
+    }
+
+    /// The adversary role of `slot` (pure; see
+    /// [`AdversaryConfig::role_of`]).
+    fn role_of(&self, slot: PeerId) -> AdversaryRole {
+        self.adversary
+            .role_of(self.master_seed, self.observer_count, slot)
     }
 }
 
@@ -471,6 +655,20 @@ pub(crate) struct PlaneLane {
     up_spent: BTreeMap<PeerId, u64>,
     /// Per-peer download bytes spent this round's drain (recycled).
     down_spent: BTreeMap<PeerId, u64>,
+    /// Hosts whose challenge failed (or whose stored block a scrub
+    /// found rotten) this round — drained to the world's reputation
+    /// ledger in lane order after the merge.
+    suspects: Vec<PeerId>,
+    /// Recycled `(owner, archive, host)` worklist of one challenge
+    /// sweep.
+    challenge_scratch: Vec<(PeerId, u8, PeerId)>,
+    /// Free-riding hosts that received at least one shipment — the
+    /// denominator of the adversary probe's detection-coverage gate.
+    riders_hit: BTreeSet<PeerId>,
+    /// Rounds-to-completion of each finished flash-restore download,
+    /// in completion order. Merged in lane order; percentiles come out
+    /// in the report.
+    restore_durations: Vec<u64>,
 }
 
 impl PlaneLane {
@@ -499,6 +697,10 @@ impl PlaneLane {
             in_flight: BTreeMap::new(),
             up_spent: BTreeMap::new(),
             down_spent: BTreeMap::new(),
+            suspects: Vec::new(),
+            challenge_scratch: Vec::new(),
+            riders_hit: BTreeSet::new(),
+            restore_durations: Vec::new(),
         }
     }
 
@@ -559,8 +761,32 @@ impl PlaneLane {
         if self.queue.is_empty() {
             return;
         }
+        // Loss-deadline escalation: a repair transfer whose archive
+        // mirrors fewer than `k + margin` placed blocks outranks its
+        // class (rank 0, tied with restores). With the margin at 0 the
+        // rank is a uniform shift of the class discriminant, so the
+        // order — and every byte of the report — is exactly the
+        // classic `(class, deadline, seq)` drain.
+        let margin = sched.escalate_margin;
+        let cliff = shared.k as u32 + margin;
+        let owners = &self.owners;
+        let rank_of = |t: &PendingTransfer| -> u8 {
+            if margin > 0 && t.class == TransferClass::Repair {
+                let present = owners
+                    .get(&(t.owner, t.archive))
+                    .map_or(0, |oa| oa.hosts().count() as u32);
+                if present < cliff {
+                    return 0;
+                }
+            }
+            1 + t.class as u8
+        };
+        if margin > 0 {
+            self.stats.escalated_transfer_rounds +=
+                self.queue.iter().filter(|t| rank_of(t) == 0).count() as u64;
+        }
         self.queue
-            .sort_unstable_by_key(|t| (t.class, t.deadline, t.seq));
+            .sort_unstable_by_key(|t| (rank_of(t), t.deadline, t.seq));
         self.up_spent.clear();
         self.down_spent.clear();
         let mut pending = core::mem::take(&mut self.queue);
@@ -601,6 +827,10 @@ impl PlaneLane {
     ) {
         if t.class == TransferClass::Restore {
             self.stats.flash_restores += 1;
+            // `deadline` is the enqueue round: the difference is the
+            // user-visible rounds-to-restore this percentile series
+            // reports on.
+            self.restore_durations.push(round - t.deadline);
             let blocks = self.surviving_blocks(world, t.owner, t.archive, true);
             let bytes: usize = blocks.iter().take(shared.k).map(|(_, b)| b.len()).sum();
             self.stats.download_secs += shared.link.download_secs(bytes as f64);
@@ -807,6 +1037,18 @@ impl PlaneLane {
         self.stats.bytes_shipped += frame_len as u64;
         self.stats.upload_secs += shared.link.upload_secs(frame_len as f64);
 
+        // A free-riding host acks the transfer and drops the bytes: the
+        // sender has paid the link and believes the placement stands —
+        // no retry fires, because nothing looked wrong. Only the
+        // challenge sweep, scrubbing and the auditor can surface the
+        // hole; the simulator's placement map diverges from byte truth
+        // by design (expected degradation, like injected faults).
+        if shared.role_of(host) == AdversaryRole::FreeRider {
+            self.stats.adversary_drops += 1;
+            self.riders_hit.insert(host);
+            return;
+        }
+
         let mut rng = self.transfer_rng();
         let availability = world.peer_availability(host);
         let transit = shared.faults.transit(&mut rng, &mut bytes, availability);
@@ -823,6 +1065,18 @@ impl PlaneLane {
                     if let Some((byte, bit)) = shared.faults.bitrot(&mut rng, block.bytes.len()) {
                         block.bytes[byte] ^= 1 << bit;
                         self.stats.bitrot_events += 1;
+                    }
+                }
+                // A selectively honest host stores the frame, then
+                // corrupts roughly half of what it accepts — bitrot
+                // with intent, drawn from the same per-transfer stream
+                // so the damage pattern is deterministic.
+                if shared.role_of(host) == AdversaryRole::Rotter && rng.gen_range(0..2u32) == 1 {
+                    if let Some(block) = self.store.block_mut(host, owner, archive) {
+                        let byte = rng.gen_range(0..block.bytes.len());
+                        let bit = rng.gen_range(0..8u32);
+                        block.bytes[byte] ^= 1 << bit;
+                        self.stats.adversary_corruptions += 1;
                     }
                 }
             }
@@ -1038,8 +1292,12 @@ impl PlaneLane {
             self.stats.repair_decode_fallbacks += 1;
             // With the scheduler on, an episode can legitimately start
             // while earlier placements are still streaming — the local
-            // fallback is bandwidth, not corruption.
-            if !shared.faults_enabled && !self.has_in_flight(owner, archive) {
+            // fallback is bandwidth, not corruption. Adversarial hosts
+            // make the fallback expected too, exactly like faults.
+            if !shared.faults_enabled
+                && !shared.adversary_enabled
+                && !self.has_in_flight(owner, archive)
+            {
                 self.note(format!(
                     "episode decode failed without faults for {owner}/{archive}"
                 ));
@@ -1129,6 +1387,11 @@ impl PlaneLane {
         for &(host, owner, archive) in &rotten {
             self.store.drop_block(host, owner, archive);
             self.stats.scrub_detected += 1;
+            // A scrub detection is an integrity failure attributable to
+            // the storing host; it feeds the same reputation ledger the
+            // challenge sweep does (inert while the world's quarantine
+            // threshold is 0).
+            self.suspects.push(host);
             self.retries.push(Retry {
                 due: round + 1,
                 owner,
@@ -1201,6 +1464,52 @@ impl PlaneLane {
         if shared.scrub_due(round) {
             self.scrub_sweep(round);
         }
+        if shared.challenge_due(round) {
+            self.challenge_sweep(shared, round);
+        }
+    }
+
+    /// Challenge-response integrity sweep: every sampled placement of a
+    /// joined archive in this lane must produce its block, intact, on
+    /// demand. Cells with blocks still streaming and placements with a
+    /// pending re-ship are skipped — the fabric already knows those
+    /// bytes are in motion, so a miss there is not evidence. Failures
+    /// land in the suspect list; the driver feeds them to the world's
+    /// reputation ledger in lane order.
+    fn challenge_sweep(&mut self, shared: &PlaneShared, round: u64) {
+        let mut probes = core::mem::take(&mut self.challenge_scratch);
+        debug_assert!(probes.is_empty(), "challenge scratch returned dirty");
+        for (&(owner, archive), oa) in &self.owners {
+            if !oa.joined || !shared.challenge_sampled(round, owner, archive) {
+                continue;
+            }
+            if self.has_in_flight(owner, archive) {
+                continue;
+            }
+            for (_, host) in oa.hosts() {
+                probes.push((owner, archive, host));
+            }
+        }
+        for &(owner, archive, host) in &probes {
+            if self
+                .retries
+                .iter()
+                .any(|r| r.owner == owner && r.archive == archive && r.host == host)
+            {
+                continue; // known damage, re-ship already scheduled
+            }
+            self.stats.challenges_issued += 1;
+            let intact = self
+                .store
+                .block(host, owner, archive)
+                .is_some_and(|b| b.intact());
+            if !intact {
+                self.stats.challenge_failures += 1;
+                self.suspects.push(host);
+            }
+        }
+        probes.clear();
+        self.challenge_scratch = probes;
     }
 
     /// Queues one full-restore download for every joined archive in
@@ -1238,6 +1547,12 @@ pub(crate) struct Plane {
     pub(crate) stats: FabricStats,
     pub(crate) audit: AuditReport,
     pub(crate) losses: Vec<LossRecord>,
+    /// Completed restore durations (rounds past each transfer's
+    /// deadline), merged in lane order.
+    pub(crate) restore_durations: Vec<u64>,
+    /// Free-rider hosts that intercepted at least one shipment, union
+    /// over lanes (the denominator of the detection-coverage gate).
+    pub(crate) riders_hit: BTreeSet<PeerId>,
 }
 
 impl Plane {
@@ -1262,6 +1577,10 @@ impl Plane {
                 }
             }
             self.losses.append(&mut lane.losses);
+            self.restore_durations.append(&mut lane.restore_durations);
+            if !lane.riders_hit.is_empty() {
+                self.riders_hit.append(&mut lane.riders_hit);
+            }
         }
     }
 }
@@ -1275,6 +1594,10 @@ pub struct Fabric {
     /// Recycled buffer the world's per-round event log swaps through
     /// (zero steady-state allocation on the replay path).
     event_scratch: Vec<WorldEvent>,
+    /// Recycled buffer the lanes' integrity suspects drain into each
+    /// round (in lane order) before the world's reputation ledger sees
+    /// them.
+    suspect_scratch: Vec<PeerId>,
 }
 
 impl Fabric {
@@ -1287,6 +1610,7 @@ impl Fabric {
     pub fn new(cfg: SimConfig, fabric_cfg: FabricConfig) -> Result<Self, String> {
         cfg.validate()?;
         fabric_cfg.faults.validate()?;
+        fabric_cfg.adversary.validate()?;
         if fabric_cfg.audit_interval == 0 {
             return Err("audit interval must be at least one round".into());
         }
@@ -1308,6 +1632,7 @@ impl Fabric {
                     up_budget: s.link_cap.unwrap_or(up).max(1),
                     down_budget: s.link_cap.unwrap_or(down).max(1),
                     flash_restore: s.flash_restore,
+                    escalate_margin: s.escalate_margin,
                 })
             }
         };
@@ -1330,6 +1655,10 @@ impl Fabric {
             audit_seed: derive_seed(seed, AUDIT_STREAM),
             scrub_interval: fabric_cfg.scrub_interval,
             schedule,
+            adversary_enabled: fabric_cfg.adversary.any_hostile(),
+            challenge_seed: derive_seed(seed, CHALLENGE_STREAM),
+            observer_count: cfg.observers.len(),
+            adversary: fabric_cfg.adversary,
         };
         let lanes = (0..world.logical_shards())
             .map(|i| PlaneLane::new(i, seed))
@@ -1340,6 +1669,8 @@ impl Fabric {
             stats: FabricStats::default(),
             audit: AuditReport::default(),
             losses: Vec::new(),
+            restore_durations: Vec::new(),
+            riders_hit: BTreeSet::new(),
         };
         Ok(Fabric {
             world,
@@ -1347,6 +1678,7 @@ impl Fabric {
             audit_interval: fabric_cfg.audit_interval,
             rounds,
             event_scratch: Vec::new(),
+            suspect_scratch: Vec::new(),
         })
     }
 
@@ -1434,11 +1766,15 @@ impl Fabric {
     /// Finishes early (or after a manual drive) and returns the report.
     pub fn finish(self) -> FabricReport {
         let Fabric { world, plane, .. } = self;
+        let quarantined = world.quarantine_log().to_vec();
         FabricReport {
             metrics: world.into_metrics(),
             stats: plane.stats,
             audit: plane.audit,
             losses: plane.losses,
+            restore_durations: plane.restore_durations,
+            quarantined,
+            free_riders_targeted: plane.riders_hit.into_iter().collect(),
         }
     }
 }
@@ -1506,7 +1842,14 @@ impl World for Fabric {
                 .schedule
                 .as_ref()
                 .is_some_and(|s| s.flash_restore == Some(r));
-        if queued == 0 && !audit_due && !retries_due && !scrub_due && !transfers_pending {
+        let challenge_due = self.plane.shared.challenge_due(r);
+        if queued == 0
+            && !audit_due
+            && !retries_due
+            && !scrub_due
+            && !challenge_due
+            && !transfers_pending
+        {
             return;
         }
         let workers = if audit_due || queued >= PARALLEL_EVENT_MIN {
@@ -1529,6 +1872,20 @@ impl World for Fabric {
                 }
             });
         self.plane.merge_round();
+
+        // Feed this round's integrity failures (challenge misses and
+        // scrub detections) to the world's reputation ledger, in lane
+        // order so the strike sequence — and therefore the quarantine
+        // round of every host — is identical at any worker count.
+        let mut suspects = core::mem::take(&mut self.suspect_scratch);
+        for lane in &mut self.plane.lanes {
+            suspects.append(&mut lane.suspects);
+        }
+        if !suspects.is_empty() {
+            self.world.report_integrity_failures(r, &suspects);
+            suspects.clear();
+        }
+        self.suspect_scratch = suspects;
     }
 }
 
@@ -1544,6 +1901,19 @@ pub struct FabricReport {
     pub audit: AuditReport,
     /// Every data-loss event the auditor verified, in order.
     pub losses: Vec<LossRecord>,
+    /// Rounds past the deadline for every completed restore transfer,
+    /// in completion order (lane order within a round). Empty unless
+    /// the scheduler ran restores. Feed to
+    /// [`restore_percentiles`](crate::restore_percentiles) for the
+    /// flash-restore congestion report.
+    pub restore_durations: Vec<u64>,
+    /// `(host, round)` for every host the world quarantined, in
+    /// quarantine order.
+    pub quarantined: Vec<(PeerId, u64)>,
+    /// Free-rider hosts that intercepted at least one shipment
+    /// (sorted) — the denominator of the detection-coverage gate: a
+    /// rider nobody ever shipped to is undetectable and uninteresting.
+    pub free_riders_targeted: Vec<PeerId>,
 }
 
 /// Builds and runs a fabric in one call.
@@ -1553,4 +1923,21 @@ pub struct FabricReport {
 /// See [`Fabric::new`].
 pub fn run_fabric(cfg: SimConfig, fabric_cfg: FabricConfig) -> Result<FabricReport, String> {
     Ok(Fabric::new(cfg, fabric_cfg)?.run())
+}
+
+/// Nearest-rank p50/p95/p99 of a restore-duration sample
+/// ([`FabricReport::restore_durations`]); `None` when no restores
+/// completed. Rounds past the deadline, so `0` means "met the
+/// deadline".
+pub fn restore_percentiles(durations: &[u64]) -> Option<(u64, u64, u64)> {
+    if durations.is_empty() {
+        return None;
+    }
+    let mut sorted = durations.to_vec();
+    sorted.sort_unstable();
+    let rank = |p: u64| {
+        let idx = (p * sorted.len() as u64).div_ceil(100).max(1) as usize - 1;
+        sorted[idx.min(sorted.len() - 1)]
+    };
+    Some((rank(50), rank(95), rank(99)))
 }

@@ -61,7 +61,10 @@ pub mod frame;
 pub mod store;
 
 pub use audit::{AuditReport, LossRecord};
-pub use fabric::{run_fabric, Fabric, FabricConfig, FabricReport, FabricStats, ScheduleConfig};
+pub use fabric::{
+    restore_percentiles, run_fabric, AdversaryConfig, AdversaryRole, Fabric, FabricConfig,
+    FabricReport, FabricStats, ScheduleConfig,
+};
 pub use faults::{FaultKind, FaultPlane, FaultProfile, Transit};
 pub use frame::{checksum, BlockFrame, FrameError};
 pub use store::{BlockStore, IngestError, StoredBlock};
